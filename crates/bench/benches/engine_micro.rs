@@ -1,0 +1,84 @@
+//! Engine microbenchmarks: the physical operators the update window is made
+//! of — scans, hash joins with signed multiplicities, grouping, installs.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use uww::relational::ops::{self, AggFunc, AggSpec};
+use uww::relational::{
+    DeltaRelation, ScalarExpr, Schema, Table, Tuple, Value, ValueType, WorkMeter,
+};
+
+fn table(rows: usize) -> Table {
+    let mut t = Table::new(
+        "T",
+        Schema::of(&[
+            ("k", ValueType::Int),
+            ("g", ValueType::Int),
+            ("x", ValueType::Decimal),
+        ]),
+    );
+    for i in 0..rows {
+        t.insert(Tuple::new(vec![
+            Value::Int(i as i64),
+            Value::Int((i % 100) as i64),
+            Value::Decimal((i * 13 % 10_000) as i64),
+        ]))
+        .unwrap();
+    }
+    t
+}
+
+fn bench_ops(c: &mut Criterion) {
+    let t = table(10_000);
+    let u = table(2_000);
+    let mut group = c.benchmark_group("engine_micro");
+
+    group.bench_function("scan_10k", |b| {
+        b.iter(|| {
+            let mut m = WorkMeter::new();
+            black_box(ops::scan_table(&t, &mut m))
+        })
+    });
+
+    group.bench_function("hash_join_10k_x_2k", |b| {
+        let mut m = WorkMeter::new();
+        let left = ops::scan_table(&t, &mut m);
+        let right = ops::scan_table(&u, &mut m);
+        b.iter(|| {
+            let mut m = WorkMeter::new();
+            black_box(ops::hash_join(&left, &[0], &right, &[0], &mut m))
+        })
+    });
+
+    group.bench_function("group_10k", |b| {
+        let mut m = WorkMeter::new();
+        let rows = ops::scan_table(&t, &mut m);
+        let spec = AggSpec {
+            group_by: vec![ScalarExpr::col("g").bind(t.schema()).unwrap()],
+            aggs: vec![(
+                AggFunc::Sum,
+                ScalarExpr::col("x").bind(t.schema()).unwrap(),
+                ValueType::Decimal,
+            )],
+        };
+        b.iter(|| black_box(ops::group_rows(&rows, &spec).unwrap()))
+    });
+
+    group.bench_function("install_1k_into_10k", |b| {
+        let mut delta = DeltaRelation::new(t.schema().clone());
+        for (i, (row, _)) in t.sorted_rows().into_iter().enumerate() {
+            if i % 10 == 0 {
+                delta.add(row, -1);
+            }
+        }
+        b.iter_batched(
+            || t.clone(),
+            |mut t2| t2.install(&delta).unwrap(),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_ops);
+criterion_main!(benches);

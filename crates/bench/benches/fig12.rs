@@ -1,0 +1,54 @@
+//! Figure 12 bench (Experiment 1): update-window time for representative
+//! Q3 view-strategy classes — the best 1-way (MinWorkSingle), the worst
+//! 1-way, a 2-way, and the dual-stage strategy.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use uww::core::SizeCatalog;
+use uww::vdag::{view_strategies, UpdateExpr};
+use uww_bench::{minwork_single_strategy, q3_with_changes, strategy_kind};
+
+fn bench_fig12(c: &mut Criterion) {
+    let sc = q3_with_changes(0.10);
+    let g = sc.warehouse.vdag();
+    let q3 = g.id_of("Q3").unwrap();
+    let n = g.sources(q3).len();
+    let _sizes = SizeCatalog::estimate(&sc.warehouse).unwrap();
+
+    let mws = minwork_single_strategy(&sc);
+    let mut dual = None;
+    let mut two_way = None;
+    for s in view_strategies(g, q3) {
+        match strategy_kind(&s, n) {
+            "dual-stage" => dual = Some(sc.complete_strategy(&s)),
+            "2-way"
+                if two_way.is_none()
+                    && s.exprs.iter().any(
+                        |e| matches!(e, UpdateExpr::Comp { over, .. } if over.len() == 2),
+                    ) =>
+            {
+                two_way = Some(sc.complete_strategy(&s))
+            }
+            _ => {}
+        }
+    }
+
+    let mut group = c.benchmark_group("fig12_q3_strategies");
+    group.sample_size(10);
+    for (label, strategy) in [
+        ("minwork_single_1way", mws),
+        ("two_way", two_way.unwrap()),
+        ("dual_stage", dual.unwrap()),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter_batched(
+                || sc.warehouse.clone(),
+                |mut w| w.execute(&strategy).unwrap(),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig12);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Figure 13 bench (Experiment 2): Q5 under MinWorkSingle vs dual-stage.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use uww_bench::{minwork_single_strategy, q5_with_changes};
+
+fn bench_fig13(c: &mut Criterion) {
+    let sc = q5_with_changes(0.10);
+    let mws = minwork_single_strategy(&sc);
+    let dual = sc.dual_stage_strategy();
+
+    let mut group = c.benchmark_group("fig13_q5_strategies");
+    group.sample_size(10);
+    for (label, strategy) in [("minwork_single", mws), ("dual_stage", dual)] {
+        group.bench_function(label, |b| {
+            b.iter_batched(
+                || sc.warehouse.clone(),
+                |mut w| w.execute(&strategy).unwrap(),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig13);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Figure 14 bench (Experiment 3): the Q3 change-percentage sweep for
+//! MinWorkSingle vs dual-stage at 2%, 6% and 10% deletions.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use uww_bench::{minwork_single_strategy, q3_with_changes};
+
+fn bench_fig14(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig14_change_sweep");
+    group.sample_size(10);
+    for p in [2u32, 6, 10] {
+        let sc = q3_with_changes(p as f64 / 100.0);
+        let mws = minwork_single_strategy(&sc);
+        let dual = sc.dual_stage_strategy();
+        group.bench_with_input(BenchmarkId::new("minwork_single", p), &p, |b, _| {
+            b.iter_batched(
+                || sc.warehouse.clone(),
+                |mut w| w.execute(&mws).unwrap(),
+                BatchSize::LargeInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("dual_stage", p), &p, |b, _| {
+            b.iter_batched(
+                || sc.warehouse.clone(),
+                |mut w| w.execute(&dual).unwrap(),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig14);
+criterion_main!(benches);

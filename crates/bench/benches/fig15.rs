@@ -1,0 +1,34 @@
+//! Figure 15 bench (Experiment 4): MinWork vs RNSCOL vs dual-stage VDAG
+//! strategies on the full Figure 4 TPC-D warehouse.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use uww::core::{min_work, SizeCatalog};
+use uww_bench::figure4_with_changes;
+
+fn bench_fig15(c: &mut Criterion) {
+    let sc = figure4_with_changes(0.10);
+    let sizes = SizeCatalog::estimate(&sc.warehouse).unwrap();
+    let plan = min_work(sc.warehouse.vdag(), &sizes).unwrap();
+    let rnscol = sc.rnscol_strategy().unwrap();
+    let dual = sc.dual_stage_strategy();
+
+    let mut group = c.benchmark_group("fig15_vdag_strategies");
+    group.sample_size(10);
+    for (label, strategy) in [
+        ("minwork", plan.strategy),
+        ("rnscol", rnscol),
+        ("dual_stage", dual),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter_batched(
+                || sc.warehouse.clone(),
+                |mut w| w.execute(&strategy).unwrap(),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig15);
+criterion_main!(benches);

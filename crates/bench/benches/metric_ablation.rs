@@ -1,0 +1,42 @@
+//! Metric ablation bench: evaluating strategies under the paper's linear
+//! work metric vs the flawed "operands once" variant, plus planner runtime
+//! under each.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use uww::core::{min_work, prune, CostMetric, CostModel, SizeCatalog};
+use uww_bench::figure4_with_changes;
+
+fn bench_metric(c: &mut Criterion) {
+    let sc = figure4_with_changes(0.10);
+    let g = sc.warehouse.vdag();
+    let sizes = SizeCatalog::estimate(&sc.warehouse).unwrap();
+    let plan = min_work(g, &sizes).unwrap();
+    let dual = sc.dual_stage_strategy();
+
+    let mut group = c.benchmark_group("metric_ablation");
+    for (label, metric) in [
+        ("linear", CostMetric::Linear),
+        ("operands_once", CostMetric::OperandsOnce),
+    ] {
+        let model = CostModel::with_metric(g, &sizes, metric);
+        group.bench_function(format!("cost_eval_{label}"), |b| {
+            b.iter(|| {
+                black_box(
+                    model.strategy_work(&plan.strategy) + model.strategy_work(&dual),
+                )
+            })
+        });
+    }
+
+    // Planner runtime is dominated by graph work, not metric evaluation,
+    // but Prune costs every candidate: time it under the real metric.
+    let model = CostModel::new(g, &sizes);
+    group.sample_size(10);
+    group.bench_function("prune_with_linear_metric", |b| {
+        b.iter(|| black_box(prune(g, &model).unwrap().cost))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_metric);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Planner scaling: MinWorkSingle is O(n log n), MinWork O(n³), Prune
+//! O(m!·n³). Times the planners on synthetic VDAGs of growing width, and
+//! the exhaustive baseline on a tiny VDAG for contrast.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use uww::core::{best_vdag_strategy, min_work, min_work_single, prune, CostModel, SizeCatalog, SizeInfo};
+use uww::vdag::{Vdag, ViewId};
+
+/// A uniform VDAG: `width` bases feeding `summaries` level-1 views (each
+/// over all bases), sizes shrinking 10%.
+fn uniform_vdag(width: usize, summaries: usize) -> (Vdag, SizeCatalog) {
+    let mut g = Vdag::new();
+    let bases: Vec<ViewId> = (0..width)
+        .map(|i| g.add_base(format!("B{i}")).unwrap())
+        .collect();
+    for s in 0..summaries {
+        g.add_derived(format!("S{s}"), &bases).unwrap();
+    }
+    let mut sizes = SizeCatalog::default();
+    for v in g.view_ids() {
+        let pre = 100.0 * (v.0 + 1) as f64;
+        sizes.set(v, SizeInfo { pre, post: pre * 0.9, delta: pre * 0.1 });
+    }
+    (g, sizes)
+}
+
+fn bench_planners(c: &mut Criterion) {
+    let mut group = c.benchmark_group("planner_scaling");
+
+    for width in [4usize, 6, 8] {
+        let (g, sizes) = uniform_vdag(width, 3);
+        let view = g.id_of("S0").unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("min_work_single", width),
+            &width,
+            |b, _| b.iter(|| black_box(min_work_single(&g, view, &sizes))),
+        );
+        group.bench_with_input(BenchmarkId::new("min_work", width), &width, |b, _| {
+            b.iter(|| black_box(min_work(&g, &sizes).unwrap()))
+        });
+    }
+
+    // Prune's factorial blow-up: m = number of consumed views.
+    for width in [4usize, 5, 6] {
+        let (g, sizes) = uniform_vdag(width, 2);
+        let model = CostModel::new(&g, &sizes);
+        group.bench_with_input(BenchmarkId::new("prune", width), &width, |b, _| {
+            b.iter(|| black_box(prune(&g, &model).unwrap()))
+        });
+    }
+
+    // Exhaustive baseline on a tiny VDAG (3 bases, 1 summary).
+    let (g, sizes) = uniform_vdag(3, 1);
+    let model = CostModel::new(&g, &sizes);
+    group.bench_function("exhaustive_3x1", |b| {
+        b.iter(|| black_box(best_vdag_strategy(&g, &model).unwrap()))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_planners);
+criterion_main!(benches);

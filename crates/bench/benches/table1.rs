@@ -1,0 +1,21 @@
+//! Table 1 bench: strategy-space counting and enumeration.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use uww_vdag::{fubini, ordered_set_partitions, paper_formula_strategies};
+
+fn bench_table1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1");
+    g.bench_function("fubini_recurrence_n6", |b| {
+        b.iter(|| black_box(fubini(black_box(6))))
+    });
+    g.bench_function("paper_formula_n6", |b| {
+        b.iter(|| black_box(paper_formula_strategies(black_box(6))))
+    });
+    g.bench_function("enumerate_partitions_n6", |b| {
+        b.iter(|| black_box(ordered_set_partitions(black_box(6)).len()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

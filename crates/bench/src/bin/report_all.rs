@@ -1,0 +1,41 @@
+//! Runs every report in sequence: the full paper-evaluation regeneration.
+//! Equivalent to running `report_table1`, `report_fig12` ... `report_parallel`
+//! one after another (same process, shared build).
+
+use std::process::Command;
+
+fn main() {
+    let reports = [
+        "report_table1",
+        "report_fig12",
+        "report_fig13",
+        "report_fig14",
+        "report_fig15",
+        "report_parallel",
+        "report_olap",
+        "report_policies",
+        "report_design",
+        "report_scaling",
+    ];
+    // Re-exec the sibling binaries so each report stays runnable standalone.
+    let me = std::env::current_exe().expect("current exe");
+    let dir = me.parent().expect("binary directory");
+    let mut failures = Vec::new();
+    for r in reports {
+        println!("\n──────────────────────────────────────────────────────────");
+        let path = dir.join(r);
+        let status = Command::new(&path)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {}: {e}", path.display()));
+        if !status.success() {
+            failures.push(r);
+        }
+    }
+    println!("\n──────────────────────────────────────────────────────────");
+    if failures.is_empty() {
+        println!("All reports completed.");
+    } else {
+        println!("FAILED reports: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,62 @@
+//! Regenerates **Figure 15** (Experiment 4): VDAG strategies on the full
+//! Figure 4 TPC-D warehouse (Q3 + Q5 + Q10 over six base views), plus the
+//! Section 7 "Discussion" metric ablation: under the flawed
+//! sum-each-operand-once metric the dual-stage strategy would wrongly win.
+
+use uww::core::{min_work, prune, CostMetric, CostModel, SizeCatalog};
+use uww_bench::{bench_scale, figure4_with_changes, measure, print_rows};
+
+fn main() {
+    let sc = figure4_with_changes(0.10);
+    println!(
+        "scale={} (LINEITEM = {} rows)\n",
+        bench_scale(),
+        sc.warehouse.table("LINEITEM").unwrap().len()
+    );
+    let g = sc.warehouse.vdag();
+    let sizes = SizeCatalog::estimate(&sc.warehouse).unwrap();
+    let model = CostModel::new(g, &sizes);
+
+    let plan = min_work(g, &sizes).unwrap();
+    assert!(
+        !plan.used_modified_ordering,
+        "the TPC-D VDAG is uniform; the desired ordering must be usable"
+    );
+    println!("MinWork ordering: {}", plan.ordering.display(g));
+    let pruned = prune(g, &model).unwrap();
+    println!(
+        "Prune: {} orderings examined, {} feasible, agrees with MinWork: {}\n",
+        pruned.orderings_examined,
+        pruned.orderings_feasible,
+        (pruned.cost - model.strategy_work(&plan.strategy)).abs() < 1e-6
+    );
+
+    let rnscol = sc.rnscol_strategy().unwrap();
+    let dual = sc.dual_stage_strategy();
+    let rows = vec![
+        measure(&sc, &model, "MinWork/Prune", "1-way", &plan.strategy),
+        measure(&sc, &model, "RNSCOL", "1-way", &rnscol),
+        measure(&sc, &model, "dual-stage", "dual-stage", &dual),
+    ];
+    print_rows(
+        "Figure 15: VDAG strategies on the TPC-D warehouse",
+        "MinWork 107.9s; RNSCOL 119.6s (+11%); dual-stage 577.53s (5-6x)",
+        rows,
+    );
+
+    // Metric ablation (Section 7 Discussion).
+    let flawed = CostModel::with_metric(g, &sizes, CostMetric::OperandsOnce);
+    let mw_flawed = flawed.strategy_work(&plan.strategy);
+    let dual_flawed = flawed.strategy_work(&dual);
+    println!("Metric ablation (sum-each-operand-once variant):");
+    println!("  MinWork predicted: {mw_flawed:.0}, dual-stage predicted: {dual_flawed:.0}");
+    println!(
+        "  -> the variant ranks dual-stage {} — {}",
+        if dual_flawed < mw_flawed { "BEST" } else { "worse" },
+        if dual_flawed < mw_flawed {
+            "contradicting the measured outcome, exactly the paper's point"
+        } else {
+            "unexpected; the paper predicts the flawed metric favours dual-stage"
+        }
+    );
+}

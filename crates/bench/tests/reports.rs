@@ -1,0 +1,78 @@
+//! The report binaries must run green end-to-end (each asserts its own
+//! reproduction claims internally). Scale is pinned tiny via `UWW_SCALE` so
+//! the whole sweep stays fast.
+
+use std::process::Command;
+
+fn run(bin: &str) -> (bool, String) {
+    let out = Command::new(bin)
+        .env("UWW_SCALE", "0.0004")
+        .output()
+        .unwrap_or_else(|e| panic!("launch {bin}: {e}"));
+    (
+        out.status.success(),
+        format!(
+            "{}{}",
+            String::from_utf8_lossy(&out.stdout),
+            String::from_utf8_lossy(&out.stderr)
+        ),
+    )
+}
+
+#[test]
+fn table1_reproduces_exactly() {
+    let (ok, out) = run(env!("CARGO_BIN_EXE_report_table1"));
+    assert!(ok, "{out}");
+    assert!(out.contains("Table 1 REPRODUCED"), "{out}");
+    assert!(out.contains("4683"));
+}
+
+#[test]
+fn fig12_reports_thirteen_classes() {
+    let (ok, out) = run(env!("CARGO_BIN_EXE_report_fig12"));
+    assert!(ok, "{out}");
+    assert!(out.contains("MinWorkSingle"), "{out}");
+    assert!(out.contains("dual-stage"), "{out}");
+    // 13 strategy rows below the header (the trailing summary line also
+    // mentions groupings; exclude it).
+    let rows = out
+        .lines()
+        .filter(|l| l.contains('{') && l.contains('}') && !l.starts_with("->"))
+        .count();
+    assert_eq!(rows, 13, "{out}");
+}
+
+#[test]
+fn fig13_shows_the_fanin_gap() {
+    let (ok, out) = run(env!("CARGO_BIN_EXE_report_fig13"));
+    assert!(ok, "{out}");
+    assert!(out.contains("worst/best measured ratio"), "{out}");
+}
+
+#[test]
+fn fig14_asserts_the_sweep_ordering() {
+    let (ok, out) = run(env!("CARGO_BIN_EXE_report_fig14"));
+    assert!(ok, "{out}");
+    assert!(out.contains("Figure 14 REPRODUCED"), "{out}");
+}
+
+#[test]
+fn fig15_includes_the_metric_ablation() {
+    let (ok, out) = run(env!("CARGO_BIN_EXE_report_fig15"));
+    assert!(ok, "{out}");
+    assert!(out.contains("RNSCOL"), "{out}");
+    assert!(out.contains("the variant ranks dual-stage BEST"), "{out}");
+}
+
+#[test]
+fn discussion_and_extension_reports_run() {
+    for bin in [
+        env!("CARGO_BIN_EXE_report_olap"),
+        env!("CARGO_BIN_EXE_report_parallel"),
+        env!("CARGO_BIN_EXE_report_policies"),
+        env!("CARGO_BIN_EXE_report_design"),
+    ] {
+        let (ok, out) = run(bin);
+        assert!(ok, "{bin}: {out}");
+    }
+}

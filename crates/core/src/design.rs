@@ -1,0 +1,280 @@
+//! Warehouse design: choosing which summary tables to materialize.
+//!
+//! The paper's Section 8 positions its planners as *complementary* to the
+//! view-selection literature (\[HRU96\], \[Gup97\]): "a design algorithm picks
+//! the set of views to materialize; the algorithms we present are then used
+//! to update the views." This module closes that loop with an HRU-style
+//! greedy selector whose **maintenance cost is computed by actually planning
+//! the update with MinWork** — so the design decision sees the same cost
+//! model the update windows will.
+//!
+//! Benefit model (classic): answering a query from a materialized view
+//! scans `|V|` rows; answering it from the base tables scans the view's
+//! source extents. `benefit(V) = frequency × (Σ|sources| − |V|)`, clamped
+//! at zero.
+
+use crate::engine::Warehouse;
+use crate::error::{CoreError, CoreResult};
+use crate::planner::min_work;
+use crate::sizes::SizeCatalog;
+use std::collections::BTreeMap;
+use uww_relational::{DeltaRelation, Table, ViewDef};
+
+/// A candidate summary table.
+#[derive(Clone, Debug)]
+pub struct Candidate {
+    /// The view definition.
+    pub def: ViewDef,
+    /// Relative query frequency (queries per update window).
+    pub query_frequency: f64,
+}
+
+/// The selected design.
+#[derive(Clone, Debug)]
+pub struct DesignOutcome {
+    /// Names of the selected views, in selection order.
+    pub selected: Vec<String>,
+    /// Predicted per-window maintenance work of the final design.
+    pub maintenance_work: f64,
+    /// Total per-window query benefit of the final design.
+    pub query_benefit: f64,
+    /// Per-step log: `(view, benefit gained, maintenance work after)`.
+    pub steps: Vec<(String, f64, f64)>,
+}
+
+/// A function producing the representative change batch for a given
+/// warehouse state (e.g. the paper's 10% deletions).
+pub type BatchGenerator<'a> = dyn Fn(&Warehouse) -> BTreeMap<String, DeltaRelation> + 'a;
+
+/// Greedy view selection under a maintenance-work budget.
+///
+/// Starting from no summary tables, repeatedly materializes the candidate
+/// with the highest `benefit / Δmaintenance` ratio whose addition keeps the
+/// MinWork-planned window within `maintenance_budget`. Stops when no
+/// candidate fits or none has positive benefit.
+pub fn greedy_select(
+    base_tables: &[Table],
+    candidates: &[Candidate],
+    maintenance_budget: f64,
+    batch_gen: &BatchGenerator<'_>,
+) -> CoreResult<DesignOutcome> {
+    let mut selected: Vec<ViewDef> = Vec::new();
+    let mut selected_names: Vec<String> = Vec::new();
+    let mut steps = Vec::new();
+
+    let mut current_cost = maintenance_cost(base_tables, &selected, batch_gen)?;
+    let mut total_benefit = 0.0;
+
+    loop {
+        let mut best: Option<(usize, f64, f64, f64)> = None; // (idx, benefit, new_cost, ratio)
+        for (i, cand) in candidates.iter().enumerate() {
+            if selected_names.contains(&cand.def.name) {
+                continue;
+            }
+            let benefit = candidate_benefit(base_tables, &selected, cand)?;
+            if benefit <= 0.0 {
+                continue;
+            }
+            let mut trial = selected.clone();
+            trial.push(cand.def.clone());
+            let new_cost = maintenance_cost(base_tables, &trial, batch_gen)?;
+            if new_cost > maintenance_budget {
+                continue;
+            }
+            let delta_cost = (new_cost - current_cost).max(1e-9);
+            let ratio = benefit / delta_cost;
+            if best.is_none_or(|(_, _, _, r)| ratio > r) {
+                best = Some((i, benefit, new_cost, ratio));
+            }
+        }
+        let Some((idx, benefit, new_cost, _)) = best else {
+            break;
+        };
+        let name = candidates[idx].def.name.clone();
+        selected.push(candidates[idx].def.clone());
+        selected_names.push(name.clone());
+        total_benefit += benefit;
+        current_cost = new_cost;
+        steps.push((name, benefit, new_cost));
+    }
+
+    Ok(DesignOutcome {
+        selected: selected_names,
+        maintenance_work: current_cost,
+        query_benefit: total_benefit,
+        steps,
+    })
+}
+
+/// Per-window maintenance work of a design: build the warehouse, load the
+/// representative batch, plan with MinWork, and cost the plan.
+fn maintenance_cost(
+    base_tables: &[Table],
+    views: &[ViewDef],
+    batch_gen: &BatchGenerator<'_>,
+) -> CoreResult<f64> {
+    let mut w = build(base_tables, views)?;
+    let changes = batch_gen(&w);
+    w.load_changes(changes)?;
+    let sizes = SizeCatalog::estimate(&w)?;
+    if views.is_empty() {
+        // No summary tables: only the base installs happen.
+        let g = w.vdag();
+        return Ok(g
+            .view_ids()
+            .map(|v| sizes.delta(v))
+            .sum());
+    }
+    let plan = min_work(w.vdag(), &sizes)?;
+    let model = crate::cost::CostModel::new(w.vdag(), &sizes);
+    Ok(model.strategy_work(&plan.strategy))
+}
+
+/// `frequency × max(0, Σ|sources| − |V|)` against the current design.
+fn candidate_benefit(
+    base_tables: &[Table],
+    views: &[ViewDef],
+    cand: &Candidate,
+) -> CoreResult<f64> {
+    let mut trial = views.to_vec();
+    trial.push(cand.def.clone());
+    let w = build(base_tables, &trial)?;
+    let from_scratch: f64 = cand
+        .def
+        .source_views()
+        .iter()
+        .map(|s| {
+            w.table(s)
+                .map(|t| t.len() as f64)
+                .unwrap_or(0.0)
+        })
+        .sum();
+    let materialized = w
+        .table(&cand.def.name)
+        .map(|t| t.len() as f64)
+        .map_err(|e| CoreError::Warehouse(format!("candidate failed to build: {e}")))?;
+    Ok(cand.query_frequency * (from_scratch - materialized).max(0.0))
+}
+
+fn build(base_tables: &[Table], views: &[ViewDef]) -> CoreResult<Warehouse> {
+    let mut b = Warehouse::builder();
+    for t in base_tables {
+        b = b.base_table(t.clone());
+    }
+    for v in views {
+        b = b.view(v.clone());
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uww_relational::{
+        tup, AggFunc, AggregateColumn, OutputColumn, Predicate, ScalarExpr, Schema, Value,
+        ValueType, ViewOutput, ViewSource,
+    };
+
+    fn base() -> Vec<Table> {
+        let mut r = Table::new(
+            "R",
+            Schema::of(&[("k", ValueType::Int), ("g", ValueType::Int)]),
+        );
+        for i in 0..1000 {
+            r.insert(tup![Value::Int(i), Value::Int(i % 10)]).unwrap();
+        }
+        vec![r]
+    }
+
+    fn agg_candidate(name: &str, freq: f64) -> Candidate {
+        Candidate {
+            def: ViewDef {
+                name: name.into(),
+                sources: vec![ViewSource::named("R")],
+                joins: vec![],
+                filters: vec![],
+                output: ViewOutput::Aggregate {
+                    group_by: vec![OutputColumn::col("g", "R.g")],
+                    aggregates: vec![AggregateColumn {
+                        name: "n".into(),
+                        func: AggFunc::Count,
+                        input: ScalarExpr::col("R.k"),
+                    }],
+                },
+            },
+            query_frequency: freq,
+        }
+    }
+
+    fn wide_candidate(freq: f64) -> Candidate {
+        // A barely-reducing projection: low benefit, high maintenance.
+        Candidate {
+            def: ViewDef {
+                name: "WIDE".into(),
+                sources: vec![ViewSource::named("R")],
+                joins: vec![],
+                filters: vec![Predicate::col_ge("R.k", Value::Int(1))],
+                output: ViewOutput::Project(vec![
+                    OutputColumn::col("k", "R.k"),
+                    OutputColumn::col("g", "R.g"),
+                ]),
+            },
+            query_frequency: freq,
+        }
+    }
+
+    fn deletion_batch(w: &Warehouse) -> BTreeMap<String, DeltaRelation> {
+        let t = w.table("R").unwrap();
+        let mut d = DeltaRelation::new(t.schema().clone());
+        for (i, (row, m)) in t.sorted_rows().into_iter().enumerate() {
+            if i % 10 == 0 {
+                d.add(row, -(m as i64));
+            }
+        }
+        let mut out = BTreeMap::new();
+        out.insert("R".to_string(), d);
+        out
+    }
+
+    #[test]
+    fn selects_high_benefit_views_within_budget() {
+        let candidates = vec![agg_candidate("SUMMARY", 10.0), wide_candidate(0.1)];
+        let out = greedy_select(&base(), &candidates, 1e7, &deletion_batch).unwrap();
+        // The tight aggregate (1000 -> 10 rows, frequency 10) is picked first.
+        assert_eq!(out.selected[0], "SUMMARY");
+        assert!(out.query_benefit > 0.0);
+        assert!(out.maintenance_work > 0.0);
+        assert_eq!(out.steps.len(), out.selected.len());
+    }
+
+    #[test]
+    fn tight_budget_selects_nothing_or_cheapest() {
+        let candidates = vec![agg_candidate("SUMMARY", 10.0)];
+        // A budget below even the base installs: nothing fits.
+        let out = greedy_select(&base(), &candidates, 0.0, &deletion_batch).unwrap();
+        assert!(out.selected.is_empty());
+        assert_eq!(out.query_benefit, 0.0);
+    }
+
+    #[test]
+    fn budget_monotonicity() {
+        let candidates = vec![
+            agg_candidate("S1", 5.0),
+            agg_candidate("S2", 4.0),
+            wide_candidate(2.0),
+        ];
+        let small = greedy_select(&base(), &candidates, 3000.0, &deletion_batch).unwrap();
+        let large = greedy_select(&base(), &candidates, 1e9, &deletion_batch).unwrap();
+        assert!(small.selected.len() <= large.selected.len());
+        assert!(small.query_benefit <= large.query_benefit + 1e-9);
+        // With an unbounded budget every positive-benefit candidate is in.
+        assert_eq!(large.selected.len(), 3);
+    }
+
+    #[test]
+    fn zero_frequency_views_never_selected() {
+        let candidates = vec![agg_candidate("S1", 0.0)];
+        let out = greedy_select(&base(), &candidates, 1e9, &deletion_batch).unwrap();
+        assert!(out.selected.is_empty());
+    }
+}

@@ -1,0 +1,465 @@
+//! Strategy execution.
+
+use crate::engine::eval;
+use crate::engine::warehouse::{scan_operand, PendingDelta, Warehouse};
+use crate::error::{CoreError, CoreResult};
+use std::collections::BTreeSet;
+use std::time::{Duration, Instant};
+use uww_relational::ops;
+use uww_relational::{ViewOutput, WorkMeter};
+use uww_vdag::{check_vdag_strategy, Strategy, UpdateExpr, ViewId};
+
+/// Execution options.
+#[derive(Clone, Copy, Debug)]
+pub struct ExecOptions {
+    /// Check conditions C1–C8 before executing (default: on).
+    pub validate: bool,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions { validate: true }
+    }
+}
+
+/// Measurements for one executed expression.
+#[derive(Clone, Debug)]
+pub struct ExprReport {
+    /// The expression.
+    pub expr: UpdateExpr,
+    /// Work done by this expression alone.
+    pub work: WorkMeter,
+    /// Wall-clock time spent.
+    pub wall: Duration,
+}
+
+/// Measurements for a whole strategy execution: the update window.
+#[derive(Clone, Debug, Default)]
+pub struct ExecutionReport {
+    /// Per-expression breakdown, in execution order.
+    pub per_expr: Vec<ExprReport>,
+}
+
+impl ExecutionReport {
+    /// Total work across all expressions.
+    pub fn total_work(&self) -> WorkMeter {
+        let mut total = WorkMeter::new();
+        for e in &self.per_expr {
+            total.operand_rows_scanned += e.work.operand_rows_scanned;
+            total.rows_installed += e.work.rows_installed;
+            total.rows_emitted += e.work.rows_emitted;
+            total.terms_evaluated += e.work.terms_evaluated;
+            total.comp_expressions += e.work.comp_expressions;
+            total.inst_expressions += e.work.inst_expressions;
+        }
+        total
+    }
+
+    /// Total wall-clock time: the measured update window.
+    pub fn wall(&self) -> Duration {
+        self.per_expr.iter().map(|e| e.wall).sum()
+    }
+
+    /// The paper's measured linear work (scanned + installed rows).
+    pub fn linear_work(&self) -> u64 {
+        self.total_work().linear_work()
+    }
+}
+
+impl Warehouse {
+    /// Executes a VDAG strategy with default options.
+    pub fn execute(&mut self, strategy: &Strategy) -> CoreResult<ExecutionReport> {
+        self.execute_with(strategy, ExecOptions::default())
+    }
+
+    /// Executes a VDAG strategy.
+    pub fn execute_with(
+        &mut self,
+        strategy: &Strategy,
+        opts: ExecOptions,
+    ) -> CoreResult<ExecutionReport> {
+        if opts.validate {
+            check_vdag_strategy(self.vdag(), strategy)?;
+        }
+        let mut report = ExecutionReport::default();
+        for expr in &strategy.exprs {
+            let start_meter = *self.meter();
+            let t0 = Instant::now();
+            match expr {
+                UpdateExpr::Comp { view, over } => self.exec_comp(*view, over)?,
+                UpdateExpr::Inst(view) => self.exec_inst(*view)?,
+            }
+            report.per_expr.push(ExprReport {
+                expr: expr.clone(),
+                work: self.meter().since(&start_meter),
+                wall: t0.elapsed(),
+            });
+        }
+        Ok(report)
+    }
+
+    /// Executes `Comp(view, over)`: computes the fragment against the
+    /// current state and folds it into the view's pending delta.
+    fn exec_comp(&mut self, view: ViewId, over: &BTreeSet<ViewId>) -> CoreResult<()> {
+        let (name, fragment, meter) = comp_fragment(self, view, over)?;
+        self.merge_fragment(&name, fragment)?;
+        let total = self.meter_mut();
+        total.comp_expressions += 1;
+        total.operand_rows_scanned += meter.operand_rows_scanned;
+        total.rows_emitted += meter.rows_emitted;
+        total.terms_evaluated += meter.terms_evaluated;
+        Ok(())
+    }
+
+    /// Folds a computed fragment into `view`'s pending accumulator.
+    pub(crate) fn merge_fragment(
+        &mut self,
+        view: &str,
+        fragment: PendingDelta,
+    ) -> CoreResult<()> {
+        if !self.pending_map().contains_key(view) {
+            let empty = self.empty_pending_for(view)?;
+            self.pending_map_mut().insert(view.to_string(), empty);
+        }
+        match (self.pending_map_mut().get_mut(view), fragment) {
+            (Some(PendingDelta::Rows(acc)), PendingDelta::Rows(d)) => acc.merge(&d),
+            (Some(PendingDelta::Summary(acc)), PendingDelta::Summary(s)) => acc.merge(&s),
+            _ => {
+                return Err(CoreError::Warehouse(format!(
+                    "fragment shape mismatch for {view}"
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    /// Executes `Inst(view)`: installs the pending delta (a no-op when no
+    /// delta is pending, e.g. an unchanged base view).
+    pub(crate) fn exec_inst(&mut self, view: ViewId) -> CoreResult<()> {
+        let name = self.vdag().name(view).to_string();
+        self.meter_mut().inst_expressions += 1;
+        let Some(pending) = self.pending_map_mut().remove(&name) else {
+            return Ok(());
+        };
+        let delta = match pending {
+            PendingDelta::Rows(d) => d,
+            PendingDelta::Summary(s) => {
+                s.to_delta(self.table(&name)?).map_err(CoreError::Rel)?
+            }
+        };
+        let len = delta.len();
+        self.state_mut()
+            .get_mut(&name)?
+            .install(&delta)
+            .map_err(CoreError::Rel)?;
+        self.meter_mut().install(len);
+        Ok(())
+    }
+}
+
+/// Computes the delta fragment a `Comp(view, over)` expression contributes,
+/// **without mutating the warehouse**: all `2^|over| − 1` maintenance terms
+/// evaluated against the current state and pending deltas, accumulated into
+/// a fresh [`PendingDelta`]. Terms whose delta subset includes a view with
+/// an empty pending delta are skipped (footnote 5 of the paper), costing
+/// nothing — for *every* strategy alike.
+///
+/// Pure over `&Warehouse`, so independent `Comp` expressions of one parallel
+/// stage can run on separate threads (Section 9).
+pub(crate) fn comp_fragment(
+    w: &Warehouse,
+    view: ViewId,
+    over: &BTreeSet<ViewId>,
+) -> CoreResult<(String, PendingDelta, WorkMeter)> {
+    let name = w.vdag().name(view).to_string();
+    let def = w
+        .def(&name)
+        .ok_or_else(|| CoreError::Warehouse(format!("no definition for {name}")))?
+        .clone();
+    let over_names: BTreeSet<String> = over
+        .iter()
+        .map(|v| w.vdag().name(*v).to_string())
+        .collect();
+
+    let mut fragment = w.empty_pending_for(&name)?;
+    let mut total = WorkMeter::new();
+    for subset in eval::nonempty_subsets(&over_names) {
+        let all_nonempty = subset
+            .iter()
+            .all(|v| w.pending(v).is_some_and(|d| !d.is_empty()));
+        if !all_nonempty {
+            continue;
+        }
+        let mut scan_meter = WorkMeter::new();
+        let mut meter = WorkMeter::new();
+        let (schema, rows) = {
+            let state = w.state();
+            let pending = w.pending_map();
+            eval::eval_term(
+                &def,
+                |v| state.get(v).map(|t| t.schema().clone()),
+                |v| scan_operand(state, pending, v, subset.contains(v), &mut scan_meter),
+                &mut meter,
+            )
+            .map_err(CoreError::Rel)?
+        };
+        match (&def.output, &mut fragment) {
+            (ViewOutput::Project(_), PendingDelta::Rows(acc)) => {
+                let out = eval::project_output(&def, &schema, &rows, &mut meter)
+                    .map_err(CoreError::Rel)?;
+                for (t, m) in ops::consolidate(out) {
+                    acc.add(t, m);
+                }
+            }
+            (ViewOutput::Aggregate { .. }, PendingDelta::Summary(acc)) => {
+                let groups =
+                    eval::group_output(&def, &schema, &rows).map_err(CoreError::Rel)?;
+                acc.merge_groups(groups);
+            }
+            _ => unreachable!("empty_pending_for matches the output shape"),
+        }
+        total.operand_rows_scanned += scan_meter.operand_rows_scanned;
+        total.rows_emitted += meter.rows_emitted;
+        total.terms_evaluated += meter.terms_evaluated;
+    }
+    Ok((name, fragment, total))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::warehouse::Warehouse;
+    use std::collections::BTreeMap;
+    use uww_relational::{
+        tup, AggFunc, AggregateColumn, DeltaRelation, EquiJoin, OutputColumn, ScalarExpr, Schema,
+        Table, Value, ValueType, ViewDef, ViewSource,
+    };
+
+    fn base_r() -> Table {
+        let mut t = Table::new(
+            "R",
+            Schema::of(&[("rk", ValueType::Int), ("rv", ValueType::Decimal)]),
+        );
+        for i in 0..6 {
+            t.insert(tup![Value::Int(i), Value::Decimal(100 * (i + 1))]).unwrap();
+        }
+        t
+    }
+
+    fn base_s() -> Table {
+        let mut t = Table::new(
+            "S",
+            Schema::of(&[("sk", ValueType::Int), ("grp", ValueType::Int)]),
+        );
+        for i in 0..6 {
+            t.insert(tup![Value::Int(i), Value::Int(i % 2)]).unwrap();
+        }
+        t
+    }
+
+    fn agg_def() -> ViewDef {
+        ViewDef {
+            name: "V".into(),
+            sources: vec![ViewSource::named("R"), ViewSource::named("S")],
+            joins: vec![EquiJoin::new("R.rk", "S.sk")],
+            filters: vec![],
+            output: ViewOutput::Aggregate {
+                group_by: vec![OutputColumn::col("grp", "S.grp")],
+                aggregates: vec![AggregateColumn {
+                    name: "total".into(),
+                    func: AggFunc::Sum,
+                    input: ScalarExpr::col("R.rv"),
+                }],
+            },
+        }
+    }
+
+    fn warehouse_with_changes() -> Warehouse {
+        let mut w = Warehouse::builder()
+            .base_table(base_r())
+            .base_table(base_s())
+            .view(agg_def())
+            .build()
+            .unwrap();
+        // Delete R row 0 (group 0) and S row 1 (group 1, joins R row 1).
+        let mut dr = DeltaRelation::new(w.table("R").unwrap().schema().clone());
+        dr.add(tup![Value::Int(0), Value::Decimal(100)], -1);
+        let mut ds = DeltaRelation::new(w.table("S").unwrap().schema().clone());
+        ds.add(tup![Value::Int(1), Value::Int(1)], -1);
+        let mut m = BTreeMap::new();
+        m.insert("R".to_string(), dr);
+        m.insert("S".to_string(), ds);
+        w.load_changes(m).unwrap();
+        w
+    }
+
+    fn strategy_1way_rs(w: &Warehouse) -> Strategy {
+        let v = w.view_id("V").unwrap();
+        let r = w.view_id("R").unwrap();
+        let s = w.view_id("S").unwrap();
+        Strategy::from_exprs(vec![
+            UpdateExpr::comp1(v, r),
+            UpdateExpr::inst(r),
+            UpdateExpr::comp1(v, s),
+            UpdateExpr::inst(s),
+            UpdateExpr::inst(v),
+        ])
+    }
+
+    fn strategy_dual_stage(w: &Warehouse) -> Strategy {
+        uww_vdag::dual_stage_strategy(w.vdag())
+    }
+
+    #[test]
+    fn one_way_strategy_reaches_expected_state() {
+        let mut w = warehouse_with_changes();
+        let expected = w.expected_final_state().unwrap();
+        let strategy = strategy_1way_rs(&w);
+        let report = w.execute(&strategy).unwrap();
+        assert!(w.diff_state(&expected).is_empty(), "state mismatch");
+        assert!(report.linear_work() > 0);
+        assert_eq!(report.per_expr.len(), 5);
+    }
+
+    #[test]
+    fn dual_stage_strategy_reaches_same_state() {
+        let mut w1 = warehouse_with_changes();
+        let mut w2 = warehouse_with_changes();
+        let expected = w1.expected_final_state().unwrap();
+        w1.execute(&strategy_1way_rs(&w1)).unwrap();
+        w2.execute(&strategy_dual_stage(&w2)).unwrap();
+        assert!(w1.diff_state(&expected).is_empty());
+        assert!(w2.diff_state(&expected).is_empty());
+        assert!(w1
+            .table("V")
+            .unwrap()
+            .same_contents(w2.table("V").unwrap()));
+    }
+
+    #[test]
+    fn reverse_one_way_order_also_correct() {
+        let mut w = warehouse_with_changes();
+        let expected = w.expected_final_state().unwrap();
+        let v = w.view_id("V").unwrap();
+        let r = w.view_id("R").unwrap();
+        let s = w.view_id("S").unwrap();
+        let strategy = Strategy::from_exprs(vec![
+            UpdateExpr::comp1(v, s),
+            UpdateExpr::inst(s),
+            UpdateExpr::comp1(v, r),
+            UpdateExpr::inst(r),
+            UpdateExpr::inst(v),
+        ]);
+        w.execute(&strategy).unwrap();
+        assert!(w.diff_state(&expected).is_empty());
+    }
+
+    #[test]
+    fn incorrect_strategy_rejected_by_validation() {
+        let mut w = warehouse_with_changes();
+        let v = w.view_id("V").unwrap();
+        let r = w.view_id("R").unwrap();
+        let s = w.view_id("S").unwrap();
+        // Installs R before propagating it.
+        let bad = Strategy::from_exprs(vec![
+            UpdateExpr::inst(r),
+            UpdateExpr::comp1(v, r),
+            UpdateExpr::comp1(v, s),
+            UpdateExpr::inst(s),
+            UpdateExpr::inst(v),
+        ]);
+        assert!(w.execute(&bad).is_err());
+        // Without validation the engine executes it and produces the WRONG
+        // state — the reason the correctness conditions exist.
+        let mut w2 = warehouse_with_changes();
+        let expected = w2.expected_final_state().unwrap();
+        w2.execute_with(&bad, ExecOptions { validate: false }).unwrap();
+        assert!(!w2.diff_state(&expected).is_empty());
+    }
+
+    #[test]
+    fn empty_delta_comp_is_free() {
+        let mut w = Warehouse::builder()
+            .base_table(base_r())
+            .base_table(base_s())
+            .view(agg_def())
+            .build()
+            .unwrap();
+        // No changes loaded at all.
+        let strategy = strategy_1way_rs(&w);
+        let report = w.execute(&strategy).unwrap();
+        assert_eq!(report.total_work().operand_rows_scanned, 0);
+        assert_eq!(report.total_work().rows_installed, 0);
+    }
+
+    #[test]
+    fn dual_stage_scans_more_than_one_way() {
+        // The core effect of the paper: with shrinking views, the dual-stage
+        // strategy's multi-delta terms scan more operand rows.
+        let mut w1 = warehouse_with_changes();
+        let mut w2 = warehouse_with_changes();
+        let r1 = w1.execute(&strategy_1way_rs(&w1)).unwrap();
+        let r2 = w2.execute(&strategy_dual_stage(&w2)).unwrap();
+        assert!(
+            r2.total_work().operand_rows_scanned > r1.total_work().operand_rows_scanned,
+            "dual-stage {} <= one-way {}",
+            r2.total_work().operand_rows_scanned,
+            r1.total_work().operand_rows_scanned
+        );
+    }
+
+    #[test]
+    fn foreign_and_malformed_expressions_rejected() {
+        let mut w = warehouse_with_changes();
+        let v = w.view_id("V").unwrap();
+        let r = w.view_id("R").unwrap();
+        // Comp on a base view.
+        let bad = Strategy::from_exprs(vec![UpdateExpr::comp1(r, v)]);
+        assert!(w.execute(&bad).is_err());
+        // Expression over an out-of-range view id.
+        let bad = Strategy::from_exprs(vec![UpdateExpr::inst(ViewId(99))]);
+        assert!(w.execute(&bad).is_err());
+        // Duplicate expression (C6).
+        let s = w.view_id("S").unwrap();
+        let bad = Strategy::from_exprs(vec![
+            UpdateExpr::comp1(v, r),
+            UpdateExpr::comp1(v, r),
+            UpdateExpr::inst(r),
+            UpdateExpr::comp1(v, s),
+            UpdateExpr::inst(s),
+            UpdateExpr::inst(v),
+        ]);
+        assert!(w.execute(&bad).is_err());
+        // Nothing was applied by the failed attempts.
+        assert_eq!(w.meter().rows_installed, 0);
+    }
+
+    #[test]
+    fn second_execution_is_a_noop() {
+        let mut w = warehouse_with_changes();
+        let strategy = strategy_1way_rs(&w);
+        let first = w.execute(&strategy).unwrap();
+        assert!(first.linear_work() > 0);
+        let snapshot = w.table("V").unwrap().clone();
+        // Pendings were consumed; running again changes nothing and costs
+        // nothing.
+        let second = w.execute(&strategy).unwrap();
+        assert_eq!(second.linear_work(), 0);
+        assert!(w.table("V").unwrap().same_contents(&snapshot));
+    }
+
+    #[test]
+    fn report_aggregates_match_sum_of_parts() {
+        let mut w = warehouse_with_changes();
+        let report = w.execute(&strategy_1way_rs(&w)).unwrap();
+        let total = report.total_work();
+        let sum_scanned: u64 = report
+            .per_expr
+            .iter()
+            .map(|e| e.work.operand_rows_scanned)
+            .sum();
+        assert_eq!(total.operand_rows_scanned, sum_scanned);
+        assert_eq!(total.comp_expressions, 2);
+        assert_eq!(total.inst_expressions, 3);
+    }
+}

@@ -1,0 +1,71 @@
+//! Error type for the planner and update engine.
+
+use std::fmt;
+use uww_relational::RelError;
+use uww_vdag::VdagError;
+
+/// Errors raised by warehouse construction, strategy execution, and planning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// An error from the relational substrate.
+    Rel(RelError),
+    /// An error from the VDAG model (including strategy-correctness
+    /// violations).
+    Vdag(VdagError),
+    /// Warehouse-level misconfiguration.
+    Warehouse(String),
+    /// A planner precondition failed.
+    Planner(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Rel(e) => write!(f, "relational: {e}"),
+            CoreError::Vdag(e) => write!(f, "vdag: {e}"),
+            CoreError::Warehouse(d) => write!(f, "warehouse: {d}"),
+            CoreError::Planner(d) => write!(f, "planner: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Rel(e) => Some(e),
+            CoreError::Vdag(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RelError> for CoreError {
+    fn from(e: RelError) -> Self {
+        CoreError::Rel(e)
+    }
+}
+
+impl From<VdagError> for CoreError {
+    fn from(e: VdagError) -> Self {
+        CoreError::Vdag(e)
+    }
+}
+
+/// Convenience alias.
+pub type CoreResult<T> = Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: CoreError = RelError::UnknownColumn("x".into()).into();
+        assert!(e.to_string().contains("relational"));
+        let e: CoreError = VdagError::UnknownView("v".into()).into();
+        assert!(e.to_string().contains("vdag"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = CoreError::Warehouse("bad".into());
+        assert!(std::error::Error::source(&e).is_none());
+    }
+}

@@ -1,0 +1,492 @@
+//! Exhaustive enumeration of correct VDAG strategies.
+//!
+//! This is the validation baseline for the planners: on small VDAGs it
+//! enumerates *every* correct strategy (not only 1-way ones) and finds the
+//! true optimum under the cost model. The space explodes quickly — the
+//! per-view `Comp` groupings multiply Bell numbers and interleavings multiply
+//! factorially — so callers guard with [`MAX_EXPRESSIONS`].
+
+use crate::cost::CostModel;
+use crate::error::{CoreError, CoreResult};
+use std::collections::BTreeSet;
+use uww_vdag::{Strategy, UpdateExpr, Vdag, ViewId};
+
+/// Upper bound on expressions per candidate strategy.
+pub const MAX_EXPRESSIONS: usize = 14;
+
+/// All *unordered* set partitions of `items` (Bell-number many).
+fn set_partitions<T: Clone>(items: &[T]) -> Vec<Vec<Vec<T>>> {
+    if items.is_empty() {
+        return vec![vec![]];
+    }
+    let first = items[0].clone();
+    let rest = set_partitions(&items[1..]);
+    let mut out = Vec::new();
+    for p in rest {
+        // First joins each existing block...
+        for b in 0..p.len() {
+            let mut q = p.clone();
+            q[b].insert(0, first.clone());
+            out.push(q);
+        }
+        // ...or forms its own block.
+        let mut q = p.clone();
+        q.insert(0, vec![first.clone()]);
+        out.push(q);
+    }
+    out
+}
+
+/// Enumerates every correct VDAG strategy of `g`.
+///
+/// For each derived view, chooses an unordered partition of its sources into
+/// `Comp` groups; then enumerates all interleavings of the resulting
+/// expression set that satisfy C1–C8, by incremental feasibility-checked
+/// backtracking.
+pub fn all_vdag_strategies(g: &Vdag) -> CoreResult<Vec<Strategy>> {
+    let derived = g.derived_views();
+    // Guard *before* computing partitions: Bell numbers explode, and even
+    // listing the partitions of a wide view exhausts memory.
+    let min_exprs = g.len() + derived.len();
+    if min_exprs > MAX_EXPRESSIONS {
+        return Err(CoreError::Planner(format!(
+            "exhaustive enumeration over at least {min_exprs} expressions is infeasible"
+        )));
+    }
+    if let Some(v) = derived.iter().find(|v| g.sources(**v).len() > 6) {
+        return Err(CoreError::Planner(format!(
+            "exhaustive enumeration infeasible: {} has {} sources",
+            g.name(*v),
+            g.sources(*v).len()
+        )));
+    }
+    // Per-view partition choices.
+    let per_view: Vec<Vec<Vec<Vec<ViewId>>>> = derived
+        .iter()
+        .map(|v| set_partitions(g.sources(*v)))
+        .collect();
+
+    let mut out = Vec::new();
+    let mut choice = vec![0usize; derived.len()];
+    loop {
+        // Build the expression multiset for this combination of partitions.
+        let mut exprs: Vec<UpdateExpr> = Vec::new();
+        for (i, v) in derived.iter().enumerate() {
+            for block in &per_view[i][choice[i]] {
+                exprs.push(UpdateExpr::comp(*v, block.iter().copied()));
+            }
+        }
+        for v in g.view_ids() {
+            exprs.push(UpdateExpr::inst(v));
+        }
+        if exprs.len() > MAX_EXPRESSIONS {
+            return Err(CoreError::Planner(format!(
+                "exhaustive enumeration over {} expressions is infeasible",
+                exprs.len()
+            )));
+        }
+        interleavings(g, &exprs, &mut out);
+
+        // Next combination.
+        let mut i = 0;
+        loop {
+            if i == derived.len() {
+                return Ok(out);
+            }
+            choice[i] += 1;
+            if choice[i] < per_view[i].len() {
+                break;
+            }
+            choice[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+/// Backtracking enumeration of all correct linearizations of `exprs`.
+fn interleavings(g: &Vdag, exprs: &[UpdateExpr], out: &mut Vec<Strategy>) {
+    let mut used = vec![false; exprs.len()];
+    let mut seq: Vec<usize> = Vec::with_capacity(exprs.len());
+    let mut installed: BTreeSet<ViewId> = BTreeSet::new();
+    let mut comps_done: Vec<usize> = vec![0; g.len()]; // per view, comps placed
+    let comps_total: Vec<usize> = {
+        let mut t = vec![0usize; g.len()];
+        for e in exprs {
+            if let UpdateExpr::Comp { view, .. } = e {
+                t[view.0] += 1;
+            }
+        }
+        t
+    };
+    // Per view: sources propagated by already-placed comps (for C4).
+    let mut propagated: Vec<BTreeSet<ViewId>> = vec![BTreeSet::new(); g.len()];
+
+    backtrack(
+        g,
+        exprs,
+        &mut used,
+        &mut seq,
+        &mut installed,
+        &mut comps_done,
+        &comps_total,
+        &mut propagated,
+        out,
+    );
+}
+
+#[allow(clippy::too_many_arguments)]
+fn backtrack(
+    g: &Vdag,
+    exprs: &[UpdateExpr],
+    used: &mut [bool],
+    seq: &mut Vec<usize>,
+    installed: &mut BTreeSet<ViewId>,
+    comps_done: &mut [usize],
+    comps_total: &[usize],
+    propagated: &mut [BTreeSet<ViewId>],
+    out: &mut Vec<Strategy>,
+) {
+    if seq.len() == exprs.len() {
+        out.push(Strategy::from_exprs(
+            seq.iter().map(|&i| exprs[i].clone()).collect(),
+        ));
+        return;
+    }
+    for i in 0..exprs.len() {
+        if used[i] {
+            continue;
+        }
+        if !placeable(g, exprs, &exprs[i], installed, comps_done, comps_total, propagated) {
+            continue;
+        }
+        used[i] = true;
+        seq.push(i);
+        let undo = apply(&exprs[i], installed, comps_done, propagated);
+        backtrack(
+            g, exprs, used, seq, installed, comps_done, comps_total, propagated, out,
+        );
+        revert(&exprs[i], installed, comps_done, propagated, undo);
+        seq.pop();
+        used[i] = false;
+    }
+}
+
+fn placeable(
+    g: &Vdag,
+    exprs: &[UpdateExpr],
+    e: &UpdateExpr,
+    installed: &BTreeSet<ViewId>,
+    comps_done: &[usize],
+    comps_total: &[usize],
+    propagated: &[BTreeSet<ViewId>],
+) -> bool {
+    match e {
+        UpdateExpr::Inst(v) => {
+            // C3: every Comp propagating Δv must already be placed. The
+            // number of such comps equals the number of consumers of v whose
+            // chosen partition includes v — equivalently, count pending comp
+            // exprs that contain v.
+            let pending_users = exprs.iter().any(|other| match other {
+                UpdateExpr::Comp { view, over } => {
+                    over.contains(v) && !propagated[view.0].contains(v)
+                }
+                _ => false,
+            });
+            if pending_users {
+                return false;
+            }
+            // C5: a derived view installs only after all its comps.
+            if !g.is_base(*v) && comps_done[v.0] < comps_total[v.0] {
+                return false;
+            }
+            true
+        }
+        UpdateExpr::Comp { view, over } => {
+            // C4: everything this view already propagated must be installed.
+            if propagated[view.0].iter().any(|p| !installed.contains(p)) {
+                return false;
+            }
+            // C8: Δ of a derived source must be fully computed first.
+            for s in over {
+                if !g.is_base(*s) && comps_done[s.0] < comps_total[s.0] {
+                    return false;
+                }
+                // C3 (mirror): Δs must not be installed yet.
+                if installed.contains(s) {
+                    return false;
+                }
+            }
+            true
+        }
+    }
+}
+
+fn apply(
+    e: &UpdateExpr,
+    installed: &mut BTreeSet<ViewId>,
+    comps_done: &mut [usize],
+    propagated: &mut [BTreeSet<ViewId>],
+) -> Vec<ViewId> {
+    match e {
+        UpdateExpr::Inst(v) => {
+            installed.insert(*v);
+            Vec::new()
+        }
+        UpdateExpr::Comp { view, over } => {
+            comps_done[view.0] += 1;
+            let mut added = Vec::new();
+            for s in over {
+                if propagated[view.0].insert(*s) {
+                    added.push(*s);
+                }
+            }
+            added
+        }
+    }
+}
+
+fn revert(
+    e: &UpdateExpr,
+    installed: &mut BTreeSet<ViewId>,
+    comps_done: &mut [usize],
+    propagated: &mut [BTreeSet<ViewId>],
+    undo: Vec<ViewId>,
+) {
+    match e {
+        UpdateExpr::Inst(v) => {
+            installed.remove(v);
+        }
+        UpdateExpr::Comp { view, .. } => {
+            comps_done[view.0] -= 1;
+            for s in undo {
+                propagated[view.0].remove(&s);
+            }
+        }
+    }
+}
+
+/// Enumerates every correct **1-way** VDAG strategy (singleton `Comp`
+/// groupings only). This is the space Prune searches — the dots of the
+/// paper's Figure 9; Prune examines one representative per view-ordering
+/// partition.
+pub fn all_one_way_vdag_strategies(g: &Vdag) -> CoreResult<Vec<Strategy>> {
+    let derived = g.derived_views();
+    let expr_count = g.len() + g.edges().len();
+    if expr_count > MAX_EXPRESSIONS {
+        return Err(CoreError::Planner(format!(
+            "1-way enumeration over {expr_count} expressions is infeasible"
+        )));
+    }
+    let mut exprs: Vec<UpdateExpr> = Vec::new();
+    for v in &derived {
+        for s in g.sources(*v) {
+            exprs.push(UpdateExpr::comp1(*v, *s));
+        }
+    }
+    for v in g.view_ids() {
+        exprs.push(UpdateExpr::inst(v));
+    }
+    let mut out = Vec::new();
+    interleavings(g, &exprs, &mut out);
+    Ok(out)
+}
+
+/// The cheapest strategy over the *entire* correct-strategy space.
+pub fn best_vdag_strategy(g: &Vdag, model: &CostModel<'_>) -> CoreResult<(Strategy, f64)> {
+    let all = all_vdag_strategies(g)?;
+    all.into_iter()
+        .map(|s| {
+            let c = model.strategy_work(&s);
+            (s, c)
+        })
+        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .ok_or_else(|| CoreError::Planner("no correct strategy exists".to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::{min_work, prune};
+    use crate::sizes::{SizeCatalog, SizeInfo};
+    use uww_vdag::{check_vdag_strategy, fubini};
+
+    #[test]
+    fn single_view_enumeration_matches_table1() {
+        // For one view over n bases, the number of correct strategies is the
+        // Fubini number — Equation (5) again, but now derived from the raw
+        // C1–C8 interleaving semantics rather than ordered partitions.
+        // (Work-equivalent reorderings of Inst expressions inflate the raw
+        // count; dedup by the canonical partition signature.)
+        for n in 1..=3usize {
+            let mut g = Vdag::new();
+            let bases: Vec<ViewId> = (0..n)
+                .map(|i| g.add_base(format!("B{i}")).unwrap())
+                .collect();
+            g.add_derived("V", &bases).unwrap();
+            let all = all_vdag_strategies(&g).unwrap();
+            for s in &all {
+                check_vdag_strategy(&g, s).unwrap();
+            }
+            // Group by (ordered) partition signature: sequence of comp
+            // over-sets in order of appearance.
+            let mut signatures = std::collections::HashSet::new();
+            for s in &all {
+                let sig: Vec<BTreeSet<ViewId>> = s
+                    .exprs
+                    .iter()
+                    .filter_map(|e| match e {
+                        UpdateExpr::Comp { over, .. } => Some(over.clone()),
+                        _ => None,
+                    })
+                    .collect();
+                signatures.insert(sig);
+            }
+            assert_eq!(signatures.len() as u128, fubini(n as u32), "n={n}");
+        }
+    }
+
+    fn sized(g: &Vdag, entries: &[(&str, f64, f64)]) -> SizeCatalog {
+        let mut cat = SizeCatalog::default();
+        for (name, pre, frac) in entries {
+            let v = g.id_of(name).unwrap();
+            let delta = pre * frac;
+            cat.set(v, SizeInfo { pre: *pre, post: pre - delta, delta });
+        }
+        cat
+    }
+
+    #[test]
+    fn minwork_matches_exhaustive_on_tree_vdag() {
+        // Theorem 5.2 validated end-to-end: MinWork's strategy achieves the
+        // global optimum over every correct strategy.
+        let g = uww_vdag::figure3_vdag();
+        let sizes = sized(
+            &g,
+            &[
+                ("V1", 90.0, 0.05),
+                ("V2", 250.0, 0.12),
+                ("V3", 170.0, 0.07),
+                ("V4", 120.0, 0.06),
+                ("V5", 60.0, 0.04),
+            ],
+        );
+        let model = CostModel::new(&g, &sizes);
+        let (best, best_cost) = best_vdag_strategy(&g, &model).unwrap();
+        check_vdag_strategy(&g, &best).unwrap();
+        let plan = min_work(&g, &sizes).unwrap();
+        let mw_cost = model.strategy_work(&plan.strategy);
+        assert!(
+            (mw_cost - best_cost).abs() < 1e-9,
+            "MinWork {mw_cost} vs exhaustive {best_cost}"
+        );
+        // And the exhaustive optimum is 1-way (Theorem 4.1 lifted to VDAGs).
+        assert!(best.is_one_way());
+    }
+
+    #[test]
+    fn prune_matches_exhaustive_on_non_tree_vdag() {
+        // Figure 10's VDAG is neither tree nor uniform; Prune still finds the
+        // best 1-way strategy, which exhaustive search confirms is globally
+        // optimal here.
+        let g = uww_vdag::figure10_vdag();
+        let sizes = sized(
+            &g,
+            &[
+                ("V1", 90.0, 0.05),
+                ("V2", 250.0, 0.12),
+                ("V3", 170.0, 0.07),
+                ("V4", 120.0, 0.06),
+                ("V5", 60.0, 0.04),
+            ],
+        );
+        let model = CostModel::new(&g, &sizes);
+        let (_, best_cost) = best_vdag_strategy(&g, &model).unwrap();
+        let pruned = prune(&g, &model).unwrap();
+        assert!(
+            (pruned.cost - best_cost).abs() < 1e-9,
+            "Prune {} vs exhaustive {best_cost}",
+            pruned.cost
+        );
+    }
+
+    #[test]
+    fn figure9_partitioning_and_theorem_6_1() {
+        // Figure 9's intuition, made quantitative on the Figure 3 VDAG:
+        // the space of 1-way VDAG strategies is large, Prune examines one
+        // representative per view ordering (Lemma 6.1: each strategy is
+        // strongly consistent with exactly one ordering), and all
+        // strategies in a partition incur the same work (Theorem 6.1).
+        use std::collections::HashMap;
+        use uww_vdag::install_ordering;
+
+        let g = uww_vdag::figure3_vdag();
+        let sizes = sized(
+            &g,
+            &[
+                ("V1", 90.0, 0.05),
+                ("V2", 250.0, 0.12),
+                ("V3", 170.0, 0.07),
+                ("V4", 120.0, 0.06),
+                ("V5", 60.0, 0.04),
+            ],
+        );
+        let model = CostModel::new(&g, &sizes);
+
+        let all = all_one_way_vdag_strategies(&g).unwrap();
+        assert!(all.len() > 120, "space should dwarf the 5! orderings");
+        for s in &all {
+            assert!(s.is_one_way());
+            check_vdag_strategy(&g, s).unwrap();
+        }
+
+        // Partition by the unique strong ordering; same partition => same
+        // work under the linear metric.
+        let mut by_ordering: HashMap<Vec<usize>, Vec<f64>> = HashMap::new();
+        for s in &all {
+            let ord = install_ordering(s, g.len());
+            let key: Vec<usize> = ord.views().iter().map(|v| v.0).collect();
+            by_ordering
+                .entry(key)
+                .or_default()
+                .push(model.strategy_work(s));
+        }
+        // Far fewer partitions than strategies.
+        assert!(by_ordering.len() < all.len());
+        assert!(by_ordering.len() <= 120); // at most 5! orderings
+        for (key, works) in &by_ordering {
+            let first = works[0];
+            for w in works {
+                assert!(
+                    (w - first).abs() < 1e-9,
+                    "Theorem 6.1 violated for ordering {key:?}: {works:?}"
+                );
+            }
+        }
+
+        // Prune's optimum equals the enumerated 1-way optimum.
+        let best_enumerated = all
+            .iter()
+            .map(|s| model.strategy_work(s))
+            .fold(f64::INFINITY, f64::min);
+        let pruned = crate::planner::prune(&g, &model).unwrap();
+        assert!((pruned.cost - best_enumerated).abs() < 1e-9);
+    }
+
+    #[test]
+    fn infeasible_sizes_rejected() {
+        let mut g = Vdag::new();
+        let bases: Vec<ViewId> = (0..12)
+            .map(|i| g.add_base(format!("B{i}")).unwrap())
+            .collect();
+        g.add_derived("V", &bases).unwrap();
+        assert!(all_vdag_strategies(&g).is_err());
+    }
+
+    #[test]
+    fn set_partitions_are_bell_numbers() {
+        assert_eq!(set_partitions(&[1]).len(), 1);
+        assert_eq!(set_partitions(&[1, 2]).len(), 2);
+        assert_eq!(set_partitions(&[1, 2, 3]).len(), 5);
+        assert_eq!(set_partitions(&[1, 2, 3, 4]).len(), 15);
+    }
+}

@@ -1,0 +1,403 @@
+//! Multi-window warehouse lifecycle and maintenance policies.
+//!
+//! The paper plans *one* update window; a live warehouse runs them forever,
+//! and the related work it builds on (\[CKL+97\], "Supporting multiple-view
+//! maintenance policies") asks *when* to run them. This module provides the
+//! driver: change batches arrive, a [`MaintenancePolicy`] decides when to
+//! maintain, the chosen [`PlannerChoice`] decides how, and every window is
+//! recorded.
+//!
+//! Deferring maintenance accumulates deltas (they merge — and partially
+//! *cancel*, e.g. an insert-then-delete of the same rows costs nothing at
+//! flush time) at the price of stale reads; the driver quantifies both
+//! sides.
+
+use crate::cost::CostModel;
+use crate::engine::{ExecutionReport, Warehouse};
+use crate::error::{CoreError, CoreResult};
+use crate::planner::{min_work, prune};
+use crate::sizes::SizeCatalog;
+use std::collections::BTreeMap;
+use uww_relational::{Catalog, DeltaRelation};
+use uww_vdag::{dual_stage_strategy, Strategy};
+
+/// How to plan each update window.
+#[derive(Clone, Debug, Default)]
+pub enum PlannerChoice {
+    /// MinWork (the default).
+    #[default]
+    MinWork,
+    /// Prune (exact best 1-way; factorial in consumed views).
+    Prune,
+    /// The dual-stage baseline.
+    DualStage,
+    /// A fixed, pre-written script (the paper's WHA status quo).
+    Fixed(Strategy),
+}
+
+impl PlannerChoice {
+    fn plan(&self, warehouse: &Warehouse) -> CoreResult<(Strategy, &'static str)> {
+        let sizes = SizeCatalog::estimate(warehouse)?;
+        match self {
+            PlannerChoice::MinWork => {
+                let plan = min_work(warehouse.vdag(), &sizes)?;
+                Ok((plan.strategy, "minwork"))
+            }
+            PlannerChoice::Prune => {
+                let model = CostModel::new(warehouse.vdag(), &sizes);
+                let out = prune(warehouse.vdag(), &model)?;
+                Ok((out.strategy, "prune"))
+            }
+            PlannerChoice::DualStage => {
+                Ok((dual_stage_strategy(warehouse.vdag()), "dual-stage"))
+            }
+            PlannerChoice::Fixed(s) => Ok((s.clone(), "fixed")),
+        }
+    }
+}
+
+/// When to run maintenance.
+#[derive(Clone, Debug)]
+pub enum MaintenancePolicy {
+    /// Maintain as soon as a batch arrives.
+    Immediate,
+    /// Accumulate batches; maintain only when a query needs a fresh view
+    /// (or on explicit [`WarehouseDriver::flush`]).
+    Deferred,
+    /// Maintain after every `n` batches.
+    Periodic(usize),
+}
+
+/// One completed maintenance window.
+#[derive(Clone, Debug)]
+pub struct WindowRecord {
+    /// Index of the batch that triggered the window (0-based arrival count).
+    pub triggered_by_batch: usize,
+    /// Number of batches folded into this window.
+    pub batches_folded: usize,
+    /// Planner used.
+    pub planner: &'static str,
+    /// Execution measurements.
+    pub report: ExecutionReport,
+}
+
+/// One query served by the driver.
+#[derive(Clone, Debug)]
+pub struct QueryRecord {
+    /// The queried view.
+    pub view: String,
+    /// Batches that were pending (staleness) when the query arrived.
+    pub staleness: usize,
+    /// Rows scanned to answer the query.
+    pub rows_read: u64,
+    /// Maintenance work this query had to wait for (deferred policy).
+    pub forced_maintenance_work: u64,
+}
+
+/// Drives a warehouse through successive batches and queries under a policy.
+pub struct WarehouseDriver {
+    warehouse: Warehouse,
+    policy: MaintenancePolicy,
+    planner: PlannerChoice,
+    /// Deltas accumulated but not yet installed, per base view.
+    accumulated: BTreeMap<String, DeltaRelation>,
+    batches_arrived: usize,
+    batches_pending: usize,
+    history: Vec<WindowRecord>,
+    queries: Vec<QueryRecord>,
+}
+
+impl WarehouseDriver {
+    /// Creates a driver.
+    pub fn new(warehouse: Warehouse, policy: MaintenancePolicy, planner: PlannerChoice) -> Self {
+        WarehouseDriver {
+            warehouse,
+            policy,
+            planner,
+            accumulated: BTreeMap::new(),
+            batches_arrived: 0,
+            batches_pending: 0,
+            history: Vec::new(),
+            queries: Vec::new(),
+        }
+    }
+
+    /// The underlying warehouse (stored extents may be stale under deferred
+    /// policies).
+    pub fn warehouse(&self) -> &Warehouse {
+        &self.warehouse
+    }
+
+    /// Completed windows.
+    pub fn history(&self) -> &[WindowRecord] {
+        &self.history
+    }
+
+    /// Served queries.
+    pub fn queries(&self) -> &[QueryRecord] {
+        &self.queries
+    }
+
+    /// Batches accumulated and not yet installed.
+    pub fn pending_batches(&self) -> usize {
+        self.batches_pending
+    }
+
+    /// Total maintenance work across all windows so far.
+    pub fn total_maintenance_work(&self) -> u64 {
+        self.history.iter().map(|w| w.report.linear_work()).sum()
+    }
+
+    /// The *logical* state: stored base extents with all accumulated deltas
+    /// applied, derived views recomputed. What a fully-maintained warehouse
+    /// would contain. Use it to generate the next consistent change batch.
+    pub fn logical_state(&self) -> CoreResult<Catalog> {
+        let mut w = self.warehouse.clone();
+        w.load_changes(self.accumulated.clone())?;
+        w.expected_final_state()
+    }
+
+    /// Delivers a change batch (deltas over base views, expressed against
+    /// the current *logical* state). Depending on the policy this may
+    /// trigger a maintenance window.
+    pub fn deliver_batch(
+        &mut self,
+        changes: BTreeMap<String, DeltaRelation>,
+    ) -> CoreResult<Option<&WindowRecord>> {
+        for (view, delta) in changes {
+            match self.accumulated.get_mut(&view) {
+                Some(acc) => acc.merge(&delta),
+                None => {
+                    self.accumulated.insert(view, delta);
+                }
+            }
+        }
+        self.batches_arrived += 1;
+        self.batches_pending += 1;
+
+        let should_flush = match self.policy {
+            MaintenancePolicy::Immediate => true,
+            MaintenancePolicy::Deferred => false,
+            MaintenancePolicy::Periodic(n) => self.batches_pending >= n.max(1),
+        };
+        if should_flush {
+            self.flush()?;
+            Ok(self.history.last())
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Runs a maintenance window over everything accumulated. No-op when
+    /// nothing is pending.
+    pub fn flush(&mut self) -> CoreResult<()> {
+        if self.batches_pending == 0 && self.accumulated.values().all(|d| d.is_empty()) {
+            self.batches_pending = 0;
+            return Ok(());
+        }
+        let changes = std::mem::take(&mut self.accumulated);
+        self.warehouse.load_changes(changes)?;
+        let (strategy, planner) = self.planner.plan(&self.warehouse)?;
+        let report = self.warehouse.execute(&strategy)?;
+        self.history.push(WindowRecord {
+            triggered_by_batch: self.batches_arrived.saturating_sub(1),
+            batches_folded: self.batches_pending,
+            planner,
+            report,
+        });
+        self.batches_pending = 0;
+        Ok(())
+    }
+
+    /// Serves a query against `view`. Under the deferred policy this first
+    /// forces maintenance so the reader sees fresh data; the forced work is
+    /// charged to the query record.
+    pub fn query(&mut self, view: &str) -> CoreResult<QueryRecord> {
+        let staleness = self.batches_pending;
+        let work_before = self.total_maintenance_work();
+        if staleness > 0 {
+            self.flush()?;
+        }
+        let table = self
+            .warehouse
+            .table(view)
+            .map_err(|_| CoreError::Warehouse(format!("unknown view {view}")))?;
+        let record = QueryRecord {
+            view: view.to_string(),
+            staleness,
+            rows_read: table.len(),
+            forced_maintenance_work: self.total_maintenance_work() - work_before,
+        };
+        self.queries.push(record.clone());
+        Ok(record)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uww_relational::{
+        tup, EquiJoin, OutputColumn, Schema, Table, Tuple, Value, ValueType, ViewDef, ViewOutput,
+        ViewSource,
+    };
+
+    fn warehouse() -> Warehouse {
+        let mut r = Table::new("R", Schema::of(&[("k", ValueType::Int)]));
+        for i in 0..100 {
+            r.insert(tup![Value::Int(i)]).unwrap();
+        }
+        let mut s = Table::new("S", Schema::of(&[("k", ValueType::Int)]));
+        for i in 0..100 {
+            s.insert(tup![Value::Int(i)]).unwrap();
+        }
+        let def = ViewDef {
+            name: "V".into(),
+            sources: vec![ViewSource::named("R"), ViewSource::named("S")],
+            joins: vec![EquiJoin::new("R.k", "S.k")],
+            filters: vec![],
+            output: ViewOutput::Project(vec![OutputColumn::col("k", "R.k")]),
+        };
+        Warehouse::builder()
+            .base_table(r)
+            .base_table(s)
+            .view(def)
+            .build()
+            .unwrap()
+    }
+
+    fn delete_batch(keys: std::ops::Range<i64>) -> BTreeMap<String, DeltaRelation> {
+        let mut d = DeltaRelation::new(Schema::of(&[("k", ValueType::Int)]));
+        for k in keys {
+            d.add(Tuple::new(vec![Value::Int(k)]), -1);
+        }
+        let mut m = BTreeMap::new();
+        m.insert("R".to_string(), d);
+        m
+    }
+
+    fn insert_batch(keys: std::ops::Range<i64>) -> BTreeMap<String, DeltaRelation> {
+        let mut d = DeltaRelation::new(Schema::of(&[("k", ValueType::Int)]));
+        for k in keys {
+            d.add(Tuple::new(vec![Value::Int(k)]), 1);
+        }
+        let mut m = BTreeMap::new();
+        m.insert("R".to_string(), d);
+        m
+    }
+
+    #[test]
+    fn immediate_policy_maintains_every_batch() {
+        let mut drv = WarehouseDriver::new(
+            warehouse(),
+            MaintenancePolicy::Immediate,
+            PlannerChoice::MinWork,
+        );
+        assert!(drv.deliver_batch(delete_batch(0..5)).unwrap().is_some());
+        assert!(drv.deliver_batch(delete_batch(5..10)).unwrap().is_some());
+        assert_eq!(drv.history().len(), 2);
+        assert_eq!(drv.pending_batches(), 0);
+        assert_eq!(drv.warehouse().table("R").unwrap().len(), 90);
+        assert_eq!(drv.warehouse().table("V").unwrap().len(), 90);
+        assert_eq!(drv.history()[0].planner, "minwork");
+    }
+
+    #[test]
+    fn deferred_policy_batches_and_serves_fresh_queries() {
+        let mut drv = WarehouseDriver::new(
+            warehouse(),
+            MaintenancePolicy::Deferred,
+            PlannerChoice::MinWork,
+        );
+        assert!(drv.deliver_batch(delete_batch(0..5)).unwrap().is_none());
+        assert!(drv.deliver_batch(delete_batch(5..10)).unwrap().is_none());
+        assert_eq!(drv.pending_batches(), 2);
+        // Stored state is stale...
+        assert_eq!(drv.warehouse().table("R").unwrap().len(), 100);
+        // ...but the logical state is fresh.
+        assert_eq!(drv.logical_state().unwrap().get("R").unwrap().len(), 90);
+
+        // A query forces one combined window.
+        let q = drv.query("V").unwrap();
+        assert_eq!(q.staleness, 2);
+        assert!(q.forced_maintenance_work > 0);
+        assert_eq!(q.rows_read, 90);
+        assert_eq!(drv.history().len(), 1);
+        assert_eq!(drv.history()[0].batches_folded, 2);
+
+        // A second query reads fresh data for free.
+        let q = drv.query("V").unwrap();
+        assert_eq!(q.staleness, 0);
+        assert_eq!(q.forced_maintenance_work, 0);
+    }
+
+    #[test]
+    fn deferred_batches_cancel() {
+        // Insert 20 rows, then delete the same 20: deferred maintenance does
+        // (nearly) nothing, immediate pays twice.
+        let mut deferred = WarehouseDriver::new(
+            warehouse(),
+            MaintenancePolicy::Deferred,
+            PlannerChoice::MinWork,
+        );
+        deferred.deliver_batch(insert_batch(1000..1020)).unwrap();
+        deferred.deliver_batch(delete_batch(1000..1020)).unwrap();
+        deferred.flush().unwrap();
+        let deferred_work = deferred.total_maintenance_work();
+        assert_eq!(deferred_work, 0, "cancelled batches must cost nothing");
+
+        let mut immediate = WarehouseDriver::new(
+            warehouse(),
+            MaintenancePolicy::Immediate,
+            PlannerChoice::MinWork,
+        );
+        immediate.deliver_batch(insert_batch(1000..1020)).unwrap();
+        immediate.deliver_batch(delete_batch(1000..1020)).unwrap();
+        assert!(immediate.total_maintenance_work() > 0);
+        // Both end in the same state.
+        assert!(immediate
+            .warehouse()
+            .table("V")
+            .unwrap()
+            .same_contents(deferred.warehouse().table("V").unwrap()));
+    }
+
+    #[test]
+    fn periodic_policy_flushes_every_n() {
+        let mut drv = WarehouseDriver::new(
+            warehouse(),
+            MaintenancePolicy::Periodic(3),
+            PlannerChoice::DualStage,
+        );
+        assert!(drv.deliver_batch(delete_batch(0..2)).unwrap().is_none());
+        assert!(drv.deliver_batch(delete_batch(2..4)).unwrap().is_none());
+        let w = drv.deliver_batch(delete_batch(4..6)).unwrap().unwrap();
+        assert_eq!(w.batches_folded, 3);
+        assert_eq!(w.planner, "dual-stage");
+        assert_eq!(drv.history().len(), 1);
+    }
+
+    #[test]
+    fn fixed_script_policy_executes_the_given_strategy() {
+        let w = warehouse();
+        let fixed = dual_stage_strategy(w.vdag());
+        let mut drv = WarehouseDriver::new(
+            w,
+            MaintenancePolicy::Immediate,
+            PlannerChoice::Fixed(fixed),
+        );
+        drv.deliver_batch(delete_batch(0..5)).unwrap();
+        assert_eq!(drv.history()[0].planner, "fixed");
+        assert_eq!(drv.warehouse().table("V").unwrap().len(), 95);
+    }
+
+    #[test]
+    fn flush_with_nothing_pending_is_a_noop() {
+        let mut drv = WarehouseDriver::new(
+            warehouse(),
+            MaintenancePolicy::Deferred,
+            PlannerChoice::MinWork,
+        );
+        drv.flush().unwrap();
+        assert!(drv.history().is_empty());
+    }
+}

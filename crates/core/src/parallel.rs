@@ -1,0 +1,712 @@
+//! Parallel strategies (Section 9).
+//!
+//! A parallel VDAG strategy is a sequence of expression *sets*: all
+//! expressions within a stage can be sent to the database concurrently, and
+//! installs take effect between stages. The paper sketches (and defers to
+//! future work) two levers for widening stages — dual-stage view strategies
+//! (fewer C4 dependencies) and VDAG *flattening* (rewriting a view over an
+//! intermediate view to run directly against the intermediate's sources,
+//! removing C8 dependencies) — at the price of more total work. This module
+//! implements the model, both levers, a makespan cost, and a real threaded
+//! executor, so the trade-off can be measured.
+
+use crate::cost::CostModel;
+use crate::engine::{ExecOptions, ExecutionReport, Warehouse};
+use crate::error::{CoreError, CoreResult};
+use std::collections::HashSet;
+use uww_relational::{ScalarExpr, ViewDef, ViewOutput};
+use uww_vdag::{Strategy, UpdateExpr, Vdag, ViewId};
+
+/// A sequence of stages; expressions within a stage run in parallel.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParallelStrategy {
+    /// The stages, in execution order.
+    pub stages: Vec<Vec<UpdateExpr>>,
+}
+
+impl ParallelStrategy {
+    /// Total number of expressions.
+    pub fn expression_count(&self) -> usize {
+        self.stages.iter().map(Vec::len).sum()
+    }
+
+    /// The equivalent sequential strategy (stages concatenated).
+    pub fn linearize(&self) -> Strategy {
+        Strategy::from_exprs(self.stages.iter().flatten().cloned().collect())
+    }
+
+    /// Number of stages — the critical-path length.
+    pub fn depth(&self) -> usize {
+        self.stages.len()
+    }
+}
+
+/// Converts a correct sequential strategy into a parallel strategy by
+/// dependence-preserving list scheduling.
+///
+/// Two expressions depend on each other when reordering them could change
+/// either the result or the database state any `Comp` observes:
+///
+/// 1. `Inst(v)` after every `Comp` that propagates Δv (C3);
+/// 2. `Inst(W)` after every `Comp(W, ·)` (C5);
+/// 3. `Comp(W, {..v..})` after every `Comp(v, ·)` (C8);
+/// 4. the *sequential order* between `Inst(v)` and any `Comp` whose view
+///    reads `v` (in either delta or stored role) is preserved, so every term
+///    sees exactly the states it saw sequentially.
+///
+/// Each expression is placed in the earliest stage after all its
+/// dependencies.
+pub fn parallelize(g: &Vdag, s: &Strategy) -> ParallelStrategy {
+    let n = s.len();
+    let mut stage = vec![0usize; n];
+    for j in 0..n {
+        let mut min_stage = 0usize;
+        for (i, earlier_stage) in stage.iter().enumerate().take(j) {
+            if depends(g, &s.exprs[i], &s.exprs[j]) {
+                min_stage = min_stage.max(earlier_stage + 1);
+            }
+        }
+        stage[j] = min_stage;
+    }
+    let depth = stage.iter().copied().max().map_or(0, |d| d + 1);
+    let mut stages = vec![Vec::new(); depth];
+    for (j, e) in s.exprs.iter().enumerate() {
+        stages[stage[j]].push(e.clone());
+    }
+    ParallelStrategy { stages }
+}
+
+/// True when `later` must stay after `earlier` (see [`parallelize`]).
+fn depends(g: &Vdag, earlier: &UpdateExpr, later: &UpdateExpr) -> bool {
+    match (earlier, later) {
+        // C3: Comp propagating Δv, then Inst(v); C5: Inst(W) after Comp(W,·).
+        (UpdateExpr::Comp { view, over }, UpdateExpr::Inst(v)) => {
+            over.contains(v) || *view == *v
+        }
+        // C5 and C8.
+        (UpdateExpr::Comp { view: w1, .. }, UpdateExpr::Comp { view: w2, over }) => {
+            // C8: the later Comp propagates Δw1, or same view (keep a view's
+            // comps ordered so C4's install interleavings stay sequential).
+            *w1 == *w2 || over.contains(w1)
+        }
+        // State preservation: Inst(v) before a Comp that reads v.
+        (UpdateExpr::Inst(v), UpdateExpr::Comp { view, .. }) => g.sources(*view).contains(v),
+        // Inst(W) after its own comps is covered above; C5 here:
+        // (Comp(W,·), Inst(W)).
+        (UpdateExpr::Inst(_), UpdateExpr::Inst(_)) => false,
+    }
+}
+
+/// Makespan of a parallel strategy under the linear work metric: the sum
+/// over stages of the most expensive expression in the stage. Installs take
+/// effect at stage boundaries.
+pub fn makespan(model: &CostModel<'_>, p: &ParallelStrategy) -> f64 {
+    let mut installed: HashSet<ViewId> = HashSet::new();
+    let mut total = 0.0;
+    for stage in &p.stages {
+        let mut worst = 0.0f64;
+        for e in stage {
+            worst = worst.max(model.expression_work(e, &installed));
+        }
+        total += worst;
+        for e in stage {
+            if let UpdateExpr::Inst(v) = e {
+                installed.insert(*v);
+            }
+        }
+    }
+    total
+}
+
+/// Total (sequential-equivalent) work of a parallel strategy.
+pub fn total_work(model: &CostModel<'_>, p: &ParallelStrategy) -> f64 {
+    let mut installed: HashSet<ViewId> = HashSet::new();
+    let mut total = 0.0;
+    for stage in &p.stages {
+        for e in stage {
+            total += model.expression_work(e, &installed);
+        }
+        for e in stage {
+            if let UpdateExpr::Inst(v) = e {
+                installed.insert(*v);
+            }
+        }
+    }
+    total
+}
+
+/// **Flattening** (Section 9, technique 2): rewrites `outer` (defined over
+/// the intermediate view `inner`, which must be a *projection* view) to run
+/// directly over `inner`'s sources, eliminating the C8 dependency between
+/// their `Comp` expressions.
+///
+/// Every reference to an `inner` output column is substituted by its
+/// defining expression; `inner`'s sources, joins and filters are inlined.
+/// Fails for aggregate intermediates (their rows are not a function of
+/// single source rows) and when source sets would collide.
+pub fn flatten_def(outer: &ViewDef, inner: &ViewDef) -> CoreResult<ViewDef> {
+    let inner_alias = outer
+        .alias_of(&inner.name)
+        .ok_or_else(|| {
+            CoreError::Planner(format!(
+                "{} is not defined over {}",
+                outer.name, inner.name
+            ))
+        })?
+        .to_string();
+    let inner_outputs = match &inner.output {
+        ViewOutput::Project(outs) => outs,
+        ViewOutput::Aggregate { .. } => {
+            return Err(CoreError::Planner(format!(
+                "cannot flatten through aggregate view {}",
+                inner.name
+            )))
+        }
+    };
+
+    // Substitution map: "ALIAS.col" -> inner defining expression.
+    let substitute = |e: &ScalarExpr| -> CoreResult<ScalarExpr> {
+        Ok(substitute_expr(e, &inner_alias, inner_outputs))
+    };
+
+    // New source list: outer's sources minus the inner view, plus inner's
+    // sources.
+    let mut sources = Vec::new();
+    for s in &outer.sources {
+        if s.view != inner.name {
+            sources.push(s.clone());
+        }
+    }
+    for s in &inner.sources {
+        if sources.iter().any(|t| t.view == s.view || t.alias == s.alias) {
+            return Err(CoreError::Planner(format!(
+                "flattening {} into {} would duplicate source {}",
+                inner.name, outer.name, s.view
+            )));
+        }
+        sources.push(s.clone());
+    }
+
+    // Joins: outer joins with substituted endpoints must remain simple
+    // column-to-column equalities.
+    let mut joins = Vec::new();
+    let mut filters = Vec::new();
+    for j in &outer.joins {
+        let l = substitute(&ScalarExpr::Col(j.left.clone()))?;
+        let r = substitute(&ScalarExpr::Col(j.right.clone()))?;
+        match (&l, &r) {
+            (ScalarExpr::Col(lc), ScalarExpr::Col(rc)) => {
+                joins.push(uww_relational::EquiJoin::new(lc.clone(), rc.clone()));
+            }
+            _ => {
+                // A computed join key becomes a residual filter.
+                filters.push(uww_relational::Predicate::Cmp(
+                    uww_relational::CmpOp::Eq,
+                    l,
+                    r,
+                ));
+            }
+        }
+    }
+    joins.extend(inner.joins.iter().cloned());
+
+    for f in &outer.filters {
+        filters.push(substitute_pred(f, &inner_alias, inner_outputs));
+    }
+    filters.extend(inner.filters.iter().cloned());
+
+    let output = match &outer.output {
+        ViewOutput::Project(outs) => ViewOutput::Project(
+            outs.iter()
+                .map(|o| {
+                    Ok(uww_relational::OutputColumn {
+                        name: o.name.clone(),
+                        expr: substitute(&o.expr)?,
+                    })
+                })
+                .collect::<CoreResult<_>>()?,
+        ),
+        ViewOutput::Aggregate { group_by, aggregates } => ViewOutput::Aggregate {
+            group_by: group_by
+                .iter()
+                .map(|o| {
+                    Ok(uww_relational::OutputColumn {
+                        name: o.name.clone(),
+                        expr: substitute(&o.expr)?,
+                    })
+                })
+                .collect::<CoreResult<_>>()?,
+            aggregates: aggregates
+                .iter()
+                .map(|a| {
+                    Ok(uww_relational::AggregateColumn {
+                        name: a.name.clone(),
+                        func: a.func,
+                        input: substitute(&a.input)?,
+                    })
+                })
+                .collect::<CoreResult<_>>()?,
+        },
+    };
+
+    Ok(ViewDef {
+        name: outer.name.clone(),
+        sources,
+        joins,
+        filters,
+        output,
+    })
+}
+
+fn substitute_expr(
+    e: &ScalarExpr,
+    inner_alias: &str,
+    outs: &[uww_relational::OutputColumn],
+) -> ScalarExpr {
+    match e {
+        ScalarExpr::Col(c) => {
+            if let Some(rest) = c.strip_prefix(inner_alias) {
+                if let Some(col) = rest.strip_prefix('.') {
+                    if let Some(o) = outs.iter().find(|o| o.name == col) {
+                        return o.expr.clone();
+                    }
+                }
+            }
+            e.clone()
+        }
+        ScalarExpr::Lit(_) => e.clone(),
+        ScalarExpr::Add(a, b) => ScalarExpr::Add(
+            Box::new(substitute_expr(a, inner_alias, outs)),
+            Box::new(substitute_expr(b, inner_alias, outs)),
+        ),
+        ScalarExpr::Sub(a, b) => ScalarExpr::Sub(
+            Box::new(substitute_expr(a, inner_alias, outs)),
+            Box::new(substitute_expr(b, inner_alias, outs)),
+        ),
+        ScalarExpr::Mul(a, b) => ScalarExpr::Mul(
+            Box::new(substitute_expr(a, inner_alias, outs)),
+            Box::new(substitute_expr(b, inner_alias, outs)),
+        ),
+    }
+}
+
+fn substitute_pred(
+    p: &uww_relational::Predicate,
+    inner_alias: &str,
+    outs: &[uww_relational::OutputColumn],
+) -> uww_relational::Predicate {
+    use uww_relational::Predicate as P;
+    match p {
+        P::Cmp(op, a, b) => P::Cmp(
+            *op,
+            substitute_expr(a, inner_alias, outs),
+            substitute_expr(b, inner_alias, outs),
+        ),
+        P::And(a, b) => P::And(
+            Box::new(substitute_pred(a, inner_alias, outs)),
+            Box::new(substitute_pred(b, inner_alias, outs)),
+        ),
+        P::Or(a, b) => P::Or(
+            Box::new(substitute_pred(a, inner_alias, outs)),
+            Box::new(substitute_pred(b, inner_alias, outs)),
+        ),
+        P::Not(a) => P::Not(Box::new(substitute_pred(a, inner_alias, outs))),
+        P::True => P::True,
+    }
+}
+
+/// Measurements for one executed parallel stage.
+#[derive(Clone, Debug)]
+pub struct StageReport {
+    /// Per-expression measurements within the stage.
+    pub per_expr: Vec<crate::engine::ExprReport>,
+    /// Wall-clock time of the whole stage (comps ran concurrently, so this
+    /// is close to the slowest comp plus the serial installs).
+    pub wall: std::time::Duration,
+}
+
+/// Measurements for a threaded parallel execution.
+#[derive(Clone, Debug, Default)]
+pub struct ParallelReport {
+    /// Per-stage breakdowns.
+    pub stages: Vec<StageReport>,
+}
+
+impl ParallelReport {
+    /// Total work across all stages (equals the sequential strategy's work).
+    pub fn total_work(&self) -> uww_relational::WorkMeter {
+        let mut total = uww_relational::WorkMeter::new();
+        for s in &self.stages {
+            for e in &s.per_expr {
+                total.operand_rows_scanned += e.work.operand_rows_scanned;
+                total.rows_installed += e.work.rows_installed;
+                total.rows_emitted += e.work.rows_emitted;
+                total.terms_evaluated += e.work.terms_evaluated;
+                total.comp_expressions += e.work.comp_expressions;
+                total.inst_expressions += e.work.inst_expressions;
+            }
+        }
+        total
+    }
+
+    /// The measured makespan: sum of stage walls.
+    pub fn wall(&self) -> std::time::Duration {
+        self.stages.iter().map(|s| s.wall).sum()
+    }
+
+    /// Measured linear work.
+    pub fn linear_work(&self) -> u64 {
+        self.total_work().linear_work()
+    }
+}
+
+impl Warehouse {
+    /// Executes a parallel strategy sequentially (stage order linearized).
+    /// Semantically identical to [`Warehouse::execute_parallel_threaded`];
+    /// useful when determinism of the work meter matters more than wall
+    /// time.
+    pub fn execute_parallel(&mut self, p: &ParallelStrategy) -> CoreResult<ExecutionReport> {
+        // Every linearization of a stage must be equivalent; the dependency
+        // construction guarantees it. Validate the canonical linearization.
+        let linear = p.linearize();
+        self.execute_with(&linear, ExecOptions { validate: true })
+    }
+
+    /// Executes a parallel strategy with **real threads**: within each
+    /// stage, every `Comp` expression's fragment is computed concurrently
+    /// against the frozen stage-entry state (the fragments are pure reads —
+    /// see [`crate::engine::exec`]), then the fragments merge and the
+    /// stage's `Inst` expressions apply serially at the stage boundary.
+    pub fn execute_parallel_threaded(
+        &mut self,
+        p: &ParallelStrategy,
+    ) -> CoreResult<ParallelReport> {
+        uww_vdag::check_vdag_strategy(self.vdag(), &p.linearize())?;
+        let mut report = ParallelReport::default();
+        for stage in &p.stages {
+            let t0 = std::time::Instant::now();
+            let comps: Vec<(ViewId, std::collections::BTreeSet<ViewId>)> = stage
+                .iter()
+                .filter_map(|e| match e {
+                    UpdateExpr::Comp { view, over } => Some((*view, over.clone())),
+                    UpdateExpr::Inst(_) => None,
+                })
+                .collect();
+
+            // Fan the comps out over threads; each sees the frozen state.
+            type CompResult = CoreResult<(
+                UpdateExpr,
+                String,
+                crate::engine::PendingDelta,
+                uww_relational::WorkMeter,
+                std::time::Duration,
+            )>;
+            let this: &Warehouse = self;
+            let results: Vec<CompResult> =
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = comps
+                        .iter()
+                        .map(|(view, over)| {
+                            scope.spawn(move || {
+                                let t = std::time::Instant::now();
+                                let (name, fragment, meter) =
+                                    crate::engine::exec::comp_fragment(this, *view, over)?;
+                                Ok((
+                                    UpdateExpr::Comp { view: *view, over: over.clone() },
+                                    name,
+                                    fragment,
+                                    meter,
+                                    t.elapsed(),
+                                ))
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("comp thread panicked"))
+                        .collect()
+                });
+
+            let mut per_expr = Vec::new();
+            for r in results {
+                let (expr, name, fragment, mut meter, wall) = r?;
+                self.merge_fragment(&name, fragment)?;
+                meter.comp_expressions = 1;
+                let total = self.meter_mut();
+                total.comp_expressions += 1;
+                total.operand_rows_scanned += meter.operand_rows_scanned;
+                total.rows_emitted += meter.rows_emitted;
+                total.terms_evaluated += meter.terms_evaluated;
+                per_expr.push(crate::engine::ExprReport { expr, work: meter, wall });
+            }
+
+            // Installs land at the stage boundary, serially.
+            for e in stage {
+                if let UpdateExpr::Inst(v) = e {
+                    let before = *self.meter();
+                    let t = std::time::Instant::now();
+                    self.exec_inst(*v)?;
+                    per_expr.push(crate::engine::ExprReport {
+                        expr: e.clone(),
+                        work: self.meter().since(&before),
+                        wall: t.elapsed(),
+                    });
+                }
+            }
+            report.stages.push(StageReport { per_expr, wall: t0.elapsed() });
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sizes::{SizeCatalog, SizeInfo};
+    use uww_relational::{OutputColumn, Predicate, Value, ViewSource};
+    use uww_vdag::{check_vdag_strategy, dual_stage_strategy, figure3_vdag};
+
+    fn sizes_for(g: &Vdag) -> SizeCatalog {
+        let mut cat = SizeCatalog::default();
+        for v in g.view_ids() {
+            let pre = 100.0 * (v.0 + 1) as f64;
+            cat.set(
+                v,
+                SizeInfo { pre, post: pre * 0.9, delta: pre * 0.1 },
+            );
+        }
+        cat
+    }
+
+    #[test]
+    fn parallelize_preserves_linearized_correctness() {
+        let g = figure3_vdag();
+        let s = dual_stage_strategy(&g);
+        let p = parallelize(&g, &s);
+        check_vdag_strategy(&g, &p.linearize()).unwrap();
+        assert_eq!(p.expression_count(), s.len());
+        // Dual-stage: V4/V5 comps depend via C8; installs all in a later
+        // stage. Depth must be < sequential length.
+        assert!(p.depth() < s.len());
+    }
+
+    #[test]
+    fn one_way_strategies_parallelize_poorly() {
+        // The paper's observation: 1-way strategies have long dependency
+        // chains, so their parallel form is nearly as deep as sequential;
+        // dual-stage exposes much more parallelism.
+        let g = figure3_vdag();
+        let sizes = sizes_for(&g);
+        let plan = crate::planner::min_work(&g, &sizes).unwrap();
+        let p1 = parallelize(&g, &plan.strategy);
+        let pd = parallelize(&g, &dual_stage_strategy(&g));
+        assert!(pd.depth() < p1.depth(), "dual {} vs 1-way {}", pd.depth(), p1.depth());
+    }
+
+    #[test]
+    fn makespan_trade_off() {
+        // Dual-stage: lower makespan potential per stage, higher total work.
+        let g = figure3_vdag();
+        let sizes = sizes_for(&g);
+        let model = CostModel::new(&g, &sizes);
+        let plan = crate::planner::min_work(&g, &sizes).unwrap();
+        let p1 = parallelize(&g, &plan.strategy);
+        let pd = parallelize(&g, &dual_stage_strategy(&g));
+        let tw1 = total_work(&model, &p1);
+        let twd = total_work(&model, &pd);
+        assert!(tw1 < twd, "1-way total work must be lower: {tw1} vs {twd}");
+        // Makespan: both are positive; sequential makespan of p1 equals its
+        // total work when every stage is a singleton.
+        if p1.stages.iter().all(|s| s.len() == 1) {
+            assert!((makespan(&model, &p1) - tw1).abs() < 1e-9);
+        }
+        assert!(makespan(&model, &pd) <= twd);
+    }
+
+    #[test]
+    fn threaded_execution_matches_sequential() {
+        use uww_relational::{tup, DeltaRelation, Schema, Table, ValueType};
+        // Build a real warehouse: two bases, two summary views.
+        let mut r = Table::new(
+            "R",
+            Schema::of(&[("k", ValueType::Int), ("g", ValueType::Int)]),
+        );
+        for i in 0..200 {
+            r.insert(tup![Value::Int(i), Value::Int(i % 7)]).unwrap();
+        }
+        let mut s = Table::new("S", Schema::of(&[("k", ValueType::Int)]));
+        for i in 0..200 {
+            s.insert(tup![Value::Int(i)]).unwrap();
+        }
+        let mk_view = |name: &str, modulus: i64| ViewDef {
+            name: name.into(),
+            sources: vec![ViewSource::named("R"), ViewSource::named("S")],
+            joins: vec![uww_relational::EquiJoin::new("R.k", "S.k")],
+            filters: vec![Predicate::col_ge("R.g", Value::Int(modulus))],
+            output: ViewOutput::Project(vec![
+                OutputColumn::col("k", "R.k"),
+                OutputColumn::col("g", "R.g"),
+            ]),
+        };
+        let base = Warehouse::builder()
+            .base_table(r)
+            .base_table(s)
+            .view(mk_view("V1", 0))
+            .view(mk_view("V2", 3))
+            .build()
+            .unwrap();
+        let mut delta = DeltaRelation::new(base.table("R").unwrap().schema().clone());
+        for i in 0..40 {
+            delta.add(tup![Value::Int(i), Value::Int(i % 7)], -1);
+        }
+        let changes: std::collections::BTreeMap<_, _> =
+            [("R".to_string(), delta)].into_iter().collect();
+
+        let g = base.vdag();
+        let dual = dual_stage_strategy(g);
+        let p = parallelize(g, &dual);
+        // Dual-stage over two independent summaries: both comps share a
+        // stage, so the threads genuinely overlap.
+        assert!(p.stages[0].len() >= 2);
+
+        let mut seq = base.clone();
+        seq.load_changes(changes.clone()).unwrap();
+        let expected = seq.expected_final_state().unwrap();
+        let seq_report = seq.execute_parallel(&p).unwrap();
+
+        let mut par = base.clone();
+        par.load_changes(changes).unwrap();
+        let par_report = par.execute_parallel_threaded(&p).unwrap();
+
+        assert!(par.diff_state(&expected).is_empty());
+        assert!(seq.diff_state(&expected).is_empty());
+        // Identical measured work, stage structure preserved.
+        assert_eq!(
+            par_report.total_work().operand_rows_scanned,
+            seq_report.total_work().operand_rows_scanned
+        );
+        assert_eq!(
+            par_report.total_work().rows_installed,
+            seq_report.total_work().rows_installed
+        );
+        assert_eq!(par_report.stages.len(), p.depth());
+        assert!(par_report.linear_work() > 0);
+        assert!(par_report.wall() > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn threaded_execution_rejects_incorrect_schedules() {
+        use uww_relational::{tup, Schema, Table, ValueType};
+        let mut r = Table::new("R", Schema::of(&[("k", ValueType::Int)]));
+        r.insert(tup![Value::Int(1)]).unwrap();
+        let def = ViewDef {
+            name: "V".into(),
+            sources: vec![ViewSource::named("R")],
+            joins: vec![],
+            filters: vec![],
+            output: ViewOutput::Project(vec![OutputColumn::col("k", "R.k")]),
+        };
+        let mut w = Warehouse::builder().base_table(r).view(def).build().unwrap();
+        // Installs R before its comp: invalid.
+        let bad = ParallelStrategy {
+            stages: vec![
+                vec![UpdateExpr::inst(w.view_id("R").unwrap())],
+                vec![UpdateExpr::comp1(
+                    w.view_id("V").unwrap(),
+                    w.view_id("R").unwrap(),
+                )],
+                vec![UpdateExpr::inst(w.view_id("V").unwrap())],
+            ],
+        };
+        assert!(w.execute_parallel_threaded(&bad).is_err());
+    }
+
+    #[test]
+    fn flatten_projection_chain() {
+        // P = Π(R where rv > 1), W = Π(P ⋈ S). Flattened W runs on R, S.
+        let p = ViewDef {
+            name: "P".into(),
+            sources: vec![ViewSource::named("R")],
+            joins: vec![],
+            filters: vec![Predicate::col_gt("R.rv", Value::Int(1))],
+            output: ViewOutput::Project(vec![
+                OutputColumn::col("k", "R.rk"),
+                OutputColumn::new(
+                    "v2",
+                    ScalarExpr::col("R.rv").add(ScalarExpr::col("R.rv")),
+                ),
+            ]),
+        };
+        let w = ViewDef {
+            name: "W".into(),
+            sources: vec![ViewSource::named("P"), ViewSource::named("S")],
+            joins: vec![uww_relational::EquiJoin::new("P.k", "S.sk")],
+            filters: vec![Predicate::col_eq("S.tag", Value::str("x"))],
+            output: ViewOutput::Project(vec![
+                OutputColumn::col("out", "P.v2"),
+                OutputColumn::col("tag", "S.tag"),
+            ]),
+        };
+        let flat = flatten_def(&w, &p).unwrap();
+        assert_eq!(flat.source_views(), vec!["S", "R"]);
+        // P.k -> R.rk stays a simple equi-join.
+        assert!(flat
+            .joins
+            .iter()
+            .any(|j| (j.left == "R.rk" && j.right == "S.sk")
+                || (j.left == "S.sk" && j.right == "R.rk")));
+        // P's filter inlined.
+        assert!(flat.filters.contains(&Predicate::col_gt("R.rv", Value::Int(1))));
+        // Output substituted: P.v2 -> R.rv + R.rv.
+        match &flat.output {
+            ViewOutput::Project(outs) => {
+                assert_eq!(
+                    outs[0].expr,
+                    ScalarExpr::col("R.rv").add(ScalarExpr::col("R.rv"))
+                );
+            }
+            _ => panic!("project expected"),
+        }
+    }
+
+    #[test]
+    fn flatten_through_aggregate_rejected() {
+        let inner = ViewDef {
+            name: "A".into(),
+            sources: vec![ViewSource::named("R")],
+            joins: vec![],
+            filters: vec![],
+            output: ViewOutput::Aggregate {
+                group_by: vec![OutputColumn::col("k", "R.rk")],
+                aggregates: vec![],
+            },
+        };
+        let outer = ViewDef {
+            name: "W".into(),
+            sources: vec![ViewSource::named("A")],
+            joins: vec![],
+            filters: vec![],
+            output: ViewOutput::Project(vec![OutputColumn::col("k", "A.k")]),
+        };
+        assert!(flatten_def(&outer, &inner).is_err());
+    }
+
+    #[test]
+    fn flatten_detects_source_collision() {
+        let inner = ViewDef {
+            name: "P".into(),
+            sources: vec![ViewSource::named("R")],
+            joins: vec![],
+            filters: vec![],
+            output: ViewOutput::Project(vec![OutputColumn::col("k", "R.rk")]),
+        };
+        let outer = ViewDef {
+            name: "W".into(),
+            sources: vec![ViewSource::named("P"), ViewSource::named("R")],
+            joins: vec![uww_relational::EquiJoin::new("P.k", "R.rk")],
+            filters: vec![],
+            output: ViewOutput::Project(vec![OutputColumn::col("k", "P.k")]),
+        };
+        assert!(flatten_def(&outer, &inner).is_err());
+    }
+}

@@ -1,0 +1,406 @@
+//! The paper's planning algorithms: MinWorkSingle (Section 4), MinWork
+//! (Section 5), and Prune (Section 6).
+
+use crate::cost::CostModel;
+use crate::error::{CoreError, CoreResult};
+use crate::sizes::SizeCatalog;
+use uww_vdag::{
+    construct_eg, construct_seg, modify_ordering, permutations, Strategy, UpdateExpr, Vdag,
+    ViewId, ViewOrdering,
+};
+
+/// **MinWorkSingle** (Algorithm 4.1): the optimal view strategy for a single
+/// view under the linear work metric.
+///
+/// Orders the views the target is defined over by increasing `|V'| − |V|`
+/// (Theorem 4.2), and emits the 1-way strategy consistent with that ordering
+/// (optimal over *all* view strategies by Theorem 4.1). `O(n log n)`.
+pub fn min_work_single(g: &Vdag, view: ViewId, sizes: &SizeCatalog) -> Strategy {
+    let mut sources: Vec<ViewId> = g.sources(view).to_vec();
+    sources.sort_by(|a, b| {
+        sizes
+            .info(*a)
+            .growth()
+            .partial_cmp(&sizes.info(*b).growth())
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(b))
+    });
+    let mut s = Strategy::new();
+    for v in &sources {
+        s.push(UpdateExpr::comp1(view, *v));
+        s.push(UpdateExpr::inst(*v));
+    }
+    s.push(UpdateExpr::inst(view));
+    s
+}
+
+/// The result of [`min_work`].
+#[derive(Clone, Debug)]
+pub struct MinWorkPlan {
+    /// The produced 1-way VDAG strategy.
+    pub strategy: Strategy,
+    /// The desired view ordering (increasing `|V'| − |V|`).
+    pub desired_ordering: ViewOrdering,
+    /// The ordering actually used (level-major modification when the desired
+    /// ordering's expression graph was cyclic).
+    pub ordering: ViewOrdering,
+    /// True when `ModifyOrdering` had to be applied — the plan is then
+    /// near-optimal rather than guaranteed-optimal.
+    pub used_modified_ordering: bool,
+}
+
+/// **MinWork** (Algorithm 5.1): a 1-way VDAG strategy consistent with the
+/// desired view ordering when its expression graph is acyclic — optimal
+/// under the linear metric (Theorem 5.3), and always so for tree and uniform
+/// VDAGs (Theorem 5.4). Falls back to `ModifyOrdering` otherwise
+/// (Theorem 5.5 guarantees success). `O(n³)`.
+pub fn min_work(g: &Vdag, sizes: &SizeCatalog) -> CoreResult<MinWorkPlan> {
+    let desired = sizes.desired_ordering(g);
+    let eg = construct_eg(g, &desired);
+    if eg.is_acyclic() {
+        let strategy = eg.topological_strategy(&desired)?;
+        return Ok(MinWorkPlan {
+            strategy,
+            ordering: desired.clone(),
+            desired_ordering: desired,
+            used_modified_ordering: false,
+        });
+    }
+    let modified = modify_ordering(g, &desired);
+    let eg = construct_eg(g, &modified);
+    let strategy = eg
+        .topological_strategy(&modified)
+        .map_err(|_| CoreError::Planner("ModifyOrdering produced a cyclic EG".to_string()))?;
+    Ok(MinWorkPlan {
+        strategy,
+        ordering: modified,
+        desired_ordering: desired,
+        used_modified_ordering: true,
+    })
+}
+
+/// Builds the 1-way VDAG strategy consistent with an arbitrary ordering
+/// (used for baselines like the paper's RNSCOL). Falls back to
+/// `ModifyOrdering` when needed, like MinWork.
+pub fn one_way_for_ordering(g: &Vdag, ord: &ViewOrdering) -> CoreResult<Strategy> {
+    let eg = construct_eg(g, ord);
+    if eg.is_acyclic() {
+        return Ok(eg.topological_strategy(ord)?);
+    }
+    let modified = modify_ordering(g, ord);
+    Ok(construct_eg(g, &modified).topological_strategy(&modified)?)
+}
+
+/// The result of [`prune`].
+#[derive(Clone, Debug)]
+pub struct PruneOutcome {
+    /// The cheapest 1-way VDAG strategy found.
+    pub strategy: Strategy,
+    /// Its predicted work.
+    pub cost: f64,
+    /// The view ordering it is strongly consistent with.
+    pub ordering: ViewOrdering,
+    /// Orderings enumerated.
+    pub orderings_examined: usize,
+    /// Orderings admitting a strongly consistent strategy (acyclic SEGs).
+    pub orderings_feasible: usize,
+}
+
+/// Maximum number of views-with-consumers Prune will enumerate (`m! ≤ 9!`).
+pub const PRUNE_MAX_VIEWS: usize = 9;
+
+/// **Prune** (Algorithm 6.1, with the Section 6 optimization): finds the
+/// best 1-way VDAG strategy for *any* VDAG by enumerating view orderings,
+/// keeping one strongly-consistent representative per ordering (Lemma 6.1
+/// and Theorem 6.1 justify the partitioning), and costing it under the
+/// model.
+///
+/// Only views some other view is defined over are permuted (`m!` orderings
+/// instead of `n!`): a view nobody consumes can be installed at any point
+/// after its changes are computed without affecting any `Comp`'s state.
+pub fn prune(g: &Vdag, model: &CostModel<'_>) -> CoreResult<PruneOutcome> {
+    prune_over(g, model, g.views_with_consumers())
+}
+
+/// Prune over the *full* `n!` ordering space (no optimization). Exists to
+/// validate that the optimization never changes the answer.
+pub fn prune_full(g: &Vdag, model: &CostModel<'_>) -> CoreResult<PruneOutcome> {
+    prune_over(g, model, g.view_ids().collect())
+}
+
+fn prune_over(
+    g: &Vdag,
+    model: &CostModel<'_>,
+    relevant: Vec<ViewId>,
+) -> CoreResult<PruneOutcome> {
+    if relevant.len() > PRUNE_MAX_VIEWS {
+        return Err(CoreError::Planner(format!(
+            "Prune would enumerate {}! orderings; use MinWork for VDAGs with more than {PRUNE_MAX_VIEWS} consumed views",
+            relevant.len()
+        )));
+    }
+    let mut best: Option<PruneOutcome> = None;
+    let mut examined = 0usize;
+    let mut feasible = 0usize;
+    for perm in permutations(&relevant) {
+        examined += 1;
+        let ord = ViewOrdering::new(perm, g.len());
+        let seg = construct_seg(g, &ord);
+        if !seg.is_acyclic() {
+            continue;
+        }
+        feasible += 1;
+        let strategy = seg.topological_strategy(&ord)?;
+        let cost = model.strategy_work(&strategy);
+        let better = match &best {
+            None => true,
+            Some(b) => cost < b.cost,
+        };
+        if better {
+            best = Some(PruneOutcome {
+                strategy,
+                cost,
+                ordering: ord,
+                orderings_examined: 0,
+                orderings_feasible: 0,
+            });
+        }
+    }
+    let mut out = best.ok_or_else(|| {
+        CoreError::Planner("no ordering admits a strongly consistent 1-way strategy".to_string())
+    })?;
+    out.orderings_examined = examined;
+    out.orderings_feasible = feasible;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sizes::SizeInfo;
+    use uww_vdag::{
+        check_vdag_strategy, check_view_strategy, figure10_vdag, figure3_vdag,
+        one_way_view_strategies, strongly_consistent, vdag_strategy_consistent, view_strategies,
+    };
+
+    fn shrinking_sizes(g: &Vdag, shrink: &[(&str, f64, f64)]) -> SizeCatalog {
+        let mut cat = SizeCatalog::default();
+        for (name, pre, frac) in shrink {
+            let v = g.id_of(name).unwrap();
+            let delta = pre * frac;
+            cat.set(
+                v,
+                SizeInfo { pre: *pre, post: pre - delta, delta },
+            );
+        }
+        cat
+    }
+
+    #[test]
+    fn min_work_single_orders_by_growth() {
+        let g = figure3_vdag();
+        let v4 = g.id_of("V4").unwrap();
+        // V3 shrinks by 50, V2 by 5: propagate V3 first.
+        let sizes = shrinking_sizes(
+            &g,
+            &[("V1", 100.0, 0.0), ("V2", 50.0, 0.1), ("V3", 500.0, 0.1)],
+        );
+        let s = min_work_single(&g, v4, &sizes);
+        check_view_strategy(&g, v4, &s).unwrap();
+        assert_eq!(
+            s.exprs[0],
+            UpdateExpr::comp1(v4, g.id_of("V3").unwrap())
+        );
+        assert!(s.is_one_way());
+        assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    fn min_work_single_is_optimal_over_all_enumerated_strategies() {
+        // Theorem 4.1 + 4.2, validated by brute force over all 13/75
+        // strategies of views over 3 and 4 bases, across several size
+        // scenarios (shrinking, growing, mixed).
+        for scenario in 0..4 {
+            let mut g = Vdag::new();
+            let n = if scenario % 2 == 0 { 3 } else { 4 };
+            let bases: Vec<ViewId> = (0..n)
+                .map(|i| g.add_base(format!("B{i}")).unwrap())
+                .collect();
+            let view = g.add_derived("V", &bases).unwrap();
+            let mut sizes = SizeCatalog::default();
+            for (i, b) in bases.iter().enumerate() {
+                // Mix of shrinking and growing views.
+                let pre = 100.0 * (i + 1) as f64;
+                let growth = match (scenario + i) % 3 {
+                    0 => -0.2 * pre,
+                    1 => 0.1 * pre,
+                    _ => -0.05 * pre,
+                };
+                sizes.set(
+                    *b,
+                    SizeInfo {
+                        pre,
+                        post: pre + growth,
+                        delta: growth.abs().max(1.0),
+                    },
+                );
+            }
+            sizes.set(view, SizeInfo { pre: 40.0, post: 40.0, delta: 4.0 });
+            let model = CostModel::new(&g, &sizes);
+            let planned = min_work_single(&g, view, &sizes);
+            let planned_cost = model.strategy_work(&planned);
+            for s in view_strategies(&g, view) {
+                let c = model.strategy_work(&s);
+                assert!(
+                    planned_cost <= c + 1e-9,
+                    "scenario {scenario}: MinWorkSingle {planned_cost} beaten by {c}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn best_one_way_equals_best_overall() {
+        // Theorem 4.1: the best 1-way strategy is optimal over the whole
+        // space.
+        let mut g = Vdag::new();
+        let bases: Vec<ViewId> = (0..4)
+            .map(|i| g.add_base(format!("B{i}")).unwrap())
+            .collect();
+        let view = g.add_derived("V", &bases).unwrap();
+        let mut sizes = SizeCatalog::default();
+        for (i, b) in bases.iter().enumerate() {
+            let pre = 50.0 + 60.0 * i as f64;
+            sizes.set(
+                *b,
+                SizeInfo { pre, post: pre * 0.9, delta: pre * 0.1 },
+            );
+        }
+        let model = CostModel::new(&g, &sizes);
+        let best_any = view_strategies(&g, view)
+            .into_iter()
+            .map(|s| model.strategy_work(&s))
+            .fold(f64::INFINITY, f64::min);
+        let best_1way = one_way_view_strategies(&g, view)
+            .into_iter()
+            .map(|s| model.strategy_work(&s))
+            .fold(f64::INFINITY, f64::min);
+        assert!((best_any - best_1way).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_work_on_tree_vdag_is_optimal_vs_prune() {
+        let g = figure3_vdag();
+        let sizes = shrinking_sizes(
+            &g,
+            &[
+                ("V1", 100.0, 0.05),
+                ("V2", 300.0, 0.1),
+                ("V3", 200.0, 0.1),
+                ("V4", 150.0, 0.08),
+                ("V5", 80.0, 0.05),
+            ],
+        );
+        let model = CostModel::new(&g, &sizes);
+        let plan = min_work(&g, &sizes).unwrap();
+        assert!(!plan.used_modified_ordering);
+        check_vdag_strategy(&g, &plan.strategy).unwrap();
+        assert!(vdag_strategy_consistent(&plan.strategy, &g, &plan.ordering));
+
+        let pruned = prune(&g, &model).unwrap();
+        check_vdag_strategy(&g, &pruned.strategy).unwrap();
+        let mw = model.strategy_work(&plan.strategy);
+        assert!(
+            mw <= pruned.cost + 1e-9,
+            "MinWork {mw} worse than Prune {}",
+            pruned.cost
+        );
+    }
+
+    #[test]
+    fn prune_optimization_matches_full_enumeration() {
+        let g = figure10_vdag();
+        let sizes = shrinking_sizes(
+            &g,
+            &[
+                ("V1", 120.0, 0.1),
+                ("V2", 300.0, 0.02),
+                ("V3", 200.0, 0.15),
+                ("V4", 150.0, 0.08),
+                ("V5", 80.0, 0.05),
+            ],
+        );
+        let model = CostModel::new(&g, &sizes);
+        let fast = prune(&g, &model).unwrap();
+        let full = prune_full(&g, &model).unwrap();
+        assert!((fast.cost - full.cost).abs() < 1e-9);
+        assert!(fast.orderings_examined < full.orderings_examined);
+        assert!(strongly_consistent(&fast.strategy, &fast.ordering));
+    }
+
+    #[test]
+    fn min_work_falls_back_on_cyclic_eg() {
+        // Force a desired ordering that ranks V4 first on the Figure 10
+        // VDAG: its EG is cyclic, so MinWork must fall back.
+        // Sizes chosen so the desired ordering is ⟨V4, V2, V1, V3, V5⟩ —
+        // the ordering shown cyclic for this VDAG in the paper's Appendix A
+        // (Figure 16).
+        let g = figure10_vdag();
+        let mut sizes = shrinking_sizes(
+            &g,
+            &[
+                ("V2", 300.0, 0.1667), // growth ≈ -50
+                ("V1", 120.0, 0.1),    // growth = -12
+                ("V3", 200.0, 0.03),   // growth = -6
+                ("V5", 80.0, 0.05),    // growth = -4
+            ],
+        );
+        // V4 shrinks enormously: desired ordering starts with V4.
+        sizes.set(
+            g.id_of("V4").unwrap(),
+            SizeInfo { pre: 1000.0, post: 100.0, delta: 900.0 },
+        );
+        let plan = min_work(&g, &sizes).unwrap();
+        assert!(plan.used_modified_ordering);
+        check_vdag_strategy(&g, &plan.strategy).unwrap();
+        // MinWork is near-optimal here; Prune may beat it but not the other
+        // way round.
+        let model = CostModel::new(&g, &sizes);
+        let pruned = prune(&g, &model).unwrap();
+        assert!(pruned.cost <= model.strategy_work(&plan.strategy) + 1e-9);
+    }
+
+    #[test]
+    fn prune_rejects_oversized_vdags() {
+        let mut g = Vdag::new();
+        let bases: Vec<ViewId> = (0..10)
+            .map(|i| g.add_base(format!("B{i}")).unwrap())
+            .collect();
+        g.add_derived("V", &bases).unwrap();
+        let sizes = SizeCatalog::default();
+        let model = CostModel::new(&g, &sizes);
+        assert!(matches!(prune(&g, &model), Err(CoreError::Planner(_))));
+    }
+
+    #[test]
+    fn one_way_for_ordering_produces_rnscol_style_baselines() {
+        let g = figure3_vdag();
+        let sizes = shrinking_sizes(
+            &g,
+            &[
+                ("V1", 100.0, 0.05),
+                ("V2", 300.0, 0.1),
+                ("V3", 200.0, 0.1),
+                ("V4", 150.0, 0.08),
+                ("V5", 80.0, 0.05),
+            ],
+        );
+        let reversed = sizes.desired_ordering(&g).reversed();
+        let s = one_way_for_ordering(&g, &reversed).unwrap();
+        check_vdag_strategy(&g, &s).unwrap();
+        // Must not be cheaper than MinWork.
+        let model = CostModel::new(&g, &sizes);
+        let plan = min_work(&g, &sizes).unwrap();
+        assert!(model.strategy_work(&plan.strategy) <= model.strategy_work(&s) + 1e-9);
+    }
+}

@@ -1,0 +1,94 @@
+//! A named collection of tables: the stored state of the warehouse.
+
+use crate::error::{RelError, RelResult};
+use crate::table::Table;
+use std::collections::BTreeMap;
+
+/// Maps view names to their stored extents.
+///
+/// Uses a `BTreeMap` so iteration order (and therefore every report and test
+/// that walks the catalog) is deterministic.
+#[derive(Clone, Debug, Default)]
+pub struct Catalog {
+    tables: BTreeMap<String, Table>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a table under its own name, replacing any previous entry.
+    pub fn register(&mut self, table: Table) {
+        self.tables.insert(table.name().to_string(), table);
+    }
+
+    /// Looks up a table.
+    pub fn get(&self, name: &str) -> RelResult<&Table> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| RelError::UnknownRelation(name.to_string()))
+    }
+
+    /// Looks up a table mutably.
+    pub fn get_mut(&mut self, name: &str) -> RelResult<&mut Table> {
+        self.tables
+            .get_mut(name)
+            .ok_or_else(|| RelError::UnknownRelation(name.to_string()))
+    }
+
+    /// True when `name` is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.tables.contains_key(name)
+    }
+
+    /// Iterates tables in name order.
+    pub fn iter(&self) -> impl Iterator<Item = &Table> {
+        self.tables.values()
+    }
+
+    /// Names in order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.tables.keys().map(String::as_str)
+    }
+
+    /// Number of registered tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// True when no tables are registered.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::value::ValueType;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut c = Catalog::new();
+        c.register(Table::new("T", Schema::of(&[("a", ValueType::Int)])));
+        assert!(c.contains("T"));
+        assert!(c.get("T").is_ok());
+        assert!(c.get_mut("T").is_ok());
+        assert!(matches!(c.get("U"), Err(RelError::UnknownRelation(_))));
+        assert_eq!(c.len(), 1);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn iteration_is_name_ordered() {
+        let mut c = Catalog::new();
+        for n in ["Z", "A", "M"] {
+            c.register(Table::new(n, Schema::of(&[("a", ValueType::Int)])));
+        }
+        let names: Vec<&str> = c.names().collect();
+        assert_eq!(names, vec!["A", "M", "Z"]);
+    }
+}

@@ -1,0 +1,70 @@
+//! Error types for the relational substrate.
+
+use std::fmt;
+
+/// Errors raised by schema construction, expression evaluation, and operators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelError {
+    /// A schema was built with two columns of the same name.
+    DuplicateColumn(String),
+    /// A column name did not resolve against a schema.
+    UnknownColumn(String),
+    /// A named relation did not resolve against a catalog.
+    UnknownRelation(String),
+    /// An expression combined operand types it does not support.
+    TypeMismatch {
+        /// What was being evaluated.
+        context: String,
+    },
+    /// A tuple's arity or types did not match the target schema.
+    SchemaMismatch {
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+    /// Installing a delta would drive a tuple's multiplicity negative.
+    NegativeMultiplicity {
+        /// The relation being installed into.
+        relation: String,
+    },
+    /// An aggregate cannot be maintained incrementally (e.g. MIN under deletes).
+    UnsupportedIncremental(String),
+    /// Integer overflow in arithmetic or aggregation.
+    Overflow(String),
+}
+
+impl fmt::Display for RelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelError::DuplicateColumn(n) => write!(f, "duplicate column name: {n}"),
+            RelError::UnknownColumn(n) => write!(f, "unknown column: {n}"),
+            RelError::UnknownRelation(n) => write!(f, "unknown relation: {n}"),
+            RelError::TypeMismatch { context } => write!(f, "type mismatch in {context}"),
+            RelError::SchemaMismatch { detail } => write!(f, "schema mismatch: {detail}"),
+            RelError::NegativeMultiplicity { relation } => {
+                write!(f, "install would make a multiplicity negative in {relation}")
+            }
+            RelError::UnsupportedIncremental(what) => {
+                write!(f, "not incrementally maintainable: {what}")
+            }
+            RelError::Overflow(context) => write!(f, "integer overflow in {context}"),
+        }
+    }
+}
+
+impl std::error::Error for RelError {}
+
+/// Convenience alias.
+pub type RelResult<T> = Result<T, RelError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = RelError::UnknownColumn("c_name".into());
+        assert!(e.to_string().contains("c_name"));
+        let e = RelError::NegativeMultiplicity { relation: "ORDER".into() };
+        assert!(e.to_string().contains("ORDER"));
+    }
+}

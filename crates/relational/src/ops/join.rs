@@ -1,0 +1,149 @@
+//! Join operators on signed row batches.
+
+use super::SignedRows;
+use crate::meter::WorkMeter;
+use crate::tuple::Tuple;
+use std::collections::HashMap;
+
+/// Hash equi-join.
+///
+/// Joins `left` and `right` on `left[left_keys[i]] == right[right_keys[i]]`
+/// for all `i`, concatenating matching tuples (left columns first) and
+/// multiplying their signed multiplicities. Builds the hash table on the
+/// smaller batch.
+pub fn hash_join(
+    left: &SignedRows,
+    left_keys: &[usize],
+    right: &SignedRows,
+    right_keys: &[usize],
+    meter: &mut WorkMeter,
+) -> SignedRows {
+    assert_eq!(left_keys.len(), right_keys.len(), "join key arity mismatch");
+    if left_keys.is_empty() {
+        return cross_join(left, right, meter);
+    }
+    // Build on the smaller side to bound memory; probe with the larger.
+    let build_left = left.len() <= right.len();
+    let (build, build_keys, probe, probe_keys) = if build_left {
+        (left, left_keys, right, right_keys)
+    } else {
+        (right, right_keys, left, left_keys)
+    };
+
+    let mut table: HashMap<Tuple, Vec<(&Tuple, i64)>> = HashMap::with_capacity(build.len());
+    for (t, m) in build {
+        table.entry(t.project(build_keys)).or_default().push((t, *m));
+    }
+
+    let mut out = Vec::new();
+    for (t, m) in probe {
+        if let Some(matches) = table.get(&t.project(probe_keys)) {
+            for (bt, bm) in matches {
+                let row = if build_left { bt.concat(t) } else { t.concat(bt) };
+                out.push((row, m * bm));
+            }
+        }
+    }
+    meter.emit(out.len() as u64);
+    out
+}
+
+/// Cross product, multiplying multiplicities. Used only when a view
+/// definition genuinely has no equi-join between two source groups.
+pub fn cross_join(left: &SignedRows, right: &SignedRows, meter: &mut WorkMeter) -> SignedRows {
+    let mut out = Vec::with_capacity(left.len() * right.len());
+    for (lt, lm) in left {
+        for (rt, rm) in right {
+            out.push((lt.concat(rt), lm * rm));
+        }
+    }
+    meter.emit(out.len() as u64);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tup;
+    use crate::value::Value;
+
+    fn l() -> SignedRows {
+        vec![
+            (tup![Value::Int(1), Value::str("a")], 1),
+            (tup![Value::Int(2), Value::str("b")], 2),
+            (tup![Value::Int(3), Value::str("c")], -1),
+        ]
+    }
+
+    fn r() -> SignedRows {
+        vec![
+            (tup![Value::Int(1), Value::Int(100)], 1),
+            (tup![Value::Int(2), Value::Int(200)], -1),
+            (tup![Value::Int(2), Value::Int(201)], 1),
+            (tup![Value::Int(9), Value::Int(900)], 1),
+        ]
+    }
+
+    #[test]
+    fn equi_join_multiplies_signs() {
+        let mut m = WorkMeter::new();
+        let mut out = hash_join(&l(), &[0], &r(), &[0], &mut m);
+        out.sort();
+        // key 1: 1*1 = +1 row; key 2: 2*-1 and 2*1; key 3 and 9 unmatched.
+        assert_eq!(out.len(), 3);
+        let find = |k: i64, v: i64| {
+            out.iter()
+                .find(|(t, _)| t.get(0).as_int() == Some(k) && t.get(3).as_int() == Some(v))
+                .map(|(_, m)| *m)
+        };
+        assert_eq!(find(1, 100), Some(1));
+        assert_eq!(find(2, 200), Some(-2));
+        assert_eq!(find(2, 201), Some(2));
+        // Left columns come first regardless of build side.
+        assert_eq!(out[0].0.arity(), 4);
+        assert_eq!(out[0].0.get(1).as_str(), Some("a"));
+    }
+
+    #[test]
+    fn column_order_stable_when_build_side_flips() {
+        let mut m = WorkMeter::new();
+        let small = vec![(tup![Value::Int(1), Value::str("x")], 1)];
+        // left smaller -> build left; left bigger -> build right. Both must
+        // emit left-columns-first.
+        let a = hash_join(&small, &[0], &r(), &[0], &mut m);
+        let big_left: SignedRows = (0..10)
+            .map(|i| (tup![Value::Int(i % 2), Value::str("y")], 1))
+            .collect();
+        let b = hash_join(&big_left, &[0], &r(), &[0], &mut m);
+        assert_eq!(a[0].0.get(1).as_str(), Some("x"));
+        assert!(b.iter().all(|(t, _)| t.get(1).as_str() == Some("y")));
+    }
+
+    #[test]
+    fn multi_column_keys() {
+        let mut m = WorkMeter::new();
+        let a = vec![(tup![Value::Int(1), Value::Int(2)], 1)];
+        let b = vec![
+            (tup![Value::Int(1), Value::Int(2)], 3),
+            (tup![Value::Int(1), Value::Int(9)], 5),
+        ];
+        let out = hash_join(&a, &[0, 1], &b, &[0, 1], &mut m);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].1, 3);
+    }
+
+    #[test]
+    fn cross_product() {
+        let mut m = WorkMeter::new();
+        let out = cross_join(&l(), &r(), &mut m);
+        assert_eq!(out.len(), 12);
+        assert_eq!(m.rows_emitted, 12);
+    }
+
+    #[test]
+    fn empty_key_list_is_cross_join() {
+        let mut m = WorkMeter::new();
+        let out = hash_join(&l(), &[], &r(), &[], &mut m);
+        assert_eq!(out.len(), 12);
+    }
+}

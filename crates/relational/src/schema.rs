@@ -1,0 +1,156 @@
+//! Column and relation schemas.
+
+use crate::error::{RelError, RelResult};
+use crate::value::ValueType;
+use std::fmt;
+use std::sync::Arc;
+
+/// A named, typed column.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Column {
+    /// Column name, unique within its schema.
+    pub name: String,
+    /// Column type.
+    pub ty: ValueType,
+}
+
+impl Column {
+    /// Creates a column.
+    pub fn new(name: impl Into<String>, ty: ValueType) -> Self {
+        Column { name: name.into(), ty }
+    }
+}
+
+/// An ordered list of columns describing a relation.
+///
+/// Schemas are cheaply cloneable (`Arc` inside) and compared structurally.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Schema {
+    columns: Arc<[Column]>,
+}
+
+impl Schema {
+    /// Builds a schema from columns. Column names must be unique.
+    pub fn new(columns: Vec<Column>) -> RelResult<Self> {
+        for (i, a) in columns.iter().enumerate() {
+            for b in &columns[i + 1..] {
+                if a.name == b.name {
+                    return Err(RelError::DuplicateColumn(a.name.clone()));
+                }
+            }
+        }
+        Ok(Schema { columns: columns.into() })
+    }
+
+    /// Convenience constructor from `(name, type)` pairs; panics on duplicates.
+    pub fn of(cols: &[(&str, ValueType)]) -> Self {
+        Schema::new(cols.iter().map(|(n, t)| Column::new(*n, *t)).collect())
+            .expect("duplicate column name")
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// True when the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// The columns in order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// The column at `idx`.
+    pub fn column(&self, idx: usize) -> &Column {
+        &self.columns[idx]
+    }
+
+    /// Resolves a column name to its index.
+    pub fn index_of(&self, name: &str) -> RelResult<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name == name)
+            .ok_or_else(|| RelError::UnknownColumn(name.to_string()))
+    }
+
+    /// True when `name` is a column of this schema.
+    pub fn contains(&self, name: &str) -> bool {
+        self.columns.iter().any(|c| c.name == name)
+    }
+
+    /// Concatenates two schemas, prefixing clashes is the caller's job.
+    pub fn concat(&self, other: &Schema) -> RelResult<Schema> {
+        let mut cols: Vec<Column> = self.columns.to_vec();
+        cols.extend(other.columns.iter().cloned());
+        Schema::new(cols)
+    }
+
+    /// Returns a copy with every column renamed to `{prefix}.{name}`.
+    pub fn qualified(&self, prefix: &str) -> Schema {
+        let cols = self
+            .columns
+            .iter()
+            .map(|c| Column::new(format!("{prefix}.{}", c.name), c.ty))
+            .collect::<Vec<_>>();
+        Schema { columns: cols.into() }
+    }
+}
+
+impl fmt::Debug for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut t = f.debug_list();
+        for c in self.columns.iter() {
+            t.entry(&format_args!("{}: {}", c.name, c.ty));
+        }
+        t.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn abc() -> Schema {
+        Schema::of(&[("a", ValueType::Int), ("b", ValueType::Str), ("c", ValueType::Date)])
+    }
+
+    #[test]
+    fn index_lookup() {
+        let s = abc();
+        assert_eq!(s.index_of("a").unwrap(), 0);
+        assert_eq!(s.index_of("c").unwrap(), 2);
+        assert!(s.index_of("zzz").is_err());
+        assert!(s.contains("b"));
+        assert!(!s.contains("z"));
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        let err = Schema::new(vec![
+            Column::new("x", ValueType::Int),
+            Column::new("x", ValueType::Str),
+        ]);
+        assert!(matches!(err, Err(RelError::DuplicateColumn(_))));
+    }
+
+    #[test]
+    fn concat_and_qualify() {
+        let s = abc();
+        let q = s.qualified("t");
+        assert_eq!(q.index_of("t.a").unwrap(), 0);
+        let joined = q.concat(&abc().qualified("u")).unwrap();
+        assert_eq!(joined.len(), 6);
+        assert_eq!(joined.index_of("u.c").unwrap(), 5);
+    }
+
+    #[test]
+    fn concat_detects_clash() {
+        let s = abc();
+        assert!(s.concat(&abc()).is_err());
+    }
+}

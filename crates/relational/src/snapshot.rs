@@ -1,0 +1,285 @@
+//! Plain-text snapshots of tables and catalogs.
+//!
+//! A line-oriented, dependency-free format for persisting warehouse state
+//! (and for diffing states in bug reports). Deterministic: rows are written
+//! in sorted order.
+//!
+//! ```text
+//! # uww snapshot v1
+//! TABLE CUSTOMER
+//! SCHEMA c_custkey:int,c_name:str
+//! ROW 1 <TAB> i:1 <TAB> s:Customer#000000001
+//! END
+//! ```
+
+use crate::catalog::Catalog;
+use crate::error::{RelError, RelResult};
+use crate::schema::{Column, Schema};
+use crate::table::Table;
+use crate::tuple::Tuple;
+use crate::value::{Value, ValueType};
+use std::fmt::Write as _;
+
+/// The header line every snapshot starts with.
+pub const HEADER: &str = "# uww snapshot v1";
+
+/// Serializes one value.
+fn write_value(v: &Value, out: &mut String) {
+    match v {
+        Value::Int(i) => {
+            let _ = write!(out, "i:{i}");
+        }
+        Value::Decimal(d) => {
+            let _ = write!(out, "d:{d}");
+        }
+        Value::Date(d) => {
+            let _ = write!(out, "t:{d}");
+        }
+        Value::Str(s) => {
+            out.push_str("s:");
+            for c in s.chars() {
+                match c {
+                    '\\' => out.push_str("\\\\"),
+                    '\t' => out.push_str("\\t"),
+                    '\n' => out.push_str("\\n"),
+                    other => out.push(other),
+                }
+            }
+        }
+    }
+}
+
+fn parse_value(s: &str) -> RelResult<Value> {
+    let bad = || RelError::SchemaMismatch {
+        detail: format!("malformed snapshot value: {s}"),
+    };
+    let (tag, body) = s.split_once(':').ok_or_else(bad)?;
+    Ok(match tag {
+        "i" => Value::Int(body.parse().map_err(|_| bad())?),
+        "d" => Value::Decimal(body.parse().map_err(|_| bad())?),
+        "t" => Value::Date(body.parse().map_err(|_| bad())?),
+        "s" => {
+            let mut out = String::with_capacity(body.len());
+            let mut chars = body.chars();
+            while let Some(c) = chars.next() {
+                if c == '\\' {
+                    match chars.next() {
+                        Some('\\') => out.push('\\'),
+                        Some('t') => out.push('\t'),
+                        Some('n') => out.push('\n'),
+                        _ => return Err(bad()),
+                    }
+                } else {
+                    out.push(c);
+                }
+            }
+            Value::str(out)
+        }
+        _ => return Err(bad()),
+    })
+}
+
+fn type_name(t: ValueType) -> &'static str {
+    match t {
+        ValueType::Int => "int",
+        ValueType::Decimal => "decimal",
+        ValueType::Str => "str",
+        ValueType::Date => "date",
+    }
+}
+
+fn parse_type(s: &str) -> RelResult<ValueType> {
+    Ok(match s {
+        "int" => ValueType::Int,
+        "decimal" => ValueType::Decimal,
+        "str" => ValueType::Str,
+        "date" => ValueType::Date,
+        other => {
+            return Err(RelError::SchemaMismatch {
+                detail: format!("unknown snapshot type: {other}"),
+            })
+        }
+    })
+}
+
+/// Serializes a single table.
+pub fn table_to_string(table: &Table) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "TABLE {}", table.name());
+    let cols: Vec<String> = table
+        .schema()
+        .columns()
+        .iter()
+        .map(|c| format!("{}:{}", c.name, type_name(c.ty)))
+        .collect();
+    let _ = writeln!(out, "SCHEMA {}", cols.join(","));
+    for (row, mult) in table.sorted_rows() {
+        let _ = write!(out, "ROW {mult}");
+        for v in row.values() {
+            out.push('\t');
+            write_value(v, &mut out);
+        }
+        out.push('\n');
+    }
+    out.push_str("END\n");
+    out
+}
+
+/// Serializes a whole catalog (tables in name order).
+pub fn catalog_to_string(catalog: &Catalog) -> String {
+    let mut out = String::from(HEADER);
+    out.push('\n');
+    for table in catalog.iter() {
+        out.push_str(&table_to_string(table));
+    }
+    out
+}
+
+/// Parses a catalog snapshot.
+pub fn catalog_from_str(s: &str) -> RelResult<Catalog> {
+    let mut lines = s.lines().peekable();
+    match lines.next() {
+        Some(h) if h == HEADER => {}
+        other => {
+            return Err(RelError::SchemaMismatch {
+                detail: format!("bad snapshot header: {other:?}"),
+            })
+        }
+    }
+    let mut catalog = Catalog::new();
+    while let Some(line) = lines.next() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let name = line.strip_prefix("TABLE ").ok_or_else(|| RelError::SchemaMismatch {
+            detail: format!("expected TABLE line, got: {line}"),
+        })?;
+        let schema_line = lines.next().ok_or_else(|| RelError::SchemaMismatch {
+            detail: "truncated snapshot: missing SCHEMA".to_string(),
+        })?;
+        let spec = schema_line
+            .strip_prefix("SCHEMA ")
+            .ok_or_else(|| RelError::SchemaMismatch {
+                detail: format!("expected SCHEMA line, got: {schema_line}"),
+            })?;
+        let mut cols = Vec::new();
+        for part in spec.split(',').filter(|p| !p.is_empty()) {
+            let (cname, ty) = part.split_once(':').ok_or_else(|| RelError::SchemaMismatch {
+                detail: format!("malformed column spec: {part}"),
+            })?;
+            cols.push(Column::new(cname, parse_type(ty)?));
+        }
+        let schema = Schema::new(cols)?;
+        let mut table = Table::new(name, schema);
+        loop {
+            let row_line = lines.next().ok_or_else(|| RelError::SchemaMismatch {
+                detail: "truncated snapshot: missing END".to_string(),
+            })?;
+            if row_line == "END" {
+                break;
+            }
+            let rest = row_line.strip_prefix("ROW ").ok_or_else(|| {
+                RelError::SchemaMismatch {
+                    detail: format!("expected ROW or END, got: {row_line}"),
+                }
+            })?;
+            let mut fields = rest.split('\t');
+            let mult: u64 = fields
+                .next()
+                .and_then(|m| m.parse().ok())
+                .ok_or_else(|| RelError::SchemaMismatch {
+                    detail: format!("bad multiplicity in: {row_line}"),
+                })?;
+            let values: Vec<Value> = fields.map(parse_value).collect::<RelResult<_>>()?;
+            table.insert_n(Tuple::new(values), mult)?;
+        }
+        catalog.register(table);
+    }
+    Ok(catalog)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tup;
+
+    fn sample_catalog() -> Catalog {
+        let mut t = Table::new(
+            "T",
+            Schema::of(&[
+                ("k", ValueType::Int),
+                ("p", ValueType::Decimal),
+                ("s", ValueType::Str),
+                ("d", ValueType::Date),
+            ]),
+        );
+        t.insert_n(
+            tup![
+                Value::Int(-5),
+                Value::Decimal(1234),
+                Value::str("tab\there\nand newline \\ backslash"),
+                Value::Date(9181)
+            ],
+            3,
+        )
+        .unwrap();
+        t.insert(tup![Value::Int(1), Value::Decimal(0), Value::str(""), Value::Date(0)])
+            .unwrap();
+        let mut u = Table::new("U", Schema::of(&[("a", ValueType::Int)]));
+        u.insert(tup![Value::Int(42)]).unwrap();
+        let mut c = Catalog::new();
+        c.register(t);
+        c.register(u);
+        c
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let c = sample_catalog();
+        let text = catalog_to_string(&c);
+        let back = catalog_from_str(&text).unwrap();
+        assert_eq!(back.len(), 2);
+        for t in c.iter() {
+            assert!(back.get(t.name()).unwrap().same_contents(t), "{}", t.name());
+        }
+        // Deterministic output.
+        assert_eq!(text, catalog_to_string(&back));
+    }
+
+    #[test]
+    fn empty_catalog_round_trips() {
+        let c = Catalog::new();
+        let text = catalog_to_string(&c);
+        let back = catalog_from_str(&text).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn malformed_snapshots_rejected() {
+        assert!(catalog_from_str("").is_err());
+        assert!(catalog_from_str("# wrong header\n").is_err());
+        let missing_end = format!("{HEADER}\nTABLE T\nSCHEMA k:int\nROW 1\ti:1\n");
+        assert!(catalog_from_str(&missing_end).is_err());
+        let bad_value = format!("{HEADER}\nTABLE T\nSCHEMA k:int\nROW 1\tz:1\nEND\n");
+        assert!(catalog_from_str(&bad_value).is_err());
+        let bad_type = format!("{HEADER}\nTABLE T\nSCHEMA k:float\nEND\n");
+        assert!(catalog_from_str(&bad_type).is_err());
+        let bad_mult = format!("{HEADER}\nTABLE T\nSCHEMA k:int\nROW x\ti:1\nEND\n");
+        assert!(catalog_from_str(&bad_mult).is_err());
+    }
+
+    #[test]
+    fn value_escapes_round_trip() {
+        for v in [
+            Value::str("plain"),
+            Value::str("with\ttab"),
+            Value::str("with\nnewline"),
+            Value::str("with\\backslash"),
+            Value::str("\\t literal"),
+        ] {
+            let mut s = String::new();
+            write_value(&v, &mut s);
+            assert_eq!(parse_value(&s).unwrap(), v, "{s}");
+        }
+    }
+}

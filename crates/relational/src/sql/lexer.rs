@@ -1,0 +1,279 @@
+//! Tokenizer for the view-definition SQL dialect.
+
+use crate::error::{RelError, RelResult};
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Token {
+    /// Keyword (uppercased): SELECT, FROM, WHERE, AND, OR, NOT, GROUP, BY,
+    /// AS, SUM, COUNT, MIN, MAX, DATE.
+    Keyword(String),
+    /// Identifier, possibly qualified (`C.c_custkey` lexes as Ident("C"),
+    /// Dot, Ident("c_custkey") — the parser reassembles).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Decimal literal as scale-2 fixed point.
+    Decimal(i64),
+    /// Single-quoted string literal.
+    Str(String),
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+const KEYWORDS: &[&str] = &[
+    "SELECT", "FROM", "WHERE", "AND", "OR", "NOT", "GROUP", "BY", "AS", "SUM", "COUNT", "MIN",
+    "MAX", "DATE",
+];
+
+/// Lexes `input` into tokens.
+pub fn lex(input: &str) -> RelResult<Vec<Token>> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    let err = |msg: String| RelError::SchemaMismatch { detail: msg };
+
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            '.' => {
+                out.push(Token::Dot);
+                i += 1;
+            }
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            '+' => {
+                out.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                // Comment `--` or minus.
+                if chars.get(i + 1) == Some(&'-') {
+                    while i < chars.len() && chars[i] != '\n' {
+                        i += 1;
+                    }
+                } else {
+                    out.push(Token::Minus);
+                    i += 1;
+                }
+            }
+            '=' => {
+                out.push(Token::Eq);
+                i += 1;
+            }
+            '!' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    out.push(Token::Ne);
+                    i += 2;
+                } else {
+                    return Err(err(format!("unexpected character: {c}")));
+                }
+            }
+            '<' => match chars.get(i + 1) {
+                Some('=') => {
+                    out.push(Token::Le);
+                    i += 2;
+                }
+                Some('>') => {
+                    out.push(Token::Ne);
+                    i += 2;
+                }
+                _ => {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            },
+            '>' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    out.push(Token::Ge);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match chars.get(i) {
+                        Some('\'') if chars.get(i + 1) == Some(&'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some('\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&ch) => {
+                            s.push(ch);
+                            i += 1;
+                        }
+                        None => return Err(err("unterminated string literal".into())),
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    i += 1;
+                }
+                if chars.get(i) == Some(&'.') && chars.get(i + 1).is_some_and(|c| c.is_ascii_digit()) {
+                    // Decimal: exactly up to 2 fraction digits carried.
+                    i += 1;
+                    let frac_start = i;
+                    while i < chars.len() && chars[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    let whole: i64 = chars[start..frac_start - 1]
+                        .iter()
+                        .collect::<String>()
+                        .parse()
+                        .map_err(|_| err("bad number".into()))?;
+                    let frac_str: String = chars[frac_start..i].iter().collect();
+                    if frac_str.len() > 2 {
+                        return Err(err(format!(
+                            "decimal literal {whole}.{frac_str} exceeds scale 2"
+                        )));
+                    }
+                    let mut frac: i64 =
+                        frac_str.parse().map_err(|_| err("bad number".into()))?;
+                    if frac_str.len() == 1 {
+                        frac *= 10;
+                    }
+                    out.push(Token::Decimal(whole * 100 + frac));
+                } else {
+                    let n: i64 = chars[start..i]
+                        .iter()
+                        .collect::<String>()
+                        .parse()
+                        .map_err(|_| err("bad number".into()))?;
+                    out.push(Token::Int(n));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len()
+                    && (chars[i].is_ascii_alphanumeric() || chars[i] == '_' || chars[i] == '#')
+                {
+                    i += 1;
+                }
+                let word: String = chars[start..i].iter().collect();
+                let upper = word.to_ascii_uppercase();
+                if KEYWORDS.contains(&upper.as_str()) {
+                    out.push(Token::Keyword(upper));
+                } else {
+                    out.push(Token::Ident(word));
+                }
+            }
+            other => return Err(err(format!("unexpected character: {other}"))),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_a_query() {
+        let toks = lex("SELECT a.x, SUM(b.y) FROM t a WHERE a.x >= 1.50 -- c\nGROUP BY a.x")
+            .unwrap();
+        assert!(toks.contains(&Token::Keyword("SELECT".into())));
+        assert!(toks.contains(&Token::Decimal(150)));
+        assert!(toks.contains(&Token::Ge));
+        // Comment swallowed.
+        assert!(!toks.iter().any(|t| matches!(t, Token::Ident(s) if s == "c")));
+    }
+
+    #[test]
+    fn strings_and_escapes() {
+        let toks = lex("'O''Hare'").unwrap();
+        assert_eq!(toks, vec![Token::Str("O'Hare".into())]);
+        assert!(lex("'unterminated").is_err());
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(lex("42").unwrap(), vec![Token::Int(42)]);
+        assert_eq!(lex("1.5").unwrap(), vec![Token::Decimal(150)]);
+        assert_eq!(lex("0.07").unwrap(), vec![Token::Decimal(7)]);
+        assert!(lex("1.234").is_err()); // too many fraction digits
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let toks = lex("< <= > >= = <> !=").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Lt,
+                Token::Le,
+                Token::Gt,
+                Token::Ge,
+                Token::Eq,
+                Token::Ne,
+                Token::Ne
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        let toks = lex("select From wHeRe").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Keyword("SELECT".into()),
+                Token::Keyword("FROM".into()),
+                Token::Keyword("WHERE".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(lex("SELECT @").is_err());
+    }
+}

@@ -1,0 +1,10 @@
+//! A small SQL dialect for authoring view definitions.
+//!
+//! Covers exactly the SELECT-FROM-WHERE-GROUPBY class the paper's
+//! maintenance expressions handle; see [`parse_view_def`] for the grammar.
+
+mod lexer;
+mod parser;
+
+pub use lexer::{lex, Token};
+pub use parser::parse_view_def;

@@ -1,0 +1,196 @@
+//! Table statistics for result-size estimation.
+//!
+//! The paper (Section 5.5) prescribes "standard query result size
+//! estimation methods \[Ull89\]" for deriving `|ΔV|` and `|V'|` of derived
+//! views. Those methods need per-column statistics: cardinalities, distinct
+//! counts, and value ranges. This module collects them exactly (the tables
+//! are in memory; at warehouse scales a pass per update window is cheap).
+
+use crate::table::Table;
+use crate::value::Value;
+use std::collections::HashSet;
+
+/// Statistics for one column.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ColumnStats {
+    /// Number of distinct values.
+    pub distinct: u64,
+    /// Minimum value (None for an empty table).
+    pub min: Option<Value>,
+    /// Maximum value.
+    pub max: Option<Value>,
+}
+
+/// Statistics for one table.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TableStats {
+    /// Total rows (with multiplicities).
+    pub rows: u64,
+    /// Per-column statistics, in schema order.
+    pub columns: Vec<ColumnStats>,
+}
+
+impl TableStats {
+    /// Collects exact statistics with one pass over the table.
+    pub fn collect(table: &Table) -> TableStats {
+        let width = table.schema().len();
+        let mut distinct: Vec<HashSet<&Value>> = vec![HashSet::new(); width];
+        let mut mins: Vec<Option<&Value>> = vec![None; width];
+        let mut maxs: Vec<Option<&Value>> = vec![None; width];
+        for (row, _) in table.iter() {
+            for (i, v) in row.values().iter().enumerate() {
+                distinct[i].insert(v);
+                if mins[i].is_none_or(|m| v < m) {
+                    mins[i] = Some(v);
+                }
+                if maxs[i].is_none_or(|m| v > m) {
+                    maxs[i] = Some(v);
+                }
+            }
+        }
+        TableStats {
+            rows: table.len(),
+            columns: (0..width)
+                .map(|i| ColumnStats {
+                    distinct: distinct[i].len() as u64,
+                    min: mins[i].cloned(),
+                    max: maxs[i].cloned(),
+                })
+                .collect(),
+        }
+    }
+
+    /// The stats of column `idx`.
+    pub fn column(&self, idx: usize) -> &ColumnStats {
+        &self.columns[idx]
+    }
+
+    /// Selectivity of an equality predicate on column `idx` (the classic
+    /// `1/distinct` uniform assumption).
+    pub fn eq_selectivity(&self, idx: usize) -> f64 {
+        let d = self.columns[idx].distinct;
+        if d == 0 {
+            0.0
+        } else {
+            1.0 / d as f64
+        }
+    }
+
+    /// Selectivity of a range predicate `col < bound` under a uniform
+    /// assumption over numeric/date ranges; 1/3 fallback (System R's
+    /// classic default) for strings or empty tables.
+    pub fn range_selectivity_lt(&self, idx: usize, bound: &Value) -> f64 {
+        range_fraction(&self.columns[idx], bound)
+            .unwrap_or(1.0 / 3.0)
+            .clamp(0.0, 1.0)
+    }
+
+    /// Selectivity of `col > bound`.
+    pub fn range_selectivity_gt(&self, idx: usize, bound: &Value) -> f64 {
+        range_fraction(&self.columns[idx], bound)
+            .map(|f| 1.0 - f)
+            .unwrap_or(1.0 / 3.0)
+            .clamp(0.0, 1.0)
+    }
+}
+
+/// Fraction of the column's [min, max] range below `bound`.
+fn range_fraction(c: &ColumnStats, bound: &Value) -> Option<f64> {
+    let (min, max) = (c.min.as_ref()?, c.max.as_ref()?);
+    let to_f = |v: &Value| -> Option<f64> {
+        match v {
+            Value::Int(i) => Some(*i as f64),
+            Value::Decimal(d) => Some(*d as f64),
+            Value::Date(d) => Some(*d as f64),
+            Value::Str(_) => None,
+        }
+    };
+    let (lo, hi, b) = (to_f(min)?, to_f(max)?, to_f(bound)?);
+    if hi <= lo {
+        return Some(if b > lo { 1.0 } else { 0.0 });
+    }
+    Some((b - lo) / (hi - lo))
+}
+
+/// Estimated output cardinality of an equi-join between two tables on one
+/// key pair: `|R|·|S| / max(d_R, d_S)` (the textbook containment-of-value-
+/// sets rule).
+pub fn join_cardinality(
+    left_rows: f64,
+    left_distinct: u64,
+    right_rows: f64,
+    right_distinct: u64,
+) -> f64 {
+    let d = left_distinct.max(right_distinct).max(1) as f64;
+    left_rows * right_rows / d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::tup;
+    use crate::value::ValueType;
+
+    fn table() -> Table {
+        let mut t = Table::new(
+            "T",
+            Schema::of(&[("k", ValueType::Int), ("s", ValueType::Str)]),
+        );
+        for i in 0..10 {
+            t.insert(tup![Value::Int(i % 5), Value::str(if i % 2 == 0 { "a" } else { "b" })])
+                .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn collect_counts_distincts_and_ranges() {
+        let s = TableStats::collect(&table());
+        assert_eq!(s.rows, 10);
+        assert_eq!(s.column(0).distinct, 5);
+        assert_eq!(s.column(1).distinct, 2);
+        assert_eq!(s.column(0).min, Some(Value::Int(0)));
+        assert_eq!(s.column(0).max, Some(Value::Int(4)));
+    }
+
+    #[test]
+    fn selectivities() {
+        let s = TableStats::collect(&table());
+        assert_eq!(s.eq_selectivity(0), 0.2);
+        assert_eq!(s.eq_selectivity(1), 0.5);
+        // k < 2 over range [0,4]: fraction 0.5.
+        assert_eq!(s.range_selectivity_lt(0, &Value::Int(2)), 0.5);
+        assert_eq!(s.range_selectivity_gt(0, &Value::Int(2)), 0.5);
+        // Strings fall back to 1/3.
+        assert!((s.range_selectivity_lt(1, &Value::str("z")) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_table_stats() {
+        let t = Table::new("E", Schema::of(&[("k", ValueType::Int)]));
+        let s = TableStats::collect(&t);
+        assert_eq!(s.rows, 0);
+        assert_eq!(s.column(0).distinct, 0);
+        assert_eq!(s.column(0).min, None);
+        assert_eq!(s.eq_selectivity(0), 0.0);
+    }
+
+    #[test]
+    fn join_cardinality_rule() {
+        // |R|=100 with 10 keys, |S|=50 with 25 keys -> 100*50/25 = 200.
+        assert_eq!(join_cardinality(100.0, 10, 50.0, 25), 200.0);
+        assert_eq!(join_cardinality(10.0, 0, 10.0, 0), 100.0); // degenerate
+    }
+
+    #[test]
+    fn constant_column_range() {
+        let mut t = Table::new("C", Schema::of(&[("k", ValueType::Int)]));
+        for _ in 0..3 {
+            t.insert(tup![Value::Int(7)]).unwrap();
+        }
+        let s = TableStats::collect(&t);
+        assert_eq!(s.range_selectivity_lt(0, &Value::Int(7)), 0.0);
+        assert_eq!(s.range_selectivity_lt(0, &Value::Int(8)), 1.0);
+    }
+}

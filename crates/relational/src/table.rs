@@ -1,0 +1,284 @@
+//! Multiset tables: the stored extent of a materialized view.
+
+use crate::delta::DeltaRelation;
+use crate::error::{RelError, RelResult};
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use std::collections::HashMap;
+
+/// A bag (multiset) of tuples with a fixed schema.
+///
+/// The paper's views are SQL relations with bag semantics; we store each
+/// distinct tuple with a positive multiplicity. `len` is the total number of
+/// rows (sum of multiplicities), which is the quantity `|V|` used by the
+/// linear work metric.
+#[derive(Clone, Debug)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    rows: HashMap<Tuple, u64>,
+    len: u64,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        Table {
+            name: name.into(),
+            schema,
+            rows: HashMap::new(),
+            len: 0,
+        }
+    }
+
+    /// The table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Total number of rows, counting multiplicities (the paper's `|V|`).
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True when the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of distinct tuples.
+    pub fn distinct_len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Inserts `count` copies of `tuple`.
+    pub fn insert_n(&mut self, tuple: Tuple, count: u64) -> RelResult<()> {
+        if count == 0 {
+            return Ok(());
+        }
+        if !tuple.conforms_to(&self.schema) {
+            return Err(RelError::SchemaMismatch {
+                detail: format!("tuple {tuple:?} does not fit table {}", self.name),
+            });
+        }
+        *self.rows.entry(tuple).or_insert(0) += count;
+        self.len += count;
+        Ok(())
+    }
+
+    /// Inserts one copy of `tuple`.
+    pub fn insert(&mut self, tuple: Tuple) -> RelResult<()> {
+        self.insert_n(tuple, 1)
+    }
+
+    /// Removes `count` copies of `tuple`; errors if fewer are present.
+    pub fn delete_n(&mut self, tuple: &Tuple, count: u64) -> RelResult<()> {
+        if count == 0 {
+            return Ok(());
+        }
+        match self.rows.get_mut(tuple) {
+            Some(m) if *m >= count => {
+                *m -= count;
+                if *m == 0 {
+                    self.rows.remove(tuple);
+                }
+                self.len -= count;
+                Ok(())
+            }
+            _ => Err(RelError::NegativeMultiplicity {
+                relation: self.name.clone(),
+            }),
+        }
+    }
+
+    /// Multiplicity of `tuple` (0 when absent).
+    pub fn multiplicity(&self, tuple: &Tuple) -> u64 {
+        self.rows.get(tuple).copied().unwrap_or(0)
+    }
+
+    /// Iterates `(tuple, multiplicity)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Tuple, u64)> {
+        self.rows.iter().map(|(t, &m)| (t, m))
+    }
+
+    /// All rows as a sorted `Vec<(Tuple, u64)>`, for deterministic output.
+    pub fn sorted_rows(&self) -> Vec<(Tuple, u64)> {
+        let mut v: Vec<(Tuple, u64)> = self.rows.iter().map(|(t, &m)| (t.clone(), m)).collect();
+        v.sort();
+        v
+    }
+
+    /// Applies a signed delta: inserts plus tuples, deletes minus tuples.
+    ///
+    /// This is the paper's `Inst` primitive. Errors (without partial effects
+    /// rolled back — callers treat the error as fatal) if a deletion would
+    /// remove more copies than are stored.
+    pub fn install(&mut self, delta: &DeltaRelation) -> RelResult<()> {
+        if *delta.schema() != self.schema {
+            return Err(RelError::SchemaMismatch {
+                detail: format!("delta schema does not match table {}", self.name),
+            });
+        }
+        // Validate deletions up front so errors leave the table untouched.
+        for (t, m) in delta.iter() {
+            if m < 0 && self.multiplicity(t) < (-m) as u64 {
+                return Err(RelError::NegativeMultiplicity {
+                    relation: self.name.clone(),
+                });
+            }
+        }
+        for (t, m) in delta.iter() {
+            if m > 0 {
+                self.insert_n(t.clone(), m as u64)?;
+            } else if m < 0 {
+                self.delete_n(t, (-m) as u64)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Structural equality: same schema and same multiset of rows.
+    /// (`Table` deliberately does not implement `PartialEq`; names may differ.)
+    pub fn same_contents(&self, other: &Table) -> bool {
+        self.schema == other.schema && self.len == other.len && self.rows == other.rows
+    }
+
+    /// The delta that transforms `self` into `target`:
+    /// plus tuples where `target` has more copies, minus where fewer.
+    /// `self.install(&self.diff(&target))` yields `target`.
+    pub fn diff(&self, target: &Table) -> RelResult<DeltaRelation> {
+        if self.schema != *target.schema() {
+            return Err(RelError::SchemaMismatch {
+                detail: format!(
+                    "diff between incompatible schemas ({} vs {})",
+                    self.name,
+                    target.name()
+                ),
+            });
+        }
+        let mut d = DeltaRelation::new(self.schema.clone());
+        for (t, m) in target.iter() {
+            let before = self.multiplicity(t) as i64;
+            d.add(t.clone(), m as i64 - before);
+        }
+        for (t, m) in self.iter() {
+            if target.multiplicity(t) == 0 {
+                d.add(t.clone(), -(m as i64));
+            }
+        }
+        Ok(d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tup;
+    use crate::value::{Value, ValueType};
+
+    fn t() -> Table {
+        Table::new("T", Schema::of(&[("a", ValueType::Int)]))
+    }
+
+    #[test]
+    fn insert_delete_multiplicity() {
+        let mut tab = t();
+        tab.insert(tup![Value::Int(1)]).unwrap();
+        tab.insert_n(tup![Value::Int(1)], 2).unwrap();
+        tab.insert(tup![Value::Int(2)]).unwrap();
+        assert_eq!(tab.len(), 4);
+        assert_eq!(tab.distinct_len(), 2);
+        assert_eq!(tab.multiplicity(&tup![Value::Int(1)]), 3);
+        tab.delete_n(&tup![Value::Int(1)], 2).unwrap();
+        assert_eq!(tab.len(), 2);
+        assert_eq!(tab.multiplicity(&tup![Value::Int(1)]), 1);
+        assert!(tab.delete_n(&tup![Value::Int(1)], 5).is_err());
+        assert!(tab.delete_n(&tup![Value::Int(9)], 1).is_err());
+    }
+
+    #[test]
+    fn schema_enforced() {
+        let mut tab = t();
+        assert!(tab.insert(tup![Value::str("x")]).is_err());
+        assert!(tab.insert(tup![Value::Int(1), Value::Int(2)]).is_err());
+    }
+
+    #[test]
+    fn install_round_trip() {
+        let mut tab = t();
+        tab.insert_n(tup![Value::Int(1)], 2).unwrap();
+        let mut d = DeltaRelation::new(tab.schema().clone());
+        d.add(tup![Value::Int(1)], -1);
+        d.add(tup![Value::Int(5)], 3);
+        tab.install(&d).unwrap();
+        assert_eq!(tab.multiplicity(&tup![Value::Int(1)]), 1);
+        assert_eq!(tab.multiplicity(&tup![Value::Int(5)]), 3);
+        assert_eq!(tab.len(), 4);
+    }
+
+    #[test]
+    fn install_validates_before_mutating() {
+        let mut tab = t();
+        tab.insert(tup![Value::Int(1)]).unwrap();
+        let mut d = DeltaRelation::new(tab.schema().clone());
+        d.add(tup![Value::Int(7)], 1);
+        d.add(tup![Value::Int(1)], -2); // would go negative
+        assert!(tab.install(&d).is_err());
+        // Nothing was applied.
+        assert_eq!(tab.len(), 1);
+        assert_eq!(tab.multiplicity(&tup![Value::Int(7)]), 0);
+    }
+
+    #[test]
+    fn same_contents_ignores_name() {
+        let mut a = Table::new("A", Schema::of(&[("a", ValueType::Int)]));
+        let mut b = Table::new("B", Schema::of(&[("a", ValueType::Int)]));
+        a.insert(tup![Value::Int(1)]).unwrap();
+        b.insert(tup![Value::Int(1)]).unwrap();
+        assert!(a.same_contents(&b));
+        b.insert(tup![Value::Int(1)]).unwrap();
+        assert!(!a.same_contents(&b));
+    }
+
+    #[test]
+    fn diff_round_trips() {
+        let mut a = t();
+        let mut b = Table::new("T2", Schema::of(&[("a", ValueType::Int)]));
+        for i in [1, 1, 2, 3] {
+            a.insert(tup![Value::Int(i)]).unwrap();
+        }
+        for i in [1, 3, 3, 9] {
+            b.insert(tup![Value::Int(i)]).unwrap();
+        }
+        let d = a.diff(&b).unwrap();
+        // 1: 2->1 (-1); 2: 1->0 (-1); 3: 1->2 (+1); 9: 0->1 (+1).
+        assert_eq!(d.minus_len(), 2);
+        assert_eq!(d.plus_len(), 2);
+        let rebuilt = d.applied_to(&a).unwrap();
+        assert!(rebuilt.same_contents(&b));
+        // Identity diff is empty.
+        assert!(a.diff(&a).unwrap().is_empty());
+        // Schema mismatch rejected.
+        let other = Table::new("X", Schema::of(&[("z", ValueType::Str)]));
+        assert!(a.diff(&other).is_err());
+    }
+
+    #[test]
+    fn sorted_rows_deterministic() {
+        let mut tab = t();
+        for i in [5, 1, 3] {
+            tab.insert(tup![Value::Int(i)]).unwrap();
+        }
+        let rows: Vec<i64> = tab
+            .sorted_rows()
+            .iter()
+            .map(|(t, _)| t.get(0).as_int().unwrap())
+            .collect();
+        assert_eq!(rows, vec![1, 3, 5]);
+    }
+}

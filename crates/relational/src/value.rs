@@ -1,0 +1,257 @@
+//! Scalar values stored in warehouse tuples.
+//!
+//! All variants have total equality, total ordering, and a stable hash, so
+//! tuples can live in hash-based multisets. Monetary quantities use scale-2
+//! fixed-point [`Value::Decimal`] instead of floating point: equality of
+//! incremental results against from-scratch recomputation must be exact.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::sync::Arc;
+
+/// Number of fractional digits carried by [`Value::Decimal`].
+pub const DECIMAL_SCALE: u32 = 2;
+/// `10^DECIMAL_SCALE`: one whole unit expressed in decimal ticks.
+pub const DECIMAL_ONE: i64 = 100;
+
+/// A scalar value.
+///
+/// `Decimal(n)` represents the number `n / 100` (scale-2 fixed point).
+/// `Date(n)` counts days since 1970-01-01 (negative allowed).
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// 64-bit signed integer (keys, counts, priorities).
+    Int(i64),
+    /// Scale-2 fixed-point number (prices, discounts, balances).
+    Decimal(i64),
+    /// Interned immutable string.
+    Str(Arc<str>),
+    /// Days since the Unix epoch.
+    Date(i32),
+}
+
+impl Value {
+    /// Builds a string value.
+    pub fn str(s: impl Into<Arc<str>>) -> Self {
+        Value::Str(s.into())
+    }
+
+    /// Builds a decimal from whole units and cents, e.g. `decimal(12, 34)` is 12.34.
+    pub fn decimal(units: i64, cents: i64) -> Self {
+        debug_assert!((0..DECIMAL_ONE).contains(&cents.abs()));
+        let sign = if units < 0 { -1 } else { 1 };
+        Value::Decimal(units * DECIMAL_ONE + sign * cents)
+    }
+
+    /// Returns the integer payload, if this is an [`Value::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the raw scale-2 payload, if this is a [`Value::Decimal`].
+    pub fn as_decimal(&self) -> Option<i64> {
+        match self {
+            Value::Decimal(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the string payload, if this is a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Returns the day count, if this is a [`Value::Date`].
+    pub fn as_date(&self) -> Option<i32> {
+        match self {
+            Value::Date(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The [`ValueType`] tag of this value.
+    pub fn value_type(&self) -> ValueType {
+        match self {
+            Value::Int(_) => ValueType::Int,
+            Value::Decimal(_) => ValueType::Decimal,
+            Value::Str(_) => ValueType::Str,
+            Value::Date(_) => ValueType::Date,
+        }
+    }
+
+    /// Numeric payload used by arithmetic: the raw `i64` behind `Int` or
+    /// `Decimal`. Returns `None` for strings and dates.
+    pub fn numeric_raw(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) | Value::Decimal(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Decimal(v) => {
+                let sign = if *v < 0 { "-" } else { "" };
+                let a = v.abs();
+                write!(f, "{sign}{}.{:02}", a / DECIMAL_ONE, a % DECIMAL_ONE)
+            }
+            Value::Str(v) => write!(f, "{v:?}"),
+            Value::Date(v) => {
+                let (y, m, d) = days_to_ymd(*v);
+                write!(f, "{y:04}-{m:02}-{d:02}")
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Str(v) => write!(f, "{v}"),
+            other => write!(f, "{other:?}"),
+        }
+    }
+}
+
+/// The type of a column / value.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ValueType {
+    /// 64-bit integer.
+    Int,
+    /// Scale-2 fixed point.
+    Decimal,
+    /// String.
+    Str,
+    /// Days since epoch.
+    Date,
+}
+
+impl fmt::Display for ValueType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ValueType::Int => "int",
+            ValueType::Decimal => "decimal",
+            ValueType::Str => "str",
+            ValueType::Date => "date",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Compares two values of possibly different types.
+///
+/// Values of different types order by type tag; within a type the natural
+/// order applies. This keeps sorting total without panicking, while the
+/// planner-level type checks ensure heterogeneous comparisons never occur in
+/// well-typed queries.
+pub fn total_cmp(a: &Value, b: &Value) -> Ordering {
+    a.cmp(b)
+}
+
+/// Converts a calendar date to days since 1970-01-01 (proleptic Gregorian).
+pub fn date(year: i32, month: u32, day: u32) -> Value {
+    Value::Date(ymd_to_days(year, month, day))
+}
+
+/// Days since epoch for the given calendar date.
+///
+/// Uses Howard Hinnant's `days_from_civil` algorithm; exact for all Gregorian
+/// dates.
+pub fn ymd_to_days(y: i32, m: u32, d: u32) -> i32 {
+    assert!((1..=12).contains(&m), "month out of range: {m}");
+    assert!((1..=31).contains(&d), "day out of range: {d}");
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = (y - era * 400) as i64; // [0, 399]
+    let mp = ((m + 9) % 12) as i64; // [0, 11], March = 0
+    let doy = (153 * mp + 2) / 5 + d as i64 - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    (era as i64 * 146097 + doe - 719468) as i32
+}
+
+/// Inverse of [`ymd_to_days`].
+pub fn days_to_ymd(days: i32) -> (i32, u32, u32) {
+    let z = days as i64 + 719468;
+    let era = if z >= 0 { z } else { z - 146096 } / 146097;
+    let doe = z - era * 146097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32; // [1, 12]
+    ((if m <= 2 { y + 1 } else { y }) as i32, m, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decimal_constructor_and_display() {
+        assert_eq!(Value::decimal(12, 34), Value::Decimal(1234));
+        assert_eq!(format!("{:?}", Value::Decimal(1234)), "12.34");
+        assert_eq!(format!("{:?}", Value::Decimal(-5)), "-0.05");
+        assert_eq!(format!("{:?}", Value::Decimal(7)), "0.07");
+    }
+
+    #[test]
+    fn date_round_trip() {
+        for &(y, m, d) in &[
+            (1970, 1, 1),
+            (1992, 1, 1),
+            (1995, 3, 15),
+            (1998, 12, 31),
+            (2000, 2, 29),
+            (1900, 3, 1),
+            (1969, 12, 31),
+        ] {
+            let days = ymd_to_days(y, m, d);
+            assert_eq!(days_to_ymd(days), (y, m, d), "date {y}-{m}-{d}");
+        }
+        assert_eq!(ymd_to_days(1970, 1, 1), 0);
+        assert_eq!(ymd_to_days(1970, 1, 2), 1);
+        assert_eq!(ymd_to_days(1969, 12, 31), -1);
+    }
+
+    #[test]
+    fn date_ordering_matches_calendar() {
+        assert!(date(1995, 3, 15) < date(1995, 3, 16));
+        assert!(date(1994, 12, 31) < date(1995, 1, 1));
+    }
+
+    #[test]
+    fn value_type_tags() {
+        assert_eq!(Value::Int(1).value_type(), ValueType::Int);
+        assert_eq!(Value::Decimal(1).value_type(), ValueType::Decimal);
+        assert_eq!(Value::str("x").value_type(), ValueType::Str);
+        assert_eq!(Value::Date(1).value_type(), ValueType::Date);
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(7).as_int(), Some(7));
+        assert_eq!(Value::Int(7).as_decimal(), None);
+        assert_eq!(Value::Decimal(7).as_decimal(), Some(7));
+        assert_eq!(Value::str("a").as_str(), Some("a"));
+        assert_eq!(Value::Date(3).as_date(), Some(3));
+        assert_eq!(Value::Int(7).numeric_raw(), Some(7));
+        assert_eq!(Value::Decimal(9).numeric_raw(), Some(9));
+        assert_eq!(Value::str("a").numeric_raw(), None);
+    }
+
+    #[test]
+    fn display_str_unquoted() {
+        assert_eq!(Value::str("BUILDING").to_string(), "BUILDING");
+        assert_eq!(format!("{:?}", Value::str("BUILDING")), "\"BUILDING\"");
+    }
+}

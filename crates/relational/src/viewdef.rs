@@ -1,0 +1,355 @@
+//! Declarative view definitions: `Def(V)` from the paper.
+//!
+//! A view is a select-project-join query over named source views, optionally
+//! followed by a group-by aggregation — the SELECT-FROM-WHERE-GROUPBY class
+//! the paper's maintenance expressions cover (Section 2).
+//!
+//! Column references in filters, join conditions, and outputs use *qualified*
+//! names of the form `ALIAS.column`, where `ALIAS` is the per-source alias
+//! (defaulting to the source view name).
+
+use crate::error::{RelError, RelResult};
+use crate::expr::{Predicate, ScalarExpr};
+use crate::ops::AggFunc;
+use crate::schema::{Column, Schema};
+use crate::value::ValueType;
+use std::collections::HashSet;
+
+/// One FROM-list entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ViewSource {
+    /// The name of the underlying view (base or derived).
+    pub view: String,
+    /// Alias used to qualify this source's columns.
+    pub alias: String,
+}
+
+impl ViewSource {
+    /// Source aliased by its own name.
+    pub fn named(view: impl Into<String>) -> Self {
+        let view = view.into();
+        ViewSource { alias: view.clone(), view }
+    }
+}
+
+/// An equality join condition between two qualified columns.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EquiJoin {
+    /// Qualified column, e.g. `"C.c_custkey"`.
+    pub left: String,
+    /// Qualified column, e.g. `"O.o_custkey"`.
+    pub right: String,
+}
+
+impl EquiJoin {
+    /// `left = right`.
+    pub fn new(left: impl Into<String>, right: impl Into<String>) -> Self {
+        EquiJoin { left: left.into(), right: right.into() }
+    }
+}
+
+/// A named output column computed from the joined row.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OutputColumn {
+    /// Name in the view's schema.
+    pub name: String,
+    /// Defining expression over the qualified concatenated schema.
+    pub expr: ScalarExpr,
+}
+
+impl OutputColumn {
+    /// Output column `name` defined by `expr`.
+    pub fn new(name: impl Into<String>, expr: ScalarExpr) -> Self {
+        OutputColumn { name: name.into(), expr }
+    }
+
+    /// Output column that passes a qualified source column through.
+    pub fn col(name: impl Into<String>, source_col: impl Into<String>) -> Self {
+        OutputColumn { name: name.into(), expr: ScalarExpr::Col(source_col.into()) }
+    }
+}
+
+/// A named aggregate output.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AggregateColumn {
+    /// Name in the view's schema.
+    pub name: String,
+    /// Aggregate function.
+    pub func: AggFunc,
+    /// Input expression over the qualified concatenated schema.
+    pub input: ScalarExpr,
+}
+
+/// The output shape of a view: plain projection or group-by aggregation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ViewOutput {
+    /// `SELECT <columns>` (bag semantics — duplicates preserved).
+    Project(Vec<OutputColumn>),
+    /// `SELECT <group_by>, <aggregates> ... GROUP BY <group_by>`.
+    Aggregate {
+        /// Group-by key columns.
+        group_by: Vec<OutputColumn>,
+        /// Aggregate outputs.
+        aggregates: Vec<AggregateColumn>,
+    },
+}
+
+/// `Def(V)`: a complete view definition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ViewDef {
+    /// The view's name.
+    pub name: String,
+    /// FROM list. Source view names must be distinct (no self-joins; the
+    /// maintenance-term model substitutes deltas per *view*, not per alias).
+    pub sources: Vec<ViewSource>,
+    /// Equality join conditions.
+    pub joins: Vec<EquiJoin>,
+    /// WHERE filters (qualified column references). Filters touching a single
+    /// source are pushed below the joins by the evaluator.
+    pub filters: Vec<Predicate>,
+    /// Output shape.
+    pub output: ViewOutput,
+}
+
+impl ViewDef {
+    /// Names of the underlying source views, in FROM order.
+    pub fn source_views(&self) -> Vec<&str> {
+        self.sources.iter().map(|s| s.view.as_str()).collect()
+    }
+
+    /// The alias of source view `view`, if present.
+    pub fn alias_of(&self, view: &str) -> Option<&str> {
+        self.sources
+            .iter()
+            .find(|s| s.view == view)
+            .map(|s| s.alias.as_str())
+    }
+
+    /// True when the view aggregates.
+    pub fn is_aggregate(&self) -> bool {
+        matches!(self.output, ViewOutput::Aggregate { .. })
+    }
+
+    /// The qualified concatenation of the given source schemas, in FROM
+    /// order. `lookup` maps a source *view name* to its schema.
+    pub fn joined_schema(
+        &self,
+        mut lookup: impl FnMut(&str) -> RelResult<Schema>,
+    ) -> RelResult<Schema> {
+        let mut cols: Vec<Column> = Vec::new();
+        for s in &self.sources {
+            let schema = lookup(&s.view)?;
+            cols.extend(schema.qualified(&s.alias).columns().iter().cloned());
+        }
+        Schema::new(cols)
+    }
+
+    /// The visible output schema of the view.
+    pub fn output_schema(
+        &self,
+        lookup: impl FnMut(&str) -> RelResult<Schema>,
+    ) -> RelResult<Schema> {
+        let joined = self.joined_schema(lookup)?;
+        let mut cols = Vec::new();
+        match &self.output {
+            ViewOutput::Project(outs) => {
+                for o in outs {
+                    cols.push(Column::new(o.name.clone(), o.expr.output_type(&joined)?));
+                }
+            }
+            ViewOutput::Aggregate { group_by, aggregates } => {
+                for g in group_by {
+                    cols.push(Column::new(g.name.clone(), g.expr.output_type(&joined)?));
+                }
+                for a in aggregates {
+                    let ty = match a.func {
+                        AggFunc::Sum | AggFunc::Min | AggFunc::Max => {
+                            a.input.output_type(&joined)?
+                        }
+                        AggFunc::Count => ValueType::Int,
+                    };
+                    cols.push(Column::new(a.name.clone(), ty));
+                }
+            }
+        }
+        Schema::new(cols)
+    }
+
+    /// Validates structural well-formedness: distinct source views and
+    /// aliases, join/filter/output columns resolvable, and every join
+    /// condition connecting two *different* sources.
+    pub fn validate(&self, lookup: impl FnMut(&str) -> RelResult<Schema>) -> RelResult<()> {
+        let mut seen_views = HashSet::new();
+        let mut seen_aliases = HashSet::new();
+        for s in &self.sources {
+            if !seen_views.insert(&s.view) {
+                return Err(RelError::SchemaMismatch {
+                    detail: format!("view {} lists source {} twice", self.name, s.view),
+                });
+            }
+            if !seen_aliases.insert(&s.alias) {
+                return Err(RelError::SchemaMismatch {
+                    detail: format!("view {} reuses alias {}", self.name, s.alias),
+                });
+            }
+        }
+        let joined = self.joined_schema(lookup)?;
+        for j in &self.joins {
+            let li = joined.index_of(&j.left)?;
+            let ri = joined.index_of(&j.right)?;
+            if self.source_of_column(&j.left) == self.source_of_column(&j.right) {
+                return Err(RelError::SchemaMismatch {
+                    detail: format!("join {} = {} stays within one source", j.left, j.right),
+                });
+            }
+            if joined.column(li).ty != joined.column(ri).ty {
+                return Err(RelError::TypeMismatch {
+                    context: format!("join {} = {}", j.left, j.right),
+                });
+            }
+        }
+        for f in &self.filters {
+            for c in f.referenced_columns() {
+                joined.index_of(c)?;
+            }
+        }
+        // Output expressions type-check via output_schema.
+        self.output_schema(|v| {
+            // Re-derive from the joined schema we already have.
+            let prefix = format!(
+                "{}.",
+                self.alias_of(v).ok_or_else(|| RelError::UnknownRelation(v.to_string()))?
+            );
+            let cols = joined
+                .columns()
+                .iter()
+                .filter(|c| c.name.starts_with(&prefix))
+                .map(|c| Column::new(c.name[prefix.len()..].to_string(), c.ty))
+                .collect();
+            Schema::new(cols)
+        })?;
+        Ok(())
+    }
+
+    /// The index (in `sources`) of the source whose alias qualifies
+    /// `qualified_col`, if any.
+    pub fn source_of_column(&self, qualified_col: &str) -> Option<usize> {
+        let (alias, _) = qualified_col.split_once('.')?;
+        self.sources.iter().position(|s| s.alias == alias)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn r_schema() -> Schema {
+        Schema::of(&[("rk", ValueType::Int), ("rv", ValueType::Decimal)])
+    }
+    fn s_schema() -> Schema {
+        Schema::of(&[("sk", ValueType::Int), ("sname", ValueType::Str)])
+    }
+    fn lookup(name: &str) -> RelResult<Schema> {
+        match name {
+            "R" => Ok(r_schema()),
+            "S" => Ok(s_schema()),
+            other => Err(RelError::UnknownRelation(other.to_string())),
+        }
+    }
+
+    fn join_view() -> ViewDef {
+        ViewDef {
+            name: "V".into(),
+            sources: vec![ViewSource::named("R"), ViewSource::named("S")],
+            joins: vec![EquiJoin::new("R.rk", "S.sk")],
+            filters: vec![Predicate::col_eq("S.sname", Value::str("x"))],
+            output: ViewOutput::Project(vec![
+                OutputColumn::col("k", "R.rk"),
+                OutputColumn::new(
+                    "double_v",
+                    ScalarExpr::col("R.rv").add(ScalarExpr::col("R.rv")),
+                ),
+            ]),
+        }
+    }
+
+    #[test]
+    fn schemas_and_validation() {
+        let v = join_view();
+        v.validate(lookup).unwrap();
+        let joined = v.joined_schema(lookup).unwrap();
+        assert_eq!(joined.len(), 4);
+        assert!(joined.contains("R.rv") && joined.contains("S.sname"));
+        let out = v.output_schema(lookup).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out.column(0).ty, ValueType::Int);
+        assert_eq!(out.column(1).ty, ValueType::Decimal);
+        assert_eq!(v.source_views(), vec!["R", "S"]);
+        assert_eq!(v.alias_of("S"), Some("S"));
+        assert!(!v.is_aggregate());
+    }
+
+    #[test]
+    fn aggregate_output_schema() {
+        let mut v = join_view();
+        v.output = ViewOutput::Aggregate {
+            group_by: vec![OutputColumn::col("k", "R.rk")],
+            aggregates: vec![
+                AggregateColumn {
+                    name: "total".into(),
+                    func: AggFunc::Sum,
+                    input: ScalarExpr::col("R.rv"),
+                },
+                AggregateColumn {
+                    name: "n".into(),
+                    func: AggFunc::Count,
+                    input: ScalarExpr::col("R.rk"),
+                },
+            ],
+        };
+        v.validate(lookup).unwrap();
+        let out = v.output_schema(lookup).unwrap();
+        assert_eq!(out.len(), 3);
+        assert_eq!(out.column(1).ty, ValueType::Decimal);
+        assert_eq!(out.column(2).ty, ValueType::Int);
+        assert!(v.is_aggregate());
+    }
+
+    #[test]
+    fn duplicate_source_rejected() {
+        let mut v = join_view();
+        v.sources.push(ViewSource::named("R"));
+        assert!(v.validate(lookup).is_err());
+    }
+
+    #[test]
+    fn self_join_condition_rejected() {
+        let mut v = join_view();
+        v.joins = vec![EquiJoin::new("R.rk", "R.rk")];
+        assert!(v.validate(lookup).is_err());
+    }
+
+    #[test]
+    fn join_type_mismatch_rejected() {
+        let mut v = join_view();
+        v.joins = vec![EquiJoin::new("R.rk", "S.sname")];
+        assert!(v.validate(lookup).is_err());
+    }
+
+    #[test]
+    fn unknown_filter_column_rejected() {
+        let mut v = join_view();
+        v.filters.push(Predicate::col_eq("S.zzz", Value::Int(1)));
+        assert!(v.validate(lookup).is_err());
+    }
+
+    #[test]
+    fn source_of_column_resolves_alias() {
+        let v = join_view();
+        assert_eq!(v.source_of_column("R.rk"), Some(0));
+        assert_eq!(v.source_of_column("S.sk"), Some(1));
+        assert_eq!(v.source_of_column("T.x"), None);
+        assert_eq!(v.source_of_column("unqualified"), None);
+    }
+}

@@ -1,0 +1,312 @@
+//! Change-batch generation: the deltas that arrive at the warehouse.
+//!
+//! The paper's main experiments shrink each changed base view by 10%
+//! (deletions); Experiment 3 sweeps the percentage. We also support
+//! insertions and mixed batches so the planners can be exercised on
+//! workloads where `|V'| − |V|` is positive for some views — the regime
+//! where installing early is *bad* and orderings genuinely flip.
+
+use crate::gen::TpcdGenerator;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+use uww_relational::{Catalog, DeltaRelation, Table};
+
+/// What fraction of a base view to delete and how many fresh rows to insert
+/// (as a fraction of the current size).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChangeSpec {
+    /// Fraction of existing rows to delete (0.0..=1.0).
+    pub delete_frac: f64,
+    /// Fresh rows to insert, as a fraction of the current size.
+    pub insert_frac: f64,
+}
+
+impl ChangeSpec {
+    /// Deletions only (the paper's default: 10%).
+    pub fn deletions(frac: f64) -> Self {
+        ChangeSpec { delete_frac: frac, insert_frac: 0.0 }
+    }
+
+    /// Insertions only.
+    pub fn insertions(frac: f64) -> Self {
+        ChangeSpec { delete_frac: 0.0, insert_frac: frac }
+    }
+
+    /// No change.
+    pub fn none() -> Self {
+        ChangeSpec { delete_frac: 0.0, insert_frac: 0.0 }
+    }
+}
+
+/// A change batch: per-base-view specs plus a seed.
+#[derive(Clone, Debug)]
+pub struct ChangeBatch {
+    /// Per-view change specification; views absent here do not change.
+    pub specs: BTreeMap<String, ChangeSpec>,
+    /// Seed for the row sampler.
+    pub seed: u64,
+}
+
+impl ChangeBatch {
+    /// Empty batch.
+    pub fn new(seed: u64) -> Self {
+        ChangeBatch { specs: BTreeMap::new(), seed }
+    }
+
+    /// Sets the spec for one view.
+    pub fn with(mut self, view: &str, spec: ChangeSpec) -> Self {
+        self.specs.insert(view.to_string(), spec);
+        self
+    }
+
+    /// The paper's default experiment batch: CUSTOMER, ORDER, LINEITEM,
+    /// SUPPLIER and NATION each shrink by `frac`; REGION is unchanged.
+    pub fn paper_default(frac: f64, seed: u64) -> Self {
+        let mut b = ChangeBatch::new(seed);
+        for v in ["CUSTOMER", "ORDER", "LINEITEM", "SUPPLIER", "NATION"] {
+            b.specs.insert(v.to_string(), ChangeSpec::deletions(frac));
+        }
+        b
+    }
+
+    /// Experiment 3's batch: only CUSTOMER, ORDER and LINEITEM shrink.
+    pub fn col_deletions(frac: f64, seed: u64) -> Self {
+        let mut b = ChangeBatch::new(seed);
+        for v in ["CUSTOMER", "ORDER", "LINEITEM"] {
+            b.specs.insert(v.to_string(), ChangeSpec::deletions(frac));
+        }
+        b
+    }
+
+    /// Generates the delta relations against the current `catalog` state.
+    ///
+    /// Deletions sample uniformly without replacement from the stored rows
+    /// (deterministically, via the batch seed). Insertions fabricate fresh
+    /// rows with keys above the stored key space using `generator`.
+    pub fn generate(
+        &self,
+        catalog: &Catalog,
+        generator: &TpcdGenerator,
+    ) -> BTreeMap<String, DeltaRelation> {
+        let mut out = BTreeMap::new();
+        for (view, spec) in &self.specs {
+            let table = catalog
+                .get(view)
+                .unwrap_or_else(|_| panic!("change batch references unknown view {view}"));
+            let mut delta = DeltaRelation::new(table.schema().clone());
+            let mut rng = SmallRng::seed_from_u64(
+                self.seed ^ fxhash(view.as_bytes()),
+            );
+            self.add_deletions(table, spec.delete_frac, &mut delta, &mut rng);
+            self.add_insertions(view, table, spec.insert_frac, generator, &mut delta, &mut rng);
+            if !delta.is_empty() {
+                out.insert(view.clone(), delta);
+            }
+        }
+        out
+    }
+
+    fn add_deletions(
+        &self,
+        table: &Table,
+        frac: f64,
+        delta: &mut DeltaRelation,
+        rng: &mut SmallRng,
+    ) {
+        if frac <= 0.0 {
+            return;
+        }
+        let k = ((table.len() as f64) * frac).round() as usize;
+        if k == 0 {
+            return;
+        }
+        // Sorted rows for determinism (hash iteration order is not stable).
+        let mut rows = table.sorted_rows();
+        rows.shuffle(rng);
+        let mut remaining = k as u64;
+        for (tuple, mult) in rows {
+            if remaining == 0 {
+                break;
+            }
+            let take = mult.min(remaining);
+            delta.add(tuple, -(take as i64));
+            remaining -= take;
+        }
+    }
+
+    fn add_insertions(
+        &self,
+        view: &str,
+        table: &Table,
+        frac: f64,
+        generator: &TpcdGenerator,
+        delta: &mut DeltaRelation,
+        rng: &mut SmallRng,
+    ) {
+        if frac <= 0.0 {
+            return;
+        }
+        let k = ((table.len() as f64) * frac).round() as i64;
+        if k <= 0 {
+            return;
+        }
+        // Fresh keys start above the loaded key space.
+        let base = key_space_top(table) + 1;
+        match view {
+            "CUSTOMER" => {
+                for i in 0..k {
+                    delta.add(generator.make_customer(base + i, rng), 1);
+                }
+            }
+            "SUPPLIER" => {
+                for i in 0..k {
+                    delta.add(generator.make_supplier(base + i, rng), 1);
+                }
+            }
+            "ORDER" => {
+                let max_cust = generator.counts().customer as i64;
+                let max_supp = generator.counts().supplier as i64;
+                for i in 0..k {
+                    let (o, _) = generator.make_order(base + i, max_cust, max_supp, rng);
+                    delta.add(o, 1);
+                }
+            }
+            "LINEITEM" => {
+                let max_cust = generator.counts().customer as i64;
+                let max_supp = generator.counts().supplier as i64;
+                let mut added = 0i64;
+                let mut okey = base;
+                while added < k {
+                    let (_, lines) = generator.make_order(okey, max_cust, max_supp, rng);
+                    for l in lines {
+                        if added >= k {
+                            break;
+                        }
+                        delta.add(l, 1);
+                        added += 1;
+                    }
+                    okey += 1;
+                }
+            }
+            other => panic!("insertions not supported for {other}"),
+        }
+    }
+}
+
+/// The largest primary-key value present (first column by TPC-D convention).
+fn key_space_top(table: &Table) -> i64 {
+    table
+        .iter()
+        .filter_map(|(t, _)| t.get(0).as_int())
+        .max()
+        .unwrap_or(0)
+        // Lineitem keys are (orderkey, linenumber); sharing the orderkey
+        // space with ORDER is fine because we only need freshness.
+        .max(1_000_000_000)
+}
+
+fn fxhash(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::TpcdConfig;
+
+    fn setup() -> (TpcdGenerator, Catalog) {
+        let g = TpcdGenerator::new(TpcdConfig { scale: 0.001, seed: 3 });
+        let c = g.generate();
+        (g, c)
+    }
+
+    #[test]
+    fn ten_percent_deletions_shrink_views() {
+        let (g, cat) = setup();
+        let batch = ChangeBatch::paper_default(0.10, 42);
+        let deltas = batch.generate(&cat, &g);
+        assert_eq!(deltas.len(), 5);
+        assert!(!deltas.contains_key("REGION"));
+        for (view, delta) in &deltas {
+            let before = cat.get(view).unwrap().len();
+            let expect = ((before as f64) * 0.10).round() as u64;
+            assert_eq!(delta.minus_len(), expect, "{view}");
+            assert_eq!(delta.plus_len(), 0, "{view}");
+            // Installing must succeed (every deleted row exists).
+            let after = delta.applied_to(cat.get(view).unwrap()).unwrap();
+            assert_eq!(after.len(), before - expect);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (g, cat) = setup();
+        let a = ChangeBatch::paper_default(0.05, 9).generate(&cat, &g);
+        let b = ChangeBatch::paper_default(0.05, 9).generate(&cat, &g);
+        for (view, da) in &a {
+            let db = &b[view];
+            assert_eq!(da.sorted_rows(), db.sorted_rows(), "{view}");
+        }
+        let c = ChangeBatch::paper_default(0.05, 10).generate(&cat, &g);
+        assert_ne!(
+            a["CUSTOMER"].sorted_rows(),
+            c["CUSTOMER"].sorted_rows(),
+            "different seeds must differ"
+        );
+    }
+
+    #[test]
+    fn insertions_use_fresh_keys() {
+        let (g, cat) = setup();
+        let batch = ChangeBatch::new(1).with("CUSTOMER", ChangeSpec::insertions(0.10));
+        let deltas = batch.generate(&cat, &g);
+        let d = &deltas["CUSTOMER"];
+        assert_eq!(d.minus_len(), 0);
+        assert_eq!(d.plus_len(), 15); // 10% of 150
+        let existing = cat.get("CUSTOMER").unwrap();
+        for (t, m) in d.iter() {
+            assert!(m > 0);
+            assert_eq!(existing.multiplicity(t), 0, "key collision");
+        }
+        // Install grows the view.
+        let after = d.applied_to(existing).unwrap();
+        assert_eq!(after.len(), existing.len() + 15);
+    }
+
+    #[test]
+    fn mixed_batch_nets_out() {
+        let (g, cat) = setup();
+        let batch = ChangeBatch::new(5).with(
+            "ORDER",
+            ChangeSpec { delete_frac: 0.10, insert_frac: 0.20 },
+        );
+        let d = &batch.generate(&cat, &g)["ORDER"];
+        let before = cat.get("ORDER").unwrap().len() as i64;
+        assert_eq!(d.net_count(), (before as f64 * 0.10).round() as i64);
+        d.applied_to(cat.get("ORDER").unwrap()).unwrap();
+    }
+
+    #[test]
+    fn lineitem_insertions_supported() {
+        let (g, cat) = setup();
+        let batch = ChangeBatch::new(2).with("LINEITEM", ChangeSpec::insertions(0.01));
+        let d = &batch.generate(&cat, &g)["LINEITEM"];
+        assert!(d.plus_len() > 0);
+        d.applied_to(cat.get("LINEITEM").unwrap()).unwrap();
+    }
+
+    #[test]
+    fn col_batch_touches_only_col() {
+        let (g, cat) = setup();
+        let deltas = ChangeBatch::col_deletions(0.04, 7).generate(&cat, &g);
+        let keys: Vec<&str> = deltas.keys().map(String::as_str).collect();
+        assert_eq!(keys, vec!["CUSTOMER", "LINEITEM", "ORDER"]);
+    }
+}

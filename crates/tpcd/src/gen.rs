@@ -1,0 +1,484 @@
+//! Deterministic, seeded TPC-D style data generation.
+//!
+//! We reproduce the *structure* the paper's experiments rely on — the six
+//! relations, their key relationships, their relative sizes
+//! (`LINEITEM ≫ ORDER ≫ CUSTOMER ≫ SUPPLIER ≫ NATION ≫ REGION`), and the
+//! value distributions the Q3/Q5/Q10 predicates select on — at a
+//! configurable scale factor. `scale = 1.0` corresponds to the TPC-D SF=1
+//! row counts (150k customers, 1.5M orders, ~6M lineitems); experiments use
+//! small fractions.
+
+use crate::schema;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use uww_relational::{date, Catalog, Table, Tuple, Value};
+
+/// Market segments (TPC-D).
+pub const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "HOUSEHOLD",
+    "MACHINERY",
+];
+
+/// Region names (TPC-D).
+pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+
+/// `(nation name, region key)` pairs (TPC-D Appendix A).
+pub const NATIONS: [(&str, i64); 25] = [
+    ("ALGERIA", 0),
+    ("ARGENTINA", 1),
+    ("BRAZIL", 1),
+    ("CANADA", 1),
+    ("EGYPT", 4),
+    ("ETHIOPIA", 0),
+    ("FRANCE", 3),
+    ("GERMANY", 3),
+    ("INDIA", 2),
+    ("INDONESIA", 2),
+    ("IRAN", 4),
+    ("IRAQ", 4),
+    ("JAPAN", 2),
+    ("JORDAN", 4),
+    ("KENYA", 0),
+    ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0),
+    ("PERU", 1),
+    ("CHINA", 2),
+    ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4),
+    ("VIETNAM", 2),
+    ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+];
+
+/// Order priorities (TPC-D).
+pub const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+
+/// Generation parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct TpcdConfig {
+    /// Fraction of the TPC-D SF=1 database. `0.001` gives ~150 customers,
+    /// ~1.5k orders, ~6k lineitems.
+    pub scale: f64,
+    /// RNG seed; equal seeds give identical databases.
+    pub seed: u64,
+}
+
+impl TpcdConfig {
+    /// Scale `scale` with the default seed.
+    pub fn at_scale(scale: f64) -> Self {
+        TpcdConfig { scale, seed: 0x5757_1999 }
+    }
+
+    /// Row targets implied by the scale.
+    pub fn row_counts(&self) -> RowCounts {
+        let s = self.scale.max(0.0);
+        RowCounts {
+            supplier: ((10_000.0 * s).round() as u64).max(2),
+            customer: ((150_000.0 * s).round() as u64).max(5),
+            orders: ((1_500_000.0 * s).round() as u64).max(10),
+        }
+    }
+}
+
+impl Default for TpcdConfig {
+    fn default() -> Self {
+        TpcdConfig::at_scale(0.001)
+    }
+}
+
+/// Concrete row targets (lineitems are 1–7 per order, ~4 on average).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RowCounts {
+    /// SUPPLIER rows.
+    pub supplier: u64,
+    /// CUSTOMER rows.
+    pub customer: u64,
+    /// ORDER rows.
+    pub orders: u64,
+}
+
+/// The seeded generator. Also used by the change generator to fabricate
+/// *new* rows (insertions) with keys above the loaded key space.
+pub struct TpcdGenerator {
+    cfg: TpcdConfig,
+    counts: RowCounts,
+    comments: Vec<Arc<str>>,
+}
+
+impl TpcdGenerator {
+    /// Creates a generator.
+    pub fn new(cfg: TpcdConfig) -> Self {
+        let comments = (0..16)
+            .map(|i| Arc::<str>::from(format!("synthetic comment pool entry {i}")))
+            .collect();
+        TpcdGenerator { counts: cfg.row_counts(), cfg, comments }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &TpcdConfig {
+        &self.cfg
+    }
+
+    /// The row targets.
+    pub fn counts(&self) -> &RowCounts {
+        &self.counts
+    }
+
+    /// Generates the full six-relation database.
+    pub fn generate(&self) -> Catalog {
+        let mut cat = Catalog::new();
+        cat.register(self.region_table());
+        cat.register(self.nation_table());
+        cat.register(self.supplier_table());
+        cat.register(self.customer_table());
+        let (orders, lineitems) = self.order_and_lineitem_tables();
+        cat.register(orders);
+        cat.register(lineitems);
+        cat
+    }
+
+    fn rng(&self, stream: u64) -> SmallRng {
+        SmallRng::seed_from_u64(self.cfg.seed.wrapping_mul(0x9E37_79B9).wrapping_add(stream))
+    }
+
+    fn comment(&self, rng: &mut SmallRng) -> Value {
+        Value::Str(self.comments[rng.gen_range(0..self.comments.len())].clone())
+    }
+
+    /// REGION: fixed five rows.
+    pub fn region_table(&self) -> Table {
+        let mut t = Table::new("REGION", schema::region_schema());
+        let mut rng = self.rng(1);
+        for (k, name) in REGIONS.iter().enumerate() {
+            t.insert(Tuple::new(vec![
+                Value::Int(k as i64),
+                Value::str(*name),
+                self.comment(&mut rng),
+            ]))
+            .expect("region row");
+        }
+        t
+    }
+
+    /// NATION: fixed 25 rows.
+    pub fn nation_table(&self) -> Table {
+        let mut t = Table::new("NATION", schema::nation_schema());
+        let mut rng = self.rng(2);
+        for (k, (name, region)) in NATIONS.iter().enumerate() {
+            t.insert(Tuple::new(vec![
+                Value::Int(k as i64),
+                Value::str(*name),
+                Value::Int(*region),
+                self.comment(&mut rng),
+            ]))
+            .expect("nation row");
+        }
+        t
+    }
+
+    /// Builds one SUPPLIER row for `key`.
+    pub fn make_supplier(&self, key: i64, rng: &mut SmallRng) -> Tuple {
+        Tuple::new(vec![
+            Value::Int(key),
+            Value::str(format!("Supplier#{key:09}")),
+            Value::str(format!("addr-s-{}", rng.gen_range(0..100_000))),
+            Value::Int(rng.gen_range(0..NATIONS.len() as i64)),
+            Value::str(phone(rng)),
+            Value::Decimal(rng.gen_range(-99_999..=999_999)),
+        ])
+    }
+
+    /// SUPPLIER table.
+    pub fn supplier_table(&self) -> Table {
+        let mut t = Table::new("SUPPLIER", schema::supplier_schema());
+        let mut rng = self.rng(3);
+        for key in 1..=self.counts.supplier as i64 {
+            t.insert(self.make_supplier(key, &mut rng)).expect("supplier row");
+        }
+        t
+    }
+
+    /// Builds one CUSTOMER row for `key`.
+    pub fn make_customer(&self, key: i64, rng: &mut SmallRng) -> Tuple {
+        Tuple::new(vec![
+            Value::Int(key),
+            Value::str(format!("Customer#{key:09}")),
+            Value::str(format!("addr-c-{}", rng.gen_range(0..1_000_000))),
+            Value::Int(rng.gen_range(0..NATIONS.len() as i64)),
+            Value::str(phone(rng)),
+            Value::Decimal(rng.gen_range(-99_999..=999_999)),
+            Value::str(SEGMENTS[rng.gen_range(0..SEGMENTS.len())]),
+        ])
+    }
+
+    /// CUSTOMER table.
+    pub fn customer_table(&self) -> Table {
+        let mut t = Table::new("CUSTOMER", schema::customer_schema());
+        let mut rng = self.rng(4);
+        for key in 1..=self.counts.customer as i64 {
+            t.insert(self.make_customer(key, &mut rng)).expect("customer row");
+        }
+        t
+    }
+
+    /// Builds one ORDER row and its LINEITEM rows for `orderkey`.
+    /// `max_custkey`/`max_suppkey` bound the foreign keys.
+    pub fn make_order(
+        &self,
+        orderkey: i64,
+        max_custkey: i64,
+        max_suppkey: i64,
+        rng: &mut SmallRng,
+    ) -> (Tuple, Vec<Tuple>) {
+        // 1992-01-01 .. 1998-08-02 as in TPC-D.
+        let start = date(1992, 1, 1).as_date().unwrap();
+        let end = date(1998, 8, 2).as_date().unwrap();
+        let orderdate = rng.gen_range(start..=end);
+
+        let n_lines = rng.gen_range(1..=7);
+        let mut lines = Vec::with_capacity(n_lines);
+        let mut total: i64 = 0;
+        for line in 1..=n_lines as i64 {
+            let quantity = rng.gen_range(1..=50) as i64; // whole units
+            let unit_price = rng.gen_range(90_001..=200_000); // 900.01 .. 2000.00
+            let extended = quantity * unit_price;
+            let discount = rng.gen_range(0..=10); // 0.00 .. 0.10
+            let tax = rng.gen_range(0..=8); // 0.00 .. 0.08
+            let shipdate = orderdate + rng.gen_range(1..=121);
+            let commitdate = orderdate + rng.gen_range(30..=90);
+            let receiptdate = shipdate + rng.gen_range(1..=30);
+            let returnflag = match rng.gen_range(0..4) {
+                0 => "R",
+                1 => "A",
+                _ => "N",
+            };
+            let linestatus = if shipdate > date(1995, 6, 17).as_date().unwrap() {
+                "O"
+            } else {
+                "F"
+            };
+            total += extended;
+            lines.push(Tuple::new(vec![
+                Value::Int(orderkey),
+                Value::Int(line),
+                Value::Int(rng.gen_range(1..=max_suppkey)),
+                Value::Decimal(quantity * 100),
+                Value::Decimal(extended),
+                Value::Decimal(discount),
+                Value::Decimal(tax),
+                Value::str(returnflag),
+                Value::str(linestatus),
+                Value::Date(shipdate),
+                Value::Date(commitdate),
+                Value::Date(receiptdate),
+            ]));
+        }
+
+        let order = Tuple::new(vec![
+            Value::Int(orderkey),
+            Value::Int(rng.gen_range(1..=max_custkey)),
+            Value::str(if rng.gen_bool(0.5) { "F" } else { "O" }),
+            Value::Decimal(total),
+            Value::Date(orderdate),
+            Value::str(PRIORITIES[rng.gen_range(0..PRIORITIES.len())]),
+            Value::Int(0), // TPC-D fixes o_shippriority at 0
+        ]);
+        (order, lines)
+    }
+
+    /// ORDER and LINEITEM tables together (lineitems reference orders).
+    pub fn order_and_lineitem_tables(&self) -> (Table, Table) {
+        let mut orders = Table::new("ORDER", schema::order_schema());
+        let mut lineitems = Table::new("LINEITEM", schema::lineitem_schema());
+        let mut rng = self.rng(5);
+        let max_custkey = self.counts.customer as i64;
+        let max_suppkey = self.counts.supplier as i64;
+        for orderkey in 1..=self.counts.orders as i64 {
+            let (o, ls) = self.make_order(orderkey, max_custkey, max_suppkey, &mut rng);
+            orders.insert(o).expect("order row");
+            for l in ls {
+                lineitems.insert(l).expect("lineitem row");
+            }
+        }
+        (orders, lineitems)
+    }
+}
+
+fn phone(rng: &mut SmallRng) -> String {
+    format!(
+        "{:02}-{:03}-{:03}-{:04}",
+        rng.gen_range(10..35),
+        rng.gen_range(100..1000),
+        rng.gen_range(100..1000),
+        rng.gen_range(1000..10_000)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_counts_scale() {
+        let c = TpcdConfig::at_scale(0.001).row_counts();
+        assert_eq!(c.supplier, 10);
+        assert_eq!(c.customer, 150);
+        assert_eq!(c.orders, 1500);
+        let c = TpcdConfig::at_scale(0.01).row_counts();
+        assert_eq!(c.customer, 1500);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let g1 = TpcdGenerator::new(TpcdConfig { scale: 0.0005, seed: 7 });
+        let g2 = TpcdGenerator::new(TpcdConfig { scale: 0.0005, seed: 7 });
+        let c1 = g1.generate();
+        let c2 = g2.generate();
+        for name in schema::BASE_VIEWS {
+            assert!(
+                c1.get(name).unwrap().same_contents(c2.get(name).unwrap()),
+                "{name} differs"
+            );
+        }
+        // A different seed produces different data.
+        let g3 = TpcdGenerator::new(TpcdConfig { scale: 0.0005, seed: 8 });
+        let c3 = g3.generate();
+        assert!(!c1
+            .get("CUSTOMER")
+            .unwrap()
+            .same_contents(c3.get("CUSTOMER").unwrap()));
+    }
+
+    #[test]
+    fn relative_sizes_match_tpcd_shape() {
+        let cat = TpcdGenerator::new(TpcdConfig::at_scale(0.001)).generate();
+        let len = |n: &str| cat.get(n).unwrap().len();
+        assert!(len("LINEITEM") > len("ORDER"));
+        assert!(len("ORDER") > len("CUSTOMER"));
+        assert!(len("CUSTOMER") > len("SUPPLIER"));
+        assert!(len("SUPPLIER") < len("NATION") * 2 || len("SUPPLIER") > len("NATION"));
+        assert_eq!(len("NATION"), 25);
+        assert_eq!(len("REGION"), 5);
+        // Lineitems average ~4 per order.
+        let ratio = len("LINEITEM") as f64 / len("ORDER") as f64;
+        assert!((2.5..5.5).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn rows_conform_to_schemas() {
+        let cat = TpcdGenerator::new(TpcdConfig::at_scale(0.0005)).generate();
+        for name in schema::BASE_VIEWS {
+            let t = cat.get(name).unwrap();
+            let s = schema::base_schema(name).unwrap();
+            for (row, _) in t.iter() {
+                assert!(row.conforms_to(&s), "{name}: {row:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn foreign_keys_in_range() {
+        let gen = TpcdGenerator::new(TpcdConfig::at_scale(0.001));
+        let cat = gen.generate();
+        let orders = cat.get("ORDER").unwrap();
+        let max_cust = gen.counts().customer as i64;
+        for (row, _) in orders.iter() {
+            let ck = row.get(1).as_int().unwrap();
+            assert!((1..=max_cust).contains(&ck));
+        }
+        let nations = cat.get("NATION").unwrap();
+        for (row, _) in nations.iter() {
+            let rk = row.get(2).as_int().unwrap();
+            assert!((0..5).contains(&rk));
+        }
+    }
+
+    #[test]
+    fn value_distributions_are_plausible() {
+        use std::collections::HashMap;
+        let cat = TpcdGenerator::new(TpcdConfig::at_scale(0.002)).generate();
+
+        // Market segments roughly uniform over 5 values.
+        let customers = cat.get("CUSTOMER").unwrap();
+        let mut seg_counts: HashMap<&str, u64> = HashMap::new();
+        for (row, m) in customers.iter() {
+            *seg_counts.entry(row.get(6).as_str().unwrap()).or_default() += m;
+        }
+        assert_eq!(seg_counts.len(), 5);
+        let n = customers.len() as f64;
+        for (seg, count) in &seg_counts {
+            let frac = *count as f64 / n;
+            assert!((0.1..0.35).contains(&frac), "{seg}: {frac}");
+        }
+
+        // Return flags: R ~25%, A ~25%, N ~50%.
+        let items = cat.get("LINEITEM").unwrap();
+        let mut flags: HashMap<&str, u64> = HashMap::new();
+        for (row, m) in items.iter() {
+            *flags.entry(row.get(7).as_str().unwrap()).or_default() += m;
+        }
+        let total = items.len() as f64;
+        let frac = |f: &str| *flags.get(f).unwrap_or(&0) as f64 / total;
+        assert!((0.18..0.32).contains(&frac("R")), "R {}", frac("R"));
+        assert!((0.18..0.32).contains(&frac("A")), "A {}", frac("A"));
+        assert!((0.40..0.60).contains(&frac("N")), "N {}", frac("N"));
+
+        // Order dates within the TPC-D window.
+        let lo = date(1992, 1, 1).as_date().unwrap();
+        let hi = date(1998, 8, 2).as_date().unwrap();
+        for (row, _) in cat.get("ORDER").unwrap().iter() {
+            let d = row.get(4).as_date().unwrap();
+            assert!((lo..=hi).contains(&d));
+        }
+
+        // Discounts within 0.00..=0.10, taxes within 0.00..=0.08.
+        for (row, _) in items.iter() {
+            let disc = row.get(5).as_decimal().unwrap();
+            let tax = row.get(6).as_decimal().unwrap();
+            assert!((0..=10).contains(&disc), "discount {disc}");
+            assert!((0..=8).contains(&tax), "tax {tax}");
+            // extendedprice = quantity * unit price, positive.
+            assert!(row.get(4).as_decimal().unwrap() > 0);
+        }
+    }
+
+    #[test]
+    fn every_order_has_lineitems_and_totals_match() {
+        use std::collections::HashMap;
+        let cat = TpcdGenerator::new(TpcdConfig::at_scale(0.0005)).generate();
+        let mut line_sum: HashMap<i64, i64> = HashMap::new();
+        for (row, m) in cat.get("LINEITEM").unwrap().iter() {
+            *line_sum.entry(row.get(0).as_int().unwrap()).or_default() +=
+                row.get(4).as_decimal().unwrap() * m as i64;
+        }
+        for (row, _) in cat.get("ORDER").unwrap().iter() {
+            let key = row.get(0).as_int().unwrap();
+            let total = row.get(3).as_decimal().unwrap();
+            assert_eq!(
+                line_sum.get(&key).copied().unwrap_or(0),
+                total,
+                "o_totalprice mismatch for order {key}"
+            );
+        }
+    }
+
+    #[test]
+    fn lineitem_dates_follow_order_dates() {
+        let gen = TpcdGenerator::new(TpcdConfig::at_scale(0.0005));
+        let mut rng = SmallRng::seed_from_u64(1);
+        let (order, lines) = gen.make_order(42, 100, 10, &mut rng);
+        let odate = order.get(4).as_date().unwrap();
+        for l in lines {
+            let ship = l.get(9).as_date().unwrap();
+            let receipt = l.get(11).as_date().unwrap();
+            assert!(ship > odate && ship <= odate + 121);
+            assert!(receipt > ship);
+            assert_eq!(l.get(0).as_int().unwrap(), 42);
+        }
+    }
+}

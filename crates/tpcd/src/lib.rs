@@ -1,0 +1,27 @@
+//! # uww-tpcd
+//!
+//! Deterministic TPC-D style workload generation for the *Shrinking the
+//! Warehouse Update Window* reproduction:
+//!
+//! * [`schema`] — the six base-view schemas of the paper's Figure 4;
+//! * [`gen`] — a seeded generator reproducing TPC-D's key structure, value
+//!   distributions, and relative table sizes at configurable scale;
+//! * [`changes`] — change batches (deletions / insertions / mixed) arriving
+//!   at the warehouse, including the paper's 10%-shrink default;
+//! * [`queries`] — Q3 ("Shipping Priority"), Q5 ("Local Supplier Volume")
+//!   and Q10 ("Returned Item Reporting") as [`uww_relational::ViewDef`]s.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod changes;
+pub mod gen;
+pub mod queries;
+pub mod refresh;
+pub mod schema;
+
+pub use changes::{ChangeBatch, ChangeSpec};
+pub use gen::{RowCounts, TpcdConfig, TpcdGenerator};
+pub use queries::{all_query_defs, example_1_1_def, q10_def, q1_def, q3_def, q5_def};
+pub use refresh::{rf1, rf2};
+pub use schema::{base_schema, BASE_VIEWS};

@@ -1,0 +1,283 @@
+//! The paper's derived views: TPC-D Q3, Q5, and Q10 as summary tables.
+//!
+//! Q3 is the "Shipping Priority" query (over CUSTOMER, ORDER, LINEITEM),
+//! Q5 the "Local Supplier Volume" query (over all six base views), and
+//! Q10 the "Returned Item Reporting" query (over CUSTOMER, ORDER, LINEITEM,
+//! NATION) — exactly the VDAG of the paper's Figure 4.
+
+use uww_relational::{
+    date, AggFunc, AggregateColumn, CmpOp, EquiJoin, OutputColumn, Predicate, ScalarExpr, Value,
+    ViewDef, ViewOutput, ViewSource,
+};
+
+/// `revenue = l_extendedprice * (1 - l_discount)` over qualified LINEITEM
+/// columns (alias `L`).
+fn revenue_expr() -> ScalarExpr {
+    ScalarExpr::col("L.l_extendedprice").mul(
+        ScalarExpr::lit(Value::Decimal(100)) // 1.00 in scale-2 fixed point
+            .sub(ScalarExpr::col("L.l_discount")),
+    )
+}
+
+/// TPC-D Q3 "Shipping Priority":
+///
+/// ```sql
+/// SELECT l_orderkey, o_orderdate, o_shippriority,
+///        SUM(l_extendedprice * (1 - l_discount)) AS revenue
+/// FROM   CUSTOMER C, ORDER O, LINEITEM L
+/// WHERE  c_mktsegment = 'BUILDING'
+///   AND  c_custkey = o_custkey AND l_orderkey = o_orderkey
+///   AND  o_orderdate < DATE '1995-03-15' AND l_shipdate > DATE '1995-03-15'
+/// GROUP BY l_orderkey, o_orderdate, o_shippriority
+/// ```
+pub fn q3_def() -> ViewDef {
+    ViewDef {
+        name: "Q3".into(),
+        sources: vec![
+            ViewSource { view: "CUSTOMER".into(), alias: "C".into() },
+            ViewSource { view: "ORDER".into(), alias: "O".into() },
+            ViewSource { view: "LINEITEM".into(), alias: "L".into() },
+        ],
+        joins: vec![
+            EquiJoin::new("C.c_custkey", "O.o_custkey"),
+            EquiJoin::new("O.o_orderkey", "L.l_orderkey"),
+        ],
+        filters: vec![
+            Predicate::col_eq("C.c_mktsegment", Value::str("BUILDING")),
+            Predicate::col_lt("O.o_orderdate", date(1995, 3, 15)),
+            Predicate::col_gt("L.l_shipdate", date(1995, 3, 15)),
+        ],
+        output: ViewOutput::Aggregate {
+            group_by: vec![
+                OutputColumn::col("l_orderkey", "L.l_orderkey"),
+                OutputColumn::col("o_orderdate", "O.o_orderdate"),
+                OutputColumn::col("o_shippriority", "O.o_shippriority"),
+            ],
+            aggregates: vec![AggregateColumn {
+                name: "revenue".into(),
+                func: AggFunc::Sum,
+                input: revenue_expr(),
+            }],
+        },
+    }
+}
+
+/// TPC-D Q5 "Local Supplier Volume":
+///
+/// ```sql
+/// SELECT n_name, SUM(l_extendedprice * (1 - l_discount)) AS revenue
+/// FROM   CUSTOMER C, ORDER O, LINEITEM L, SUPPLIER S, NATION N, REGION R
+/// WHERE  c_custkey = o_custkey AND l_orderkey = o_orderkey
+///   AND  l_suppkey = s_suppkey AND c_nationkey = s_nationkey
+///   AND  s_nationkey = n_nationkey AND n_regionkey = r_regionkey
+///   AND  r_name = 'ASIA'
+///   AND  o_orderdate >= DATE '1994-01-01'
+///   AND  o_orderdate <  DATE '1995-01-01'
+/// GROUP BY n_name
+/// ```
+pub fn q5_def() -> ViewDef {
+    ViewDef {
+        name: "Q5".into(),
+        sources: vec![
+            ViewSource { view: "CUSTOMER".into(), alias: "C".into() },
+            ViewSource { view: "ORDER".into(), alias: "O".into() },
+            ViewSource { view: "LINEITEM".into(), alias: "L".into() },
+            ViewSource { view: "SUPPLIER".into(), alias: "S".into() },
+            ViewSource { view: "NATION".into(), alias: "N".into() },
+            ViewSource { view: "REGION".into(), alias: "R".into() },
+        ],
+        joins: vec![
+            EquiJoin::new("C.c_custkey", "O.o_custkey"),
+            EquiJoin::new("O.o_orderkey", "L.l_orderkey"),
+            EquiJoin::new("L.l_suppkey", "S.s_suppkey"),
+            EquiJoin::new("C.c_nationkey", "S.s_nationkey"),
+            EquiJoin::new("S.s_nationkey", "N.n_nationkey"),
+            EquiJoin::new("N.n_regionkey", "R.r_regionkey"),
+        ],
+        filters: vec![
+            Predicate::col_eq("R.r_name", Value::str("ASIA")),
+            Predicate::col_ge("O.o_orderdate", date(1994, 1, 1)),
+            Predicate::col_lt("O.o_orderdate", date(1995, 1, 1)),
+        ],
+        output: ViewOutput::Aggregate {
+            group_by: vec![OutputColumn::col("n_name", "N.n_name")],
+            aggregates: vec![AggregateColumn {
+                name: "revenue".into(),
+                func: AggFunc::Sum,
+                input: revenue_expr(),
+            }],
+        },
+    }
+}
+
+/// TPC-D Q10 "Returned Item Reporting":
+///
+/// ```sql
+/// SELECT c_custkey, c_name, SUM(l_extendedprice * (1 - l_discount)) AS revenue,
+///        c_acctbal, n_name, c_address, c_phone
+/// FROM   CUSTOMER C, ORDER O, LINEITEM L, NATION N
+/// WHERE  c_custkey = o_custkey AND l_orderkey = o_orderkey
+///   AND  o_orderdate >= DATE '1993-10-01'
+///   AND  o_orderdate <  DATE '1994-01-01'
+///   AND  l_returnflag = 'R' AND c_nationkey = n_nationkey
+/// GROUP BY c_custkey, c_name, c_acctbal, c_phone, n_name, c_address
+/// ```
+pub fn q10_def() -> ViewDef {
+    ViewDef {
+        name: "Q10".into(),
+        sources: vec![
+            ViewSource { view: "CUSTOMER".into(), alias: "C".into() },
+            ViewSource { view: "ORDER".into(), alias: "O".into() },
+            ViewSource { view: "LINEITEM".into(), alias: "L".into() },
+            ViewSource { view: "NATION".into(), alias: "N".into() },
+        ],
+        joins: vec![
+            EquiJoin::new("C.c_custkey", "O.o_custkey"),
+            EquiJoin::new("O.o_orderkey", "L.l_orderkey"),
+            EquiJoin::new("C.c_nationkey", "N.n_nationkey"),
+        ],
+        filters: vec![
+            Predicate::col_ge("O.o_orderdate", date(1993, 10, 1)),
+            Predicate::col_lt("O.o_orderdate", date(1994, 1, 1)),
+            Predicate::col_eq("L.l_returnflag", Value::str("R")),
+        ],
+        output: ViewOutput::Aggregate {
+            group_by: vec![
+                OutputColumn::col("c_custkey", "C.c_custkey"),
+                OutputColumn::col("c_name", "C.c_name"),
+                OutputColumn::col("c_acctbal", "C.c_acctbal"),
+                OutputColumn::col("c_phone", "C.c_phone"),
+                OutputColumn::col("n_name", "N.n_name"),
+                OutputColumn::col("c_address", "C.c_address"),
+            ],
+            aggregates: vec![AggregateColumn {
+                name: "revenue".into(),
+                func: AggFunc::Sum,
+                input: revenue_expr(),
+            }],
+        },
+    }
+}
+
+/// TPC-D Q1 "Pricing Summary Report" (not part of the paper's VDAG, but the
+/// classic multi-aggregate summary table; exercises views with several
+/// SUM/COUNT columns over a single fact table):
+///
+/// ```sql
+/// SELECT l_returnflag, l_linestatus,
+///        SUM(l_quantity)      AS sum_qty,
+///        SUM(l_extendedprice) AS sum_base_price,
+///        SUM(l_extendedprice * (1 - l_discount)) AS sum_disc_price,
+///        COUNT(*)             AS count_order
+/// FROM   LINEITEM L
+/// WHERE  l_shipdate <= DATE '1998-09-02'
+/// GROUP BY l_returnflag, l_linestatus
+/// ```
+pub fn q1_def() -> ViewDef {
+    ViewDef {
+        name: "Q1".into(),
+        sources: vec![ViewSource { view: "LINEITEM".into(), alias: "L".into() }],
+        joins: vec![],
+        filters: vec![Predicate::cmp(
+            CmpOp::Le,
+            ScalarExpr::col("L.l_shipdate"),
+            ScalarExpr::lit(date(1998, 9, 2)),
+        )],
+        output: ViewOutput::Aggregate {
+            group_by: vec![
+                OutputColumn::col("l_returnflag", "L.l_returnflag"),
+                OutputColumn::col("l_linestatus", "L.l_linestatus"),
+            ],
+            aggregates: vec![
+                AggregateColumn {
+                    name: "sum_qty".into(),
+                    func: AggFunc::Sum,
+                    input: ScalarExpr::col("L.l_quantity"),
+                },
+                AggregateColumn {
+                    name: "sum_base_price".into(),
+                    func: AggFunc::Sum,
+                    input: ScalarExpr::col("L.l_extendedprice"),
+                },
+                AggregateColumn {
+                    name: "sum_disc_price".into(),
+                    func: AggFunc::Sum,
+                    input: revenue_expr(),
+                },
+                AggregateColumn {
+                    name: "count_order".into(),
+                    func: AggFunc::Count,
+                    input: ScalarExpr::col("L.l_orderkey"),
+                },
+            ],
+        },
+    }
+}
+
+/// All three paper views.
+pub fn all_query_defs() -> Vec<ViewDef> {
+    vec![q3_def(), q5_def(), q10_def()]
+}
+
+/// A single-view variant of the paper's Example 1.1: `V` is Q3 over the
+/// three fact/dimension views.
+pub fn example_1_1_def() -> ViewDef {
+    let mut def = q3_def();
+    def.name = "V".into();
+    def
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::base_schema;
+    use uww_relational::{RelError, RelResult, Schema};
+
+    fn lookup(name: &str) -> RelResult<Schema> {
+        base_schema(name).ok_or_else(|| RelError::UnknownRelation(name.to_string()))
+    }
+
+    #[test]
+    fn all_defs_validate() {
+        for def in all_query_defs() {
+            def.validate(lookup).unwrap_or_else(|e| panic!("{}: {e}", def.name));
+        }
+    }
+
+    #[test]
+    fn q3_shape() {
+        let q3 = q3_def();
+        assert_eq!(q3.source_views(), vec!["CUSTOMER", "ORDER", "LINEITEM"]);
+        let out = q3.output_schema(lookup).unwrap();
+        assert_eq!(out.len(), 4);
+        assert!(out.contains("revenue"));
+        assert!(q3.is_aggregate());
+    }
+
+    #[test]
+    fn q5_covers_all_six_views() {
+        let q5 = q5_def();
+        assert_eq!(q5.sources.len(), 6);
+        assert_eq!(q5.joins.len(), 6);
+        let out = q5.output_schema(lookup).unwrap();
+        assert_eq!(out.len(), 2); // n_name, revenue
+    }
+
+    #[test]
+    fn q1_validates_with_multiple_aggregates() {
+        let q1 = q1_def();
+        q1.validate(lookup).unwrap();
+        let out = q1.output_schema(lookup).unwrap();
+        assert_eq!(out.len(), 6);
+        assert!(out.contains("sum_disc_price"));
+        assert!(out.contains("count_order"));
+        assert_eq!(q1.source_views(), vec!["LINEITEM"]);
+    }
+
+    #[test]
+    fn q10_uses_nation() {
+        let q10 = q10_def();
+        assert!(q10.source_views().contains(&"NATION"));
+        assert_eq!(q10.output_schema(lookup).unwrap().len(), 7);
+    }
+}

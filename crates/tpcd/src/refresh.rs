@@ -1,0 +1,168 @@
+//! TPC-D refresh functions RF1 and RF2.
+//!
+//! The TPC-D specification pairs its query workload with two *refresh
+//! streams*: RF1 inserts new orders together with their lineitems, RF2
+//! deletes existing orders together with their lineitems. Unlike the
+//! per-table batches of [`crate::changes`], refreshes are referentially
+//! consistent — no lineitem ever dangles — which makes them the natural
+//! "realistic batch" for warehouse-update experiments.
+
+use crate::gen::TpcdGenerator;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::{BTreeMap, HashSet};
+use uww_relational::{Catalog, DeltaRelation};
+
+/// Generates **RF1**: inserts `order_count` new orders (keys above the
+/// loaded key space) and all their lineitems. Returns deltas for `ORDER`
+/// and `LINEITEM`.
+pub fn rf1(
+    catalog: &Catalog,
+    generator: &TpcdGenerator,
+    order_count: u64,
+    seed: u64,
+) -> BTreeMap<String, DeltaRelation> {
+    let orders = catalog.get("ORDER").expect("ORDER loaded");
+    let lineitems = catalog.get("LINEITEM").expect("LINEITEM loaded");
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x0DD0_04F1);
+    let base_key = max_orderkey(orders) + 1;
+    let max_cust = generator.counts().customer as i64;
+    let max_supp = generator.counts().supplier as i64;
+
+    let mut d_orders = DeltaRelation::new(orders.schema().clone());
+    let mut d_items = DeltaRelation::new(lineitems.schema().clone());
+    for i in 0..order_count as i64 {
+        let (o, ls) = generator.make_order(base_key + i, max_cust, max_supp, &mut rng);
+        d_orders.add(o, 1);
+        for l in ls {
+            d_items.add(l, 1);
+        }
+    }
+    let mut out = BTreeMap::new();
+    out.insert("ORDER".to_string(), d_orders);
+    out.insert("LINEITEM".to_string(), d_items);
+    out
+}
+
+/// Generates **RF2**: deletes `order_count` randomly chosen existing orders
+/// and *all* their lineitems (referential consistency).
+pub fn rf2(
+    catalog: &Catalog,
+    order_count: u64,
+    seed: u64,
+) -> BTreeMap<String, DeltaRelation> {
+    let orders = catalog.get("ORDER").expect("ORDER loaded");
+    let lineitems = catalog.get("LINEITEM").expect("LINEITEM loaded");
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x0DD0_04F2);
+
+    // Choose victim order keys deterministically.
+    let mut rows = orders.sorted_rows();
+    rows.shuffle(&mut rng);
+    let mut victims: HashSet<i64> = HashSet::new();
+    let mut d_orders = DeltaRelation::new(orders.schema().clone());
+    for (row, mult) in rows.into_iter().take(order_count as usize) {
+        victims.insert(row.get(0).as_int().expect("orderkey"));
+        d_orders.add(row, -(mult as i64));
+    }
+
+    let mut d_items = DeltaRelation::new(lineitems.schema().clone());
+    for (row, mult) in lineitems.iter() {
+        if victims.contains(&row.get(0).as_int().expect("l_orderkey")) {
+            d_items.add(row.clone(), -(mult as i64));
+        }
+    }
+
+    let mut out = BTreeMap::new();
+    out.insert("ORDER".to_string(), d_orders);
+    out.insert("LINEITEM".to_string(), d_items);
+    out
+}
+
+fn max_orderkey(orders: &uww_relational::Table) -> i64 {
+    orders
+        .iter()
+        .filter_map(|(t, _)| t.get(0).as_int())
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::TpcdConfig;
+
+    fn setup() -> (TpcdGenerator, Catalog) {
+        let g = TpcdGenerator::new(TpcdConfig { scale: 0.001, seed: 11 });
+        let c = g.generate();
+        (g, c)
+    }
+
+    #[test]
+    fn rf1_inserts_consistent_orders_and_lineitems() {
+        let (g, cat) = setup();
+        let deltas = rf1(&cat, &g, 50, 1);
+        let d_o = &deltas["ORDER"];
+        let d_l = &deltas["LINEITEM"];
+        assert_eq!(d_o.plus_len(), 50);
+        assert_eq!(d_o.minus_len(), 0);
+        assert!(d_l.plus_len() >= 50); // >= 1 lineitem per order
+        // Every inserted lineitem references an inserted order.
+        let new_orders: HashSet<i64> = d_o
+            .iter()
+            .map(|(t, _)| t.get(0).as_int().unwrap())
+            .collect();
+        for (t, m) in d_l.iter() {
+            assert!(m > 0);
+            assert!(new_orders.contains(&t.get(0).as_int().unwrap()));
+        }
+        // Keys are fresh.
+        for (t, _) in d_o.iter() {
+            assert_eq!(
+                cat.get("ORDER").unwrap().multiplicity(t),
+                0,
+                "collision with existing order"
+            );
+        }
+        // Installing succeeds.
+        d_o.applied_to(cat.get("ORDER").unwrap()).unwrap();
+        d_l.applied_to(cat.get("LINEITEM").unwrap()).unwrap();
+    }
+
+    #[test]
+    fn rf2_deletes_orders_with_all_their_lineitems() {
+        let (_, cat) = setup();
+        let deltas = rf2(&cat, 100, 2);
+        let d_o = &deltas["ORDER"];
+        let d_l = &deltas["LINEITEM"];
+        assert_eq!(d_o.minus_len(), 100);
+        assert_eq!(d_o.plus_len(), 0);
+        assert!(d_l.minus_len() >= 100);
+
+        let victims: HashSet<i64> = d_o
+            .iter()
+            .map(|(t, _)| t.get(0).as_int().unwrap())
+            .collect();
+        // After installing, no lineitem references a deleted order.
+        let orders_after = d_o.applied_to(cat.get("ORDER").unwrap()).unwrap();
+        let items_after = d_l.applied_to(cat.get("LINEITEM").unwrap()).unwrap();
+        for (t, _) in items_after.iter() {
+            assert!(!victims.contains(&t.get(0).as_int().unwrap()));
+        }
+        let _ = orders_after;
+    }
+
+    #[test]
+    fn refreshes_are_deterministic_per_seed() {
+        let (g, cat) = setup();
+        let a = rf1(&cat, &g, 10, 7);
+        let b = rf1(&cat, &g, 10, 7);
+        assert_eq!(a["ORDER"].sorted_rows(), b["ORDER"].sorted_rows());
+        let c = rf1(&cat, &g, 10, 8);
+        assert_ne!(a["ORDER"].sorted_rows(), c["ORDER"].sorted_rows());
+
+        let a = rf2(&cat, 10, 7);
+        let b = rf2(&cat, 10, 7);
+        assert_eq!(a["LINEITEM"].sorted_rows(), b["LINEITEM"].sorted_rows());
+    }
+}

@@ -1,0 +1,135 @@
+//! TPC-D relation schemas.
+//!
+//! Column names and types follow the TPC-D (revision 1.x) specification; the
+//! paper's warehouse materializes these six relations as base views
+//! (Figure 4). `ORDER` is spelled as in the paper (TPC-H later renamed it
+//! `ORDERS`).
+
+use uww_relational::{Schema, ValueType};
+
+/// Names of the six base views, in the paper's Figure 4 order.
+pub const BASE_VIEWS: [&str; 6] = [
+    "ORDER",
+    "LINEITEM",
+    "CUSTOMER",
+    "SUPPLIER",
+    "NATION",
+    "REGION",
+];
+
+/// `REGION(r_regionkey, r_name, r_comment)`.
+pub fn region_schema() -> Schema {
+    Schema::of(&[
+        ("r_regionkey", ValueType::Int),
+        ("r_name", ValueType::Str),
+        ("r_comment", ValueType::Str),
+    ])
+}
+
+/// `NATION(n_nationkey, n_name, n_regionkey, n_comment)`.
+pub fn nation_schema() -> Schema {
+    Schema::of(&[
+        ("n_nationkey", ValueType::Int),
+        ("n_name", ValueType::Str),
+        ("n_regionkey", ValueType::Int),
+        ("n_comment", ValueType::Str),
+    ])
+}
+
+/// `SUPPLIER(s_suppkey, s_name, s_address, s_nationkey, s_phone, s_acctbal)`.
+pub fn supplier_schema() -> Schema {
+    Schema::of(&[
+        ("s_suppkey", ValueType::Int),
+        ("s_name", ValueType::Str),
+        ("s_address", ValueType::Str),
+        ("s_nationkey", ValueType::Int),
+        ("s_phone", ValueType::Str),
+        ("s_acctbal", ValueType::Decimal),
+    ])
+}
+
+/// `CUSTOMER(c_custkey, c_name, c_address, c_nationkey, c_phone, c_acctbal,
+/// c_mktsegment)`.
+pub fn customer_schema() -> Schema {
+    Schema::of(&[
+        ("c_custkey", ValueType::Int),
+        ("c_name", ValueType::Str),
+        ("c_address", ValueType::Str),
+        ("c_nationkey", ValueType::Int),
+        ("c_phone", ValueType::Str),
+        ("c_acctbal", ValueType::Decimal),
+        ("c_mktsegment", ValueType::Str),
+    ])
+}
+
+/// `ORDER(o_orderkey, o_custkey, o_orderstatus, o_totalprice, o_orderdate,
+/// o_orderpriority, o_shippriority)`.
+pub fn order_schema() -> Schema {
+    Schema::of(&[
+        ("o_orderkey", ValueType::Int),
+        ("o_custkey", ValueType::Int),
+        ("o_orderstatus", ValueType::Str),
+        ("o_totalprice", ValueType::Decimal),
+        ("o_orderdate", ValueType::Date),
+        ("o_orderpriority", ValueType::Str),
+        ("o_shippriority", ValueType::Int),
+    ])
+}
+
+/// `LINEITEM(l_orderkey, l_linenumber, l_suppkey, l_quantity,
+/// l_extendedprice, l_discount, l_tax, l_returnflag, l_linestatus,
+/// l_shipdate, l_commitdate, l_receiptdate)`.
+pub fn lineitem_schema() -> Schema {
+    Schema::of(&[
+        ("l_orderkey", ValueType::Int),
+        ("l_linenumber", ValueType::Int),
+        ("l_suppkey", ValueType::Int),
+        ("l_quantity", ValueType::Decimal),
+        ("l_extendedprice", ValueType::Decimal),
+        ("l_discount", ValueType::Decimal),
+        ("l_tax", ValueType::Decimal),
+        ("l_returnflag", ValueType::Str),
+        ("l_linestatus", ValueType::Str),
+        ("l_shipdate", ValueType::Date),
+        ("l_commitdate", ValueType::Date),
+        ("l_receiptdate", ValueType::Date),
+    ])
+}
+
+/// Schema of the base view `name`, or `None` for unknown names.
+pub fn base_schema(name: &str) -> Option<Schema> {
+    match name {
+        "REGION" => Some(region_schema()),
+        "NATION" => Some(nation_schema()),
+        "SUPPLIER" => Some(supplier_schema()),
+        "CUSTOMER" => Some(customer_schema()),
+        "ORDER" => Some(order_schema()),
+        "LINEITEM" => Some(lineitem_schema()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_base_schemas_resolve() {
+        for name in BASE_VIEWS {
+            let s = base_schema(name).unwrap();
+            assert!(!s.is_empty(), "{name}");
+        }
+        assert!(base_schema("PART").is_none());
+    }
+
+    #[test]
+    fn query_columns_present() {
+        // Every column Q3/Q5/Q10 reference must exist.
+        assert!(customer_schema().contains("c_mktsegment"));
+        assert!(order_schema().contains("o_shippriority"));
+        assert!(lineitem_schema().contains("l_returnflag"));
+        assert!(nation_schema().contains("n_regionkey"));
+        assert!(region_schema().contains("r_name"));
+        assert!(supplier_schema().contains("s_nationkey"));
+    }
+}

@@ -1,0 +1,403 @@
+//! Correctness conditions for strategies (Definitions 3.1 and 3.3).
+
+use crate::error::{VdagError, VdagResult};
+use crate::graph::{Vdag, ViewId};
+use crate::strategy::{Strategy, UpdateExpr};
+
+fn err(condition: &'static str, detail: String) -> VdagError {
+    VdagError::Incorrect { condition, detail }
+}
+
+/// Checks Definition 3.1 (conditions C1–C6) for a *view strategy* for `view`.
+///
+/// A base view's only correct strategy is `⟨ Inst(view) ⟩`.
+pub fn check_view_strategy(g: &Vdag, view: ViewId, s: &Strategy) -> VdagResult<()> {
+    let sources = g.sources(view);
+
+    // C6: no duplicate expressions.
+    for (i, a) in s.exprs.iter().enumerate() {
+        for b in &s.exprs[i + 1..] {
+            if a == b {
+                return Err(err("C6", format!("duplicate {}", a.display(g))));
+            }
+        }
+    }
+
+    // Every expression must belong to this view's strategy shape.
+    for e in &s.exprs {
+        match e {
+            UpdateExpr::Comp { view: v, over } => {
+                if *v != view {
+                    return Err(err(
+                        "C7",
+                        format!("{} does not update {}", e.display(g), g.name(view)),
+                    ));
+                }
+                if over.is_empty() {
+                    return Err(err("C1", format!("{} has empty over-set", e.display(g))));
+                }
+                for o in over {
+                    if !sources.contains(o) {
+                        return Err(err(
+                            "C1",
+                            format!("{} propagates non-source {}", e.display(g), g.name(*o)),
+                        ));
+                    }
+                }
+            }
+            UpdateExpr::Inst(v) => {
+                if *v != view && !sources.contains(v) {
+                    return Err(err(
+                        "C2",
+                        format!("{} installs a foreign view", e.display(g)),
+                    ));
+                }
+            }
+        }
+    }
+
+    // C1: every source's changes are propagated by some Comp.
+    for src in sources {
+        if !s.exprs.iter().any(|e| e.propagates(*src)) {
+            return Err(err(
+                "C1",
+                format!("changes of {} are never propagated", g.name(*src)),
+            ));
+        }
+    }
+
+    // C2: every source and the view itself are installed.
+    for v in sources.iter().chain(std::iter::once(&view)) {
+        if s.position(&UpdateExpr::inst(*v)).is_none() {
+            return Err(err("C2", format!("{} is never installed", g.name(*v))));
+        }
+    }
+
+    // C3: ΔVi not installed before every Comp that uses it.
+    for (pi, e) in s.exprs.iter().enumerate() {
+        if let UpdateExpr::Comp { over, .. } = e {
+            for o in over {
+                let inst_pos = s.position(&UpdateExpr::inst(*o)).expect("checked by C2");
+                if inst_pos < pi {
+                    return Err(err(
+                        "C3",
+                        format!("Inst({}) precedes {}", g.name(*o), e.display(g)),
+                    ));
+                }
+            }
+        }
+    }
+
+    // C4: between two Comps, the earlier one's views must be installed first.
+    let comp_positions: Vec<(usize, &UpdateExpr)> = s
+        .exprs
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| matches!(e, UpdateExpr::Comp { .. }))
+        .collect();
+    for (pi, ei) in &comp_positions {
+        for (pj, ej) in &comp_positions {
+            if pi < pj {
+                if let UpdateExpr::Comp { over: oi, .. } = ei {
+                    for vi in oi.iter() {
+                        let inst_pos =
+                            s.position(&UpdateExpr::inst(*vi)).expect("checked by C2");
+                        if inst_pos > *pj {
+                            return Err(err(
+                                "C4",
+                                format!(
+                                    "Inst({}) must precede {}",
+                                    g.name(*vi),
+                                    ej.display(g)
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // C5: all Comps precede Inst(view).
+    let self_inst = s.position(&UpdateExpr::inst(view)).expect("checked by C2");
+    for (pi, e) in s.exprs.iter().enumerate() {
+        if matches!(e, UpdateExpr::Comp { .. }) && pi > self_inst {
+            return Err(err(
+                "C5",
+                format!("{} appears after Inst({})", e.display(g), g.name(view)),
+            ));
+        }
+    }
+
+    Ok(())
+}
+
+/// Checks Definition 3.3 (conditions C7 and C8) for a *VDAG strategy*.
+///
+/// C7 delegates to [`check_view_strategy`] on every used view strategy
+/// (Definition 3.2); C8 enforces that Δ`Vj` is computed before it is
+/// propagated further up.
+pub fn check_vdag_strategy(g: &Vdag, s: &Strategy) -> VdagResult<()> {
+    // Global C6: no duplicates anywhere.
+    for (i, a) in s.exprs.iter().enumerate() {
+        for b in &s.exprs[i + 1..] {
+            if a == b {
+                return Err(err("C6", format!("duplicate {}", a.display(g))));
+            }
+        }
+    }
+
+    // Every expression must be attributable to some view.
+    for e in &s.exprs {
+        let v = e.subject();
+        if v.0 >= g.len() {
+            return Err(err("C7", format!("expression over unknown view {v}")));
+        }
+        if let UpdateExpr::Comp { view, .. } = e {
+            if g.is_base(*view) {
+                return Err(err(
+                    "C7",
+                    format!("base view {} cannot have a Comp", g.name(*view)),
+                ));
+            }
+        }
+    }
+
+    // C7: each view's used strategy is correct.
+    for v in g.view_ids() {
+        let used = s.used_view_strategy(g, v);
+        check_view_strategy(g, v, &used)?;
+    }
+
+    // C8: Comp(Vj, {...Vi...}) precedes Comp(Vk, {...Vj...}).
+    for (pk, ek) in s.exprs.iter().enumerate() {
+        if let UpdateExpr::Comp { over: ok, .. } = ek {
+            for (pj, ej) in s.exprs.iter().enumerate() {
+                if let UpdateExpr::Comp { view: vj, .. } = ej {
+                    if ok.contains(vj) && pj >= pk {
+                        return Err(err(
+                            "C8",
+                            format!(
+                                "{} must precede {}",
+                                ej.display(g),
+                                ek.display(g)
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{figure3_vdag, Vdag};
+    use crate::strategy::dual_stage_strategy;
+
+    fn ids(g: &Vdag) -> impl Fn(&str) -> ViewId + '_ {
+        move |n| g.id_of(n).unwrap()
+    }
+
+    /// The paper's Example 1.1 Strategy 2 for a single view over 3 bases.
+    fn single_view_vdag() -> Vdag {
+        let mut g = Vdag::new();
+        let c = g.add_base("CUSTOMER").unwrap();
+        let o = g.add_base("ORDER").unwrap();
+        let l = g.add_base("LINEITEM").unwrap();
+        g.add_derived("V", &[c, o, l]).unwrap();
+        g
+    }
+
+    #[test]
+    fn strategy1_dual_stage_is_correct() {
+        let g = single_view_vdag();
+        let s = dual_stage_strategy(&g);
+        check_vdag_strategy(&g, &s).unwrap();
+    }
+
+    #[test]
+    fn strategy2_one_way_is_correct() {
+        let g = single_view_vdag();
+        let id = ids(&g);
+        let v = id("V");
+        let s = Strategy::from_exprs(vec![
+            UpdateExpr::comp1(v, id("CUSTOMER")),
+            UpdateExpr::inst(id("CUSTOMER")),
+            UpdateExpr::comp1(v, id("ORDER")),
+            UpdateExpr::inst(id("ORDER")),
+            UpdateExpr::comp1(v, id("LINEITEM")),
+            UpdateExpr::inst(id("LINEITEM")),
+            UpdateExpr::inst(v),
+        ]);
+        check_vdag_strategy(&g, &s).unwrap();
+    }
+
+    #[test]
+    fn c3_violation_detected() {
+        let g = single_view_vdag();
+        let id = ids(&g);
+        let v = id("V");
+        // Installs CUSTOMER before computing with its delta.
+        let s = Strategy::from_exprs(vec![
+            UpdateExpr::inst(id("CUSTOMER")),
+            UpdateExpr::comp1(v, id("CUSTOMER")),
+            UpdateExpr::comp1(v, id("ORDER")),
+            UpdateExpr::inst(id("ORDER")),
+            UpdateExpr::comp1(v, id("LINEITEM")),
+            UpdateExpr::inst(id("LINEITEM")),
+            UpdateExpr::inst(v),
+        ]);
+        let e = check_vdag_strategy(&g, &s).unwrap_err();
+        assert!(matches!(e, VdagError::Incorrect { condition: "C3", .. }));
+    }
+
+    #[test]
+    fn c4_violation_detected() {
+        let g = single_view_vdag();
+        let id = ids(&g);
+        let v = id("V");
+        // Comp over ORDER happens before CUSTOMER's delta is installed.
+        let s = Strategy::from_exprs(vec![
+            UpdateExpr::comp1(v, id("CUSTOMER")),
+            UpdateExpr::comp1(v, id("ORDER")),
+            UpdateExpr::inst(id("CUSTOMER")),
+            UpdateExpr::inst(id("ORDER")),
+            UpdateExpr::comp1(v, id("LINEITEM")),
+            UpdateExpr::inst(id("LINEITEM")),
+            UpdateExpr::inst(v),
+        ]);
+        let e = check_vdag_strategy(&g, &s).unwrap_err();
+        assert!(matches!(e, VdagError::Incorrect { condition: "C4", .. }));
+    }
+
+    #[test]
+    fn overlapping_comps_rejected() {
+        // The paper notes C3+C4 together forbid Comp(V,{Vi,Vj}) and
+        // Comp(V,{Vi,Vk}) coexisting.
+        let g = single_view_vdag();
+        let id = ids(&g);
+        let v = id("V");
+        let s = Strategy::from_exprs(vec![
+            UpdateExpr::comp(v, [id("CUSTOMER"), id("ORDER")]),
+            UpdateExpr::comp(v, [id("CUSTOMER"), id("LINEITEM")]),
+            UpdateExpr::inst(id("CUSTOMER")),
+            UpdateExpr::inst(id("ORDER")),
+            UpdateExpr::inst(id("LINEITEM")),
+            UpdateExpr::inst(v),
+        ]);
+        assert!(check_vdag_strategy(&g, &s).is_err());
+    }
+
+    #[test]
+    fn c1_c2_c5_violations_detected() {
+        let g = single_view_vdag();
+        let id = ids(&g);
+        let v = id("V");
+        // Missing propagation of LINEITEM (C1).
+        let s = Strategy::from_exprs(vec![
+            UpdateExpr::comp(v, [id("CUSTOMER"), id("ORDER")]),
+            UpdateExpr::inst(id("CUSTOMER")),
+            UpdateExpr::inst(id("ORDER")),
+            UpdateExpr::inst(id("LINEITEM")),
+            UpdateExpr::inst(v),
+        ]);
+        let e = check_vdag_strategy(&g, &s).unwrap_err();
+        assert!(matches!(e, VdagError::Incorrect { condition: "C1", .. }));
+
+        // Missing Inst(V) (C2).
+        let s = Strategy::from_exprs(vec![
+            UpdateExpr::comp(v, [id("CUSTOMER"), id("ORDER"), id("LINEITEM")]),
+            UpdateExpr::inst(id("CUSTOMER")),
+            UpdateExpr::inst(id("ORDER")),
+            UpdateExpr::inst(id("LINEITEM")),
+        ]);
+        let e = check_vdag_strategy(&g, &s).unwrap_err();
+        assert!(matches!(e, VdagError::Incorrect { condition: "C2", .. }));
+
+        // Comp after Inst(V) (C5).
+        let s = Strategy::from_exprs(vec![
+            UpdateExpr::comp(v, [id("CUSTOMER"), id("ORDER")]),
+            UpdateExpr::inst(id("CUSTOMER")),
+            UpdateExpr::inst(id("ORDER")),
+            UpdateExpr::inst(v),
+            UpdateExpr::comp1(v, id("LINEITEM")),
+            UpdateExpr::inst(id("LINEITEM")),
+        ]);
+        let e = check_vdag_strategy(&g, &s).unwrap_err();
+        assert!(matches!(
+            e,
+            VdagError::Incorrect { condition: "C4" | "C5", .. }
+        ));
+    }
+
+    #[test]
+    fn example_3_1_vdag_strategy_is_correct() {
+        let g = figure3_vdag();
+        let id = ids(&g);
+        let s = Strategy::from_exprs(vec![
+            UpdateExpr::comp1(id("V4"), id("V2")),
+            UpdateExpr::inst(id("V2")),
+            UpdateExpr::comp1(id("V4"), id("V3")),
+            UpdateExpr::inst(id("V3")),
+            UpdateExpr::comp1(id("V5"), id("V4")),
+            UpdateExpr::inst(id("V4")),
+            UpdateExpr::comp1(id("V5"), id("V1")),
+            UpdateExpr::inst(id("V1")),
+            UpdateExpr::inst(id("V5")),
+        ]);
+        check_vdag_strategy(&g, &s).unwrap();
+    }
+
+    #[test]
+    fn c8_violation_detected() {
+        let g = figure3_vdag();
+        let id = ids(&g);
+        // Propagates ΔV4 into V5 before ΔV4 has been computed.
+        let s = Strategy::from_exprs(vec![
+            UpdateExpr::comp1(id("V5"), id("V4")),
+            UpdateExpr::comp1(id("V4"), id("V2")),
+            UpdateExpr::inst(id("V2")),
+            UpdateExpr::comp1(id("V4"), id("V3")),
+            UpdateExpr::inst(id("V3")),
+            UpdateExpr::inst(id("V4")),
+            UpdateExpr::comp1(id("V5"), id("V1")),
+            UpdateExpr::inst(id("V1")),
+            UpdateExpr::inst(id("V5")),
+        ]);
+        let e = check_vdag_strategy(&g, &s).unwrap_err();
+        assert!(matches!(e, VdagError::Incorrect { condition: "C8", .. }));
+    }
+
+    #[test]
+    fn example_1_2_strategies_2_and_3_cannot_combine() {
+        // Figure 2: V and V' both over CUSTOMER, ORDER, LINEITEM.
+        let mut g = Vdag::new();
+        let c = g.add_base("CUSTOMER").unwrap();
+        let o = g.add_base("ORDER").unwrap();
+        let l = g.add_base("LINEITEM").unwrap();
+        let v = g.add_derived("V", &[c, o, l]).unwrap();
+        let vp = g.add_derived("V'", &[c, o, l]).unwrap();
+
+        // Strategy 2 for V wants Inst(C), Inst(O) before Inst(L);
+        // Strategy 3 for V' wants Inst(L) before Inst(C), Inst(O).
+        // Any interleaving shares the single Inst(L)/Inst(C)/Inst(O), so one
+        // of the two used view strategies must be incorrect.
+        let s = Strategy::from_exprs(vec![
+            UpdateExpr::comp1(v, c),
+            UpdateExpr::comp1(vp, l),
+            UpdateExpr::inst(c),
+            UpdateExpr::comp1(v, o),
+            UpdateExpr::inst(o),
+            UpdateExpr::comp(vp, [c, o]),
+            UpdateExpr::comp1(v, l),
+            UpdateExpr::inst(l),
+            UpdateExpr::inst(v),
+            UpdateExpr::inst(vp),
+        ]);
+        assert!(check_vdag_strategy(&g, &s).is_err());
+    }
+}

@@ -1,0 +1,113 @@
+//! Graphviz (DOT) export for VDAGs and expression graphs.
+//!
+//! `Vdag::to_dot` renders the warehouse DAG (the paper's Figures 1–4, 6,
+//! 10); `ExpressionGraph::to_dot` renders expression graphs with labelled
+//! dependency edges (Figures 7 and 16). Pipe through `dot -Tsvg` to view.
+
+use crate::egraph::{EdgeLabel, ExpressionGraph};
+use crate::graph::Vdag;
+use std::fmt::Write as _;
+
+impl Vdag {
+    /// Renders the VDAG as a DOT digraph: edges point from each view to the
+    /// views it is defined over, matching the paper's figures.
+    pub fn to_dot(&self) -> String {
+        let mut out = String::from("digraph vdag {\n  rankdir=BT;\n");
+        for v in self.view_ids() {
+            let shape = if self.is_base(v) { "box" } else { "ellipse" };
+            let _ = writeln!(
+                out,
+                "  \"{}\" [shape={shape}, label=\"{}\\nlevel {}\"];",
+                self.name(v),
+                self.name(v),
+                self.level(v)
+            );
+        }
+        for (from, to) in self.edges() {
+            let _ = writeln!(out, "  \"{}\" -> \"{}\";", self.name(from), self.name(to));
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+impl ExpressionGraph {
+    /// Renders the expression graph as a DOT digraph. Edges are drawn from
+    /// the earlier expression to the one that must follow it (execution
+    /// order), labelled with the condition that demands them — the layout of
+    /// the paper's Figure 7.
+    pub fn to_dot(&self, g: &Vdag) -> String {
+        let mut out = String::from("digraph eg {\n  rankdir=LR;\n  node [shape=box];\n");
+        for (i, n) in self.nodes().iter().enumerate() {
+            let _ = writeln!(out, "  n{i} [label=\"{}\"];", n.display(g));
+        }
+        for (later, earlier, label) in self.edges() {
+            let li = self
+                .nodes()
+                .iter()
+                .position(|n| n == later)
+                .expect("node present");
+            let ei = self
+                .nodes()
+                .iter()
+                .position(|n| n == earlier)
+                .expect("node present");
+            let style = match label {
+                EdgeLabel::Ordering => "label=\"V\", style=dashed",
+                EdgeLabel::C3 => "label=\"C3\"",
+                EdgeLabel::C4 => "label=\"C4\"",
+                EdgeLabel::C5 => "label=\"C5\"",
+                EdgeLabel::C8 => "label=\"C8\", color=blue",
+                EdgeLabel::InstOrder => "label=\"inst\", color=red",
+            };
+            let _ = writeln!(out, "  n{ei} -> n{li} [{style}];");
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::egraph::construct_eg;
+    use crate::graph::figure3_vdag;
+    use crate::ordering::ViewOrdering;
+
+    #[test]
+    fn vdag_dot_contains_all_views_and_edges() {
+        let g = figure3_vdag();
+        let dot = g.to_dot();
+        assert!(dot.starts_with("digraph vdag {"));
+        for name in ["V1", "V2", "V3", "V4", "V5"] {
+            assert!(dot.contains(&format!("\"{name}\"")), "{name} missing");
+        }
+        assert!(dot.contains("\"V4\" -> \"V2\""));
+        assert!(dot.contains("\"V5\" -> \"V4\""));
+        assert!(dot.matches(" -> ").count() == 4);
+        assert!(dot.contains("shape=box")); // base views
+        assert!(dot.contains("shape=ellipse")); // derived views
+    }
+
+    #[test]
+    fn eg_dot_renders_figure7() {
+        let g = figure3_vdag();
+        let ord = ViewOrdering::new(
+            ["V4", "V2", "V1", "V3", "V5"]
+                .iter()
+                .map(|n| g.id_of(n).unwrap())
+                .collect(),
+            g.len(),
+        );
+        let eg = construct_eg(&g, &ord);
+        let dot = eg.to_dot(&g);
+        assert!(dot.contains("Comp(V4, {V2})"));
+        assert!(dot.contains("Inst(V5)"));
+        assert!(dot.contains("label=\"C8\""));
+        assert!(dot.contains("label=\"C3\""));
+        assert!(dot.contains("label=\"V\""));
+        // Every edge line is well-formed.
+        for line in dot.lines().filter(|l| l.contains("->")) {
+            assert!(line.trim_end().ends_with("];"), "{line}");
+        }
+    }
+}

@@ -1,0 +1,403 @@
+//! Expression graphs (Section 5.2, Section 6, Appendices A and B).
+//!
+//! An expression graph has the 1-way expressions of a VDAG as nodes, with an
+//! edge `Ej -> Ei` whenever a dependency dictates that `Ej` must *follow*
+//! `Ei`. When the graph is acyclic, emitting expressions so that every node
+//! appears after all the nodes it must follow yields a correct 1-way VDAG
+//! strategy consistent with the input view ordering (Theorem 5.3 /
+//! Lemma A.1).
+
+use crate::error::{VdagError, VdagResult};
+use crate::graph::Vdag;
+use crate::ordering::ViewOrdering;
+use crate::strategy::{one_way_expressions, Strategy, UpdateExpr};
+use std::collections::HashMap;
+
+/// Why an edge exists; mirrors the paper's edge labels in Appendix A.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum EdgeLabel {
+    /// View-ordering edge (labelled `V` in the paper's Figure 7).
+    Ordering,
+    /// Condition C3: ΔVi installs only after every Comp using it.
+    C3,
+    /// Condition C4: earlier-propagated views install before later Comps.
+    C4,
+    /// Condition C5: Inst(V) follows every Comp(V, ...).
+    C5,
+    /// Condition C8: ΔVj is computed before being propagated upward.
+    C8,
+    /// Strong-consistency install-order edge (ConstructSEG only).
+    InstOrder,
+}
+
+/// A 1-way expression graph.
+#[derive(Clone, Debug)]
+pub struct ExpressionGraph {
+    nodes: Vec<UpdateExpr>,
+    index: HashMap<UpdateExpr, usize>,
+    /// `must_follow[j]` lists `(i, label)` pairs: node `j` must appear after
+    /// node `i`.
+    must_follow: Vec<Vec<(usize, EdgeLabel)>>,
+}
+
+impl ExpressionGraph {
+    fn new(nodes: Vec<UpdateExpr>) -> Self {
+        let index = nodes
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(i, e)| (e, i))
+            .collect();
+        let n = nodes.len();
+        ExpressionGraph {
+            nodes,
+            index,
+            must_follow: vec![Vec::new(); n],
+        }
+    }
+
+    fn add_edge(&mut self, later: &UpdateExpr, earlier: &UpdateExpr, label: EdgeLabel) {
+        let j = self.index[later];
+        let i = self.index[earlier];
+        if !self.must_follow[j].iter().any(|(k, _)| *k == i) {
+            self.must_follow[j].push((i, label));
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.must_follow.iter().map(Vec::len).sum()
+    }
+
+    /// The nodes.
+    pub fn nodes(&self) -> &[UpdateExpr] {
+        &self.nodes
+    }
+
+    /// Edges as `(later, earlier, label)` triples.
+    pub fn edges(&self) -> Vec<(&UpdateExpr, &UpdateExpr, EdgeLabel)> {
+        let mut out = Vec::new();
+        for (j, deps) in self.must_follow.iter().enumerate() {
+            for (i, label) in deps {
+                out.push((&self.nodes[j], &self.nodes[*i], *label));
+            }
+        }
+        out
+    }
+
+    /// True when the graph has no cycle.
+    pub fn is_acyclic(&self) -> bool {
+        self.kahn(None).is_some()
+    }
+
+    /// Topologically sorts the graph into a strategy, emitting every node
+    /// after all nodes it must follow. Among ready nodes, the `priority`
+    /// ordering breaks ties deterministically.
+    pub fn topological_strategy(&self, ord: &ViewOrdering) -> VdagResult<Strategy> {
+        self.kahn(Some(ord))
+            .map(Strategy::from_exprs)
+            .ok_or(VdagError::CyclicExpressionGraph)
+    }
+
+    /// Kahn's algorithm; returns `None` on a cycle. With an ordering, ready
+    /// nodes are emitted lowest-key first, producing the natural interleaved
+    /// `Comp; Inst; Comp; Inst; ...` shape of the paper's examples.
+    fn kahn(&self, ord: Option<&ViewOrdering>) -> Option<Vec<UpdateExpr>> {
+        let n = self.nodes.len();
+        let mut remaining_deps: Vec<usize> = self.must_follow.iter().map(Vec::len).collect();
+        // dependents[i] = nodes that must follow i.
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (j, deps) in self.must_follow.iter().enumerate() {
+            for (i, _) in deps {
+                dependents[*i].push(j);
+            }
+        }
+        let key = |idx: usize| -> (usize, usize, usize) {
+            let e = &self.nodes[idx];
+            let subj = match e {
+                UpdateExpr::Comp { over, .. } => *over.iter().next().expect("1-way comp"),
+                UpdateExpr::Inst(v) => *v,
+            };
+            let pos = ord
+                .and_then(|o| o.position(subj))
+                .unwrap_or(usize::MAX - 1);
+            let kind = match e {
+                UpdateExpr::Comp { .. } => 0,
+                UpdateExpr::Inst(_) => 1,
+            };
+            (pos, kind, e.subject().0)
+        };
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        type ReadyEntry = Reverse<((usize, usize, usize), usize)>;
+        let mut ready: BinaryHeap<ReadyEntry> = (0..n)
+            .filter(|&i| remaining_deps[i] == 0)
+            .map(|i| Reverse((key(i), i)))
+            .collect();
+        let mut out = Vec::with_capacity(n);
+        while let Some(Reverse((_, i))) = ready.pop() {
+            out.push(self.nodes[i].clone());
+            for &j in &dependents[i] {
+                remaining_deps[j] -= 1;
+                if remaining_deps[j] == 0 {
+                    ready.push(Reverse((key(j), j)));
+                }
+            }
+        }
+        (out.len() == n).then_some(out)
+    }
+}
+
+/// `ConstructEG` (Appendix B): builds the expression graph of `g` with
+/// respect to `ord`.
+pub fn construct_eg(g: &Vdag, ord: &ViewOrdering) -> ExpressionGraph {
+    let mut eg = ExpressionGraph::new(one_way_expressions(g));
+    add_common_edges(&mut eg, g, ord);
+    eg
+}
+
+/// `ConstructSEG` (Section 6): like [`construct_eg`] plus an edge
+/// `Inst(Vj) -> Inst(Vi)` for *every* pair with `Vi` before `Vj` in the
+/// ordering (even when no view is defined over both), so any topological
+/// sort is *strongly* consistent with `ord`. Views absent from `ord`
+/// (Prune's optimization drops consumer-less views) are unconstrained.
+pub fn construct_seg(g: &Vdag, ord: &ViewOrdering) -> ExpressionGraph {
+    let mut eg = ExpressionGraph::new(one_way_expressions(g));
+    add_common_edges(&mut eg, g, ord);
+    let views = ord.views();
+    for (i, vi) in views.iter().enumerate() {
+        for vj in &views[i + 1..] {
+            eg.add_edge(
+                &UpdateExpr::inst(*vj),
+                &UpdateExpr::inst(*vi),
+                EdgeLabel::InstOrder,
+            );
+        }
+    }
+    eg
+}
+
+fn add_common_edges(eg: &mut ExpressionGraph, g: &Vdag, ord: &ViewOrdering) {
+    // Ordering edges: Comp(V,{Vj}) follows Comp(V,{Vi}) when Vi < Vj in ord.
+    // C4 edges: that same Comp(V,{Vj}) also follows Inst(Vi).
+    for v in g.derived_views() {
+        let sources = g.sources(v).to_vec();
+        for (a, &vi) in sources.iter().enumerate() {
+            for &vj in &sources[a + 1..] {
+                let (first, second) = if ord.before(vi, vj) {
+                    (vi, vj)
+                } else if ord.before(vj, vi) {
+                    (vj, vi)
+                } else {
+                    continue;
+                };
+                eg.add_edge(
+                    &UpdateExpr::comp1(v, second),
+                    &UpdateExpr::comp1(v, first),
+                    EdgeLabel::Ordering,
+                );
+                eg.add_edge(
+                    &UpdateExpr::comp1(v, second),
+                    &UpdateExpr::inst(first),
+                    EdgeLabel::C4,
+                );
+            }
+        }
+    }
+    // C3: Inst(Vi) follows Comp(V,{Vi}) for every consumer V of Vi.
+    // C5: Inst(V) follows Comp(V,{Vi}) for every source Vi of V.
+    for v in g.derived_views() {
+        for &vi in g.sources(v) {
+            eg.add_edge(
+                &UpdateExpr::inst(vi),
+                &UpdateExpr::comp1(v, vi),
+                EdgeLabel::C3,
+            );
+            eg.add_edge(
+                &UpdateExpr::inst(v),
+                &UpdateExpr::comp1(v, vi),
+                EdgeLabel::C5,
+            );
+        }
+    }
+    // C8: Comp(Vk,{Vj}) follows Comp(Vj,{Vi}) for every path Vk -> Vj -> Vi.
+    for vk in g.derived_views() {
+        for &vj in g.sources(vk) {
+            for &vi in g.sources(vj) {
+                eg.add_edge(
+                    &UpdateExpr::comp1(vk, vj),
+                    &UpdateExpr::comp1(vj, vi),
+                    EdgeLabel::C8,
+                );
+            }
+        }
+    }
+}
+
+/// `ModifyOrdering` (Algorithm 5.2): reorders views level-major (all level-0
+/// views first, then level-1, ...), preserving the input order within each
+/// level. The result always yields an acyclic expression graph
+/// (Theorem 5.5).
+pub fn modify_ordering(g: &Vdag, ord: &ViewOrdering) -> ViewOrdering {
+    let levels = g.levels();
+    let mut out = Vec::with_capacity(ord.len());
+    for level in 0..=g.max_level() {
+        for &v in ord.views() {
+            if levels[v.0] == level {
+                out.push(v);
+            }
+        }
+    }
+    ViewOrdering::new(out, g.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::correctness::check_vdag_strategy;
+    use crate::enumerate::permutations;
+    use crate::graph::{figure10_vdag, figure3_vdag};
+    use crate::ordering::vdag_strategy_consistent;
+
+    fn ordering(g: &Vdag, names: &[&str]) -> ViewOrdering {
+        ViewOrdering::new(
+            names.iter().map(|n| g.id_of(n).unwrap()).collect(),
+            g.len(),
+        )
+    }
+
+    #[test]
+    fn example_5_2_graph_is_acyclic_and_sorts() {
+        // Figure 7: EG of Figure 6's VDAG w.r.t. ⟨V4, V2, V1, V3, V5⟩.
+        let g = figure3_vdag();
+        let ord = ordering(&g, &["V4", "V2", "V1", "V3", "V5"]);
+        let eg = construct_eg(&g, &ord);
+        assert_eq!(eg.node_count(), 9);
+        assert!(eg.is_acyclic());
+        let s = eg.topological_strategy(&ord).unwrap();
+        check_vdag_strategy(&g, &s).unwrap();
+        assert!(s.is_one_way());
+        assert!(vdag_strategy_consistent(&s, &g, &ord));
+        // The paper's resulting strategy is one valid topological sort; ours
+        // must contain the same expressions.
+        assert_eq!(s.len(), 9);
+    }
+
+    #[test]
+    fn tree_vdag_acyclic_for_every_ordering() {
+        // Lemma 5.1.
+        let g = figure3_vdag();
+        let ids: Vec<ViewId> = g.view_ids().collect();
+        for perm in permutations(&ids) {
+            let ord = ViewOrdering::new(perm, g.len());
+            let eg = construct_eg(&g, &ord);
+            assert!(eg.is_acyclic(), "ordering {}", ord.display(&g));
+            let s = eg.topological_strategy(&ord).unwrap();
+            check_vdag_strategy(&g, &s).unwrap();
+            assert!(vdag_strategy_consistent(&s, &g, &ord));
+        }
+    }
+
+    #[test]
+    fn uniform_vdag_acyclic_for_every_ordering() {
+        // Lemma 5.2 on a small uniform VDAG (2 bases, 2 summaries).
+        let mut g = Vdag::new();
+        let a = g.add_base("A").unwrap();
+        let b = g.add_base("B").unwrap();
+        g.add_derived("Q1", &[a, b]).unwrap();
+        g.add_derived("Q2", &[a, b]).unwrap();
+        assert!(g.is_uniform());
+        let ids: Vec<ViewId> = g.view_ids().collect();
+        for perm in permutations(&ids) {
+            let ord = ViewOrdering::new(perm, g.len());
+            assert!(construct_eg(&g, &ord).is_acyclic());
+        }
+    }
+
+    #[test]
+    fn figure10_vdag_has_cyclic_eg_for_some_ordering() {
+        // Figure 16's discussion: ⟨V4, V2, V1, V3, V5⟩ on the Figure 10 VDAG
+        // yields a cycle (C8 then C4/C3 alternation).
+        let g = figure10_vdag();
+        let ord = ordering(&g, &["V4", "V2", "V1", "V3", "V5"]);
+        let eg = construct_eg(&g, &ord);
+        assert!(!eg.is_acyclic());
+        assert!(eg.topological_strategy(&ord).is_err());
+    }
+
+    #[test]
+    fn modify_ordering_restores_acyclicity() {
+        // Theorem 5.5.
+        let g = figure10_vdag();
+        let ord = ordering(&g, &["V4", "V2", "V1", "V3", "V5"]);
+        let ord2 = modify_ordering(&g, &ord);
+        // Level-major: bases (V2, V1, V3 in desired order), then V4, then V5.
+        assert_eq!(
+            ord2.views()
+                .iter()
+                .map(|v| g.name(*v))
+                .collect::<Vec<_>>(),
+            vec!["V2", "V1", "V3", "V4", "V5"]
+        );
+        let eg = construct_eg(&g, &ord2);
+        assert!(eg.is_acyclic());
+        let s = eg.topological_strategy(&ord2).unwrap();
+        check_vdag_strategy(&g, &s).unwrap();
+        assert!(vdag_strategy_consistent(&s, &g, &ord2));
+    }
+
+    #[test]
+    fn modify_ordering_on_all_permutations_always_acyclic() {
+        let g = figure10_vdag();
+        let ids: Vec<ViewId> = g.view_ids().collect();
+        for perm in permutations(&ids) {
+            let ord = ViewOrdering::new(perm, g.len());
+            let ord2 = modify_ordering(&g, &ord);
+            assert!(construct_eg(&g, &ord2).is_acyclic());
+        }
+    }
+
+    #[test]
+    fn seg_topological_sort_is_strongly_consistent() {
+        use crate::ordering::strongly_consistent;
+        let g = figure3_vdag();
+        let ord = ordering(&g, &["V2", "V3", "V4", "V1", "V5"]);
+        let seg = construct_seg(&g, &ord);
+        assert!(seg.is_acyclic());
+        let s = seg.topological_strategy(&ord).unwrap();
+        check_vdag_strategy(&g, &s).unwrap();
+        assert!(strongly_consistent(&s, &ord));
+    }
+
+    #[test]
+    fn seg_detects_orderings_without_strongly_consistent_strategies() {
+        // Section 6: for Figure 10's VDAG there is no 1-way strategy strongly
+        // consistent with ⟨V4, V1, V2, V3, V5⟩.
+        let g = figure10_vdag();
+        let ord = ordering(&g, &["V4", "V1", "V2", "V3", "V5"]);
+        let seg = construct_seg(&g, &ord);
+        assert!(!seg.is_acyclic());
+    }
+
+    #[test]
+    fn edge_labels_present() {
+        let g = figure3_vdag();
+        let ord = ordering(&g, &["V4", "V2", "V1", "V3", "V5"]);
+        let eg = construct_eg(&g, &ord);
+        let labels: std::collections::HashSet<_> =
+            eg.edges().iter().map(|(_, _, l)| *l).collect();
+        assert!(labels.contains(&EdgeLabel::Ordering));
+        assert!(labels.contains(&EdgeLabel::C3));
+        assert!(labels.contains(&EdgeLabel::C4));
+        assert!(labels.contains(&EdgeLabel::C5));
+        assert!(labels.contains(&EdgeLabel::C8));
+        assert!(eg.edge_count() > 0);
+    }
+
+    use crate::graph::{Vdag, ViewId};
+}

@@ -1,0 +1,257 @@
+//! Enumeration and counting of strategies (Section 3.1, Table 1).
+//!
+//! A view strategy for a view over `n` views is determined, up to
+//! work-equivalent reorderings, by an *ordered set partition* of the `n`
+//! underlying views: the partition gives the `Comp` groupings, the block
+//! order gives the propagation order (footnotes 3 and 4 of the paper argue
+//! the remaining freedom never changes the work). The number of ordered set
+//! partitions is the Fubini number: 1, 3, 13, 75, 541, 4683 for n = 1..6 —
+//! exactly the paper's Table 1.
+
+use crate::graph::{Vdag, ViewId};
+use crate::strategy::{Strategy, UpdateExpr};
+
+/// The paper's Equation (5): number of view strategies for a view defined
+/// over `n` views, evaluated by the inclusion–exclusion surjection formula
+/// `Σ_{k=1..n} Σ_{i=0..k-1} (-1)^i · k!/(i!(k-i)!) · (k-i)^n`.
+///
+/// (The paper's typesetting shows `(-1)^k`; with `(-1)^i` the formula counts
+/// surjections onto `k` blocks summed over `k`, which reproduces the paper's
+/// own Table 1 values. See [`fubini`] for an independent recurrence.)
+pub fn paper_formula_strategies(n: u32) -> u128 {
+    let mut total: i128 = 0;
+    for k in 1..=n {
+        for i in 0..k {
+            let sign = if i % 2 == 0 { 1i128 } else { -1i128 };
+            let binom = binomial(k as u128, i as u128) as i128;
+            let pow = ((k - i) as u128).pow(n) as i128;
+            total += sign * binom * pow;
+        }
+    }
+    debug_assert!(total >= 0);
+    total as u128
+}
+
+/// Fubini (ordered Bell) numbers by the recurrence
+/// `a(n) = Σ_{k=1..n} C(n,k) · a(n-k)`, `a(0) = 1`.
+pub fn fubini(n: u32) -> u128 {
+    let n = n as usize;
+    let mut a = vec![0u128; n + 1];
+    a[0] = 1;
+    for m in 1..=n {
+        let mut sum = 0u128;
+        for k in 1..=m {
+            sum += binomial(m as u128, k as u128) * a[m - k];
+        }
+        a[m] = sum;
+    }
+    a[n]
+}
+
+/// Binomial coefficient, exact for the small arguments used here.
+pub fn binomial(n: u128, k: u128) -> u128 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut r: u128 = 1;
+    for i in 0..k {
+        r = r * (n - i) / (i + 1);
+    }
+    r
+}
+
+/// All ordered set partitions of `{0, .., n-1}`.
+///
+/// Each result is a list of non-empty blocks in propagation order; each block
+/// is sorted ascending. Generated recursively: item `n-1` either joins an
+/// existing block of a smaller partition or forms a new singleton block in
+/// any of the gaps. Deterministic order.
+pub fn ordered_set_partitions(n: usize) -> Vec<Vec<Vec<usize>>> {
+    if n == 0 {
+        return vec![vec![]];
+    }
+    let smaller = ordered_set_partitions(n - 1);
+    let item = n - 1;
+    let mut out = Vec::new();
+    for p in &smaller {
+        // Join each existing block.
+        for b in 0..p.len() {
+            let mut q = p.clone();
+            q[b].push(item);
+            out.push(q);
+        }
+        // Insert as a new singleton block in each gap.
+        for pos in 0..=p.len() {
+            let mut q = p.clone();
+            q.insert(pos, vec![item]);
+            out.push(q);
+        }
+    }
+    out
+}
+
+/// All view strategies for `view` (one work-equivalence-class representative
+/// per ordered set partition, per Section 3.1): for each block `B` in order,
+/// `Comp(view, B)` followed by `Inst` of each member; finally `Inst(view)`.
+pub fn view_strategies(g: &Vdag, view: ViewId) -> Vec<Strategy> {
+    let sources = g.sources(view);
+    let n = sources.len();
+    ordered_set_partitions(n)
+        .into_iter()
+        .map(|partition| {
+            let mut s = Strategy::new();
+            for block in &partition {
+                let members: Vec<ViewId> = block.iter().map(|&i| sources[i]).collect();
+                s.push(UpdateExpr::comp(view, members.iter().copied()));
+                for m in &members {
+                    s.push(UpdateExpr::inst(*m));
+                }
+            }
+            s.push(UpdateExpr::inst(view));
+            s
+        })
+        .collect()
+}
+
+/// All 1-way view strategies for `view` (one per permutation of its sources).
+pub fn one_way_view_strategies(g: &Vdag, view: ViewId) -> Vec<Strategy> {
+    let sources: Vec<ViewId> = g.sources(view).to_vec();
+    permutations(&sources)
+        .into_iter()
+        .map(|perm| {
+            let mut s = Strategy::new();
+            for v in &perm {
+                s.push(UpdateExpr::comp1(view, *v));
+                s.push(UpdateExpr::inst(*v));
+            }
+            s.push(UpdateExpr::inst(view));
+            s
+        })
+        .collect()
+}
+
+/// All permutations of a slice, in a deterministic order.
+pub fn permutations<T: Clone>(items: &[T]) -> Vec<Vec<T>> {
+    let mut out = Vec::new();
+    let mut current = Vec::with_capacity(items.len());
+    let mut used = vec![false; items.len()];
+    permute(items, &mut used, &mut current, &mut out);
+    out
+}
+
+fn permute<T: Clone>(
+    items: &[T],
+    used: &mut [bool],
+    current: &mut Vec<T>,
+    out: &mut Vec<Vec<T>>,
+) {
+    if current.len() == items.len() {
+        out.push(current.clone());
+        return;
+    }
+    for i in 0..items.len() {
+        if !used[i] {
+            used[i] = true;
+            current.push(items[i].clone());
+            permute(items, used, current, out);
+            current.pop();
+            used[i] = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::correctness::check_view_strategy;
+    use crate::graph::Vdag;
+
+    /// Table 1 of the paper.
+    #[test]
+    fn table1_counts() {
+        let expected: [(u32, u128); 6] =
+            [(1, 1), (2, 3), (3, 13), (4, 75), (5, 541), (6, 4683)];
+        for (n, count) in expected {
+            assert_eq!(fubini(n), count, "fubini({n})");
+            assert_eq!(paper_formula_strategies(n), count, "formula({n})");
+            assert_eq!(
+                ordered_set_partitions(n as usize).len() as u128,
+                count,
+                "enumeration({n})"
+            );
+        }
+    }
+
+    #[test]
+    fn partitions_are_well_formed() {
+        for p in ordered_set_partitions(4) {
+            let mut all: Vec<usize> = p.iter().flatten().copied().collect();
+            all.sort_unstable();
+            assert_eq!(all, vec![0, 1, 2, 3]);
+            assert!(p.iter().all(|b| !b.is_empty()));
+        }
+    }
+
+    fn view_over(n: usize) -> (Vdag, ViewId) {
+        let mut g = Vdag::new();
+        let bases: Vec<ViewId> = (0..n)
+            .map(|i| g.add_base(format!("B{i}")).unwrap())
+            .collect();
+        let v = g.add_derived("V", &bases).unwrap();
+        (g, v)
+    }
+
+    #[test]
+    fn all_enumerated_view_strategies_are_correct() {
+        for n in 1..=4 {
+            let (g, v) = view_over(n);
+            let strategies = view_strategies(&g, v);
+            assert_eq!(strategies.len() as u128, fubini(n as u32));
+            for s in &strategies {
+                check_view_strategy(&g, v, s).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn one_way_strategies_count_and_correctness() {
+        let (g, v) = view_over(3);
+        let strategies = one_way_view_strategies(&g, v);
+        assert_eq!(strategies.len(), 6);
+        for s in &strategies {
+            assert!(s.is_one_way());
+            check_view_strategy(&g, v, s).unwrap();
+        }
+        // All distinct.
+        for (i, a) in strategies.iter().enumerate() {
+            for b in &strategies[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn q5_numbers_from_paper() {
+        // "view Q5 ... has a total of 4683 view strategies, out of which only
+        // 720 are 1-way."
+        assert_eq!(fubini(6), 4683);
+        let (g, v) = view_over(6);
+        assert_eq!(one_way_view_strategies(&g, v).len(), 720);
+    }
+
+    #[test]
+    fn binomial_basics() {
+        assert_eq!(binomial(6, 0), 1);
+        assert_eq!(binomial(6, 3), 20);
+        assert_eq!(binomial(6, 6), 1);
+        assert_eq!(binomial(3, 5), 0);
+    }
+
+    #[test]
+    fn permutations_of_three() {
+        let p = permutations(&[1, 2, 3]);
+        assert_eq!(p.len(), 6);
+        assert!(p.contains(&vec![3, 1, 2]));
+    }
+}

@@ -1,0 +1,338 @@
+//! The view DAG (VDAG) warehouse model from Section 2 of the paper.
+
+use crate::error::{VdagError, VdagResult};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifies a view within one [`Vdag`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ViewId(pub usize);
+
+impl fmt::Display for ViewId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "V{}", self.0)
+    }
+}
+
+/// One view node.
+#[derive(Clone, Debug)]
+pub struct ViewNode {
+    /// Human-readable name (matches the warehouse catalog).
+    pub name: String,
+    /// Views this view is defined over (`V -> Vi` edges). Empty for base
+    /// views (which are defined over remote sources).
+    pub sources: Vec<ViewId>,
+    /// Views defined over this view (reverse edges).
+    pub consumers: Vec<ViewId>,
+}
+
+impl ViewNode {
+    /// True when this is a base view (defined over remote sources only).
+    pub fn is_base(&self) -> bool {
+        self.sources.is_empty()
+    }
+}
+
+/// A directed acyclic graph of materialized views.
+///
+/// Acyclicity is guaranteed by construction: a derived view may only
+/// reference views added before it.
+#[derive(Clone, Debug, Default)]
+pub struct Vdag {
+    views: Vec<ViewNode>,
+    by_name: HashMap<String, ViewId>,
+}
+
+impl Vdag {
+    /// An empty VDAG.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a base view.
+    pub fn add_base(&mut self, name: impl Into<String>) -> VdagResult<ViewId> {
+        self.add_node(name.into(), Vec::new())
+    }
+
+    /// Adds a derived view defined over previously added views.
+    pub fn add_derived(
+        &mut self,
+        name: impl Into<String>,
+        sources: &[ViewId],
+    ) -> VdagResult<ViewId> {
+        let name = name.into();
+        if sources.is_empty() {
+            return Err(VdagError::Malformed(format!(
+                "derived view {name} must have at least one source"
+            )));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for s in sources {
+            if s.0 >= self.views.len() {
+                return Err(VdagError::UnknownView(format!("{s}")));
+            }
+            if !seen.insert(*s) {
+                return Err(VdagError::Malformed(format!(
+                    "derived view {name} lists source {s} twice"
+                )));
+            }
+        }
+        self.add_node(name, sources.to_vec())
+    }
+
+    fn add_node(&mut self, name: String, sources: Vec<ViewId>) -> VdagResult<ViewId> {
+        if self.by_name.contains_key(&name) {
+            return Err(VdagError::DuplicateView(name));
+        }
+        let id = ViewId(self.views.len());
+        for s in &sources {
+            self.views[s.0].consumers.push(id);
+        }
+        self.views.push(ViewNode {
+            name: name.clone(),
+            sources,
+            consumers: Vec::new(),
+        });
+        self.by_name.insert(name, id);
+        Ok(id)
+    }
+
+    /// Number of views.
+    pub fn len(&self) -> usize {
+        self.views.len()
+    }
+
+    /// True when the VDAG has no views.
+    pub fn is_empty(&self) -> bool {
+        self.views.is_empty()
+    }
+
+    /// All view ids, in insertion (topological) order.
+    pub fn view_ids(&self) -> impl Iterator<Item = ViewId> {
+        (0..self.views.len()).map(ViewId)
+    }
+
+    /// The node for `id`.
+    pub fn node(&self, id: ViewId) -> &ViewNode {
+        &self.views[id.0]
+    }
+
+    /// The name of `id`.
+    pub fn name(&self, id: ViewId) -> &str {
+        &self.views[id.0].name
+    }
+
+    /// Resolves a name to an id.
+    pub fn id_of(&self, name: &str) -> VdagResult<ViewId> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| VdagError::UnknownView(name.to_string()))
+    }
+
+    /// The sources of `id` (`id -> s` edges).
+    pub fn sources(&self, id: ViewId) -> &[ViewId] {
+        &self.views[id.0].sources
+    }
+
+    /// The consumers of `id` (views defined over it).
+    pub fn consumers(&self, id: ViewId) -> &[ViewId] {
+        &self.views[id.0].consumers
+    }
+
+    /// True when `id` is a base view.
+    pub fn is_base(&self, id: ViewId) -> bool {
+        self.views[id.0].is_base()
+    }
+
+    /// Derived views, in topological order.
+    pub fn derived_views(&self) -> Vec<ViewId> {
+        self.view_ids().filter(|v| !self.is_base(*v)).collect()
+    }
+
+    /// Base views, in insertion order.
+    pub fn base_views(&self) -> Vec<ViewId> {
+        self.view_ids().filter(|v| self.is_base(*v)).collect()
+    }
+
+    /// `Level(V)`: the maximum distance from `V` to a base view (base views
+    /// have level 0).
+    pub fn level(&self, id: ViewId) -> usize {
+        // Insertion order is topological, so one forward pass suffices; memoized
+        // per call site would be overkill at warehouse scales (tens of views).
+        let mut levels = vec![0usize; self.views.len()];
+        for v in 0..=id.0 {
+            levels[v] = self.views[v]
+                .sources
+                .iter()
+                .map(|s| levels[s.0] + 1)
+                .max()
+                .unwrap_or(0);
+        }
+        levels[id.0]
+    }
+
+    /// Levels of every view, indexed by id.
+    pub fn levels(&self) -> Vec<usize> {
+        let mut levels = vec![0usize; self.views.len()];
+        for v in 0..self.views.len() {
+            levels[v] = self.views[v]
+                .sources
+                .iter()
+                .map(|s| levels[s.0] + 1)
+                .max()
+                .unwrap_or(0);
+        }
+        levels
+    }
+
+    /// `MaxLevel(G)`.
+    pub fn max_level(&self) -> usize {
+        self.levels().into_iter().max().unwrap_or(0)
+    }
+
+    /// A **tree VDAG** (Definition 5.1): no view is used in the definition of
+    /// more than one other view.
+    pub fn is_tree(&self) -> bool {
+        self.views.iter().all(|v| v.consumers.len() <= 1)
+    }
+
+    /// A **uniform VDAG** (Definition 5.2): every derived view at level `i`
+    /// is defined only over views at level `i − 1`.
+    pub fn is_uniform(&self) -> bool {
+        let levels = self.levels();
+        self.views.iter().enumerate().all(|(v, node)| {
+            node.is_base()
+                || node
+                    .sources
+                    .iter()
+                    .all(|s| levels[s.0] + 1 == levels[v])
+        })
+    }
+
+    /// Views that at least one other view is defined over (the paper's `m`
+    /// views relevant to Prune's ordering enumeration).
+    pub fn views_with_consumers(&self) -> Vec<ViewId> {
+        self.view_ids()
+            .filter(|v| !self.consumers(*v).is_empty())
+            .collect()
+    }
+
+    /// All edges `(consumer, source)`.
+    pub fn edges(&self) -> Vec<(ViewId, ViewId)> {
+        let mut out = Vec::new();
+        for v in self.view_ids() {
+            for s in self.sources(v) {
+                out.push((v, *s));
+            }
+        }
+        out
+    }
+}
+
+/// Builds the running-example VDAG of the paper's Figure 3/6:
+/// bases `V1,V2,V3`; `V4` over `{V2,V3}`; `V5` over `{V1,V4}`.
+pub fn figure3_vdag() -> Vdag {
+    let mut g = Vdag::new();
+    let v1 = g.add_base("V1").unwrap();
+    let v2 = g.add_base("V2").unwrap();
+    let v3 = g.add_base("V3").unwrap();
+    let v4 = g.add_derived("V4", &[v2, v3]).unwrap();
+    g.add_derived("V5", &[v1, v4]).unwrap();
+    g
+}
+
+/// Builds the paper's Figure 10 "problem VDAG": like Figure 3 but `V4` is
+/// over `{V1,V2,V3}` and `V5` over `{V1,V4}` — wait, Figure 10 has `V4` over
+/// `{V2,V3}` and `V5` over `{V1,V2,V4}`, giving `V2` two consumers so some
+/// orderings admit no strongly consistent 1-way strategy.
+pub fn figure10_vdag() -> Vdag {
+    let mut g = Vdag::new();
+    let v1 = g.add_base("V1").unwrap();
+    let v2 = g.add_base("V2").unwrap();
+    let v3 = g.add_base("V3").unwrap();
+    let v4 = g.add_derived("V4", &[v2, v3]).unwrap();
+    g.add_derived("V5", &[v1, v2, v4]).unwrap();
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure3_structure() {
+        let g = figure3_vdag();
+        assert_eq!(g.len(), 5);
+        let v4 = g.id_of("V4").unwrap();
+        let v5 = g.id_of("V5").unwrap();
+        let v2 = g.id_of("V2").unwrap();
+        assert_eq!(g.sources(v4), &[ViewId(1), ViewId(2)]);
+        assert_eq!(g.consumers(v2), &[v4]);
+        assert!(g.is_base(g.id_of("V1").unwrap()));
+        assert!(!g.is_base(v4));
+        assert_eq!(g.base_views().len(), 3);
+        assert_eq!(g.derived_views(), vec![v4, v5]);
+    }
+
+    #[test]
+    fn levels_match_paper() {
+        let g = figure3_vdag();
+        // Paper: Level(V1)=Level(V2)=Level(V3)=0, Level(V4)=1, Level(V5)=2.
+        let levels = g.levels();
+        assert_eq!(levels, vec![0, 0, 0, 1, 2]);
+        assert_eq!(g.level(g.id_of("V5").unwrap()), 2);
+        assert_eq!(g.max_level(), 2);
+    }
+
+    #[test]
+    fn tree_and_uniform_classification() {
+        let g = figure3_vdag();
+        // Paper Section 5.3: Figure 6 (= Figure 3) is a tree but not uniform.
+        assert!(g.is_tree());
+        assert!(!g.is_uniform());
+
+        let g10 = figure10_vdag();
+        // V2 feeds both V4 and V5: not a tree; V5 mixes levels: not uniform.
+        assert!(!g10.is_tree());
+        assert!(!g10.is_uniform());
+
+        // The TPC-D shape: bases + level-1 summaries is uniform but not a tree.
+        let mut g = Vdag::new();
+        let a = g.add_base("A").unwrap();
+        let b = g.add_base("B").unwrap();
+        g.add_derived("Q1", &[a, b]).unwrap();
+        g.add_derived("Q2", &[a, b]).unwrap();
+        assert!(g.is_uniform());
+        assert!(!g.is_tree());
+    }
+
+    #[test]
+    fn construction_errors() {
+        let mut g = Vdag::new();
+        let a = g.add_base("A").unwrap();
+        assert!(g.add_base("A").is_err());
+        assert!(g.add_derived("D", &[]).is_err());
+        assert!(g.add_derived("D", &[a, a]).is_err());
+        assert!(g.add_derived("D", &[ViewId(99)]).is_err());
+        assert!(g.id_of("missing").is_err());
+    }
+
+    #[test]
+    fn views_with_consumers_for_prune() {
+        let g = figure3_vdag();
+        // V1..V4 all feed something; V5 feeds nothing.
+        let m: Vec<&str> = g
+            .views_with_consumers()
+            .into_iter()
+            .map(|v| g.name(v))
+            .collect();
+        assert_eq!(m, vec!["V1", "V2", "V3", "V4"]);
+    }
+
+    #[test]
+    fn edges_enumerated() {
+        let g = figure3_vdag();
+        assert_eq!(g.edges().len(), 4);
+    }
+}

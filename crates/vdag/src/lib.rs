@@ -1,0 +1,45 @@
+//! # uww-vdag
+//!
+//! The warehouse model of *Shrinking the Warehouse Update Window*
+//! (Labio, Yerneni, Garcia-Molina, SIGMOD 1999), Sections 2, 3, 5.2, 6:
+//!
+//! * [`Vdag`] — the view DAG, with `Level`, tree and uniform classification;
+//! * [`UpdateExpr`] / [`Strategy`] — `Comp`/`Inst` sequences;
+//! * [`correctness`] — checkers for conditions C1–C6 (view strategies) and
+//!   C7–C8 (VDAG strategies);
+//! * [`enumerate`] — ordered-set-partition enumeration of all view
+//!   strategies, 1-way enumeration, and the Table 1 counts (Fubini numbers);
+//! * [`ordering`] — view orderings, consistency and strong consistency;
+//! * [`egraph`] — `ConstructEG` / `ConstructSEG` expression graphs,
+//!   topological strategy extraction, and `ModifyOrdering`.
+//!
+//! This crate is purely combinatorial — it knows nothing about table
+//! contents. Cost models and planners live in `uww-core`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod correctness;
+pub mod dot;
+pub mod egraph;
+pub mod enumerate;
+pub mod error;
+pub mod graph;
+pub mod ordering;
+pub mod random;
+pub mod strategy;
+
+pub use correctness::{check_vdag_strategy, check_view_strategy};
+pub use egraph::{construct_eg, construct_seg, modify_ordering, EdgeLabel, ExpressionGraph};
+pub use enumerate::{
+    fubini, one_way_view_strategies, ordered_set_partitions, paper_formula_strategies,
+    permutations, view_strategies,
+};
+pub use error::{VdagError, VdagResult};
+pub use graph::{figure10_vdag, figure3_vdag, Vdag, ViewId, ViewNode};
+pub use random::{random_vdag, RandomVdagConfig, SplitMix64};
+pub use ordering::{
+    install_ordering, strongly_consistent, vdag_strategy_consistent, view_strategy_consistent,
+    ViewOrdering,
+};
+pub use strategy::{dual_stage_strategy, one_way_expressions, Strategy, UpdateExpr};

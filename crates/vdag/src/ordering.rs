@@ -1,0 +1,233 @@
+//! View orderings and the consistency relations of Sections 4–6.
+
+use crate::graph::{Vdag, ViewId};
+use crate::strategy::{Strategy, UpdateExpr};
+
+/// A total order over (a subset of) the VDAG's views.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ViewOrdering {
+    order: Vec<ViewId>,
+    /// position[view.0] = rank, or usize::MAX when absent.
+    position: Vec<usize>,
+}
+
+impl ViewOrdering {
+    /// Builds an ordering over the given views. `universe` is the number of
+    /// views in the VDAG (for the position index).
+    pub fn new(order: Vec<ViewId>, universe: usize) -> Self {
+        let mut position = vec![usize::MAX; universe];
+        for (i, v) in order.iter().enumerate() {
+            debug_assert!(position[v.0] == usize::MAX, "view listed twice");
+            position[v.0] = i;
+        }
+        ViewOrdering { order, position }
+    }
+
+    /// Builds an ordering over all views of `g` sorted by a key function
+    /// (ascending); ties break by view id for determinism.
+    pub fn by_key<K: PartialOrd + Copy>(g: &Vdag, key: impl Fn(ViewId) -> K) -> Self {
+        let mut ids: Vec<ViewId> = g.view_ids().collect();
+        ids.sort_by(|a, b| {
+            key(*a)
+                .partial_cmp(&key(*b))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(b))
+        });
+        ViewOrdering::new(ids, g.len())
+    }
+
+    /// The views in order.
+    pub fn views(&self) -> &[ViewId] {
+        &self.order
+    }
+
+    /// Rank of `v`, if present.
+    pub fn position(&self, v: ViewId) -> Option<usize> {
+        match self.position.get(v.0) {
+            Some(&p) if p != usize::MAX => Some(p),
+            _ => None,
+        }
+    }
+
+    /// True when `a` precedes `b` (both must be present).
+    pub fn before(&self, a: ViewId, b: ViewId) -> bool {
+        match (self.position(a), self.position(b)) {
+            (Some(pa), Some(pb)) => pa < pb,
+            _ => false,
+        }
+    }
+
+    /// The reversed ordering (used by the paper's RNSCOL baseline).
+    pub fn reversed(&self) -> ViewOrdering {
+        let mut order = self.order.clone();
+        order.reverse();
+        ViewOrdering::new(order, self.position.len())
+    }
+
+    /// Number of views in the ordering.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Renders with view names.
+    pub fn display(&self, g: &Vdag) -> String {
+        let names: Vec<&str> = self.order.iter().map(|v| g.name(*v)).collect();
+        format!("⟨ {} ⟩", names.join(", "))
+    }
+}
+
+/// **Consistency** (Section 4): a 1-way *view* strategy for `view` is
+/// consistent with an ordering if for every `Inst(Vi) < Inst(Vj)` in the
+/// strategy with `Vi, Vj ≠ view`, `Vi` precedes `Vj` in the ordering.
+pub fn view_strategy_consistent(s: &Strategy, view: ViewId, ord: &ViewOrdering) -> bool {
+    let insts: Vec<ViewId> = s
+        .exprs
+        .iter()
+        .filter_map(|e| match e {
+            UpdateExpr::Inst(v) if *v != view => Some(*v),
+            _ => None,
+        })
+        .collect();
+    pairwise_ordered(&insts, ord)
+}
+
+/// A VDAG strategy is **consistent** with an ordering when every view
+/// strategy it uses is consistent with the ordering (Section 5.1).
+pub fn vdag_strategy_consistent(s: &Strategy, g: &Vdag, ord: &ViewOrdering) -> bool {
+    g.view_ids().all(|v| {
+        let used = s.used_view_strategy(g, v);
+        view_strategy_consistent(&used, v, ord)
+    })
+}
+
+/// **Strong consistency** (Section 6): `Inst(Vi) < Inst(Vj)` in the VDAG
+/// strategy implies `Vi` precedes `Vj` in the ordering — over *all* installs.
+pub fn strongly_consistent(s: &Strategy, ord: &ViewOrdering) -> bool {
+    let insts: Vec<ViewId> = s
+        .exprs
+        .iter()
+        .filter_map(|e| match e {
+            UpdateExpr::Inst(v) => Some(*v),
+            _ => None,
+        })
+        .collect();
+    pairwise_ordered(&insts, ord)
+}
+
+/// The unique view ordering a 1-way VDAG strategy is strongly consistent
+/// with (Lemma 6.1): the order its installs appear in.
+pub fn install_ordering(s: &Strategy, universe: usize) -> ViewOrdering {
+    let insts: Vec<ViewId> = s
+        .exprs
+        .iter()
+        .filter_map(|e| match e {
+            UpdateExpr::Inst(v) => Some(*v),
+            _ => None,
+        })
+        .collect();
+    ViewOrdering::new(insts, universe)
+}
+
+fn pairwise_ordered(seq: &[ViewId], ord: &ViewOrdering) -> bool {
+    for (i, a) in seq.iter().enumerate() {
+        for b in &seq[i + 1..] {
+            // Only constrain pairs the ordering actually ranks.
+            if let (Some(pa), Some(pb)) = (ord.position(*a), ord.position(*b)) {
+                if pa >= pb {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::figure3_vdag;
+
+    #[test]
+    fn positions_and_before() {
+        let g = figure3_vdag();
+        let id = |n: &str| g.id_of(n).unwrap();
+        let ord = ViewOrdering::new(vec![id("V4"), id("V2"), id("V1")], g.len());
+        assert_eq!(ord.position(id("V4")), Some(0));
+        assert_eq!(ord.position(id("V5")), None);
+        assert!(ord.before(id("V4"), id("V1")));
+        assert!(!ord.before(id("V1"), id("V4")));
+        assert!(!ord.before(id("V5"), id("V4")));
+        assert_eq!(ord.reversed().position(id("V1")), Some(0));
+        assert_eq!(ord.len(), 3);
+    }
+
+    #[test]
+    fn by_key_sorts_ascending_with_stable_ties() {
+        let g = figure3_vdag();
+        let ord = ViewOrdering::by_key(&g, |v| if v.0 == 3 { -1.0 } else { 0.0 });
+        assert_eq!(ord.views()[0], ViewId(3));
+        assert_eq!(ord.views()[1], ViewId(0)); // ties by id
+    }
+
+    use crate::graph::ViewId;
+
+    #[test]
+    fn example_5_1_consistency() {
+        // Paper Example 5.1: ordering ⟨V4, V2, V1, V3, V5⟩; the shown 1-way
+        // VDAG strategy is consistent with it.
+        let g = figure3_vdag();
+        let id = |n: &str| g.id_of(n).unwrap();
+        let ord = ViewOrdering::new(
+            vec![id("V4"), id("V2"), id("V1"), id("V3"), id("V5")],
+            g.len(),
+        );
+        let s = Strategy::from_exprs(vec![
+            UpdateExpr::comp1(id("V4"), id("V2")),
+            UpdateExpr::inst(id("V2")),
+            UpdateExpr::comp1(id("V4"), id("V3")),
+            UpdateExpr::inst(id("V3")),
+            UpdateExpr::comp1(id("V5"), id("V4")),
+            UpdateExpr::inst(id("V4")),
+            UpdateExpr::comp1(id("V5"), id("V1")),
+            UpdateExpr::inst(id("V1")),
+            UpdateExpr::inst(id("V5")),
+        ]);
+        assert!(vdag_strategy_consistent(&s, &g, &ord));
+        // It is NOT strongly consistent with that ordering (V2 installs
+        // before V4, but V4 precedes V2 in the ordering)...
+        assert!(!strongly_consistent(&s, &ord));
+        // ...its unique strong ordering is its install order.
+        let strong = install_ordering(&s, g.len());
+        assert_eq!(
+            strong.views(),
+            &[id("V2"), id("V3"), id("V4"), id("V1"), id("V5")]
+        );
+        assert!(strongly_consistent(&s, &strong));
+    }
+
+    #[test]
+    fn inconsistent_when_install_order_flips() {
+        let g = figure3_vdag();
+        let id = |n: &str| g.id_of(n).unwrap();
+        let ord = ViewOrdering::new(
+            vec![id("V3"), id("V2"), id("V1"), id("V4"), id("V5")],
+            g.len(),
+        );
+        // V4's used view strategy installs V2 before V3, but ordering says
+        // V3 < V2.
+        let s = Strategy::from_exprs(vec![
+            UpdateExpr::comp1(id("V4"), id("V2")),
+            UpdateExpr::inst(id("V2")),
+            UpdateExpr::comp1(id("V4"), id("V3")),
+            UpdateExpr::inst(id("V3")),
+            UpdateExpr::inst(id("V4")),
+        ]);
+        let used = s.used_view_strategy(&g, id("V4"));
+        assert!(!view_strategy_consistent(&used, id("V4"), &ord));
+    }
+}

@@ -1,0 +1,291 @@
+//! Update expressions and strategies (Section 3 of the paper).
+
+use crate::graph::{Vdag, ViewId};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// One step of an update strategy.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum UpdateExpr {
+    /// `Comp(view, over)`: compute the part of Δview caused by the changes of
+    /// the views in `over` (a non-empty subset of view's sources), using the
+    /// standard maintenance expression with `2^|over| − 1` terms.
+    Comp {
+        /// The view whose delta is being computed.
+        view: ViewId,
+        /// The subset of underlying views whose changes this step propagates.
+        over: BTreeSet<ViewId>,
+    },
+    /// `Inst(view)`: install Δview into the stored extent.
+    Inst(ViewId),
+}
+
+impl UpdateExpr {
+    /// `Comp(view, {over...})`.
+    pub fn comp(view: ViewId, over: impl IntoIterator<Item = ViewId>) -> Self {
+        UpdateExpr::Comp {
+            view,
+            over: over.into_iter().collect(),
+        }
+    }
+
+    /// `Comp(view, {single})` — the 1-way form.
+    pub fn comp1(view: ViewId, over: ViewId) -> Self {
+        UpdateExpr::comp(view, [over])
+    }
+
+    /// `Inst(view)`.
+    pub fn inst(view: ViewId) -> Self {
+        UpdateExpr::Inst(view)
+    }
+
+    /// The view this expression updates or installs.
+    pub fn subject(&self) -> ViewId {
+        match self {
+            UpdateExpr::Comp { view, .. } => *view,
+            UpdateExpr::Inst(v) => *v,
+        }
+    }
+
+    /// True for `Comp` expressions propagating the changes of `v`.
+    pub fn propagates(&self, v: ViewId) -> bool {
+        matches!(self, UpdateExpr::Comp { over, .. } if over.contains(&v))
+    }
+
+    /// True when this is a `Comp` with exactly one underlying view.
+    pub fn is_one_way_comp(&self) -> bool {
+        matches!(self, UpdateExpr::Comp { over, .. } if over.len() == 1)
+    }
+
+    /// Renders the expression with view names from `g`.
+    pub fn display<'a>(&'a self, g: &'a Vdag) -> ExprDisplay<'a> {
+        ExprDisplay { expr: self, g }
+    }
+}
+
+/// Helper for name-based rendering of an [`UpdateExpr`].
+pub struct ExprDisplay<'a> {
+    expr: &'a UpdateExpr,
+    g: &'a Vdag,
+}
+
+impl fmt::Display for ExprDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.expr {
+            UpdateExpr::Comp { view, over } => {
+                write!(f, "Comp({}, {{", self.g.name(*view))?;
+                for (i, v) in over.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{}", self.g.name(*v))?;
+                }
+                write!(f, "}})")
+            }
+            UpdateExpr::Inst(v) => write!(f, "Inst({})", self.g.name(*v)),
+        }
+    }
+}
+
+/// A strategy: a sequence of update expressions. Used both for single-view
+/// strategies and whole-VDAG strategies.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Strategy {
+    /// The expressions, in execution order.
+    pub exprs: Vec<UpdateExpr>,
+}
+
+impl Strategy {
+    /// An empty strategy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A strategy from a list of expressions.
+    pub fn from_exprs(exprs: Vec<UpdateExpr>) -> Self {
+        Strategy { exprs }
+    }
+
+    /// Appends an expression.
+    pub fn push(&mut self, e: UpdateExpr) {
+        self.exprs.push(e);
+    }
+
+    /// Number of expressions.
+    pub fn len(&self) -> usize {
+        self.exprs.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.exprs.is_empty()
+    }
+
+    /// Position of the first occurrence of `e`.
+    pub fn position(&self, e: &UpdateExpr) -> Option<usize> {
+        self.exprs.iter().position(|x| x == e)
+    }
+
+    /// True when every `Comp` propagates exactly one view (a 1-way strategy).
+    pub fn is_one_way(&self) -> bool {
+        self.exprs
+            .iter()
+            .all(|e| !matches!(e, UpdateExpr::Comp { .. }) || e.is_one_way_comp())
+    }
+
+    /// The view strategy **used by** this VDAG strategy for `view`
+    /// (Definition 3.2): the subsequence of `Comp(view, ...)`, `Inst(view)`,
+    /// and `Inst(s)` for each source `s` of `view`.
+    pub fn used_view_strategy(&self, g: &Vdag, view: ViewId) -> Strategy {
+        let sources = g.sources(view);
+        let exprs = self
+            .exprs
+            .iter()
+            .filter(|e| match e {
+                UpdateExpr::Comp { view: v, .. } => *v == view,
+                UpdateExpr::Inst(v) => *v == view || sources.contains(v),
+            })
+            .cloned()
+            .collect();
+        Strategy { exprs }
+    }
+
+    /// Renders the strategy with view names.
+    pub fn display<'a>(&'a self, g: &'a Vdag) -> StrategyDisplay<'a> {
+        StrategyDisplay { s: self, g }
+    }
+}
+
+/// Helper for name-based rendering of a [`Strategy`].
+pub struct StrategyDisplay<'a> {
+    s: &'a Strategy,
+    g: &'a Vdag,
+}
+
+impl fmt::Display for StrategyDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨ ")?;
+        for (i, e) in self.s.exprs.iter().enumerate() {
+            if i > 0 {
+                write!(f, "; ")?;
+            }
+            write!(f, "{}", e.display(self.g))?;
+        }
+        write!(f, " ⟩")
+    }
+}
+
+/// Builds the canonical **dual-stage** VDAG strategy (Section 3.1 form (2),
+/// extended to a VDAG): one `Comp(V, sources(V))` per derived view in
+/// topological order (satisfying C8), then every `Inst` in id order.
+pub fn dual_stage_strategy(g: &Vdag) -> Strategy {
+    let mut s = Strategy::new();
+    for v in g.derived_views() {
+        s.push(UpdateExpr::comp(v, g.sources(v).iter().copied()));
+    }
+    for v in g.view_ids() {
+        s.push(UpdateExpr::inst(v));
+    }
+    s
+}
+
+/// The set of **1-way expressions** of a VDAG (Section 5.2): one
+/// `Comp(Vj, {Vi})` per edge and one `Inst(V)` per view.
+pub fn one_way_expressions(g: &Vdag) -> Vec<UpdateExpr> {
+    let mut out = Vec::new();
+    for v in g.view_ids() {
+        for s in g.sources(v) {
+            out.push(UpdateExpr::comp1(v, *s));
+        }
+    }
+    for v in g.view_ids() {
+        out.push(UpdateExpr::inst(v));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::figure3_vdag;
+
+    #[test]
+    fn display_uses_names() {
+        let g = figure3_vdag();
+        let v4 = g.id_of("V4").unwrap();
+        let v2 = g.id_of("V2").unwrap();
+        let v3 = g.id_of("V3").unwrap();
+        let e = UpdateExpr::comp(v4, [v3, v2]);
+        assert_eq!(e.display(&g).to_string(), "Comp(V4, {V2, V3})");
+        assert_eq!(UpdateExpr::inst(v4).display(&g).to_string(), "Inst(V4)");
+    }
+
+    #[test]
+    fn one_way_detection() {
+        let g = figure3_vdag();
+        let v4 = g.id_of("V4").unwrap();
+        let v2 = g.id_of("V2").unwrap();
+        let v3 = g.id_of("V3").unwrap();
+        assert!(UpdateExpr::comp1(v4, v2).is_one_way_comp());
+        assert!(!UpdateExpr::comp(v4, [v2, v3]).is_one_way_comp());
+        let s = Strategy::from_exprs(vec![
+            UpdateExpr::comp1(v4, v2),
+            UpdateExpr::inst(v2),
+        ]);
+        assert!(s.is_one_way());
+    }
+
+    #[test]
+    fn used_view_strategy_extracts_subsequence() {
+        // Paper Example 3.1: VDAG strategy (6) uses specific view strategies
+        // for V4 and V5.
+        let g = figure3_vdag();
+        let id = |n: &str| g.id_of(n).unwrap();
+        let s = Strategy::from_exprs(vec![
+            UpdateExpr::comp1(id("V4"), id("V2")),
+            UpdateExpr::inst(id("V2")),
+            UpdateExpr::comp1(id("V4"), id("V3")),
+            UpdateExpr::inst(id("V3")),
+            UpdateExpr::comp1(id("V5"), id("V4")),
+            UpdateExpr::inst(id("V4")),
+            UpdateExpr::comp1(id("V5"), id("V1")),
+            UpdateExpr::inst(id("V1")),
+            UpdateExpr::inst(id("V5")),
+        ]);
+        let for_v4 = s.used_view_strategy(&g, id("V4"));
+        assert_eq!(
+            for_v4.exprs,
+            vec![
+                UpdateExpr::comp1(id("V4"), id("V2")),
+                UpdateExpr::inst(id("V2")),
+                UpdateExpr::comp1(id("V4"), id("V3")),
+                UpdateExpr::inst(id("V3")),
+                UpdateExpr::inst(id("V4")),
+            ]
+        );
+        let for_v5 = s.used_view_strategy(&g, id("V5"));
+        assert_eq!(for_v5.len(), 5);
+        // Base view: strategy is just its own install.
+        let for_v1 = s.used_view_strategy(&g, id("V1"));
+        assert_eq!(for_v1.exprs, vec![UpdateExpr::inst(id("V1"))]);
+    }
+
+    #[test]
+    fn dual_stage_shape() {
+        let g = figure3_vdag();
+        let s = dual_stage_strategy(&g);
+        // 2 comps (V4, V5) + 5 installs.
+        assert_eq!(s.len(), 7);
+        assert!(!s.is_one_way());
+        assert!(matches!(&s.exprs[0], UpdateExpr::Comp { over, .. } if over.len() == 2));
+    }
+
+    #[test]
+    fn one_way_expression_set() {
+        let g = figure3_vdag();
+        let exprs = one_way_expressions(&g);
+        // 4 edges + 5 views.
+        assert_eq!(exprs.len(), 9);
+        assert!(exprs.iter().filter(|e| e.is_one_way_comp()).count() == 4);
+    }
+}

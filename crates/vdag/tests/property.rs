@@ -1,0 +1,126 @@
+//! Property-based tests over random VDAGs: the structural theorems of
+//! Sections 3–6 must hold for arbitrary DAG shapes and orderings.
+
+use proptest::prelude::*;
+use uww_vdag::{
+    check_vdag_strategy, construct_eg, construct_seg, dual_stage_strategy, install_ordering,
+    modify_ordering, strongly_consistent, vdag_strategy_consistent, Vdag, ViewId, ViewOrdering,
+};
+
+/// Builds a random VDAG from a compact genome: `bases` base views plus one
+/// derived view per mask, whose sources are the already-created views
+/// selected by the mask bits (at least one).
+fn vdag_from(bases: usize, masks: &[u64]) -> Vdag {
+    let mut g = Vdag::new();
+    for i in 0..bases {
+        g.add_base(format!("B{i}")).unwrap();
+    }
+    for (d, mask) in masks.iter().enumerate() {
+        let existing = g.len();
+        let sources: Vec<ViewId> = (0..existing)
+            .filter(|i| mask & (1 << (i % 60)) != 0)
+            .map(ViewId)
+            .collect();
+        let sources = if sources.is_empty() {
+            vec![ViewId(d % existing)]
+        } else {
+            sources
+        };
+        g.add_derived(format!("D{d}"), &sources).unwrap();
+    }
+    g
+}
+
+fn arb_vdag() -> impl Strategy<Value = Vdag> {
+    (2usize..5, prop::collection::vec(any::<u64>(), 1..4))
+        .prop_map(|(bases, masks)| vdag_from(bases, &masks))
+}
+
+fn arb_ordering(g: &Vdag, seed: u64) -> ViewOrdering {
+    // Deterministic pseudo-shuffle from the seed.
+    let mut ids: Vec<ViewId> = g.view_ids().collect();
+    let n = ids.len();
+    let mut state = seed | 1;
+    for i in (1..n).rev() {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let j = (state >> 33) as usize % (i + 1);
+        ids.swap(i, j);
+    }
+    ViewOrdering::new(ids, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Whenever the EG is acyclic, its topological strategy is correct,
+    /// 1-way, and consistent with the ordering (Lemma A.1).
+    #[test]
+    fn acyclic_eg_yields_correct_consistent_strategy(g in arb_vdag(), seed in any::<u64>()) {
+        let ord = arb_ordering(&g, seed);
+        let eg = construct_eg(&g, &ord);
+        if eg.is_acyclic() {
+            let s = eg.topological_strategy(&ord).unwrap();
+            check_vdag_strategy(&g, &s).unwrap();
+            prop_assert!(s.is_one_way());
+            prop_assert!(vdag_strategy_consistent(&s, &g, &ord));
+        }
+    }
+
+    /// ModifyOrdering always repairs cyclic expression graphs
+    /// (Theorem 5.5), for every VDAG and every ordering.
+    #[test]
+    fn modify_ordering_always_acyclic(g in arb_vdag(), seed in any::<u64>()) {
+        let ord = arb_ordering(&g, seed);
+        let fixed = modify_ordering(&g, &ord);
+        let eg = construct_eg(&g, &fixed);
+        prop_assert!(eg.is_acyclic());
+        let s = eg.topological_strategy(&fixed).unwrap();
+        check_vdag_strategy(&g, &s).unwrap();
+    }
+
+    /// Tree and uniform VDAGs always have acyclic EGs (Lemmas 5.1 and 5.2).
+    #[test]
+    fn tree_and_uniform_vdags_always_acyclic(g in arb_vdag(), seed in any::<u64>()) {
+        if g.is_tree() || g.is_uniform() {
+            let ord = arb_ordering(&g, seed);
+            prop_assert!(construct_eg(&g, &ord).is_acyclic());
+        }
+    }
+
+    /// A topological sort of an acyclic SEG is strongly consistent with its
+    /// ordering, and its install ordering round-trips (Lemma 6.1).
+    #[test]
+    fn seg_strategies_strongly_consistent(g in arb_vdag(), seed in any::<u64>()) {
+        let ord = arb_ordering(&g, seed);
+        let seg = construct_seg(&g, &ord);
+        if seg.is_acyclic() {
+            let s = seg.topological_strategy(&ord).unwrap();
+            check_vdag_strategy(&g, &s).unwrap();
+            prop_assert!(strongly_consistent(&s, &ord));
+            // Unique strong ordering = the install appearance order.
+            let strong = install_ordering(&s, g.len());
+            prop_assert!(strongly_consistent(&s, &strong));
+            prop_assert_eq!(strong.views(), ord.views());
+        }
+    }
+
+    /// The dual-stage strategy is correct for every VDAG.
+    #[test]
+    fn dual_stage_always_correct(g in arb_vdag()) {
+        let s = dual_stage_strategy(&g);
+        check_vdag_strategy(&g, &s).unwrap();
+    }
+
+    /// Levels are consistent: every derived view sits strictly above all its
+    /// sources, and `max_level` bounds everything.
+    #[test]
+    fn levels_are_monotone(g in arb_vdag()) {
+        let levels = g.levels();
+        for v in g.view_ids() {
+            for s in g.sources(v) {
+                prop_assert!(levels[v.0] > levels[s.0]);
+            }
+            prop_assert!(levels[v.0] <= g.max_level());
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Strategy explorer: enumerate every update-strategy class for the Q3
+//! summary view (Table 1 says 13 for a 3-source view), run each against
+//! identical warehouse state, and compare predicted vs measured work —
+//! a miniature of the paper's Figure 12.
+//!
+//! Run with: `cargo run --release --example strategy_explorer`
+
+use uww::core::{min_work_single, CostModel, SizeCatalog};
+use uww::scenario::q3_scenario;
+use uww::vdag::{fubini, view_strategies, UpdateExpr};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut sc = q3_scenario(0.001)?;
+    sc.load_col_changes(0.10)?;
+
+    let g = sc.warehouse.vdag();
+    let q3 = g.id_of("Q3")?;
+    let sizes = SizeCatalog::estimate(&sc.warehouse)?;
+    let model = CostModel::new(g, &sizes);
+
+    let classes = view_strategies(g, q3);
+    println!(
+        "Q3 is defined over {} views -> {} strategy classes (Table 1: {})\n",
+        g.sources(q3).len(),
+        classes.len(),
+        fubini(g.sources(q3).len() as u32),
+    );
+
+    let minwork = sc.complete_strategy(&min_work_single(g, q3, &sizes));
+
+    println!(
+        "{:<42} {:>10} {:>12} {:>12}",
+        "strategy (Comp grouping, in order)", "kind", "predicted", "measured"
+    );
+    let mut rows: Vec<(String, String, f64, u64, bool)> = Vec::new();
+    for s in &classes {
+        let full = sc.complete_strategy(s);
+        let groups: Vec<String> = s
+            .exprs
+            .iter()
+            .filter_map(|e| match e {
+                UpdateExpr::Comp { over, .. } => Some(format!(
+                    "{{{}}}",
+                    over.iter()
+                        .map(|v| &g.name(*v)[..1])
+                        .collect::<Vec<_>>()
+                        .join(",")
+                )),
+                _ => None,
+            })
+            .collect();
+        let kind = match groups.len() {
+            1 => "dual-stage",
+            n if n == g.sources(q3).len() => "1-way",
+            _ => "mixed",
+        };
+        let predicted = model.strategy_work(&full);
+        let report = sc.run(&full)?;
+        rows.push((
+            groups.join(" "),
+            kind.to_string(),
+            predicted,
+            report.linear_work(),
+            full == minwork,
+        ));
+    }
+    rows.sort_by_key(|r| r.3);
+    for (desc, kind, predicted, measured, is_minwork) in &rows {
+        println!(
+            "{:<42} {:>10} {:>12.0} {:>12}{}",
+            desc,
+            kind,
+            predicted,
+            measured,
+            if *is_minwork { "   <- MinWorkSingle" } else { "" }
+        );
+    }
+
+    let best = rows.first().expect("classes enumerated");
+    let worst = rows.last().expect("classes enumerated");
+    println!(
+        "\nworst/best measured-work ratio: {:.2}x (paper's Figure 12 saw ~2-3x)",
+        worst.3 as f64 / best.3 as f64
+    );
+    Ok(())
+}

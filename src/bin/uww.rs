@@ -1,0 +1,331 @@
+//! `uww` — command-line front end for the warehouse-update-window toolkit.
+//!
+//! ```text
+//! uww info     [--scenario fig4|q3|q5] [--scale F]
+//! uww plan     [--scenario ...] [--scale F] [--frac F] [--planner minwork|prune|dual-stage|rnscol]
+//! uww run      [--scenario ...] [--scale F] [--frac F] [--planner ...]
+//! uww script   [--scenario ...] [--scale F] [--frac F]
+//! uww dot      [--scenario ...] [--scale F] [--graph vdag|eg]
+//! uww olap     [--scenario ...] [--scale F] [--frac F] [--isolation strict|low]
+//! uww explain  [--scenario ...] [--scale F] [--frac F] [--planner ...]
+//! uww dump     [--scenario ...] [--scale F]
+//! ```
+//!
+//! Scenarios are the paper's: `fig4` (all six TPC-D bases + Q3/Q5/Q10),
+//! `q3` (C, O, L + Q3), `q5` (all bases + Q5). `--frac` is the uniform
+//! deletion fraction of the change batch (default 0.10, the paper's).
+
+use std::process::ExitCode;
+use uww::core::{
+    min_work, prune, simulate_olap, CostModel, IsolationMode, OlapWorkload, ScriptGenerator,
+    SizeCatalog,
+};
+use uww::scenario::TpcdScenario;
+use uww::vdag::{construct_eg, Strategy};
+
+struct Args {
+    scenario: String,
+    scale: f64,
+    frac: f64,
+    planner: String,
+    graph: String,
+    isolation: String,
+    sql_views: Vec<(String, String)>,
+}
+
+fn parse_args(argv: &[String]) -> Result<(String, Args), String> {
+    let mut cmd = None;
+    let mut args = Args {
+        scenario: "fig4".into(),
+        scale: 0.001,
+        frac: 0.10,
+        planner: "minwork".into(),
+        graph: "vdag".into(),
+        isolation: "strict".into(),
+        sql_views: Vec::new(),
+    };
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--sql" => {
+                let v = it.next().ok_or_else(|| "missing value for --sql".to_string())?;
+                let (name, query) = v
+                    .split_once('=')
+                    .ok_or_else(|| "--sql expects NAME=SELECT ...".to_string())?;
+                args.sql_views.push((name.trim().to_string(), query.to_string()));
+            }
+            "--scenario" | "--scale" | "--frac" | "--planner" | "--graph" | "--isolation" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| format!("missing value for {a}"))?
+                    .clone();
+                match a.as_str() {
+                    "--scenario" => args.scenario = v,
+                    "--scale" => {
+                        args.scale = v.parse().map_err(|_| format!("bad --scale {v}"))?
+                    }
+                    "--frac" => args.frac = v.parse().map_err(|_| format!("bad --frac {v}"))?,
+                    "--planner" => args.planner = v,
+                    "--graph" => args.graph = v,
+                    "--isolation" => args.isolation = v,
+                    _ => unreachable!(),
+                }
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
+            word if cmd.is_none() => cmd = Some(word.to_string()),
+            word => return Err(format!("unexpected argument {word}")),
+        }
+    }
+    let cmd = cmd.ok_or_else(|| "no command given".to_string())?;
+    Ok((cmd, args))
+}
+
+fn build_scenario(args: &Args) -> Result<TpcdScenario, String> {
+    let extra: Vec<_> = args
+        .sql_views
+        .iter()
+        .map(|(name, sql)| {
+            uww::relational::parse_view_def(name, sql).map_err(|e| e.to_string())
+        })
+        .collect::<Result<_, _>>()?;
+    let sc = match args.scenario.as_str() {
+        "fig4" => TpcdScenario::builder()
+            .scale(args.scale)
+            .views(uww::tpcd::all_query_defs())
+            .views(extra)
+            .build(),
+        "q3" => TpcdScenario::builder()
+            .scale(args.scale)
+            .base_views(&["CUSTOMER", "ORDER", "LINEITEM"])
+            .views([uww::tpcd::q3_def()])
+            .views(extra)
+            .build(),
+        "q5" => TpcdScenario::builder()
+            .scale(args.scale)
+            .views([uww::tpcd::q5_def()])
+            .views(extra)
+            .build(),
+        other => return Err(format!("unknown scenario {other} (fig4|q3|q5)")),
+    };
+    sc.map_err(|e| e.to_string())
+}
+
+fn load_changes(sc: &mut TpcdScenario, args: &Args) -> Result<(), String> {
+    if args.frac <= 0.0 {
+        return Ok(());
+    }
+    let r = if args.scenario == "q3" {
+        sc.load_col_changes(args.frac)
+    } else {
+        sc.load_paper_changes(args.frac)
+    };
+    r.map_err(|e| e.to_string())
+}
+
+fn pick_strategy(sc: &TpcdScenario, args: &Args) -> Result<(Strategy, String), String> {
+    let g = sc.warehouse.vdag();
+    let sizes = SizeCatalog::estimate(&sc.warehouse).map_err(|e| e.to_string())?;
+    match args.planner.as_str() {
+        "minwork" => {
+            let plan = min_work(g, &sizes).map_err(|e| e.to_string())?;
+            let tag = if plan.used_modified_ordering {
+                "MinWork (modified ordering)"
+            } else {
+                "MinWork"
+            };
+            Ok((plan.strategy, tag.to_string()))
+        }
+        "prune" => {
+            let model = CostModel::new(g, &sizes);
+            let out = prune(g, &model).map_err(|e| e.to_string())?;
+            Ok((
+                out.strategy,
+                format!("Prune ({} orderings)", out.orderings_examined),
+            ))
+        }
+        "dual-stage" => Ok((sc.dual_stage_strategy(), "dual-stage".to_string())),
+        "rnscol" => Ok((
+            sc.rnscol_strategy().map_err(|e| e.to_string())?,
+            "RNSCOL".to_string(),
+        )),
+        other => Err(format!(
+            "unknown planner {other} (minwork|prune|dual-stage|rnscol)"
+        )),
+    }
+}
+
+fn cmd_info(args: &Args) -> Result<(), String> {
+    let sc = build_scenario(args)?;
+    let g = sc.warehouse.vdag();
+    println!(
+        "scenario {} @ scale {} — {} views, max level {}, uniform={}, tree={}",
+        args.scenario,
+        args.scale,
+        g.len(),
+        g.max_level(),
+        g.is_uniform(),
+        g.is_tree()
+    );
+    println!("{:<10} {:>10} {:>8} {:>10}", "view", "rows", "level", "kind");
+    for v in g.view_ids() {
+        let t = sc.warehouse.table(g.name(v)).map_err(|e| e.to_string())?;
+        println!(
+            "{:<10} {:>10} {:>8} {:>10}",
+            g.name(v),
+            t.len(),
+            g.level(v),
+            if g.is_base(v) { "base" } else { "derived" }
+        );
+    }
+    Ok(())
+}
+
+fn cmd_plan(args: &Args) -> Result<(), String> {
+    let mut sc = build_scenario(args)?;
+    load_changes(&mut sc, args)?;
+    let sizes = SizeCatalog::estimate(&sc.warehouse).map_err(|e| e.to_string())?;
+    let g = sc.warehouse.vdag();
+    let model = CostModel::new(g, &sizes);
+    let (strategy, label) = pick_strategy(&sc, args)?;
+    println!("planner : {label}");
+    println!("ordering: {}", sizes.desired_ordering(g).display(g));
+    println!("strategy: {}", strategy.display(g));
+    println!("predicted work: {:.0}", model.strategy_work(&strategy));
+    Ok(())
+}
+
+fn cmd_run(args: &Args) -> Result<(), String> {
+    let mut sc = build_scenario(args)?;
+    load_changes(&mut sc, args)?;
+    let (strategy, label) = pick_strategy(&sc, args)?;
+    let report = sc.run(&strategy).map_err(|e| e.to_string())?;
+    println!("{label}: verified against from-scratch rebuild");
+    println!(
+        "update window: {:?} | measured work {} rows ({} scanned, {} installed)",
+        report.wall(),
+        report.linear_work(),
+        report.total_work().operand_rows_scanned,
+        report.total_work().rows_installed,
+    );
+    Ok(())
+}
+
+fn cmd_script(args: &Args) -> Result<(), String> {
+    let mut sc = build_scenario(args)?;
+    load_changes(&mut sc, args)?;
+    let gen = ScriptGenerator::new(&sc.warehouse);
+    println!("{}", gen.setup_script().map_err(|e| e.to_string())?);
+    let sizes = SizeCatalog::estimate(&sc.warehouse).map_err(|e| e.to_string())?;
+    let plan = min_work(sc.warehouse.vdag(), &sizes).map_err(|e| e.to_string())?;
+    println!(
+        "{}",
+        gen.strategy_script(&plan.strategy).map_err(|e| e.to_string())?
+    );
+    Ok(())
+}
+
+fn cmd_dot(args: &Args) -> Result<(), String> {
+    let mut sc = build_scenario(args)?;
+    load_changes(&mut sc, args)?;
+    let g = sc.warehouse.vdag();
+    match args.graph.as_str() {
+        "vdag" => println!("{}", g.to_dot()),
+        "eg" => {
+            let sizes = SizeCatalog::estimate(&sc.warehouse).map_err(|e| e.to_string())?;
+            let ord = sizes.desired_ordering(g);
+            println!("{}", construct_eg(g, &ord).to_dot(g));
+        }
+        other => return Err(format!("unknown graph {other} (vdag|eg)")),
+    }
+    Ok(())
+}
+
+fn cmd_explain(args: &Args) -> Result<(), String> {
+    let mut sc = build_scenario(args)?;
+    load_changes(&mut sc, args)?;
+    let g = sc.warehouse.vdag();
+    let sizes = SizeCatalog::estimate(&sc.warehouse).map_err(|e| e.to_string())?;
+    let model = CostModel::new(g, &sizes);
+    let (strategy, label) = pick_strategy(&sc, args)?;
+    println!("-- plan: {label}");
+    let plans = sc
+        .warehouse
+        .explain(&strategy, &model)
+        .map_err(|e| e.to_string())?;
+    print!("{}", uww::core::engine::render_explain(&sc.warehouse, &plans));
+    Ok(())
+}
+
+fn cmd_dump(args: &Args) -> Result<(), String> {
+    let sc = build_scenario(args)?;
+    print!(
+        "{}",
+        uww::relational::catalog_to_string(sc.warehouse.state())
+    );
+    Ok(())
+}
+
+fn cmd_olap(args: &Args) -> Result<(), String> {
+    let mut sc = build_scenario(args)?;
+    load_changes(&mut sc, args)?;
+    let g = sc.warehouse.vdag();
+    let sizes = SizeCatalog::estimate(&sc.warehouse).map_err(|e| e.to_string())?;
+    let model = CostModel::new(g, &sizes);
+    let isolation = match args.isolation.as_str() {
+        "strict" => IsolationMode::Strict,
+        "low" => IsolationMode::LowIsolation,
+        other => return Err(format!("unknown isolation {other} (strict|low)")),
+    };
+    let wl = OlapWorkload { isolation, ..OlapWorkload::default() };
+    let (strategy, label) = pick_strategy(&sc, args)?;
+    let rep = simulate_olap(g, &model, &sizes, &strategy, &wl);
+    println!(
+        "{label} under {isolation:?}: window {:.0}, install span {:.0}, \
+         {} queries, mean latency {:.1}, max {:.1}, lock waits {:.0}",
+        rep.window,
+        rep.install_span,
+        rep.queries.len(),
+        rep.mean_latency(),
+        rep.max_latency(),
+        rep.total_lock_wait()
+    );
+    Ok(())
+}
+
+const USAGE: &str = "usage: uww <info|plan|run|script|dot|olap|explain|dump> \
+[--scenario fig4|q3|q5] [--scale F] [--frac F] \
+[--planner minwork|prune|dual-stage|rnscol] [--graph vdag|eg] [--isolation strict|low] \
+[--sql NAME=SELECT-statement]";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, args) = match parse_args(&argv) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "info" => cmd_info(&args),
+        "plan" => cmd_plan(&args),
+        "run" => cmd_run(&args),
+        "script" => cmd_script(&args),
+        "dot" => cmd_dot(&args),
+        "olap" => cmd_olap(&args),
+        "explain" => cmd_explain(&args),
+        "dump" => cmd_dump(&args),
+        "help" | "--help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Integration tests for the `uww` command-line binary.
+
+use std::process::{Command, Output};
+
+fn uww(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_uww"))
+        .args(args)
+        .output()
+        .expect("launch uww binary")
+}
+
+fn stdout(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stdout).into_owned()
+}
+
+fn stderr(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stderr).into_owned()
+}
+
+const SMALL: &[&str] = &["--scale", "0.0003"];
+
+#[test]
+fn info_lists_views() {
+    let o = uww(&[&["info", "--scenario", "q3"], SMALL].concat());
+    assert!(o.status.success(), "{}", stderr(&o));
+    let s = stdout(&o);
+    assert!(s.contains("LINEITEM"));
+    assert!(s.contains("Q3"));
+    assert!(s.contains("derived"));
+}
+
+#[test]
+fn plan_prints_strategy_and_cost() {
+    let o = uww(&[&["plan", "--scenario", "q3", "--frac", "0.1"], SMALL].concat());
+    assert!(o.status.success(), "{}", stderr(&o));
+    let s = stdout(&o);
+    assert!(s.contains("MinWork"));
+    assert!(s.contains("Comp(Q3"));
+    assert!(s.contains("predicted work"));
+}
+
+#[test]
+fn run_executes_and_verifies() {
+    for planner in ["minwork", "prune", "dual-stage", "rnscol"] {
+        let o = uww(&[
+            &["run", "--scenario", "q3", "--frac", "0.1", "--planner", planner],
+            SMALL,
+        ]
+        .concat());
+        assert!(o.status.success(), "{planner}: {}", stderr(&o));
+        assert!(
+            stdout(&o).contains("verified against from-scratch rebuild"),
+            "{planner}"
+        );
+    }
+}
+
+#[test]
+fn script_emits_sql() {
+    let o = uww(&[&["script", "--scenario", "q3", "--frac", "0.1"], SMALL].concat());
+    assert!(o.status.success(), "{}", stderr(&o));
+    let s = stdout(&o);
+    assert!(s.contains("CREATE TABLE delta_LINEITEM"));
+    assert!(s.contains("CREATE PROCEDURE comp_Q3_from_LINEITEM"));
+    assert!(s.contains("EXEC comp_Q3_from_LINEITEM;"));
+}
+
+#[test]
+fn dot_outputs_graphviz() {
+    let o = uww(&[&["dot", "--scenario", "q3", "--graph", "vdag"], SMALL].concat());
+    assert!(o.status.success(), "{}", stderr(&o));
+    assert!(stdout(&o).starts_with("digraph vdag {"));
+
+    let o = uww(&[&["dot", "--scenario", "q3", "--graph", "eg"], SMALL].concat());
+    assert!(o.status.success(), "{}", stderr(&o));
+    assert!(stdout(&o).contains("digraph eg {"));
+}
+
+#[test]
+fn olap_simulates_both_isolations() {
+    for iso in ["strict", "low"] {
+        let o = uww(&[
+            &["olap", "--scenario", "q3", "--frac", "0.1", "--isolation", iso],
+            SMALL,
+        ]
+        .concat());
+        assert!(o.status.success(), "{iso}: {}", stderr(&o));
+        assert!(stdout(&o).contains("mean latency"));
+    }
+}
+
+#[test]
+fn sql_flag_adds_a_custom_view() {
+    let o = uww(&[
+        &[
+            "run",
+            "--scenario",
+            "q3",
+            "--frac",
+            "0.1",
+            "--sql",
+            "SEG=SELECT C.c_mktsegment, COUNT(*) AS n FROM CUSTOMER C GROUP BY C.c_mktsegment",
+        ],
+        SMALL,
+    ]
+    .concat());
+    assert!(o.status.success(), "{}", stderr(&o));
+    assert!(stdout(&o).contains("verified against from-scratch rebuild"));
+
+    // Bad SQL is reported.
+    let o = uww(&["run", "--sql", "X=SELECT FROM"]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("parse error"), "{}", stderr(&o));
+}
+
+#[test]
+fn explain_shows_term_plans() {
+    let o = uww(&[&["explain", "--scenario", "q3", "--frac", "0.1"], SMALL].concat());
+    assert!(o.status.success(), "{}", stderr(&o));
+    let s = stdout(&o);
+    assert!(s.contains("term Δ{LINEITEM}"));
+    assert!(s.contains("⋈"));
+    assert!(s.contains("predicted work"));
+}
+
+#[test]
+fn dump_round_trips_through_snapshot_parser() {
+    let o = uww(&[&["dump", "--scenario", "q3"], SMALL].concat());
+    assert!(o.status.success(), "{}", stderr(&o));
+    let s = stdout(&o);
+    let catalog = uww::relational::catalog_from_str(&s).expect("parse dump");
+    assert!(catalog.contains("LINEITEM"));
+    assert!(catalog.contains("Q3"));
+    assert!(!catalog.get("CUSTOMER").unwrap().is_empty());
+}
+
+#[test]
+fn bad_input_fails_with_usage() {
+    for bad in [
+        vec!["explode"],
+        vec!["plan", "--scenario", "nope"],
+        vec!["plan", "--planner", "nope"],
+        vec!["plan", "--scale", "abc"],
+        vec!["plan", "--unknown-flag", "1"],
+        vec![],
+    ] {
+        let o = uww(&bad.iter().map(|s| &**s).collect::<Vec<&str>>());
+        assert!(!o.status.success(), "{bad:?} unexpectedly succeeded");
+        assert!(stderr(&o).contains("usage:"), "{bad:?}");
+    }
+}
+
+#[test]
+fn help_prints_usage() {
+    let o = uww(&["help"]);
+    assert!(o.status.success());
+    assert!(stdout(&o).contains("usage:"));
+}

@@ -1,0 +1,218 @@
+//! The qualitative shapes of the paper's Experiments 1–4, asserted on real
+//! engine executions: who wins, and by roughly what kind of factor. Exact
+//! constants differ from the paper (its substrate was SQL Server 6.5 on a
+//! Pentium II); the orderings and the growth of the gaps must hold.
+
+use uww::core::{min_work, min_work_single, CostModel, SizeCatalog};
+use uww::scenario::{figure4_scenario, q3_scenario, q5_scenario, TpcdScenario};
+use uww::vdag::{view_strategies, Strategy};
+
+/// Measured linear work (scanned + installed rows) of a completed strategy.
+fn measured(sc: &TpcdScenario, s: &Strategy) -> u64 {
+    sc.run(s).unwrap().linear_work()
+}
+
+#[test]
+fn experiment1_one_way_beats_all_other_classes() {
+    let mut sc = q3_scenario(0.0005).unwrap();
+    sc.load_col_changes(0.10).unwrap();
+    let g = sc.warehouse.vdag();
+    let q3 = g.id_of("Q3").unwrap();
+
+    let mut one_way_costs = Vec::new();
+    let mut other_costs = Vec::new();
+    let mut dual_stage_cost = None;
+    for s in view_strategies(g, q3) {
+        let full = sc.complete_strategy(&s);
+        let w = measured(&sc, &full);
+        let comp_sizes: Vec<usize> = s
+            .exprs
+            .iter()
+            .filter_map(|e| match e {
+                uww::vdag::UpdateExpr::Comp { over, .. } => Some(over.len()),
+                _ => None,
+            })
+            .collect();
+        if comp_sizes.iter().all(|&n| n == 1) {
+            one_way_costs.push(w);
+        } else {
+            if comp_sizes == vec![3] {
+                dual_stage_cost = Some(w);
+            }
+            other_costs.push(w);
+        }
+    }
+    assert_eq!(one_way_costs.len(), 6);
+    assert_eq!(other_costs.len(), 7);
+
+    // Figure 12's headline: every 1-way strategy beats every non-1-way one.
+    let worst_one_way = *one_way_costs.iter().max().unwrap();
+    let best_other = *other_costs.iter().min().unwrap();
+    assert!(
+        worst_one_way < best_other,
+        "worst 1-way {worst_one_way} >= best non-1-way {best_other}"
+    );
+
+    // Dual-stage is 2–3x the optimum in the paper; demand at least 1.5x.
+    let best = *one_way_costs.iter().min().unwrap();
+    let dual = dual_stage_cost.unwrap();
+    assert!(
+        dual as f64 >= 1.5 * best as f64,
+        "dual-stage {dual} vs best {best}"
+    );
+}
+
+#[test]
+fn experiment1_minworksingle_is_near_optimal() {
+    let mut sc = q3_scenario(0.0005).unwrap();
+    sc.load_col_changes(0.10).unwrap();
+    let g = sc.warehouse.vdag();
+    let q3 = g.id_of("Q3").unwrap();
+    let sizes = SizeCatalog::estimate(&sc.warehouse).unwrap();
+
+    let planned = sc.complete_strategy(&min_work_single(g, q3, &sizes));
+    let planned_work = measured(&sc, &planned);
+
+    let best = view_strategies(g, q3)
+        .into_iter()
+        .map(|s| measured(&sc, &sc.complete_strategy(&s)))
+        .min()
+        .unwrap();
+
+    // The paper found MinWorkSingle "very close to the optimal" though not
+    // exactly it on the real system; allow 15%.
+    assert!(
+        (planned_work as f64) <= 1.15 * best as f64,
+        "MinWorkSingle {planned_work} vs measured best {best}"
+    );
+}
+
+#[test]
+fn experiment2_q5_gap_exceeds_q3_gap() {
+    // Figure 13: dual-stage vs MinWorkSingle is ~6x on the 6-way Q5,
+    // vs ~2.2x on the 3-way Q3 — the gap must grow with fan-in.
+    let ratio_for = |sc: TpcdScenario| -> f64 {
+        let g = sc.warehouse.vdag();
+        let view = g
+            .derived_views()
+            .into_iter()
+            .next()
+            .expect("one summary view");
+        let sizes = SizeCatalog::estimate(&sc.warehouse).unwrap();
+        let mws = sc.complete_strategy(&min_work_single(g, view, &sizes));
+        let dual = sc.dual_stage_strategy();
+        measured(&sc, &dual) as f64 / measured(&sc, &mws) as f64
+    };
+
+    let mut q3_sc = q3_scenario(0.0005).unwrap();
+    q3_sc.load_col_changes(0.10).unwrap();
+    let q3_ratio = ratio_for(q3_sc);
+
+    let mut q5_sc = q5_scenario(0.0005).unwrap();
+    q5_sc.load_paper_changes(0.10).unwrap();
+    let q5_ratio = ratio_for(q5_sc);
+
+    assert!(q3_ratio > 1.2, "Q3 dual/MWS ratio {q3_ratio}");
+    assert!(q5_ratio > 2.5, "Q5 dual/MWS ratio {q5_ratio}");
+    assert!(
+        q5_ratio > q3_ratio,
+        "gap must grow with fan-in: Q5 {q5_ratio} vs Q3 {q3_ratio}"
+    );
+}
+
+#[test]
+fn experiment3_ordering_stable_across_change_fractions() {
+    // Figure 14: MinWorkSingle <= best 2-way <= dual-stage for p in 2..10%.
+    for p in [0.02, 0.06, 0.10] {
+        let mut sc = q3_scenario(0.0005).unwrap();
+        sc.load_col_changes(p).unwrap();
+        let g = sc.warehouse.vdag();
+        let q3 = g.id_of("Q3").unwrap();
+        let sizes = SizeCatalog::estimate(&sc.warehouse).unwrap();
+
+        let mws = measured(&sc, &sc.complete_strategy(&min_work_single(g, q3, &sizes)));
+        let best_2way = view_strategies(g, q3)
+            .into_iter()
+            .filter(|s| {
+                s.exprs.iter().any(
+                    |e| matches!(e, uww::vdag::UpdateExpr::Comp { over, .. } if over.len() == 2),
+                )
+            })
+            .map(|s| measured(&sc, &sc.complete_strategy(&s)))
+            .min()
+            .unwrap();
+        let dual = measured(&sc, &sc.dual_stage_strategy());
+
+        assert!(mws <= best_2way, "p={p}: MWS {mws} vs best 2-way {best_2way}");
+        assert!(best_2way <= dual, "p={p}: 2-way {best_2way} vs dual {dual}");
+    }
+}
+
+#[test]
+fn experiment4_minwork_beats_rnscol_beats_nothing_dual_stage_worst() {
+    // Figure 15 on the full Figure 4 warehouse: MinWork best, RNSCOL a bit
+    // worse, dual-stage far worse.
+    let mut sc = figure4_scenario(0.0005).unwrap();
+    sc.load_paper_changes(0.10).unwrap();
+    let sizes = SizeCatalog::estimate(&sc.warehouse).unwrap();
+    let plan = min_work(sc.warehouse.vdag(), &sizes).unwrap();
+    assert!(!plan.used_modified_ordering, "TPC-D VDAG is uniform");
+
+    let mw = measured(&sc, &plan.strategy);
+    let rnscol = measured(&sc, &sc.rnscol_strategy().unwrap());
+    let dual = measured(&sc, &sc.dual_stage_strategy());
+
+    assert!(mw <= rnscol, "MinWork {mw} vs RNSCOL {rnscol}");
+    assert!(
+        (dual as f64) > 2.0 * mw as f64,
+        "dual-stage {dual} vs MinWork {mw}: expected a multi-x gap"
+    );
+    // The paper saw ~11% between MinWork and RNSCOL; demand the ordering and
+    // a sane magnitude (< 2x — they are both 1-way strategies).
+    assert!((rnscol as f64) < 2.0 * mw as f64);
+
+    // MinWork's ordering propagates LINEITEM first (largest shrinker).
+    let first = plan.strategy.exprs.first().unwrap();
+    match first {
+        uww::vdag::UpdateExpr::Comp { over, .. } => {
+            let v = *over.iter().next().unwrap();
+            assert_eq!(sc.warehouse.vdag().name(v), "LINEITEM");
+        }
+        _ => panic!("strategy must start with a Comp"),
+    }
+}
+
+#[test]
+fn cost_model_ranking_tracks_measured_ranking() {
+    // Section 7's claim that the linear metric "effectively tracks
+    // real-world execution": the model's ranking of all 13 Q3 classes must
+    // correlate strongly with the measured ranking.
+    let mut sc = q3_scenario(0.0005).unwrap();
+    sc.load_col_changes(0.10).unwrap();
+    let g = sc.warehouse.vdag();
+    let q3 = g.id_of("Q3").unwrap();
+    let sizes = SizeCatalog::estimate(&sc.warehouse).unwrap();
+    let model = CostModel::new(g, &sizes);
+
+    let mut pairs: Vec<(f64, u64)> = Vec::new();
+    for s in view_strategies(g, q3) {
+        let full = sc.complete_strategy(&s);
+        pairs.push((model.strategy_work(&full), measured(&sc, &full)));
+    }
+    // Spearman rank correlation.
+    let n = pairs.len();
+    let rank = |xs: Vec<f64>| -> Vec<f64> {
+        let mut idx: Vec<usize> = (0..n).collect();
+        idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).unwrap());
+        let mut r = vec![0.0; n];
+        for (pos, &i) in idx.iter().enumerate() {
+            r[i] = pos as f64;
+        }
+        r
+    };
+    let ra = rank(pairs.iter().map(|p| p.0).collect());
+    let rb = rank(pairs.iter().map(|p| p.1 as f64).collect());
+    let d2: f64 = ra.iter().zip(&rb).map(|(a, b)| (a - b).powi(2)).sum();
+    let rho = 1.0 - 6.0 * d2 / ((n * (n * n - 1)) as f64);
+    assert!(rho > 0.8, "Spearman rho {rho}");
+}

@@ -1,0 +1,118 @@
+//! MIN/MAX summary tables: insert-only incremental maintenance works
+//! end-to-end; deletions touching an extremum accumulator fail loudly (the
+//! self-maintainability boundary) instead of corrupting the view.
+
+use uww::core::{min_work, CoreError, SizeCatalog, Warehouse};
+use uww::relational::{parse_view_def, RelError};
+use uww::scenario::TpcdScenario;
+use uww::tpcd::ChangeSpec;
+
+fn price_watch_def() -> uww::relational::ViewDef {
+    parse_view_def(
+        "PRICE_WATCH",
+        "SELECT L.l_returnflag,
+                MIN(L.l_extendedprice) AS cheapest,
+                MAX(L.l_extendedprice) AS dearest,
+                COUNT(*) AS items
+         FROM LINEITEM L
+         GROUP BY L.l_returnflag",
+    )
+    .unwrap()
+}
+
+fn scenario() -> TpcdScenario {
+    TpcdScenario::builder()
+        .scale(0.0005)
+        .base_views(&["LINEITEM", "ORDER", "CUSTOMER"])
+        .views([price_watch_def()])
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn min_max_materializes_correctly() {
+    let sc = scenario();
+    let t = sc.warehouse.table("PRICE_WATCH").unwrap();
+    assert!(!t.is_empty() && t.len() <= 3); // R, A, N
+    // Reference check: min/max per flag computed independently.
+    let items = sc.warehouse.table("LINEITEM").unwrap();
+    for (row, _) in t.iter() {
+        let flag = row.get(0).as_str().unwrap();
+        let (mut lo, mut hi, mut n) = (i64::MAX, i64::MIN, 0u64);
+        for (l, m) in items.iter() {
+            if l.get(7).as_str() == Some(flag) {
+                let p = l.get(4).as_decimal().unwrap();
+                lo = lo.min(p);
+                hi = hi.max(p);
+                n += m;
+            }
+        }
+        assert_eq!(row.get(1).as_decimal(), Some(lo), "{flag} min");
+        assert_eq!(row.get(2).as_decimal(), Some(hi), "{flag} max");
+        assert_eq!(row.get(3).as_int(), Some(n as i64), "{flag} count");
+    }
+}
+
+#[test]
+fn insert_only_batches_maintain_min_max_incrementally() {
+    let mut sc = scenario();
+    let batch = sc.uniform_batch(&["LINEITEM"], ChangeSpec::insertions(0.10));
+    sc.load_batch(&batch).unwrap();
+    let sizes = SizeCatalog::estimate(&sc.warehouse).unwrap();
+    let plan = min_work(sc.warehouse.vdag(), &sizes).unwrap();
+    // `run` verifies against a from-scratch rebuild.
+    sc.run(&plan.strategy).unwrap();
+    sc.run(&sc.dual_stage_strategy()).unwrap();
+}
+
+#[test]
+fn deletions_are_rejected_not_corrupting() {
+    let mut sc = scenario();
+    let batch = sc.uniform_batch(&["LINEITEM"], ChangeSpec::deletions(0.10));
+    sc.load_batch(&batch).unwrap();
+    let mut w = sc.warehouse.clone();
+    let before = w.table("PRICE_WATCH").unwrap().clone();
+    let sizes = SizeCatalog::estimate(&w).unwrap();
+    let plan = min_work(w.vdag(), &sizes).unwrap();
+    let err = w.execute(&plan.strategy).unwrap_err();
+    assert!(
+        matches!(err, CoreError::Rel(RelError::UnsupportedIncremental(_))),
+        "{err}"
+    );
+    // The summary table was not corrupted by the failed window.
+    assert!(w.table("PRICE_WATCH").unwrap().same_contents(&before));
+}
+
+#[test]
+fn min_max_views_coexist_with_sum_views() {
+    // A warehouse holding both: SUM views maintain under deletions of
+    // OTHER base views while the MIN/MAX view's source only takes inserts.
+    let mut sc = TpcdScenario::builder()
+        .scale(0.0005)
+        .base_views(&["LINEITEM", "ORDER", "CUSTOMER"])
+        .views([price_watch_def(), uww::tpcd::q3_def()])
+        .build()
+        .unwrap();
+    let batch = sc
+        .batch()
+        .with("LINEITEM", ChangeSpec::insertions(0.05))
+        .with("CUSTOMER", ChangeSpec::deletions(0.10));
+    sc.load_batch(&batch).unwrap();
+    let sizes = SizeCatalog::estimate(&sc.warehouse).unwrap();
+    let plan = min_work(sc.warehouse.vdag(), &sizes).unwrap();
+    sc.run(&plan.strategy).unwrap();
+}
+
+#[test]
+fn min_max_from_scratch_rebuild_on_empty_source_errors_cleanly() {
+    // A MIN over an empty source has no value; building such a warehouse
+    // must not panic.
+    let empty = uww::relational::Table::new(
+        "E",
+        uww::relational::Schema::of(&[("k", uww::relational::ValueType::Int)]),
+    );
+    let def = parse_view_def("M", "SELECT k, MIN(k) AS m FROM E GROUP BY k").unwrap();
+    // Empty source: zero groups, builds fine.
+    let w = Warehouse::builder().base_table(empty).view(def).build().unwrap();
+    assert_eq!(w.table("M").unwrap().len(), 0);
+}

@@ -1,0 +1,341 @@
+//! Property-based tests: for randomly generated data, deltas, and update
+//! strategies, incremental maintenance must agree bit-for-bit with
+//! from-scratch recomputation, and every enumerated correct strategy must
+//! reach the same final state.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use uww::core::{min_work, SizeCatalog, Warehouse};
+use uww::relational::{
+    AggFunc, AggregateColumn, DeltaRelation, EquiJoin, OutputColumn, Predicate, ScalarExpr,
+    Schema, Table, Tuple, Value, ValueType, ViewDef, ViewOutput, ViewSource,
+};
+use uww::vdag::view_strategies;
+
+/// A small random base table R(k: Int, g: Int, x: Decimal).
+fn r_rows() -> impl Strategy<Value = Vec<(i64, i64, i64)>> {
+    prop::collection::vec((0..40i64, 0..5i64, -50..50i64), 0..40)
+}
+
+/// A small random base table S(k: Int, tag: Int).
+fn s_rows() -> impl Strategy<Value = Vec<(i64, i64)>> {
+    prop::collection::vec((0..40i64, 0..3i64), 0..30)
+}
+
+fn r_schema() -> Schema {
+    Schema::of(&[
+        ("k", ValueType::Int),
+        ("g", ValueType::Int),
+        ("x", ValueType::Decimal),
+    ])
+}
+
+fn s_schema() -> Schema {
+    Schema::of(&[("k", ValueType::Int), ("tag", ValueType::Int)])
+}
+
+fn table_from(name: &str, schema: Schema, rows: Vec<Tuple>) -> Table {
+    let mut t = Table::new(name, schema);
+    for row in rows {
+        t.insert(row).unwrap();
+    }
+    t
+}
+
+fn r_table(rows: &[(i64, i64, i64)]) -> Table {
+    table_from(
+        "R",
+        r_schema(),
+        rows.iter()
+            .map(|(k, g, x)| Tuple::new(vec![Value::Int(*k), Value::Int(*g), Value::Decimal(*x)]))
+            .collect(),
+    )
+}
+
+fn s_table(rows: &[(i64, i64)]) -> Table {
+    table_from(
+        "S",
+        s_schema(),
+        rows.iter()
+            .map(|(k, tag)| Tuple::new(vec![Value::Int(*k), Value::Int(*tag)]))
+            .collect(),
+    )
+}
+
+/// Aggregate join view: revenue-ish sum per (g, tag).
+fn agg_view() -> ViewDef {
+    ViewDef {
+        name: "V".into(),
+        sources: vec![ViewSource::named("R"), ViewSource::named("S")],
+        joins: vec![EquiJoin::new("R.k", "S.k")],
+        filters: vec![Predicate::col_gt("R.x", Value::Decimal(-40))],
+        output: ViewOutput::Aggregate {
+            group_by: vec![
+                OutputColumn::col("g", "R.g"),
+                OutputColumn::col("tag", "S.tag"),
+            ],
+            aggregates: vec![
+                AggregateColumn {
+                    name: "total".into(),
+                    func: AggFunc::Sum,
+                    input: ScalarExpr::col("R.x"),
+                },
+                AggregateColumn {
+                    name: "n".into(),
+                    func: AggFunc::Count,
+                    input: ScalarExpr::col("R.k"),
+                },
+            ],
+        },
+    }
+}
+
+/// Projection join view.
+fn proj_view() -> ViewDef {
+    ViewDef {
+        name: "P".into(),
+        sources: vec![ViewSource::named("R"), ViewSource::named("S")],
+        joins: vec![EquiJoin::new("R.k", "S.k")],
+        filters: vec![],
+        output: ViewOutput::Project(vec![
+            OutputColumn::col("k", "R.k"),
+            OutputColumn::new("xx", ScalarExpr::col("R.x").add(ScalarExpr::col("R.x"))),
+            OutputColumn::col("tag", "S.tag"),
+        ]),
+    }
+}
+
+/// Picks a delta: delete rows whose index hits `del_mask`, insert the given
+/// extra rows.
+fn delta_for(table: &Table, del_mask: u64, inserts: Vec<Tuple>) -> DeltaRelation {
+    let mut d = DeltaRelation::new(table.schema().clone());
+    for (i, (t, m)) in table.sorted_rows().into_iter().enumerate() {
+        if i < 64 && del_mask & (1 << i) != 0 {
+            d.add(t, -(m as i64));
+        }
+    }
+    for t in inserts {
+        if table.multiplicity(&t) == 0 && d.multiplicity(&t) == 0 {
+            d.add(t, 1);
+        }
+    }
+    d
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every enumerated strategy class reaches the recomputed state, for an
+    /// aggregate view over random data and random mixed deltas.
+    #[test]
+    fn all_strategies_agree_with_recompute_aggregate(
+        r in r_rows(),
+        s in s_rows(),
+        del_r in any::<u64>(),
+        del_s in any::<u64>(),
+        ins_r in prop::collection::vec((100..140i64, 0..5i64, -50..50i64), 0..8),
+        ins_s in prop::collection::vec((100..140i64, 0..3i64), 0..6),
+    ) {
+        let warehouse = Warehouse::builder()
+            .base_table(r_table(&r))
+            .base_table(s_table(&s))
+            .view(agg_view())
+            .build()
+            .unwrap();
+        let dr = delta_for(
+            warehouse.table("R").unwrap(),
+            del_r,
+            ins_r.iter().map(|(k, g, x)| Tuple::new(vec![
+                Value::Int(*k), Value::Int(*g), Value::Decimal(*x),
+            ])).collect(),
+        );
+        let ds = delta_for(
+            warehouse.table("S").unwrap(),
+            del_s,
+            ins_s.iter().map(|(k, tag)| Tuple::new(vec![
+                Value::Int(*k), Value::Int(*tag),
+            ])).collect(),
+        );
+        let mut base = warehouse.clone();
+        let mut changes = BTreeMap::new();
+        changes.insert("R".to_string(), dr);
+        changes.insert("S".to_string(), ds);
+        base.load_changes(changes).unwrap();
+        let expected = base.expected_final_state().unwrap();
+
+        let g = base.vdag();
+        let v = g.id_of("V").unwrap();
+        for strat in view_strategies(g, v) {
+            let mut w = base.clone();
+            w.execute(&strat).unwrap();
+            let diffs = w.diff_state(&expected);
+            prop_assert!(diffs.is_empty(), "strategy {} diverged: {diffs:?}",
+                strat.display(w.vdag()));
+        }
+    }
+
+    /// Same for a projection view, plus the MinWork plan.
+    #[test]
+    fn projection_views_maintained_exactly(
+        r in r_rows(),
+        s in s_rows(),
+        del_r in any::<u64>(),
+        del_s in any::<u64>(),
+    ) {
+        let warehouse = Warehouse::builder()
+            .base_table(r_table(&r))
+            .base_table(s_table(&s))
+            .view(proj_view())
+            .build()
+            .unwrap();
+        let dr = delta_for(warehouse.table("R").unwrap(), del_r, vec![]);
+        let ds = delta_for(warehouse.table("S").unwrap(), del_s, vec![]);
+        let mut w = warehouse.clone();
+        let mut changes = BTreeMap::new();
+        changes.insert("R".to_string(), dr);
+        changes.insert("S".to_string(), ds);
+        w.load_changes(changes).unwrap();
+        let expected = w.expected_final_state().unwrap();
+        let sizes = SizeCatalog::estimate(&w).unwrap();
+        let plan = min_work(w.vdag(), &sizes).unwrap();
+        w.execute(&plan.strategy).unwrap();
+        prop_assert!(w.diff_state(&expected).is_empty());
+    }
+
+    /// The measured work of MinWork's plan never exceeds the measured work
+    /// of the dual-stage plan by more than rounding (they may tie when
+    /// deltas are empty or the view is trivial).
+    #[test]
+    fn minwork_never_scans_more_than_dual_stage(
+        r in r_rows(),
+        s in s_rows(),
+        del_r in any::<u64>(),
+        del_s in any::<u64>(),
+    ) {
+        let warehouse = Warehouse::builder()
+            .base_table(r_table(&r))
+            .base_table(s_table(&s))
+            .view(agg_view())
+            .build()
+            .unwrap();
+        let dr = delta_for(warehouse.table("R").unwrap(), del_r, vec![]);
+        let ds = delta_for(warehouse.table("S").unwrap(), del_s, vec![]);
+        let mut changes = BTreeMap::new();
+        changes.insert("R".to_string(), dr);
+        changes.insert("S".to_string(), ds);
+
+        let mut w1 = warehouse.clone();
+        w1.load_changes(changes.clone()).unwrap();
+        let sizes = SizeCatalog::estimate(&w1).unwrap();
+        let plan = min_work(w1.vdag(), &sizes).unwrap();
+        let r1 = w1.execute(&plan.strategy).unwrap();
+
+        let mut w2 = warehouse.clone();
+        w2.load_changes(changes).unwrap();
+        let dual = uww::vdag::dual_stage_strategy(w2.vdag());
+        let r2 = w2.execute(&dual).unwrap();
+
+        prop_assert!(
+            r1.total_work().operand_rows_scanned <= r2.total_work().operand_rows_scanned,
+            "MinWork scanned {} > dual-stage {}",
+            r1.total_work().operand_rows_scanned,
+            r2.total_work().operand_rows_scanned
+        );
+    }
+
+    /// Random two-level VDAGs: an aggregate over R⋈S plus a randomly shaped
+    /// level-2 view on top (aggregate or projection over V), maintained by
+    /// MinWork and by dual-stage, always matching recomputation. Exercises
+    /// summary-delta expansion with arbitrary data.
+    #[test]
+    fn random_two_level_vdags_maintained_exactly(
+        r in r_rows(),
+        s in s_rows(),
+        del_r in any::<u64>(),
+        del_s in any::<u64>(),
+        top_is_aggregate in any::<bool>(),
+    ) {
+        let top = if top_is_aggregate {
+            ViewDef {
+                name: "TOP".into(),
+                sources: vec![ViewSource::named("V")],
+                joins: vec![],
+                filters: vec![],
+                output: ViewOutput::Aggregate {
+                    group_by: vec![OutputColumn::col("g", "V.g")],
+                    aggregates: vec![AggregateColumn {
+                        name: "sum_n".into(),
+                        func: AggFunc::Count,
+                        input: ScalarExpr::col("V.n"),
+                    }],
+                },
+            }
+        } else {
+            ViewDef {
+                name: "TOP".into(),
+                sources: vec![ViewSource::named("V")],
+                joins: vec![],
+                filters: vec![Predicate::col_gt("V.n", Value::Int(1))],
+                output: ViewOutput::Project(vec![
+                    OutputColumn::col("g", "V.g"),
+                    OutputColumn::col("n", "V.n"),
+                ]),
+            }
+        };
+        let warehouse = Warehouse::builder()
+            .base_table(r_table(&r))
+            .base_table(s_table(&s))
+            .view(agg_view())
+            .view(top)
+            .build()
+            .unwrap();
+        let dr = delta_for(warehouse.table("R").unwrap(), del_r, vec![]);
+        let ds = delta_for(warehouse.table("S").unwrap(), del_s, vec![]);
+        let mut changes = BTreeMap::new();
+        changes.insert("R".to_string(), dr);
+        changes.insert("S".to_string(), ds);
+
+        for use_dual in [false, true] {
+            let mut w = warehouse.clone();
+            w.load_changes(changes.clone()).unwrap();
+            let expected = w.expected_final_state().unwrap();
+            let strategy = if use_dual {
+                uww::vdag::dual_stage_strategy(w.vdag())
+            } else {
+                let sizes = SizeCatalog::estimate(&w).unwrap();
+                min_work(w.vdag(), &sizes).unwrap().strategy
+            };
+            w.execute(&strategy).unwrap();
+            let diffs = w.diff_state(&expected);
+            prop_assert!(diffs.is_empty(), "dual={use_dual}: {diffs:?}");
+        }
+    }
+
+    /// Deltas that fully cancel leave the warehouse unchanged.
+    #[test]
+    fn cancelling_deltas_are_noops(r in r_rows(), s in s_rows()) {
+        let warehouse = Warehouse::builder()
+            .base_table(r_table(&r))
+            .base_table(s_table(&s))
+            .view(agg_view())
+            .build()
+            .unwrap();
+        // Delete and re-insert the same rows: a net no-op delta.
+        let mut d = DeltaRelation::new(warehouse.table("R").unwrap().schema().clone());
+        for (t, m) in warehouse.table("R").unwrap().iter() {
+            d.add(t.clone(), -(m as i64));
+            d.add(t.clone(), m as i64);
+        }
+        prop_assert!(d.is_empty());
+        let mut w = warehouse.clone();
+        let mut changes = BTreeMap::new();
+        changes.insert("R".to_string(), d);
+        w.load_changes(changes).unwrap();
+        let before = w.table("V").unwrap().clone();
+        let sizes = SizeCatalog::estimate(&w).unwrap();
+        let plan = min_work(w.vdag(), &sizes).unwrap();
+        let report = w.execute(&plan.strategy).unwrap();
+        prop_assert_eq!(report.linear_work(), 0);
+        prop_assert!(w.table("V").unwrap().same_contents(&before));
+    }
+}

@@ -1,0 +1,105 @@
+//! Cross-planner invariants over seeded random VDAGs and random sizes:
+//! MinWork equals Prune whenever the desired ordering's expression graph is
+//! acyclic (both then find the optimum); when MinWork falls back to
+//! `ModifyOrdering`, Prune — exact over 1-way strategies — can only be
+//! cheaper or equal. All produced strategies must be correct.
+
+use uww::core::{min_work, prune, CostModel, SizeCatalog, SizeInfo};
+use uww::vdag::{
+    check_vdag_strategy, random_vdag, strongly_consistent, RandomVdagConfig, SplitMix64, ViewId,
+};
+
+fn random_sizes(seed: u64, n: usize) -> SizeCatalog {
+    let mut rng = SplitMix64::new(seed ^ 0x517E);
+    let mut cat = SizeCatalog::default();
+    for v in 0..n {
+        let pre = 20.0 + rng.unit() * 500.0;
+        // Mix of shrinking and growing views, occasional no-ops.
+        let change = match rng.below(4) {
+            0 => -0.2 * pre * rng.unit(),
+            1 => 0.15 * pre * rng.unit(),
+            2 => -0.05 * pre * rng.unit(),
+            _ => 0.0,
+        };
+        let delta = if change == 0.0 { 0.0 } else { change.abs().max(1.0) };
+        cat.set(
+            ViewId(v),
+            SizeInfo { pre, post: (pre + change).max(0.0), delta },
+        );
+    }
+    cat
+}
+
+#[test]
+fn minwork_and_prune_agree_on_random_vdags() {
+    let mut optimal = 0usize;
+    let mut fallback = 0usize;
+    for seed in 0..120u64 {
+        let cfg = RandomVdagConfig {
+            bases: 2 + (seed as usize % 3),
+            derived: 1 + (seed as usize % 3),
+            edge_probability: 0.35 + 0.1 * (seed % 4) as f64,
+        };
+        let g = random_vdag(seed, cfg);
+        if g.views_with_consumers().len() > 7 {
+            continue; // keep Prune fast
+        }
+        let sizes = random_sizes(seed, g.len());
+        let model = CostModel::new(&g, &sizes);
+
+        let plan = min_work(&g, &sizes).expect("minwork");
+        check_vdag_strategy(&g, &plan.strategy).expect("minwork correctness");
+        assert!(plan.strategy.is_one_way());
+
+        let pruned = prune(&g, &model).expect("prune");
+        check_vdag_strategy(&g, &pruned.strategy).expect("prune correctness");
+        assert!(strongly_consistent(&pruned.strategy, &pruned.ordering));
+
+        let mw_cost = model.strategy_work(&plan.strategy);
+        if plan.used_modified_ordering {
+            fallback += 1;
+            assert!(
+                pruned.cost <= mw_cost + 1e-6,
+                "seed {seed}: prune {} must not exceed fallback MinWork {mw_cost}",
+                pruned.cost
+            );
+        } else {
+            optimal += 1;
+            assert!(
+                (pruned.cost - mw_cost).abs() < 1e-6,
+                "seed {seed}: prune {} vs optimal MinWork {mw_cost}",
+                pruned.cost
+            );
+        }
+    }
+    // The sweep must exercise the acyclic (optimal) regime heavily.
+    assert!(optimal > 50, "optimal cases: {optimal}, fallback: {fallback}");
+}
+
+#[test]
+fn tree_and_uniform_random_vdags_never_fall_back() {
+    // Theorem 5.4 over random structures: filter the stream for tree or
+    // uniform shapes and require the desired ordering to be usable.
+    let mut checked = 0;
+    for seed in 0..300u64 {
+        let g = random_vdag(
+            seed,
+            RandomVdagConfig {
+                bases: 2 + (seed as usize % 4),
+                derived: 1 + (seed as usize % 2),
+                edge_probability: 0.4,
+            },
+        );
+        if !(g.is_tree() || g.is_uniform()) {
+            continue;
+        }
+        let sizes = random_sizes(seed, g.len());
+        let plan = min_work(&g, &sizes).unwrap();
+        assert!(
+            !plan.used_modified_ordering,
+            "seed {seed}: tree/uniform VDAG must use the desired ordering"
+        );
+        checked += 1;
+    }
+    assert!(checked > 30, "only {checked} tree/uniform samples");
+}

@@ -1,0 +1,177 @@
+//! End-to-end correctness on the paper's Figure 4 TPC-D warehouse: every
+//! strategy family must drive the warehouse to the same final state as a
+//! from-scratch recomputation.
+
+use uww::core::{min_work, prune, CostModel, SizeCatalog};
+use uww::scenario::{figure4_scenario, q3_scenario};
+use uww::tpcd::ChangeSpec;
+use uww::vdag::{check_vdag_strategy, view_strategies};
+
+#[test]
+fn minwork_dual_stage_and_rnscol_agree_on_figure4() {
+    let mut sc = figure4_scenario(0.0005).unwrap();
+    sc.load_paper_changes(0.10).unwrap();
+
+    let sizes = SizeCatalog::estimate(&sc.warehouse).unwrap();
+    let plan = min_work(sc.warehouse.vdag(), &sizes).unwrap();
+    check_vdag_strategy(sc.warehouse.vdag(), &plan.strategy).unwrap();
+
+    // `run` verifies against expected_final_state internally.
+    sc.run(&plan.strategy).unwrap();
+    sc.run(&sc.dual_stage_strategy()).unwrap();
+    sc.run(&sc.rnscol_strategy().unwrap()).unwrap();
+}
+
+#[test]
+fn prune_strategy_is_correct_on_figure4() {
+    let mut sc = figure4_scenario(0.0003).unwrap();
+    sc.load_paper_changes(0.10).unwrap();
+    let sizes = SizeCatalog::estimate(&sc.warehouse).unwrap();
+    let model = CostModel::new(sc.warehouse.vdag(), &sizes);
+    let outcome = prune(sc.warehouse.vdag(), &model).unwrap();
+    check_vdag_strategy(sc.warehouse.vdag(), &outcome.strategy).unwrap();
+    sc.run(&outcome.strategy).unwrap();
+    // TPC-D's VDAG is uniform, so every ordering is feasible.
+    assert_eq!(outcome.orderings_examined, outcome.orderings_feasible);
+}
+
+#[test]
+fn all_thirteen_q3_strategy_classes_agree() {
+    // Experiment 1's strategy set: one representative per ordered set
+    // partition of {C, O, L} (Table 1 says 13 for n = 3). All must be
+    // correct and reach the same state.
+    let mut sc = q3_scenario(0.0005).unwrap();
+    sc.load_col_changes(0.10).unwrap();
+    let g = sc.warehouse.vdag();
+    let q3 = g.id_of("Q3").unwrap();
+    let classes = view_strategies(g, q3);
+    assert_eq!(classes.len(), 13);
+    for s in classes {
+        let full = sc.complete_strategy(&s);
+        check_vdag_strategy(g, &full).unwrap();
+        sc.run(&full).unwrap();
+    }
+}
+
+#[test]
+fn insert_only_batches_are_maintained_correctly() {
+    let mut sc = q3_scenario(0.0005).unwrap();
+    let batch = sc.uniform_batch(
+        &["CUSTOMER", "ORDER", "LINEITEM"],
+        ChangeSpec::insertions(0.08),
+    );
+    sc.load_batch(&batch).unwrap();
+    let sizes = SizeCatalog::estimate(&sc.warehouse).unwrap();
+    let plan = min_work(sc.warehouse.vdag(), &sizes).unwrap();
+    sc.run(&plan.strategy).unwrap();
+    sc.run(&sc.dual_stage_strategy()).unwrap();
+}
+
+#[test]
+fn mixed_batches_are_maintained_correctly() {
+    let mut sc = figure4_scenario(0.0003).unwrap();
+    let batch = sc
+        .batch()
+        .with("CUSTOMER", ChangeSpec { delete_frac: 0.05, insert_frac: 0.10 })
+        .with("ORDER", ChangeSpec::deletions(0.10))
+        .with("LINEITEM", ChangeSpec { delete_frac: 0.02, insert_frac: 0.02 })
+        .with("SUPPLIER", ChangeSpec::insertions(0.20));
+    sc.load_batch(&batch).unwrap();
+    let sizes = SizeCatalog::estimate(&sc.warehouse).unwrap();
+    let plan = min_work(sc.warehouse.vdag(), &sizes).unwrap();
+    sc.run(&plan.strategy).unwrap();
+    sc.run(&sc.rnscol_strategy().unwrap()).unwrap();
+}
+
+#[test]
+fn empty_batch_is_a_noop_everywhere() {
+    let sc = figure4_scenario(0.0003).unwrap();
+    let sizes = SizeCatalog::estimate(&sc.warehouse).unwrap();
+    let plan = min_work(sc.warehouse.vdag(), &sizes).unwrap();
+    let report = sc.run(&plan.strategy).unwrap();
+    assert_eq!(report.linear_work(), 0);
+}
+
+#[test]
+fn q1_multi_aggregate_view_maintained_correctly() {
+    // Q1 carries four aggregates (three SUMs of different expressions and a
+    // COUNT) in one summary table; all must stay exact under mixed batches.
+    let mut sc = uww::scenario::TpcdScenario::builder()
+        .scale(0.0005)
+        .views([uww::tpcd::q1_def(), uww::tpcd::q3_def()])
+        .build()
+        .unwrap();
+    let batch = sc
+        .batch()
+        .with("LINEITEM", ChangeSpec { delete_frac: 0.10, insert_frac: 0.05 })
+        .with("ORDER", ChangeSpec::deletions(0.05));
+    sc.load_batch(&batch).unwrap();
+    let sizes = SizeCatalog::estimate(&sc.warehouse).unwrap();
+    let plan = min_work(sc.warehouse.vdag(), &sizes).unwrap();
+    sc.run(&plan.strategy).unwrap();
+    sc.run(&sc.dual_stage_strategy()).unwrap();
+    // Q1 has at most 6 groups (3 return flags x 2 line statuses).
+    assert!(sc.warehouse.table("Q1").unwrap().len() <= 6);
+    assert!(!sc.warehouse.table("Q1").unwrap().is_empty());
+}
+
+#[test]
+fn summary_views_match_a_reference_aggregation() {
+    // Belt-and-braces: Q3's materialized content equals a manual
+    // re-aggregation computed with completely independent code.
+    let sc = q3_scenario(0.0005).unwrap();
+    let q3 = sc.warehouse.table("Q3").unwrap();
+    let c = sc.warehouse.table("CUSTOMER").unwrap();
+    let o = sc.warehouse.table("ORDER").unwrap();
+    let l = sc.warehouse.table("LINEITEM").unwrap();
+
+    use std::collections::HashMap;
+    use uww::relational::{date, Value};
+    let cutoff = date(1995, 3, 15);
+
+    // building customers
+    let mut building: std::collections::HashSet<i64> = Default::default();
+    for (row, _) in c.iter() {
+        if row.get(6) == &Value::str("BUILDING") {
+            building.insert(row.get(0).as_int().unwrap());
+        }
+    }
+    // qualifying orders: custkey in building, orderdate < cutoff
+    let mut orders: HashMap<i64, (i32, i64)> = HashMap::new(); // okey -> (odate, shippri)
+    for (row, _) in o.iter() {
+        let odate = row.get(4).clone();
+        if building.contains(&row.get(1).as_int().unwrap()) && odate < cutoff {
+            orders.insert(
+                row.get(0).as_int().unwrap(),
+                (row.get(4).as_date().unwrap(), row.get(6).as_int().unwrap()),
+            );
+        }
+    }
+    // revenue per (okey, odate, shippri)
+    let mut revenue: HashMap<(i64, i32, i64), (i64, i64)> = HashMap::new();
+    for (row, _) in l.iter() {
+        let okey = row.get(0).as_int().unwrap();
+        if let Some(&(odate, pri)) = orders.get(&okey) {
+            if row.get(9).clone() > cutoff {
+                let price = row.get(4).as_decimal().unwrap();
+                let disc = row.get(5).as_decimal().unwrap();
+                let rev = price * (100 - disc) / 100;
+                let e = revenue.entry((okey, odate, pri)).or_insert((0, 0));
+                e.0 += rev;
+                e.1 += 1;
+            }
+        }
+    }
+    assert_eq!(q3.len() as usize, revenue.len());
+    for (row, mult) in q3.iter() {
+        assert_eq!(mult, 1);
+        let key = (
+            row.get(0).as_int().unwrap(),
+            row.get(1).as_date().unwrap(),
+            row.get(2).as_int().unwrap(),
+        );
+        let (rev, count) = revenue[&key];
+        assert_eq!(row.get(3).as_decimal().unwrap(), rev, "revenue for {key:?}");
+        assert_eq!(row.get(4).as_int().unwrap(), count, "count for {key:?}");
+    }
+}
