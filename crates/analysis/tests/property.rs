@@ -1,0 +1,170 @@
+//! Property tests: the static analyzer is exactly as strict as the dynamic
+//! correctness checkers.
+//!
+//! For randomly generated VDAGs and strategies — unbiased random sequences
+//! as well as mutations of known-correct strategies, which concentrate the
+//! samples near the correct/incorrect boundary — the analyzer reports at
+//! least one error **iff** `check_vdag_strategy` (resp.
+//! `check_view_strategy`) rejects. Every strategy the dynamic checker
+//! rejects is flagged statically, and the analyzer never cries wolf on a
+//! strategy the executor would accept.
+
+use proptest::prelude::*;
+use uww_analysis::{analyze, analyze_view};
+use uww_vdag::{
+    check_vdag_strategy, check_view_strategy, dual_stage_strategy, random_vdag, RandomVdagConfig,
+    SplitMix64, Strategy, UpdateExpr, Vdag, ViewId,
+};
+
+/// Pool of plausible expressions for `g`: every `Inst`, plus `Comp`s of each
+/// derived view over single sources and the full source set.
+fn expr_pool(g: &Vdag) -> Vec<UpdateExpr> {
+    let mut pool: Vec<UpdateExpr> = g.view_ids().map(UpdateExpr::inst).collect();
+    for v in g.derived_views() {
+        let sources = g.sources(v).to_vec();
+        for s in &sources {
+            pool.push(UpdateExpr::comp1(v, *s));
+        }
+        if sources.len() > 1 {
+            pool.push(UpdateExpr::comp(v, sources.clone()));
+        }
+    }
+    pool
+}
+
+/// A random sequence drawn (with replacement, so duplicates occur) from the
+/// pool — mostly incorrect, occasionally correct by chance.
+fn random_strategy(g: &Vdag, rng: &mut SplitMix64) -> Strategy {
+    let pool = expr_pool(g);
+    let len = 1 + rng.below(2 * g.len() as u64 + 2) as usize;
+    Strategy::from_exprs(
+        (0..len)
+            .map(|_| pool[rng.below(pool.len() as u64) as usize].clone())
+            .collect(),
+    )
+}
+
+/// A known-correct strategy with 0–2 random mutations (swap, drop,
+/// duplicate) applied: samples concentrate near the boundary the analyzer
+/// must track exactly.
+fn mutated_strategy(g: &Vdag, rng: &mut SplitMix64) -> Strategy {
+    let mut exprs = dual_stage_strategy(g).exprs;
+    for _ in 0..rng.below(3) {
+        if exprs.len() < 2 {
+            break;
+        }
+        let i = rng.below(exprs.len() as u64) as usize;
+        let j = rng.below(exprs.len() as u64) as usize;
+        match rng.below(3) {
+            0 => exprs.swap(i, j),
+            1 => {
+                exprs.remove(i);
+            }
+            _ => {
+                let e = exprs[i].clone();
+                exprs.insert(j, e);
+            }
+        }
+    }
+    Strategy::from_exprs(exprs)
+}
+
+fn assert_vdag_equivalence(g: &Vdag, s: &Strategy) {
+    let report = analyze(g, s);
+    let dynamic = check_vdag_strategy(g, s);
+    assert_eq!(
+        report.has_errors(),
+        dynamic.is_err(),
+        "analyzer ({} errors) and check_vdag_strategy ({:?}) disagree on {}\n{}",
+        report.error_count(),
+        dynamic,
+        s.display(g),
+        report.render_text()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn analyzer_matches_dynamic_vdag_checker_on_random_strategies(
+        seed in 0u64..10_000,
+        bases in 1usize..4,
+        derived in 1usize..4,
+    ) {
+        let g = random_vdag(seed, RandomVdagConfig {
+            bases,
+            derived,
+            edge_probability: 0.6,
+        });
+        let mut rng = SplitMix64::new(seed ^ 0xA5A5_5A5A);
+        for _ in 0..8 {
+            let s = random_strategy(&g, &mut rng);
+            assert_vdag_equivalence(&g, &s);
+        }
+    }
+
+    #[test]
+    fn analyzer_matches_dynamic_vdag_checker_near_the_boundary(
+        seed in 0u64..10_000,
+        bases in 1usize..4,
+        derived in 1usize..4,
+    ) {
+        let g = random_vdag(seed, RandomVdagConfig {
+            bases,
+            derived,
+            edge_probability: 0.5,
+        });
+        let mut rng = SplitMix64::new(seed.wrapping_mul(0x9E37_79B9));
+        for _ in 0..8 {
+            let s = mutated_strategy(&g, &mut rng);
+            assert_vdag_equivalence(&g, &s);
+        }
+        // The unmutated strategy itself is correct and must lint clean.
+        let s = dual_stage_strategy(&g);
+        check_vdag_strategy(&g, &s).unwrap();
+        let report = analyze(&g, &s);
+        prop_assert!(report.is_clean(), "{}", report.render_text());
+    }
+
+    #[test]
+    fn analyzer_matches_dynamic_view_checker(
+        seed in 0u64..10_000,
+        bases in 1usize..5,
+    ) {
+        // One derived view over `bases` sources; random view strategies
+        // from its expression pool (view-level ids only, matching the
+        // domain of Definition 3.1).
+        let mut g = Vdag::new();
+        let srcs: Vec<ViewId> = (0..bases)
+            .map(|i| g.add_base(format!("B{i}")).unwrap())
+            .collect();
+        let view = g.add_derived("V", &srcs).unwrap();
+        let mut rng = SplitMix64::new(seed);
+        let mut pool: Vec<UpdateExpr> = srcs
+            .iter()
+            .flat_map(|s| [UpdateExpr::comp1(view, *s), UpdateExpr::inst(*s)])
+            .collect();
+        pool.push(UpdateExpr::inst(view));
+        if srcs.len() > 1 {
+            pool.push(UpdateExpr::comp(view, srcs.clone()));
+        }
+        for _ in 0..8 {
+            let len = 1 + rng.below(pool.len() as u64 + 3) as usize;
+            let s = Strategy::from_exprs(
+                (0..len)
+                    .map(|_| pool[rng.below(pool.len() as u64) as usize].clone())
+                    .collect(),
+            );
+            let report = analyze_view(&g, view, &s);
+            let dynamic = check_view_strategy(&g, view, &s);
+            prop_assert_eq!(
+                report.has_errors(),
+                dynamic.is_err(),
+                "analyze_view and check_view_strategy disagree on {}\n{}",
+                s.display(&g),
+                report.render_text()
+            );
+        }
+    }
+}

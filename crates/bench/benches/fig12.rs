@@ -22,9 +22,9 @@ fn bench_fig12(c: &mut Criterion) {
             "dual-stage" => dual = Some(sc.complete_strategy(&s)),
             "2-way"
                 if two_way.is_none()
-                    && s.exprs.iter().any(
-                        |e| matches!(e, UpdateExpr::Comp { over, .. } if over.len() == 2),
-                    ) =>
+                    && s.exprs
+                        .iter()
+                        .any(|e| matches!(e, UpdateExpr::Comp { over, .. } if over.len() == 2)) =>
             {
                 two_way = Some(sc.complete_strategy(&s))
             }

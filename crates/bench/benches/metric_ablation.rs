@@ -20,11 +20,7 @@ fn bench_metric(c: &mut Criterion) {
     ] {
         let model = CostModel::with_metric(g, &sizes, metric);
         group.bench_function(format!("cost_eval_{label}"), |b| {
-            b.iter(|| {
-                black_box(
-                    model.strategy_work(&plan.strategy) + model.strategy_work(&dual),
-                )
-            })
+            b.iter(|| black_box(model.strategy_work(&plan.strategy) + model.strategy_work(&dual)))
         });
     }
 

@@ -3,7 +3,9 @@
 //! the exhaustive baseline on a tiny VDAG for contrast.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use uww::core::{best_vdag_strategy, min_work, min_work_single, prune, CostModel, SizeCatalog, SizeInfo};
+use uww::core::{
+    best_vdag_strategy, min_work, min_work_single, prune, CostModel, SizeCatalog, SizeInfo,
+};
 use uww::vdag::{Vdag, ViewId};
 
 /// A uniform VDAG: `width` bases feeding `summaries` level-1 views (each
@@ -19,7 +21,14 @@ fn uniform_vdag(width: usize, summaries: usize) -> (Vdag, SizeCatalog) {
     let mut sizes = SizeCatalog::default();
     for v in g.view_ids() {
         let pre = 100.0 * (v.0 + 1) as f64;
-        sizes.set(v, SizeInfo { pre, post: pre * 0.9, delta: pre * 0.1 });
+        sizes.set(
+            v,
+            SizeInfo {
+                pre,
+                post: pre * 0.9,
+                delta: pre * 0.1,
+            },
+        );
     }
     (g, sizes)
 }

@@ -16,10 +16,22 @@ fn main() {
         .collect();
 
     let candidates = vec![
-        Candidate { def: uww::tpcd::q1_def(), query_frequency: 8.0 },
-        Candidate { def: uww::tpcd::q3_def(), query_frequency: 5.0 },
-        Candidate { def: uww::tpcd::q5_def(), query_frequency: 2.0 },
-        Candidate { def: uww::tpcd::q10_def(), query_frequency: 3.0 },
+        Candidate {
+            def: uww::tpcd::q1_def(),
+            query_frequency: 8.0,
+        },
+        Candidate {
+            def: uww::tpcd::q3_def(),
+            query_frequency: 5.0,
+        },
+        Candidate {
+            def: uww::tpcd::q5_def(),
+            query_frequency: 2.0,
+        },
+        Candidate {
+            def: uww::tpcd::q10_def(),
+            query_frequency: 3.0,
+        },
     ];
 
     let batch_gen = |w: &uww::core::Warehouse| {
@@ -33,8 +45,7 @@ fn main() {
         "budget", "selected", "maintenance", "query benefit"
     );
     for budget in [5_000.0, 50_000.0, 150_000.0, 1e9] {
-        let out = greedy_select(&base_tables, &candidates, budget, &batch_gen)
-            .expect("selection");
+        let out = greedy_select(&base_tables, &candidates, budget, &batch_gen).expect("selection");
         println!(
             "{:>14.0} {:<28} {:>16.0} {:>14.0}",
             budget,

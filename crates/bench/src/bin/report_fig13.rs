@@ -3,9 +3,7 @@
 //! strategy; 10% deletions on every base view but REGION.
 
 use uww::core::{CostModel, SizeCatalog};
-use uww_bench::{
-    bench_scale, measure, minwork_single_strategy, print_rows, q5_with_changes,
-};
+use uww_bench::{bench_scale, measure, minwork_single_strategy, print_rows, q5_with_changes};
 
 fn main() {
     let sc = q5_with_changes(0.10);

@@ -7,9 +7,7 @@ use uww_bench::{bench_scale, minwork_single_strategy, q3_with_changes, strategy_
 
 fn main() {
     println!("== Figure 14: Q3 strategies under different change percentages ==");
-    println!(
-        "   paper: MinWorkSingle < Best2Way < dual-stage over the whole 2..10% sweep"
-    );
+    println!("   paper: MinWorkSingle < Best2Way < dual-stage over the whole 2..10% sweep");
     println!("scale={}\n", bench_scale());
     println!(
         "{:>4} {:>14} {:>14} {:>14} {:>22}",
@@ -22,7 +20,6 @@ fn main() {
         let g = sc.warehouse.vdag();
         let q3 = g.id_of("Q3").unwrap();
         let n = g.sources(q3).len();
-        
 
         let mws = sc.run(&minwork_single_strategy(&sc)).unwrap().linear_work();
 
@@ -30,9 +27,10 @@ fn main() {
         let mut dual = 0u64;
         for s in view_strategies(g, q3) {
             let kind = strategy_kind(&s, n);
-            let has_pair = s.exprs.iter().any(
-                |e| matches!(e, UpdateExpr::Comp { over, .. } if over.len() == 2),
-            );
+            let has_pair = s
+                .exprs
+                .iter()
+                .any(|e| matches!(e, UpdateExpr::Comp { over, .. } if over.len() == 2));
             if kind == "dual-stage" {
                 dual = sc.run(&sc.complete_strategy(&s)).unwrap().linear_work();
             } else if has_pair {

@@ -52,7 +52,11 @@ fn main() {
     println!("  MinWork predicted: {mw_flawed:.0}, dual-stage predicted: {dual_flawed:.0}");
     println!(
         "  -> the variant ranks dual-stage {} — {}",
-        if dual_flawed < mw_flawed { "BEST" } else { "worse" },
+        if dual_flawed < mw_flawed {
+            "BEST"
+        } else {
+            "worse"
+        },
         if dual_flawed < mw_flawed {
             "contradicting the measured outcome, exactly the paper's point"
         } else {

@@ -2,9 +2,7 @@
 //! during the update window, under strict locking and under low isolation,
 //! for the MinWork 1-way strategy vs the dual-stage strategy.
 
-use uww::core::{
-    min_work, simulate_olap, CostModel, IsolationMode, OlapWorkload, SizeCatalog,
-};
+use uww::core::{min_work, simulate_olap, CostModel, IsolationMode, OlapWorkload, SizeCatalog};
 use uww_bench::{bench_scale, figure4_with_changes};
 
 fn main() {

@@ -46,7 +46,11 @@ fn main() {
         "\nCrossover: the dual-stage makespan ({msd:.0}) {} the 1-way total work \
          ({tw1:.0}) — with unlimited parallel workers dual-stage {}.",
         if msd < tw1 { "beats" } else { "still exceeds" },
-        if msd < tw1 { "would win" } else { "still loses" },
+        if msd < tw1 {
+            "would win"
+        } else {
+            "still loses"
+        },
     );
 
     // Execute both parallel schedules with REAL threads and verify.

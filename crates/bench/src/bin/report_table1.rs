@@ -29,7 +29,11 @@ fn main() {
         if all_match { "REPRODUCED" } else { "MISMATCH" }
     );
     // Context lines from the paper's prose.
-    println!("Q3 (3 sources) has {} view strategies; Q5 (6) has {}; Q10 (4) has {}.",
-        fubini(3), fubini(6), fubini(4));
+    println!(
+        "Q3 (3 sources) has {} view strategies; Q5 (6) has {}; Q10 (4) has {}.",
+        fubini(3),
+        fubini(6),
+        fubini(4)
+    );
     assert!(all_match);
 }

@@ -109,9 +109,9 @@ mod tests {
             ],
             joins: vec![uww_relational::EquiJoin::new("R.k", "S.k")],
             filters: vec![],
-            output: uww_relational::ViewOutput::Project(vec![
-                uww_relational::OutputColumn::col("k", "R.k"),
-            ]),
+            output: uww_relational::ViewOutput::Project(vec![uww_relational::OutputColumn::col(
+                "k", "R.k",
+            )]),
         };
         Warehouse::builder()
             .base_table(r)

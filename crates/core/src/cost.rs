@@ -54,7 +54,10 @@ impl<'a> CostModel<'a> {
 
     /// Same, with the flawed metric variant.
     pub fn with_metric(g: &'a Vdag, sizes: &'a SizeCatalog, metric: CostMetric) -> Self {
-        CostModel { metric, ..CostModel::new(g, sizes) }
+        CostModel {
+            metric,
+            ..CostModel::new(g, sizes)
+        }
     }
 
     /// The sizes in use.
@@ -176,9 +179,30 @@ mod tests {
         let v3 = g.add_base("V3").unwrap();
         g.add_derived("V4", &[v2, v3]).unwrap();
         let mut sizes = SizeCatalog::default();
-        sizes.set(v2, SizeInfo { pre: 100.0, post: 90.0, delta: 10.0 });
-        sizes.set(v3, SizeInfo { pre: 200.0, post: 180.0, delta: 20.0 });
-        sizes.set(ViewId(2), SizeInfo { pre: 50.0, post: 45.0, delta: 5.0 });
+        sizes.set(
+            v2,
+            SizeInfo {
+                pre: 100.0,
+                post: 90.0,
+                delta: 10.0,
+            },
+        );
+        sizes.set(
+            v3,
+            SizeInfo {
+                pre: 200.0,
+                post: 180.0,
+                delta: 20.0,
+            },
+        );
+        sizes.set(
+            ViewId(2),
+            SizeInfo {
+                pre: 50.0,
+                post: 45.0,
+                delta: 5.0,
+            },
+        );
         (g, sizes)
     }
 
@@ -246,7 +270,14 @@ mod tests {
     fn empty_delta_subsets_cost_nothing() {
         let (g, mut sizes) = setup();
         let v2 = g.id_of("V2").unwrap();
-        sizes.set(v2, SizeInfo { pre: 100.0, post: 100.0, delta: 0.0 });
+        sizes.set(
+            v2,
+            SizeInfo {
+                pre: 100.0,
+                post: 100.0,
+                delta: 0.0,
+            },
+        );
         let model = CostModel::new(&g, &sizes);
         let v4 = g.id_of("V4").unwrap();
         let v3 = g.id_of("V3").unwrap();
@@ -295,10 +326,21 @@ mod tests {
             let pre = 100.0 * (i + 1) as f64;
             sizes.set(
                 *id,
-                SizeInfo { pre, post: pre * 0.9, delta: pre * 0.1 },
+                SizeInfo {
+                    pre,
+                    post: pre * 0.9,
+                    delta: pre * 0.1,
+                },
             );
         }
-        sizes.set(v, SizeInfo { pre: 50.0, post: 45.0, delta: 5.0 });
+        sizes.set(
+            v,
+            SizeInfo {
+                pre: 50.0,
+                post: 45.0,
+                delta: 5.0,
+            },
+        );
 
         let model = CostModel::with_metric(&g, &sizes, CostMetric::OperandsOnce);
         let dual = Strategy::from_exprs(vec![

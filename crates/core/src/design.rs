@@ -120,10 +120,7 @@ fn maintenance_cost(
     if views.is_empty() {
         // No summary tables: only the base installs happen.
         let g = w.vdag();
-        return Ok(g
-            .view_ids()
-            .map(|v| sizes.delta(v))
-            .sum());
+        return Ok(g.view_ids().map(|v| sizes.delta(v)).sum());
     }
     let plan = min_work(w.vdag(), &sizes)?;
     let model = crate::cost::CostModel::new(w.vdag(), &sizes);
@@ -143,11 +140,7 @@ fn candidate_benefit(
         .def
         .source_views()
         .iter()
-        .map(|s| {
-            w.table(s)
-                .map(|t| t.len() as f64)
-                .unwrap_or(0.0)
-        })
+        .map(|s| w.table(s).map(|t| t.len() as f64).unwrap_or(0.0))
         .sum();
     let materialized = w
         .table(&cand.def.name)

@@ -128,9 +128,7 @@ fn is_connected(def: &ViewDef, in_set: &[bool], candidate: usize) -> bool {
         let a = def.source_of_column(&j.left);
         let b = def.source_of_column(&j.right);
         match (a, b) {
-            (Some(a), Some(b)) => {
-                (a == candidate && in_set[b]) || (b == candidate && in_set[a])
-            }
+            (Some(a), Some(b)) => (a == candidate && in_set[b]) || (b == candidate && in_set[a]),
             _ => false,
         }
     })
@@ -232,7 +230,10 @@ pub fn agg_types(def: &ViewDef, joined_schema: &Schema) -> RelResult<Vec<(AggFun
 
 fn agg_spec(def: &ViewDef, term_schema: &Schema) -> RelResult<ops::AggSpec> {
     match &def.output {
-        ViewOutput::Aggregate { group_by, aggregates } => {
+        ViewOutput::Aggregate {
+            group_by,
+            aggregates,
+        } => {
             let group_by = group_by
                 .iter()
                 .map(|g| g.expr.bind(term_schema))
@@ -277,12 +278,13 @@ pub fn nonempty_subsets<T: Clone + Ord>(set: &BTreeSet<T>) -> Vec<BTreeSet<T>> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use uww_relational::{
-        tup, EquiJoin, OutputColumn, Table, Value, ViewSource,
-    };
+    use uww_relational::{tup, EquiJoin, OutputColumn, Table, Value, ViewSource};
 
     fn r_table() -> Table {
-        let mut t = Table::new("R", Schema::of(&[("rk", ValueType::Int), ("rv", ValueType::Int)]));
+        let mut t = Table::new(
+            "R",
+            Schema::of(&[("rk", ValueType::Int), ("rv", ValueType::Int)]),
+        );
         for i in 0..5 {
             t.insert(tup![Value::Int(i), Value::Int(10 * i)]).unwrap();
         }
@@ -416,10 +418,7 @@ mod tests {
                 ViewSource::named("S"),
                 ViewSource::named("T"),
             ],
-            joins: vec![
-                EquiJoin::new("R.rk", "S.sk"),
-                EquiJoin::new("R.rk", "T.tk"),
-            ],
+            joins: vec![EquiJoin::new("R.rk", "S.sk"), EquiJoin::new("R.rk", "T.tk")],
             filters: vec![],
             output: ViewOutput::Project(vec![
                 OutputColumn::col("k", "R.rk"),

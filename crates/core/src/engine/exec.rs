@@ -14,11 +14,18 @@ use uww_vdag::{check_vdag_strategy, Strategy, UpdateExpr, ViewId};
 pub struct ExecOptions {
     /// Check conditions C1–C8 before executing (default: on).
     pub validate: bool,
+    /// Run the static strategy analyzer first and refuse any strategy it
+    /// flags, reporting *all* defects with `UWW###` rule ids instead of the
+    /// dynamic checker's first violation (default: off).
+    pub analyze_first: bool,
 }
 
 impl Default for ExecOptions {
     fn default() -> Self {
-        ExecOptions { validate: true }
+        ExecOptions {
+            validate: true,
+            analyze_first: false,
+        }
     }
 }
 
@@ -78,6 +85,12 @@ impl Warehouse {
         strategy: &Strategy,
         opts: ExecOptions,
     ) -> CoreResult<ExecutionReport> {
+        if opts.analyze_first {
+            let report = uww_analysis::analyze(self.vdag(), strategy);
+            if report.has_errors() {
+                return Err(CoreError::Analysis(Box::new(report)));
+            }
+        }
         if opts.validate {
             check_vdag_strategy(self.vdag(), strategy)?;
         }
@@ -112,11 +125,7 @@ impl Warehouse {
     }
 
     /// Folds a computed fragment into `view`'s pending accumulator.
-    pub(crate) fn merge_fragment(
-        &mut self,
-        view: &str,
-        fragment: PendingDelta,
-    ) -> CoreResult<()> {
+    pub(crate) fn merge_fragment(&mut self, view: &str, fragment: PendingDelta) -> CoreResult<()> {
         if !self.pending_map().contains_key(view) {
             let empty = self.empty_pending_for(view)?;
             self.pending_map_mut().insert(view.to_string(), empty);
@@ -143,9 +152,7 @@ impl Warehouse {
         };
         let delta = match pending {
             PendingDelta::Rows(d) => d,
-            PendingDelta::Summary(s) => {
-                s.to_delta(self.table(&name)?).map_err(CoreError::Rel)?
-            }
+            PendingDelta::Summary(s) => s.to_delta(self.table(&name)?).map_err(CoreError::Rel)?,
         };
         let len = delta.len();
         self.state_mut()
@@ -176,10 +183,7 @@ pub(crate) fn comp_fragment(
         .def(&name)
         .ok_or_else(|| CoreError::Warehouse(format!("no definition for {name}")))?
         .clone();
-    let over_names: BTreeSet<String> = over
-        .iter()
-        .map(|v| w.vdag().name(*v).to_string())
-        .collect();
+    let over_names: BTreeSet<String> = over.iter().map(|v| w.vdag().name(*v).to_string()).collect();
 
     let mut fragment = w.empty_pending_for(&name)?;
     let mut total = WorkMeter::new();
@@ -212,8 +216,7 @@ pub(crate) fn comp_fragment(
                 }
             }
             (ViewOutput::Aggregate { .. }, PendingDelta::Summary(acc)) => {
-                let groups =
-                    eval::group_output(&def, &schema, &rows).map_err(CoreError::Rel)?;
+                let groups = eval::group_output(&def, &schema, &rows).map_err(CoreError::Rel)?;
                 acc.merge_groups(groups);
             }
             _ => unreachable!("empty_pending_for matches the output shape"),
@@ -241,7 +244,8 @@ mod tests {
             Schema::of(&[("rk", ValueType::Int), ("rv", ValueType::Decimal)]),
         );
         for i in 0..6 {
-            t.insert(tup![Value::Int(i), Value::Decimal(100 * (i + 1))]).unwrap();
+            t.insert(tup![Value::Int(i), Value::Decimal(100 * (i + 1))])
+                .unwrap();
         }
         t
     }
@@ -330,10 +334,7 @@ mod tests {
         w2.execute(&strategy_dual_stage(&w2)).unwrap();
         assert!(w1.diff_state(&expected).is_empty());
         assert!(w2.diff_state(&expected).is_empty());
-        assert!(w1
-            .table("V")
-            .unwrap()
-            .same_contents(w2.table("V").unwrap()));
+        assert!(w1.table("V").unwrap().same_contents(w2.table("V").unwrap()));
     }
 
     #[test]
@@ -373,8 +374,45 @@ mod tests {
         // state — the reason the correctness conditions exist.
         let mut w2 = warehouse_with_changes();
         let expected = w2.expected_final_state().unwrap();
-        w2.execute_with(&bad, ExecOptions { validate: false }).unwrap();
+        w2.execute_with(
+            &bad,
+            ExecOptions {
+                validate: false,
+                analyze_first: false,
+            },
+        )
+        .unwrap();
         assert!(!w2.diff_state(&expected).is_empty());
+    }
+
+    #[test]
+    fn analyze_first_refuses_flagged_strategies_with_rule_ids() {
+        let mut w = warehouse_with_changes();
+        let v = w.view_id("V").unwrap();
+        let r = w.view_id("R").unwrap();
+        let s = w.view_id("S").unwrap();
+        let bad = Strategy::from_exprs(vec![
+            UpdateExpr::inst(r),
+            UpdateExpr::comp1(v, r),
+            UpdateExpr::comp1(v, s),
+            UpdateExpr::inst(s),
+            UpdateExpr::inst(v),
+        ]);
+        let opts = ExecOptions {
+            validate: false,
+            analyze_first: true,
+        };
+        let err = w.execute_with(&bad, opts).unwrap_err();
+        match err {
+            CoreError::Analysis(report) => {
+                assert!(report.has_errors());
+                assert!(report.diagnostics.iter().any(|d| d.rule.id() == "UWW006"));
+            }
+            other => panic!("expected analysis rejection, got {other:?}"),
+        }
+        // A correct strategy still passes with the analyzer on.
+        let good = strategy_1way_rs(&w);
+        w.execute_with(&good, opts).unwrap();
     }
 
     #[test]

@@ -40,11 +40,7 @@ pub struct ExprPlan {
 impl Warehouse {
     /// Explains every expression of `strategy` against the current state
     /// and pending deltas, using `model` for work predictions.
-    pub fn explain(
-        &self,
-        strategy: &Strategy,
-        model: &CostModel<'_>,
-    ) -> CoreResult<Vec<ExprPlan>> {
+    pub fn explain(&self, strategy: &Strategy, model: &CostModel<'_>) -> CoreResult<Vec<ExprPlan>> {
         let mut installed: HashSet<ViewId> = HashSet::new();
         let mut out = Vec::with_capacity(strategy.len());
         for e in &strategy.exprs {
@@ -65,18 +61,13 @@ impl Warehouse {
         Ok(out)
     }
 
-    fn explain_comp(
-        &self,
-        view: ViewId,
-        over: &BTreeSet<ViewId>,
-    ) -> CoreResult<Vec<TermPlan>> {
+    fn explain_comp(&self, view: ViewId, over: &BTreeSet<ViewId>) -> CoreResult<Vec<TermPlan>> {
         let g = self.vdag();
         let name = g.name(view);
         let def = self
             .def(name)
             .ok_or_else(|| CoreError::Warehouse(format!("no definition for {name}")))?;
-        let over_names: BTreeSet<String> =
-            over.iter().map(|v| g.name(*v).to_string()).collect();
+        let over_names: BTreeSet<String> = over.iter().map(|v| g.name(*v).to_string()).collect();
 
         let mut plans = Vec::new();
         for subset in eval::nonempty_subsets(&over_names) {
@@ -144,10 +135,11 @@ impl Warehouse {
 
 fn is_connected(def: &uww_relational::ViewDef, in_set: &[bool], candidate: usize) -> bool {
     def.joins.iter().any(|j| {
-        match (def.source_of_column(&j.left), def.source_of_column(&j.right)) {
-            (Some(a), Some(b)) => {
-                (a == candidate && in_set[b]) || (b == candidate && in_set[a])
-            }
+        match (
+            def.source_of_column(&j.left),
+            def.source_of_column(&j.right),
+        ) {
+            (Some(a), Some(b)) => (a == candidate && in_set[b]) || (b == candidate && in_set[a]),
             _ => false,
         }
     })
@@ -170,7 +162,11 @@ pub fn render_explain(warehouse: &Warehouse, plans: &[ExprPlan]) -> String {
                 "    term Δ{{{}}}: {}{}",
                 t.delta_sources.join(","),
                 t.join_order.join(" ⋈ "),
-                if t.skipped { "   [skipped: empty delta]" } else { "" }
+                if t.skipped {
+                    "   [skipped: empty delta]"
+                } else {
+                    ""
+                }
             );
         }
     }

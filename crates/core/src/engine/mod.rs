@@ -23,7 +23,7 @@ pub mod warehouse;
 
 pub(crate) use summary::raw_to_value as summary_raw_to_value;
 
-pub use explain::{render_explain, ExprPlan, TermPlan};
 pub use exec::{ExecOptions, ExecutionReport, ExprReport};
+pub use explain::{render_explain, ExprPlan, TermPlan};
 pub use summary::{stored_aggregate_schema, SummaryDelta, COUNT_COLUMN};
 pub use warehouse::{PendingDelta, Warehouse, WarehouseBuilder};

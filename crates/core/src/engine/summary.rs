@@ -241,7 +241,10 @@ mod tests {
         for (g, dsum, dcount) in groups {
             m.insert(
                 tup![Value::Int(g)],
-                GroupAcc { accs: vec![Acc::Sum(dsum)], count: dcount },
+                GroupAcc {
+                    accs: vec![Acc::Sum(dsum)],
+                    count: dcount,
+                },
             );
         }
         d.merge_groups(m);
@@ -269,7 +272,10 @@ mod tests {
         let d = delta_with(vec![(2, -100, -1), (3, 40, 1)]);
         let delta = d.to_delta(&t).unwrap();
         let after = delta.applied_to(&t).unwrap();
-        assert_eq!(after.multiplicity(&tup![Value::Int(2), Value::Decimal(0), Value::Int(0)]), 0);
+        assert_eq!(
+            after.multiplicity(&tup![Value::Int(2), Value::Decimal(0), Value::Int(0)]),
+            0
+        );
         assert!(!after.iter().any(|(r, _)| r.get(0).as_int() == Some(2)));
         assert_eq!(
             after.multiplicity(&tup![Value::Int(3), Value::Decimal(40), Value::Int(1)]),

@@ -103,10 +103,7 @@ impl Warehouse {
 
     /// Loads the change batch for this update window. Only base views may
     /// receive external deltas; any previous pending state is discarded.
-    pub fn load_changes(
-        &mut self,
-        changes: BTreeMap<String, DeltaRelation>,
-    ) -> CoreResult<()> {
+    pub fn load_changes(&mut self, changes: BTreeMap<String, DeltaRelation>) -> CoreResult<()> {
         self.pending.clear();
         for (view, delta) in changes {
             let id = self.vdag.id_of(&view)?;
@@ -132,9 +129,10 @@ impl Warehouse {
         match self.pending.get(view) {
             None => Ok(0),
             Some(PendingDelta::Rows(d)) => Ok(d.len()),
-            Some(PendingDelta::Summary(s)) => {
-                Ok(s.to_delta(self.state.get(view)?).map_err(CoreError::Rel)?.len())
-            }
+            Some(PendingDelta::Summary(s)) => Ok(s
+                .to_delta(self.state.get(view)?)
+                .map_err(CoreError::Rel)?
+                .len()),
         }
     }
 
@@ -159,7 +157,10 @@ impl Warehouse {
                     ViewOutput::Project(_) => unreachable!("is_aggregate checked"),
                 };
                 let agg_types = eval::agg_types(def, &joined).map_err(CoreError::Rel)?;
-                Ok(PendingDelta::Summary(SummaryDelta::new(group_arity, agg_types)))
+                Ok(PendingDelta::Summary(SummaryDelta::new(
+                    group_arity,
+                    agg_types,
+                )))
             }
             Some(def) => {
                 let visible = self.visible_schema(def)?;
@@ -167,7 +168,9 @@ impl Warehouse {
             }
             None => {
                 let table = self.state.get(view)?;
-                Ok(PendingDelta::Rows(DeltaRelation::new(table.schema().clone())))
+                Ok(PendingDelta::Rows(DeltaRelation::new(
+                    table.schema().clone(),
+                )))
             }
         }
     }
@@ -413,7 +416,8 @@ mod tests {
             Schema::of(&[("rk", ValueType::Int), ("rv", ValueType::Decimal)]),
         );
         for i in 0..4 {
-            t.insert(tup![Value::Int(i), Value::Decimal(100 * (i + 1))]).unwrap();
+            t.insert(tup![Value::Int(i), Value::Decimal(100 * (i + 1))])
+                .unwrap();
         }
         t
     }
@@ -559,10 +563,11 @@ mod tests {
         assert_eq!(expected.get("R").unwrap().len(), 3);
         // Group 0 loses row 0: total 300, count 1.
         assert_eq!(
-            expected
-                .get("V")
-                .unwrap()
-                .multiplicity(&tup![Value::Int(0), Value::Decimal(300), Value::Int(1)]),
+            expected.get("V").unwrap().multiplicity(&tup![
+                Value::Int(0),
+                Value::Decimal(300),
+                Value::Int(1)
+            ]),
             1
         );
         // diff_state against unmodified warehouse flags R and V.

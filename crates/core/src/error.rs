@@ -1,6 +1,7 @@
 //! Error type for the planner and update engine.
 
 use std::fmt;
+use uww_analysis::Report;
 use uww_relational::RelError;
 use uww_vdag::VdagError;
 
@@ -16,6 +17,10 @@ pub enum CoreError {
     Warehouse(String),
     /// A planner precondition failed.
     Planner(String),
+    /// The static strategy analyzer refused the strategy
+    /// ([`ExecOptions::analyze_first`](crate::ExecOptions)); the full lint
+    /// report with `UWW###` rule ids is attached.
+    Analysis(Box<Report>),
 }
 
 impl fmt::Display for CoreError {
@@ -25,6 +30,9 @@ impl fmt::Display for CoreError {
             CoreError::Vdag(e) => write!(f, "vdag: {e}"),
             CoreError::Warehouse(d) => write!(f, "warehouse: {d}"),
             CoreError::Planner(d) => write!(f, "planner: {d}"),
+            CoreError::Analysis(r) => {
+                write!(f, "analysis: strategy refused\n{}", r.render_text())
+            }
         }
     }
 }

@@ -45,11 +45,7 @@ impl StatsEstimator {
 
     /// Estimated cardinality of the SPJ part of `def` (before aggregation),
     /// under uniformity + independence + containment assumptions.
-    pub fn estimate_spj_output(
-        &self,
-        warehouse: &Warehouse,
-        def: &ViewDef,
-    ) -> CoreResult<f64> {
+    pub fn estimate_spj_output(&self, warehouse: &Warehouse, def: &ViewDef) -> CoreResult<f64> {
         let mut card = 1.0f64;
         for s in &def.sources {
             let st = self
@@ -123,7 +119,11 @@ impl StatsEstimator {
                 let plus = rows.plus_len() as f64;
                 cat.set(
                     v,
-                    SizeInfo { pre, post: pre - minus + plus, delta: minus + plus },
+                    SizeInfo {
+                        pre,
+                        post: pre - minus + plus,
+                        delta: minus + plus,
+                    },
                 );
                 if pre > 0.0 {
                     fractions[v.0] = (minus / pre, plus / pre);
@@ -273,7 +273,8 @@ mod tests {
             Schema::of(&[("k", ValueType::Int), ("flag", ValueType::Int)]),
         );
         for i in 0..200 {
-            r.insert(tup![Value::Int(i % 100), Value::Int(i % 4)]).unwrap();
+            r.insert(tup![Value::Int(i % 100), Value::Int(i % 4)])
+                .unwrap();
         }
         let mut s = Table::new("S", Schema::of(&[("k", ValueType::Int)]));
         for i in 0..100 {

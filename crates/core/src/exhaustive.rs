@@ -156,14 +156,30 @@ fn backtrack(
         if used[i] {
             continue;
         }
-        if !placeable(g, exprs, &exprs[i], installed, comps_done, comps_total, propagated) {
+        if !placeable(
+            g,
+            exprs,
+            &exprs[i],
+            installed,
+            comps_done,
+            comps_total,
+            propagated,
+        ) {
             continue;
         }
         used[i] = true;
         seq.push(i);
         let undo = apply(&exprs[i], installed, comps_done, propagated);
         backtrack(
-            g, exprs, used, seq, installed, comps_done, comps_total, propagated, out,
+            g,
+            exprs,
+            used,
+            seq,
+            installed,
+            comps_done,
+            comps_total,
+            propagated,
+            out,
         );
         revert(&exprs[i], installed, comps_done, propagated, undo);
         seq.pop();
@@ -350,7 +366,14 @@ mod tests {
         for (name, pre, frac) in entries {
             let v = g.id_of(name).unwrap();
             let delta = pre * frac;
-            cat.set(v, SizeInfo { pre: *pre, post: pre - delta, delta });
+            cat.set(
+                v,
+                SizeInfo {
+                    pre: *pre,
+                    post: pre - delta,
+                    delta,
+                },
+            );
         }
         cat
     }

@@ -52,11 +52,15 @@ pub use error::{CoreError, CoreResult};
 pub use estimate::StatsEstimator;
 pub use exhaustive::{all_one_way_vdag_strategies, all_vdag_strategies, best_vdag_strategy};
 pub use lifecycle::{MaintenancePolicy, PlannerChoice, QueryRecord, WarehouseDriver, WindowRecord};
-pub use olap::{simulate as simulate_olap, InterferenceReport, IsolationMode, OlapWorkload, QueryOutcome};
-pub use parallel::{flatten_def, makespan, parallelize, total_work, ParallelReport, ParallelStrategy, StageReport};
+pub use olap::{
+    simulate as simulate_olap, InterferenceReport, IsolationMode, OlapWorkload, QueryOutcome,
+};
+pub use parallel::{
+    flatten_def, makespan, parallelize, total_work, ParallelReport, ParallelStrategy, StageReport,
+};
 pub use planner::{
-    min_work, min_work_single, one_way_for_ordering, prune, prune_full, MinWorkPlan,
-    PruneOutcome, PRUNE_MAX_VIEWS,
+    min_work, min_work_single, one_way_for_ordering, prune, prune_full, MinWorkPlan, PruneOutcome,
+    PRUNE_MAX_VIEWS,
 };
 pub use script::{expr_to_sql, predicate_to_sql, value_to_sql, ScriptGenerator, SqlProcedure};
 pub use sizes::{SizeCatalog, SizeInfo};

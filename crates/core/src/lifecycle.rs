@@ -48,9 +48,7 @@ impl PlannerChoice {
                 let out = prune(warehouse.vdag(), &model)?;
                 Ok((out.strategy, "prune"))
             }
-            PlannerChoice::DualStage => {
-                Ok((dual_stage_strategy(warehouse.vdag()), "dual-stage"))
-            }
+            PlannerChoice::DualStage => Ok((dual_stage_strategy(warehouse.vdag()), "dual-stage")),
             PlannerChoice::Fixed(s) => Ok((s.clone(), "fixed")),
         }
     }
@@ -380,11 +378,8 @@ mod tests {
     fn fixed_script_policy_executes_the_given_strategy() {
         let w = warehouse();
         let fixed = dual_stage_strategy(w.vdag());
-        let mut drv = WarehouseDriver::new(
-            w,
-            MaintenancePolicy::Immediate,
-            PlannerChoice::Fixed(fixed),
-        );
+        let mut drv =
+            WarehouseDriver::new(w, MaintenancePolicy::Immediate, PlannerChoice::Fixed(fixed));
         drv.deliver_batch(delete_batch(0..5)).unwrap();
         assert_eq!(drv.history()[0].planner, "fixed");
         assert_eq!(drv.warehouse().table("V").unwrap().len(), 95);

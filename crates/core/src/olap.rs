@@ -221,11 +221,22 @@ mod tests {
         let mut sizes = SizeCatalog::default();
         for (i, id) in b.iter().enumerate() {
             let pre = 1000.0 * (i + 1) as f64;
-            sizes.set(*id, SizeInfo { pre, post: pre * 0.9, delta: pre * 0.1 });
+            sizes.set(
+                *id,
+                SizeInfo {
+                    pre,
+                    post: pre * 0.9,
+                    delta: pre * 0.1,
+                },
+            );
         }
         sizes.set(
             g.id_of("V").unwrap(),
-            SizeInfo { pre: 400.0, post: 360.0, delta: 40.0 },
+            SizeInfo {
+                pre: 400.0,
+                post: 360.0,
+                delta: 40.0,
+            },
         );
         (g, sizes)
     }

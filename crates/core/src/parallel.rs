@@ -80,9 +80,7 @@ pub fn parallelize(g: &Vdag, s: &Strategy) -> ParallelStrategy {
 fn depends(g: &Vdag, earlier: &UpdateExpr, later: &UpdateExpr) -> bool {
     match (earlier, later) {
         // C3: Comp propagating Δv, then Inst(v); C5: Inst(W) after Comp(W,·).
-        (UpdateExpr::Comp { view, over }, UpdateExpr::Inst(v)) => {
-            over.contains(v) || *view == *v
-        }
+        (UpdateExpr::Comp { view, over }, UpdateExpr::Inst(v)) => over.contains(v) || *view == *v,
         // C5 and C8.
         (UpdateExpr::Comp { view: w1, .. }, UpdateExpr::Comp { view: w2, over }) => {
             // C8: the later Comp propagates Δw1, or same view (keep a view's
@@ -148,10 +146,7 @@ pub fn flatten_def(outer: &ViewDef, inner: &ViewDef) -> CoreResult<ViewDef> {
     let inner_alias = outer
         .alias_of(&inner.name)
         .ok_or_else(|| {
-            CoreError::Planner(format!(
-                "{} is not defined over {}",
-                outer.name, inner.name
-            ))
+            CoreError::Planner(format!("{} is not defined over {}", outer.name, inner.name))
         })?
         .to_string();
     let inner_outputs = match &inner.output {
@@ -178,7 +173,10 @@ pub fn flatten_def(outer: &ViewDef, inner: &ViewDef) -> CoreResult<ViewDef> {
         }
     }
     for s in &inner.sources {
-        if sources.iter().any(|t| t.view == s.view || t.alias == s.alias) {
+        if sources
+            .iter()
+            .any(|t| t.view == s.view || t.alias == s.alias)
+        {
             return Err(CoreError::Planner(format!(
                 "flattening {} into {} would duplicate source {}",
                 inner.name, outer.name, s.view
@@ -226,7 +224,10 @@ pub fn flatten_def(outer: &ViewDef, inner: &ViewDef) -> CoreResult<ViewDef> {
                 })
                 .collect::<CoreResult<_>>()?,
         ),
-        ViewOutput::Aggregate { group_by, aggregates } => ViewOutput::Aggregate {
+        ViewOutput::Aggregate {
+            group_by,
+            aggregates,
+        } => ViewOutput::Aggregate {
             group_by: group_by
                 .iter()
                 .map(|o| {
@@ -369,7 +370,13 @@ impl Warehouse {
         // Every linearization of a stage must be equivalent; the dependency
         // construction guarantees it. Validate the canonical linearization.
         let linear = p.linearize();
-        self.execute_with(&linear, ExecOptions { validate: true })
+        self.execute_with(
+            &linear,
+            ExecOptions {
+                validate: true,
+                analyze_first: false,
+            },
+        )
     }
 
     /// Executes a parallel strategy with **real threads**: within each
@@ -382,6 +389,14 @@ impl Warehouse {
         p: &ParallelStrategy,
     ) -> CoreResult<ParallelReport> {
         uww_vdag::check_vdag_strategy(self.vdag(), &p.linearize())?;
+        // The linearized check cannot see stage races: a same-stage pair
+        // like `Comp(V5, {V4}); Comp(V4, ..)` linearizes to a C8-legal order
+        // yet computes against the frozen stage-entry state here, silently
+        // dropping ΔV4's contribution. The static analyzer (UWW001) can.
+        let report = uww_analysis::analyze_parallel(self.vdag(), &p.stages);
+        if report.has_errors() {
+            return Err(CoreError::Analysis(Box::new(report)));
+        }
         let mut report = ParallelReport::default();
         for stage in &p.stages {
             let t0 = std::time::Instant::now();
@@ -402,30 +417,32 @@ impl Warehouse {
                 std::time::Duration,
             )>;
             let this: &Warehouse = self;
-            let results: Vec<CompResult> =
-                std::thread::scope(|scope| {
-                    let handles: Vec<_> = comps
-                        .iter()
-                        .map(|(view, over)| {
-                            scope.spawn(move || {
-                                let t = std::time::Instant::now();
-                                let (name, fragment, meter) =
-                                    crate::engine::exec::comp_fragment(this, *view, over)?;
-                                Ok((
-                                    UpdateExpr::Comp { view: *view, over: over.clone() },
-                                    name,
-                                    fragment,
-                                    meter,
-                                    t.elapsed(),
-                                ))
-                            })
+            let results: Vec<CompResult> = std::thread::scope(|scope| {
+                let handles: Vec<_> = comps
+                    .iter()
+                    .map(|(view, over)| {
+                        scope.spawn(move || {
+                            let t = std::time::Instant::now();
+                            let (name, fragment, meter) =
+                                crate::engine::exec::comp_fragment(this, *view, over)?;
+                            Ok((
+                                UpdateExpr::Comp {
+                                    view: *view,
+                                    over: over.clone(),
+                                },
+                                name,
+                                fragment,
+                                meter,
+                                t.elapsed(),
+                            ))
                         })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("comp thread panicked"))
-                        .collect()
-                });
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("comp thread panicked"))
+                    .collect()
+            });
 
             let mut per_expr = Vec::new();
             for r in results {
@@ -437,7 +454,11 @@ impl Warehouse {
                 total.operand_rows_scanned += meter.operand_rows_scanned;
                 total.rows_emitted += meter.rows_emitted;
                 total.terms_evaluated += meter.terms_evaluated;
-                per_expr.push(crate::engine::ExprReport { expr, work: meter, wall });
+                per_expr.push(crate::engine::ExprReport {
+                    expr,
+                    work: meter,
+                    wall,
+                });
             }
 
             // Installs land at the stage boundary, serially.
@@ -453,7 +474,10 @@ impl Warehouse {
                     });
                 }
             }
-            report.stages.push(StageReport { per_expr, wall: t0.elapsed() });
+            report.stages.push(StageReport {
+                per_expr,
+                wall: t0.elapsed(),
+            });
         }
         Ok(report)
     }
@@ -472,7 +496,11 @@ mod tests {
             let pre = 100.0 * (v.0 + 1) as f64;
             cat.set(
                 v,
-                SizeInfo { pre, post: pre * 0.9, delta: pre * 0.1 },
+                SizeInfo {
+                    pre,
+                    post: pre * 0.9,
+                    delta: pre * 0.1,
+                },
             );
         }
         cat
@@ -500,7 +528,12 @@ mod tests {
         let plan = crate::planner::min_work(&g, &sizes).unwrap();
         let p1 = parallelize(&g, &plan.strategy);
         let pd = parallelize(&g, &dual_stage_strategy(&g));
-        assert!(pd.depth() < p1.depth(), "dual {} vs 1-way {}", pd.depth(), p1.depth());
+        assert!(
+            pd.depth() < p1.depth(),
+            "dual {} vs 1-way {}",
+            pd.depth(),
+            p1.depth()
+        );
     }
 
     #[test]
@@ -606,7 +639,11 @@ mod tests {
             filters: vec![],
             output: ViewOutput::Project(vec![OutputColumn::col("k", "R.k")]),
         };
-        let mut w = Warehouse::builder().base_table(r).view(def).build().unwrap();
+        let mut w = Warehouse::builder()
+            .base_table(r)
+            .view(def)
+            .build()
+            .unwrap();
         // Installs R before its comp: invalid.
         let bad = ParallelStrategy {
             stages: vec![
@@ -622,6 +659,71 @@ mod tests {
     }
 
     #[test]
+    fn threaded_execution_rejects_same_stage_races() {
+        use uww_relational::{tup, Schema, Table, ValueType};
+        // R -> P -> W chain: Comp(P) and Comp(W, {P}) in ONE stage is a race
+        // the linearized dynamic check cannot see (its linearization is
+        // C8-legal), but the threaded executor would compute W against the
+        // frozen stage-entry ΔP = ∅ and silently drop the update.
+        let mut r = Table::new("R", Schema::of(&[("k", ValueType::Int)]));
+        r.insert(tup![Value::Int(1)]).unwrap();
+        let p_def = ViewDef {
+            name: "P".into(),
+            sources: vec![ViewSource::named("R")],
+            joins: vec![],
+            filters: vec![],
+            output: ViewOutput::Project(vec![OutputColumn::col("k", "R.k")]),
+        };
+        let w_def = ViewDef {
+            name: "W".into(),
+            sources: vec![ViewSource::named("P")],
+            joins: vec![],
+            filters: vec![],
+            output: ViewOutput::Project(vec![OutputColumn::col("k", "P.k")]),
+        };
+        let mut w = Warehouse::builder()
+            .base_table(r)
+            .view(p_def)
+            .view(w_def)
+            .build()
+            .unwrap();
+        let rid = w.view_id("R").unwrap();
+        let pid = w.view_id("P").unwrap();
+        let wid = w.view_id("W").unwrap();
+        let racy = ParallelStrategy {
+            stages: vec![
+                vec![UpdateExpr::comp1(pid, rid), UpdateExpr::comp1(wid, pid)],
+                vec![
+                    UpdateExpr::inst(rid),
+                    UpdateExpr::inst(pid),
+                    UpdateExpr::inst(wid),
+                ],
+            ],
+        };
+        // The linearization alone is fine — that is exactly the hole.
+        check_vdag_strategy(w.vdag(), &racy.linearize()).unwrap();
+        match w.execute_parallel_threaded(&racy).unwrap_err() {
+            CoreError::Analysis(report) => {
+                assert!(report.diagnostics.iter().any(|d| d.rule.id() == "UWW001"));
+            }
+            other => panic!("expected a stage-race rejection, got {other:?}"),
+        }
+        // De-racing the schedule (one comp per stage) executes fine.
+        let ok = ParallelStrategy {
+            stages: vec![
+                vec![UpdateExpr::comp1(pid, rid)],
+                vec![UpdateExpr::comp1(wid, pid)],
+                vec![
+                    UpdateExpr::inst(rid),
+                    UpdateExpr::inst(pid),
+                    UpdateExpr::inst(wid),
+                ],
+            ],
+        };
+        w.execute_parallel_threaded(&ok).unwrap();
+    }
+
+    #[test]
     fn flatten_projection_chain() {
         // P = Π(R where rv > 1), W = Π(P ⋈ S). Flattened W runs on R, S.
         let p = ViewDef {
@@ -631,10 +733,7 @@ mod tests {
             filters: vec![Predicate::col_gt("R.rv", Value::Int(1))],
             output: ViewOutput::Project(vec![
                 OutputColumn::col("k", "R.rk"),
-                OutputColumn::new(
-                    "v2",
-                    ScalarExpr::col("R.rv").add(ScalarExpr::col("R.rv")),
-                ),
+                OutputColumn::new("v2", ScalarExpr::col("R.rv").add(ScalarExpr::col("R.rv"))),
             ]),
         };
         let w = ViewDef {
@@ -656,7 +755,9 @@ mod tests {
             .any(|j| (j.left == "R.rk" && j.right == "S.sk")
                 || (j.left == "S.sk" && j.right == "R.rk")));
         // P's filter inlined.
-        assert!(flat.filters.contains(&Predicate::col_gt("R.rv", Value::Int(1))));
+        assert!(flat
+            .filters
+            .contains(&Predicate::col_gt("R.rv", Value::Int(1))));
         // Output substituted: P.v2 -> R.rv + R.rv.
         match &flat.output {
             ViewOutput::Project(outs) => {

@@ -5,9 +5,47 @@ use crate::cost::CostModel;
 use crate::error::{CoreError, CoreResult};
 use crate::sizes::SizeCatalog;
 use uww_vdag::{
-    construct_eg, construct_seg, modify_ordering, permutations, Strategy, UpdateExpr, Vdag,
-    ViewId, ViewOrdering,
+    construct_eg, construct_seg, modify_ordering, permutations, Strategy, UpdateExpr, Vdag, ViewId,
+    ViewOrdering,
 };
+
+/// Debug-build gate: every strategy a planner emits must lint clean under
+/// the static analyzer. A diagnostic here is a planner bug, not user error,
+/// so it is a `debug_assert!` (free in release builds) rather than a result.
+#[inline]
+fn debug_lint(g: &Vdag, s: &Strategy) {
+    #[cfg(debug_assertions)]
+    {
+        let report = uww_analysis::analyze(g, s);
+        debug_assert!(
+            !report.has_errors(),
+            "planner emitted a strategy the analyzer rejects:\n{}",
+            report.render_text()
+        );
+    }
+    #[cfg(not(debug_assertions))]
+    {
+        let _ = (g, s);
+    }
+}
+
+/// Debug-build gate for single-view planners ([`min_work_single`]).
+#[inline]
+fn debug_lint_view(g: &Vdag, view: ViewId, s: &Strategy) {
+    #[cfg(debug_assertions)]
+    {
+        let report = uww_analysis::analyze_view(g, view, s);
+        debug_assert!(
+            !report.has_errors(),
+            "planner emitted a view strategy the analyzer rejects:\n{}",
+            report.render_text()
+        );
+    }
+    #[cfg(not(debug_assertions))]
+    {
+        let _ = (g, view, s);
+    }
+}
 
 /// **MinWorkSingle** (Algorithm 4.1): the optimal view strategy for a single
 /// view under the linear work metric.
@@ -31,6 +69,7 @@ pub fn min_work_single(g: &Vdag, view: ViewId, sizes: &SizeCatalog) -> Strategy 
         s.push(UpdateExpr::inst(*v));
     }
     s.push(UpdateExpr::inst(view));
+    debug_lint_view(g, view, &s);
     s
 }
 
@@ -59,6 +98,7 @@ pub fn min_work(g: &Vdag, sizes: &SizeCatalog) -> CoreResult<MinWorkPlan> {
     let eg = construct_eg(g, &desired);
     if eg.is_acyclic() {
         let strategy = eg.topological_strategy(&desired)?;
+        debug_lint(g, &strategy);
         return Ok(MinWorkPlan {
             strategy,
             ordering: desired.clone(),
@@ -71,6 +111,7 @@ pub fn min_work(g: &Vdag, sizes: &SizeCatalog) -> CoreResult<MinWorkPlan> {
     let strategy = eg
         .topological_strategy(&modified)
         .map_err(|_| CoreError::Planner("ModifyOrdering produced a cyclic EG".to_string()))?;
+    debug_lint(g, &strategy);
     Ok(MinWorkPlan {
         strategy,
         ordering: modified,
@@ -84,11 +125,14 @@ pub fn min_work(g: &Vdag, sizes: &SizeCatalog) -> CoreResult<MinWorkPlan> {
 /// `ModifyOrdering` when needed, like MinWork.
 pub fn one_way_for_ordering(g: &Vdag, ord: &ViewOrdering) -> CoreResult<Strategy> {
     let eg = construct_eg(g, ord);
-    if eg.is_acyclic() {
-        return Ok(eg.topological_strategy(ord)?);
-    }
-    let modified = modify_ordering(g, ord);
-    Ok(construct_eg(g, &modified).topological_strategy(&modified)?)
+    let strategy = if eg.is_acyclic() {
+        eg.topological_strategy(ord)?
+    } else {
+        let modified = modify_ordering(g, ord);
+        construct_eg(g, &modified).topological_strategy(&modified)?
+    };
+    debug_lint(g, &strategy);
+    Ok(strategy)
 }
 
 /// The result of [`prune`].
@@ -128,11 +172,7 @@ pub fn prune_full(g: &Vdag, model: &CostModel<'_>) -> CoreResult<PruneOutcome> {
     prune_over(g, model, g.view_ids().collect())
 }
 
-fn prune_over(
-    g: &Vdag,
-    model: &CostModel<'_>,
-    relevant: Vec<ViewId>,
-) -> CoreResult<PruneOutcome> {
+fn prune_over(g: &Vdag, model: &CostModel<'_>, relevant: Vec<ViewId>) -> CoreResult<PruneOutcome> {
     if relevant.len() > PRUNE_MAX_VIEWS {
         return Err(CoreError::Planner(format!(
             "Prune would enumerate {}! orderings; use MinWork for VDAGs with more than {PRUNE_MAX_VIEWS} consumed views",
@@ -151,6 +191,7 @@ fn prune_over(
         }
         feasible += 1;
         let strategy = seg.topological_strategy(&ord)?;
+        debug_lint(g, &strategy);
         let cost = model.strategy_work(&strategy);
         let better = match &best {
             None => true,
@@ -190,7 +231,11 @@ mod tests {
             let delta = pre * frac;
             cat.set(
                 v,
-                SizeInfo { pre: *pre, post: pre - delta, delta },
+                SizeInfo {
+                    pre: *pre,
+                    post: pre - delta,
+                    delta,
+                },
             );
         }
         cat
@@ -207,10 +252,7 @@ mod tests {
         );
         let s = min_work_single(&g, v4, &sizes);
         check_view_strategy(&g, v4, &s).unwrap();
-        assert_eq!(
-            s.exprs[0],
-            UpdateExpr::comp1(v4, g.id_of("V3").unwrap())
-        );
+        assert_eq!(s.exprs[0], UpdateExpr::comp1(v4, g.id_of("V3").unwrap()));
         assert!(s.is_one_way());
         assert_eq!(s.len(), 5);
     }
@@ -245,7 +287,14 @@ mod tests {
                     },
                 );
             }
-            sizes.set(view, SizeInfo { pre: 40.0, post: 40.0, delta: 4.0 });
+            sizes.set(
+                view,
+                SizeInfo {
+                    pre: 40.0,
+                    post: 40.0,
+                    delta: 4.0,
+                },
+            );
             let model = CostModel::new(&g, &sizes);
             let planned = min_work_single(&g, view, &sizes);
             let planned_cost = model.strategy_work(&planned);
@@ -273,7 +322,11 @@ mod tests {
             let pre = 50.0 + 60.0 * i as f64;
             sizes.set(
                 *b,
-                SizeInfo { pre, post: pre * 0.9, delta: pre * 0.1 },
+                SizeInfo {
+                    pre,
+                    post: pre * 0.9,
+                    delta: pre * 0.1,
+                },
             );
         }
         let model = CostModel::new(&g, &sizes);
@@ -358,7 +411,11 @@ mod tests {
         // V4 shrinks enormously: desired ordering starts with V4.
         sizes.set(
             g.id_of("V4").unwrap(),
-            SizeInfo { pre: 1000.0, post: 100.0, delta: 900.0 },
+            SizeInfo {
+                pre: 1000.0,
+                post: 100.0,
+                delta: 900.0,
+            },
         );
         let plan = min_work(&g, &sizes).unwrap();
         assert!(plan.used_modified_ordering);

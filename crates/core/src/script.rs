@@ -210,12 +210,19 @@ impl<'a> ScriptGenerator<'a> {
                     "INSERT INTO delta_{target} ({cols}, __mult)\n\
                      SELECT {select}, {mult}\nFROM {from}\n{where_clause};",
                     target = def.name,
-                    cols = outs.iter().map(|o| o.name.as_str()).collect::<Vec<_>>().join(", "),
+                    cols = outs
+                        .iter()
+                        .map(|o| o.name.as_str())
+                        .collect::<Vec<_>>()
+                        .join(", "),
                     select = select.join(", "),
                     from = from.join(", "),
                 )
             }
-            ViewOutput::Aggregate { group_by, aggregates } => {
+            ViewOutput::Aggregate {
+                group_by,
+                aggregates,
+            } => {
                 // Summary-delta form: grouped signed contributions.
                 let mut select: Vec<String> = group_by
                     .iter()
@@ -373,9 +380,8 @@ mod tests {
 
     #[test]
     fn expressions_and_predicates_render() {
-        let e = ScalarExpr::col("L.p").mul(
-            ScalarExpr::lit(Value::Decimal(100)).sub(ScalarExpr::col("L.d")),
-        );
+        let e = ScalarExpr::col("L.p")
+            .mul(ScalarExpr::lit(Value::Decimal(100)).sub(ScalarExpr::col("L.d")));
         assert_eq!(expr_to_sql(&e), "(L.p * (1.00 - L.d))");
         let p = Predicate::col_gt("O.d", Value::Int(3)).and(Predicate::True);
         assert_eq!(predicate_to_sql(&p), "(O.d > 3 AND 1 = 1)");
@@ -402,7 +408,11 @@ mod tests {
         let procs = gen.procedures().unwrap();
         let comp_r = procs.iter().find(|p| p.name == "comp_V_from_R").unwrap();
         assert!(comp_r.sql.contains("FROM delta_R R, S S"), "{}", comp_r.sql);
-        assert!(comp_r.sql.contains("SUM(R.rv * (R.__mult))"), "{}", comp_r.sql);
+        assert!(
+            comp_r.sql.contains("SUM(R.rv * (R.__mult))"),
+            "{}",
+            comp_r.sql
+        );
         assert!(comp_r.sql.contains("GROUP BY R.rk"), "{}", comp_r.sql);
         assert!(comp_r.sql.contains("R.rk = S.sk"));
         assert!(comp_r.sql.contains("S.tag = 'x'"));

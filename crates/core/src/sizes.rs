@@ -106,7 +106,14 @@ impl SizeCatalog {
                 let minus = rows.minus_len() as f64;
                 let plus = rows.plus_len() as f64;
                 let post = pre - minus + plus;
-                cat.set(v, SizeInfo { pre, post, delta: minus + plus });
+                cat.set(
+                    v,
+                    SizeInfo {
+                        pre,
+                        post,
+                        delta: minus + plus,
+                    },
+                );
                 if pre > 0.0 {
                     fractions[v.0] = (minus / pre, plus / pre);
                 }
@@ -123,7 +130,11 @@ impl SizeCatalog {
                 let post = pre - deleted + inserted;
                 cat.set(
                     v,
-                    SizeInfo { pre, post, delta: deleted + inserted },
+                    SizeInfo {
+                        pre,
+                        post,
+                        delta: deleted + inserted,
+                    },
                 );
                 if pre > 0.0 {
                     fractions[v.0] = (deleted / pre, inserted / pre);
@@ -166,11 +177,46 @@ mod tests {
         let g = figure3_vdag();
         let mut cat = SizeCatalog::default();
         // V1 grows, V2 shrinks a lot, V3 shrinks a little, V4/V5 unchanged.
-        cat.set(ViewId(0), SizeInfo { pre: 100.0, post: 120.0, delta: 20.0 });
-        cat.set(ViewId(1), SizeInfo { pre: 100.0, post: 50.0, delta: 50.0 });
-        cat.set(ViewId(2), SizeInfo { pre: 100.0, post: 90.0, delta: 10.0 });
-        cat.set(ViewId(3), SizeInfo { pre: 40.0, post: 40.0, delta: 0.0 });
-        cat.set(ViewId(4), SizeInfo { pre: 10.0, post: 10.0, delta: 0.0 });
+        cat.set(
+            ViewId(0),
+            SizeInfo {
+                pre: 100.0,
+                post: 120.0,
+                delta: 20.0,
+            },
+        );
+        cat.set(
+            ViewId(1),
+            SizeInfo {
+                pre: 100.0,
+                post: 50.0,
+                delta: 50.0,
+            },
+        );
+        cat.set(
+            ViewId(2),
+            SizeInfo {
+                pre: 100.0,
+                post: 90.0,
+                delta: 10.0,
+            },
+        );
+        cat.set(
+            ViewId(3),
+            SizeInfo {
+                pre: 40.0,
+                post: 40.0,
+                delta: 0.0,
+            },
+        );
+        cat.set(
+            ViewId(4),
+            SizeInfo {
+                pre: 10.0,
+                post: 10.0,
+                delta: 0.0,
+            },
+        );
         let ord = cat.desired_ordering(&g);
         let names: Vec<&str> = ord.views().iter().map(|v| g.name(*v)).collect();
         // -50 < -10 < 0 (V4 before V5 by id) < +20.

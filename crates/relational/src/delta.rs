@@ -95,7 +95,11 @@ impl DeltaRelation {
 
     /// Number of plus rows (insertions), counting multiplicities.
     pub fn plus_len(&self) -> u64 {
-        self.rows.values().filter(|m| **m > 0).map(|m| *m as u64).sum()
+        self.rows
+            .values()
+            .filter(|m| **m > 0)
+            .map(|m| *m as u64)
+            .sum()
     }
 
     /// Number of minus rows (deletions), counting multiplicities.
@@ -108,10 +112,7 @@ impl DeltaRelation {
     }
 
     /// Builds the delta that deletes every row of `table` matched by `pred`.
-    pub fn deleting_where(
-        table: &Table,
-        mut pred: impl FnMut(&Tuple) -> bool,
-    ) -> DeltaRelation {
+    pub fn deleting_where(table: &Table, mut pred: impl FnMut(&Tuple) -> bool) -> DeltaRelation {
         let mut d = DeltaRelation::new(table.schema().clone());
         for (t, m) in table.iter() {
             if pred(t) {

@@ -41,7 +41,10 @@ impl fmt::Display for RelError {
             RelError::TypeMismatch { context } => write!(f, "type mismatch in {context}"),
             RelError::SchemaMismatch { detail } => write!(f, "schema mismatch: {detail}"),
             RelError::NegativeMultiplicity { relation } => {
-                write!(f, "install would make a multiplicity negative in {relation}")
+                write!(
+                    f,
+                    "install would make a multiplicity negative in {relation}"
+                )
             }
             RelError::UnsupportedIncremental(what) => {
                 write!(f, "not incrementally maintainable: {what}")
@@ -64,7 +67,9 @@ mod tests {
     fn display_is_informative() {
         let e = RelError::UnknownColumn("c_name".into());
         assert!(e.to_string().contains("c_name"));
-        let e = RelError::NegativeMultiplicity { relation: "ORDER".into() };
+        let e = RelError::NegativeMultiplicity {
+            relation: "ORDER".into(),
+        };
         assert!(e.to_string().contains("ORDER"));
     }
 }

@@ -165,7 +165,11 @@ fn arith(a: Value, b: Value, op: ArithOp) -> RelResult<Value> {
             r.map(Int).ok_or_else(overflow)
         }
         // Mixed int/decimal: promote the int to scale-2 first.
-        (Int(x), Decimal(_)) => arith(Decimal(x.checked_mul(DECIMAL_ONE).ok_or_else(overflow)?), b, op),
+        (Int(x), Decimal(_)) => arith(
+            Decimal(x.checked_mul(DECIMAL_ONE).ok_or_else(overflow)?),
+            b,
+            op,
+        ),
         (Decimal(_), Int(y)) => {
             let y = y.checked_mul(DECIMAL_ONE).ok_or_else(overflow)?;
             arith(a, Decimal(y), op)
@@ -444,7 +448,8 @@ mod tests {
 
     #[test]
     fn referenced_columns_collected() {
-        let p = Predicate::col_eq("seg", Value::str("x")).and(Predicate::col_gt("k", Value::Int(0)));
+        let p =
+            Predicate::col_eq("seg", Value::str("x")).and(Predicate::col_gt("k", Value::Int(0)));
         let mut cols = p.referenced_columns();
         cols.sort_unstable();
         assert_eq!(cols, vec!["k", "seg"]);
@@ -453,7 +458,9 @@ mod tests {
     #[test]
     fn unknown_column_bind_fails() {
         assert!(ScalarExpr::col("nope").bind(&schema()).is_err());
-        assert!(Predicate::col_eq("nope", Value::Int(1)).bind(&schema()).is_err());
+        assert!(Predicate::col_eq("nope", Value::Int(1))
+            .bind(&schema())
+            .is_err());
     }
 
     #[test]

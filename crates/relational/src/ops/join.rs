@@ -32,14 +32,21 @@ pub fn hash_join(
 
     let mut table: HashMap<Tuple, Vec<(&Tuple, i64)>> = HashMap::with_capacity(build.len());
     for (t, m) in build {
-        table.entry(t.project(build_keys)).or_default().push((t, *m));
+        table
+            .entry(t.project(build_keys))
+            .or_default()
+            .push((t, *m));
     }
 
     let mut out = Vec::new();
     for (t, m) in probe {
         if let Some(matches) = table.get(&t.project(probe_keys)) {
             for (bt, bm) in matches {
-                let row = if build_left { bt.concat(t) } else { t.concat(bt) };
+                let row = if build_left {
+                    bt.concat(t)
+                } else {
+                    t.concat(bt)
+                };
                 out.push((row, m * bm));
             }
         }

@@ -48,7 +48,11 @@ pub fn filter(rows: SignedRows, pred: &BoundPredicate) -> RelResult<SignedRows> 
 }
 
 /// Evaluates `exprs` over each row, producing projected rows.
-pub fn project(rows: &SignedRows, exprs: &[BoundExpr], meter: &mut WorkMeter) -> RelResult<SignedRows> {
+pub fn project(
+    rows: &SignedRows,
+    exprs: &[BoundExpr],
+    meter: &mut WorkMeter,
+) -> RelResult<SignedRows> {
     let mut out = Vec::with_capacity(rows.len());
     for (t, m) in rows {
         let mut vals = Vec::with_capacity(exprs.len());
@@ -116,7 +120,9 @@ mod tests {
 
     #[test]
     fn filter_keeps_signs() {
-        let p = Predicate::col_ge("a", Value::Int(2)).bind(&schema()).unwrap();
+        let p = Predicate::col_ge("a", Value::Int(2))
+            .bind(&schema())
+            .unwrap();
         let out = filter(rows(), &p).unwrap();
         assert_eq!(out.len(), 2);
         assert!(out.iter().any(|(_, m)| *m == -1));

@@ -17,7 +17,10 @@ pub struct Column {
 impl Column {
     /// Creates a column.
     pub fn new(name: impl Into<String>, ty: ValueType) -> Self {
-        Column { name: name.into(), ty }
+        Column {
+            name: name.into(),
+            ty,
+        }
     }
 }
 
@@ -39,7 +42,9 @@ impl Schema {
                 }
             }
         }
-        Ok(Schema { columns: columns.into() })
+        Ok(Schema {
+            columns: columns.into(),
+        })
     }
 
     /// Convenience constructor from `(name, type)` pairs; panics on duplicates.
@@ -95,7 +100,9 @@ impl Schema {
             .iter()
             .map(|c| Column::new(format!("{prefix}.{}", c.name), c.ty))
             .collect::<Vec<_>>();
-        Schema { columns: cols.into() }
+        Schema {
+            columns: cols.into(),
+        }
     }
 }
 
@@ -114,7 +121,11 @@ mod tests {
     use super::*;
 
     fn abc() -> Schema {
-        Schema::of(&[("a", ValueType::Int), ("b", ValueType::Str), ("c", ValueType::Date)])
+        Schema::of(&[
+            ("a", ValueType::Int),
+            ("b", ValueType::Str),
+            ("c", ValueType::Date),
+        ])
     }
 
     #[test]

@@ -151,9 +151,11 @@ pub fn catalog_from_str(s: &str) -> RelResult<Catalog> {
         if line.trim().is_empty() {
             continue;
         }
-        let name = line.strip_prefix("TABLE ").ok_or_else(|| RelError::SchemaMismatch {
-            detail: format!("expected TABLE line, got: {line}"),
-        })?;
+        let name = line
+            .strip_prefix("TABLE ")
+            .ok_or_else(|| RelError::SchemaMismatch {
+                detail: format!("expected TABLE line, got: {line}"),
+            })?;
         let schema_line = lines.next().ok_or_else(|| RelError::SchemaMismatch {
             detail: "truncated snapshot: missing SCHEMA".to_string(),
         })?;
@@ -164,9 +166,11 @@ pub fn catalog_from_str(s: &str) -> RelResult<Catalog> {
             })?;
         let mut cols = Vec::new();
         for part in spec.split(',').filter(|p| !p.is_empty()) {
-            let (cname, ty) = part.split_once(':').ok_or_else(|| RelError::SchemaMismatch {
-                detail: format!("malformed column spec: {part}"),
-            })?;
+            let (cname, ty) = part
+                .split_once(':')
+                .ok_or_else(|| RelError::SchemaMismatch {
+                    detail: format!("malformed column spec: {part}"),
+                })?;
             cols.push(Column::new(cname, parse_type(ty)?));
         }
         let schema = Schema::new(cols)?;
@@ -178,18 +182,17 @@ pub fn catalog_from_str(s: &str) -> RelResult<Catalog> {
             if row_line == "END" {
                 break;
             }
-            let rest = row_line.strip_prefix("ROW ").ok_or_else(|| {
-                RelError::SchemaMismatch {
+            let rest = row_line
+                .strip_prefix("ROW ")
+                .ok_or_else(|| RelError::SchemaMismatch {
                     detail: format!("expected ROW or END, got: {row_line}"),
+                })?;
+            let mut fields = rest.split('\t');
+            let mult: u64 = fields.next().and_then(|m| m.parse().ok()).ok_or_else(|| {
+                RelError::SchemaMismatch {
+                    detail: format!("bad multiplicity in: {row_line}"),
                 }
             })?;
-            let mut fields = rest.split('\t');
-            let mult: u64 = fields
-                .next()
-                .and_then(|m| m.parse().ok())
-                .ok_or_else(|| RelError::SchemaMismatch {
-                    detail: format!("bad multiplicity in: {row_line}"),
-                })?;
             let values: Vec<Value> = fields.map(parse_value).collect::<RelResult<_>>()?;
             table.insert_n(Tuple::new(values), mult)?;
         }
@@ -223,8 +226,13 @@ mod tests {
             3,
         )
         .unwrap();
-        t.insert(tup![Value::Int(1), Value::Decimal(0), Value::str(""), Value::Date(0)])
-            .unwrap();
+        t.insert(tup![
+            Value::Int(1),
+            Value::Decimal(0),
+            Value::str(""),
+            Value::Date(0)
+        ])
+        .unwrap();
         let mut u = Table::new("U", Schema::of(&[("a", ValueType::Int)]));
         u.insert(tup![Value::Int(42)]).unwrap();
         let mut c = Catalog::new();

@@ -158,7 +158,9 @@ pub fn lex(input: &str) -> RelResult<Vec<Token>> {
                 while i < chars.len() && chars[i].is_ascii_digit() {
                     i += 1;
                 }
-                if chars.get(i) == Some(&'.') && chars.get(i + 1).is_some_and(|c| c.is_ascii_digit()) {
+                if chars.get(i) == Some(&'.')
+                    && chars.get(i + 1).is_some_and(|c| c.is_ascii_digit())
+                {
                     // Decimal: exactly up to 2 fraction digits carried.
                     i += 1;
                     let frac_start = i;
@@ -176,8 +178,7 @@ pub fn lex(input: &str) -> RelResult<Vec<Token>> {
                             "decimal literal {whole}.{frac_str} exceeds scale 2"
                         )));
                     }
-                    let mut frac: i64 =
-                        frac_str.parse().map_err(|_| err("bad number".into()))?;
+                    let mut frac: i64 = frac_str.parse().map_err(|_| err("bad number".into()))?;
                     if frac_str.len() == 1 {
                         frac *= 10;
                     }
@@ -218,13 +219,15 @@ mod tests {
 
     #[test]
     fn lexes_a_query() {
-        let toks = lex("SELECT a.x, SUM(b.y) FROM t a WHERE a.x >= 1.50 -- c\nGROUP BY a.x")
-            .unwrap();
+        let toks =
+            lex("SELECT a.x, SUM(b.y) FROM t a WHERE a.x >= 1.50 -- c\nGROUP BY a.x").unwrap();
         assert!(toks.contains(&Token::Keyword("SELECT".into())));
         assert!(toks.contains(&Token::Decimal(150)));
         assert!(toks.contains(&Token::Ge));
         // Comment swallowed.
-        assert!(!toks.iter().any(|t| matches!(t, Token::Ident(s) if s == "c")));
+        assert!(!toks
+            .iter()
+            .any(|t| matches!(t, Token::Ident(s) if s == "c")));
     }
 
     #[test]

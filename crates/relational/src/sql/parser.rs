@@ -45,8 +45,15 @@ struct Parser {
 }
 
 enum SelectItem {
-    Agg { func: AggFunc, input: ScalarExpr, name: Option<String> },
-    Plain { expr: ScalarExpr, name: Option<String> },
+    Agg {
+        func: AggFunc,
+        input: ScalarExpr,
+        name: Option<String>,
+    },
+    Plain {
+        expr: ScalarExpr,
+        name: Option<String>,
+    },
 }
 
 impl Parser {
@@ -147,7 +154,11 @@ impl Parser {
             self.expect_token(Token::LParen)?;
             let input = self.expr()?;
             self.expect_token(Token::RParen)?;
-            SelectItem::Agg { func, input, name: None }
+            SelectItem::Agg {
+                func,
+                input,
+                name: None,
+            }
         } else if self.keyword("COUNT") {
             self.expect_token(Token::LParen)?;
             let input = if self.eat(&Token::Star) {
@@ -158,9 +169,16 @@ impl Parser {
                 self.expr()?
             };
             self.expect_token(Token::RParen)?;
-            SelectItem::Agg { func: AggFunc::Count, input, name: None }
+            SelectItem::Agg {
+                func: AggFunc::Count,
+                input,
+                name: None,
+            }
         } else {
-            SelectItem::Plain { expr: self.expr()?, name: None }
+            SelectItem::Plain {
+                expr: self.expr()?,
+                name: None,
+            }
         };
         let name = if self.keyword("AS") {
             Some(self.ident()?)
@@ -266,9 +284,11 @@ impl Parser {
             Some(Token::Decimal(d)) => Ok(ScalarExpr::lit(Value::Decimal(d))),
             Some(Token::Str(s)) => Ok(ScalarExpr::lit(Value::str(s))),
             Some(Token::Keyword(k)) if k == "DATE" => match self.next() {
-                Some(Token::Str(s)) => Ok(ScalarExpr::lit(parse_date(&s).ok_or_else(|| {
-                    self.err(&format!("bad date literal '{s}'"))
-                })?)),
+                Some(Token::Str(s)) => {
+                    Ok(ScalarExpr::lit(parse_date(&s).ok_or_else(|| {
+                        self.err(&format!("bad date literal '{s}'"))
+                    })?))
+                }
                 other => Err(self.err(&format!("expected date string, got {other:?}"))),
             },
             Some(Token::LParen) => {
@@ -360,16 +380,13 @@ impl Parser {
             }
             // GROUP BY, when present, must cover exactly the plain items.
             if let Some(gb) = group_by {
-                let listed: Vec<ScalarExpr> = gb
-                    .into_iter()
-                    .map(qualify)
-                    .collect::<RelResult<_>>()?;
+                let listed: Vec<ScalarExpr> =
+                    gb.into_iter().map(qualify).collect::<RelResult<_>>()?;
                 for g in &groups {
                     if !listed.contains(&g.expr) {
-                        return Err(self.err(&format!(
-                            "select item {} missing from GROUP BY",
-                            g.name
-                        )));
+                        return Err(
+                            self.err(&format!("select item {} missing from GROUP BY", g.name))
+                        );
                     }
                 }
                 if listed.len() != groups.len() {
@@ -378,7 +395,10 @@ impl Parser {
             } else if !groups.is_empty() {
                 return Err(self.err("aggregate query with plain columns needs GROUP BY"));
             }
-            ViewOutput::Aggregate { group_by: groups, aggregates: aggs }
+            ViewOutput::Aggregate {
+                group_by: groups,
+                aggregates: aggs,
+            }
         } else {
             if group_by.is_some() {
                 return Err(self.err("GROUP BY without aggregates is not supported"));
@@ -460,11 +480,9 @@ fn qualify_expr(e: ScalarExpr, sources: &[ViewSource]) -> Result<ScalarExpr, Str
 
 fn qualify_pred(p: Predicate, sources: &[ViewSource]) -> Result<Predicate, String> {
     Ok(match p {
-        Predicate::Cmp(op, a, b) => Predicate::Cmp(
-            op,
-            qualify_expr(a, sources)?,
-            qualify_expr(b, sources)?,
-        ),
+        Predicate::Cmp(op, a, b) => {
+            Predicate::Cmp(op, qualify_expr(a, sources)?, qualify_expr(b, sources)?)
+        }
         Predicate::And(a, b) => Predicate::And(
             Box::new(qualify_pred(*a, sources)?),
             Box::new(qualify_pred(*b, sources)?),
@@ -525,7 +543,10 @@ mod tests {
         assert_eq!(def.joins.len(), 2);
         assert_eq!(def.filters.len(), 3);
         match &def.output {
-            ViewOutput::Aggregate { group_by, aggregates } => {
+            ViewOutput::Aggregate {
+                group_by,
+                aggregates,
+            } => {
                 assert_eq!(group_by.len(), 3);
                 assert_eq!(group_by[0].name, "l_orderkey");
                 assert_eq!(aggregates.len(), 1);
@@ -534,18 +555,17 @@ mod tests {
                 assert_eq!(
                     aggregates[0].input,
                     ScalarExpr::col("L.l_extendedprice").mul(
-                        ScalarExpr::lit(Value::Decimal(100))
-                            .sub(ScalarExpr::col("L.l_discount"))
+                        ScalarExpr::lit(Value::Decimal(100)).sub(ScalarExpr::col("L.l_discount"))
                     )
                 );
             }
             _ => panic!("aggregate expected"),
         }
         // The date filter carries an exact Date value.
-        assert!(def
-            .filters
-            .iter()
-            .any(|f| matches!(f, Predicate::Cmp(CmpOp::Lt, _, ScalarExpr::Lit(Value::Date(_))))));
+        assert!(def.filters.iter().any(|f| matches!(
+            f,
+            Predicate::Cmp(CmpOp::Lt, _, ScalarExpr::Lit(Value::Date(_)))
+        )));
     }
 
     #[test]
@@ -570,11 +590,7 @@ mod tests {
 
     #[test]
     fn count_star_and_default_agg_names() {
-        let def = parse_view_def(
-            "V",
-            "SELECT g, COUNT(*), SUM(x) FROM R GROUP BY g",
-        )
-        .unwrap();
+        let def = parse_view_def("V", "SELECT g, COUNT(*), SUM(x) FROM R GROUP BY g").unwrap();
         match &def.output {
             ViewOutput::Aggregate { aggregates, .. } => {
                 assert_eq!(aggregates[0].func, AggFunc::Count);

@@ -138,8 +138,11 @@ mod tests {
             Schema::of(&[("k", ValueType::Int), ("s", ValueType::Str)]),
         );
         for i in 0..10 {
-            t.insert(tup![Value::Int(i % 5), Value::str(if i % 2 == 0 { "a" } else { "b" })])
-                .unwrap();
+            t.insert(tup![
+                Value::Int(i % 5),
+                Value::str(if i % 2 == 0 { "a" } else { "b" })
+            ])
+            .unwrap();
         }
         t
     }

@@ -15,7 +15,9 @@ pub struct Tuple {
 impl Tuple {
     /// Builds a tuple from values.
     pub fn new(values: Vec<Value>) -> Self {
-        Tuple { values: values.into() }
+        Tuple {
+            values: values.into(),
+        }
     }
 
     /// The values in column order.

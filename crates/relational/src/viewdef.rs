@@ -28,7 +28,10 @@ impl ViewSource {
     /// Source aliased by its own name.
     pub fn named(view: impl Into<String>) -> Self {
         let view = view.into();
-        ViewSource { alias: view.clone(), view }
+        ViewSource {
+            alias: view.clone(),
+            view,
+        }
     }
 }
 
@@ -44,7 +47,10 @@ pub struct EquiJoin {
 impl EquiJoin {
     /// `left = right`.
     pub fn new(left: impl Into<String>, right: impl Into<String>) -> Self {
-        EquiJoin { left: left.into(), right: right.into() }
+        EquiJoin {
+            left: left.into(),
+            right: right.into(),
+        }
     }
 }
 
@@ -60,12 +66,18 @@ pub struct OutputColumn {
 impl OutputColumn {
     /// Output column `name` defined by `expr`.
     pub fn new(name: impl Into<String>, expr: ScalarExpr) -> Self {
-        OutputColumn { name: name.into(), expr }
+        OutputColumn {
+            name: name.into(),
+            expr,
+        }
     }
 
     /// Output column that passes a qualified source column through.
     pub fn col(name: impl Into<String>, source_col: impl Into<String>) -> Self {
-        OutputColumn { name: name.into(), expr: ScalarExpr::Col(source_col.into()) }
+        OutputColumn {
+            name: name.into(),
+            expr: ScalarExpr::Col(source_col.into()),
+        }
     }
 }
 
@@ -157,7 +169,10 @@ impl ViewDef {
                     cols.push(Column::new(o.name.clone(), o.expr.output_type(&joined)?));
                 }
             }
-            ViewOutput::Aggregate { group_by, aggregates } => {
+            ViewOutput::Aggregate {
+                group_by,
+                aggregates,
+            } => {
                 for g in group_by {
                     cols.push(Column::new(g.name.clone(), g.expr.output_type(&joined)?));
                 }
@@ -218,7 +233,8 @@ impl ViewDef {
             // Re-derive from the joined schema we already have.
             let prefix = format!(
                 "{}.",
-                self.alias_of(v).ok_or_else(|| RelError::UnknownRelation(v.to_string()))?
+                self.alias_of(v)
+                    .ok_or_else(|| RelError::UnknownRelation(v.to_string()))?
             );
             let cols = joined
                 .columns()

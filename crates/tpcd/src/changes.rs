@@ -26,17 +26,26 @@ pub struct ChangeSpec {
 impl ChangeSpec {
     /// Deletions only (the paper's default: 10%).
     pub fn deletions(frac: f64) -> Self {
-        ChangeSpec { delete_frac: frac, insert_frac: 0.0 }
+        ChangeSpec {
+            delete_frac: frac,
+            insert_frac: 0.0,
+        }
     }
 
     /// Insertions only.
     pub fn insertions(frac: f64) -> Self {
-        ChangeSpec { delete_frac: 0.0, insert_frac: frac }
+        ChangeSpec {
+            delete_frac: 0.0,
+            insert_frac: frac,
+        }
     }
 
     /// No change.
     pub fn none() -> Self {
-        ChangeSpec { delete_frac: 0.0, insert_frac: 0.0 }
+        ChangeSpec {
+            delete_frac: 0.0,
+            insert_frac: 0.0,
+        }
     }
 }
 
@@ -52,7 +61,10 @@ pub struct ChangeBatch {
 impl ChangeBatch {
     /// Empty batch.
     pub fn new(seed: u64) -> Self {
-        ChangeBatch { specs: BTreeMap::new(), seed }
+        ChangeBatch {
+            specs: BTreeMap::new(),
+            seed,
+        }
     }
 
     /// Sets the spec for one view.
@@ -96,11 +108,16 @@ impl ChangeBatch {
                 .get(view)
                 .unwrap_or_else(|_| panic!("change batch references unknown view {view}"));
             let mut delta = DeltaRelation::new(table.schema().clone());
-            let mut rng = SmallRng::seed_from_u64(
-                self.seed ^ fxhash(view.as_bytes()),
-            );
+            let mut rng = SmallRng::seed_from_u64(self.seed ^ fxhash(view.as_bytes()));
             self.add_deletions(table, spec.delete_frac, &mut delta, &mut rng);
-            self.add_insertions(view, table, spec.insert_frac, generator, &mut delta, &mut rng);
+            self.add_insertions(
+                view,
+                table,
+                spec.insert_frac,
+                generator,
+                &mut delta,
+                &mut rng,
+            );
             if !delta.is_empty() {
                 out.insert(view.clone(), delta);
             }
@@ -222,7 +239,10 @@ mod tests {
     use crate::gen::TpcdConfig;
 
     fn setup() -> (TpcdGenerator, Catalog) {
-        let g = TpcdGenerator::new(TpcdConfig { scale: 0.001, seed: 3 });
+        let g = TpcdGenerator::new(TpcdConfig {
+            scale: 0.001,
+            seed: 3,
+        });
         let c = g.generate();
         (g, c)
     }
@@ -285,7 +305,10 @@ mod tests {
         let (g, cat) = setup();
         let batch = ChangeBatch::new(5).with(
             "ORDER",
-            ChangeSpec { delete_frac: 0.10, insert_frac: 0.20 },
+            ChangeSpec {
+                delete_frac: 0.10,
+                insert_frac: 0.20,
+            },
         );
         let d = &batch.generate(&cat, &g)["ORDER"];
         let before = cat.get("ORDER").unwrap().len() as i64;

@@ -71,7 +71,10 @@ pub struct TpcdConfig {
 impl TpcdConfig {
     /// Scale `scale` with the default seed.
     pub fn at_scale(scale: f64) -> Self {
-        TpcdConfig { scale, seed: 0x5757_1999 }
+        TpcdConfig {
+            scale,
+            seed: 0x5757_1999,
+        }
     }
 
     /// Row targets implied by the scale.
@@ -116,7 +119,11 @@ impl TpcdGenerator {
         let comments = (0..16)
             .map(|i| Arc::<str>::from(format!("synthetic comment pool entry {i}")))
             .collect();
-        TpcdGenerator { counts: cfg.row_counts(), cfg, comments }
+        TpcdGenerator {
+            counts: cfg.row_counts(),
+            cfg,
+            comments,
+        }
     }
 
     /// The configuration.
@@ -198,7 +205,8 @@ impl TpcdGenerator {
         let mut t = Table::new("SUPPLIER", schema::supplier_schema());
         let mut rng = self.rng(3);
         for key in 1..=self.counts.supplier as i64 {
-            t.insert(self.make_supplier(key, &mut rng)).expect("supplier row");
+            t.insert(self.make_supplier(key, &mut rng))
+                .expect("supplier row");
         }
         t
     }
@@ -221,7 +229,8 @@ impl TpcdGenerator {
         let mut t = Table::new("CUSTOMER", schema::customer_schema());
         let mut rng = self.rng(4);
         for key in 1..=self.counts.customer as i64 {
-            t.insert(self.make_customer(key, &mut rng)).expect("customer row");
+            t.insert(self.make_customer(key, &mut rng))
+                .expect("customer row");
         }
         t
     }
@@ -335,8 +344,14 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        let g1 = TpcdGenerator::new(TpcdConfig { scale: 0.0005, seed: 7 });
-        let g2 = TpcdGenerator::new(TpcdConfig { scale: 0.0005, seed: 7 });
+        let g1 = TpcdGenerator::new(TpcdConfig {
+            scale: 0.0005,
+            seed: 7,
+        });
+        let g2 = TpcdGenerator::new(TpcdConfig {
+            scale: 0.0005,
+            seed: 7,
+        });
         let c1 = g1.generate();
         let c2 = g2.generate();
         for name in schema::BASE_VIEWS {
@@ -346,7 +361,10 @@ mod tests {
             );
         }
         // A different seed produces different data.
-        let g3 = TpcdGenerator::new(TpcdConfig { scale: 0.0005, seed: 8 });
+        let g3 = TpcdGenerator::new(TpcdConfig {
+            scale: 0.0005,
+            seed: 8,
+        });
         let c3 = g3.generate();
         assert!(!c1
             .get("CUSTOMER")

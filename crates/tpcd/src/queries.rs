@@ -34,9 +34,18 @@ pub fn q3_def() -> ViewDef {
     ViewDef {
         name: "Q3".into(),
         sources: vec![
-            ViewSource { view: "CUSTOMER".into(), alias: "C".into() },
-            ViewSource { view: "ORDER".into(), alias: "O".into() },
-            ViewSource { view: "LINEITEM".into(), alias: "L".into() },
+            ViewSource {
+                view: "CUSTOMER".into(),
+                alias: "C".into(),
+            },
+            ViewSource {
+                view: "ORDER".into(),
+                alias: "O".into(),
+            },
+            ViewSource {
+                view: "LINEITEM".into(),
+                alias: "L".into(),
+            },
         ],
         joins: vec![
             EquiJoin::new("C.c_custkey", "O.o_custkey"),
@@ -79,12 +88,30 @@ pub fn q5_def() -> ViewDef {
     ViewDef {
         name: "Q5".into(),
         sources: vec![
-            ViewSource { view: "CUSTOMER".into(), alias: "C".into() },
-            ViewSource { view: "ORDER".into(), alias: "O".into() },
-            ViewSource { view: "LINEITEM".into(), alias: "L".into() },
-            ViewSource { view: "SUPPLIER".into(), alias: "S".into() },
-            ViewSource { view: "NATION".into(), alias: "N".into() },
-            ViewSource { view: "REGION".into(), alias: "R".into() },
+            ViewSource {
+                view: "CUSTOMER".into(),
+                alias: "C".into(),
+            },
+            ViewSource {
+                view: "ORDER".into(),
+                alias: "O".into(),
+            },
+            ViewSource {
+                view: "LINEITEM".into(),
+                alias: "L".into(),
+            },
+            ViewSource {
+                view: "SUPPLIER".into(),
+                alias: "S".into(),
+            },
+            ViewSource {
+                view: "NATION".into(),
+                alias: "N".into(),
+            },
+            ViewSource {
+                view: "REGION".into(),
+                alias: "R".into(),
+            },
         ],
         joins: vec![
             EquiJoin::new("C.c_custkey", "O.o_custkey"),
@@ -126,10 +153,22 @@ pub fn q10_def() -> ViewDef {
     ViewDef {
         name: "Q10".into(),
         sources: vec![
-            ViewSource { view: "CUSTOMER".into(), alias: "C".into() },
-            ViewSource { view: "ORDER".into(), alias: "O".into() },
-            ViewSource { view: "LINEITEM".into(), alias: "L".into() },
-            ViewSource { view: "NATION".into(), alias: "N".into() },
+            ViewSource {
+                view: "CUSTOMER".into(),
+                alias: "C".into(),
+            },
+            ViewSource {
+                view: "ORDER".into(),
+                alias: "O".into(),
+            },
+            ViewSource {
+                view: "LINEITEM".into(),
+                alias: "L".into(),
+            },
+            ViewSource {
+                view: "NATION".into(),
+                alias: "N".into(),
+            },
         ],
         joins: vec![
             EquiJoin::new("C.c_custkey", "O.o_custkey"),
@@ -176,7 +215,10 @@ pub fn q10_def() -> ViewDef {
 pub fn q1_def() -> ViewDef {
     ViewDef {
         name: "Q1".into(),
-        sources: vec![ViewSource { view: "LINEITEM".into(), alias: "L".into() }],
+        sources: vec![ViewSource {
+            view: "LINEITEM".into(),
+            alias: "L".into(),
+        }],
         joins: vec![],
         filters: vec![Predicate::cmp(
             CmpOp::Le,
@@ -240,7 +282,8 @@ mod tests {
     #[test]
     fn all_defs_validate() {
         for def in all_query_defs() {
-            def.validate(lookup).unwrap_or_else(|e| panic!("{}: {e}", def.name));
+            def.validate(lookup)
+                .unwrap_or_else(|e| panic!("{}: {e}", def.name));
         }
     }
 

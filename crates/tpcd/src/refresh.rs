@@ -47,11 +47,7 @@ pub fn rf1(
 
 /// Generates **RF2**: deletes `order_count` randomly chosen existing orders
 /// and *all* their lineitems (referential consistency).
-pub fn rf2(
-    catalog: &Catalog,
-    order_count: u64,
-    seed: u64,
-) -> BTreeMap<String, DeltaRelation> {
+pub fn rf2(catalog: &Catalog, order_count: u64, seed: u64) -> BTreeMap<String, DeltaRelation> {
     let orders = catalog.get("ORDER").expect("ORDER loaded");
     let lineitems = catalog.get("LINEITEM").expect("LINEITEM loaded");
     let mut rng = SmallRng::seed_from_u64(seed ^ 0x0DD0_04F2);
@@ -93,7 +89,10 @@ mod tests {
     use crate::gen::TpcdConfig;
 
     fn setup() -> (TpcdGenerator, Catalog) {
-        let g = TpcdGenerator::new(TpcdConfig { scale: 0.001, seed: 11 });
+        let g = TpcdGenerator::new(TpcdConfig {
+            scale: 0.001,
+            seed: 11,
+        });
         let c = g.generate();
         (g, c)
     }
@@ -107,7 +106,7 @@ mod tests {
         assert_eq!(d_o.plus_len(), 50);
         assert_eq!(d_o.minus_len(), 0);
         assert!(d_l.plus_len() >= 50); // >= 1 lineitem per order
-        // Every inserted lineitem references an inserted order.
+                                       // Every inserted lineitem references an inserted order.
         let new_orders: HashSet<i64> = d_o
             .iter()
             .map(|(t, _)| t.get(0).as_int().unwrap())

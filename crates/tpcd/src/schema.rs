@@ -9,12 +9,7 @@ use uww_relational::{Schema, ValueType};
 
 /// Names of the six base views, in the paper's Figure 4 order.
 pub const BASE_VIEWS: [&str; 6] = [
-    "ORDER",
-    "LINEITEM",
-    "CUSTOMER",
-    "SUPPLIER",
-    "NATION",
-    "REGION",
+    "ORDER", "LINEITEM", "CUSTOMER", "SUPPLIER", "NATION", "REGION",
 ];
 
 /// `REGION(r_regionkey, r_name, r_comment)`.

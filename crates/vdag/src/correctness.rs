@@ -8,10 +8,34 @@ fn err(condition: &'static str, detail: String) -> VdagError {
     VdagError::Incorrect { condition, detail }
 }
 
+/// Rejects expressions referring to views outside the VDAG — including ids
+/// buried in `Comp` over-sets, which no condition below could otherwise
+/// report without panicking while rendering the view's name.
+fn check_known_ids(g: &Vdag, s: &Strategy) -> VdagResult<()> {
+    for e in &s.exprs {
+        let v = e.subject();
+        if v.0 >= g.len() {
+            return Err(err("C7", format!("expression over unknown view {v}")));
+        }
+        if let UpdateExpr::Comp { over, .. } = e {
+            for o in over {
+                if o.0 >= g.len() {
+                    return Err(err(
+                        "C7",
+                        format!("Comp({}) propagates unknown view {o}", g.name(v)),
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Checks Definition 3.1 (conditions C1–C6) for a *view strategy* for `view`.
 ///
 /// A base view's only correct strategy is `⟨ Inst(view) ⟩`.
 pub fn check_view_strategy(g: &Vdag, view: ViewId, s: &Strategy) -> VdagResult<()> {
+    check_known_ids(g, s)?;
     let sources = g.sources(view);
 
     // C6: no duplicate expressions.
@@ -28,8 +52,12 @@ pub fn check_view_strategy(g: &Vdag, view: ViewId, s: &Strategy) -> VdagResult<(
         match e {
             UpdateExpr::Comp { view: v, over } => {
                 if *v != view {
+                    // A Comp targeting another view propagates nothing into
+                    // `view`, so within Definition 3.1 this is a C1 shape
+                    // violation (C7 is Definition 3.3's per-view condition
+                    // on *VDAG* strategies and cannot apply here).
                     return Err(err(
-                        "C7",
+                        "C1",
                         format!("{} does not update {}", e.display(g), g.name(view)),
                     ));
                 }
@@ -100,16 +128,11 @@ pub fn check_view_strategy(g: &Vdag, view: ViewId, s: &Strategy) -> VdagResult<(
             if pi < pj {
                 if let UpdateExpr::Comp { over: oi, .. } = ei {
                     for vi in oi.iter() {
-                        let inst_pos =
-                            s.position(&UpdateExpr::inst(*vi)).expect("checked by C2");
+                        let inst_pos = s.position(&UpdateExpr::inst(*vi)).expect("checked by C2");
                         if inst_pos > *pj {
                             return Err(err(
                                 "C4",
-                                format!(
-                                    "Inst({}) must precede {}",
-                                    g.name(*vi),
-                                    ej.display(g)
-                                ),
+                                format!("Inst({}) must precede {}", g.name(*vi), ej.display(g)),
                             ));
                         }
                     }
@@ -138,6 +161,10 @@ pub fn check_view_strategy(g: &Vdag, view: ViewId, s: &Strategy) -> VdagResult<(
 /// (Definition 3.2); C8 enforces that Δ`Vj` is computed before it is
 /// propagated further up.
 pub fn check_vdag_strategy(g: &Vdag, s: &Strategy) -> VdagResult<()> {
+    // Unknown ids first: every later check renders expressions with view
+    // names, so this must reject before anything tries to display them.
+    check_known_ids(g, s)?;
+
     // Global C6: no duplicates anywhere.
     for (i, a) in s.exprs.iter().enumerate() {
         for b in &s.exprs[i + 1..] {
@@ -149,10 +176,6 @@ pub fn check_vdag_strategy(g: &Vdag, s: &Strategy) -> VdagResult<()> {
 
     // Every expression must be attributable to some view.
     for e in &s.exprs {
-        let v = e.subject();
-        if v.0 >= g.len() {
-            return Err(err("C7", format!("expression over unknown view {v}")));
-        }
         if let UpdateExpr::Comp { view, .. } = e {
             if g.is_base(*view) {
                 return Err(err(
@@ -177,11 +200,7 @@ pub fn check_vdag_strategy(g: &Vdag, s: &Strategy) -> VdagResult<()> {
                     if ok.contains(vj) && pj >= pk {
                         return Err(err(
                             "C8",
-                            format!(
-                                "{} must precede {}",
-                                ej.display(g),
-                                ek.display(g)
-                            ),
+                            format!("{} must precede {}", ej.display(g), ek.display(g)),
                         ));
                     }
                 }
@@ -252,7 +271,13 @@ mod tests {
             UpdateExpr::inst(v),
         ]);
         let e = check_vdag_strategy(&g, &s).unwrap_err();
-        assert!(matches!(e, VdagError::Incorrect { condition: "C3", .. }));
+        assert!(matches!(
+            e,
+            VdagError::Incorrect {
+                condition: "C3",
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -271,7 +296,13 @@ mod tests {
             UpdateExpr::inst(v),
         ]);
         let e = check_vdag_strategy(&g, &s).unwrap_err();
-        assert!(matches!(e, VdagError::Incorrect { condition: "C4", .. }));
+        assert!(matches!(
+            e,
+            VdagError::Incorrect {
+                condition: "C4",
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -306,7 +337,13 @@ mod tests {
             UpdateExpr::inst(v),
         ]);
         let e = check_vdag_strategy(&g, &s).unwrap_err();
-        assert!(matches!(e, VdagError::Incorrect { condition: "C1", .. }));
+        assert!(matches!(
+            e,
+            VdagError::Incorrect {
+                condition: "C1",
+                ..
+            }
+        ));
 
         // Missing Inst(V) (C2).
         let s = Strategy::from_exprs(vec![
@@ -316,7 +353,13 @@ mod tests {
             UpdateExpr::inst(id("LINEITEM")),
         ]);
         let e = check_vdag_strategy(&g, &s).unwrap_err();
-        assert!(matches!(e, VdagError::Incorrect { condition: "C2", .. }));
+        assert!(matches!(
+            e,
+            VdagError::Incorrect {
+                condition: "C2",
+                ..
+            }
+        ));
 
         // Comp after Inst(V) (C5).
         let s = Strategy::from_exprs(vec![
@@ -330,7 +373,10 @@ mod tests {
         let e = check_vdag_strategy(&g, &s).unwrap_err();
         assert!(matches!(
             e,
-            VdagError::Incorrect { condition: "C4" | "C5", .. }
+            VdagError::Incorrect {
+                condition: "C4" | "C5",
+                ..
+            }
         ));
     }
 
@@ -369,7 +415,81 @@ mod tests {
             UpdateExpr::inst(id("V5")),
         ]);
         let e = check_vdag_strategy(&g, &s).unwrap_err();
-        assert!(matches!(e, VdagError::Incorrect { condition: "C8", .. }));
+        assert!(matches!(
+            e,
+            VdagError::Incorrect {
+                condition: "C8",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn wrong_view_comp_is_a_c1_violation() {
+        // Definition 3.1 defines a strategy *for one view*; a Comp updating
+        // a different view propagates nothing into it, which is a C1 shape
+        // violation — not C7, which only exists for VDAG strategies
+        // (Definition 3.3).
+        let g = figure3_vdag();
+        let id = ids(&g);
+        let s = Strategy::from_exprs(vec![
+            UpdateExpr::comp1(id("V5"), id("V4")), // targets V5, not V4
+            UpdateExpr::comp1(id("V4"), id("V2")),
+            UpdateExpr::inst(id("V2")),
+            UpdateExpr::comp1(id("V4"), id("V3")),
+            UpdateExpr::inst(id("V3")),
+            UpdateExpr::inst(id("V4")),
+        ]);
+        let e = check_view_strategy(&g, id("V4"), &s).unwrap_err();
+        assert!(
+            matches!(
+                e,
+                VdagError::Incorrect {
+                    condition: "C1",
+                    ..
+                }
+            ),
+            "expected C1, got {e}"
+        );
+    }
+
+    #[test]
+    fn unknown_ids_inside_over_sets_rejected_not_panicking() {
+        let g = figure3_vdag();
+        let id = ids(&g);
+        let bogus = ViewId(99);
+        let s = Strategy::from_exprs(vec![
+            UpdateExpr::comp(id("V4"), [id("V2"), bogus]),
+            UpdateExpr::inst(id("V2")),
+            UpdateExpr::inst(id("V4")),
+        ]);
+        let e = check_vdag_strategy(&g, &s).unwrap_err();
+        assert!(matches!(
+            e,
+            VdagError::Incorrect {
+                condition: "C7",
+                ..
+            }
+        ));
+        let e = check_view_strategy(&g, id("V4"), &s).unwrap_err();
+        assert!(matches!(
+            e,
+            VdagError::Incorrect {
+                condition: "C7",
+                ..
+            }
+        ));
+        // Unknown subjects keep being rejected too (previously covered ids
+        // only outside over-sets).
+        let s = Strategy::from_exprs(vec![UpdateExpr::inst(bogus)]);
+        let e = check_vdag_strategy(&g, &s).unwrap_err();
+        assert!(matches!(
+            e,
+            VdagError::Incorrect {
+                condition: "C7",
+                ..
+            }
+        ));
     }
 
     #[test]

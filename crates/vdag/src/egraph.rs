@@ -123,9 +123,7 @@ impl ExpressionGraph {
                 UpdateExpr::Comp { over, .. } => *over.iter().next().expect("1-way comp"),
                 UpdateExpr::Inst(v) => *v,
             };
-            let pos = ord
-                .and_then(|o| o.position(subj))
-                .unwrap_or(usize::MAX - 1);
+            let pos = ord.and_then(|o| o.position(subj)).unwrap_or(usize::MAX - 1);
             let kind = match e {
                 UpdateExpr::Comp { .. } => 0,
                 UpdateExpr::Inst(_) => 1,
@@ -265,10 +263,7 @@ mod tests {
     use crate::ordering::vdag_strategy_consistent;
 
     fn ordering(g: &Vdag, names: &[&str]) -> ViewOrdering {
-        ViewOrdering::new(
-            names.iter().map(|n| g.id_of(n).unwrap()).collect(),
-            g.len(),
-        )
+        ViewOrdering::new(names.iter().map(|n| g.id_of(n).unwrap()).collect(), g.len())
     }
 
     #[test]
@@ -338,10 +333,7 @@ mod tests {
         let ord2 = modify_ordering(&g, &ord);
         // Level-major: bases (V2, V1, V3 in desired order), then V4, then V5.
         assert_eq!(
-            ord2.views()
-                .iter()
-                .map(|v| g.name(*v))
-                .collect::<Vec<_>>(),
+            ord2.views().iter().map(|v| g.name(*v)).collect::<Vec<_>>(),
             vec!["V2", "V1", "V3", "V4", "V5"]
         );
         let eg = construct_eg(&g, &ord2);
@@ -389,8 +381,7 @@ mod tests {
         let g = figure3_vdag();
         let ord = ordering(&g, &["V4", "V2", "V1", "V3", "V5"]);
         let eg = construct_eg(&g, &ord);
-        let labels: std::collections::HashSet<_> =
-            eg.edges().iter().map(|(_, _, l)| *l).collect();
+        let labels: std::collections::HashSet<_> = eg.edges().iter().map(|(_, _, l)| *l).collect();
         assert!(labels.contains(&EdgeLabel::Ordering));
         assert!(labels.contains(&EdgeLabel::C3));
         assert!(labels.contains(&EdgeLabel::C4));

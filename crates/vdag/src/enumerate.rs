@@ -140,12 +140,7 @@ pub fn permutations<T: Clone>(items: &[T]) -> Vec<Vec<T>> {
     out
 }
 
-fn permute<T: Clone>(
-    items: &[T],
-    used: &mut [bool],
-    current: &mut Vec<T>,
-    out: &mut Vec<Vec<T>>,
-) {
+fn permute<T: Clone>(items: &[T], used: &mut [bool], current: &mut Vec<T>, out: &mut Vec<Vec<T>>) {
     if current.len() == items.len() {
         out.push(current.clone());
         return;
@@ -170,8 +165,7 @@ mod tests {
     /// Table 1 of the paper.
     #[test]
     fn table1_counts() {
-        let expected: [(u32, u128); 6] =
-            [(1, 1), (2, 3), (3, 13), (4, 75), (5, 541), (6, 4683)];
+        let expected: [(u32, u128); 6] = [(1, 1), (2, 3), (3, 13), (4, 75), (5, 541), (6, 4683)];
         for (n, count) in expected {
             assert_eq!(fubini(n), count, "fubini({n})");
             assert_eq!(paper_formula_strategies(n), count, "formula({n})");

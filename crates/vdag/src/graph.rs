@@ -202,11 +202,7 @@ impl Vdag {
     pub fn is_uniform(&self) -> bool {
         let levels = self.levels();
         self.views.iter().enumerate().all(|(v, node)| {
-            node.is_base()
-                || node
-                    .sources
-                    .iter()
-                    .all(|s| levels[s.0] + 1 == levels[v])
+            node.is_base() || node.sources.iter().all(|s| levels[s.0] + 1 == levels[v])
         })
     }
 

@@ -37,9 +37,9 @@ pub use enumerate::{
 };
 pub use error::{VdagError, VdagResult};
 pub use graph::{figure10_vdag, figure3_vdag, Vdag, ViewId, ViewNode};
-pub use random::{random_vdag, RandomVdagConfig, SplitMix64};
 pub use ordering::{
     install_ordering, strongly_consistent, vdag_strategy_consistent, view_strategy_consistent,
     ViewOrdering,
 };
+pub use random::{random_vdag, RandomVdagConfig, SplitMix64};
 pub use strategy::{dual_stage_strategy, one_way_expressions, Strategy, UpdateExpr};

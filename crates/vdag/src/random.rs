@@ -51,7 +51,11 @@ pub struct RandomVdagConfig {
 
 impl Default for RandomVdagConfig {
     fn default() -> Self {
-        RandomVdagConfig { bases: 3, derived: 2, edge_probability: 0.5 }
+        RandomVdagConfig {
+            bases: 3,
+            derived: 2,
+            edge_probability: 0.5,
+        }
     }
 }
 
@@ -85,7 +89,11 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let cfg = RandomVdagConfig { bases: 4, derived: 3, edge_probability: 0.5 };
+        let cfg = RandomVdagConfig {
+            bases: 4,
+            derived: 3,
+            edge_probability: 0.5,
+        };
         let a = random_vdag(7, cfg);
         let b = random_vdag(7, cfg);
         assert_eq!(a.len(), b.len());
@@ -101,7 +109,11 @@ mod tests {
         for seed in 0..50 {
             let g = random_vdag(
                 seed,
-                RandomVdagConfig { bases: 2 + (seed as usize % 3), derived: 3, edge_probability: 0.4 },
+                RandomVdagConfig {
+                    bases: 2 + (seed as usize % 3),
+                    derived: 3,
+                    edge_probability: 0.4,
+                },
             );
             // Every derived view has at least one source, all earlier.
             for v in g.derived_views() {

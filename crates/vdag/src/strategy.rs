@@ -228,10 +228,7 @@ mod tests {
         let v3 = g.id_of("V3").unwrap();
         assert!(UpdateExpr::comp1(v4, v2).is_one_way_comp());
         assert!(!UpdateExpr::comp(v4, [v2, v3]).is_one_way_comp());
-        let s = Strategy::from_exprs(vec![
-            UpdateExpr::comp1(v4, v2),
-            UpdateExpr::inst(v2),
-        ]);
+        let s = Strategy::from_exprs(vec![UpdateExpr::comp1(v4, v2), UpdateExpr::inst(v2)]);
         assert!(s.is_one_way());
     }
 

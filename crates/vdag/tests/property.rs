@@ -42,7 +42,9 @@ fn arb_ordering(g: &Vdag, seed: u64) -> ViewOrdering {
     let n = ids.len();
     let mut state = seed | 1;
     for i in (1..n).rev() {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let j = (state >> 33) as usize % (i + 1);
         ids.swap(i, j);
     }

@@ -34,7 +34,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         (
             "customer churn",
             vec![
-                ("CUSTOMER", ChangeSpec { delete_frac: 0.20, insert_frac: 0.30 }),
+                (
+                    "CUSTOMER",
+                    ChangeSpec {
+                        delete_frac: 0.20,
+                        insert_frac: 0.30,
+                    },
+                ),
                 ("LINEITEM", ChangeSpec::deletions(0.01)),
             ],
         ),

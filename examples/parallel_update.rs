@@ -28,7 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let p_one_way = parallelize(g, &plan.strategy);
     let p_dual = parallelize(g, &dual_stage_strategy(g));
 
-    println!("{:<12} {:>8} {:>8} {:>14} {:>14}", "strategy", "exprs", "stages", "total work", "makespan");
+    println!(
+        "{:<12} {:>8} {:>8} {:>14} {:>14}",
+        "strategy", "exprs", "stages", "total work", "makespan"
+    );
     for (label, p) in [("MinWork", &p_one_way), ("dual-stage", &p_dual)] {
         println!(
             "{:<12} {:>8} {:>8} {:>14.0} {:>14.0}",
@@ -45,8 +48,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         p_dual.depth(),
         p_one_way.depth()
     );
-    println!("but incurs {:.1}x the total work — the paper's Section 9 trade-off.",
-        total_work(&model, &p_dual) / total_work(&model, &p_one_way));
+    println!(
+        "but incurs {:.1}x the total work — the paper's Section 9 trade-off.",
+        total_work(&model, &p_dual) / total_work(&model, &p_one_way)
+    );
 
     // Both parallel schedules still produce the correct state.
     for p in [&p_one_way, &p_dual] {
@@ -62,7 +67,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // the Comp(W,{P}) -> Comp(P,{LINEITEM}) dependency.
     let p_def = ViewDef {
         name: "P".into(),
-        sources: vec![ViewSource { view: "LINEITEM".into(), alias: "L".into() }],
+        sources: vec![ViewSource {
+            view: "LINEITEM".into(),
+            alias: "L".into(),
+        }],
         joins: vec![],
         filters: vec![Predicate::col_eq("L.l_returnflag", Value::str("R"))],
         output: ViewOutput::Project(vec![
@@ -72,7 +80,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let w_def = ViewDef {
         name: "W".into(),
-        sources: vec![ViewSource { view: "P".into(), alias: "P".into() }],
+        sources: vec![ViewSource {
+            view: "P".into(),
+            alias: "P".into(),
+        }],
         joins: vec![],
         filters: vec![],
         output: ViewOutput::Aggregate {

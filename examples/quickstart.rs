@@ -24,7 +24,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sizes = SizeCatalog::estimate(&scenario.warehouse)?;
     let g = scenario.warehouse.vdag();
     let plan = min_work(g, &sizes)?;
-    println!("\nDesired view ordering: {}", plan.desired_ordering.display(g));
+    println!(
+        "\nDesired view ordering: {}",
+        plan.desired_ordering.display(g)
+    );
     println!("MinWork strategy:\n  {}", plan.strategy.display(g));
 
     let model = CostModel::new(g, &sizes);
@@ -40,7 +43,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!(scenario.warehouse.diff_state(&expected).is_empty());
 
     println!("\nUpdate window: {:?}", report.wall());
-    println!("Measured work: {} rows (scanned + installed)", report.linear_work());
+    println!(
+        "Measured work: {} rows (scanned + installed)",
+        report.linear_work()
+    );
     println!("Per-expression breakdown:");
     let g = scenario.warehouse.vdag();
     for e in &report.per_expr {

@@ -72,7 +72,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             kind,
             predicted,
             measured,
-            if *is_minwork { "   <- MinWorkSingle" } else { "" }
+            if *is_minwork {
+                "   <- MinWorkSingle"
+            } else {
+                ""
+            }
         );
     }
 

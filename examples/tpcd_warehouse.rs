@@ -22,7 +22,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let sizes = SizeCatalog::estimate(&sc.warehouse)?;
-    println!("\n{:<10} {:>9} {:>9} {:>9} {:>9}", "view", "|V|", "|ΔV|", "|V'|", "growth");
+    println!(
+        "\n{:<10} {:>9} {:>9} {:>9} {:>9}",
+        "view", "|V|", "|ΔV|", "|V'|", "growth"
+    );
     for v in g.view_ids() {
         let i = sizes.info(v);
         println!(
@@ -68,7 +71,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         println!(
             "{:<12} {:>12.0} {:>12} {:>12} {:>12.1?}",
-            label, predicted, w.operand_rows_scanned, w.rows_installed, report.wall()
+            label,
+            predicted,
+            w.operand_rows_scanned,
+            w.rows_installed,
+            report.wall()
         );
         if let Some(base) = minwork_work {
             if label != "MinWork" {

@@ -4,6 +4,8 @@
 //! uww info     [--scenario fig4|q3|q5] [--scale F]
 //! uww plan     [--scenario ...] [--scale F] [--frac F] [--planner minwork|prune|dual-stage|rnscol]
 //! uww run      [--scenario ...] [--scale F] [--frac F] [--planner ...]
+//! uww analyze  [--scenario ...] [--scale F] [--planner ...]
+//!              [--strategy "Comp(V,{A});..."] [--stages "...|..."] [--json]
 //! uww script   [--scenario ...] [--scale F] [--frac F]
 //! uww dot      [--scenario ...] [--scale F] [--graph vdag|eg]
 //! uww olap     [--scenario ...] [--scale F] [--frac F] [--isolation strict|low]
@@ -31,6 +33,9 @@ struct Args {
     graph: String,
     isolation: String,
     sql_views: Vec<(String, String)>,
+    strategy_text: Option<String>,
+    stages_text: Option<String>,
+    json: bool,
 }
 
 fn parse_args(argv: &[String]) -> Result<(String, Args), String> {
@@ -43,16 +48,35 @@ fn parse_args(argv: &[String]) -> Result<(String, Args), String> {
         graph: "vdag".into(),
         isolation: "strict".into(),
         sql_views: Vec::new(),
+        strategy_text: None,
+        stages_text: None,
+        json: false,
     };
     let mut it = argv.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--sql" => {
-                let v = it.next().ok_or_else(|| "missing value for --sql".to_string())?;
+                let v = it
+                    .next()
+                    .ok_or_else(|| "missing value for --sql".to_string())?;
                 let (name, query) = v
                     .split_once('=')
                     .ok_or_else(|| "--sql expects NAME=SELECT ...".to_string())?;
-                args.sql_views.push((name.trim().to_string(), query.to_string()));
+                args.sql_views
+                    .push((name.trim().to_string(), query.to_string()));
+            }
+            "--json" => args.json = true,
+            "--strategy" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "missing value for --strategy".to_string())?;
+                args.strategy_text = Some(v.clone());
+            }
+            "--stages" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "missing value for --stages".to_string())?;
+                args.stages_text = Some(v.clone());
             }
             "--scenario" | "--scale" | "--frac" | "--planner" | "--graph" | "--isolation" => {
                 let v = it
@@ -61,9 +85,7 @@ fn parse_args(argv: &[String]) -> Result<(String, Args), String> {
                     .clone();
                 match a.as_str() {
                     "--scenario" => args.scenario = v,
-                    "--scale" => {
-                        args.scale = v.parse().map_err(|_| format!("bad --scale {v}"))?
-                    }
+                    "--scale" => args.scale = v.parse().map_err(|_| format!("bad --scale {v}"))?,
                     "--frac" => args.frac = v.parse().map_err(|_| format!("bad --frac {v}"))?,
                     "--planner" => args.planner = v,
                     "--graph" => args.graph = v,
@@ -84,9 +106,7 @@ fn build_scenario(args: &Args) -> Result<TpcdScenario, String> {
     let extra: Vec<_> = args
         .sql_views
         .iter()
-        .map(|(name, sql)| {
-            uww::relational::parse_view_def(name, sql).map_err(|e| e.to_string())
-        })
+        .map(|(name, sql)| uww::relational::parse_view_def(name, sql).map_err(|e| e.to_string()))
         .collect::<Result<_, _>>()?;
     let sc = match args.scenario.as_str() {
         "fig4" => TpcdScenario::builder()
@@ -166,7 +186,10 @@ fn cmd_info(args: &Args) -> Result<(), String> {
         g.is_uniform(),
         g.is_tree()
     );
-    println!("{:<10} {:>10} {:>8} {:>10}", "view", "rows", "level", "kind");
+    println!(
+        "{:<10} {:>10} {:>8} {:>10}",
+        "view", "rows", "level", "kind"
+    );
     for v in g.view_ids() {
         let t = sc.warehouse.table(g.name(v)).map_err(|e| e.to_string())?;
         println!(
@@ -210,6 +233,37 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_analyze(args: &Args) -> Result<(), String> {
+    let sc = build_scenario(args)?;
+    let g = sc.warehouse.vdag();
+    let (report, label) = if let Some(text) = &args.stages_text {
+        let stages = uww::analysis::parse_stages(g, text)?;
+        (
+            uww::analysis::analyze_parallel(g, &stages),
+            format!("parallel strategy ({} stages)", stages.len()),
+        )
+    } else if let Some(text) = &args.strategy_text {
+        let s = uww::analysis::parse_strategy(g, text)?;
+        (uww::analysis::analyze(g, &s), "given strategy".to_string())
+    } else {
+        let (strategy, label) = pick_strategy(&sc, args)?;
+        (uww::analysis::analyze(g, &strategy), label)
+    };
+    if args.json {
+        println!("{}", report.to_json());
+    } else {
+        println!("analyzing {label}:");
+        print!("{}", report.render_text());
+    }
+    if report.has_errors() {
+        return Err(format!(
+            "{} error(s): the strategy would produce incorrect view extents",
+            report.error_count()
+        ));
+    }
+    Ok(())
+}
+
 fn cmd_script(args: &Args) -> Result<(), String> {
     let mut sc = build_scenario(args)?;
     load_changes(&mut sc, args)?;
@@ -219,7 +273,8 @@ fn cmd_script(args: &Args) -> Result<(), String> {
     let plan = min_work(sc.warehouse.vdag(), &sizes).map_err(|e| e.to_string())?;
     println!(
         "{}",
-        gen.strategy_script(&plan.strategy).map_err(|e| e.to_string())?
+        gen.strategy_script(&plan.strategy)
+            .map_err(|e| e.to_string())?
     );
     Ok(())
 }
@@ -252,7 +307,10 @@ fn cmd_explain(args: &Args) -> Result<(), String> {
         .warehouse
         .explain(&strategy, &model)
         .map_err(|e| e.to_string())?;
-    print!("{}", uww::core::engine::render_explain(&sc.warehouse, &plans));
+    print!(
+        "{}",
+        uww::core::engine::render_explain(&sc.warehouse, &plans)
+    );
     Ok(())
 }
 
@@ -276,7 +334,10 @@ fn cmd_olap(args: &Args) -> Result<(), String> {
         "low" => IsolationMode::LowIsolation,
         other => return Err(format!("unknown isolation {other} (strict|low)")),
     };
-    let wl = OlapWorkload { isolation, ..OlapWorkload::default() };
+    let wl = OlapWorkload {
+        isolation,
+        ..OlapWorkload::default()
+    };
     let (strategy, label) = pick_strategy(&sc, args)?;
     let rep = simulate_olap(g, &model, &sizes, &strategy, &wl);
     println!(
@@ -292,10 +353,11 @@ fn cmd_olap(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-const USAGE: &str = "usage: uww <info|plan|run|script|dot|olap|explain|dump> \
+const USAGE: &str = "usage: uww <info|plan|run|analyze|script|dot|olap|explain|dump> \
 [--scenario fig4|q3|q5] [--scale F] [--frac F] \
 [--planner minwork|prune|dual-stage|rnscol] [--graph vdag|eg] [--isolation strict|low] \
-[--sql NAME=SELECT-statement]";
+[--sql NAME=SELECT-statement] \
+[--strategy \"Comp(V,{A,B}); Inst(A); ...\"] [--stages \"stage | stage | ...\"] [--json]";
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -310,6 +372,7 @@ fn main() -> ExitCode {
         "info" => cmd_info(&args),
         "plan" => cmd_plan(&args),
         "run" => cmd_run(&args),
+        "analyze" => cmd_analyze(&args),
         "script" => cmd_script(&args),
         "dot" => cmd_dot(&args),
         "olap" => cmd_olap(&args),

@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub use uww_analysis as analysis;
 pub use uww_core as core;
 pub use uww_relational as relational;
 pub use uww_tpcd as tpcd;

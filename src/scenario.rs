@@ -66,10 +66,12 @@ impl TpcdScenario {
         // Views absent from the scenario (e.g. the Q3-only warehouse has no
         // REGION) are simply skipped.
         let g = self.warehouse.vdag();
-        let names: Vec<&str> = ["REGION", "NATION", "SUPPLIER", "CUSTOMER", "ORDER", "LINEITEM"]
-            .into_iter()
-            .filter(|n| g.id_of(n).is_ok())
-            .collect();
+        let names: Vec<&str> = [
+            "REGION", "NATION", "SUPPLIER", "CUSTOMER", "ORDER", "LINEITEM",
+        ]
+        .into_iter()
+        .filter(|n| g.id_of(n).is_ok())
+        .collect();
         self.one_way_by_names(&names)
     }
 
@@ -77,10 +79,7 @@ impl TpcdScenario {
     /// order (derived views appended afterwards in id order).
     pub fn one_way_by_names(&self, names: &[&str]) -> CoreResult<Strategy> {
         let g = self.warehouse.vdag();
-        let mut order: Vec<ViewId> = names
-            .iter()
-            .map(|n| g.id_of(n))
-            .collect::<Result<_, _>>()?;
+        let mut order: Vec<ViewId> = names.iter().map(|n| g.id_of(n)).collect::<Result<_, _>>()?;
         for v in g.view_ids() {
             if !order.contains(&v) {
                 order.push(v);
@@ -186,7 +185,10 @@ impl TpcdScenarioBuilder {
 
     /// Generates the data and materializes the views.
     pub fn build(self) -> CoreResult<TpcdScenario> {
-        let generator = TpcdGenerator::new(TpcdConfig { scale: self.scale, seed: self.seed });
+        let generator = TpcdGenerator::new(TpcdConfig {
+            scale: self.scale,
+            seed: self.seed,
+        });
         let data = generator.generate();
         let mut builder = Warehouse::builder();
         for name in &self.base_views {
@@ -309,10 +311,7 @@ mod tests {
         let g = sc.warehouse.vdag();
         let q3 = g.id_of("Q3").unwrap();
         let c = g.id_of("CUSTOMER").unwrap();
-        let bad = Strategy::from_exprs(vec![
-            UpdateExpr::inst(c),
-            UpdateExpr::comp1(q3, c),
-        ]);
+        let bad = Strategy::from_exprs(vec![UpdateExpr::inst(c), UpdateExpr::comp1(q3, c)]);
         assert!(sc.run(&bad).is_err());
     }
 
@@ -324,7 +323,11 @@ mod tests {
         let partial = uww_vdag::view_strategies(g, q3).remove(0);
         let full = sc.complete_strategy(&partial);
         for v in g.view_ids() {
-            assert!(full.position(&UpdateExpr::inst(v)).is_some(), "{}", g.name(v));
+            assert!(
+                full.position(&UpdateExpr::inst(v)).is_some(),
+                "{}",
+                g.name(v)
+            );
         }
         // Idempotent.
         assert_eq!(sc.complete_strategy(&full), full);

@@ -43,7 +43,15 @@ fn plan_prints_strategy_and_cost() {
 fn run_executes_and_verifies() {
     for planner in ["minwork", "prune", "dual-stage", "rnscol"] {
         let o = uww(&[
-            &["run", "--scenario", "q3", "--frac", "0.1", "--planner", planner],
+            &[
+                "run",
+                "--scenario",
+                "q3",
+                "--frac",
+                "0.1",
+                "--planner",
+                planner,
+            ],
             SMALL,
         ]
         .concat());
@@ -80,7 +88,15 @@ fn dot_outputs_graphviz() {
 fn olap_simulates_both_isolations() {
     for iso in ["strict", "low"] {
         let o = uww(&[
-            &["olap", "--scenario", "q3", "--frac", "0.1", "--isolation", iso],
+            &[
+                "olap",
+                "--scenario",
+                "q3",
+                "--frac",
+                "0.1",
+                "--isolation",
+                iso,
+            ],
             SMALL,
         ]
         .concat());

@@ -143,7 +143,10 @@ fn experiment3_ordering_stable_across_change_fractions() {
             .unwrap();
         let dual = measured(&sc, &sc.dual_stage_strategy());
 
-        assert!(mws <= best_2way, "p={p}: MWS {mws} vs best 2-way {best_2way}");
+        assert!(
+            mws <= best_2way,
+            "p={p}: MWS {mws} vs best 2-way {best_2way}"
+        );
         assert!(best_2way <= dual, "p={p}: 2-way {best_2way} vs dual {dual}");
     }
 }

@@ -34,7 +34,7 @@ fn min_max_materializes_correctly() {
     let sc = scenario();
     let t = sc.warehouse.table("PRICE_WATCH").unwrap();
     assert!(!t.is_empty() && t.len() <= 3); // R, A, N
-    // Reference check: min/max per flag computed independently.
+                                            // Reference check: min/max per flag computed independently.
     let items = sc.warehouse.table("LINEITEM").unwrap();
     for (row, _) in t.iter() {
         let flag = row.get(0).as_str().unwrap();
@@ -113,6 +113,10 @@ fn min_max_from_scratch_rebuild_on_empty_source_errors_cleanly() {
     );
     let def = parse_view_def("M", "SELECT k, MIN(k) AS m FROM E GROUP BY k").unwrap();
     // Empty source: zero groups, builds fine.
-    let w = Warehouse::builder().base_table(empty).view(def).build().unwrap();
+    let w = Warehouse::builder()
+        .base_table(empty)
+        .view(def)
+        .build()
+        .unwrap();
     assert_eq!(w.table("M").unwrap().len(), 0);
 }

@@ -14,7 +14,10 @@ use uww::vdag::check_vdag_strategy;
 fn daily_def() -> ViewDef {
     ViewDef {
         name: "DAILY".into(),
-        sources: vec![ViewSource { view: "Q3".into(), alias: "Q".into() }],
+        sources: vec![ViewSource {
+            view: "Q3".into(),
+            alias: "Q".into(),
+        }],
         joins: vec![],
         filters: vec![],
         output: ViewOutput::Aggregate {
@@ -32,7 +35,10 @@ fn daily_def() -> ViewDef {
 fn hot_def() -> ViewDef {
     ViewDef {
         name: "HOT".into(),
-        sources: vec![ViewSource { view: "Q3".into(), alias: "Q".into() }],
+        sources: vec![ViewSource {
+            view: "Q3".into(),
+            alias: "Q".into(),
+        }],
         joins: vec![],
         filters: vec![Predicate::col_gt("Q.revenue", Value::Decimal(10_000_000))],
         output: ViewOutput::Project(vec![
@@ -85,7 +91,10 @@ fn insertions_flow_up_two_levels() {
     let mut sc = two_level_scenario();
     let batch = sc.uniform_batch(
         &["ORDER", "LINEITEM"],
-        uww::tpcd::ChangeSpec { delete_frac: 0.05, insert_frac: 0.05 },
+        uww::tpcd::ChangeSpec {
+            delete_frac: 0.05,
+            insert_frac: 0.05,
+        },
     );
     sc.load_batch(&batch).unwrap();
     let sizes = SizeCatalog::estimate(&sc.warehouse).unwrap();
@@ -113,22 +122,27 @@ fn flattened_view_materializes_identically() {
     // Chain: bases -> P (projection over LINEITEM) -> W (aggregate over P).
     let p_def = ViewDef {
         name: "P".into(),
-        sources: vec![ViewSource { view: "LINEITEM".into(), alias: "L".into() }],
+        sources: vec![ViewSource {
+            view: "LINEITEM".into(),
+            alias: "L".into(),
+        }],
         joins: vec![],
         filters: vec![Predicate::col_eq("L.l_returnflag", Value::str("R"))],
         output: ViewOutput::Project(vec![
             OutputColumn::col("okey", "L.l_orderkey"),
             OutputColumn::new(
                 "rev",
-                ScalarExpr::col("L.l_extendedprice").mul(
-                    ScalarExpr::lit(Value::Decimal(100)).sub(ScalarExpr::col("L.l_discount")),
-                ),
+                ScalarExpr::col("L.l_extendedprice")
+                    .mul(ScalarExpr::lit(Value::Decimal(100)).sub(ScalarExpr::col("L.l_discount"))),
             ),
         ]),
     };
     let w_def = ViewDef {
         name: "W".into(),
-        sources: vec![ViewSource { view: "P".into(), alias: "P".into() }],
+        sources: vec![ViewSource {
+            view: "P".into(),
+            alias: "P".into(),
+        }],
         joins: vec![],
         filters: vec![],
         output: ViewOutput::Aggregate {
@@ -171,7 +185,10 @@ fn flattened_vdag_maintains_correctly_and_parallelizes_wider() {
     // total work for the flattened view's comps.
     let p_def = ViewDef {
         name: "P".into(),
-        sources: vec![ViewSource { view: "LINEITEM".into(), alias: "L".into() }],
+        sources: vec![ViewSource {
+            view: "LINEITEM".into(),
+            alias: "L".into(),
+        }],
         joins: vec![],
         filters: vec![Predicate::col_eq("L.l_returnflag", Value::str("R"))],
         output: ViewOutput::Project(vec![
@@ -181,7 +198,10 @@ fn flattened_vdag_maintains_correctly_and_parallelizes_wider() {
     };
     let w_def = ViewDef {
         name: "W".into(),
-        sources: vec![ViewSource { view: "P".into(), alias: "P".into() }],
+        sources: vec![ViewSource {
+            view: "P".into(),
+            alias: "P".into(),
+        }],
         joins: vec![],
         filters: vec![],
         output: ViewOutput::Aggregate {
@@ -208,9 +228,8 @@ fn flattened_vdag_maintains_correctly_and_parallelizes_wider() {
     let mut flattened = build(vec![p_def, flat]);
 
     // Same deletions on LINEITEM for both.
-    let mut delta = uww::relational::DeltaRelation::new(
-        chained.table("LINEITEM").unwrap().schema().clone(),
-    );
+    let mut delta =
+        uww::relational::DeltaRelation::new(chained.table("LINEITEM").unwrap().schema().clone());
     for (i, (t, _)) in chained
         .table("LINEITEM")
         .unwrap()

@@ -7,8 +7,8 @@ use proptest::prelude::*;
 use std::collections::BTreeMap;
 use uww::core::{min_work, SizeCatalog, Warehouse};
 use uww::relational::{
-    AggFunc, AggregateColumn, DeltaRelation, EquiJoin, OutputColumn, Predicate, ScalarExpr,
-    Schema, Table, Tuple, Value, ValueType, ViewDef, ViewOutput, ViewSource,
+    AggFunc, AggregateColumn, DeltaRelation, EquiJoin, OutputColumn, Predicate, ScalarExpr, Schema,
+    Table, Tuple, Value, ValueType, ViewDef, ViewOutput, ViewSource,
 };
 use uww::vdag::view_strategies;
 

@@ -21,10 +21,18 @@ fn random_sizes(seed: u64, n: usize) -> SizeCatalog {
             2 => -0.05 * pre * rng.unit(),
             _ => 0.0,
         };
-        let delta = if change == 0.0 { 0.0 } else { change.abs().max(1.0) };
+        let delta = if change == 0.0 {
+            0.0
+        } else {
+            change.abs().max(1.0)
+        };
         cat.set(
             ViewId(v),
-            SizeInfo { pre, post: (pre + change).max(0.0), delta },
+            SizeInfo {
+                pre,
+                post: (pre + change).max(0.0),
+                delta,
+            },
         );
     }
     cat
@@ -73,7 +81,10 @@ fn minwork_and_prune_agree_on_random_vdags() {
         }
     }
     // The sweep must exercise the acyclic (optimal) regime heavily.
-    assert!(optimal > 50, "optimal cases: {optimal}, fallback: {fallback}");
+    assert!(
+        optimal > 50,
+        "optimal cases: {optimal}, fallback: {fallback}"
+    );
 }
 
 #[test]

@@ -58,10 +58,9 @@ fn snapshot_survives_an_update_window() {
     let new_lineitem = sc.warehouse.table("LINEITEM").unwrap();
     assert!(old.get("LINEITEM").unwrap().len() > new_lineitem.len());
     // And the diff between old and new equals the installed delta volume.
-    let d = old
-        .get("LINEITEM")
-        .unwrap()
-        .diff(new_lineitem)
-        .unwrap();
-    assert_eq!(d.minus_len(), old.get("LINEITEM").unwrap().len() - new_lineitem.len());
+    let d = old.get("LINEITEM").unwrap().diff(new_lineitem).unwrap();
+    assert_eq!(
+        d.minus_len(),
+        old.get("LINEITEM").unwrap().len() - new_lineitem.len()
+    );
 }

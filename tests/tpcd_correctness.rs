@@ -72,9 +72,21 @@ fn mixed_batches_are_maintained_correctly() {
     let mut sc = figure4_scenario(0.0003).unwrap();
     let batch = sc
         .batch()
-        .with("CUSTOMER", ChangeSpec { delete_frac: 0.05, insert_frac: 0.10 })
+        .with(
+            "CUSTOMER",
+            ChangeSpec {
+                delete_frac: 0.05,
+                insert_frac: 0.10,
+            },
+        )
         .with("ORDER", ChangeSpec::deletions(0.10))
-        .with("LINEITEM", ChangeSpec { delete_frac: 0.02, insert_frac: 0.02 })
+        .with(
+            "LINEITEM",
+            ChangeSpec {
+                delete_frac: 0.02,
+                insert_frac: 0.02,
+            },
+        )
         .with("SUPPLIER", ChangeSpec::insertions(0.20));
     sc.load_batch(&batch).unwrap();
     let sizes = SizeCatalog::estimate(&sc.warehouse).unwrap();
@@ -103,7 +115,13 @@ fn q1_multi_aggregate_view_maintained_correctly() {
         .unwrap();
     let batch = sc
         .batch()
-        .with("LINEITEM", ChangeSpec { delete_frac: 0.10, insert_frac: 0.05 })
+        .with(
+            "LINEITEM",
+            ChangeSpec {
+                delete_frac: 0.10,
+                insert_frac: 0.05,
+            },
+        )
         .with("ORDER", ChangeSpec::deletions(0.05));
     sc.load_batch(&batch).unwrap();
     let sizes = SizeCatalog::estimate(&sc.warehouse).unwrap();

@@ -1,0 +1,225 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no network access to crates.io, so the workspace
+//! vendors the subset of the `criterion 0.5` API its `benches/` targets use:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`] /
+//! [`BenchmarkGroup::bench_with_input`] / `sample_size` / `finish`,
+//! [`Bencher::iter`] / [`Bencher::iter_batched`], [`BatchSize`],
+//! [`BenchmarkId`], [`black_box`], and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! It performs no statistics: each benchmark runs a small fixed number of
+//! timed iterations and prints the mean wall-clock time, which keeps
+//! `cargo bench` runnable (and `cargo test` compiling) without the real
+//! harness.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::hint;
+use std::time::Instant;
+
+/// Opaque value barrier preventing the optimizer from deleting benched work.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost; the stub treats all variants alike.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// A `function-name/parameter` benchmark label.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id rendered as `name/parameter`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The per-benchmark timing driver handed to bench closures.
+pub struct Bencher {
+    iterations: u64,
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / self.iterations as f64;
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total_ns = 0u128;
+        for _ in 0..self.iterations {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total_ns += start.elapsed().as_nanos();
+        }
+        self.mean_ns = total_ns as f64 / self.iterations as f64;
+    }
+}
+
+fn run_one(group: &str, id: &str, iterations: u64, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        iterations,
+        mean_ns: 0.0,
+    };
+    f(&mut b);
+    let label = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    if b.mean_ns >= 1_000_000.0 {
+        println!(
+            "bench {label:<50} {:>12.3} ms/iter",
+            b.mean_ns / 1_000_000.0
+        );
+    } else {
+        println!("bench {label:<50} {:>12.0} ns/iter", b.mean_ns);
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    iterations: u64,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Caps measurement effort; the stub maps samples to iteration count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.iterations = (n as u64).clamp(1, 100);
+        self
+    }
+
+    /// Runs a benchmark identified by `id`.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&self.name, &id.to_string(), self.iterations, &mut f);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&self.name, &id.to_string(), self.iterations, &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (no-op in the stub).
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            iterations: 10,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one("", &id.to_string(), 10, &mut f);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("stub");
+        group.sample_size(3);
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("param", 7), &7u64, |b, &n| {
+            b.iter_batched(
+                || vec![n; 16],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::LargeInput,
+            )
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_runs() {
+        benches();
+    }
+
+    #[test]
+    fn benchmark_id_renders() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+    }
+}
