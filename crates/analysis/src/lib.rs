@@ -41,6 +41,8 @@ mod analyzer;
 mod diag;
 mod parse;
 
-pub use analyzer::{analyze, analyze_costs, analyze_parallel, analyze_view, depends};
+pub use analyzer::{
+    analyze, analyze_costs, analyze_parallel, analyze_resume, analyze_view, depends,
+};
 pub use diag::{Diagnostic, Report, Rule, Severity};
 pub use parse::{parse_expr, parse_stages, parse_strategy};

@@ -3,14 +3,15 @@
 use crate::engine::eval;
 use crate::engine::warehouse::{scan_operand, PendingDelta, Warehouse};
 use crate::error::{CoreError, CoreResult};
-use std::collections::BTreeSet;
+use crate::wal::{encode_pending, Manifest, ManifestExpr, RecordBody, WalConfig, WalWriter};
+use std::collections::{BTreeMap, BTreeSet};
 use std::time::{Duration, Instant};
 use uww_relational::ops;
-use uww_relational::{ViewOutput, WorkMeter};
+use uww_relational::{catalog_to_string, deltas_to_string, digest64, ViewOutput, WorkMeter};
 use uww_vdag::{check_vdag_strategy, Strategy, UpdateExpr, ViewId};
 
 /// Execution options.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ExecOptions {
     /// Check conditions C1–C8 before executing (default: on).
     pub validate: bool,
@@ -18,6 +19,9 @@ pub struct ExecOptions {
     /// flags, reporting *all* defects with `UWW###` rule ids instead of the
     /// dynamic checker's first violation (default: off).
     pub analyze_first: bool,
+    /// Journal execution to an install WAL so a crashed run can be resumed
+    /// by [`crate::recovery::recover`] (default: off).
+    pub wal: Option<WalConfig>,
 }
 
 impl Default for ExecOptions {
@@ -25,6 +29,7 @@ impl Default for ExecOptions {
         ExecOptions {
             validate: true,
             analyze_first: false,
+            wal: None,
         }
     }
 }
@@ -38,6 +43,10 @@ pub struct ExprReport {
     pub work: WorkMeter,
     /// Wall-clock time spent.
     pub wall: Duration,
+    /// True when recovery replayed this expression from the WAL instead of
+    /// executing it fresh (`Comp`s merge their journaled ΔV fragment with no
+    /// scan work; `Inst`s are redone against the restored snapshot).
+    pub replayed: bool,
 }
 
 /// Measurements for a whole strategy execution: the update window.
@@ -94,27 +103,129 @@ impl Warehouse {
         if opts.validate {
             check_vdag_strategy(self.vdag(), strategy)?;
         }
+        let mut wal = match &opts.wal {
+            Some(cfg) => {
+                let staged: Vec<(usize, &UpdateExpr)> =
+                    strategy.exprs.iter().map(|e| (0, e)).collect();
+                Some(self.wal_begin(cfg, &staged)?)
+            }
+            None => None,
+        };
+        let items: Vec<(usize, usize, UpdateExpr)> = strategy
+            .exprs
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (i, 0, e.clone()))
+            .collect();
+        let report = self.run_exprs_journaled(&items, None, &mut wal)?;
+        if let Some(w) = &mut wal {
+            w.append(&RecordBody::Commit)?;
+        }
+        Ok(report)
+    }
+
+    /// Runs a sequence of `(manifest idx, stage, expr)` items, journaling
+    /// each expression boundary when a WAL writer is attached. Emits a stage
+    /// record whenever the stage changes from `last_stage` (recovery passes
+    /// the stage of the last completed prefix expression).
+    pub(crate) fn run_exprs_journaled(
+        &mut self,
+        items: &[(usize, usize, UpdateExpr)],
+        mut last_stage: Option<usize>,
+        wal: &mut Option<WalWriter>,
+    ) -> CoreResult<ExecutionReport> {
         let mut report = ExecutionReport::default();
-        for expr in &strategy.exprs {
+        for (idx, stage, expr) in items {
+            if let Some(w) = wal {
+                if last_stage != Some(*stage) {
+                    w.append(&RecordBody::Stage(*stage))?;
+                }
+            }
+            last_stage = Some(*stage);
             let start_meter = *self.meter();
             let t0 = Instant::now();
             match expr {
-                UpdateExpr::Comp { view, over } => self.exec_comp(*view, over)?,
-                UpdateExpr::Inst(view) => self.exec_inst(*view)?,
+                UpdateExpr::Comp { view, over } => {
+                    self.exec_comp_journaled(*view, over, *idx, wal)?
+                }
+                UpdateExpr::Inst(view) => {
+                    self.exec_inst_journaled(*view, *idx, wal)?;
+                }
             }
             report.per_expr.push(ExprReport {
                 expr: expr.clone(),
                 work: self.meter().since(&start_meter),
                 wall: t0.elapsed(),
+                replayed: false,
             });
         }
         Ok(report)
     }
 
+    /// Snapshots the warehouse into a fresh WAL directory and writes the
+    /// manifest for the staged strategy (canonical execution order).
+    ///
+    /// Fails if any derived view already has an in-flight delta: the WAL
+    /// journals a whole update window, so it must start from a clean batch
+    /// of base-view changes.
+    pub(crate) fn wal_begin(
+        &self,
+        cfg: &WalConfig,
+        staged: &[(usize, &UpdateExpr)],
+    ) -> CoreResult<WalWriter> {
+        let mut changes = BTreeMap::new();
+        for (name, p) in self.pending_map() {
+            let id = self.vdag().id_of(name)?;
+            match p {
+                PendingDelta::Rows(d) if self.vdag().is_base(id) => {
+                    changes.insert(name.clone(), d.clone());
+                }
+                _ => {
+                    return Err(CoreError::Wal(format!(
+                        "cannot begin a WAL mid-window: {name} has an in-flight derived delta"
+                    )))
+                }
+            }
+        }
+        let state_text = catalog_to_string(self.state());
+        let changes_text = deltas_to_string(&changes);
+        let manifest = Manifest {
+            vdag_fingerprint: self.vdag().fingerprint(),
+            state_digest: digest64(&state_text),
+            changes_digest: digest64(&changes_text),
+            fsync: cfg.fsync,
+            ctx: cfg.ctx.clone(),
+            exprs: staged
+                .iter()
+                .map(|(stage, e)| ManifestExpr::from_expr(self.vdag(), *stage, e))
+                .collect(),
+        };
+        WalWriter::create(cfg, &manifest, &state_text, &changes_text)
+    }
+
     /// Executes `Comp(view, over)`: computes the fragment against the
-    /// current state and folds it into the view's pending delta.
-    fn exec_comp(&mut self, view: ViewId, over: &BTreeSet<ViewId>) -> CoreResult<()> {
+    /// current state and folds it into the view's pending delta. With a WAL
+    /// attached, the fragment is journaled *before* the merge (log-ahead),
+    /// so a `CD` record guarantees the fragment is durably reproducible.
+    pub(crate) fn exec_comp_journaled(
+        &mut self,
+        view: ViewId,
+        over: &BTreeSet<ViewId>,
+        idx: usize,
+        wal: &mut Option<WalWriter>,
+    ) -> CoreResult<()> {
+        if let Some(w) = wal {
+            w.append(&RecordBody::CompStart(idx))?;
+        }
         let (name, fragment, meter) = comp_fragment(self, view, over)?;
+        if let Some(w) = wal {
+            let payload = encode_pending(&fragment);
+            w.append(&RecordBody::CompDone {
+                idx,
+                digest: digest64(&payload),
+                payload,
+            })?;
+        }
         self.merge_fragment(&name, fragment)?;
         let total = self.meter_mut();
         total.comp_expressions += 1;
@@ -122,6 +233,31 @@ impl Warehouse {
         total.rows_emitted += meter.rows_emitted;
         total.terms_evaluated += meter.terms_evaluated;
         Ok(())
+    }
+
+    /// Executes `Inst(view)` between its `IS`/`ID` records. The `ID` record
+    /// carries the installed row count and a digest of the view's new
+    /// extent, which recovery verifies after redoing the install.
+    pub(crate) fn exec_inst_journaled(
+        &mut self,
+        view: ViewId,
+        idx: usize,
+        wal: &mut Option<WalWriter>,
+    ) -> CoreResult<u64> {
+        if let Some(w) = wal {
+            w.append(&RecordBody::InstStart(idx))?;
+        }
+        let len = self.exec_inst(view)?;
+        if let Some(w) = wal {
+            let name = self.vdag().name(view).to_string();
+            let post_digest = uww_relational::table_digest(self.table(&name)?);
+            w.append(&RecordBody::InstDone {
+                idx,
+                delta_len: len,
+                post_digest,
+            })?;
+        }
+        Ok(len)
     }
 
     /// Folds a computed fragment into `view`'s pending accumulator.
@@ -143,12 +279,13 @@ impl Warehouse {
     }
 
     /// Executes `Inst(view)`: installs the pending delta (a no-op when no
-    /// delta is pending, e.g. an unchanged base view).
-    pub(crate) fn exec_inst(&mut self, view: ViewId) -> CoreResult<()> {
+    /// delta is pending, e.g. an unchanged base view). Returns the number of
+    /// delta rows installed.
+    pub(crate) fn exec_inst(&mut self, view: ViewId) -> CoreResult<u64> {
         let name = self.vdag().name(view).to_string();
         self.meter_mut().inst_expressions += 1;
         let Some(pending) = self.pending_map_mut().remove(&name) else {
-            return Ok(());
+            return Ok(0);
         };
         let delta = match pending {
             PendingDelta::Rows(d) => d,
@@ -160,7 +297,7 @@ impl Warehouse {
             .install(&delta)
             .map_err(CoreError::Rel)?;
         self.meter_mut().install(len);
-        Ok(())
+        Ok(len)
     }
 }
 
@@ -378,7 +515,7 @@ mod tests {
             &bad,
             ExecOptions {
                 validate: false,
-                analyze_first: false,
+                ..ExecOptions::default()
             },
         )
         .unwrap();
@@ -401,8 +538,9 @@ mod tests {
         let opts = ExecOptions {
             validate: false,
             analyze_first: true,
+            ..ExecOptions::default()
         };
-        let err = w.execute_with(&bad, opts).unwrap_err();
+        let err = w.execute_with(&bad, opts.clone()).unwrap_err();
         match err {
             CoreError::Analysis(report) => {
                 assert!(report.has_errors());

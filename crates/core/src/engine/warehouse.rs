@@ -123,6 +123,34 @@ impl Warehouse {
         Ok(())
     }
 
+    /// Replaces the stored state with a recovered snapshot, after verifying
+    /// that it covers exactly this warehouse's views with matching schemas.
+    /// Any pending deltas are discarded (recovery reloads them from the WAL
+    /// directory's change snapshot).
+    pub(crate) fn restore_state(&mut self, snapshot: Catalog) -> CoreResult<()> {
+        if snapshot.len() != self.state.len() {
+            return Err(CoreError::Warehouse(format!(
+                "snapshot has {} views, warehouse has {}",
+                snapshot.len(),
+                self.state.len()
+            )));
+        }
+        for table in self.state.iter() {
+            let restored = snapshot.get(table.name()).map_err(|_| {
+                CoreError::Warehouse(format!("snapshot is missing view {}", table.name()))
+            })?;
+            if restored.schema() != table.schema() {
+                return Err(CoreError::Warehouse(format!(
+                    "snapshot schema mismatch for {}",
+                    table.name()
+                )));
+            }
+        }
+        self.state = snapshot;
+        self.pending.clear();
+        Ok(())
+    }
+
     /// `|ΔV|` of the pending delta of `view`: expanded plus+minus rows.
     /// Zero when no delta is pending.
     pub fn pending_len(&self, view: &str) -> CoreResult<u64> {

@@ -21,6 +21,24 @@ pub enum CoreError {
     /// ([`ExecOptions::analyze_first`](crate::ExecOptions)); the full lint
     /// report with `UWW###` rule ids is attached.
     Analysis(Box<Report>),
+    /// An install-WAL I/O or format problem (missing files, bad manifest,
+    /// mismatched warehouse fingerprint).
+    Wal(String),
+    /// A WAL record failed its checksum or sequence check somewhere other
+    /// than the torn tail — the log is damaged and recovery refuses it.
+    WalCorrupt {
+        /// Sequence number of the offending record.
+        record: u64,
+        /// What was wrong with it.
+        detail: String,
+    },
+    /// A [`FaultPlan`](crate::wal::FaultPlan) fired: the injected crash that
+    /// the deterministic fault-injection harness uses to stop execution at
+    /// an exact WAL record boundary.
+    InjectedCrash {
+        /// Sequence number the crash was injected before.
+        record: u64,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -32,6 +50,13 @@ impl fmt::Display for CoreError {
             CoreError::Planner(d) => write!(f, "planner: {d}"),
             CoreError::Analysis(r) => {
                 write!(f, "analysis: strategy refused\n{}", r.render_text())
+            }
+            CoreError::Wal(d) => write!(f, "wal: {d}"),
+            CoreError::WalCorrupt { record, detail } => {
+                write!(f, "wal: corrupt record {record}: {detail}")
+            }
+            CoreError::InjectedCrash { record } => {
+                write!(f, "wal: injected crash before record {record}")
             }
         }
     }

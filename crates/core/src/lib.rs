@@ -38,8 +38,10 @@ pub mod lifecycle;
 pub mod olap;
 pub mod parallel;
 pub mod planner;
+pub mod recovery;
 pub mod script;
 pub mod sizes;
+pub mod wal;
 
 pub use calibrate::{calibrate, Calibration};
 pub use cost::{CostMetric, CostModel};
@@ -56,11 +58,14 @@ pub use olap::{
     simulate as simulate_olap, InterferenceReport, IsolationMode, OlapWorkload, QueryOutcome,
 };
 pub use parallel::{
-    flatten_def, makespan, parallelize, total_work, ParallelReport, ParallelStrategy, StageReport,
+    canonical_stage_order, flatten_def, makespan, parallelize, total_work, ParallelReport,
+    ParallelStrategy, StageReport,
 };
 pub use planner::{
     min_work, min_work_single, one_way_for_ordering, prune, prune_full, MinWorkPlan, PruneOutcome,
     PRUNE_MAX_VIEWS,
 };
+pub use recovery::{recover, recover_with, RecoveryOutcome};
 pub use script::{expr_to_sql, predicate_to_sql, value_to_sql, ScriptGenerator, SqlProcedure};
 pub use sizes::{SizeCatalog, SizeInfo};
+pub use wal::{FaultPlan, FsyncPolicy, WalConfig, WalLog};

@@ -361,22 +361,51 @@ impl ParallelReport {
     }
 }
 
+/// The canonical stage-by-stage linearization the WAL manifest records for
+/// a parallel strategy: each stage's `Comp`s (in stage order), then its
+/// `Inst`s (in stage order) — exactly the order
+/// [`Warehouse::execute_parallel_threaded`] makes its effects visible
+/// (fragments merge after the comp threads join, installs land at the stage
+/// boundary). Stage races that would make this reordering unfaithful are
+/// rejected up front by the analyzer (UWW001), which is what lets recovery
+/// resume a crashed threaded run *sequentially* in this order.
+pub fn canonical_stage_order(p: &ParallelStrategy) -> Vec<(usize, UpdateExpr)> {
+    let mut out = Vec::with_capacity(p.expression_count());
+    for (si, stage) in p.stages.iter().enumerate() {
+        for e in stage {
+            if matches!(e, UpdateExpr::Comp { .. }) {
+                out.push((si, e.clone()));
+            }
+        }
+        for e in stage {
+            if matches!(e, UpdateExpr::Inst(_)) {
+                out.push((si, e.clone()));
+            }
+        }
+    }
+    out
+}
+
 impl Warehouse {
     /// Executes a parallel strategy sequentially (stage order linearized).
     /// Semantically identical to [`Warehouse::execute_parallel_threaded`];
     /// useful when determinism of the work meter matters more than wall
     /// time.
     pub fn execute_parallel(&mut self, p: &ParallelStrategy) -> CoreResult<ExecutionReport> {
+        self.execute_parallel_with(p, ExecOptions::default())
+    }
+
+    /// [`Warehouse::execute_parallel`] with explicit options (including WAL
+    /// journaling).
+    pub fn execute_parallel_with(
+        &mut self,
+        p: &ParallelStrategy,
+        opts: ExecOptions,
+    ) -> CoreResult<ExecutionReport> {
         // Every linearization of a stage must be equivalent; the dependency
         // construction guarantees it. Validate the canonical linearization.
         let linear = p.linearize();
-        self.execute_with(
-            &linear,
-            ExecOptions {
-                validate: true,
-                analyze_first: false,
-            },
-        )
+        self.execute_with(&linear, opts)
     }
 
     /// Executes a parallel strategy with **real threads**: within each
@@ -388,18 +417,53 @@ impl Warehouse {
         &mut self,
         p: &ParallelStrategy,
     ) -> CoreResult<ParallelReport> {
-        uww_vdag::check_vdag_strategy(self.vdag(), &p.linearize())?;
+        self.execute_parallel_threaded_with(p, ExecOptions::default())
+    }
+
+    /// [`Warehouse::execute_parallel_threaded`] with explicit options.
+    ///
+    /// With a WAL attached, records are stage-granular: a `STG` barrier
+    /// record opens each stage, every comp's `CS` is appended before the
+    /// threads spawn, each journaled `CD` lands (log-ahead) as the fragments
+    /// merge serially after the join, and `IS`/`ID` bracket each serial
+    /// install — so a crash at any record boundary resumes from the exact
+    /// expression it interrupted, in [`canonical_stage_order`].
+    pub fn execute_parallel_threaded_with(
+        &mut self,
+        p: &ParallelStrategy,
+        opts: ExecOptions,
+    ) -> CoreResult<ParallelReport> {
+        if opts.validate {
+            uww_vdag::check_vdag_strategy(self.vdag(), &p.linearize())?;
+        }
         // The linearized check cannot see stage races: a same-stage pair
         // like `Comp(V5, {V4}); Comp(V4, ..)` linearizes to a C8-legal order
         // yet computes against the frozen stage-entry state here, silently
-        // dropping ΔV4's contribution. The static analyzer (UWW001) can.
+        // dropping ΔV4's contribution. The static analyzer (UWW001) can —
+        // and it also underwrites the WAL manifest's canonical order, so it
+        // always runs here.
         let report = uww_analysis::analyze_parallel(self.vdag(), &p.stages);
         if report.has_errors() {
             return Err(CoreError::Analysis(Box::new(report)));
         }
+        let canonical = canonical_stage_order(p);
+        let mut wal = match &opts.wal {
+            Some(cfg) => {
+                let staged: Vec<(usize, &UpdateExpr)> =
+                    canonical.iter().map(|(s, e)| (*s, e)).collect();
+                Some(self.wal_begin(cfg, &staged)?)
+            }
+            None => None,
+        };
+        // Manifest index of each expression: comps first, then insts, per
+        // stage. Computed per stage below from a running offset.
+        let mut next_idx = 0usize;
         let mut report = ParallelReport::default();
-        for stage in &p.stages {
+        for (si, stage) in p.stages.iter().enumerate() {
             let t0 = std::time::Instant::now();
+            if let Some(w) = &mut wal {
+                w.append(&crate::wal::RecordBody::Stage(si))?;
+            }
             let comps: Vec<(ViewId, std::collections::BTreeSet<ViewId>)> = stage
                 .iter()
                 .filter_map(|e| match e {
@@ -407,6 +471,15 @@ impl Warehouse {
                     UpdateExpr::Inst(_) => None,
                 })
                 .collect();
+            let comp_idx0 = next_idx;
+            let inst_idx0 = comp_idx0 + comps.len();
+            next_idx += stage.len();
+            // Log-ahead intent for every comp in the stage before spawning.
+            if let Some(w) = &mut wal {
+                for i in 0..comps.len() {
+                    w.append(&crate::wal::RecordBody::CompStart(comp_idx0 + i))?;
+                }
+            }
 
             // Fan the comps out over threads; each sees the frozen state.
             type CompResult = CoreResult<(
@@ -445,8 +518,16 @@ impl Warehouse {
             });
 
             let mut per_expr = Vec::new();
-            for r in results {
+            for (i, r) in results.into_iter().enumerate() {
                 let (expr, name, fragment, mut meter, wall) = r?;
+                if let Some(w) = &mut wal {
+                    let payload = crate::wal::encode_pending(&fragment);
+                    w.append(&crate::wal::RecordBody::CompDone {
+                        idx: comp_idx0 + i,
+                        digest: uww_relational::digest64(&payload),
+                        payload,
+                    })?;
+                }
                 self.merge_fragment(&name, fragment)?;
                 meter.comp_expressions = 1;
                 let total = self.meter_mut();
@@ -458,19 +539,23 @@ impl Warehouse {
                     expr,
                     work: meter,
                     wall,
+                    replayed: false,
                 });
             }
 
             // Installs land at the stage boundary, serially.
+            let mut inst_idx = inst_idx0;
             for e in stage {
                 if let UpdateExpr::Inst(v) = e {
                     let before = *self.meter();
                     let t = std::time::Instant::now();
-                    self.exec_inst(*v)?;
+                    self.exec_inst_journaled(*v, inst_idx, &mut wal)?;
+                    inst_idx += 1;
                     per_expr.push(crate::engine::ExprReport {
                         expr: e.clone(),
                         work: self.meter().since(&before),
                         wall: t.elapsed(),
+                        replayed: false,
                     });
                 }
             }
@@ -478,6 +563,9 @@ impl Warehouse {
                 per_expr,
                 wall: t0.elapsed(),
             });
+        }
+        if let Some(w) = &mut wal {
+            w.append(&crate::wal::RecordBody::Commit)?;
         }
         Ok(report)
     }

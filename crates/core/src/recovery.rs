@@ -1,0 +1,292 @@
+//! Crash recovery: resume a journaled strategy from its install WAL.
+//!
+//! Recovery follows the redo-log model of [`crate::wal`]:
+//!
+//! 1. **Restore** — the warehouse state is replaced by `state.snap` (the
+//!    pre-run image) and the base-change batch reloads from `changes.snap`;
+//!    both are digest-verified against the manifest.
+//! 2. **Replay** — completed expressions (those with a durable `CD`/`ID`
+//!    record, which must form a strict prefix of the manifest's canonical
+//!    order) are redone: a `Comp` merges its journaled ΔV fragment with
+//!    zero scan work, an `Inst` re-executes against the restored state and
+//!    is verified against the record's row count and post-install digest.
+//! 3. **Gate** — before any fresh work runs, the *suffix* strategy (the
+//!    remaining manifest expressions, or an explicit override) is
+//!    re-verified against the partially-installed state: the concatenation
+//!    of executed prefix and suffix must satisfy C1–C8
+//!    ([`uww_vdag::check_vdag_strategy`]) and lint clean under the static
+//!    analyzer ([`uww_analysis::analyze_resume`]). A suffix invalidated by
+//!    the partial install — say, one that re-propagates a view the prefix
+//!    already installed — is refused with the C-rule or `UWW###`
+//!    diagnostic.
+//! 4. **Resume** — the suffix executes fresh, journaling onto the same log
+//!    (torn tail truncated first), and the run commits.
+//!
+//! Replayed expressions appear in the returned
+//! [`ExecutionReport`](crate::ExecutionReport) with
+//! [`ExprReport::replayed`](crate::ExprReport) set, so the report's
+//! `wall()` — the measured update window — includes recovery replay time.
+
+use std::path::Path;
+
+use uww_relational::{catalog_from_str, deltas_from_str, table_digest};
+use uww_vdag::{check_vdag_strategy, Strategy, UpdateExpr};
+
+use crate::engine::{ExecutionReport, ExprReport, Warehouse};
+use crate::error::{CoreError, CoreResult};
+use crate::wal::{decode_pending, RecordBody, WalConfig, WalLog, WalWriter, MANIFEST_FILE};
+
+/// What [`recover`] did.
+#[derive(Debug)]
+pub struct RecoveryOutcome {
+    /// Per-expression report over the whole strategy: replayed prefix
+    /// (marked [`ExprReport::replayed`]) followed by the freshly executed
+    /// suffix. Its `wall()` includes replay time.
+    pub report: ExecutionReport,
+    /// Number of `Comp` expressions replayed from journaled fragments.
+    pub replayed_comps: usize,
+    /// Number of `Inst` expressions redone from the log.
+    pub replayed_insts: usize,
+    /// Number of suffix expressions executed fresh.
+    pub resumed: usize,
+    /// True when the log was already committed: the whole run replays and
+    /// nothing is appended (recovery is idempotent).
+    pub already_committed: bool,
+}
+
+/// One completed (Done-record) expression, in manifest order.
+struct DoneRec {
+    seq: u64,
+    body: RecordBody,
+}
+
+/// Recovers a crashed (or committed) run from the WAL directory `dir`,
+/// resuming with the remaining manifest expressions. The warehouse must be
+/// built over the same VDAG the run was journaled against (fingerprint
+/// checked); its current state is discarded in favor of the snapshot.
+pub fn recover(w: &mut Warehouse, dir: &Path) -> CoreResult<RecoveryOutcome> {
+    recover_with(w, dir, None)
+}
+
+/// [`recover`] with an explicit suffix-strategy override: instead of the
+/// remaining manifest expressions, resume with `suffix` (which must pass
+/// the recovery gate against the already-executed prefix). The manifest is
+/// rewritten to the new plan so a crash *during* recovery stays resumable.
+pub fn recover_with(
+    w: &mut Warehouse,
+    dir: &Path,
+    suffix: Option<&[UpdateExpr]>,
+) -> CoreResult<RecoveryOutcome> {
+    let log = WalLog::open(dir)?;
+    if log.manifest.vdag_fingerprint != w.vdag().fingerprint() {
+        return Err(CoreError::Wal(format!(
+            "VDAG fingerprint mismatch: log {:016x}, warehouse {:016x}",
+            log.manifest.vdag_fingerprint,
+            w.vdag().fingerprint()
+        )));
+    }
+    let manifest_exprs: Vec<(usize, UpdateExpr)> = log
+        .manifest
+        .exprs
+        .iter()
+        .map(|me| Ok((me.stage, me.to_expr(w.vdag())?)))
+        .collect::<CoreResult<_>>()?;
+
+    // Collect the completed prefix: Done records must land in strict
+    // manifest order (the executors journal them that way; anything else is
+    // damage or tampering).
+    let mut done: Vec<DoneRec> = Vec::new();
+    for r in &log.records {
+        let idx = match &r.body {
+            RecordBody::CompDone { idx, .. } | RecordBody::InstDone { idx, .. } => *idx,
+            _ => continue,
+        };
+        if idx != done.len() {
+            return Err(CoreError::WalCorrupt {
+                record: r.seq,
+                detail: format!(
+                    "completion of expr {idx} out of order (expected {})",
+                    done.len()
+                ),
+            });
+        }
+        let Some((_, expr)) = manifest_exprs.get(idx) else {
+            return Err(CoreError::WalCorrupt {
+                record: r.seq,
+                detail: format!("completion of expr {idx} beyond the manifest"),
+            });
+        };
+        let kind_matches = matches!(
+            (&r.body, expr),
+            (RecordBody::CompDone { .. }, UpdateExpr::Comp { .. })
+                | (RecordBody::InstDone { .. }, UpdateExpr::Inst(_))
+        );
+        if !kind_matches {
+            return Err(CoreError::WalCorrupt {
+                record: r.seq,
+                detail: format!("record kind does not match manifest expr {idx}"),
+            });
+        }
+        done.push(DoneRec {
+            seq: r.seq,
+            body: r.body.clone(),
+        });
+    }
+    if log.committed && done.len() != manifest_exprs.len() {
+        return Err(CoreError::WalCorrupt {
+            record: log.next_seq.saturating_sub(1),
+            detail: format!(
+                "log committed with only {}/{} expressions complete",
+                done.len(),
+                manifest_exprs.len()
+            ),
+        });
+    }
+
+    // Restore the durable image and the change batch.
+    w.restore_state(catalog_from_str(&log.state_text)?)?;
+    w.load_changes(deltas_from_str(&log.changes_text)?)?;
+
+    // Gate the suffix before touching anything else: the concatenation of
+    // the executed prefix and the planned suffix must be a correct strategy
+    // for the (about to be) partially-installed state.
+    let prefix: Vec<UpdateExpr> = manifest_exprs[..done.len()]
+        .iter()
+        .map(|(_, e)| e.clone())
+        .collect();
+    let default_suffix: Vec<UpdateExpr> = manifest_exprs[done.len()..]
+        .iter()
+        .map(|(_, e)| e.clone())
+        .collect();
+    let suffix: Vec<UpdateExpr> = match suffix {
+        Some(s) => s.to_vec(),
+        None => default_suffix.clone(),
+    };
+    let mut full = prefix.clone();
+    full.extend(suffix.iter().cloned());
+    check_vdag_strategy(w.vdag(), &Strategy::from_exprs(full))?;
+    let gate = uww_analysis::analyze_resume(w.vdag(), &prefix, &suffix);
+    if gate.has_errors() {
+        return Err(CoreError::Analysis(Box::new(gate)));
+    }
+
+    // Replay the completed prefix.
+    let mut report = ExecutionReport::default();
+    let mut replayed_comps = 0usize;
+    let mut replayed_insts = 0usize;
+    for (i, d) in done.iter().enumerate() {
+        let (_, expr) = &manifest_exprs[i];
+        let t0 = std::time::Instant::now();
+        let start_meter = *w.meter();
+        match &d.body {
+            RecordBody::CompDone {
+                digest, payload, ..
+            } => {
+                if uww_relational::digest64(payload) != *digest {
+                    return Err(CoreError::WalCorrupt {
+                        record: d.seq,
+                        detail: "fragment payload digest mismatch".to_string(),
+                    });
+                }
+                let fragment = decode_pending(payload)?;
+                let name = w.vdag().name(expr.subject()).to_string();
+                w.merge_fragment(&name, fragment)?;
+                w.meter_mut().comp_expressions += 1;
+                replayed_comps += 1;
+            }
+            RecordBody::InstDone {
+                delta_len,
+                post_digest,
+                ..
+            } => {
+                let installed = w.exec_inst(expr.subject())?;
+                let name = w.vdag().name(expr.subject()).to_string();
+                let actual = table_digest(w.table(&name)?);
+                if installed != *delta_len || actual != *post_digest {
+                    return Err(CoreError::WalCorrupt {
+                        record: d.seq,
+                        detail: format!(
+                            "replay of Inst({name}) diverged: {installed} rows \
+                             (logged {delta_len}), extent digest {actual:016x} \
+                             (logged {post_digest:016x})"
+                        ),
+                    });
+                }
+                replayed_insts += 1;
+            }
+            _ => unreachable!("done list only holds Done records"),
+        }
+        report.per_expr.push(ExprReport {
+            expr: expr.clone(),
+            work: w.meter().since(&start_meter),
+            wall: t0.elapsed(),
+            replayed: true,
+        });
+    }
+
+    if log.committed {
+        return Ok(RecoveryOutcome {
+            report,
+            replayed_comps,
+            replayed_insts,
+            resumed: 0,
+            already_committed: true,
+        });
+    }
+
+    // An overridden suffix changes the plan: rewrite the manifest so the
+    // continued log stays coherent (and a crash during recovery remains
+    // recoverable against the *new* plan).
+    let suffix_stage = match done.len() {
+        0 => 0,
+        n => manifest_exprs[n - 1].0,
+    };
+    if suffix != default_suffix {
+        let mut manifest = log.manifest.clone();
+        manifest.exprs.truncate(done.len());
+        for e in &suffix {
+            manifest.exprs.push(crate::wal::ManifestExpr::from_expr(
+                w.vdag(),
+                suffix_stage,
+                e,
+            ));
+        }
+        std::fs::write(dir.join(MANIFEST_FILE), manifest.render())
+            .map_err(|e| CoreError::Wal(format!("rewrite manifest: {e}")))?;
+    }
+
+    // Execute the suffix fresh, journaling onto the same log.
+    let cfg = WalConfig::new(dir).with_fsync(log.manifest.fsync);
+    let mut wal = Some(WalWriter::resume(&cfg, &log)?);
+    let last_stage = if done.is_empty() {
+        None
+    } else {
+        Some(suffix_stage)
+    };
+    let items: Vec<(usize, usize, UpdateExpr)> = suffix
+        .iter()
+        .enumerate()
+        .map(|(i, e)| {
+            let idx = done.len() + i;
+            let stage = if suffix == default_suffix {
+                manifest_exprs[idx].0
+            } else {
+                suffix_stage
+            };
+            (idx, stage, e.clone())
+        })
+        .collect();
+    let resumed = items.len();
+    let fresh = w.run_exprs_journaled(&items, last_stage, &mut wal)?;
+    report.per_expr.extend(fresh.per_expr);
+    if let Some(writer) = &mut wal {
+        writer.append(&RecordBody::Commit)?;
+    }
+    Ok(RecoveryOutcome {
+        report,
+        replayed_comps,
+        replayed_insts,
+        resumed,
+        already_committed: false,
+    })
+}

@@ -43,7 +43,11 @@ pub use expr::{BoundExpr, BoundPredicate, CmpOp, Predicate, ScalarExpr};
 pub use meter::WorkMeter;
 pub use ops::{AggFunc, AggSpec, SignedRows};
 pub use schema::{Column, Schema};
-pub use snapshot::{catalog_from_str, catalog_to_string, table_to_string};
+pub use snapshot::{
+    catalog_digest, catalog_from_str, catalog_to_string, delta_digest, delta_from_str,
+    delta_to_string, deltas_from_str, deltas_to_string, digest64, table_digest, table_to_string,
+    value_from_wire, value_to_wire,
+};
 pub use sql::parse_view_def;
 pub use stats::{join_cardinality, ColumnStats, TableStats};
 pub use table::Table;

@@ -1,8 +1,10 @@
-//! Plain-text snapshots of tables and catalogs.
+//! Plain-text snapshots of tables, catalogs and delta relations.
 //!
 //! A line-oriented, dependency-free format for persisting warehouse state
 //! (and for diffing states in bug reports). Deterministic: rows are written
-//! in sorted order.
+//! in sorted order, so equal states serialize to equal bytes and the
+//! [`digest64`] of a serialization is a stable content fingerprint — the
+//! property the install WAL relies on to verify replayed deltas.
 //!
 //! ```text
 //! # uww snapshot v1
@@ -13,15 +15,59 @@
 //! ```
 
 use crate::catalog::Catalog;
+use crate::delta::DeltaRelation;
 use crate::error::{RelError, RelResult};
 use crate::schema::{Column, Schema};
 use crate::table::Table;
 use crate::tuple::Tuple;
 use crate::value::{Value, ValueType};
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// The header line every snapshot starts with.
 pub const HEADER: &str = "# uww snapshot v1";
+
+/// The header line every delta-set snapshot starts with.
+pub const DELTA_HEADER: &str = "# uww deltas v1";
+
+/// FNV-1a 64-bit digest of a string. Dependency-free and stable across
+/// platforms; used as the content checksum of snapshots, WAL records and
+/// serialized deltas.
+pub fn digest64(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Content digest of a table (over its deterministic serialization).
+pub fn table_digest(table: &Table) -> u64 {
+    digest64(&table_to_string(table))
+}
+
+/// Content digest of a whole catalog.
+pub fn catalog_digest(catalog: &Catalog) -> u64 {
+    digest64(&catalog_to_string(catalog))
+}
+
+/// Content digest of a delta relation.
+pub fn delta_digest(delta: &DeltaRelation) -> u64 {
+    digest64(&delta_to_string(delta))
+}
+
+/// Serializes one value to its wire form (`i:`/`d:`/`t:`/`s:` tagged).
+pub fn value_to_wire(v: &Value) -> String {
+    let mut out = String::new();
+    write_value(v, &mut out);
+    out
+}
+
+/// Parses a value from its wire form.
+pub fn value_from_wire(s: &str) -> RelResult<Value> {
+    parse_value(s)
+}
 
 /// Serializes one value.
 fn write_value(v: &Value, out: &mut String) {
@@ -102,17 +148,33 @@ fn parse_type(s: &str) -> RelResult<ValueType> {
     })
 }
 
+fn schema_to_spec(schema: &Schema) -> String {
+    schema
+        .columns()
+        .iter()
+        .map(|c| format!("{}:{}", c.name, type_name(c.ty)))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn schema_from_spec(spec: &str) -> RelResult<Schema> {
+    let mut cols = Vec::new();
+    for part in spec.split(',').filter(|p| !p.is_empty()) {
+        let (cname, ty) = part
+            .split_once(':')
+            .ok_or_else(|| RelError::SchemaMismatch {
+                detail: format!("malformed column spec: {part}"),
+            })?;
+        cols.push(Column::new(cname, parse_type(ty)?));
+    }
+    Schema::new(cols)
+}
+
 /// Serializes a single table.
 pub fn table_to_string(table: &Table) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "TABLE {}", table.name());
-    let cols: Vec<String> = table
-        .schema()
-        .columns()
-        .iter()
-        .map(|c| format!("{}:{}", c.name, type_name(c.ty)))
-        .collect();
-    let _ = writeln!(out, "SCHEMA {}", cols.join(","));
+    let _ = writeln!(out, "SCHEMA {}", schema_to_spec(table.schema()));
     for (row, mult) in table.sorted_rows() {
         let _ = write!(out, "ROW {mult}");
         for v in row.values() {
@@ -164,16 +226,7 @@ pub fn catalog_from_str(s: &str) -> RelResult<Catalog> {
             .ok_or_else(|| RelError::SchemaMismatch {
                 detail: format!("expected SCHEMA line, got: {schema_line}"),
             })?;
-        let mut cols = Vec::new();
-        for part in spec.split(',').filter(|p| !p.is_empty()) {
-            let (cname, ty) = part
-                .split_once(':')
-                .ok_or_else(|| RelError::SchemaMismatch {
-                    detail: format!("malformed column spec: {part}"),
-                })?;
-            cols.push(Column::new(cname, parse_type(ty)?));
-        }
-        let schema = Schema::new(cols)?;
+        let schema = schema_from_spec(spec)?;
         let mut table = Table::new(name, schema);
         loop {
             let row_line = lines.next().ok_or_else(|| RelError::SchemaMismatch {
@@ -199,6 +252,112 @@ pub fn catalog_from_str(s: &str) -> RelResult<Catalog> {
         catalog.register(table);
     }
     Ok(catalog)
+}
+
+/// Serializes a delta relation (signed multiplicities, sorted rows):
+///
+/// ```text
+/// SCHEMA k:int,v:decimal
+/// ROW -2 <TAB> i:1 <TAB> d:100
+/// END
+/// ```
+pub fn delta_to_string(delta: &DeltaRelation) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "SCHEMA {}", schema_to_spec(delta.schema()));
+    for (row, mult) in delta.sorted_rows() {
+        let _ = write!(out, "ROW {mult}");
+        for v in row.values() {
+            out.push('\t');
+            write_value(v, &mut out);
+        }
+        out.push('\n');
+    }
+    out.push_str("END\n");
+    out
+}
+
+/// Parses a delta relation serialized by [`delta_to_string`].
+pub fn delta_from_str(s: &str) -> RelResult<DeltaRelation> {
+    let mut lines = s.lines();
+    parse_delta_body(&mut lines)
+}
+
+fn parse_delta_body<'a>(lines: &mut impl Iterator<Item = &'a str>) -> RelResult<DeltaRelation> {
+    let schema_line = lines.next().ok_or_else(|| RelError::SchemaMismatch {
+        detail: "truncated delta: missing SCHEMA".to_string(),
+    })?;
+    let spec = schema_line
+        .strip_prefix("SCHEMA ")
+        .ok_or_else(|| RelError::SchemaMismatch {
+            detail: format!("expected SCHEMA line, got: {schema_line}"),
+        })?;
+    let mut delta = DeltaRelation::new(schema_from_spec(spec)?);
+    loop {
+        let row_line = lines.next().ok_or_else(|| RelError::SchemaMismatch {
+            detail: "truncated delta: missing END".to_string(),
+        })?;
+        if row_line == "END" {
+            break;
+        }
+        let rest = row_line
+            .strip_prefix("ROW ")
+            .ok_or_else(|| RelError::SchemaMismatch {
+                detail: format!("expected ROW or END, got: {row_line}"),
+            })?;
+        let mut fields = rest.split('\t');
+        let mult: i64 =
+            fields
+                .next()
+                .and_then(|m| m.parse().ok())
+                .ok_or_else(|| RelError::SchemaMismatch {
+                    detail: format!("bad signed multiplicity in: {row_line}"),
+                })?;
+        let values: Vec<Value> = fields.map(parse_value).collect::<RelResult<_>>()?;
+        delta.add(Tuple::new(values), mult);
+    }
+    Ok(delta)
+}
+
+/// Serializes a set of named deltas (a change batch) in name order.
+pub fn deltas_to_string(deltas: &BTreeMap<String, DeltaRelation>) -> String {
+    let mut out = String::from(DELTA_HEADER);
+    out.push('\n');
+    for (name, delta) in deltas {
+        let _ = writeln!(out, "DELTA {name}");
+        out.push_str(&delta_to_string(delta));
+    }
+    out
+}
+
+/// Parses a change batch serialized by [`deltas_to_string`].
+pub fn deltas_from_str(s: &str) -> RelResult<BTreeMap<String, DeltaRelation>> {
+    let mut lines = s.lines().peekable();
+    match lines.next() {
+        Some(h) if h == DELTA_HEADER => {}
+        other => {
+            return Err(RelError::SchemaMismatch {
+                detail: format!("bad delta-set header: {other:?}"),
+            })
+        }
+    }
+    let mut out = BTreeMap::new();
+    while let Some(line) = lines.next() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let name = line
+            .strip_prefix("DELTA ")
+            .ok_or_else(|| RelError::SchemaMismatch {
+                detail: format!("expected DELTA line, got: {line}"),
+            })?;
+        let delta = parse_delta_body(&mut lines)?;
+        if out.insert(name.to_string(), delta).is_some() {
+            return Err(RelError::SchemaMismatch {
+                detail: format!("duplicate delta for {name}"),
+            });
+        }
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -274,6 +433,62 @@ mod tests {
         assert!(catalog_from_str(&bad_type).is_err());
         let bad_mult = format!("{HEADER}\nTABLE T\nSCHEMA k:int\nROW x\ti:1\nEND\n");
         assert!(catalog_from_str(&bad_mult).is_err());
+    }
+
+    #[test]
+    fn delta_round_trip_preserves_signs() {
+        let mut d = DeltaRelation::new(Schema::of(&[("k", ValueType::Int), ("s", ValueType::Str)]));
+        d.add(tup![Value::Int(1), Value::str("minus\trow")], -3);
+        d.add(tup![Value::Int(2), Value::str("plus")], 2);
+        let text = delta_to_string(&d);
+        let back = delta_from_str(&text).unwrap();
+        assert_eq!(
+            back.multiplicity(&tup![Value::Int(1), Value::str("minus\trow")]),
+            -3
+        );
+        assert_eq!(
+            back.multiplicity(&tup![Value::Int(2), Value::str("plus")]),
+            2
+        );
+        assert_eq!(text, delta_to_string(&back));
+        assert_eq!(delta_digest(&d), delta_digest(&back));
+    }
+
+    #[test]
+    fn delta_set_round_trip() {
+        let mut a = DeltaRelation::new(Schema::of(&[("k", ValueType::Int)]));
+        a.add(tup![Value::Int(7)], -1);
+        let b = DeltaRelation::new(Schema::of(&[("x", ValueType::Str)]));
+        let mut m = BTreeMap::new();
+        m.insert("A".to_string(), a);
+        m.insert("B".to_string(), b);
+        let text = deltas_to_string(&m);
+        let back = deltas_from_str(&text).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back["A"].multiplicity(&tup![Value::Int(7)]), -1);
+        assert!(back["B"].is_empty());
+        // Malformed inputs rejected.
+        assert!(deltas_from_str("junk").is_err());
+        assert!(deltas_from_str(&format!("{DELTA_HEADER}\nDELTA A\nSCHEMA k:int\n")).is_err());
+    }
+
+    #[test]
+    fn digests_are_content_fingerprints() {
+        let c = sample_catalog();
+        assert_eq!(catalog_digest(&c), catalog_digest(&c));
+        let t = c.get("T").unwrap();
+        let mut t2 = t.clone();
+        assert_eq!(table_digest(t), table_digest(&t2));
+        t2.insert(tup![
+            Value::Int(99),
+            Value::Decimal(1),
+            Value::str("x"),
+            Value::Date(1)
+        ])
+        .unwrap();
+        assert_ne!(table_digest(t), table_digest(&t2));
+        assert_ne!(digest64("a"), digest64("b"));
+        assert_eq!(digest64(""), 0xcbf2_9ce4_8422_2325);
     }
 
     #[test]

@@ -4,6 +4,8 @@
 //! uww info     [--scenario fig4|q3|q5] [--scale F]
 //! uww plan     [--scenario ...] [--scale F] [--frac F] [--planner minwork|prune|dual-stage|rnscol]
 //! uww run      [--scenario ...] [--scale F] [--frac F] [--planner ...]
+//!              [--wal DIR] [--fsync always|never] [--fault crash:K|torn:K|dup:K]
+//! uww recover  DIR
 //! uww analyze  [--scenario ...] [--scale F] [--planner ...]
 //!              [--strategy "Comp(V,{A});..."] [--stages "...|..."] [--json]
 //! uww script   [--scenario ...] [--scale F] [--frac F]
@@ -16,11 +18,18 @@
 //! Scenarios are the paper's: `fig4` (all six TPC-D bases + Q3/Q5/Q10),
 //! `q3` (C, O, L + Q3), `q5` (all bases + Q5). `--frac` is the uniform
 //! deletion fraction of the change batch (default 0.10, the paper's).
+//!
+//! `run --wal DIR` journals the run into an install write-ahead log under
+//! `DIR`; `recover DIR` resumes a crashed (or re-verifies a committed) run
+//! from that log, rebuilding the scenario from the manifest's recorded
+//! context. `--fault` injects a deterministic crash at the `K`-th WAL record
+//! for testing: `crash:K` dies before writing it, `torn:K` half-writes it,
+//! `dup:K` writes it twice (and continues).
 
 use std::process::ExitCode;
 use uww::core::{
-    min_work, prune, simulate_olap, CostModel, IsolationMode, OlapWorkload, ScriptGenerator,
-    SizeCatalog,
+    min_work, prune, recover, simulate_olap, CostModel, ExecOptions, FaultPlan, FsyncPolicy,
+    IsolationMode, OlapWorkload, ScriptGenerator, SizeCatalog, WalConfig, WalLog,
 };
 use uww::scenario::TpcdScenario;
 use uww::vdag::{construct_eg, Strategy};
@@ -36,22 +45,36 @@ struct Args {
     strategy_text: Option<String>,
     stages_text: Option<String>,
     json: bool,
+    wal: Option<String>,
+    fsync: String,
+    fault: Option<String>,
+    dir: Option<String>,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            scenario: "fig4".into(),
+            scale: 0.001,
+            frac: 0.10,
+            planner: "minwork".into(),
+            graph: "vdag".into(),
+            isolation: "strict".into(),
+            sql_views: Vec::new(),
+            strategy_text: None,
+            stages_text: None,
+            json: false,
+            wal: None,
+            fsync: "always".into(),
+            fault: None,
+            dir: None,
+        }
+    }
 }
 
 fn parse_args(argv: &[String]) -> Result<(String, Args), String> {
     let mut cmd = None;
-    let mut args = Args {
-        scenario: "fig4".into(),
-        scale: 0.001,
-        frac: 0.10,
-        planner: "minwork".into(),
-        graph: "vdag".into(),
-        isolation: "strict".into(),
-        sql_views: Vec::new(),
-        strategy_text: None,
-        stages_text: None,
-        json: false,
-    };
+    let mut args = Args::default();
     let mut it = argv.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -78,7 +101,8 @@ fn parse_args(argv: &[String]) -> Result<(String, Args), String> {
                     .ok_or_else(|| "missing value for --stages".to_string())?;
                 args.stages_text = Some(v.clone());
             }
-            "--scenario" | "--scale" | "--frac" | "--planner" | "--graph" | "--isolation" => {
+            "--scenario" | "--scale" | "--frac" | "--planner" | "--graph" | "--isolation"
+            | "--wal" | "--fsync" | "--fault" => {
                 let v = it
                     .next()
                     .ok_or_else(|| format!("missing value for {a}"))?
@@ -90,11 +114,15 @@ fn parse_args(argv: &[String]) -> Result<(String, Args), String> {
                     "--planner" => args.planner = v,
                     "--graph" => args.graph = v,
                     "--isolation" => args.isolation = v,
+                    "--wal" => args.wal = Some(v),
+                    "--fsync" => args.fsync = v,
+                    "--fault" => args.fault = Some(v),
                     _ => unreachable!(),
                 }
             }
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
             word if cmd.is_none() => cmd = Some(word.to_string()),
+            word if args.dir.is_none() => args.dir = Some(word.to_string()),
             word => return Err(format!("unexpected argument {word}")),
         }
     }
@@ -217,14 +245,113 @@ fn cmd_plan(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn parse_fault(spec: &str) -> Result<FaultPlan, String> {
+    let (kind, k) = spec
+        .split_once(':')
+        .ok_or_else(|| format!("bad --fault {spec} (crash:K|torn:K|dup:K)"))?;
+    let k: u64 = k.parse().map_err(|_| format!("bad --fault record {k}"))?;
+    match kind {
+        "crash" => Ok(FaultPlan::crash_before(k)),
+        "torn" => Ok(FaultPlan::torn_at(k)),
+        "dup" => Ok(FaultPlan::duplicate_at(k)),
+        other => Err(format!("unknown fault kind {other} (crash|torn|dup)")),
+    }
+}
+
 fn cmd_run(args: &Args) -> Result<(), String> {
     let mut sc = build_scenario(args)?;
     load_changes(&mut sc, args)?;
     let (strategy, label) = pick_strategy(&sc, args)?;
-    let report = sc.run(&strategy).map_err(|e| e.to_string())?;
+    let mut opts = ExecOptions::default();
+    if let Some(dir) = &args.wal {
+        let fsync = FsyncPolicy::parse(&args.fsync).map_err(|e| e.to_string())?;
+        let mut cfg = WalConfig::new(dir)
+            .with_fsync(fsync)
+            .with_ctx("scenario", &args.scenario)
+            .with_ctx("scale", args.scale.to_string())
+            .with_ctx("frac", args.frac.to_string())
+            .with_ctx("planner", &args.planner);
+        if let Some(spec) = &args.fault {
+            cfg = cfg.with_faults(parse_fault(spec)?);
+        }
+        opts.wal = Some(cfg);
+    }
+    let report = sc.run_with(&strategy, opts).map_err(|e| e.to_string())?;
     println!("{label}: verified against from-scratch rebuild");
+    if let Some(dir) = &args.wal {
+        println!("journaled to {dir} (committed)");
+    }
     println!(
         "update window: {:?} | measured work {} rows ({} scanned, {} installed)",
+        report.wall(),
+        report.linear_work(),
+        report.total_work().operand_rows_scanned,
+        report.total_work().rows_installed,
+    );
+    Ok(())
+}
+
+fn cmd_recover(args: &Args) -> Result<(), String> {
+    let dir = args
+        .dir
+        .as_deref()
+        .ok_or_else(|| "recover needs a WAL directory: uww recover DIR".to_string())?;
+    let dir = std::path::Path::new(dir);
+    // The manifest records how the scenario was built; rebuild the same
+    // warehouse (the data generator is deterministic for a given scale) so
+    // recovery has the right schemas and the result can be re-verified
+    // against a from-scratch recomputation.
+    let log = WalLog::open(dir).map_err(|e| e.to_string())?;
+    let mut args = Args {
+        scenario: log
+            .manifest
+            .ctx("scenario")
+            .unwrap_or(&args.scenario)
+            .to_string(),
+        dir: None,
+        sql_views: args.sql_views.clone(),
+        ..Args::default()
+    };
+    if let Some(v) = log.manifest.ctx("scale") {
+        args.scale = v
+            .parse()
+            .map_err(|_| format!("bad scale in manifest: {v}"))?;
+    }
+    if let Some(v) = log.manifest.ctx("frac") {
+        args.frac = v
+            .parse()
+            .map_err(|_| format!("bad frac in manifest: {v}"))?;
+    }
+    let mut sc = build_scenario(&args)?;
+    load_changes(&mut sc, &args)?;
+    let expected = sc
+        .warehouse
+        .expected_final_state()
+        .map_err(|e| e.to_string())?;
+    let mut w = sc.warehouse.clone();
+    let outcome = recover(&mut w, dir).map_err(|e| e.to_string())?;
+    let diffs = w.diff_state(&expected);
+    if !diffs.is_empty() {
+        return Err(format!(
+            "recovered state diverges from from-scratch rebuild for views {diffs:?}"
+        ));
+    }
+    println!(
+        "recovered {}: {} comp(s) and {} inst(s) replayed, {} expression(s) resumed{}",
+        dir.display(),
+        outcome.replayed_comps,
+        outcome.replayed_insts,
+        outcome.resumed,
+        if outcome.already_committed {
+            " (log was already committed)"
+        } else {
+            ""
+        }
+    );
+    println!("verified against from-scratch rebuild");
+    let report = outcome.report;
+    println!(
+        "update window incl. replay: {:?} | measured work {} rows ({} scanned, {} installed)",
         report.wall(),
         report.linear_work(),
         report.total_work().operand_rows_scanned,
@@ -357,7 +484,9 @@ const USAGE: &str = "usage: uww <info|plan|run|analyze|script|dot|olap|explain|d
 [--scenario fig4|q3|q5] [--scale F] [--frac F] \
 [--planner minwork|prune|dual-stage|rnscol] [--graph vdag|eg] [--isolation strict|low] \
 [--sql NAME=SELECT-statement] \
-[--strategy \"Comp(V,{A,B}); Inst(A); ...\"] [--stages \"stage | stage | ...\"] [--json]";
+[--strategy \"Comp(V,{A,B}); Inst(A); ...\"] [--stages \"stage | stage | ...\"] [--json] \
+[--wal DIR] [--fsync always|never] [--fault crash:K|torn:K|dup:K]\n\
+       uww recover DIR";
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -372,6 +501,7 @@ fn main() -> ExitCode {
         "info" => cmd_info(&args),
         "plan" => cmd_plan(&args),
         "run" => cmd_run(&args),
+        "recover" => cmd_recover(&args),
         "analyze" => cmd_analyze(&args),
         "script" => cmd_script(&args),
         "dot" => cmd_dot(&args),

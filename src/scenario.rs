@@ -99,9 +99,21 @@ impl TpcdScenario {
     /// state). Returns the execution report and verifies the final state
     /// against a from-scratch recomputation.
     pub fn run(&self, strategy: &Strategy) -> CoreResult<uww_core::ExecutionReport> {
+        self.run_with(strategy, uww_core::ExecOptions::default())
+    }
+
+    /// [`TpcdScenario::run`] with explicit [`uww_core::ExecOptions`] — in
+    /// particular `opts.wal` journals the run into an install WAL so a crash
+    /// (injected or real) can be resumed with [`uww_core::recover`]. The
+    /// from-scratch verification only runs when execution succeeds.
+    pub fn run_with(
+        &self,
+        strategy: &Strategy,
+        opts: uww_core::ExecOptions,
+    ) -> CoreResult<uww_core::ExecutionReport> {
         let mut w = self.warehouse.clone();
         let expected = w.expected_final_state()?;
-        let report = w.execute(strategy)?;
+        let report = w.execute_with(strategy, opts)?;
         let diffs = w.diff_state(&expected);
         if !diffs.is_empty() {
             return Err(CoreError::Warehouse(format!(

@@ -166,6 +166,115 @@ fn bad_input_fails_with_usage() {
     }
 }
 
+/// A fresh per-test WAL directory under the target tmpdir.
+fn wal_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("uww-cli-wal-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn run_with_wal_journals_and_recover_is_idempotent() {
+    let dir = wal_dir("clean");
+    let d = dir.to_str().unwrap();
+    let o = uww(&[
+        &["run", "--scenario", "q3", "--wal", d, "--fsync", "never"],
+        SMALL,
+    ]
+    .concat());
+    assert!(o.status.success(), "{}", stderr(&o));
+    assert!(stdout(&o).contains("journaled to"));
+    for f in ["manifest", "state.snap", "changes.snap", "wal.log"] {
+        assert!(dir.join(f).is_file(), "missing {f}");
+    }
+
+    // Recovering a committed log replays everything, resumes nothing, and
+    // still verifies against a from-scratch rebuild.
+    let o = uww(&["recover", d]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let s = stdout(&o);
+    assert!(s.contains("log was already committed"), "{s}");
+    assert!(s.contains("0 expression(s) resumed"), "{s}");
+    assert!(s.contains("verified against from-scratch rebuild"), "{s}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn injected_crash_then_recover_completes_the_run() {
+    let dir = wal_dir("crash");
+    let d = dir.to_str().unwrap();
+    let o = uww(&[
+        &[
+            "run",
+            "--scenario",
+            "q3",
+            "--wal",
+            d,
+            "--fsync",
+            "never",
+            "--fault",
+            "crash:5",
+        ],
+        SMALL,
+    ]
+    .concat());
+    assert!(!o.status.success(), "injected crash should fail the run");
+    assert!(stderr(&o).contains("injected crash"), "{}", stderr(&o));
+
+    let o = uww(&["recover", d]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let s = stdout(&o);
+    assert!(s.contains("resumed"), "{s}");
+    assert!(s.contains("verified against from-scratch rebuild"), "{s}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn recover_tolerates_a_torn_final_record() {
+    let dir = wal_dir("torn");
+    let d = dir.to_str().unwrap();
+    let o = uww(&[
+        &[
+            "run",
+            "--scenario",
+            "q3",
+            "--wal",
+            d,
+            "--fsync",
+            "never",
+            "--fault",
+            "torn:6",
+        ],
+        SMALL,
+    ]
+    .concat());
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("injected crash"), "{}", stderr(&o));
+
+    let o = uww(&["recover", d]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    assert!(stdout(&o).contains("verified against from-scratch rebuild"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn recover_without_dir_or_with_missing_dir_fails() {
+    let o = uww(&["recover"]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("recover needs a WAL directory"));
+
+    let o = uww(&["recover", "/nonexistent/uww-wal"]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("wal"), "{}", stderr(&o));
+}
+
+#[test]
+fn bad_fault_spec_fails_with_usage() {
+    let o = uww(&["run", "--wal", "/tmp/x", "--fault", "sideways:3"]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("unknown fault kind"), "{}", stderr(&o));
+}
+
 #[test]
 fn help_prints_usage() {
     let o = uww(&["help"]);
