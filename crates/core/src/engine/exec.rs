@@ -80,6 +80,79 @@ impl ExecutionReport {
     pub fn linear_work(&self) -> u64 {
         self.total_work().linear_work()
     }
+
+    /// Renders the report as a JSON object (no external dependencies),
+    /// resolving view ids against `g`. This is the one schema every consumer
+    /// (`uww run --json`, the serve/bench tooling) reads, so it carries the
+    /// full meter — including `rows_emitted` — and each expression's
+    /// `replayed` flag.
+    pub fn to_json(&self, g: &uww_vdag::Vdag) -> String {
+        fn meter_json(m: &WorkMeter) -> String {
+            format!(
+                "{{\"operand_rows_scanned\":{},\"rows_installed\":{},\"rows_emitted\":{},\
+                 \"terms_evaluated\":{},\"comp_expressions\":{},\"inst_expressions\":{}}}",
+                m.operand_rows_scanned,
+                m.rows_installed,
+                m.rows_emitted,
+                m.terms_evaluated,
+                m.comp_expressions,
+                m.inst_expressions
+            )
+        }
+        fn json_str(s: &str) -> String {
+            let mut out = String::with_capacity(s.len() + 2);
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+            out
+        }
+
+        let mut out = String::from("{\"per_expr\":[");
+        for (n, e) in self.per_expr.iter().enumerate() {
+            if n > 0 {
+                out.push(',');
+            }
+            let (kind, view, over): (&str, ViewId, Vec<ViewId>) = match &e.expr {
+                UpdateExpr::Comp { view, over } => ("comp", *view, over.iter().copied().collect()),
+                UpdateExpr::Inst(view) => ("inst", *view, Vec::new()),
+            };
+            out.push_str(&format!(
+                "{{\"expr\":{},\"kind\":\"{kind}\",\"view\":{},\"over\":[",
+                json_str(&e.expr.display(g).to_string()),
+                json_str(g.name(view)),
+            ));
+            for (m, v) in over.iter().enumerate() {
+                if m > 0 {
+                    out.push(',');
+                }
+                out.push_str(&json_str(g.name(*v)));
+            }
+            out.push_str(&format!(
+                "],\"wall_us\":{},\"replayed\":{},\"work\":{}}}",
+                e.wall.as_micros(),
+                e.replayed,
+                meter_json(&e.work)
+            ));
+        }
+        out.push_str(&format!(
+            "],\"total\":{},\"wall_us\":{},\"linear_work\":{},\"replayed_exprs\":{}}}",
+            meter_json(&self.total_work()),
+            self.wall().as_micros(),
+            self.linear_work(),
+            self.per_expr.iter().filter(|e| e.replayed).count()
+        ));
+        out
+    }
 }
 
 impl Warehouse {
@@ -281,9 +354,15 @@ impl Warehouse {
     /// Executes `Inst(view)`: installs the pending delta (a no-op when no
     /// delta is pending, e.g. an unchanged base view). Returns the number of
     /// delta rows installed.
+    ///
+    /// This is the single funnel through which *every* executor path installs
+    /// (`execute_with` and the threaded parallel executor both reach it), so
+    /// an attached [`InstallPublisher`](crate::engine::publish::InstallPublisher)
+    /// sees every install and publishes the new extent to online readers.
     pub(crate) fn exec_inst(&mut self, view: ViewId) -> CoreResult<u64> {
         let name = self.vdag().name(view).to_string();
         self.meter_mut().inst_expressions += 1;
+        let publisher = self.publisher().cloned();
         let Some(pending) = self.pending_map_mut().remove(&name) else {
             return Ok(0);
         };
@@ -292,10 +371,17 @@ impl Warehouse {
             PendingDelta::Summary(s) => s.to_delta(self.table(&name)?).map_err(CoreError::Rel)?,
         };
         let len = delta.len();
-        self.state_mut()
-            .get_mut(&name)?
-            .install(&delta)
-            .map_err(CoreError::Rel)?;
+        match &publisher {
+            Some(p) => {
+                p.install_and_publish(&name, &delta, self.state_mut())?;
+            }
+            None => {
+                self.state_mut()
+                    .get_mut(&name)?
+                    .install(&delta)
+                    .map_err(CoreError::Rel)?;
+            }
+        }
         self.meter_mut().install(len);
         Ok(len)
     }
@@ -622,6 +708,24 @@ mod tests {
         let second = w.execute(&strategy).unwrap();
         assert_eq!(second.linear_work(), 0);
         assert!(w.table("V").unwrap().same_contents(&snapshot));
+    }
+
+    #[test]
+    fn report_json_carries_full_meter_and_replay_flags() {
+        let mut w = warehouse_with_changes();
+        let report = w.execute(&strategy_1way_rs(&w)).unwrap();
+        let json = report.to_json(w.vdag());
+        // One schema for all consumers: rows_emitted and replayed included.
+        assert!(json.contains("\"rows_emitted\":"));
+        assert!(json.contains("\"replayed\":false"));
+        assert!(json.contains("\"replayed_exprs\":0"));
+        assert!(json.contains("\"kind\":\"comp\""));
+        assert!(json.contains("\"kind\":\"inst\""));
+        assert!(json.contains("\"view\":\"V\""));
+        assert!(json.contains(&format!("\"linear_work\":{}", report.linear_work())));
+        // Emitted rows actually flow through to the total.
+        let emitted = report.total_work().rows_emitted;
+        assert!(json.contains(&format!("\"rows_emitted\":{emitted}")));
     }
 
     #[test]

@@ -18,6 +18,7 @@
 pub mod eval;
 pub mod exec;
 pub mod explain;
+pub mod publish;
 pub mod summary;
 pub mod warehouse;
 
@@ -25,5 +26,6 @@ pub(crate) use summary::raw_to_value as summary_raw_to_value;
 
 pub use exec::{ExecOptions, ExecutionReport, ExprReport};
 pub use explain::{render_explain, ExprPlan, TermPlan};
+pub use publish::InstallPublisher;
 pub use summary::{stored_aggregate_schema, SummaryDelta, COUNT_COLUMN};
 pub use warehouse::{PendingDelta, Warehouse, WarehouseBuilder};

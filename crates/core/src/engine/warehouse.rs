@@ -1,6 +1,7 @@
 //! The warehouse: stored view extents, view definitions, and pending deltas.
 
 use crate::engine::eval;
+use crate::engine::publish::InstallPublisher;
 use crate::engine::summary::{stored_aggregate_schema, SummaryDelta};
 use crate::error::{CoreError, CoreResult};
 use std::collections::BTreeMap;
@@ -46,6 +47,9 @@ pub struct Warehouse {
     pending: BTreeMap<String, PendingDelta>,
     /// Cumulative work meter.
     meter: WorkMeter,
+    /// When attached, every completed `Inst` publishes the view's new extent
+    /// to a shared versioned catalog for online readers.
+    publisher: Option<InstallPublisher>,
 }
 
 impl Warehouse {
@@ -86,6 +90,23 @@ impl Warehouse {
 
     pub(crate) fn state_mut(&mut self) -> &mut Catalog {
         &mut self.state
+    }
+
+    /// Attaches an install publisher: from now on every completed `Inst`
+    /// (sequential or parallel executor alike) publishes the view's new
+    /// extent to the publisher's shared [`uww_relational::VersionedCatalog`].
+    pub fn attach_publisher(&mut self, publisher: InstallPublisher) {
+        self.publisher = Some(publisher);
+    }
+
+    /// Detaches the install publisher, returning it if one was attached.
+    pub fn detach_publisher(&mut self) -> Option<InstallPublisher> {
+        self.publisher.take()
+    }
+
+    /// The attached install publisher, if any.
+    pub fn publisher(&self) -> Option<&InstallPublisher> {
+        self.publisher.as_ref()
     }
 
     pub(crate) fn pending_map(&self) -> &BTreeMap<String, PendingDelta> {
@@ -229,13 +250,13 @@ impl Warehouse {
             let name = self.vdag.name(v);
             let table = self.state.get(name)?;
             match self.pending.get(name) {
-                Some(PendingDelta::Rows(d)) => cat.register(d.applied_to(table)?),
+                Some(PendingDelta::Rows(d)) => cat.register(d.applied_to(table)?)?,
                 Some(PendingDelta::Summary(_)) => {
                     return Err(CoreError::Warehouse(format!(
                         "base view {name} has a summary delta"
                     )))
                 }
-                None => cat.register(table.clone()),
+                None => cat.register(table.clone())?,
             }
         }
         // Derived views recomputed bottom-up.
@@ -245,7 +266,7 @@ impl Warehouse {
                 .defs
                 .get(name)
                 .ok_or_else(|| CoreError::Warehouse(format!("missing def for {name}")))?;
-            cat.register(materialize_from(&cat, def)?);
+            cat.register(materialize_from(&cat, def)?)?;
         }
         Ok(cat)
     }
@@ -304,7 +325,7 @@ impl WarehouseBuilder {
         let mut state = Catalog::new();
         for t in self.base_tables {
             vdag.add_base(t.name())?;
-            state.register(t);
+            state.register(t)?;
         }
 
         // Topologically order the defs (sources must already be registered).
@@ -329,7 +350,7 @@ impl WarehouseBuilder {
                 .collect::<Result<_, _>>()?;
             vdag.add_derived(&def.name, &source_ids)?;
             let table = materialize_from(&state, &def)?;
-            state.register(table);
+            state.register(table)?;
             defs.insert(def.name.clone(), def);
         }
 
@@ -339,6 +360,7 @@ impl WarehouseBuilder {
             state,
             pending: BTreeMap::new(),
             meter: WorkMeter::new(),
+            publisher: None,
         })
     }
 }

@@ -47,8 +47,8 @@ pub use calibrate::{calibrate, Calibration};
 pub use cost::{CostMetric, CostModel};
 pub use design::{greedy_select, Candidate, DesignOutcome};
 pub use engine::{
-    ExecOptions, ExecutionReport, ExprReport, PendingDelta, SummaryDelta, Warehouse,
-    WarehouseBuilder,
+    ExecOptions, ExecutionReport, ExprReport, InstallPublisher, PendingDelta, SummaryDelta,
+    Warehouse, WarehouseBuilder,
 };
 pub use error::{CoreError, CoreResult};
 pub use estimate::StatsEstimator;

@@ -113,6 +113,20 @@ impl InterferenceReport {
     pub fn total_lock_wait(&self) -> f64 {
         self.queries.iter().map(|q| q.lock_wait).sum()
     }
+
+    /// Latency at quantile `q` (`0.0 ≤ q ≤ 1.0`), nearest-rank on the sorted
+    /// latencies. `0.0` for an empty report. The same definition the serving
+    /// subsystem uses for its measured p50/p95/p99, so simulated and measured
+    /// distributions compare like for like.
+    pub fn latency_percentile(&self, q: f64) -> f64 {
+        let mut lats: Vec<f64> = self.queries.iter().map(QueryOutcome::latency).collect();
+        if lats.is_empty() {
+            return 0.0;
+        }
+        lats.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let rank = ((q.clamp(0.0, 1.0) * lats.len() as f64).ceil() as usize).max(1) - 1;
+        lats[rank.min(lats.len() - 1)]
+    }
 }
 
 /// Simulates one update window with concurrent OLAP queries.
@@ -315,6 +329,36 @@ mod tests {
             rep.queries.len()
         );
         assert!(rep.max_latency() >= rep.mean_latency());
+    }
+
+    #[test]
+    fn latency_percentiles_are_nearest_rank() {
+        let queries = (1..=100)
+            .map(|i| QueryOutcome {
+                target: ViewId(0),
+                arrival: 0.0,
+                lock_wait: 0.0,
+                service: i as f64,
+            })
+            .collect();
+        let rep = InterferenceReport {
+            window: 0.0,
+            install_span: 0.0,
+            total_install_time: 0.0,
+            queries,
+        };
+        assert_eq!(rep.latency_percentile(0.50), 50.0);
+        assert_eq!(rep.latency_percentile(0.95), 95.0);
+        assert_eq!(rep.latency_percentile(0.99), 99.0);
+        assert_eq!(rep.latency_percentile(1.0), 100.0);
+        assert_eq!(rep.latency_percentile(0.0), 1.0);
+        let empty = InterferenceReport {
+            window: 0.0,
+            install_span: 0.0,
+            total_install_time: 0.0,
+            queries: Vec::new(),
+        };
+        assert_eq!(empty.latency_percentile(0.5), 0.0);
     }
 
     #[test]

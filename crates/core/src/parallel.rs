@@ -422,6 +422,11 @@ impl Warehouse {
 
     /// [`Warehouse::execute_parallel_threaded`] with explicit options.
     ///
+    /// Installs run serially at stage boundaries through the same
+    /// [`exec_inst`](crate::engine::exec) funnel as the sequential executor,
+    /// so an attached [`InstallPublisher`](crate::engine::InstallPublisher)
+    /// publishes every stage's installs to online readers atomically.
+    ///
     /// With a WAL attached, records are stage-granular: a `STG` barrier
     /// record opens each stage, every comp's `CS` is appended before the
     /// threads spawn, each journaled `CD` lands (log-ahead) as the fragments
@@ -713,6 +718,52 @@ mod tests {
         assert_eq!(par_report.stages.len(), p.depth());
         assert!(par_report.linear_work() > 0);
         assert!(par_report.wall() > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn threaded_execution_publishes_each_install() {
+        use crate::engine::InstallPublisher;
+        use std::sync::Arc;
+        use uww_relational::{tup, DeltaRelation, Schema, Table, ValueType, VersionedCatalog};
+        let mut r = Table::new(
+            "R",
+            Schema::of(&[("k", ValueType::Int), ("g", ValueType::Int)]),
+        );
+        for i in 0..50 {
+            r.insert(tup![Value::Int(i), Value::Int(i % 5)]).unwrap();
+        }
+        let mk_view = |name: &str, modulus: i64| ViewDef {
+            name: name.into(),
+            sources: vec![ViewSource::named("R")],
+            joins: vec![],
+            filters: vec![Predicate::col_ge("R.g", Value::Int(modulus))],
+            output: ViewOutput::Project(vec![OutputColumn::col("k", "R.k")]),
+        };
+        let mut w = Warehouse::builder()
+            .base_table(r)
+            .view(mk_view("V1", 0))
+            .view(mk_view("V2", 2))
+            .build()
+            .unwrap();
+        let mut delta = DeltaRelation::new(w.table("R").unwrap().schema().clone());
+        for i in 0..10 {
+            delta.add(tup![Value::Int(i), Value::Int(i % 5)], -1);
+        }
+        w.load_changes([("R".to_string(), delta)].into_iter().collect())
+            .unwrap();
+
+        let versioned = Arc::new(VersionedCatalog::from_catalog(w.state()));
+        w.attach_publisher(InstallPublisher::new(Arc::clone(&versioned), false));
+        let p = parallelize(w.vdag(), &dual_stage_strategy(w.vdag()));
+        let report = w.execute_parallel_threaded(&p).unwrap();
+
+        // One published epoch per executed Inst, and the published extents
+        // equal the engine's final state.
+        assert_eq!(versioned.epoch(), report.total_work().inst_expressions);
+        let snap = versioned.snapshot();
+        for table in w.state().iter() {
+            assert!(snap.get(table.name()).unwrap().same_contents(table));
+        }
     }
 
     #[test]

@@ -19,9 +19,27 @@ impl Catalog {
         Self::default()
     }
 
-    /// Registers a table under its own name, replacing any previous entry.
-    pub fn register(&mut self, table: Table) {
-        self.tables.insert(table.name().to_string(), table);
+    /// Registers a table under its own name.
+    ///
+    /// Refuses to clobber: registering a second table under a name the
+    /// catalog already holds is a [`RelError::DuplicateRelation`] — silently
+    /// overwriting a stored extent is exactly the kind of bug a warehouse
+    /// must not paper over. Use [`Catalog::replace`] for an intentional
+    /// swap (e.g. installing a new table version).
+    pub fn register(&mut self, table: Table) -> RelResult<()> {
+        let name = table.name().to_string();
+        if self.tables.contains_key(&name) {
+            return Err(RelError::DuplicateRelation(name));
+        }
+        self.tables.insert(name, table);
+        Ok(())
+    }
+
+    /// Replaces (or inserts) a table under its own name, returning the
+    /// previous entry if one existed. The explicit counterpart of
+    /// [`Catalog::register`] for call sites that *mean* to overwrite.
+    pub fn replace(&mut self, table: Table) -> Option<Table> {
+        self.tables.insert(table.name().to_string(), table)
     }
 
     /// Looks up a table.
@@ -73,7 +91,8 @@ mod tests {
     #[test]
     fn register_and_lookup() {
         let mut c = Catalog::new();
-        c.register(Table::new("T", Schema::of(&[("a", ValueType::Int)])));
+        c.register(Table::new("T", Schema::of(&[("a", ValueType::Int)])))
+            .unwrap();
         assert!(c.contains("T"));
         assert!(c.get("T").is_ok());
         assert!(c.get_mut("T").is_ok());
@@ -83,10 +102,34 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_registration_is_a_typed_error() {
+        let mut c = Catalog::new();
+        let schema = Schema::of(&[("a", ValueType::Int)]);
+        c.register(Table::new("T", schema.clone())).unwrap();
+        let err = c.register(Table::new("T", schema)).unwrap_err();
+        assert!(matches!(err, RelError::DuplicateRelation(n) if n == "T"));
+        // The original entry is untouched.
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn replace_swaps_and_returns_previous() {
+        let mut c = Catalog::new();
+        let schema = Schema::of(&[("a", ValueType::Int)]);
+        assert!(c.replace(Table::new("T", schema.clone())).is_none());
+        let mut t2 = Table::new("T", schema);
+        t2.insert(crate::tup![crate::value::Value::Int(1)]).unwrap();
+        let old = c.replace(t2).unwrap();
+        assert!(old.is_empty());
+        assert_eq!(c.get("T").unwrap().len(), 1);
+    }
+
+    #[test]
     fn iteration_is_name_ordered() {
         let mut c = Catalog::new();
         for n in ["Z", "A", "M"] {
-            c.register(Table::new(n, Schema::of(&[("a", ValueType::Int)])));
+            c.register(Table::new(n, Schema::of(&[("a", ValueType::Int)])))
+                .unwrap();
         }
         let names: Vec<&str> = c.names().collect();
         assert_eq!(names, vec!["A", "M", "Z"]);

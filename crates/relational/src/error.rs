@@ -11,6 +11,8 @@ pub enum RelError {
     UnknownColumn(String),
     /// A named relation did not resolve against a catalog.
     UnknownRelation(String),
+    /// A relation was registered under a name the catalog already holds.
+    DuplicateRelation(String),
     /// An expression combined operand types it does not support.
     TypeMismatch {
         /// What was being evaluated.
@@ -38,6 +40,9 @@ impl fmt::Display for RelError {
             RelError::DuplicateColumn(n) => write!(f, "duplicate column name: {n}"),
             RelError::UnknownColumn(n) => write!(f, "unknown column: {n}"),
             RelError::UnknownRelation(n) => write!(f, "unknown relation: {n}"),
+            RelError::DuplicateRelation(n) => {
+                write!(f, "relation already registered: {n}")
+            }
             RelError::TypeMismatch { context } => write!(f, "type mismatch in {context}"),
             RelError::SchemaMismatch { detail } => write!(f, "schema mismatch: {detail}"),
             RelError::NegativeMultiplicity { relation } => {

@@ -34,6 +34,7 @@ pub mod stats;
 pub mod table;
 pub mod tuple;
 pub mod value;
+pub mod versioned;
 pub mod viewdef;
 
 pub use catalog::Catalog;
@@ -53,4 +54,5 @@ pub use stats::{join_cardinality, ColumnStats, TableStats};
 pub use table::Table;
 pub use tuple::Tuple;
 pub use value::{date, days_to_ymd, ymd_to_days, Value, ValueType, DECIMAL_ONE, DECIMAL_SCALE};
+pub use versioned::{CatalogVersion, VersionedCatalog};
 pub use viewdef::{AggregateColumn, EquiJoin, OutputColumn, ViewDef, ViewOutput, ViewSource};

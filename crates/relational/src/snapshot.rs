@@ -249,7 +249,7 @@ pub fn catalog_from_str(s: &str) -> RelResult<Catalog> {
             let values: Vec<Value> = fields.map(parse_value).collect::<RelResult<_>>()?;
             table.insert_n(Tuple::new(values), mult)?;
         }
-        catalog.register(table);
+        catalog.register(table)?;
     }
     Ok(catalog)
 }
@@ -395,8 +395,8 @@ mod tests {
         let mut u = Table::new("U", Schema::of(&[("a", ValueType::Int)]));
         u.insert(tup![Value::Int(42)]).unwrap();
         let mut c = Catalog::new();
-        c.register(t);
-        c.register(u);
+        c.register(t).unwrap();
+        c.register(u).unwrap();
         c
     }
 
@@ -433,6 +433,12 @@ mod tests {
         assert!(catalog_from_str(&bad_type).is_err());
         let bad_mult = format!("{HEADER}\nTABLE T\nSCHEMA k:int\nROW x\ti:1\nEND\n");
         assert!(catalog_from_str(&bad_mult).is_err());
+        // A snapshot naming the same table twice is damage, not a merge.
+        let dup = format!("{HEADER}\nTABLE T\nSCHEMA k:int\nEND\nTABLE T\nSCHEMA k:int\nEND\n");
+        assert!(matches!(
+            catalog_from_str(&dup),
+            Err(RelError::DuplicateRelation(n)) if n == "T"
+        ));
     }
 
     #[test]

@@ -1,0 +1,166 @@
+//! Per-query serving metrics.
+//!
+//! Counters are lock-free; individual latencies go into a mutex-guarded
+//! vector so the snapshot can compute exact percentiles. At the scales the
+//! benches run (thousands of queries) the vector is cheap, and exactness
+//! matters: the whole point is comparing measured p50/p95/p99 against the
+//! simulation's latency distribution.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Latency at quantile `q` (`0.0 ≤ q ≤ 1.0`) over `sorted` microsecond
+/// samples, nearest-rank — the same definition
+/// `InterferenceReport::latency_percentile` uses in `uww-core`, so measured
+/// and simulated distributions compare like for like. `0` when empty.
+pub fn percentile_us(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).max(1) - 1;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Shared live counters, updated by every worker thread.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    queries: AtomicU64,
+    rows_returned: AtomicU64,
+    errors: AtomicU64,
+    lock_wait_us: AtomicU64,
+    latencies_us: Mutex<Vec<u64>>,
+}
+
+impl Metrics {
+    /// Fresh, all-zero metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one answered `QUERY`.
+    pub fn record_query(&self, latency: Duration, rows: u64, lock_wait: Duration) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        self.rows_returned.fetch_add(rows, Ordering::Relaxed);
+        self.lock_wait_us
+            .fetch_add(lock_wait.as_micros() as u64, Ordering::Relaxed);
+        self.latencies_us
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(latency.as_micros() as u64);
+    }
+
+    /// Records one `ERR` response.
+    pub fn record_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A consistent point-in-time summary with exact percentiles.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut lats = self
+            .latencies_us
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone();
+        lats.sort_unstable();
+        let mean_us = if lats.is_empty() {
+            0
+        } else {
+            lats.iter().sum::<u64>() / lats.len() as u64
+        };
+        MetricsSnapshot {
+            queries: self.queries.load(Ordering::Relaxed),
+            rows_returned: self.rows_returned.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            lock_wait_us: self.lock_wait_us.load(Ordering::Relaxed),
+            mean_us,
+            p50_us: percentile_us(&lats, 0.50),
+            p95_us: percentile_us(&lats, 0.95),
+            p99_us: percentile_us(&lats, 0.99),
+            max_us: lats.last().copied().unwrap_or(0),
+        }
+    }
+}
+
+/// Point-in-time metrics summary.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Queries answered with `OK`.
+    pub queries: u64,
+    /// Total rows reported across those queries.
+    pub rows_returned: u64,
+    /// Requests answered with `ERR`.
+    pub errors: u64,
+    /// Total time queries spent waiting on strict view locks.
+    pub lock_wait_us: u64,
+    /// Mean query latency (µs). The robust statistic for strict-vs-mvcc
+    /// comparisons: lock stalls hit few queries but each stall is orders of
+    /// magnitude above the base latency, so the stall mass moves the mean
+    /// far more reliably than any fixed percentile.
+    pub mean_us: u64,
+    /// Median query latency (µs).
+    pub p50_us: u64,
+    /// 95th-percentile query latency (µs).
+    pub p95_us: u64,
+    /// 99th-percentile query latency (µs).
+    pub p99_us: u64,
+    /// Maximum query latency (µs).
+    pub max_us: u64,
+}
+
+impl MetricsSnapshot {
+    /// The wire rendering appended after `STATS ` (and reused by the CLI
+    /// report): `key=value` pairs, space-separated.
+    pub fn render(&self, epoch: u64) -> String {
+        format!(
+            "queries={} rows={} errors={} mean_us={} p50_us={} p95_us={} p99_us={} max_us={} \
+             lock_wait_us={} epoch={}",
+            self.queries,
+            self.rows_returned,
+            self.errors,
+            self.mean_us,
+            self.p50_us,
+            self.p95_us,
+            self.p99_us,
+            self.max_us,
+            self.lock_wait_us,
+            epoch
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_us(&sorted, 0.50), 50);
+        assert_eq!(percentile_us(&sorted, 0.95), 95);
+        assert_eq!(percentile_us(&sorted, 0.99), 99);
+        assert_eq!(percentile_us(&sorted, 1.0), 100);
+        assert_eq!(percentile_us(&sorted, 0.0), 1);
+        assert_eq!(percentile_us(&[], 0.5), 0);
+        assert_eq!(percentile_us(&[7], 0.99), 7);
+    }
+
+    #[test]
+    fn recording_accumulates_and_snapshots() {
+        let m = Metrics::new();
+        m.record_query(Duration::from_micros(100), 10, Duration::from_micros(40));
+        m.record_query(Duration::from_micros(300), 5, Duration::ZERO);
+        m.record_error();
+        let s = m.snapshot();
+        assert_eq!(s.queries, 2);
+        assert_eq!(s.rows_returned, 15);
+        assert_eq!(s.errors, 1);
+        assert_eq!(s.lock_wait_us, 40);
+        assert_eq!(s.mean_us, 200);
+        assert_eq!(s.p50_us, 100);
+        assert_eq!(s.max_us, 300);
+        let line = s.render(3);
+        assert!(line.contains("queries=2"));
+        assert!(line.contains("epoch=3"));
+    }
+}

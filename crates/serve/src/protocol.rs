@@ -1,0 +1,62 @@
+//! Request parsing for the line protocol.
+
+/// One parsed client request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// `QUERY <view>`: read one view's current extent.
+    Query(String),
+    /// `SNAPSHOT`: list every view of one pinned catalog version.
+    Snapshot,
+    /// `STATS`: the server's metrics so far.
+    Stats,
+    /// `QUIT`: close the connection.
+    Quit,
+}
+
+impl Request {
+    /// Parses one request line (without its trailing newline). Keywords are
+    /// case-insensitive; view names are taken verbatim.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let mut parts = line.split_whitespace();
+        let verb = parts.next().unwrap_or("").to_ascii_uppercase();
+        let arg = parts.next();
+        if parts.next().is_some() {
+            return Err(format!("too many arguments for {verb}"));
+        }
+        match (verb.as_str(), arg) {
+            ("QUERY", Some(view)) => Ok(Request::Query(view.to_string())),
+            ("QUERY", None) => Err("QUERY needs a view name".to_string()),
+            ("SNAPSHOT", None) => Ok(Request::Snapshot),
+            ("STATS", None) => Ok(Request::Stats),
+            ("QUIT", None) => Ok(Request::Quit),
+            ("", None) => Err("empty request".to_string()),
+            (v, _) => Err(format!("unknown or malformed request: {v}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_parse() {
+        assert_eq!(
+            Request::parse("QUERY LINEITEM"),
+            Ok(Request::Query("LINEITEM".into()))
+        );
+        assert_eq!(Request::parse("query V1"), Ok(Request::Query("V1".into())));
+        assert_eq!(Request::parse("SNAPSHOT"), Ok(Request::Snapshot));
+        assert_eq!(Request::parse("stats"), Ok(Request::Stats));
+        assert_eq!(Request::parse("QUIT"), Ok(Request::Quit));
+    }
+
+    #[test]
+    fn malformed_requests_rejected() {
+        assert!(Request::parse("").is_err());
+        assert!(Request::parse("QUERY").is_err());
+        assert!(Request::parse("QUERY A B").is_err());
+        assert!(Request::parse("SNAPSHOT now").is_err());
+        assert!(Request::parse("DROP TABLE").is_err());
+    }
+}

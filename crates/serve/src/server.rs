@@ -1,0 +1,407 @@
+//! The threaded TCP server.
+
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::protocol::Request;
+use crate::Isolation;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use uww_relational::{table_digest, VersionedCatalog};
+
+/// How often blocked threads re-check the shutdown flag.
+const POLL: Duration = Duration::from_millis(20);
+
+/// Server configuration.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address. Port `0` picks a free port (the default,
+    /// `127.0.0.1:0`, is what the tests and CLI use).
+    pub addr: String,
+    /// Worker threads — the bound on concurrently served connections.
+    pub workers: usize,
+    /// Accepted connections queued ahead of the workers; once full, the
+    /// acceptor itself blocks (bounded admission, no unbounded backlog).
+    pub queue_depth: usize,
+    /// Isolation regime for `QUERY` handling.
+    pub isolation: Isolation,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_depth: 32,
+            isolation: Isolation::Mvcc,
+        }
+    }
+}
+
+struct Shared {
+    catalog: Arc<VersionedCatalog>,
+    metrics: Metrics,
+    isolation: Isolation,
+    shutdown: AtomicBool,
+}
+
+/// A running server. Dropping it without calling [`Server::shutdown`]
+/// aborts the threads non-gracefully (they exit at their next poll).
+pub struct Server {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, spawns the acceptor and worker pool, and returns immediately.
+    pub fn start(catalog: Arc<VersionedCatalog>, config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            catalog,
+            metrics: Metrics::new(),
+            isolation: config.isolation,
+            shutdown: AtomicBool::new(false),
+        });
+
+        let (tx, rx) = mpsc::sync_channel::<TcpStream>(config.queue_depth.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || loop {
+                    let next = rx
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .recv_timeout(POLL);
+                    match next {
+                        Ok(stream) => serve_connection(stream, &shared),
+                        Err(RecvTimeoutError::Timeout) => continue,
+                        // Acceptor gone and queue drained: we're done.
+                        Err(RecvTimeoutError::Disconnected) => break,
+                    }
+                })
+            })
+            .collect();
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                while !shared.shutdown.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            if tx.send(stream).is_err() {
+                                break;
+                            }
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(POLL);
+                        }
+                        Err(_) => break,
+                    }
+                }
+                // Dropping `tx` lets the workers drain the queue and exit.
+            })
+        };
+
+        Ok(Server {
+            shared,
+            local_addr,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (with the real port when `addr` asked for `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The isolation regime this server runs under.
+    pub fn isolation(&self) -> Isolation {
+        self.shared.isolation
+    }
+
+    /// Current metrics.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.metrics.snapshot()
+    }
+
+    /// Graceful drain: stop accepting, let every worker finish its current
+    /// connection, join all threads, and return the final metrics.
+    pub fn shutdown(mut self) -> MetricsSnapshot {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        self.shared.metrics.snapshot()
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+    }
+}
+
+/// Serves one connection until QUIT, EOF, error, or server shutdown.
+/// In-flight requests always complete — shutdown is only observed between
+/// requests, so a drain never truncates a response mid-line.
+fn serve_connection(stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_nodelay(true);
+    if stream.set_read_timeout(Some(POLL)).is_err() {
+        return;
+    }
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    let mut line = String::new();
+    loop {
+        if shared.shutdown.load(Ordering::Relaxed) {
+            let _ = writeln!(writer, "BYE draining");
+            return;
+        }
+        match reader.read_line(&mut line) {
+            Ok(0) => return,
+            Ok(_) => {
+                let done = handle_request(line.trim_end(), &mut writer, shared).is_err();
+                line.clear();
+                if done {
+                    return;
+                }
+            }
+            // Timeout while idle (possibly mid-line: read_line keeps the
+            // partial data in `line`, so the retry resumes where it left
+            // off). Loop to re-check the shutdown flag.
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Handles one request line. `Err(())` means "close the connection".
+fn handle_request(line: &str, writer: &mut TcpStream, shared: &Shared) -> Result<(), ()> {
+    let started = Instant::now();
+    let reply = match Request::parse(line) {
+        Ok(Request::Query(view)) => {
+            // Pin an epoch and scan the extent (the digest walks every row:
+            // this is the query's service work). Under Strict, first wait
+            // out any in-flight install of this view — the paper's locking
+            // regime — and hold the read lock across the scan.
+            let (result, lock_wait) = match shared.isolation {
+                Isolation::Strict => {
+                    let lock = shared.catalog.view_lock(&view);
+                    let t0 = Instant::now();
+                    let guard = lock.read().unwrap_or_else(|e| e.into_inner());
+                    let wait = t0.elapsed();
+                    let result = shared
+                        .catalog
+                        .read_pinned(&view)
+                        .map(|(t, e)| (table_digest(&t), t.len(), e));
+                    drop(guard);
+                    (result, wait)
+                }
+                Isolation::Mvcc => (
+                    shared
+                        .catalog
+                        .read_pinned(&view)
+                        .map(|(t, e)| (table_digest(&t), t.len(), e)),
+                    Duration::ZERO,
+                ),
+            };
+            match result {
+                Ok((digest, rows, epoch)) => {
+                    shared
+                        .metrics
+                        .record_query(started.elapsed(), rows, lock_wait);
+                    format!("OK {view} {rows} {digest:016x} {epoch}")
+                }
+                Err(e) => {
+                    shared.metrics.record_error();
+                    format!("ERR {e}")
+                }
+            }
+        }
+        Ok(Request::Snapshot) => {
+            let snap = shared.catalog.snapshot();
+            let mut out = format!("EPOCH {}", snap.epoch());
+            for table in snap.iter() {
+                out.push_str(&format!(
+                    "\nVIEW {} {} {:016x}",
+                    table.name(),
+                    table.len(),
+                    table_digest(table)
+                ));
+            }
+            out.push_str("\nEND");
+            out
+        }
+        Ok(Request::Stats) => format!(
+            "STATS {}",
+            shared.metrics.snapshot().render(shared.catalog.epoch())
+        ),
+        Ok(Request::Quit) => {
+            let _ = writeln!(writer, "BYE");
+            return Err(());
+        }
+        Err(msg) => {
+            shared.metrics.record_error();
+            format!("ERR {msg}")
+        }
+    };
+    writeln!(writer, "{reply}").map_err(|_| ())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+    use uww_relational::{tup, Catalog, Schema, Table, Value, ValueType};
+
+    fn catalog(rows: i64) -> Arc<VersionedCatalog> {
+        let mut t = Table::new("V", Schema::of(&[("k", ValueType::Int)]));
+        for i in 0..rows {
+            t.insert(tup![Value::Int(i)]).unwrap();
+        }
+        let mut u = Table::new("U", Schema::of(&[("k", ValueType::Int)]));
+        u.insert(tup![Value::Int(0)]).unwrap();
+        let mut cat = Catalog::new();
+        cat.register(t).unwrap();
+        cat.register(u).unwrap();
+        Arc::new(VersionedCatalog::from_catalog(&cat))
+    }
+
+    fn start(iso: Isolation) -> (Server, Arc<VersionedCatalog>) {
+        let catalog = catalog(5);
+        let server = Server::start(
+            Arc::clone(&catalog),
+            ServerConfig {
+                isolation: iso,
+                workers: 2,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        (server, catalog)
+    }
+
+    #[test]
+    fn query_snapshot_stats_round_trip() {
+        let (server, catalog) = start(Isolation::Mvcc);
+        let mut c = Client::connect(server.local_addr()).unwrap();
+
+        let q = c.query("V").unwrap();
+        assert_eq!((q.view.as_str(), q.rows, q.epoch), ("V", 5, 0));
+        let expected = table_digest(catalog.snapshot().get("V").unwrap());
+        assert_eq!(q.digest, expected);
+
+        let snap = c.snapshot().unwrap();
+        assert_eq!(snap.epoch, 0);
+        let names: Vec<&str> = snap.views.iter().map(|(n, _, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["U", "V"]);
+
+        assert!(c.raw("QUERY missing").unwrap().starts_with("ERR "));
+        assert!(c.raw("EXPLAIN V").unwrap().starts_with("ERR "));
+
+        let stats = c.stats().unwrap();
+        assert!(stats.contains("queries=1"), "{stats}");
+        assert!(stats.contains("errors=2"), "{stats}");
+
+        c.quit().unwrap();
+        let final_metrics = server.shutdown();
+        assert_eq!(final_metrics.queries, 1);
+        assert_eq!(final_metrics.rows_returned, 5);
+        assert_eq!(final_metrics.errors, 2);
+    }
+
+    #[test]
+    fn queries_observe_published_installs() {
+        let (server, catalog) = start(Isolation::Mvcc);
+        let mut c = Client::connect(server.local_addr()).unwrap();
+        assert_eq!(c.query("V").unwrap().epoch, 0);
+
+        let mut bigger = Table::new("V", Schema::of(&[("k", ValueType::Int)]));
+        for i in 0..9 {
+            bigger.insert(tup![Value::Int(i)]).unwrap();
+        }
+        let post = table_digest(&bigger);
+        catalog.publish(bigger);
+
+        let q = c.query("V").unwrap();
+        assert_eq!((q.rows, q.digest, q.epoch), (9, post, 1));
+        c.quit().unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn strict_queries_wait_for_the_install_lock() {
+        let (server, catalog) = start(Isolation::Strict);
+        let addr = server.local_addr();
+
+        // Simulate an in-flight install: hold V's write lock.
+        let lock = catalog.view_lock("V");
+        let guard = lock.write().unwrap();
+        let handle = std::thread::spawn(move || {
+            let mut c = Client::connect(addr).unwrap();
+            let q = c.query("V").unwrap();
+            c.quit().unwrap();
+            q
+        });
+        // The query must be stalled on the lock, not answered.
+        std::thread::sleep(Duration::from_millis(60));
+        assert_eq!(server.metrics().queries, 0, "strict read must block");
+        drop(guard);
+        assert_eq!(handle.join().unwrap().rows, 5);
+
+        let m = server.shutdown();
+        assert_eq!(m.queries, 1);
+        assert!(
+            m.lock_wait_us >= 40_000,
+            "lock wait should cover the stall, got {}us",
+            m.lock_wait_us
+        );
+    }
+
+    #[test]
+    fn mvcc_queries_ignore_the_install_lock() {
+        let (server, catalog) = start(Isolation::Mvcc);
+        let lock = catalog.view_lock("V");
+        let _guard = lock.write().unwrap();
+        // Lock held for the whole test: MVCC reads sail past it.
+        let mut c = Client::connect(server.local_addr()).unwrap();
+        assert_eq!(c.query("V").unwrap().rows, 5);
+        c.quit().unwrap();
+        let m = server.shutdown();
+        assert_eq!(m.lock_wait_us, 0);
+    }
+
+    #[test]
+    fn shutdown_drains_gracefully() {
+        let (server, _catalog) = start(Isolation::Mvcc);
+        let mut c = Client::connect(server.local_addr()).unwrap();
+        assert_eq!(c.query("V").unwrap().rows, 5);
+        let m = server.shutdown();
+        assert_eq!(m.queries, 1);
+        // The connection was told the server is draining (or closed).
+        if let Ok(line) = c.raw("QUERY V") {
+            assert!(line.starts_with("BYE"), "{line}");
+        }
+    }
+}

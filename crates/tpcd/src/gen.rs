@@ -139,13 +139,18 @@ impl TpcdGenerator {
     /// Generates the full six-relation database.
     pub fn generate(&self) -> Catalog {
         let mut cat = Catalog::new();
-        cat.register(self.region_table());
-        cat.register(self.nation_table());
-        cat.register(self.supplier_table());
-        cat.register(self.customer_table());
         let (orders, lineitems) = self.order_and_lineitem_tables();
-        cat.register(orders);
-        cat.register(lineitems);
+        for table in [
+            self.region_table(),
+            self.nation_table(),
+            self.supplier_table(),
+            self.customer_table(),
+            orders,
+            lineitems,
+        ] {
+            cat.register(table)
+                .expect("TPC-D relation names are distinct");
+        }
         cat
     }
 

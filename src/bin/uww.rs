@@ -11,6 +11,8 @@
 //! uww script   [--scenario ...] [--scale F] [--frac F]
 //! uww dot      [--scenario ...] [--scale F] [--graph vdag|eg]
 //! uww olap     [--scenario ...] [--scale F] [--frac F] [--isolation strict|low]
+//! uww serve    [--scenario ...] [--scale F] [--frac F] [--planner ...]
+//!              [--isolation strict|mvcc|both] [--readers N] [--hold-ms N] [--json]
 //! uww explain  [--scenario ...] [--scale F] [--frac F] [--planner ...]
 //! uww dump     [--scenario ...] [--scale F]
 //! ```
@@ -49,6 +51,8 @@ struct Args {
     fsync: String,
     fault: Option<String>,
     dir: Option<String>,
+    readers: usize,
+    hold_ms: u64,
 }
 
 impl Default for Args {
@@ -59,7 +63,9 @@ impl Default for Args {
             frac: 0.10,
             planner: "minwork".into(),
             graph: "vdag".into(),
-            isolation: "strict".into(),
+            // `olap` reads this as strict|low, `serve` as strict|mvcc|both;
+            // empty means each command's default (strict, resp. both).
+            isolation: String::new(),
             sql_views: Vec::new(),
             strategy_text: None,
             stages_text: None,
@@ -68,6 +74,8 @@ impl Default for Args {
             fsync: "always".into(),
             fault: None,
             dir: None,
+            readers: 4,
+            hold_ms: 2,
         }
     }
 }
@@ -102,7 +110,7 @@ fn parse_args(argv: &[String]) -> Result<(String, Args), String> {
                 args.stages_text = Some(v.clone());
             }
             "--scenario" | "--scale" | "--frac" | "--planner" | "--graph" | "--isolation"
-            | "--wal" | "--fsync" | "--fault" => {
+            | "--wal" | "--fsync" | "--fault" | "--readers" | "--hold-ms" => {
                 let v = it
                     .next()
                     .ok_or_else(|| format!("missing value for {a}"))?
@@ -117,6 +125,12 @@ fn parse_args(argv: &[String]) -> Result<(String, Args), String> {
                     "--wal" => args.wal = Some(v),
                     "--fsync" => args.fsync = v,
                     "--fault" => args.fault = Some(v),
+                    "--readers" => {
+                        args.readers = v.parse().map_err(|_| format!("bad --readers {v}"))?
+                    }
+                    "--hold-ms" => {
+                        args.hold_ms = v.parse().map_err(|_| format!("bad --hold-ms {v}"))?
+                    }
                     _ => unreachable!(),
                 }
             }
@@ -277,6 +291,10 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         opts.wal = Some(cfg);
     }
     let report = sc.run_with(&strategy, opts).map_err(|e| e.to_string())?;
+    if args.json {
+        println!("{}", report.to_json(sc.warehouse.vdag()));
+        return Ok(());
+    }
     println!("{label}: verified against from-scratch rebuild");
     if let Some(dir) = &args.wal {
         println!("journaled to {dir} (committed)");
@@ -457,7 +475,7 @@ fn cmd_olap(args: &Args) -> Result<(), String> {
     let sizes = SizeCatalog::estimate(&sc.warehouse).map_err(|e| e.to_string())?;
     let model = CostModel::new(g, &sizes);
     let isolation = match args.isolation.as_str() {
-        "strict" => IsolationMode::Strict,
+        "" | "strict" => IsolationMode::Strict,
         "low" => IsolationMode::LowIsolation,
         other => return Err(format!("unknown isolation {other} (strict|low)")),
     };
@@ -480,9 +498,146 @@ fn cmd_olap(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-const USAGE: &str = "usage: uww <info|plan|run|analyze|script|dot|olap|explain|dump> \
+fn serve_outcome_json(label: &str, out: &uww::serving::LiveRunOutcome) -> String {
+    let m = &out.metrics;
+    format!(
+        "{{\"isolation\":\"{label}\",\"queries\":{},\"rows\":{},\"errors\":{},\
+         \"mean_us\":{},\"p50_us\":{},\"p95_us\":{},\"p99_us\":{},\"max_us\":{},\"lock_wait_us\":{},\
+         \"window_us\":{},\"epochs\":{}}}",
+        m.queries,
+        m.rows_returned,
+        m.errors,
+        m.mean_us,
+        m.p50_us,
+        m.p95_us,
+        m.p99_us,
+        m.max_us,
+        m.lock_wait_us,
+        out.window.as_micros(),
+        out.epochs
+    )
+}
+
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let mut sc = build_scenario(args)?;
+    load_changes(&mut sc, args)?;
+    let (strategy, label) = pick_strategy(&sc, args)?;
+    let regimes: Vec<uww::serve::Isolation> = match args.isolation.as_str() {
+        "" | "both" => vec![uww::serve::Isolation::Strict, uww::serve::Isolation::Mvcc],
+        other => vec![uww::serve::Isolation::parse(other)
+            .ok_or_else(|| format!("unknown isolation {other} (strict|mvcc|both)"))?],
+    };
+
+    let mut outcomes = Vec::new();
+    for iso in &regimes {
+        let cfg = uww::serving::LiveRunConfig {
+            isolation: *iso,
+            readers: args.readers.max(1),
+            hold: std::time::Duration::from_millis(args.hold_ms),
+            ..uww::serving::LiveRunConfig::default()
+        };
+        let out =
+            uww::serving::run_live(&sc.warehouse, &strategy, &cfg).map_err(|e| e.to_string())?;
+        outcomes.push((*iso, out));
+    }
+
+    // The simulation's prediction for the same strategy, for comparison.
+    let sizes = SizeCatalog::estimate(&sc.warehouse).map_err(|e| e.to_string())?;
+    let g = sc.warehouse.vdag();
+    let model = CostModel::new(g, &sizes);
+    let sim: Vec<(&str, f64, f64)> = [
+        ("strict", IsolationMode::Strict),
+        ("mvcc", IsolationMode::LowIsolation),
+    ]
+    .into_iter()
+    .map(|(tag, isolation)| {
+        let wl = OlapWorkload {
+            isolation,
+            ..OlapWorkload::default()
+        };
+        let rep = simulate_olap(g, &model, &sizes, &strategy, &wl);
+        (tag, rep.mean_latency(), rep.latency_percentile(0.95))
+    })
+    .collect();
+
+    if args.json {
+        let runs: Vec<String> = outcomes
+            .iter()
+            .map(|(iso, out)| serve_outcome_json(iso.label(), out))
+            .collect();
+        let sims: Vec<String> = sim
+            .iter()
+            .map(|(tag, mean, p95)| {
+                format!("{{\"isolation\":\"{tag}\",\"sim_mean\":{mean},\"sim_p95\":{p95}}}")
+            })
+            .collect();
+        println!(
+            "{{\"planner\":\"{label}\",\"readers\":{},\"measured\":[{}],\"simulated\":[{}]}}",
+            args.readers,
+            runs.join(","),
+            sims.join(",")
+        );
+        return Ok(());
+    }
+
+    println!(
+        "serving {} @ scale {} with {} readers, planner {label}, hold {}ms",
+        args.scenario, args.scale, args.readers, args.hold_ms
+    );
+    println!(
+        "{:<8} {:>8} {:>8} {:>9} {:>9} {:>9} {:>9} {:>13} {:>11}",
+        "mode",
+        "queries",
+        "mean_us",
+        "p50_us",
+        "p95_us",
+        "p99_us",
+        "max_us",
+        "lock_wait_us",
+        "window"
+    );
+    for (iso, out) in &outcomes {
+        let m = &out.metrics;
+        println!(
+            "{:<8} {:>8} {:>8} {:>9} {:>9} {:>9} {:>9} {:>13} {:>11?}",
+            iso.label(),
+            m.queries,
+            m.mean_us,
+            m.p50_us,
+            m.p95_us,
+            m.p99_us,
+            m.max_us,
+            m.lock_wait_us,
+            out.window
+        );
+    }
+    for (tag, mean, p95) in &sim {
+        println!("simulated {tag:<7} mean latency: {mean:.1} work units (p95 {p95:.1})");
+    }
+    if outcomes.len() == 2 {
+        // Compare mean latencies: lock stalls hit a small fraction of queries
+        // but each stall dwarfs the base latency, so the stall mass moves the
+        // mean reliably while fixed percentiles can miss it entirely.
+        let strict_m = &outcomes[0].1.metrics;
+        let mvcc_m = &outcomes[1].1.metrics;
+        println!(
+            "measured: strict mean {}us mvcc mean {}us — {}; simulation predicts strict ≥ mvcc",
+            strict_m.mean_us,
+            mvcc_m.mean_us,
+            if strict_m.mean_us >= mvcc_m.mean_us {
+                "ordering matches the simulation"
+            } else {
+                "ordering DIVERGES from the simulation"
+            }
+        );
+    }
+    Ok(())
+}
+
+const USAGE: &str = "usage: uww <info|plan|run|analyze|script|dot|olap|serve|explain|dump> \
 [--scenario fig4|q3|q5] [--scale F] [--frac F] \
-[--planner minwork|prune|dual-stage|rnscol] [--graph vdag|eg] [--isolation strict|low] \
+[--planner minwork|prune|dual-stage|rnscol] [--graph vdag|eg] \
+[--isolation strict|low (olap) / strict|mvcc|both (serve)] [--readers N] [--hold-ms N] \
 [--sql NAME=SELECT-statement] \
 [--strategy \"Comp(V,{A,B}); Inst(A); ...\"] [--stages \"stage | stage | ...\"] [--json] \
 [--wal DIR] [--fsync always|never] [--fault crash:K|torn:K|dup:K]\n\
@@ -506,6 +661,7 @@ fn main() -> ExitCode {
         "script" => cmd_script(&args),
         "dot" => cmd_dot(&args),
         "olap" => cmd_olap(&args),
+        "serve" => cmd_serve(&args),
         "explain" => cmd_explain(&args),
         "dump" => cmd_dump(&args),
         "help" | "--help" => {

@@ -1,0 +1,203 @@
+//! Live serving harness: run an update strategy while a query server is
+//! answering readers, and measure what the readers experienced.
+//!
+//! This is the measured counterpart of `uww::core::olap::simulate` — the
+//! same question ("what does the update window cost concurrent OLAP
+//! readers?") answered with real threads, a real TCP server, and real
+//! installs instead of a discrete-time model. The CLI (`uww serve`), the
+//! bench binary (`report_serve`), and the concurrency tests all drive this
+//! one harness.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use uww_core::{CoreError, CoreResult, ExecOptions, ExecutionReport, InstallPublisher, Warehouse};
+use uww_relational::VersionedCatalog;
+use uww_serve::{Client, Isolation, MetricsSnapshot, Server, ServerConfig};
+use uww_vdag::Strategy;
+
+/// Configuration for one live serving run.
+#[derive(Clone, Debug)]
+pub struct LiveRunConfig {
+    /// Isolation regime for both the installs and the readers.
+    pub isolation: Isolation,
+    /// Number of concurrent reader connections (each on its own thread).
+    pub readers: usize,
+    /// Artificial per-install hold (see
+    /// [`InstallPublisher::with_hold`]): keeps each view's install —
+    /// microseconds of real work at test scales — open long enough that the
+    /// strict-vs-mvcc latency difference is measurable and deterministic.
+    pub hold: Duration,
+    /// Server worker threads.
+    pub workers: usize,
+}
+
+impl Default for LiveRunConfig {
+    fn default() -> Self {
+        LiveRunConfig {
+            isolation: Isolation::Mvcc,
+            readers: 4,
+            hold: Duration::from_millis(2),
+            workers: 4,
+        }
+    }
+}
+
+/// What one live serving run measured.
+#[derive(Clone, Debug)]
+pub struct LiveRunOutcome {
+    /// Server-side metrics over the whole run (p50/p95/p99 latency,
+    /// lock waits, rows, errors).
+    pub metrics: MetricsSnapshot,
+    /// The update strategy's own execution report.
+    pub report: ExecutionReport,
+    /// Wall-clock duration of the update window (strategy execution only).
+    pub window: Duration,
+    /// Catalog epoch after the run — the number of installs published.
+    pub epochs: u64,
+    /// Queries answered per reader thread.
+    pub queries_per_reader: Vec<u64>,
+}
+
+/// Executes `strategy` against a clone of `warehouse` while `cfg.readers`
+/// reader threads hammer a live query server with `QUERY` round-robin over
+/// the derived views (all views when none are derived). Readers start
+/// before the window opens and keep reading briefly after it closes, so the
+/// latency distribution covers before/during/after.
+///
+/// The final state is verified against a from-scratch recomputation, and
+/// every reader response is checked for client-visible errors; either
+/// failing is an error, not a metric.
+pub fn run_live(
+    warehouse: &Warehouse,
+    strategy: &Strategy,
+    cfg: &LiveRunConfig,
+) -> CoreResult<LiveRunOutcome> {
+    let mut w = warehouse.clone();
+    let expected = w.expected_final_state()?;
+    let versioned = Arc::new(VersionedCatalog::from_catalog(w.state()));
+    let strict = cfg.isolation == Isolation::Strict;
+    w.attach_publisher(InstallPublisher::new(Arc::clone(&versioned), strict).with_hold(cfg.hold));
+
+    let server = Server::start(
+        Arc::clone(&versioned),
+        ServerConfig {
+            isolation: cfg.isolation,
+            workers: cfg.workers.max(cfg.readers).max(1),
+            ..ServerConfig::default()
+        },
+    )
+    .map_err(|e| CoreError::Warehouse(format!("cannot start query server: {e}")))?;
+    let addr = server.local_addr();
+
+    // Readers target the summary tables (what warehouse users query); bare
+    // VDAGs fall back to every view.
+    let g = w.vdag();
+    let mut targets: Vec<String> = g
+        .derived_views()
+        .into_iter()
+        .map(|v| g.name(v).to_string())
+        .collect();
+    if targets.is_empty() {
+        targets = g.view_ids().map(|v| g.name(v).to_string()).collect();
+    }
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let readers: Vec<_> = (0..cfg.readers.max(1))
+        .map(|i| {
+            let stop = Arc::clone(&stop);
+            let targets = targets.clone();
+            std::thread::spawn(move || -> Result<u64, String> {
+                let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+                let mut n: u64 = 0;
+                while !stop.load(Ordering::Relaxed) {
+                    let view = &targets[(i + n as usize) % targets.len()];
+                    let reply = client.query(view).map_err(|e| e.to_string())?;
+                    if reply.view != *view {
+                        return Err(format!("asked for {view}, got {}", reply.view));
+                    }
+                    n += 1;
+                }
+                client.quit().map_err(|e| e.to_string())?;
+                Ok(n)
+            })
+        })
+        .collect();
+
+    // Let the readers observe the pre-update state, then open the window.
+    std::thread::sleep(Duration::from_millis(20));
+    let t0 = Instant::now();
+    let exec_result = w.execute_with(strategy, ExecOptions::default());
+    let window = t0.elapsed();
+    // And let them observe the post-update state before stopping.
+    std::thread::sleep(Duration::from_millis(20));
+    stop.store(true, Ordering::Relaxed);
+
+    let mut queries_per_reader = Vec::with_capacity(readers.len());
+    let mut reader_errors = Vec::new();
+    for r in readers {
+        match r.join() {
+            Ok(Ok(n)) => queries_per_reader.push(n),
+            Ok(Err(e)) => reader_errors.push(e),
+            Err(_) => reader_errors.push("reader thread panicked".to_string()),
+        }
+    }
+    let metrics = server.shutdown();
+    let report = exec_result?;
+    if !reader_errors.is_empty() {
+        return Err(CoreError::Warehouse(format!(
+            "reader failures during live serving: {reader_errors:?}"
+        )));
+    }
+
+    let diffs = w.diff_state(&expected);
+    if !diffs.is_empty() {
+        return Err(CoreError::Warehouse(format!(
+            "live run produced wrong state for views {diffs:?}"
+        )));
+    }
+    // Published state must equal the engine's final state, view for view.
+    let snap = versioned.snapshot();
+    for table in w.state().iter() {
+        let published = snap.get(table.name())?;
+        if !published.same_contents(table) {
+            return Err(CoreError::Warehouse(format!(
+                "published extent of {} diverges from the engine's",
+                table.name()
+            )));
+        }
+    }
+
+    Ok(LiveRunOutcome {
+        metrics,
+        report,
+        window,
+        epochs: versioned.epoch(),
+        queries_per_reader,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::q3_scenario;
+
+    #[test]
+    fn live_run_serves_while_updating() {
+        let mut sc = q3_scenario(0.0003).unwrap();
+        sc.load_col_changes(0.1).unwrap();
+        let strategy = sc.dual_stage_strategy();
+        let cfg = LiveRunConfig {
+            readers: 2,
+            hold: Duration::from_millis(1),
+            ..LiveRunConfig::default()
+        };
+        let out = run_live(&sc.warehouse, &strategy, &cfg).unwrap();
+        assert!(out.metrics.queries > 0);
+        assert_eq!(out.metrics.errors, 0);
+        assert_eq!(out.queries_per_reader.len(), 2);
+        // Every executed Inst published one epoch.
+        assert_eq!(out.epochs, out.report.total_work().inst_expressions);
+        assert!(out.window > Duration::ZERO);
+    }
+}

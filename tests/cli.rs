@@ -106,6 +106,82 @@ fn olap_simulates_both_isolations() {
 }
 
 #[test]
+fn run_json_reports_rows_emitted_and_replay_flags() {
+    let o = uww(&[
+        &["run", "--scenario", "q3", "--frac", "0.1", "--json"],
+        SMALL,
+    ]
+    .concat());
+    assert!(o.status.success(), "{}", stderr(&o));
+    let s = stdout(&o);
+    assert!(s.starts_with('{'), "{s}");
+    assert!(s.contains("\"per_expr\":["), "{s}");
+    assert!(s.contains("\"rows_emitted\":"), "{s}");
+    assert!(s.contains("\"replayed\":false"), "{s}");
+    assert!(s.contains("\"replayed_exprs\":0"), "{s}");
+    assert!(s.contains("\"view\":\"Q3\""), "{s}");
+}
+
+#[test]
+fn serve_measures_live_latency_under_one_isolation() {
+    let o = uww(&[
+        &[
+            "serve",
+            "--scenario",
+            "q3",
+            "--frac",
+            "0.1",
+            "--isolation",
+            "mvcc",
+            "--readers",
+            "2",
+            "--hold-ms",
+            "1",
+        ],
+        SMALL,
+    ]
+    .concat());
+    assert!(o.status.success(), "{}", stderr(&o));
+    let s = stdout(&o);
+    assert!(s.contains("mean_us"), "{s}");
+    assert!(s.contains("mvcc"), "{s}");
+    assert!(s.contains("simulated"), "{s}");
+}
+
+#[test]
+fn serve_json_compares_both_isolations_to_the_simulation() {
+    let o = uww(&[
+        &[
+            "serve",
+            "--scenario",
+            "q3",
+            "--frac",
+            "0.1",
+            "--readers",
+            "2",
+            "--hold-ms",
+            "1",
+            "--json",
+        ],
+        SMALL,
+    ]
+    .concat());
+    assert!(o.status.success(), "{}", stderr(&o));
+    let s = stdout(&o);
+    assert!(s.contains("\"measured\":["), "{s}");
+    assert!(s.contains("\"isolation\":\"strict\""), "{s}");
+    assert!(s.contains("\"isolation\":\"mvcc\""), "{s}");
+    assert!(s.contains("\"mean_us\":"), "{s}");
+    assert!(s.contains("\"lock_wait_us\":"), "{s}");
+    assert!(s.contains("\"sim_mean\":"), "{s}");
+
+    // An unknown isolation for serve is rejected.
+    let o = uww(&[&["serve", "--isolation", "sideways"], SMALL].concat());
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("unknown isolation"), "{}", stderr(&o));
+}
+
+#[test]
 fn sql_flag_adds_a_custom_view() {
     let o = uww(&[
         &[

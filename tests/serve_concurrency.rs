@@ -1,0 +1,303 @@
+//! Serving-under-update stress tests: concurrent readers against a live
+//! query server while the update strategy executes — including runs that
+//! crash at **every** WAL record boundary — must never observe a torn
+//! extent. Every `QUERY` response carries a digest of the extent it was
+//! answered from; because each view is installed exactly once per strategy
+//! (C6), the only legal digests are the pre-update and post-update extents.
+//!
+//! The matrix is seeded; set `UWW_SERVE_SEED` to shift reader interleavings
+//! and the strict/mvcc alternation to a different deterministic slice (CI
+//! runs several).
+
+use std::collections::BTreeMap;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use uww::core::{
+    min_work, CoreError, ExecOptions, FaultPlan, FsyncPolicy, InstallPublisher, SizeCatalog,
+    WalConfig, WalLog, Warehouse,
+};
+use uww::relational::{table_digest, VersionedCatalog};
+use uww::scenario::TpcdScenario;
+use uww::serve::{Client, Isolation, Server, ServerConfig};
+use uww::vdag::{SplitMix64, Strategy};
+
+/// Base seed for the whole matrix; CI shifts it via `UWW_SERVE_SEED`.
+fn seed_base() -> u64 {
+    std::env::var("UWW_SERVE_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+/// A fresh per-test WAL directory under the system tmpdir.
+fn wal_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "uww-serve-{tag}-{}-{}",
+        std::process::id(),
+        seed_base()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn q3_warehouse_and_plan() -> (TpcdScenario, Strategy) {
+    let mut sc = TpcdScenario::builder()
+        .scale(0.0003)
+        .base_views(&["CUSTOMER", "ORDER", "LINEITEM"])
+        .views([uww::tpcd::q3_def()])
+        .build()
+        .unwrap();
+    sc.load_col_changes(0.10).unwrap();
+    let sizes = SizeCatalog::estimate(&sc.warehouse).unwrap();
+    let plan = min_work(sc.warehouse.vdag(), &sizes).unwrap();
+    (sc, plan.strategy)
+}
+
+/// The pre-update digests of every view in `w`'s current state.
+fn digests(w: &Warehouse) -> BTreeMap<String, u64> {
+    w.state()
+        .iter()
+        .map(|t| (t.name().to_string(), table_digest(t)))
+        .collect()
+}
+
+/// One recorded reader observation: which view, which extent, which epoch.
+type Observation = (String, u64, u64);
+
+/// Spawns `n` readers against `addr`, each picking views in a seeded
+/// pseudo-random order and recording every (view, digest, epoch) it is
+/// served, until `stop` is raised. Panics in the reader surface on join.
+fn spawn_readers(
+    addr: SocketAddr,
+    targets: &[String],
+    n: usize,
+    seed: u64,
+    stop: &Arc<AtomicBool>,
+) -> Vec<std::thread::JoinHandle<Result<Vec<Observation>, String>>> {
+    (0..n)
+        .map(|i| {
+            let stop = Arc::clone(stop);
+            let targets = targets.to_vec();
+            let mut rng = SplitMix64::new(seed ^ (0xD1CE + i as u64));
+            std::thread::spawn(move || -> Result<Vec<Observation>, String> {
+                let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+                let mut seen = Vec::new();
+                while !stop.load(Ordering::Relaxed) {
+                    let view = &targets[rng.below(targets.len() as u64) as usize];
+                    let reply = client.query(view).map_err(|e| e.to_string())?;
+                    if reply.view != *view {
+                        return Err(format!("asked for {view}, got {}", reply.view));
+                    }
+                    seen.push((reply.view, reply.digest, reply.epoch));
+                }
+                client.quit().map_err(|e| e.to_string())?;
+                Ok(seen)
+            })
+        })
+        .collect()
+}
+
+/// Every observation must match the pre- or post-update extent of its view,
+/// and epochs must be non-decreasing along each reader's connection.
+fn check_observations(
+    tag: &str,
+    per_reader: Vec<Vec<Observation>>,
+    pre: &BTreeMap<String, u64>,
+    post: &BTreeMap<String, u64>,
+) -> u64 {
+    let mut total = 0;
+    for (r, seen) in per_reader.into_iter().enumerate() {
+        let mut last_epoch = 0;
+        for (view, digest, epoch) in seen {
+            assert!(
+                digest == pre[&view] || digest == post[&view],
+                "{tag} reader {r}: torn read of {view} (digest {digest:016x} is \
+                 neither pre {:016x} nor post {:016x})",
+                pre[&view],
+                post[&view]
+            );
+            assert!(
+                epoch >= last_epoch,
+                "{tag} reader {r}: epoch went backwards ({epoch} after {last_epoch})"
+            );
+            last_epoch = epoch;
+            total += 1;
+        }
+    }
+    total
+}
+
+/// Full clean runs under both isolation regimes: every response is a
+/// pre- or post-update extent, and the published catalog ends identical to
+/// the engine's verified final state.
+#[test]
+fn readers_only_see_pre_or_post_extents_across_a_full_run() {
+    let (sc, strategy) = q3_warehouse_and_plan();
+    let pre = digests(&sc.warehouse);
+    let expected = sc.warehouse.expected_final_state().unwrap();
+    let post: BTreeMap<String, u64> = expected
+        .iter()
+        .map(|t| (t.name().to_string(), table_digest(t)))
+        .collect();
+    let targets: Vec<String> = pre.keys().cloned().collect();
+
+    for isolation in [Isolation::Strict, Isolation::Mvcc] {
+        let mut w = sc.warehouse.clone();
+        let versioned = Arc::new(VersionedCatalog::from_catalog(w.state()));
+        w.attach_publisher(
+            InstallPublisher::new(Arc::clone(&versioned), isolation == Isolation::Strict)
+                .with_hold(Duration::from_millis(2)),
+        );
+        let server = Server::start(
+            Arc::clone(&versioned),
+            ServerConfig {
+                isolation,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let readers = spawn_readers(server.local_addr(), &targets, 3, seed_base(), &stop);
+        std::thread::sleep(Duration::from_millis(10));
+        w.execute(&strategy).unwrap();
+        std::thread::sleep(Duration::from_millis(10));
+        stop.store(true, Ordering::Relaxed);
+
+        let per_reader: Vec<Vec<Observation>> = readers
+            .into_iter()
+            .map(|r| r.join().expect("reader panicked").expect("reader failed"))
+            .collect();
+        let metrics = server.shutdown();
+        assert_eq!(metrics.errors, 0);
+
+        let tag = format!("full/{}", isolation.label());
+        let n = check_observations(&tag, per_reader, &pre, &post);
+        assert!(n > 0, "{tag}: readers must actually observe something");
+
+        // The run verified AND the published catalog is the final state.
+        assert!(w.diff_state(&expected).is_empty());
+        let snap = versioned.snapshot();
+        for t in w.state().iter() {
+            assert_eq!(
+                table_digest(&snap.get(t.name()).unwrap().clone()),
+                post[t.name()],
+                "{tag}: published {} is not the final extent",
+                t.name()
+            );
+        }
+    }
+}
+
+/// The tentpole stress matrix: readers hammer the server while the
+/// journaled run crashes at **every** WAL record boundary (alternating
+/// strict/mvcc). No crash point may expose a torn extent, and the published
+/// catalog always equals the engine's partially-updated state — installs
+/// and publishes fail or survive together.
+#[test]
+fn readers_survive_every_crash_point_without_torn_reads() {
+    let (sc, strategy) = q3_warehouse_and_plan();
+    let pre = digests(&sc.warehouse);
+    let expected = sc.warehouse.expected_final_state().unwrap();
+    let post: BTreeMap<String, u64> = expected
+        .iter()
+        .map(|t| (t.name().to_string(), table_digest(t)))
+        .collect();
+    let targets: Vec<String> = pre.keys().cloned().collect();
+
+    // Clean journaled run fixes the crash-point range.
+    let dir = wal_dir("ref");
+    let mut clean = sc.warehouse.clone();
+    clean
+        .execute_with(
+            &strategy,
+            ExecOptions {
+                wal: Some(WalConfig::new(&dir).with_fsync(FsyncPolicy::Never)),
+                ..ExecOptions::default()
+            },
+        )
+        .unwrap();
+    let total = WalLog::open(&dir).unwrap().records.len() as u64;
+    std::fs::remove_dir_all(&dir).unwrap();
+    assert!(total >= 3, "BEGIN + at least one record + COMMIT");
+
+    for k in 0..total {
+        let isolation = if (k + seed_base()).is_multiple_of(2) {
+            Isolation::Strict
+        } else {
+            Isolation::Mvcc
+        };
+        let mut w = sc.warehouse.clone();
+        let versioned = Arc::new(VersionedCatalog::from_catalog(w.state()));
+        w.attach_publisher(
+            InstallPublisher::new(Arc::clone(&versioned), isolation == Isolation::Strict)
+                .with_hold(Duration::from_millis(1)),
+        );
+        let server = Server::start(
+            Arc::clone(&versioned),
+            ServerConfig {
+                isolation,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let readers = spawn_readers(
+            server.local_addr(),
+            &targets,
+            2,
+            seed_base().wrapping_mul(31).wrapping_add(k),
+            &stop,
+        );
+        std::thread::sleep(Duration::from_millis(5));
+
+        let dir = wal_dir(&format!("k{k}"));
+        let err = w
+            .execute_with(
+                &strategy,
+                ExecOptions {
+                    wal: Some(
+                        WalConfig::new(&dir)
+                            .with_fsync(FsyncPolicy::Never)
+                            .with_faults(FaultPlan::crash_before(k)),
+                    ),
+                    ..ExecOptions::default()
+                },
+            )
+            .expect_err("injected crash must abort the run");
+        assert!(
+            matches!(err, CoreError::InjectedCrash { record } if record == k),
+            "crash point {k}: unexpected {err}"
+        );
+
+        std::thread::sleep(Duration::from_millis(5));
+        stop.store(true, Ordering::Relaxed);
+        let per_reader: Vec<Vec<Observation>> = readers
+            .into_iter()
+            .map(|r| r.join().expect("reader panicked").expect("reader failed"))
+            .collect();
+        let metrics = server.shutdown();
+        assert_eq!(metrics.errors, 0, "crash point {k}");
+
+        let tag = format!("crash-{k}/{}", isolation.label());
+        check_observations(&tag, per_reader, &pre, &post);
+
+        // Publishes ride inside the install boundary: whatever prefix of
+        // installs survived the crash is exactly what readers can now see.
+        let snap = versioned.snapshot();
+        for t in w.state().iter() {
+            let published = table_digest(&snap.get(t.name()).unwrap().clone());
+            assert_eq!(
+                published,
+                table_digest(t),
+                "{tag}: published {} diverges from the crashed engine state",
+                t.name()
+            );
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
