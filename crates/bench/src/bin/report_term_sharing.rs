@@ -1,0 +1,254 @@
+//! Shared-operand term engine sweep: for |Y| = 1..5, evaluate the
+//! dual-stage `Comp(V, Y)` (2^|Y|−1 terms) with and without operand sharing
+//! and report the logical (paper-metric) and physical row counts.
+//!
+//! The logical work and the produced deltas must be *identical* between the
+//! engines — sharing is purely a physical optimisation — while the physical
+//! rows touched must shrink, by ≥ 1.5× for |Y| ≥ 3 (the terms re-scan each
+//! operand 2^(|Y|−1) times without sharing). Violations abort the run, so
+//! this binary doubles as a CI smoke check at tiny scale.
+//!
+//! Output: a table on stdout plus `BENCH_term_sharing.json` in the current
+//! directory. Row count per base view defaults to 2000 and can be lowered
+//! with `UWW_TERM_ROWS` (CI uses 64).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use uww::core::{ExecOptions, Warehouse};
+use uww::relational::catalog_to_string;
+use uww::relational::{
+    DeltaRelation, EquiJoin, OutputColumn, Predicate, Schema, Table, Tuple, Value, ValueType,
+    ViewDef, ViewOutput, ViewSource, WorkMeter,
+};
+use uww::vdag::{Strategy, UpdateExpr};
+
+fn rows_per_base() -> usize {
+    std::env::var("UWW_TERM_ROWS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2000)
+}
+
+const COLS: &[(&str, ValueType)] = &[
+    ("k", ValueType::Int),
+    ("v", ValueType::Int),
+    ("g", ValueType::Int),
+];
+
+/// A warehouse whose single derived view joins `y` base views on a shared
+/// unique key, with a pushed-down single-source filter on the first source.
+/// Deltas touch `rows/4` existing keys of every base, so all 2^y − 1 terms
+/// survive the empty-delta skip.
+fn sweep_warehouse(y: usize, rows: usize) -> (Warehouse, BTreeMap<String, DeltaRelation>) {
+    let schema = Schema::of(COLS);
+    let mut builder = Warehouse::builder();
+    let mut sources = Vec::new();
+    let mut joins = Vec::new();
+    for i in 1..=y {
+        let name = format!("A{i}");
+        let mut t = Table::new(&name, schema.clone());
+        for k in 0..rows {
+            t.insert(Tuple::new(vec![
+                Value::Int(k as i64),
+                Value::Int(((k * 7 + i) % 100) as i64),
+                Value::Int((k % 3) as i64),
+            ]))
+            .unwrap();
+        }
+        builder = builder.base_table(t);
+        sources.push(ViewSource {
+            view: name,
+            alias: format!("S{i}"),
+        });
+        if i > 1 {
+            joins.push(EquiJoin::new("S1.k", format!("S{i}.k")));
+        }
+    }
+    builder = builder.view(ViewDef {
+        name: "V".into(),
+        sources,
+        joins,
+        filters: vec![Predicate::col_gt("S1.v", Value::Int(10))],
+        output: ViewOutput::Project(vec![
+            OutputColumn::col("k", "S1.k"),
+            OutputColumn::col("v", format!("S{y}.v")),
+            OutputColumn::col("g", "S1.g"),
+        ]),
+    });
+    let w = builder.build().expect("sweep warehouse");
+
+    let mut changes = BTreeMap::new();
+    for i in 1..=y {
+        let mut delta = DeltaRelation::new(schema.clone());
+        for k in 0..rows / 4 {
+            delta.add(
+                Tuple::new(vec![
+                    Value::Int(k as i64),
+                    Value::Int(((k * 13 + i) % 100) as i64),
+                    Value::Int(1),
+                ]),
+                1,
+            );
+        }
+        changes.insert(format!("A{i}"), delta);
+    }
+    (w, changes)
+}
+
+fn dual_stage(w: &Warehouse) -> Strategy {
+    let g = w.vdag();
+    let mut exprs = Vec::new();
+    for v in g.view_ids() {
+        if !g.is_base(v) {
+            exprs.push(UpdateExpr::comp(v, g.sources(v).iter().copied()));
+        }
+    }
+    for v in g.view_ids() {
+        exprs.push(UpdateExpr::inst(v));
+    }
+    Strategy::from_exprs(exprs)
+}
+
+struct Run {
+    work: WorkMeter,
+    state: String,
+    wall_us: u128,
+}
+
+fn run(
+    w: &Warehouse,
+    changes: &BTreeMap<String, DeltaRelation>,
+    strategy: &Strategy,
+    share: bool,
+    threads: usize,
+) -> Run {
+    let mut clone = w.clone();
+    clone.load_changes(changes.clone()).expect("load changes");
+    let opts = ExecOptions {
+        term_sharing: share,
+        term_threads: threads,
+        ..ExecOptions::default()
+    };
+    let start = Instant::now();
+    let report = clone.execute_with(strategy, opts).expect("execute");
+    let wall_us = start.elapsed().as_micros();
+    Run {
+        work: report.total_work(),
+        state: catalog_to_string(clone.state()),
+        wall_us,
+    }
+}
+
+fn main() {
+    let rows = rows_per_base();
+    println!("Shared-operand term engine sweep (rows per base = {rows})");
+    println!(
+        "{:>3} {:>6} {:>14} {:>16} {:>14} {:>9} {:>7} {:>7}",
+        "|Y|", "terms", "logical rows", "phys unshared", "phys shared", "ratio", "builds", "reuses"
+    );
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"rows_per_base\": {rows},");
+    json.push_str("  \"sweep\": [\n");
+
+    for y in 1..=5usize {
+        let (w, changes) = sweep_warehouse(y, rows);
+        let strategy = dual_stage(&w);
+
+        let unshared = run(&w, &changes, &strategy, false, 0);
+        let shared = run(&w, &changes, &strategy, true, 0);
+        let threaded = run(&w, &changes, &strategy, true, 4);
+
+        // Correctness gates: identical deltas/state, identical logical work.
+        assert_eq!(unshared.state, shared.state, "|Y|={y}: state diverged");
+        assert_eq!(
+            unshared.state, threaded.state,
+            "|Y|={y}: state diverged (threaded)"
+        );
+        assert_eq!(
+            unshared.work.logical(),
+            shared.work.logical(),
+            "|Y|={y}: logical work moved"
+        );
+        assert_eq!(
+            unshared.work.logical(),
+            threaded.work.logical(),
+            "|Y|={y}: logical work moved (threaded)"
+        );
+        assert!(
+            shared.work.physical_rows_touched <= unshared.work.physical_rows_touched,
+            "|Y|={y}: sharing touched more rows"
+        );
+        let ratio =
+            unshared.work.physical_rows_touched as f64 / shared.work.physical_rows_touched as f64;
+        assert!(
+            y < 3 || ratio >= 1.5,
+            "|Y|={y}: physical reduction {ratio:.2}x < 1.5x"
+        );
+
+        let terms = shared.work.terms_evaluated;
+        println!(
+            "{:>3} {:>6} {:>14} {:>16} {:>14} {:>8.2}x {:>7} {:>7}",
+            y,
+            terms,
+            shared.work.operand_rows_scanned,
+            unshared.work.physical_rows_touched,
+            shared.work.physical_rows_touched,
+            ratio,
+            shared.work.hash_tables_built,
+            shared.work.hash_tables_reused,
+        );
+
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"y\": {y},");
+        let _ = writeln!(json, "      \"terms\": {terms},");
+        let _ = writeln!(
+            json,
+            "      \"logical_rows_scanned\": {},",
+            shared.work.operand_rows_scanned
+        );
+        let _ = writeln!(
+            json,
+            "      \"rows_installed\": {},",
+            shared.work.rows_installed
+        );
+        let _ = writeln!(
+            json,
+            "      \"physical_rows_unshared\": {},",
+            unshared.work.physical_rows_touched
+        );
+        let _ = writeln!(
+            json,
+            "      \"physical_rows_shared\": {},",
+            shared.work.physical_rows_touched
+        );
+        let _ = writeln!(json, "      \"physical_reduction\": {ratio:.4},");
+        let _ = writeln!(
+            json,
+            "      \"hash_builds_unshared\": {},",
+            unshared.work.hash_tables_built
+        );
+        let _ = writeln!(
+            json,
+            "      \"hash_builds_shared\": {},",
+            shared.work.hash_tables_built
+        );
+        let _ = writeln!(
+            json,
+            "      \"hash_reuses\": {},",
+            shared.work.hash_tables_reused
+        );
+        let _ = writeln!(json, "      \"wall_us_unshared\": {},", unshared.wall_us);
+        let _ = writeln!(json, "      \"wall_us_shared\": {},", shared.wall_us);
+        let _ = writeln!(json, "      \"wall_us_threaded\": {},", threaded.wall_us);
+        let _ = writeln!(json, "      \"deltas_identical\": true,");
+        let _ = writeln!(json, "      \"logical_identical\": true");
+        let _ = writeln!(json, "    }}{}", if y < 5 { "," } else { "" });
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write("BENCH_term_sharing.json", &json).expect("write BENCH_term_sharing.json");
+    println!("\nWrote BENCH_term_sharing.json");
+}

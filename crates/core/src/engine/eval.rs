@@ -73,7 +73,9 @@ pub fn eval_term(
     in_set[start] = true;
 
     for _ in 1..n {
-        let next = pick_next(def, &in_set, &rows);
+        let next = pick_next(def, &in_set, |i| {
+            rows[i].as_ref().map_or(usize::MAX, Vec::len)
+        });
         let (lk, rk) = join_keys(def, &in_set, next, &joined_schema, &qschemas[next])?;
         let right = rows[next].take().expect("operand joined twice");
         joined_rows = if lk.is_empty() {
@@ -108,9 +110,10 @@ pub fn eval_term(
 
 /// Picks the next source to join: the smallest operand connected to the
 /// current set, falling back to the smallest remaining (cross join) when the
-/// join graph is disconnected.
-fn pick_next(def: &ViewDef, in_set: &[bool], rows: &[Option<SignedRows>]) -> usize {
-    let size = |i: usize| rows[i].as_ref().map_or(usize::MAX, Vec::len);
+/// join graph is disconnected. `size(i)` reports the (filtered) operand size
+/// of source `i`, `usize::MAX` once joined — shared by the per-term and
+/// cached-operand evaluators so both pick byte-identical join orders.
+pub(crate) fn pick_next(def: &ViewDef, in_set: &[bool], size: impl Fn(usize) -> usize) -> usize {
     let connected: Vec<usize> = (0..in_set.len())
         .filter(|&i| !in_set[i] && is_connected(def, in_set, i))
         .collect();
@@ -123,7 +126,7 @@ fn pick_next(def: &ViewDef, in_set: &[bool], rows: &[Option<SignedRows>]) -> usi
         .expect("some source remains")
 }
 
-fn is_connected(def: &ViewDef, in_set: &[bool], candidate: usize) -> bool {
+pub(crate) fn is_connected(def: &ViewDef, in_set: &[bool], candidate: usize) -> bool {
     def.joins.iter().any(|j| {
         let a = def.source_of_column(&j.left);
         let b = def.source_of_column(&j.right);
@@ -136,7 +139,7 @@ fn is_connected(def: &ViewDef, in_set: &[bool], candidate: usize) -> bool {
 
 /// Join-key column indices between the current joined schema and the next
 /// source's qualified schema, from every applicable equi-join condition.
-fn join_keys(
+pub(crate) fn join_keys(
     def: &ViewDef,
     in_set: &[bool],
     next: usize,
@@ -159,7 +162,7 @@ fn join_keys(
     Ok((lk, rk))
 }
 
-fn single_source_of(def: &ViewDef, f: &Predicate) -> Option<usize> {
+pub(crate) fn single_source_of(def: &ViewDef, f: &Predicate) -> Option<usize> {
     let cols = f.referenced_columns();
     let mut source = None;
     for c in cols {

@@ -1,6 +1,7 @@
 //! Strategy execution.
 
 use crate::engine::eval;
+use crate::engine::share::{self, TermOptions};
 use crate::engine::warehouse::{scan_operand, PendingDelta, Warehouse};
 use crate::error::{CoreError, CoreResult};
 use crate::wal::{encode_pending, Manifest, ManifestExpr, RecordBody, WalConfig, WalWriter};
@@ -22,6 +23,15 @@ pub struct ExecOptions {
     /// Journal execution to an install WAL so a crashed run can be resumed
     /// by [`crate::recovery::recover`] (default: off).
     pub wal: Option<WalConfig>,
+    /// Evaluate each `Comp`'s terms through a shared operand cache
+    /// (default: on). The logical work metric and every computed delta are
+    /// byte-identical either way; only physical rows touched and hash-table
+    /// builds shrink. Off restores the historical per-term scans.
+    pub term_sharing: bool,
+    /// Worker threads for term evaluation within one `Comp` (default: 0 =
+    /// inline). Effective only with `term_sharing`; terms are read-only and
+    /// independent, so results are deterministic regardless.
+    pub term_threads: usize,
 }
 
 impl Default for ExecOptions {
@@ -30,6 +40,18 @@ impl Default for ExecOptions {
             validate: true,
             analyze_first: false,
             wal: None,
+            term_sharing: true,
+            term_threads: 0,
+        }
+    }
+}
+
+impl ExecOptions {
+    /// The term-engine slice of these options.
+    pub(crate) fn term_options(&self) -> TermOptions {
+        TermOptions {
+            share: self.term_sharing,
+            threads: self.term_threads,
         }
     }
 }
@@ -61,12 +83,7 @@ impl ExecutionReport {
     pub fn total_work(&self) -> WorkMeter {
         let mut total = WorkMeter::new();
         for e in &self.per_expr {
-            total.operand_rows_scanned += e.work.operand_rows_scanned;
-            total.rows_installed += e.work.rows_installed;
-            total.rows_emitted += e.work.rows_emitted;
-            total.terms_evaluated += e.work.terms_evaluated;
-            total.comp_expressions += e.work.comp_expressions;
-            total.inst_expressions += e.work.inst_expressions;
+            total.absorb(&e.work);
         }
         total
     }
@@ -90,13 +107,18 @@ impl ExecutionReport {
         fn meter_json(m: &WorkMeter) -> String {
             format!(
                 "{{\"operand_rows_scanned\":{},\"rows_installed\":{},\"rows_emitted\":{},\
-                 \"terms_evaluated\":{},\"comp_expressions\":{},\"inst_expressions\":{}}}",
+                 \"terms_evaluated\":{},\"comp_expressions\":{},\"inst_expressions\":{},\
+                 \"physical_rows_touched\":{},\"hash_tables_built\":{},\
+                 \"hash_tables_reused\":{}}}",
                 m.operand_rows_scanned,
                 m.rows_installed,
                 m.rows_emitted,
                 m.terms_evaluated,
                 m.comp_expressions,
-                m.inst_expressions
+                m.inst_expressions,
+                m.physical_rows_touched,
+                m.hash_tables_built,
+                m.hash_tables_reused
             )
         }
         fn json_str(s: &str) -> String {
@@ -190,7 +212,7 @@ impl Warehouse {
             .enumerate()
             .map(|(i, e)| (i, 0, e.clone()))
             .collect();
-        let report = self.run_exprs_journaled(&items, None, &mut wal)?;
+        let report = self.run_exprs_journaled(&items, None, &mut wal, opts.term_options())?;
         if let Some(w) = &mut wal {
             w.append(&RecordBody::Commit)?;
         }
@@ -206,6 +228,7 @@ impl Warehouse {
         items: &[(usize, usize, UpdateExpr)],
         mut last_stage: Option<usize>,
         wal: &mut Option<WalWriter>,
+        topts: TermOptions,
     ) -> CoreResult<ExecutionReport> {
         let mut report = ExecutionReport::default();
         for (idx, stage, expr) in items {
@@ -219,7 +242,7 @@ impl Warehouse {
             let t0 = Instant::now();
             match expr {
                 UpdateExpr::Comp { view, over } => {
-                    self.exec_comp_journaled(*view, over, *idx, wal)?
+                    self.exec_comp_journaled(*view, over, *idx, wal, topts)?
                 }
                 UpdateExpr::Inst(view) => {
                     self.exec_inst_journaled(*view, *idx, wal)?;
@@ -286,11 +309,12 @@ impl Warehouse {
         over: &BTreeSet<ViewId>,
         idx: usize,
         wal: &mut Option<WalWriter>,
+        topts: TermOptions,
     ) -> CoreResult<()> {
         if let Some(w) = wal {
             w.append(&RecordBody::CompStart(idx))?;
         }
-        let (name, fragment, meter) = comp_fragment(self, view, over)?;
+        let (name, fragment, meter) = comp_fragment(self, view, over, topts)?;
         if let Some(w) = wal {
             let payload = encode_pending(&fragment);
             w.append(&RecordBody::CompDone {
@@ -302,9 +326,7 @@ impl Warehouse {
         self.merge_fragment(&name, fragment)?;
         let total = self.meter_mut();
         total.comp_expressions += 1;
-        total.operand_rows_scanned += meter.operand_rows_scanned;
-        total.rows_emitted += meter.rows_emitted;
-        total.terms_evaluated += meter.terms_evaluated;
+        share::fold_term_meter(total, &meter);
         Ok(())
     }
 
@@ -396,10 +418,17 @@ impl Warehouse {
 ///
 /// Pure over `&Warehouse`, so independent `Comp` expressions of one parallel
 /// stage can run on separate threads (Section 9).
+///
+/// With `topts.share` the surviving terms evaluate through a per-`Comp`
+/// [`share::OperandCache`] (optionally across `topts.threads` workers);
+/// otherwise each term re-scans its operands, the historical baseline. Both
+/// paths produce byte-identical fragments and identical logical meters —
+/// only the physical counters differ.
 pub(crate) fn comp_fragment(
     w: &Warehouse,
     view: ViewId,
     over: &BTreeSet<ViewId>,
+    topts: TermOptions,
 ) -> CoreResult<(String, PendingDelta, WorkMeter)> {
     let name = w.vdag().name(view).to_string();
     let def = w
@@ -408,15 +437,39 @@ pub(crate) fn comp_fragment(
         .clone();
     let over_names: BTreeSet<String> = over.iter().map(|v| w.vdag().name(*v).to_string()).collect();
 
+    // Terms whose delta subset includes an empty pending delta are skipped
+    // up front (footnote 5) — in particular a change-free `Comp` builds no
+    // operand cache and costs nothing, for every strategy alike.
+    let terms: Vec<BTreeSet<String>> = eval::nonempty_subsets(&over_names)
+        .into_iter()
+        .filter(|subset| {
+            subset
+                .iter()
+                .all(|v| w.pending(v).is_some_and(|d| !d.is_empty()))
+        })
+        .collect();
+
     let mut fragment = w.empty_pending_for(&name)?;
-    let mut total = WorkMeter::new();
-    for subset in eval::nonempty_subsets(&over_names) {
-        let all_nonempty = subset
-            .iter()
-            .all(|v| w.pending(v).is_some_and(|d| !d.is_empty()));
-        if !all_nonempty {
-            continue;
+    if topts.share {
+        let (outs, total) = share::eval_terms_shared(w, &def, &terms, topts.threads)?;
+        for out in outs {
+            match (out, &mut fragment) {
+                (share::TermOut::Rows(rows), PendingDelta::Rows(acc)) => {
+                    for (t, m) in rows {
+                        acc.add(t, m);
+                    }
+                }
+                (share::TermOut::Groups(groups), PendingDelta::Summary(acc)) => {
+                    acc.merge_groups(groups);
+                }
+                _ => unreachable!("empty_pending_for matches the output shape"),
+            }
         }
+        return Ok((name, fragment, total));
+    }
+
+    let mut total = WorkMeter::new();
+    for subset in &terms {
         let mut scan_meter = WorkMeter::new();
         let mut meter = WorkMeter::new();
         let (schema, rows) = {
@@ -444,9 +497,8 @@ pub(crate) fn comp_fragment(
             }
             _ => unreachable!("empty_pending_for matches the output shape"),
         }
-        total.operand_rows_scanned += scan_meter.operand_rows_scanned;
-        total.rows_emitted += meter.rows_emitted;
-        total.terms_evaluated += meter.terms_evaluated;
+        share::fold_term_meter(&mut total, &scan_meter);
+        share::fold_term_meter(&mut total, &meter);
     }
     Ok((name, fragment, total))
 }

@@ -19,6 +19,7 @@ pub mod eval;
 pub mod exec;
 pub mod explain;
 pub mod publish;
+pub(crate) mod share;
 pub mod summary;
 pub mod warehouse;
 

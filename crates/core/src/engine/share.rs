@@ -1,0 +1,382 @@
+//! Shared-operand term evaluation.
+//!
+//! Within one `Comp(W, Y)` no `Inst` intervenes, so the stored extents and
+//! pending deltas every maintenance term scans are *identical* across the
+//! `2^|Y| − 1` terms. The paper's model (and [`super::eval::eval_term`])
+//! nevertheless charges — and the naive executor performs — a full operand
+//! scan and a fresh hash-table build per term. This module is the executor's
+//! answer: an [`OperandCache`] materializes each `(source, role)` operand
+//! once (single-source filters pushed down and applied once) and interns
+//! hash-join build tables keyed by `(source, role, key columns)`, then
+//! every term evaluates against the cache — sequentially or across a
+//! `std::thread` scope, since terms are read-only and independent.
+//!
+//! Two invariants make the cache safe to enable by default:
+//!
+//! * **byte identity** — the cached evaluator replays `eval_term`'s exact
+//!   control flow (greedy smallest-first join order, build-on-smaller-side,
+//!   left-columns-first concatenation, empty-intermediate short circuit,
+//!   residual filters last), so every term's rows, the merged `ΔW`
+//!   fragment, and therefore the WAL `CD` payload are byte-identical to the
+//!   per-term path;
+//! * **logical-meter identity** — each term still charges
+//!   [`WorkMeter::scan_logical`] for the full raw operand it *would* have
+//!   scanned, so `operand_rows_scanned` (the planner's linear metric) is
+//!   unchanged; only `physical_rows_touched` and the hash-table counters
+//!   reveal the savings.
+
+use crate::engine::eval;
+use crate::engine::warehouse::{scan_operand, Warehouse};
+use crate::error::{CoreError, CoreResult};
+use std::collections::{BTreeSet, HashMap};
+use std::sync::{Arc, Mutex};
+use uww_relational::ops::{self, BuiltTable, GroupAcc, SignedRows};
+use uww_relational::{RelResult, Schema, Tuple, ViewDef, ViewOutput, WorkMeter};
+
+/// How a `Comp`'s term set is evaluated.
+#[derive(Clone, Copy, Debug)]
+pub struct TermOptions {
+    /// Evaluate terms through a shared [`OperandCache`] (default). Off
+    /// reproduces the historical per-term scans — useful for A/B metering.
+    pub share: bool,
+    /// Worker threads for term evaluation; `0` or `1` evaluates inline.
+    /// Only meaningful with `share` (the per-term path is the baseline).
+    pub threads: usize,
+}
+
+impl Default for TermOptions {
+    fn default() -> Self {
+        TermOptions {
+            share: true,
+            threads: 0,
+        }
+    }
+}
+
+/// One materialized operand: the filtered rows every term sees, plus the
+/// raw (pre-filter) extent size the logical metric charges per term.
+struct CachedOperand {
+    rows: Arc<SignedRows>,
+    raw_len: u64,
+}
+
+/// Intern key for a build table: `(source index, as_delta, key columns)`.
+type TableKey = (usize, bool, Vec<usize>);
+
+/// Per-`Comp` cache of materialized operands and interned build tables.
+///
+/// Built once per `Comp` from the terms that will actually run, so a
+/// `Comp` whose every term is skipped (empty deltas, footnote 5) still
+/// costs nothing. Shared by reference across term-evaluation threads.
+pub(crate) struct OperandCache {
+    /// Qualified schema per source, as `eval_term` computes it.
+    qschemas: Vec<Schema>,
+    /// Indices into `def.filters` that span multiple sources — applied
+    /// per term after the joins, exactly like the per-term path.
+    residual: Vec<usize>,
+    /// `[stored, delta]` slot per source index; `None` when no surviving
+    /// term uses that role.
+    slots: Vec<[Option<CachedOperand>; 2]>,
+    /// Interned build tables: `(source, as_delta, key columns)` → table.
+    /// The lock is held across the build so `hash_tables_built` counts
+    /// each distinct key exactly once even under threads.
+    tables: Mutex<HashMap<TableKey, Arc<BuiltTable>>>,
+}
+
+impl OperandCache {
+    /// Materializes every operand role the surviving `terms` need. The
+    /// returned meter carries the *physical* cost of materialization; the
+    /// logical scans are charged per term during evaluation. Operands are
+    /// read once per distinct `(view, role)` — aliased self-join sources
+    /// share the raw read and diverge only in their pushed-down filters.
+    pub(crate) fn build(
+        w: &Warehouse,
+        def: &ViewDef,
+        terms: &[BTreeSet<String>],
+    ) -> CoreResult<(OperandCache, WorkMeter)> {
+        let n = def.sources.len();
+        let state = w.state();
+        let pending = w.pending_map();
+
+        let mut qschemas = Vec::with_capacity(n);
+        for s in &def.sources {
+            qschemas.push(
+                state
+                    .get(&s.view)
+                    .map(|t| t.schema().clone())
+                    .map_err(CoreError::Rel)?
+                    .qualified(&s.alias),
+            );
+        }
+
+        let mut local: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut residual = Vec::new();
+        for (fi, f) in def.filters.iter().enumerate() {
+            match eval::single_source_of(def, f) {
+                Some(i) => local[i].push(fi),
+                None => residual.push(fi),
+            }
+        }
+
+        let mut need = vec![[false, false]; n];
+        for t in terms {
+            for (i, s) in def.sources.iter().enumerate() {
+                need[i][usize::from(t.contains(&s.view))] = true;
+            }
+        }
+
+        let mut meter = WorkMeter::new();
+        // Raw reads deduplicated by (view, role).
+        let mut raw: HashMap<(String, bool), (Arc<SignedRows>, u64)> = HashMap::new();
+        let mut slots: Vec<[Option<CachedOperand>; 2]> = Vec::with_capacity(n);
+        for (i, s) in def.sources.iter().enumerate() {
+            let mut pair: [Option<CachedOperand>; 2] = [None, None];
+            for (role, slot) in pair.iter_mut().enumerate() {
+                if !need[i][role] {
+                    continue;
+                }
+                let as_delta = role == 1;
+                let key = (s.view.clone(), as_delta);
+                let (rows, raw_len) = match raw.get(&key) {
+                    Some(hit) => hit.clone(),
+                    None => {
+                        // The probe meter captures the raw extent size; only
+                        // its physical side is real — the logical charge is
+                        // made per term to keep the paper's metric intact.
+                        let mut probe = WorkMeter::new();
+                        let rows = scan_operand(state, pending, &s.view, as_delta, &mut probe)
+                            .map_err(CoreError::Rel)?;
+                        meter.physical_rows_touched += probe.physical_rows_touched;
+                        let entry = (Arc::new(rows), probe.operand_rows_scanned);
+                        raw.insert(key, entry.clone());
+                        entry
+                    }
+                };
+                let rows = if local[i].is_empty() {
+                    rows
+                } else {
+                    let mut filtered = (*rows).clone();
+                    for &fi in &local[i] {
+                        let bound = def.filters[fi].bind(&qschemas[i]).map_err(CoreError::Rel)?;
+                        filtered = ops::filter(filtered, &bound).map_err(CoreError::Rel)?;
+                    }
+                    Arc::new(filtered)
+                };
+                *slot = Some(CachedOperand { rows, raw_len });
+            }
+            slots.push(pair);
+        }
+
+        Ok((
+            OperandCache {
+                qschemas,
+                residual,
+                slots,
+                tables: Mutex::new(HashMap::new()),
+            },
+            meter,
+        ))
+    }
+
+    fn operand(&self, i: usize, as_delta: bool) -> &CachedOperand {
+        self.slots[i][usize::from(as_delta)]
+            .as_ref()
+            .expect("operand role materialized for every surviving term")
+    }
+
+    /// The interned build table for operand `i` in role `as_delta` over
+    /// `keys`: built (and charged) once, reused (and counted) thereafter.
+    fn table(
+        &self,
+        i: usize,
+        as_delta: bool,
+        keys: &[usize],
+        meter: &mut WorkMeter,
+    ) -> Arc<BuiltTable> {
+        let mut map = self.tables.lock().unwrap_or_else(|e| e.into_inner());
+        match map.get(&(i, as_delta, keys.to_vec())) {
+            Some(t) => {
+                meter.hash_reuse();
+                Arc::clone(t)
+            }
+            None => {
+                let t = Arc::new(ops::build_table(
+                    &self.operand(i, as_delta).rows,
+                    keys,
+                    meter,
+                ));
+                map.insert((i, as_delta, keys.to_vec()), Arc::clone(&t));
+                t
+            }
+        }
+    }
+}
+
+/// A term's projected (or grouped) output, ready to fold into the `Comp`'s
+/// pending fragment in term order.
+pub(crate) enum TermOut {
+    /// Consolidated projection delta (non-aggregate views).
+    Rows(SignedRows),
+    /// Per-group accumulator deltas (aggregate views).
+    Groups(HashMap<Tuple, GroupAcc>),
+}
+
+/// Evaluates one maintenance term against the cache — the byte-identical
+/// mirror of [`eval::eval_term`] plus the downstream projection/grouping.
+pub(crate) fn eval_term_cached(
+    def: &ViewDef,
+    cache: &OperandCache,
+    subset: &BTreeSet<String>,
+    meter: &mut WorkMeter,
+) -> CoreResult<TermOut> {
+    let (schema, rows) = join_term(def, cache, subset, meter).map_err(CoreError::Rel)?;
+    match &def.output {
+        ViewOutput::Project(_) => {
+            let out = eval::project_output(def, &schema, &rows, meter).map_err(CoreError::Rel)?;
+            Ok(TermOut::Rows(ops::consolidate(out)))
+        }
+        ViewOutput::Aggregate { .. } => {
+            let groups = eval::group_output(def, &schema, &rows).map_err(CoreError::Rel)?;
+            Ok(TermOut::Groups(groups))
+        }
+    }
+}
+
+fn join_term(
+    def: &ViewDef,
+    cache: &OperandCache,
+    subset: &BTreeSet<String>,
+    meter: &mut WorkMeter,
+) -> RelResult<(Schema, SignedRows)> {
+    meter.term();
+    let n = def.sources.len();
+
+    // Charge the logical scans the per-term path performs when it loads
+    // each operand, and pin the role each source plays in this term.
+    let mut role = Vec::with_capacity(n);
+    let mut avail: Vec<Option<&CachedOperand>> = Vec::with_capacity(n);
+    for s in &def.sources {
+        let as_delta = subset.contains(&s.view);
+        let op = cache.operand(role.len(), as_delta);
+        meter.scan_logical(op.raw_len);
+        role.push(as_delta);
+        avail.push(Some(op));
+    }
+
+    let size = |avail: &[Option<&CachedOperand>], i: usize| {
+        avail[i].map_or(usize::MAX, |op| op.rows.len())
+    };
+    let start = (0..n)
+        .min_by_key(|&i| size(&avail, i))
+        .expect("at least one source");
+    let mut joined_schema = cache.qschemas[start].clone();
+    let mut joined_rows: SignedRows = (*avail[start].take().expect("start operand").rows).clone();
+    let mut in_set = vec![false; n];
+    in_set[start] = true;
+
+    for _ in 1..n {
+        let next = eval::pick_next(def, &in_set, |i| size(&avail, i));
+        let (lk, rk) = eval::join_keys(def, &in_set, next, &joined_schema, &cache.qschemas[next])?;
+        let right = avail[next].take().expect("operand joined twice");
+        joined_rows = if lk.is_empty() {
+            ops::cross_join(&joined_rows, &right.rows, meter)
+        } else if joined_rows.len() <= right.rows.len() {
+            // Build side is the accumulated intermediate — unique to this
+            // term, so built fresh exactly as hash_join would.
+            let table = ops::build_table(&joined_rows, &lk, meter);
+            ops::probe_table(&joined_rows, &table, &right.rows, &rk, true, meter)
+        } else {
+            // Build side is a pure cached operand: intern the table.
+            let table = cache.table(next, role[next], &rk, meter);
+            ops::probe_table(&right.rows, &table, &joined_rows, &lk, false, meter)
+        };
+        joined_schema = joined_schema.concat(&cache.qschemas[next])?;
+        in_set[next] = true;
+        if joined_rows.is_empty() {
+            // Mirror eval_term: remaining joins cannot resurrect an empty
+            // intermediate, but the schema still accumulates in index order.
+            for (j, slot) in avail.iter_mut().enumerate() {
+                if !in_set[j] && slot.take().is_some() {
+                    joined_schema = joined_schema.concat(&cache.qschemas[j])?;
+                    in_set[j] = true;
+                }
+            }
+            break;
+        }
+    }
+
+    for &fi in &cache.residual {
+        let bound = def.filters[fi].bind(&joined_schema)?;
+        joined_rows = ops::filter(joined_rows, &bound)?;
+    }
+    Ok((joined_schema, joined_rows))
+}
+
+/// Evaluates `terms` through a fresh cache, inline or across `threads`
+/// workers, returning per-term outputs **in term order** together with the
+/// folded meter (cache materialization + every term).
+pub(crate) fn eval_terms_shared(
+    w: &Warehouse,
+    def: &ViewDef,
+    terms: &[BTreeSet<String>],
+    threads: usize,
+) -> CoreResult<(Vec<TermOut>, WorkMeter)> {
+    let (cache, mut total) = OperandCache::build(w, def, terms)?;
+    let workers = threads.min(terms.len());
+    let eval_one = |subset: &BTreeSet<String>| {
+        let mut meter = WorkMeter::new();
+        eval_term_cached(def, &cache, subset, &mut meter).map(|out| (meter, out))
+    };
+    let mut results: Vec<Option<CoreResult<(WorkMeter, TermOut)>>> = if workers > 1 {
+        // Mirror execute_parallel_threaded: scoped workers over a shared
+        // read-only warehouse/cache. Worker k takes terms k, k+W, k+2W, …
+        // and results are re-assembled in term order, so the merged
+        // fragment and meter are independent of scheduling.
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|worker| {
+                    let eval_one = &eval_one;
+                    scope.spawn(move || {
+                        terms
+                            .iter()
+                            .enumerate()
+                            .skip(worker)
+                            .step_by(workers)
+                            .map(|(i, subset)| (i, eval_one(subset)))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            let mut slots: Vec<Option<CoreResult<(WorkMeter, TermOut)>>> =
+                (0..terms.len()).map(|_| None).collect();
+            for h in handles {
+                for (i, r) in h.join().expect("term worker panicked") {
+                    slots[i] = Some(r);
+                }
+            }
+            slots
+        })
+    } else {
+        terms.iter().map(|subset| Some(eval_one(subset))).collect()
+    };
+
+    let mut outs = Vec::with_capacity(results.len());
+    for r in results.drain(..) {
+        let (meter, out) = r.expect("every term evaluated")?;
+        fold_term_meter(&mut total, &meter);
+        outs.push(out);
+    }
+    Ok((outs, total))
+}
+
+/// Folds the counters a `Comp` contributes to the warehouse meter —
+/// deliberately not `rows_installed` or the expression counts, which the
+/// install funnel and `exec_comp_journaled` own.
+pub(crate) fn fold_term_meter(total: &mut WorkMeter, m: &WorkMeter) {
+    total.operand_rows_scanned += m.operand_rows_scanned;
+    total.rows_emitted += m.rows_emitted;
+    total.terms_evaluated += m.terms_evaluated;
+    total.physical_rows_touched += m.physical_rows_touched;
+    total.hash_tables_built += m.hash_tables_built;
+    total.hash_tables_reused += m.hash_tables_reused;
+}

@@ -339,12 +339,7 @@ impl ParallelReport {
         let mut total = uww_relational::WorkMeter::new();
         for s in &self.stages {
             for e in &s.per_expr {
-                total.operand_rows_scanned += e.work.operand_rows_scanned;
-                total.rows_installed += e.work.rows_installed;
-                total.rows_emitted += e.work.rows_emitted;
-                total.terms_evaluated += e.work.terms_evaluated;
-                total.comp_expressions += e.work.comp_expressions;
-                total.inst_expressions += e.work.inst_expressions;
+                total.absorb(&e.work);
             }
         }
         total
@@ -495,6 +490,7 @@ impl Warehouse {
                 std::time::Duration,
             )>;
             let this: &Warehouse = self;
+            let topts = opts.term_options();
             let results: Vec<CompResult> = std::thread::scope(|scope| {
                 let handles: Vec<_> = comps
                     .iter()
@@ -502,7 +498,7 @@ impl Warehouse {
                         scope.spawn(move || {
                             let t = std::time::Instant::now();
                             let (name, fragment, meter) =
-                                crate::engine::exec::comp_fragment(this, *view, over)?;
+                                crate::engine::exec::comp_fragment(this, *view, over, topts)?;
                             Ok((
                                 UpdateExpr::Comp {
                                     view: *view,
@@ -537,9 +533,7 @@ impl Warehouse {
                 meter.comp_expressions = 1;
                 let total = self.meter_mut();
                 total.comp_expressions += 1;
-                total.operand_rows_scanned += meter.operand_rows_scanned;
-                total.rows_emitted += meter.rows_emitted;
-                total.terms_evaluated += meter.terms_evaluated;
+                crate::engine::share::fold_term_meter(total, &meter);
                 per_expr.push(crate::engine::ExprReport {
                     expr,
                     work: meter,

@@ -277,7 +277,16 @@ pub fn recover_with(
         })
         .collect();
     let resumed = items.len();
-    let fresh = w.run_exprs_journaled(&items, last_stage, &mut wal)?;
+    // Resumed expressions run with the default term engine (shared,
+    // inline): the fragment bytes and logical meter are independent of the
+    // engine choice, so replay digests verify regardless of the options the
+    // crashed run used.
+    let fresh = w.run_exprs_journaled(
+        &items,
+        last_stage,
+        &mut wal,
+        crate::engine::exec::ExecOptions::default().term_options(),
+    )?;
     report.per_expr.extend(fresh.per_expr);
     if let Some(writer) = &mut wal {
         writer.append(&RecordBody::Commit)?;

@@ -128,6 +128,12 @@ pub struct FaultPlan {
     pub torn_at: Option<u64>,
     /// Write this record twice (a retried append), then continue normally.
     pub duplicate_at: Option<u64>,
+    /// Crash at the WAL-directory fsync point of [`WalWriter::create`],
+    /// immediately after the directory entries are made durable and before
+    /// the `BEGIN` record is appended. Fires only under
+    /// [`FsyncPolicy::Always`] — which doubles as the regression check that
+    /// the directory fsync actually happens on that policy.
+    pub crash_at_dir_sync: bool,
 }
 
 impl FaultPlan {
@@ -160,9 +166,20 @@ impl FaultPlan {
         }
     }
 
+    /// Crash at the directory-fsync point of WAL creation.
+    pub fn crash_at_dir_sync() -> Self {
+        FaultPlan {
+            crash_at_dir_sync: true,
+            ..FaultPlan::default()
+        }
+    }
+
     /// True when no fault is scheduled.
     pub fn is_none(&self) -> bool {
-        self.crash_before.is_none() && self.torn_at.is_none() && self.duplicate_at.is_none()
+        self.crash_before.is_none()
+            && self.torn_at.is_none()
+            && self.duplicate_at.is_none()
+            && !self.crash_at_dir_sync
     }
 }
 
@@ -654,6 +671,21 @@ impl WalWriter {
             .append(true)
             .open(&log_path)
             .map_err(|e| io_err("open wal.log", e))?;
+        if cfg.fsync == FsyncPolicy::Always {
+            // Syncing the files is not enough: their directory entries live
+            // in the parent directory's metadata, and a crash before that
+            // metadata reaches disk can leave a fully-synced snapshot with
+            // no name — recovery would find an empty or partial WAL dir.
+            // One directory fsync after the last create makes the whole set
+            // (snapshots, manifest, empty log) durable as a unit.
+            File::open(&cfg.dir)
+                .and_then(|d| d.sync_all())
+                .map_err(|e| io_err("sync wal dir", e))?;
+            if cfg.faults.crash_at_dir_sync {
+                // The directory entries are durable; BEGIN (seq 0) is not.
+                return Err(CoreError::InjectedCrash { record: 0 });
+            }
+        }
         let mut w = WalWriter {
             file,
             next_seq: 0,
@@ -907,6 +939,45 @@ mod tests {
 
     fn cfg(dir: &Path) -> WalConfig {
         WalConfig::new(dir).with_fsync(FsyncPolicy::Never)
+    }
+
+    #[test]
+    fn create_syncs_wal_directory_under_always() {
+        // The crash_at_dir_sync fault fires *at* the directory-fsync point,
+        // so an injected crash under `always` proves the fsync call is
+        // reached after every file exists — the durability fix. Under
+        // `never` the sync (and the fault) must be skipped entirely.
+        let d = tmpdir("dirsync-always");
+        let (m, state, changes) = test_manifest();
+        let c = WalConfig::new(&d)
+            .with_fsync(FsyncPolicy::Always)
+            .with_faults(FaultPlan::crash_at_dir_sync());
+        let err = WalWriter::create(&c, &m, &state, &changes).unwrap_err();
+        assert!(matches!(err, CoreError::InjectedCrash { record: 0 }));
+        // The crash happens after the directory entries are durable: every
+        // file exists, the log is empty, and the state left behind is
+        // exactly the crash-before-BEGIN state recovery already handles.
+        for f in [STATE_SNAP, CHANGES_SNAP, MANIFEST_FILE, LOG_FILE] {
+            assert!(d.join(f).exists(), "{f} missing after dir-sync crash");
+        }
+        assert_eq!(fs::metadata(d.join(LOG_FILE)).unwrap().len(), 0);
+        let log = WalLog::open(&d).unwrap();
+        assert_eq!(log.records.len(), 0);
+        let _ = fs::remove_dir_all(&d);
+
+        // FsyncPolicy::Never skips the directory sync, so the same fault
+        // plan never fires and creation completes.
+        let d2 = tmpdir("dirsync-never");
+        let c2 = cfg(&d2).with_faults(FaultPlan::crash_at_dir_sync());
+        let w = WalWriter::create(&c2, &m, &state, &changes).unwrap();
+        assert_eq!(w.next_seq(), 1); // BEGIN written
+        let _ = fs::remove_dir_all(&d2);
+    }
+
+    #[test]
+    fn dir_sync_fault_plan_is_a_scheduled_fault() {
+        assert!(FaultPlan::none().is_none());
+        assert!(!FaultPlan::crash_at_dir_sync().is_none());
     }
 
     #[test]

@@ -5,6 +5,18 @@
 //! the delta being installed. The engine meters exactly those events as it
 //! executes, so the *measured* work of a strategy can be compared against the
 //! planner's *predicted* work and against wall-clock time.
+//!
+//! The meter distinguishes two views of that work:
+//!
+//! * **logical** — what the paper's model charges. `operand_rows_scanned`
+//!   counts a full operand scan for *every* term that names the operand,
+//!   whether or not the executor actually re-read it. Planner decisions
+//!   (MinWork/Prune) are made against this metric, so it must not move when
+//!   the executor gets smarter.
+//! * **physical** — rows the executor actually touched: each operand
+//!   materialization and each hash-table build pass counts its input rows
+//!   once. The shared-operand term engine shrinks this without moving the
+//!   logical metric.
 
 use std::fmt;
 
@@ -25,6 +37,15 @@ pub struct WorkMeter {
     pub comp_expressions: u64,
     /// Number of `Inst` expressions executed.
     pub inst_expressions: u64,
+    /// Rows the executor *actually* read: operand materializations plus
+    /// hash-table build passes. Without operand sharing this tracks
+    /// `operand_rows_scanned` plus build inputs; with sharing it drops while
+    /// the logical counters stay put.
+    pub physical_rows_touched: u64,
+    /// Hash-join build tables constructed from scratch.
+    pub hash_tables_built: u64,
+    /// Hash-join build tables served from the per-`Comp` intern cache.
+    pub hash_tables_reused: u64,
 }
 
 impl WorkMeter {
@@ -33,9 +54,30 @@ impl WorkMeter {
         Self::default()
     }
 
-    /// Records scanning `n` operand rows.
+    /// Records scanning `n` operand rows: the executor read them, so both
+    /// the logical and physical counters move.
     pub fn scan(&mut self, n: u64) {
         self.operand_rows_scanned += n;
+        self.physical_rows_touched += n;
+    }
+
+    /// Records a *logical* scan of `n` operand rows that the executor
+    /// satisfied from an already-materialized operand. The paper's metric
+    /// charges the term as if it scanned; the hardware did not.
+    pub fn scan_logical(&mut self, n: u64) {
+        self.operand_rows_scanned += n;
+    }
+
+    /// Records building a hash table over `n` input rows. Physical-only:
+    /// the model folds build cost into the operand scan it already charged.
+    pub fn hash_build(&mut self, n: u64) {
+        self.hash_tables_built += 1;
+        self.physical_rows_touched += n;
+    }
+
+    /// Records reusing an interned hash table instead of rebuilding it.
+    pub fn hash_reuse(&mut self) {
+        self.hash_tables_reused += 1;
     }
 
     /// Records installing `n` rows.
@@ -68,6 +110,34 @@ impl WorkMeter {
             terms_evaluated: self.terms_evaluated - earlier.terms_evaluated,
             comp_expressions: self.comp_expressions - earlier.comp_expressions,
             inst_expressions: self.inst_expressions - earlier.inst_expressions,
+            physical_rows_touched: self.physical_rows_touched - earlier.physical_rows_touched,
+            hash_tables_built: self.hash_tables_built - earlier.hash_tables_built,
+            hash_tables_reused: self.hash_tables_reused - earlier.hash_tables_reused,
+        }
+    }
+
+    /// Adds every counter of `other` into `self` — for folding per-term (or
+    /// per-stage) meters into a total.
+    pub fn absorb(&mut self, other: &WorkMeter) {
+        self.operand_rows_scanned += other.operand_rows_scanned;
+        self.rows_installed += other.rows_installed;
+        self.rows_emitted += other.rows_emitted;
+        self.terms_evaluated += other.terms_evaluated;
+        self.comp_expressions += other.comp_expressions;
+        self.inst_expressions += other.inst_expressions;
+        self.physical_rows_touched += other.physical_rows_touched;
+        self.hash_tables_built += other.hash_tables_built;
+        self.hash_tables_reused += other.hash_tables_reused;
+    }
+
+    /// The counters the paper's model sees, with the physical ones zeroed —
+    /// two executions are *logically equivalent* iff these compare equal.
+    pub fn logical(&self) -> WorkMeter {
+        WorkMeter {
+            physical_rows_touched: 0,
+            hash_tables_built: 0,
+            hash_tables_reused: 0,
+            ..*self
         }
     }
 }
@@ -76,13 +146,17 @@ impl fmt::Display for WorkMeter {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "scanned={} installed={} emitted={} terms={} comps={} insts={}",
+            "scanned={} installed={} emitted={} terms={} comps={} insts={} \
+             physical={} builds={} reuses={}",
             self.operand_rows_scanned,
             self.rows_installed,
             self.rows_emitted,
             self.terms_evaluated,
             self.comp_expressions,
-            self.inst_expressions
+            self.inst_expressions,
+            self.physical_rows_touched,
+            self.hash_tables_built,
+            self.hash_tables_reused
         )
     }
 }
@@ -113,5 +187,45 @@ mod tests {
         let mut m = WorkMeter::new();
         m.scan(42);
         assert!(m.to_string().contains("scanned=42"));
+        assert!(m.to_string().contains("physical=42"));
+    }
+
+    #[test]
+    fn physical_and_logical_counters_split() {
+        let mut m = WorkMeter::new();
+        m.scan(10); // logical + physical
+        m.scan_logical(10); // logical only (cache hit)
+        m.hash_build(4); // physical only
+        m.hash_reuse();
+        assert_eq!(m.operand_rows_scanned, 20);
+        assert_eq!(m.physical_rows_touched, 14);
+        assert_eq!(m.hash_tables_built, 1);
+        assert_eq!(m.hash_tables_reused, 1);
+        // The paper's metric never sees the physical side.
+        assert_eq!(m.linear_work(), 20);
+        let mut shared = WorkMeter::new();
+        shared.scan_logical(20);
+        shared.scan(0);
+        assert_eq!(
+            shared.logical().operand_rows_scanned,
+            m.logical().operand_rows_scanned
+        );
+    }
+
+    #[test]
+    fn absorb_folds_all_counters() {
+        let mut a = WorkMeter::new();
+        a.scan(3);
+        a.hash_build(2);
+        let mut b = WorkMeter::new();
+        b.scan_logical(7);
+        b.hash_reuse();
+        b.term();
+        a.absorb(&b);
+        assert_eq!(a.operand_rows_scanned, 10);
+        assert_eq!(a.physical_rows_touched, 5);
+        assert_eq!(a.hash_tables_built, 1);
+        assert_eq!(a.hash_tables_reused, 1);
+        assert_eq!(a.terms_evaluated, 1);
     }
 }

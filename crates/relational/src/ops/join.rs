@@ -29,20 +29,51 @@ pub fn hash_join(
     } else {
         (right, right_keys, left, left_keys)
     };
+    let table = build_table(build, build_keys, meter);
+    probe_table(build, &table, probe, probe_keys, build_left, meter)
+}
 
-    let mut table: HashMap<Tuple, Vec<(&Tuple, i64)>> = HashMap::with_capacity(build.len());
-    for (t, m) in build {
-        table
-            .entry(t.project(build_keys))
-            .or_default()
-            .push((t, *m));
+/// A hash-join build table decoupled from the batch it indexes: key
+/// projection → indices into the build batch, in batch order. Because it
+/// holds indices rather than row references it has no lifetime tie and can
+/// be interned (e.g. in an `Arc`) and probed many times — the shared-operand
+/// term engine reuses one table across every term that joins the same
+/// operand on the same key columns.
+#[derive(Debug)]
+pub struct BuiltTable {
+    index: HashMap<Tuple, Vec<usize>>,
+}
+
+/// Indexes `rows` by their projection onto `keys`. Charges one
+/// [`WorkMeter::hash_build`] over the input size — a physical pass the
+/// paper's logical metric does not model separately.
+pub fn build_table(rows: &SignedRows, keys: &[usize], meter: &mut WorkMeter) -> BuiltTable {
+    let mut index: HashMap<Tuple, Vec<usize>> = HashMap::with_capacity(rows.len());
+    for (i, (t, _)) in rows.iter().enumerate() {
+        index.entry(t.project(keys)).or_default().push(i);
     }
+    meter.hash_build(rows.len() as u64);
+    BuiltTable { index }
+}
 
+/// Probes `table` (built over `build` — the same batch, same order) with
+/// `probe`, concatenating matches with the build columns on the left when
+/// `build_is_left`. Emission order and content are byte-identical to the
+/// equivalent [`hash_join`] call.
+pub fn probe_table(
+    build: &SignedRows,
+    table: &BuiltTable,
+    probe: &SignedRows,
+    probe_keys: &[usize],
+    build_is_left: bool,
+    meter: &mut WorkMeter,
+) -> SignedRows {
     let mut out = Vec::new();
     for (t, m) in probe {
-        if let Some(matches) = table.get(&t.project(probe_keys)) {
-            for (bt, bm) in matches {
-                let row = if build_left {
+        if let Some(matches) = table.index.get(&t.project(probe_keys)) {
+            for &bi in matches {
+                let (bt, bm) = &build[bi];
+                let row = if build_is_left {
                     bt.concat(t)
                 } else {
                     t.concat(bt)
@@ -152,5 +183,51 @@ mod tests {
         let mut m = WorkMeter::new();
         let out = hash_join(&l(), &[], &r(), &[], &mut m);
         assert_eq!(out.len(), 12);
+    }
+
+    #[test]
+    fn cross_degeneration_keeps_operand_scan_accounting() {
+        // Operand scans are charged by the scan operators (`scan_table` /
+        // `scan_delta`), never inside a join — so the keyed path and the
+        // empty-key cross degeneration must agree: neither touches
+        // `operand_rows_scanned`, both charge their output as emitted. The
+        // keyed path additionally charges its build pass as physical work;
+        // the cross path builds no table and must charge none.
+        let mut keyed = WorkMeter::new();
+        hash_join(&l(), &[0], &r(), &[0], &mut keyed);
+        let mut cross = WorkMeter::new();
+        let out = hash_join(&l(), &[], &r(), &[], &mut cross);
+        assert_eq!(keyed.operand_rows_scanned, 0);
+        assert_eq!(cross.operand_rows_scanned, 0);
+        assert_eq!(cross.rows_emitted, out.len() as u64);
+        assert_eq!(keyed.hash_tables_built, 1);
+        assert_eq!(keyed.physical_rows_touched, 3); // build side = smaller l()
+        assert_eq!(cross.hash_tables_built, 0);
+        assert_eq!(cross.physical_rows_touched, 0);
+    }
+
+    #[test]
+    fn prebuilt_probe_matches_hash_join_bytes() {
+        // probe_table over an interned BuiltTable must reproduce hash_join
+        // exactly — same rows, same multiplicities, same emission order —
+        // for both build-side orientations.
+        let mut m1 = WorkMeter::new();
+        let direct = hash_join(&l(), &[0], &r(), &[0], &mut m1);
+        let mut m2 = WorkMeter::new();
+        // l() is smaller, so hash_join built on the left.
+        let table = build_table(&l(), &[0], &mut m2);
+        let via_table = probe_table(&l(), &table, &r(), &[0], true, &mut m2);
+        assert_eq!(direct, via_table);
+        assert_eq!(m1.rows_emitted, m2.rows_emitted);
+        // Flipped orientation: build on the right batch.
+        let mut m3 = WorkMeter::new();
+        let big_left: SignedRows = (0..10)
+            .map(|i| (tup![Value::Int(i % 2), Value::str("y")], 1))
+            .collect();
+        let direct_flip = hash_join(&big_left, &[0], &r(), &[0], &mut m3);
+        let mut m4 = WorkMeter::new();
+        let rt = build_table(&r(), &[0], &mut m4);
+        let via_flip = probe_table(&r(), &rt, &big_left, &[0], false, &mut m4);
+        assert_eq!(direct_flip, via_flip);
     }
 }

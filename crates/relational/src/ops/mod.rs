@@ -11,7 +11,7 @@ mod aggregate;
 mod join;
 
 pub use aggregate::{group_rows, Acc, AggFunc, AggSpec, GroupAcc};
-pub use join::{cross_join, hash_join};
+pub use join::{build_table, cross_join, hash_join, probe_table, BuiltTable};
 
 use crate::delta::DeltaRelation;
 use crate::error::RelResult;

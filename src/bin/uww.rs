@@ -4,7 +4,9 @@
 //! uww info     [--scenario fig4|q3|q5] [--scale F]
 //! uww plan     [--scenario ...] [--scale F] [--frac F] [--planner minwork|prune|dual-stage|rnscol]
 //! uww run      [--scenario ...] [--scale F] [--frac F] [--planner ...]
-//!              [--wal DIR] [--fsync always|never] [--fault crash:K|torn:K|dup:K]
+//!              [--wal DIR] [--fsync always|never]
+//!              [--fault crash:K|torn:K|dup:K|dirsync]
+//!              [--term-threads N] [--no-term-sharing]
 //! uww recover  DIR
 //! uww analyze  [--scenario ...] [--scale F] [--planner ...]
 //!              [--strategy "Comp(V,{A});..."] [--stages "...|..."] [--json]
@@ -26,7 +28,14 @@
 //! from that log, rebuilding the scenario from the manifest's recorded
 //! context. `--fault` injects a deterministic crash at the `K`-th WAL record
 //! for testing: `crash:K` dies before writing it, `torn:K` half-writes it,
-//! `dup:K` writes it twice (and continues).
+//! `dup:K` writes it twice (and continues), `dirsync` dies at the WAL
+//! directory fsync (before any record lands).
+//!
+//! Each `Comp` evaluates its maintenance terms through a shared operand
+//! cache by default; `--no-term-sharing` restores the historical per-term
+//! scans, and `--term-threads N` fans the terms of one `Comp` over `N`
+//! worker threads. Either way the computed deltas and the logical work
+//! metric are byte-identical — only `physical_rows_touched` moves.
 
 use std::process::ExitCode;
 use uww::core::{
@@ -53,6 +62,8 @@ struct Args {
     dir: Option<String>,
     readers: usize,
     hold_ms: u64,
+    term_threads: usize,
+    term_sharing: bool,
 }
 
 impl Default for Args {
@@ -76,6 +87,8 @@ impl Default for Args {
             dir: None,
             readers: 4,
             hold_ms: 2,
+            term_threads: 0,
+            term_sharing: true,
         }
     }
 }
@@ -97,6 +110,13 @@ fn parse_args(argv: &[String]) -> Result<(String, Args), String> {
                     .push((name.trim().to_string(), query.to_string()));
             }
             "--json" => args.json = true,
+            "--no-term-sharing" => args.term_sharing = false,
+            "--term-threads" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "missing value for --term-threads".to_string())?;
+                args.term_threads = v.parse().map_err(|_| format!("bad --term-threads {v}"))?;
+            }
             "--strategy" => {
                 let v = it
                     .next()
@@ -260,15 +280,20 @@ fn cmd_plan(args: &Args) -> Result<(), String> {
 }
 
 fn parse_fault(spec: &str) -> Result<FaultPlan, String> {
+    if spec == "dirsync" {
+        return Ok(FaultPlan::crash_at_dir_sync());
+    }
     let (kind, k) = spec
         .split_once(':')
-        .ok_or_else(|| format!("bad --fault {spec} (crash:K|torn:K|dup:K)"))?;
+        .ok_or_else(|| format!("bad --fault {spec} (crash:K|torn:K|dup:K|dirsync)"))?;
     let k: u64 = k.parse().map_err(|_| format!("bad --fault record {k}"))?;
     match kind {
         "crash" => Ok(FaultPlan::crash_before(k)),
         "torn" => Ok(FaultPlan::torn_at(k)),
         "dup" => Ok(FaultPlan::duplicate_at(k)),
-        other => Err(format!("unknown fault kind {other} (crash|torn|dup)")),
+        other => Err(format!(
+            "unknown fault kind {other} (crash|torn|dup|dirsync)"
+        )),
     }
 }
 
@@ -276,7 +301,11 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     let mut sc = build_scenario(args)?;
     load_changes(&mut sc, args)?;
     let (strategy, label) = pick_strategy(&sc, args)?;
-    let mut opts = ExecOptions::default();
+    let mut opts = ExecOptions {
+        term_sharing: args.term_sharing,
+        term_threads: args.term_threads,
+        ..ExecOptions::default()
+    };
     if let Some(dir) = &args.wal {
         let fsync = FsyncPolicy::parse(&args.fsync).map_err(|e| e.to_string())?;
         let mut cfg = WalConfig::new(dir)
@@ -299,12 +328,24 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     if let Some(dir) = &args.wal {
         println!("journaled to {dir} (committed)");
     }
+    let total = report.total_work();
     println!(
         "update window: {:?} | measured work {} rows ({} scanned, {} installed)",
         report.wall(),
         report.linear_work(),
-        report.total_work().operand_rows_scanned,
-        report.total_work().rows_installed,
+        total.operand_rows_scanned,
+        total.rows_installed,
+    );
+    println!(
+        "physical: {} rows touched, {} hash builds, {} reused ({})",
+        total.physical_rows_touched,
+        total.hash_tables_built,
+        total.hash_tables_reused,
+        if args.term_sharing {
+            "operand sharing on"
+        } else {
+            "operand sharing off"
+        },
     );
     Ok(())
 }
@@ -640,7 +681,8 @@ const USAGE: &str = "usage: uww <info|plan|run|analyze|script|dot|olap|serve|exp
 [--isolation strict|low (olap) / strict|mvcc|both (serve)] [--readers N] [--hold-ms N] \
 [--sql NAME=SELECT-statement] \
 [--strategy \"Comp(V,{A,B}); Inst(A); ...\"] [--stages \"stage | stage | ...\"] [--json] \
-[--wal DIR] [--fsync always|never] [--fault crash:K|torn:K|dup:K]\n\
+[--wal DIR] [--fsync always|never] [--fault crash:K|torn:K|dup:K|dirsync] \
+[--term-threads N] [--no-term-sharing]\n\
        uww recover DIR";
 
 fn main() -> ExitCode {

@@ -1,0 +1,111 @@
+//! One boundary matrix for both nearest-rank percentile implementations.
+//!
+//! `uww_serve::percentile_us` (measured latencies, integer µs) and
+//! `InterferenceReport::latency_percentile` (simulated latencies, f64) claim
+//! the *same* nearest-rank definition — the serve/olap comparisons only mean
+//! something if that holds at the boundaries too. This test drives both
+//! through a single case table (empty, single-sample, two-sample, q = 0,
+//! q = 1, out-of-range q) so the definitions can never drift apart: any
+//! future off-by-one has to fail here, in both places at once.
+
+use uww::core::{InterferenceReport, QueryOutcome};
+use uww::serve::percentile_us;
+use uww::vdag::ViewId;
+
+fn report_of(samples: &[u64]) -> InterferenceReport {
+    InterferenceReport {
+        window: 0.0,
+        install_span: 0.0,
+        total_install_time: 0.0,
+        queries: samples
+            .iter()
+            .map(|&s| QueryOutcome {
+                target: ViewId(0),
+                arrival: 0.0,
+                lock_wait: 0.0,
+                service: s as f64,
+            })
+            .collect(),
+    }
+}
+
+/// `(samples, q, expected)` — `samples` ascending, `expected` the value the
+/// nearest-rank definition (`rank = max(1, ceil(q·n)) − 1`, clamped to the
+/// last index) must return; `0` for an empty sample set.
+const MATRIX: &[(&[u64], f64, u64)] = &[
+    // Empty samples: defined as 0, never a panic.
+    (&[], 0.0, 0),
+    (&[], 0.5, 0),
+    (&[], 1.0, 0),
+    // Single sample: every quantile is that sample.
+    (&[7], 0.0, 7),
+    (&[7], 0.5, 7),
+    (&[7], 0.99, 7),
+    (&[7], 1.0, 7),
+    // Two samples: the p50 boundary (q·n exactly integral) takes the first,
+    // anything above it the second; q = 1.0 must not index past the end.
+    (&[10, 20], 0.0, 10),
+    (&[10, 20], 0.5, 10),
+    (&[10, 20], 0.50001, 20),
+    (&[10, 20], 1.0, 20),
+    // Five samples: interior boundaries, exact and just past.
+    (&[1, 2, 3, 4, 5], 0.2, 1),
+    (&[1, 2, 3, 4, 5], 0.21, 2),
+    (&[1, 2, 3, 4, 5], 0.8, 4),
+    (&[1, 2, 3, 4, 5], 0.81, 5),
+    (&[1, 2, 3, 4, 5], 1.0, 5),
+    // A hundred samples 1..=100: pXX reads exactly sample XX.
+    (&HUNDRED, 0.01, 1),
+    (&HUNDRED, 0.50, 50),
+    (&HUNDRED, 0.95, 95),
+    (&HUNDRED, 0.99, 99),
+    (&HUNDRED, 0.991, 100),
+    (&HUNDRED, 1.0, 100),
+    // Out-of-range quantiles clamp instead of panicking or wrapping.
+    (&[10, 20], -0.5, 10),
+    (&[10, 20], 1.5, 20),
+    (&HUNDRED, 2.0, 100),
+    (&HUNDRED, -1.0, 1),
+];
+
+const HUNDRED: [u64; 100] = {
+    let mut a = [0u64; 100];
+    let mut i = 0;
+    while i < 100 {
+        a[i] = (i + 1) as u64;
+        i += 1;
+    }
+    a
+};
+
+#[test]
+fn both_percentile_implementations_agree_on_the_boundary_matrix() {
+    for &(samples, q, expected) in MATRIX {
+        let served = percentile_us(samples, q);
+        assert_eq!(
+            served, expected,
+            "percentile_us({samples:?}, {q}) = {served}, expected {expected}"
+        );
+        let simulated = report_of(samples).latency_percentile(q);
+        assert_eq!(
+            simulated, expected as f64,
+            "latency_percentile({samples:?}, {q}) = {simulated}, expected {expected}"
+        );
+    }
+}
+
+#[test]
+fn implementations_agree_on_every_quantile_step() {
+    // Beyond the hand-picked boundaries: sweep q in 0.001 steps over a few
+    // awkward sizes and require bit-identical answers from both definitions.
+    for n in [1usize, 2, 3, 7, 10, 33, 100] {
+        let samples: Vec<u64> = (1..=n as u64).collect();
+        let rep = report_of(&samples);
+        for step in 0..=1000 {
+            let q = step as f64 / 1000.0;
+            let a = percentile_us(&samples, q);
+            let b = rep.latency_percentile(q);
+            assert_eq!(a as f64, b, "n={n} q={q}: serve={a} olap={b}");
+        }
+    }
+}

@@ -1,0 +1,427 @@
+//! Property tests for the shared-operand term engine: over random
+//! warehouses × random valid strategies, the cached path (sequential and
+//! threaded) must produce byte-identical state, byte-identical WAL journals,
+//! and an *identical logical* `WorkMeter` to the historical per-term path —
+//! while touching no more physical rows.
+//!
+//! Seeded like the crash matrix: set `UWW_TERM_SEED` to shift the whole
+//! sweep to a different deterministic slice.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use uww::core::{
+    all_one_way_vdag_strategies, ExecOptions, ExecutionReport, FsyncPolicy, WalConfig, Warehouse,
+};
+use uww::relational::{
+    catalog_to_string, AggFunc, AggregateColumn, DeltaRelation, EquiJoin, OutputColumn, Predicate,
+    ScalarExpr, Schema, Table, Tuple, Value, ValueType, ViewDef, ViewOutput, ViewSource, WorkMeter,
+};
+use uww::vdag::{check_vdag_strategy, SplitMix64, Strategy, UpdateExpr};
+
+fn seed_base() -> u64 {
+    std::env::var("UWW_TERM_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+fn wal_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "uww-term-{tag}-{}-{}",
+        std::process::id(),
+        seed_base()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+const COLS: &[(&str, ValueType)] = &[
+    ("k", ValueType::Int),
+    ("v", ValueType::Int),
+    ("g", ValueType::Int),
+];
+
+/// A random warehouse biased toward multi-source views, so dual-stage
+/// strategies produce `Comp`s with up to `2^3 − 1` terms: three bases, one
+/// guaranteed three-way join, plus 1–2 random filter/aggregate/join views.
+/// Every base gets a random deletion+insertion batch, so no term is skipped
+/// for an empty delta.
+fn random_warehouse(seed: u64) -> (Warehouse, BTreeMap<String, DeltaRelation>) {
+    let mut rng = SplitMix64::new(seed.wrapping_mul(0x9E37_79B9).wrapping_add(0x7E57));
+    let schema = Schema::of(COLS);
+
+    let mut builder = Warehouse::builder();
+    let mut names: Vec<String> = Vec::new();
+    for b in 0..3 {
+        let name = format!("B{b}");
+        let mut t = Table::new(&name, schema.clone());
+        for k in 0..15 + rng.below(10) {
+            t.insert(Tuple::new(vec![
+                Value::Int(k as i64),
+                Value::Int(rng.below(100) as i64),
+                Value::Int((k % 3) as i64),
+            ]))
+            .unwrap();
+        }
+        builder = builder.base_table(t);
+        names.push(name);
+    }
+
+    // The tentpole case: a three-way join whose dual-stage Comp expands to
+    // seven terms sharing three operands in both roles.
+    builder = builder.view(ViewDef {
+        name: "J3".into(),
+        sources: vec![
+            ViewSource {
+                view: "B0".into(),
+                alias: "A".into(),
+            },
+            ViewSource {
+                view: "B1".into(),
+                alias: "B".into(),
+            },
+            ViewSource {
+                view: "B2".into(),
+                alias: "C".into(),
+            },
+        ],
+        joins: vec![EquiJoin::new("A.k", "B.k"), EquiJoin::new("A.k", "C.k")],
+        filters: vec![Predicate::col_gt("B.v", Value::Int(rng.below(40) as i64))],
+        output: ViewOutput::Project(vec![
+            OutputColumn::col("k", "A.k"),
+            OutputColumn::col("v", "C.v"),
+            OutputColumn::col("g", "B.g"),
+        ]),
+    });
+    names.push("J3".into());
+
+    for d in 0..1 + rng.below(2) {
+        let name = format!("D{d}");
+        let src = names[rng.below(3) as usize].clone();
+        let def = match rng.below(3) {
+            0 => ViewDef {
+                name: name.clone(),
+                sources: vec![ViewSource {
+                    view: src,
+                    alias: "S".into(),
+                }],
+                joins: vec![],
+                filters: vec![Predicate::col_gt("S.v", Value::Int(rng.below(60) as i64))],
+                output: ViewOutput::Project(vec![
+                    OutputColumn::col("k", "S.k"),
+                    OutputColumn::col("v", "S.v"),
+                    OutputColumn::col("g", "S.g"),
+                ]),
+            },
+            1 => ViewDef {
+                name: name.clone(),
+                sources: vec![ViewSource {
+                    view: src,
+                    alias: "S".into(),
+                }],
+                joins: vec![],
+                filters: vec![],
+                output: ViewOutput::Aggregate {
+                    group_by: vec![OutputColumn::col("k", "S.g")],
+                    aggregates: vec![
+                        AggregateColumn {
+                            name: "v".into(),
+                            func: AggFunc::Sum,
+                            input: ScalarExpr::col("S.v"),
+                        },
+                        AggregateColumn {
+                            name: "g".into(),
+                            func: AggFunc::Count,
+                            input: ScalarExpr::col("S.k"),
+                        },
+                    ],
+                },
+            },
+            _ => {
+                let other = format!("B{}", (rng.below(2) + 1) % 3);
+                ViewDef {
+                    name: name.clone(),
+                    sources: vec![
+                        ViewSource {
+                            view: "B0".into(),
+                            alias: "A".into(),
+                        },
+                        ViewSource {
+                            view: other,
+                            alias: "B".into(),
+                        },
+                    ],
+                    joins: vec![EquiJoin::new("A.k", "B.k")],
+                    filters: vec![],
+                    output: ViewOutput::Project(vec![
+                        OutputColumn::col("k", "A.k"),
+                        OutputColumn::col("v", "A.v"),
+                        OutputColumn::col("g", "B.v"),
+                    ]),
+                }
+            }
+        };
+        builder = builder.view(def);
+        names.push(name);
+    }
+    let w = builder.build().unwrap();
+
+    let mut changes: BTreeMap<String, DeltaRelation> = BTreeMap::new();
+    for b in 0..3 {
+        let name = format!("B{b}");
+        let mut delta = DeltaRelation::new(schema.clone());
+        for (tup, cnt) in w.table(&name).unwrap().iter() {
+            if rng.below(4) == 0 {
+                delta.add(tup.clone(), -(cnt as i64));
+            }
+        }
+        for i in 0..3 + rng.below(4) {
+            delta.add(
+                Tuple::new(vec![
+                    Value::Int(1000 + i as i64),
+                    Value::Int(rng.below(100) as i64),
+                    Value::Int(rng.below(3) as i64),
+                ]),
+                1,
+            );
+        }
+        changes.insert(name, delta);
+    }
+    (w, changes)
+}
+
+/// Seeded picks from the exhaustive 1-way enumeration plus the dual-stage
+/// strategy (the one with multi-delta terms) when valid.
+fn random_strategies(w: &Warehouse, rng: &mut SplitMix64, count: usize) -> Vec<Strategy> {
+    let g = w.vdag();
+    let one_way = all_one_way_vdag_strategies(g).unwrap();
+    assert!(!one_way.is_empty());
+    let mut out: Vec<Strategy> = (0..count)
+        .map(|_| one_way[rng.below(one_way.len() as u64) as usize].clone())
+        .collect();
+    let mut dual: Vec<UpdateExpr> = Vec::new();
+    for v in g.view_ids() {
+        if !g.is_base(v) {
+            dual.push(UpdateExpr::comp(v, g.sources(v).iter().copied()));
+        }
+    }
+    for v in g.view_ids() {
+        dual.push(UpdateExpr::inst(v));
+    }
+    let dual = Strategy::from_exprs(dual);
+    if check_vdag_strategy(g, &dual).is_ok() {
+        out.push(dual);
+    }
+    out
+}
+
+struct RunOutcome {
+    state: String,
+    report: ExecutionReport,
+    wal_bytes: Vec<u8>,
+}
+
+fn run_mode(
+    w: &Warehouse,
+    changes: &BTreeMap<String, DeltaRelation>,
+    strategy: &Strategy,
+    tag: &str,
+    share: bool,
+    threads: usize,
+) -> RunOutcome {
+    let mut clone = w.clone();
+    clone.load_changes(changes.clone()).unwrap();
+    let dir = wal_dir(tag);
+    let opts = ExecOptions {
+        wal: Some(WalConfig::new(&dir).with_fsync(FsyncPolicy::Never)),
+        term_sharing: share,
+        term_threads: threads,
+        ..ExecOptions::default()
+    };
+    let report = clone.execute_with(strategy, opts).unwrap();
+    let wal_bytes = std::fs::read(dir.join("wal.log")).unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+    RunOutcome {
+        state: catalog_to_string(clone.state()),
+        report,
+        wal_bytes,
+    }
+}
+
+fn logical(meter: &WorkMeter) -> WorkMeter {
+    meter.logical()
+}
+
+#[test]
+fn shared_and_threaded_term_evaluation_is_byte_identical_to_per_term() {
+    let base = seed_base();
+    let mut shared_ever_cheaper = false;
+    for round in 0..4u64 {
+        let seed = base.wrapping_mul(131).wrapping_add(round);
+        let (w, changes) = random_warehouse(seed);
+        let mut rng = SplitMix64::new(seed ^ 0xABCD_EF01);
+        for (si, strategy) in random_strategies(&w, &mut rng, 2).iter().enumerate() {
+            let tag = |mode: &str| format!("{round}-{si}-{mode}");
+            let baseline = run_mode(&w, &changes, strategy, &tag("unshared"), false, 0);
+            let shared = run_mode(&w, &changes, strategy, &tag("shared"), true, 0);
+            let threaded = run_mode(&w, &changes, strategy, &tag("threaded"), true, 3);
+
+            // Byte-identical final state and byte-identical per-term WAL
+            // fragments (the CD payloads dominate wal.log).
+            assert_eq!(baseline.state, shared.state, "state diverged (shared)");
+            assert_eq!(baseline.state, threaded.state, "state diverged (threaded)");
+            assert_eq!(
+                baseline.wal_bytes, shared.wal_bytes,
+                "wal bytes diverged (shared)"
+            );
+            assert_eq!(
+                baseline.wal_bytes, threaded.wal_bytes,
+                "wal bytes diverged (threaded)"
+            );
+
+            // Identical *logical* meters, expression by expression; the
+            // physical counters are the only place the engines may differ.
+            assert_eq!(baseline.report.per_expr.len(), shared.report.per_expr.len());
+            for (b, s) in baseline
+                .report
+                .per_expr
+                .iter()
+                .zip(shared.report.per_expr.iter())
+            {
+                assert_eq!(logical(&b.work), logical(&s.work), "expr {:?}", b.expr);
+            }
+            for (b, t) in baseline
+                .report
+                .per_expr
+                .iter()
+                .zip(threaded.report.per_expr.iter())
+            {
+                assert_eq!(logical(&b.work), logical(&t.work), "expr {:?}", b.expr);
+            }
+            assert_eq!(
+                logical(&baseline.report.total_work()),
+                logical(&shared.report.total_work())
+            );
+            assert_eq!(
+                logical(&baseline.report.total_work()),
+                logical(&threaded.report.total_work())
+            );
+
+            // Sharing never touches more rows, and the threaded engine's
+            // totals equal the sequential shared engine's (same cache, same
+            // terms, deterministic interning).
+            let phys_base = baseline.report.total_work().physical_rows_touched;
+            let phys_shared = shared.report.total_work().physical_rows_touched;
+            assert!(
+                phys_shared <= phys_base,
+                "shared touched more rows: {phys_shared} > {phys_base}"
+            );
+            assert_eq!(
+                shared.report.total_work().physical_rows_touched,
+                threaded.report.total_work().physical_rows_touched
+            );
+            assert_eq!(
+                shared.report.total_work().hash_tables_built,
+                threaded.report.total_work().hash_tables_built
+            );
+            if phys_shared < phys_base {
+                shared_ever_cheaper = true;
+            }
+        }
+    }
+    // The sweep always contains a dual-stage strategy over the three-way
+    // join, so sharing must have paid off somewhere.
+    assert!(
+        shared_ever_cheaper,
+        "operand sharing never reduced physical rows across the sweep"
+    );
+}
+
+#[test]
+fn shared_engine_counts_hash_table_reuse() {
+    // Deterministic single case sized so the build-on-smaller-side rule
+    // repeatedly picks the *same pure operand* as build side: deltas are an
+    // order of magnitude larger than stored operands, so by the time the
+    // greedy order reaches ΔB2 the intermediate has fanned out past it in
+    // several terms of Comp(J, {B0,B1,B2}). The shared engine must intern
+    // that table and report reuses; the per-term engine reports none.
+    let schema = Schema::of(COLS);
+    let mut builder = Warehouse::builder();
+    for (b, dup) in [(0usize, 4i64), (1, 2), (2, 2)] {
+        let name = format!("B{b}");
+        let mut t = Table::new(&name, schema.clone());
+        for k in 0..5i64 {
+            for j in 0..dup {
+                t.insert(Tuple::new(vec![
+                    Value::Int(k),
+                    Value::Int(j),
+                    Value::Int(0),
+                ]))
+                .unwrap();
+            }
+        }
+        builder = builder.base_table(t);
+    }
+    let w = builder
+        .view(ViewDef {
+            name: "J".into(),
+            sources: vec![
+                ViewSource {
+                    view: "B0".into(),
+                    alias: "A".into(),
+                },
+                ViewSource {
+                    view: "B1".into(),
+                    alias: "B".into(),
+                },
+                ViewSource {
+                    view: "B2".into(),
+                    alias: "C".into(),
+                },
+            ],
+            joins: vec![EquiJoin::new("A.k", "B.k"), EquiJoin::new("A.k", "C.k")],
+            filters: vec![],
+            output: ViewOutput::Project(vec![
+                OutputColumn::col("k", "A.k"),
+                OutputColumn::col("v", "C.v"),
+                OutputColumn::col("g", "B.g"),
+            ]),
+        })
+        .build()
+        .unwrap();
+    let mut changes: BTreeMap<String, DeltaRelation> = BTreeMap::new();
+    for b in 0..3 {
+        let mut delta = DeltaRelation::new(schema.clone());
+        for k in 0..5i64 {
+            for j in 0..20i64 {
+                delta.add(
+                    Tuple::new(vec![Value::Int(k), Value::Int(100 + j), Value::Int(1)]),
+                    1,
+                );
+            }
+        }
+        changes.insert(format!("B{b}"), delta);
+    }
+    let g = w.vdag();
+    let mut dual: Vec<UpdateExpr> = Vec::new();
+    for v in g.view_ids() {
+        if !g.is_base(v) {
+            dual.push(UpdateExpr::comp(v, g.sources(v).iter().copied()));
+        }
+    }
+    for v in g.view_ids() {
+        dual.push(UpdateExpr::inst(v));
+    }
+    let dual = Strategy::from_exprs(dual);
+    check_vdag_strategy(g, &dual).unwrap();
+
+    let baseline = run_mode(&w, &changes, &dual, "reuse-unshared", false, 0);
+    let shared = run_mode(&w, &changes, &dual, "reuse-shared", true, 0);
+    assert_eq!(baseline.report.total_work().hash_tables_reused, 0);
+    assert!(shared.report.total_work().hash_tables_reused > 0);
+    assert!(
+        shared.report.total_work().hash_tables_built
+            < baseline.report.total_work().hash_tables_built
+    );
+}
