@@ -1,0 +1,180 @@
+//! Tracing-overhead report: run the same dual-stage strategy with tracing
+//! disabled and enabled (default sampling), interleaved, and compare
+//! min-of-K wall times. The span engine's budget is < 5% overhead when
+//! enabled; when *disabled* it is a single relaxed atomic load per
+//! instrumentation point, which this binary demonstrates by construction
+//! (the disabled runs ARE the baseline).
+//!
+//! Interleaving the two modes and taking the minimum per mode cancels page
+//! cache, allocator and frequency-scaling drift — the standard min-of-K
+//! protocol for sub-millisecond comparisons.
+//!
+//! Output: a summary on stdout plus `BENCH_trace_overhead.json` in the
+//! current directory. Row count per base view defaults to 2000
+//! (`UWW_TRACE_ROWS` overrides; CI uses a smaller value), iteration count
+//! defaults to 7 (`UWW_TRACE_ITERS`).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+use uww::core::{ExecOptions, Warehouse};
+use uww::obs::TraceBuffer;
+use uww::relational::{
+    DeltaRelation, EquiJoin, OutputColumn, Predicate, Schema, Table, Tuple, Value, ValueType,
+    ViewDef, ViewOutput, ViewSource,
+};
+use uww::vdag::{Strategy, UpdateExpr};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+const COLS: &[(&str, ValueType)] = &[
+    ("k", ValueType::Int),
+    ("v", ValueType::Int),
+    ("g", ValueType::Int),
+];
+
+/// Three bases joined into one view: the dual-stage `Comp` expands to seven
+/// terms, so the run produces a realistic mix of expression, term, and
+/// operator spans.
+fn workload(rows: usize) -> (Warehouse, BTreeMap<String, DeltaRelation>) {
+    let schema = Schema::of(COLS);
+    let mut builder = Warehouse::builder();
+    let mut sources = Vec::new();
+    let mut joins = Vec::new();
+    for i in 1..=3usize {
+        let name = format!("A{i}");
+        let mut t = Table::new(&name, schema.clone());
+        for k in 0..rows {
+            t.insert(Tuple::new(vec![
+                Value::Int(k as i64),
+                Value::Int(((k * 7 + i) % 100) as i64),
+                Value::Int((k % 3) as i64),
+            ]))
+            .unwrap();
+        }
+        builder = builder.base_table(t);
+        sources.push(ViewSource {
+            view: name,
+            alias: format!("S{i}"),
+        });
+        if i > 1 {
+            joins.push(EquiJoin::new("S1.k", format!("S{i}.k")));
+        }
+    }
+    builder = builder.view(ViewDef {
+        name: "V".into(),
+        sources,
+        joins,
+        filters: vec![Predicate::col_gt("S1.v", Value::Int(10))],
+        output: ViewOutput::Project(vec![
+            OutputColumn::col("k", "S1.k"),
+            OutputColumn::col("v", "S3.v"),
+            OutputColumn::col("g", "S1.g"),
+        ]),
+    });
+    let w = builder.build().expect("workload warehouse");
+
+    let mut changes = BTreeMap::new();
+    for i in 1..=3usize {
+        let mut delta = DeltaRelation::new(schema.clone());
+        for k in 0..rows / 4 {
+            delta.add(
+                Tuple::new(vec![
+                    Value::Int(k as i64),
+                    Value::Int(((k * 13 + i) % 100) as i64),
+                    Value::Int(1),
+                ]),
+                1,
+            );
+        }
+        changes.insert(format!("A{i}"), delta);
+    }
+    (w, changes)
+}
+
+fn dual_stage(w: &Warehouse) -> Strategy {
+    let g = w.vdag();
+    let mut exprs = Vec::new();
+    for v in g.view_ids() {
+        if !g.is_base(v) {
+            exprs.push(UpdateExpr::comp(v, g.sources(v).iter().copied()));
+        }
+    }
+    for v in g.view_ids() {
+        exprs.push(UpdateExpr::inst(v));
+    }
+    Strategy::from_exprs(exprs)
+}
+
+fn one_run(w: &Warehouse, changes: &BTreeMap<String, DeltaRelation>, strategy: &Strategy) -> u128 {
+    let mut clone = w.clone();
+    clone.load_changes(changes.clone()).expect("load changes");
+    let start = Instant::now();
+    clone
+        .execute_with(strategy, ExecOptions::default())
+        .expect("execute");
+    start.elapsed().as_micros()
+}
+
+fn main() {
+    let rows = env_usize("UWW_TRACE_ROWS", 2000);
+    let iters = env_usize("UWW_TRACE_ITERS", 7).max(1);
+    let (w, changes) = workload(rows);
+    let strategy = dual_stage(&w);
+
+    // Warm-up, untimed: fault in the page cache and the allocator.
+    one_run(&w, &changes, &strategy);
+
+    let mut disabled_min = u128::MAX;
+    let mut enabled_min = u128::MAX;
+    let mut spans_recorded: u64 = 0;
+    let mut dropped: u64 = 0;
+    for _ in 0..iters {
+        disabled_min = disabled_min.min(one_run(&w, &changes, &strategy));
+
+        let buf = Arc::new(TraceBuffer::new(uww::obs::DEFAULT_CAPACITY));
+        uww::obs::install(Arc::clone(&buf));
+        let us = one_run(&w, &changes, &strategy);
+        uww::obs::uninstall();
+        enabled_min = enabled_min.min(us);
+        spans_recorded = buf.span_count();
+        dropped = buf.dropped();
+    }
+    assert!(spans_recorded > 0, "enabled runs must record spans");
+
+    let overhead_pct = (enabled_min as f64 - disabled_min as f64) / disabled_min as f64 * 100.0;
+    println!(
+        "trace overhead: rows={rows} iters={iters} disabled_min={disabled_min}µs \
+         enabled_min={enabled_min}µs overhead={overhead_pct:.2}% \
+         spans={spans_recorded} dropped={dropped}"
+    );
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"rows_per_base\": {rows},");
+    let _ = writeln!(json, "  \"iterations\": {iters},");
+    let _ = writeln!(json, "  \"disabled_us_min\": {disabled_min},");
+    let _ = writeln!(json, "  \"enabled_us_min\": {enabled_min},");
+    let _ = writeln!(json, "  \"overhead_pct\": {overhead_pct:.4},");
+    let _ = writeln!(json, "  \"spans_recorded\": {spans_recorded},");
+    let _ = writeln!(json, "  \"dropped\": {dropped}");
+    json.push_str("}\n");
+    std::fs::write("BENCH_trace_overhead.json", &json).expect("write BENCH_trace_overhead.json");
+    println!("Wrote BENCH_trace_overhead.json");
+
+    // The budget: < 5% at default sampling. Below ~2ms of window the 5%
+    // bound dips under scheduler/timer noise, so tiny CI workloads get an
+    // absolute 100µs allowance instead.
+    let delta_us = enabled_min.saturating_sub(disabled_min);
+    assert!(
+        overhead_pct < 5.0 || (disabled_min < 2_000 && delta_us < 100),
+        "tracing overhead {overhead_pct:.2}% exceeds the 5% budget \
+         (disabled {disabled_min}µs, enabled {enabled_min}µs)"
+    );
+}

@@ -7,6 +7,7 @@ use crate::error::{CoreError, CoreResult};
 use crate::wal::{encode_pending, Manifest, ManifestExpr, RecordBody, WalConfig, WalWriter};
 use std::collections::{BTreeMap, BTreeSet};
 use std::time::{Duration, Instant};
+use uww_obs as obs;
 use uww_relational::ops;
 use uww_relational::{catalog_to_string, deltas_to_string, digest64, ViewOutput, WorkMeter};
 use uww_vdag::{check_vdag_strategy, Strategy, UpdateExpr, ViewId};
@@ -32,6 +33,11 @@ pub struct ExecOptions {
     /// inline). Effective only with `term_sharing`; terms are read-only and
     /// independent, so results are deterministic regardless.
     pub term_threads: usize,
+    /// Planner-predicted linear work per expression, in execution (manifest)
+    /// order — attached to expression spans when tracing is enabled so
+    /// traces and the timeline report show predicted vs measured work
+    /// side by side (default: none). Never affects execution.
+    pub predicted_work: Option<Vec<f64>>,
 }
 
 impl Default for ExecOptions {
@@ -42,6 +48,7 @@ impl Default for ExecOptions {
             wal: None,
             term_sharing: true,
             term_threads: 0,
+            predicted_work: None,
         }
     }
 }
@@ -160,14 +167,14 @@ impl ExecutionReport {
                 out.push_str(&json_str(g.name(*v)));
             }
             out.push_str(&format!(
-                "],\"wall_us\":{},\"replayed\":{},\"work\":{}}}",
+                "],\"elapsed_us\":{},\"replayed\":{},\"work\":{}}}",
                 e.wall.as_micros(),
                 e.replayed,
                 meter_json(&e.work)
             ));
         }
         out.push_str(&format!(
-            "],\"total\":{},\"wall_us\":{},\"linear_work\":{},\"replayed_exprs\":{}}}",
+            "],\"total\":{},\"elapsed_us\":{},\"linear_work\":{},\"replayed_exprs\":{}}}",
             meter_json(&self.total_work()),
             self.wall().as_micros(),
             self.linear_work(),
@@ -206,13 +213,21 @@ impl Warehouse {
             }
             None => None,
         };
+        let mut run_span = obs::span(obs::SpanKind::Run, "execute");
+        run_span.attr_u64("expressions", strategy.exprs.len() as u64);
         let items: Vec<(usize, usize, UpdateExpr)> = strategy
             .exprs
             .iter()
             .enumerate()
             .map(|(i, e)| (i, 0, e.clone()))
             .collect();
-        let report = self.run_exprs_journaled(&items, None, &mut wal, opts.term_options())?;
+        let report = self.run_exprs_journaled(
+            &items,
+            None,
+            &mut wal,
+            opts.term_options(),
+            opts.predicted_work.as_deref(),
+        )?;
         if let Some(w) = &mut wal {
             w.append(&RecordBody::Commit)?;
         }
@@ -229,6 +244,7 @@ impl Warehouse {
         mut last_stage: Option<usize>,
         wal: &mut Option<WalWriter>,
         topts: TermOptions,
+        predicted: Option<&[f64]>,
     ) -> CoreResult<ExecutionReport> {
         let mut report = ExecutionReport::default();
         for (idx, stage, expr) in items {
@@ -238,6 +254,16 @@ impl Warehouse {
                 }
             }
             last_stage = Some(*stage);
+            let mut span = {
+                let g = self.vdag();
+                obs::span_dyn(obs::SpanKind::Expression, || expr.display(g).to_string())
+            };
+            if span.is_recording() {
+                expr_attrs(&mut span, self.vdag(), expr);
+                if let Some(p) = predicted.and_then(|p| p.get(*idx)) {
+                    span.attr_f64(obs::keys::PREDICTED_WORK, *p);
+                }
+            }
             let start_meter = *self.meter();
             let t0 = Instant::now();
             match expr {
@@ -248,9 +274,12 @@ impl Warehouse {
                     self.exec_inst_journaled(*view, *idx, wal)?;
                 }
             }
+            let work = self.meter().since(&start_meter);
+            meter_attrs(&mut span, &work);
+            drop(span);
             report.per_expr.push(ExprReport {
                 expr: expr.clone(),
-                work: self.meter().since(&start_meter),
+                work,
                 wall: t0.elapsed(),
                 replayed: false,
             });
@@ -409,6 +438,49 @@ impl Warehouse {
     }
 }
 
+/// Attaches the static expression attributes (kind, target view) to a span.
+pub(crate) fn expr_attrs(span: &mut obs::Span, g: &uww_vdag::Vdag, expr: &UpdateExpr) {
+    if !span.is_recording() {
+        return;
+    }
+    let (kind, view) = match expr {
+        UpdateExpr::Comp { view, .. } => ("comp", *view),
+        UpdateExpr::Inst(view) => ("inst", *view),
+    };
+    span.attr_str(obs::keys::EXPR_KIND, kind);
+    span.attr_str(obs::keys::VIEW, g.name(view));
+}
+
+/// Attaches a `WorkMeter` delta to a span as the standard measured-work
+/// attributes (the full logical/physical split plus the paper's linear
+/// metric under [`obs::keys::MEASURED_WORK`]).
+pub(crate) fn meter_attrs(span: &mut obs::Span, work: &WorkMeter) {
+    if !span.is_recording() {
+        return;
+    }
+    span.attr_u64(obs::keys::MEASURED_WORK, work.linear_work());
+    span.attr_u64(obs::keys::ROWS_SCANNED, work.operand_rows_scanned);
+    span.attr_u64(obs::keys::ROWS_INSTALLED, work.rows_installed);
+    span.attr_u64(obs::keys::ROWS_EMITTED, work.rows_emitted);
+    span.attr_u64(obs::keys::TERMS, work.terms_evaluated);
+    span.attr_u64(obs::keys::PHYSICAL_ROWS, work.physical_rows_touched);
+    span.attr_u64(obs::keys::HASH_BUILDS, work.hash_tables_built);
+    span.attr_u64(obs::keys::HASH_REUSES, work.hash_tables_reused);
+}
+
+/// Display label for a maintenance term: the delta subset it scans.
+pub(crate) fn term_label(subset: &BTreeSet<String>) -> String {
+    let mut out = String::from("d{");
+    for (i, v) in subset.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(v);
+    }
+    out.push('}');
+    out
+}
+
 /// Computes the delta fragment a `Comp(view, over)` expression contributes,
 /// **without mutating the warehouse**: all `2^|over| − 1` maintenance terms
 /// evaluated against the current state and pending deltas, accumulated into
@@ -470,6 +542,7 @@ pub(crate) fn comp_fragment(
 
     let mut total = WorkMeter::new();
     for subset in &terms {
+        let mut term_span = obs::span_dyn(obs::SpanKind::Term, || term_label(subset));
         let mut scan_meter = WorkMeter::new();
         let mut meter = WorkMeter::new();
         let (schema, rows) = {
@@ -496,6 +569,11 @@ pub(crate) fn comp_fragment(
                 acc.merge_groups(groups);
             }
             _ => unreachable!("empty_pending_for matches the output shape"),
+        }
+        if term_span.is_recording() {
+            let mut combined = scan_meter;
+            combined.absorb(&meter);
+            meter_attrs(&mut term_span, &combined);
         }
         share::fold_term_meter(&mut total, &scan_meter);
         share::fold_term_meter(&mut total, &meter);

@@ -26,10 +26,12 @@
 //!   reveal the savings.
 
 use crate::engine::eval;
+use crate::engine::exec::{meter_attrs, term_label};
 use crate::engine::warehouse::{scan_operand, Warehouse};
 use crate::error::{CoreError, CoreResult};
 use std::collections::{BTreeSet, HashMap};
 use std::sync::{Arc, Mutex};
+use uww_obs as obs;
 use uww_relational::ops::{self, BuiltTable, GroupAcc, SignedRows};
 use uww_relational::{RelResult, Schema, Tuple, ViewDef, ViewOutput, WorkMeter};
 
@@ -279,16 +281,33 @@ fn join_term(
         let (lk, rk) = eval::join_keys(def, &in_set, next, &joined_schema, &cache.qschemas[next])?;
         let right = avail[next].take().expect("operand joined twice");
         joined_rows = if lk.is_empty() {
-            ops::cross_join(&joined_rows, &right.rows, meter)
+            let mut sp = obs::span(obs::SpanKind::Operator, "cross_join");
+            let out = ops::cross_join(&joined_rows, &right.rows, meter);
+            sp.attr_u64(obs::keys::ROWS, out.len() as u64);
+            out
         } else if joined_rows.len() <= right.rows.len() {
             // Build side is the accumulated intermediate — unique to this
             // term, so built fresh exactly as hash_join would.
-            let table = ops::build_table(&joined_rows, &lk, meter);
-            ops::probe_table(&joined_rows, &table, &right.rows, &rk, true, meter)
+            let table = {
+                let mut sp = obs::span(obs::SpanKind::Operator, "hash_build");
+                sp.attr_u64(obs::keys::ROWS, joined_rows.len() as u64);
+                ops::build_table(&joined_rows, &lk, meter)
+            };
+            let mut sp = obs::span(obs::SpanKind::Operator, "hash_probe");
+            let out = ops::probe_table(&joined_rows, &table, &right.rows, &rk, true, meter);
+            sp.attr_u64(obs::keys::ROWS, out.len() as u64);
+            out
         } else {
             // Build side is a pure cached operand: intern the table.
-            let table = cache.table(next, role[next], &rk, meter);
-            ops::probe_table(&right.rows, &table, &joined_rows, &lk, false, meter)
+            let table = {
+                let mut sp = obs::span(obs::SpanKind::Operator, "hash_table_intern");
+                sp.attr_u64(obs::keys::ROWS, right.rows.len() as u64);
+                cache.table(next, role[next], &rk, meter)
+            };
+            let mut sp = obs::span(obs::SpanKind::Operator, "hash_probe");
+            let out = ops::probe_table(&right.rows, &table, &joined_rows, &lk, false, meter);
+            sp.attr_u64(obs::keys::ROWS, out.len() as u64);
+            out
         };
         joined_schema = joined_schema.concat(&cache.qschemas[next])?;
         in_set[next] = true;
@@ -305,9 +324,13 @@ fn join_term(
         }
     }
 
-    for &fi in &cache.residual {
-        let bound = def.filters[fi].bind(&joined_schema)?;
-        joined_rows = ops::filter(joined_rows, &bound)?;
+    if !cache.residual.is_empty() {
+        let mut sp = obs::span(obs::SpanKind::Operator, "filter");
+        for &fi in &cache.residual {
+            let bound = def.filters[fi].bind(&joined_schema)?;
+            joined_rows = ops::filter(joined_rows, &bound)?;
+        }
+        sp.attr_u64(obs::keys::ROWS, joined_rows.len() as u64);
     }
     Ok((joined_schema, joined_rows))
 }
@@ -321,11 +344,22 @@ pub(crate) fn eval_terms_shared(
     terms: &[BTreeSet<String>],
     threads: usize,
 ) -> CoreResult<(Vec<TermOut>, WorkMeter)> {
-    let (cache, mut total) = OperandCache::build(w, def, terms)?;
+    let (cache, mut total) = {
+        let mut sp = obs::span(obs::SpanKind::Operator, "materialize_operands");
+        let (cache, meter) = OperandCache::build(w, def, terms)?;
+        sp.attr_u64(obs::keys::PHYSICAL_ROWS, meter.physical_rows_touched);
+        (cache, meter)
+    };
     let workers = threads.min(terms.len());
+    // Worker threads do not inherit the spawner's span stack; parent every
+    // term span to the enclosing expression span explicitly.
+    let parent = obs::current_span_id();
     let eval_one = |subset: &BTreeSet<String>| {
+        let mut span = obs::span_under_dyn(obs::SpanKind::Term, parent, || term_label(subset));
         let mut meter = WorkMeter::new();
-        eval_term_cached(def, &cache, subset, &mut meter).map(|out| (meter, out))
+        let out = eval_term_cached(def, &cache, subset, &mut meter);
+        meter_attrs(&mut span, &meter);
+        out.map(|out| (meter, out))
     };
     let mut results: Vec<Option<CoreResult<(WorkMeter, TermOut)>>> = if workers > 1 {
         // Mirror execute_parallel_threaded: scoped workers over a shared

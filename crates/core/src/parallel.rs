@@ -14,6 +14,7 @@ use crate::cost::CostModel;
 use crate::engine::{ExecOptions, ExecutionReport, Warehouse};
 use crate::error::{CoreError, CoreResult};
 use std::collections::HashSet;
+use uww_obs as obs;
 use uww_relational::{ScalarExpr, ViewDef, ViewOutput};
 use uww_vdag::{Strategy, UpdateExpr, Vdag, ViewId};
 
@@ -455,11 +456,15 @@ impl Warehouse {
             }
             None => None,
         };
+        let mut run_span = obs::span(obs::SpanKind::Run, "execute_parallel_threaded");
+        run_span.attr_u64("stages", p.stages.len() as u64);
         // Manifest index of each expression: comps first, then insts, per
         // stage. Computed per stage below from a running offset.
         let mut next_idx = 0usize;
         let mut report = ParallelReport::default();
         for (si, stage) in p.stages.iter().enumerate() {
+            let mut stage_span = obs::span_dyn(obs::SpanKind::Stage, || format!("stage {si}"));
+            stage_span.attr_u64(obs::keys::STAGE, si as u64);
             let t0 = std::time::Instant::now();
             if let Some(w) = &mut wal {
                 w.append(&crate::wal::RecordBody::Stage(si))?;
@@ -491,24 +496,35 @@ impl Warehouse {
             )>;
             let this: &Warehouse = self;
             let topts = opts.term_options();
+            let predicted = opts.predicted_work.as_deref();
+            let stage_parent = obs::current_span_id();
             let results: Vec<CompResult> = std::thread::scope(|scope| {
                 let handles: Vec<_> = comps
                     .iter()
-                    .map(|(view, over)| {
+                    .enumerate()
+                    .map(|(ci, (view, over))| {
                         scope.spawn(move || {
+                            let expr = UpdateExpr::Comp {
+                                view: *view,
+                                over: over.clone(),
+                            };
+                            let mut span = {
+                                let g = this.vdag();
+                                obs::span_under_dyn(obs::SpanKind::Expression, stage_parent, || {
+                                    expr.display(g).to_string()
+                                })
+                            };
+                            if span.is_recording() {
+                                crate::engine::exec::expr_attrs(&mut span, this.vdag(), &expr);
+                                if let Some(p) = predicted.and_then(|p| p.get(comp_idx0 + ci)) {
+                                    span.attr_f64(obs::keys::PREDICTED_WORK, *p);
+                                }
+                            }
                             let t = std::time::Instant::now();
                             let (name, fragment, meter) =
                                 crate::engine::exec::comp_fragment(this, *view, over, topts)?;
-                            Ok((
-                                UpdateExpr::Comp {
-                                    view: *view,
-                                    over: over.clone(),
-                                },
-                                name,
-                                fragment,
-                                meter,
-                                t.elapsed(),
-                            ))
+                            crate::engine::exec::meter_attrs(&mut span, &meter);
+                            Ok((expr, name, fragment, meter, t.elapsed()))
                         })
                     })
                     .collect();
@@ -546,13 +562,26 @@ impl Warehouse {
             let mut inst_idx = inst_idx0;
             for e in stage {
                 if let UpdateExpr::Inst(v) = e {
+                    let mut span = {
+                        let g = self.vdag();
+                        obs::span_dyn(obs::SpanKind::Expression, || e.display(g).to_string())
+                    };
+                    if span.is_recording() {
+                        crate::engine::exec::expr_attrs(&mut span, self.vdag(), e);
+                        if let Some(p) = predicted.and_then(|p| p.get(inst_idx)) {
+                            span.attr_f64(obs::keys::PREDICTED_WORK, *p);
+                        }
+                    }
                     let before = *self.meter();
                     let t = std::time::Instant::now();
                     self.exec_inst_journaled(*v, inst_idx, &mut wal)?;
                     inst_idx += 1;
+                    let work = self.meter().since(&before);
+                    crate::engine::exec::meter_attrs(&mut span, &work);
+                    drop(span);
                     per_expr.push(crate::engine::ExprReport {
                         expr: e.clone(),
-                        work: self.meter().since(&before),
+                        work,
                         wall: t.elapsed(),
                         replayed: false,
                     });

@@ -29,6 +29,7 @@
 
 use std::path::Path;
 
+use uww_obs as obs;
 use uww_relational::{catalog_from_str, deltas_from_str, table_digest};
 use uww_vdag::{check_vdag_strategy, Strategy, UpdateExpr};
 
@@ -171,11 +172,21 @@ pub fn recover_with(
     }
 
     // Replay the completed prefix.
+    let mut run_span = obs::span(obs::SpanKind::Run, "recover");
+    run_span.attr_u64("replayed", done.len() as u64);
     let mut report = ExecutionReport::default();
     let mut replayed_comps = 0usize;
     let mut replayed_insts = 0usize;
     for (i, d) in done.iter().enumerate() {
         let (_, expr) = &manifest_exprs[i];
+        let mut span = {
+            let g = w.vdag();
+            obs::span_dyn(obs::SpanKind::Replay, || expr.display(g).to_string())
+        };
+        if span.is_recording() {
+            crate::engine::exec::expr_attrs(&mut span, w.vdag(), expr);
+            span.attr_u64(obs::keys::REPLAYED, 1);
+        }
         let t0 = std::time::Instant::now();
         let start_meter = *w.meter();
         match &d.body {
@@ -216,9 +227,12 @@ pub fn recover_with(
             }
             _ => unreachable!("done list only holds Done records"),
         }
+        let work = w.meter().since(&start_meter);
+        crate::engine::exec::meter_attrs(&mut span, &work);
+        drop(span);
         report.per_expr.push(ExprReport {
             expr: expr.clone(),
-            work: w.meter().since(&start_meter),
+            work,
             wall: t0.elapsed(),
             replayed: true,
         });
@@ -286,6 +300,7 @@ pub fn recover_with(
         last_stage,
         &mut wal,
         crate::engine::exec::ExecOptions::default().term_options(),
+        None,
     )?;
     report.per_expr.extend(fresh.per_expr);
     if let Some(writer) = &mut wal {

@@ -266,6 +266,19 @@ pub enum RecordBody {
 }
 
 impl RecordBody {
+    /// The record's wire tag (the first token of its encoded form).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            RecordBody::Begin => "BEGIN",
+            RecordBody::Stage(_) => "STG",
+            RecordBody::CompStart(_) => "CS",
+            RecordBody::CompDone { .. } => "CD",
+            RecordBody::InstStart(_) => "IS",
+            RecordBody::InstDone { .. } => "ID",
+            RecordBody::Commit => "COMMIT",
+        }
+    }
+
     /// Serializes the body to its wire form (no framing).
     pub fn encode(&self) -> String {
         match self {
@@ -727,12 +740,17 @@ impl WalWriter {
     /// Appends one record (write-ahead: call *before* applying its effect).
     /// Returns the record's sequence number, or the injected crash.
     pub fn append(&mut self, body: &RecordBody) -> CoreResult<u64> {
+        let mut span = uww_obs::span(uww_obs::SpanKind::WalRecord, body.tag());
         let seq = self.next_seq;
         if self.faults.crash_before == Some(seq) {
             return Err(CoreError::InjectedCrash { record: seq });
         }
         let body_s = body.encode();
         let line = format!("R {seq} {:016x} {body_s}\n", digest64(&body_s));
+        if span.is_recording() {
+            span.attr_u64(uww_obs::keys::SEQ, seq);
+            span.attr_u64(uww_obs::keys::BYTES, line.len() as u64);
+        }
         if self.faults.torn_at == Some(seq) {
             let cut = (line.len() / 2).max(1);
             self.file

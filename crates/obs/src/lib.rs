@@ -1,0 +1,39 @@
+//! Observability for the update window.
+//!
+//! The paper's argument is about *where* work goes during the warehouse
+//! update window; this crate makes that visible. It provides a
+//! dependency-free, lock-cheap hierarchical span engine
+//! (`run → expression → term → operator`, plus WAL-record, recovery-replay
+//! and serve-request spans), two exporters, and a text timeline report:
+//!
+//! * [`span`] — the engine itself: a process-global subscriber guarded by a
+//!   single relaxed atomic, a thread-local current-span stack for parenting,
+//!   and a bounded in-memory ring buffer of finished [`SpanRecord`]s. When no
+//!   subscriber is installed every instrumentation point is one atomic load
+//!   and an early return: no allocation, no lock, no clock read.
+//! * [`chrome`] — Chrome trace-event JSON (loadable in Perfetto or
+//!   `chrome://tracing`), with one lane per OS thread so `--term-threads`
+//!   overlap is visible, and a validator used by the golden tests and CI.
+//! * [`prom`] — a Prometheus text-format registry (counters, gauges,
+//!   histograms) plus a minimal scrape parser for round-trip tests.
+//! * [`timeline`] — the "update-window timeline": per-expression bars over
+//!   the window, each `Comp` annotated with planner-predicted vs measured
+//!   work (the paper's §4 metric, made falsifiable).
+//! * [`json`] — a minimal JSON parser (the workspace is offline; no serde)
+//!   backing the Chrome-trace validator.
+//!
+//! Spans carry wall-clock intervals *and* the executor's logical/physical
+//! `WorkMeter` deltas as generic attributes — this crate knows nothing about
+//! the meter type itself, only `u64`/`f64`/string attribute values, so it
+//! sits below every other crate in the workspace.
+
+pub mod chrome;
+pub mod json;
+pub mod prom;
+pub mod span;
+pub mod timeline;
+
+pub use span::{
+    current_span_id, enabled, install, keys, span, span_dyn, span_under, span_under_dyn,
+    subscriber, uninstall, AttrValue, Span, SpanKind, SpanRecord, TraceBuffer, DEFAULT_CAPACITY,
+};

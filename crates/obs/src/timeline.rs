@@ -1,0 +1,171 @@
+//! The update-window timeline report.
+//!
+//! Renders one bar per executed expression across the update window, in
+//! start order, annotated with planner-predicted vs measured work — the
+//! paper's §4 linear metric on both sides, so a strategy run shows at a
+//! glance where the window went and where the cost model was wrong.
+
+use crate::span::{keys, SpanKind, SpanRecord};
+
+/// One row of the timeline: an expression's interval plus work attribution.
+#[derive(Clone, Debug)]
+pub struct TimelineRow {
+    pub label: String,
+    pub start_us: u64,
+    pub end_us: u64,
+    /// Planner-predicted linear work, when the caller supplied a cost model.
+    pub predicted: Option<f64>,
+    /// Measured linear work (rows scanned + rows installed).
+    pub measured: Option<u64>,
+    /// `1` when the expression was replayed from the WAL during recovery.
+    pub replayed: bool,
+}
+
+impl TimelineRow {
+    pub fn dur_us(&self) -> u64 {
+        self.end_us - self.start_us
+    }
+}
+
+/// Extracts timeline rows from recorded spans: every `Expression` and
+/// `Replay` span, in start order.
+pub fn expression_rows(spans: &[SpanRecord]) -> Vec<TimelineRow> {
+    let mut rows: Vec<TimelineRow> = spans
+        .iter()
+        .filter(|s| matches!(s.kind, SpanKind::Expression | SpanKind::Replay))
+        .map(|s| TimelineRow {
+            label: s.name.clone(),
+            start_us: s.start_us,
+            end_us: s.end_us,
+            predicted: s.attr_f64(keys::PREDICTED_WORK),
+            measured: s.attr_u64(keys::MEASURED_WORK),
+            replayed: s.kind == SpanKind::Replay || s.attr_u64(keys::REPLAYED) == Some(1),
+        })
+        .collect();
+    rows.sort_by_key(|r| (r.start_us, r.end_us));
+    rows
+}
+
+/// Renders `rows` as a fixed-width text timeline. `width` is the bar width
+/// in characters (clamped to at least 10).
+pub fn render_timeline(rows: &[TimelineRow], width: usize) -> String {
+    let width = width.max(10);
+    let mut out = String::new();
+    if rows.is_empty() {
+        out.push_str("update-window timeline: no expression spans recorded\n");
+        return out;
+    }
+    let t0 = rows.iter().map(|r| r.start_us).min().unwrap();
+    let t1 = rows.iter().map(|r| r.end_us).max().unwrap();
+    let window = (t1 - t0).max(1);
+    out.push_str(&format!(
+        "update-window timeline: {} expression(s), window {} µs\n",
+        rows.len(),
+        t1 - t0
+    ));
+    let label_w = rows.iter().map(|r| r.label.len()).max().unwrap().min(40);
+    for r in rows {
+        let off = ((r.start_us - t0) as u128 * width as u128 / window as u128) as usize;
+        let mut len = (r.dur_us() as u128 * width as u128 / window as u128) as usize;
+        len = len.max(1).min(width.saturating_sub(off).max(1));
+        let mut bar = String::with_capacity(width);
+        bar.extend(std::iter::repeat_n('.', off));
+        bar.extend(std::iter::repeat_n('#', len));
+        while bar.len() < width {
+            bar.push('.');
+        }
+        let mut label = r.label.clone();
+        if label.len() > label_w {
+            label.truncate(label_w);
+        }
+        out.push_str(&format!("  {label:<label_w$} |{bar}| {:>8} µs", r.dur_us()));
+        match (r.predicted, r.measured) {
+            (Some(p), Some(m)) => {
+                let err = if p > 0.0 {
+                    (m as f64 - p) / p * 100.0
+                } else if m == 0 {
+                    0.0
+                } else {
+                    f64::INFINITY
+                };
+                out.push_str(&format!(
+                    "  work pred={p:.0} meas={m} ({}{err:.1}%)",
+                    if err >= 0.0 { "+" } else { "" }
+                ));
+            }
+            (None, Some(m)) => out.push_str(&format!("  work meas={m}")),
+            (Some(p), None) => out.push_str(&format!("  work pred={p:.0}")),
+            (None, None) => {}
+        }
+        if r.replayed {
+            out.push_str("  [replayed]");
+        }
+        out.push('\n');
+    }
+    let pred: f64 = rows.iter().filter_map(|r| r.predicted).sum();
+    let meas: u64 = rows.iter().filter_map(|r| r.measured).sum();
+    if pred > 0.0 || meas > 0 {
+        out.push_str(&format!(
+            "  total predicted work = {pred:.0}, measured work = {meas}\n"
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::AttrValue;
+
+    fn expr(name: &str, start: u64, end: u64, pred: f64, meas: u64) -> SpanRecord {
+        SpanRecord {
+            id: start + 1,
+            parent: 0,
+            kind: SpanKind::Expression,
+            name: name.to_string(),
+            lane: 1,
+            start_us: start,
+            end_us: end,
+            attrs: vec![
+                (keys::PREDICTED_WORK.to_string(), AttrValue::F64(pred)),
+                (keys::MEASURED_WORK.to_string(), AttrValue::U64(meas)),
+            ],
+        }
+    }
+
+    #[test]
+    fn rows_sorted_by_start_and_carry_attribution() {
+        let spans = vec![
+            expr("Inst(Q3)", 50, 60, 10.0, 12),
+            expr("Comp(Q3; {LINEITEM})", 0, 50, 100.0, 90),
+        ];
+        let rows = expression_rows(&spans);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].label, "Comp(Q3; {LINEITEM})");
+        assert_eq!(rows[0].predicted, Some(100.0));
+        assert_eq!(rows[1].measured, Some(12));
+    }
+
+    #[test]
+    fn render_shows_bars_and_totals() {
+        let spans = vec![
+            expr("Comp(Q3; {LINEITEM})", 0, 50, 100.0, 90),
+            expr("Inst(Q3)", 50, 60, 10.0, 12),
+        ];
+        let rows = expression_rows(&spans);
+        let text = render_timeline(&rows, 20);
+        assert!(text.contains("2 expression(s)"));
+        assert!(text.contains("window 60 µs"));
+        assert!(text.contains("work pred=100 meas=90 (-10.0%)"));
+        assert!(text.contains("total predicted work = 110, measured work = 102"));
+        // First bar starts at the left edge, second bar is offset.
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[1].contains("|#"));
+        assert!(lines[2].contains("|."));
+    }
+
+    #[test]
+    fn empty_rows_render_placeholder() {
+        assert!(render_timeline(&[], 20).contains("no expression spans"));
+    }
+}

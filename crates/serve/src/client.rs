@@ -112,6 +112,27 @@ impl Client {
             .ok_or_else(|| protocol_error(&line))
     }
 
+    /// Sends `METRICS` and returns the full Prometheus text scrape,
+    /// including its terminating `# EOF` line.
+    pub fn metrics(&mut self) -> io::Result<String> {
+        writeln!(self.writer, "METRICS")?;
+        let mut body = String::new();
+        loop {
+            let mut line = String::new();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(protocol_error("EOF inside METRICS"));
+            }
+            if line.starts_with("ERR ") && body.is_empty() {
+                return Err(protocol_error(line.trim_end()));
+            }
+            let done = line.trim_end() == "# EOF";
+            body.push_str(&line);
+            if done {
+                return Ok(body);
+            }
+        }
+    }
+
     /// Sends a raw request line and returns the raw (single-line) response.
     pub fn raw(&mut self, request: &str) -> io::Result<String> {
         self.round_trip(request)

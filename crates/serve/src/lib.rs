@@ -26,12 +26,23 @@
 //! QUERY <view>      -> OK <view> <rows> <digest:16-hex> <epoch>
 //! SNAPSHOT          -> EPOCH <epoch>, then VIEW <name> <rows> <digest> per
 //!                      view (name order), then END
-//! STATS             -> STATS queries=<n> rows=<n> errors=<n> p50_us=<n>
-//!                      p95_us=<n> p99_us=<n> max_us=<n> lock_wait_us=<n>
-//!                      epoch=<n>
+//! STATS             -> STATS queries=<n> rows=<n> errors=<n> mean_us=<n>
+//!                      p50_us=<n> p95_us=<n> p99_us=<n> max_us=<n>
+//!                      lock_wait_us=<n> epoch=<n> n_query=<n>
+//!                      n_snapshot=<n> n_stats=<n> n_metrics=<n> n_quit=<n>
+//!                      since_epoch_us=<n>
+//! METRICS           -> the same metrics in Prometheus text format
+//!                      (multi-line), terminated by a "# EOF" line
 //! QUIT              -> BYE (connection closes)
 //! anything else     -> ERR <message>
 //! ```
+//!
+//! `STATS` is the cheap single-line view; `since_epoch_us` (µs since server
+//! start) lets a scraper turn its counters into rates. `METRICS` serves the
+//! full Prometheus scrape — per-verb request counters
+//! (`uww_serve_requests_total{verb=…}`), a query-latency histogram, and
+//! catalog epoch / uptime gauges — rendered by
+//! [`Metrics::render_prometheus`].
 //!
 //! `QUERY` digests the view's whole extent (FNV-1a, the same
 //! [`table_digest`](uww_relational::table_digest) the WAL uses), so a
@@ -48,7 +59,7 @@ pub mod protocol;
 pub mod server;
 
 pub use client::{Client, QueryReply, SnapshotReply};
-pub use metrics::{percentile_us, Metrics, MetricsSnapshot};
+pub use metrics::{percentile_us, Metrics, MetricsSnapshot, Verb};
 pub use protocol::Request;
 pub use server::{Server, ServerConfig};
 

@@ -8,7 +8,14 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Latency histogram bucket bounds (µs) for the Prometheus export:
+/// sub-millisecond buckets for in-memory scans, then a coarse tail for
+/// lock stalls under strict isolation.
+const LATENCY_BUCKETS_US: &[u64] = &[
+    100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 1_000_000,
+];
 
 /// Latency at quantile `q` (`0.0 ≤ q ≤ 1.0`) over `sorted` microsecond
 /// samples, nearest-rank — the same definition
@@ -22,20 +29,86 @@ pub fn percentile_us(sorted: &[u64], q: f64) -> u64 {
     sorted[rank.min(sorted.len() - 1)]
 }
 
+/// The request verbs the server counts individually. `METRICS` itself is
+/// counted too, so a scraper can subtract its own traffic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verb {
+    /// `QUERY <view>`.
+    Query,
+    /// `SNAPSHOT`.
+    Snapshot,
+    /// `STATS`.
+    Stats,
+    /// `METRICS`.
+    Metrics,
+    /// `QUIT`.
+    Quit,
+}
+
+impl Verb {
+    /// Lowercase wire/label name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Verb::Query => "query",
+            Verb::Snapshot => "snapshot",
+            Verb::Stats => "stats",
+            Verb::Metrics => "metrics",
+            Verb::Quit => "quit",
+        }
+    }
+}
+
 /// Shared live counters, updated by every worker thread.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Metrics {
+    started: Instant,
     queries: AtomicU64,
     rows_returned: AtomicU64,
     errors: AtomicU64,
     lock_wait_us: AtomicU64,
     latencies_us: Mutex<Vec<u64>>,
+    n_query: AtomicU64,
+    n_snapshot: AtomicU64,
+    n_stats: AtomicU64,
+    n_metrics: AtomicU64,
+    n_quit: AtomicU64,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics {
+            started: Instant::now(),
+            queries: AtomicU64::new(0),
+            rows_returned: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            lock_wait_us: AtomicU64::new(0),
+            latencies_us: Mutex::new(Vec::new()),
+            n_query: AtomicU64::new(0),
+            n_snapshot: AtomicU64::new(0),
+            n_stats: AtomicU64::new(0),
+            n_metrics: AtomicU64::new(0),
+            n_quit: AtomicU64::new(0),
+        }
+    }
 }
 
 impl Metrics {
-    /// Fresh, all-zero metrics.
+    /// Fresh, all-zero metrics; the uptime clock starts now.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Records one well-formed request, by verb. Called on parse, before
+    /// the request is served, so a request that errors later still counts.
+    pub fn record_request(&self, verb: Verb) {
+        let counter = match verb {
+            Verb::Query => &self.n_query,
+            Verb::Snapshot => &self.n_snapshot,
+            Verb::Stats => &self.n_stats,
+            Verb::Metrics => &self.n_metrics,
+            Verb::Quit => &self.n_quit,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records one answered `QUERY`.
@@ -78,7 +151,82 @@ impl Metrics {
             p95_us: percentile_us(&lats, 0.95),
             p99_us: percentile_us(&lats, 0.99),
             max_us: lats.last().copied().unwrap_or(0),
+            n_query: self.n_query.load(Ordering::Relaxed),
+            n_snapshot: self.n_snapshot.load(Ordering::Relaxed),
+            n_stats: self.n_stats.load(Ordering::Relaxed),
+            n_metrics: self.n_metrics.load(Ordering::Relaxed),
+            n_quit: self.n_quit.load(Ordering::Relaxed),
+            uptime_us: self.started.elapsed().as_micros() as u64,
         }
+    }
+
+    /// The Prometheus text-format scrape served to `METRICS`, ending with
+    /// `# EOF` (which doubles as the protocol's multi-line terminator).
+    pub fn render_prometheus(&self, epoch: u64) -> String {
+        let snap = self.snapshot();
+        let lats: Vec<u64> = {
+            let mut v = self
+                .latencies_us
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .clone();
+            v.sort_unstable();
+            v
+        };
+        let mut reg = uww_obs::prom::Registry::new();
+        reg.counter(
+            "uww_serve_queries_total",
+            "Queries answered with OK",
+            snap.queries as f64,
+        );
+        reg.counter(
+            "uww_serve_rows_returned_total",
+            "Rows reported across answered queries",
+            snap.rows_returned as f64,
+        );
+        reg.counter(
+            "uww_serve_errors_total",
+            "Requests answered with ERR",
+            snap.errors as f64,
+        );
+        reg.counter(
+            "uww_serve_lock_wait_seconds_total",
+            "Time queries spent waiting on strict view locks",
+            snap.lock_wait_us as f64 / 1e6,
+        );
+        {
+            let fam = reg.family(
+                "uww_serve_requests_total",
+                "Well-formed requests received, by verb",
+                uww_obs::prom::MetricKind::Counter,
+            );
+            for (verb, n) in [
+                (Verb::Query, snap.n_query),
+                (Verb::Snapshot, snap.n_snapshot),
+                (Verb::Stats, snap.n_stats),
+                (Verb::Metrics, snap.n_metrics),
+                (Verb::Quit, snap.n_quit),
+            ] {
+                fam.labeled(&[("verb", verb.as_str())], n as f64);
+            }
+        }
+        reg.histogram_us(
+            "uww_serve_query_latency",
+            "Query service latency",
+            &lats,
+            LATENCY_BUCKETS_US,
+        );
+        reg.gauge(
+            "uww_serve_catalog_epoch",
+            "Epoch of the current published catalog version",
+            epoch as f64,
+        );
+        reg.gauge(
+            "uww_serve_uptime_seconds",
+            "Time since the server's metrics were created",
+            snap.uptime_us as f64 / 1e6,
+        );
+        reg.render()
     }
 }
 
@@ -106,6 +254,19 @@ pub struct MetricsSnapshot {
     pub p99_us: u64,
     /// Maximum query latency (µs).
     pub max_us: u64,
+    /// Well-formed `QUERY` requests received (answered OK *or* ERR).
+    pub n_query: u64,
+    /// `SNAPSHOT` requests received.
+    pub n_snapshot: u64,
+    /// `STATS` requests received.
+    pub n_stats: u64,
+    /// `METRICS` requests received.
+    pub n_metrics: u64,
+    /// `QUIT` requests received.
+    pub n_quit: u64,
+    /// Microseconds since the server's metrics epoch (its start), so a
+    /// scraper of `STATS` can turn the counters into rates.
+    pub uptime_us: u64,
 }
 
 impl MetricsSnapshot {
@@ -114,7 +275,8 @@ impl MetricsSnapshot {
     pub fn render(&self, epoch: u64) -> String {
         format!(
             "queries={} rows={} errors={} mean_us={} p50_us={} p95_us={} p99_us={} max_us={} \
-             lock_wait_us={} epoch={}",
+             lock_wait_us={} epoch={} n_query={} n_snapshot={} n_stats={} n_metrics={} \
+             n_quit={} since_epoch_us={}",
             self.queries,
             self.rows_returned,
             self.errors,
@@ -124,7 +286,13 @@ impl MetricsSnapshot {
             self.p99_us,
             self.max_us,
             self.lock_wait_us,
-            epoch
+            epoch,
+            self.n_query,
+            self.n_snapshot,
+            self.n_stats,
+            self.n_metrics,
+            self.n_quit,
+            self.uptime_us
         )
     }
 }
@@ -162,5 +330,55 @@ mod tests {
         let line = s.render(3);
         assert!(line.contains("queries=2"));
         assert!(line.contains("epoch=3"));
+    }
+
+    #[test]
+    fn per_verb_counters_and_uptime_render() {
+        let m = Metrics::new();
+        m.record_request(Verb::Query);
+        m.record_request(Verb::Query);
+        m.record_request(Verb::Stats);
+        m.record_request(Verb::Metrics);
+        m.record_request(Verb::Quit);
+        let s = m.snapshot();
+        assert_eq!(
+            (s.n_query, s.n_snapshot, s.n_stats, s.n_metrics, s.n_quit),
+            (2, 0, 1, 1, 1)
+        );
+        let line = s.render(0);
+        assert!(line.contains("n_query=2"), "{line}");
+        assert!(line.contains("n_snapshot=0"), "{line}");
+        assert!(line.contains("since_epoch_us="), "{line}");
+    }
+
+    #[test]
+    fn prometheus_scrape_parses_and_carries_counters() {
+        let m = Metrics::new();
+        m.record_query(Duration::from_micros(120), 9, Duration::ZERO);
+        m.record_request(Verb::Query);
+        m.record_request(Verb::Metrics);
+        m.record_error();
+        let text = m.render_prometheus(5);
+        let scrape = uww_obs::prom::parse_text(&text).unwrap();
+        assert!(scrape.saw_eof);
+        assert_eq!(scrape.value("uww_serve_queries_total", &[]), Some(1.0));
+        assert_eq!(scrape.value("uww_serve_errors_total", &[]), Some(1.0));
+        assert_eq!(
+            scrape.value("uww_serve_requests_total", &[("verb", "query")]),
+            Some(1.0)
+        );
+        assert_eq!(
+            scrape.value("uww_serve_requests_total", &[("verb", "metrics")]),
+            Some(1.0)
+        );
+        assert_eq!(
+            scrape.value("uww_serve_query_latency_bucket", &[("le", "250")]),
+            Some(1.0)
+        );
+        assert_eq!(
+            scrape.value("uww_serve_query_latency_count", &[]),
+            Some(1.0)
+        );
+        assert_eq!(scrape.value("uww_serve_catalog_epoch", &[]), Some(5.0));
     }
 }

@@ -7,8 +7,11 @@ pub enum Request {
     Query(String),
     /// `SNAPSHOT`: list every view of one pinned catalog version.
     Snapshot,
-    /// `STATS`: the server's metrics so far.
+    /// `STATS`: the server's metrics so far, as one `key=value` line.
     Stats,
+    /// `METRICS`: the same metrics in Prometheus text format, multi-line,
+    /// terminated by `# EOF`.
+    Metrics,
     /// `QUIT`: close the connection.
     Quit,
 }
@@ -28,6 +31,7 @@ impl Request {
             ("QUERY", None) => Err("QUERY needs a view name".to_string()),
             ("SNAPSHOT", None) => Ok(Request::Snapshot),
             ("STATS", None) => Ok(Request::Stats),
+            ("METRICS", None) => Ok(Request::Metrics),
             ("QUIT", None) => Ok(Request::Quit),
             ("", None) => Err("empty request".to_string()),
             (v, _) => Err(format!("unknown or malformed request: {v}")),
@@ -48,6 +52,8 @@ mod tests {
         assert_eq!(Request::parse("query V1"), Ok(Request::Query("V1".into())));
         assert_eq!(Request::parse("SNAPSHOT"), Ok(Request::Snapshot));
         assert_eq!(Request::parse("stats"), Ok(Request::Stats));
+        assert_eq!(Request::parse("METRICS"), Ok(Request::Metrics));
+        assert_eq!(Request::parse("metrics"), Ok(Request::Metrics));
         assert_eq!(Request::parse("QUIT"), Ok(Request::Quit));
     }
 
@@ -57,6 +63,7 @@ mod tests {
         assert!(Request::parse("QUERY").is_err());
         assert!(Request::parse("QUERY A B").is_err());
         assert!(Request::parse("SNAPSHOT now").is_err());
+        assert!(Request::parse("METRICS verbose").is_err());
         assert!(Request::parse("DROP TABLE").is_err());
     }
 }

@@ -1,6 +1,6 @@
 //! The threaded TCP server.
 
-use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::metrics::{Metrics, MetricsSnapshot, Verb};
 use crate::protocol::Request;
 use crate::Isolation;
 use std::io::{self, BufRead, BufReader, Write};
@@ -10,6 +10,7 @@ use std::sync::mpsc::{self, RecvTimeoutError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+use uww_obs as obs;
 use uww_relational::{table_digest, VersionedCatalog};
 
 /// How often blocked threads re-check the shutdown flag.
@@ -199,7 +200,26 @@ fn serve_connection(stream: TcpStream, shared: &Shared) {
 /// Handles one request line. `Err(())` means "close the connection".
 fn handle_request(line: &str, writer: &mut TcpStream, shared: &Shared) -> Result<(), ()> {
     let started = Instant::now();
-    let reply = match Request::parse(line) {
+    let parsed = Request::parse(line);
+    let verb = match &parsed {
+        Ok(Request::Query(_)) => Some(Verb::Query),
+        Ok(Request::Snapshot) => Some(Verb::Snapshot),
+        Ok(Request::Stats) => Some(Verb::Stats),
+        Ok(Request::Metrics) => Some(Verb::Metrics),
+        Ok(Request::Quit) => Some(Verb::Quit),
+        Err(_) => None,
+    };
+    if let Some(v) = verb {
+        shared.metrics.record_request(v);
+    }
+    let mut span = obs::span(
+        obs::SpanKind::ServeRequest,
+        verb.map_or("invalid", Verb::as_str),
+    );
+    if span.is_recording() {
+        span.attr_str(obs::keys::VERB, verb.map_or("invalid", Verb::as_str));
+    }
+    let reply = match parsed {
         Ok(Request::Query(view)) => {
             // Pin an epoch and scan the extent (the digest walks every row:
             // this is the query's service work). Under Strict, first wait
@@ -257,6 +277,14 @@ fn handle_request(line: &str, writer: &mut TcpStream, shared: &Shared) -> Result
             "STATS {}",
             shared.metrics.snapshot().render(shared.catalog.epoch())
         ),
+        // Multi-line Prometheus text scrape; its rendered body already ends
+        // with the `# EOF\n` terminator clients read until.
+        Ok(Request::Metrics) => {
+            let body = shared.metrics.render_prometheus(shared.catalog.epoch());
+            span.attr_u64(obs::keys::BYTES, body.len() as u64);
+            drop(span);
+            return writer.write_all(body.as_bytes()).map_err(|_| ());
+        }
         Ok(Request::Quit) => {
             let _ = writeln!(writer, "BYE");
             return Err(());
@@ -329,6 +357,36 @@ mod tests {
         assert_eq!(final_metrics.queries, 1);
         assert_eq!(final_metrics.rows_returned, 5);
         assert_eq!(final_metrics.errors, 2);
+    }
+
+    #[test]
+    fn metrics_scrape_is_valid_prometheus() {
+        let (server, _catalog) = start(Isolation::Mvcc);
+        let mut c = Client::connect(server.local_addr()).unwrap();
+        assert_eq!(c.query("V").unwrap().rows, 5);
+        let body = c.metrics().unwrap();
+        let scrape = obs::prom::parse_text(&body).unwrap();
+        assert!(scrape.saw_eof);
+        assert_eq!(scrape.value("uww_serve_queries_total", &[]), Some(1.0));
+        assert_eq!(
+            scrape.value("uww_serve_requests_total", &[("verb", "query")]),
+            Some(1.0)
+        );
+        assert_eq!(
+            scrape.value("uww_serve_requests_total", &[("verb", "metrics")]),
+            Some(1.0)
+        );
+        assert_eq!(
+            scrape.value("uww_serve_query_latency_count", &[]),
+            Some(1.0)
+        );
+        // The one-line STATS view carries the same per-verb counters.
+        let stats = c.stats().unwrap();
+        assert!(stats.contains("n_query=1"), "{stats}");
+        assert!(stats.contains("n_metrics=1"), "{stats}");
+        assert!(stats.contains("since_epoch_us="), "{stats}");
+        c.quit().unwrap();
+        server.shutdown();
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //!              [--wal DIR] [--fsync always|never]
 //!              [--fault crash:K|torn:K|dup:K|dirsync]
 //!              [--term-threads N] [--no-term-sharing]
+//!              [--trace-out FILE] [--timeline]
 //! uww recover  DIR
 //! uww analyze  [--scenario ...] [--scale F] [--planner ...]
 //!              [--strategy "Comp(V,{A});..."] [--stages "...|..."] [--json]
@@ -14,7 +15,8 @@
 //! uww dot      [--scenario ...] [--scale F] [--graph vdag|eg]
 //! uww olap     [--scenario ...] [--scale F] [--frac F] [--isolation strict|low]
 //! uww serve    [--scenario ...] [--scale F] [--frac F] [--planner ...]
-//!              [--isolation strict|mvcc|both] [--readers N] [--hold-ms N] [--json]
+//!              [--isolation strict|mvcc|both] [--readers N] [--hold-ms N]
+//!              [--json] [--metrics]
 //! uww explain  [--scenario ...] [--scale F] [--frac F] [--planner ...]
 //! uww dump     [--scenario ...] [--scale F]
 //! ```
@@ -36,6 +38,13 @@
 //! scans, and `--term-threads N` fans the terms of one `Comp` over `N`
 //! worker threads. Either way the computed deltas and the logical work
 //! metric are byte-identical — only `physical_rows_touched` moves.
+//!
+//! `run --trace-out FILE` records the run's span tree (run → expression →
+//! term → operator) and writes it as Chrome trace-event JSON, loadable in
+//! Perfetto or `chrome://tracing`; `--timeline` prints the per-expression
+//! update-window timeline with planner-predicted vs measured work.
+//! `serve --metrics` prints each regime's final Prometheus scrape (the
+//! server's `METRICS` response). See `docs/OBSERVABILITY.md`.
 
 use std::process::ExitCode;
 use uww::core::{
@@ -64,6 +73,9 @@ struct Args {
     hold_ms: u64,
     term_threads: usize,
     term_sharing: bool,
+    trace_out: Option<String>,
+    timeline: bool,
+    metrics: bool,
 }
 
 impl Default for Args {
@@ -89,6 +101,9 @@ impl Default for Args {
             hold_ms: 2,
             term_threads: 0,
             term_sharing: true,
+            trace_out: None,
+            timeline: false,
+            metrics: false,
         }
     }
 }
@@ -110,6 +125,14 @@ fn parse_args(argv: &[String]) -> Result<(String, Args), String> {
                     .push((name.trim().to_string(), query.to_string()));
             }
             "--json" => args.json = true,
+            "--timeline" => args.timeline = true,
+            "--metrics" => args.metrics = true,
+            "--trace-out" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "missing value for --trace-out".to_string())?;
+                args.trace_out = Some(v.clone());
+            }
             "--no-term-sharing" => args.term_sharing = false,
             "--term-threads" => {
                 let v = it
@@ -301,9 +324,17 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     let mut sc = build_scenario(args)?;
     load_changes(&mut sc, args)?;
     let (strategy, label) = pick_strategy(&sc, args)?;
+    // Planner-predicted per-expression work (the paper's §4 linear metric),
+    // attached to expression spans so the trace and timeline can show
+    // predicted vs measured attribution side by side.
+    let predicted = {
+        let sizes = SizeCatalog::estimate(&sc.warehouse).map_err(|e| e.to_string())?;
+        CostModel::new(sc.warehouse.vdag(), &sizes).per_expression_work(&strategy)
+    };
     let mut opts = ExecOptions {
         term_sharing: args.term_sharing,
         term_threads: args.term_threads,
+        predicted_work: Some(predicted),
         ..ExecOptions::default()
     };
     if let Some(dir) = &args.wal {
@@ -319,7 +350,38 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         }
         opts.wal = Some(cfg);
     }
-    let report = sc.run_with(&strategy, opts).map_err(|e| e.to_string())?;
+    let tracing = args.trace_out.is_some() || args.timeline;
+    let buf = if tracing {
+        let b = std::sync::Arc::new(uww::obs::TraceBuffer::new(uww::obs::DEFAULT_CAPACITY));
+        uww::obs::install(std::sync::Arc::clone(&b));
+        Some(b)
+    } else {
+        None
+    };
+    let run_result = sc.run_with(&strategy, opts);
+    if tracing {
+        uww::obs::uninstall();
+    }
+    let report = run_result.map_err(|e| e.to_string())?;
+    if let Some(buf) = buf {
+        let records = buf.take_records();
+        if let Some(path) = &args.trace_out {
+            let trace = uww::obs::chrome::chrome_trace(&records);
+            let stats = uww::obs::chrome::validate_chrome_trace(&trace)
+                .map_err(|e| format!("internal error: invalid chrome trace: {e}"))?;
+            std::fs::write(path, &trace).map_err(|e| format!("write {path}: {e}"))?;
+            eprintln!(
+                "trace: {} span(s) on {} lane(s) ({} dropped) -> {path}",
+                stats.complete_events,
+                stats.lanes,
+                buf.dropped(),
+            );
+        }
+        if args.timeline {
+            let rows = uww::obs::timeline::expression_rows(&records);
+            print!("{}", uww::obs::timeline::render_timeline(&rows, 64));
+        }
+    }
     if args.json {
         println!("{}", report.to_json(sc.warehouse.vdag()));
         return Ok(());
@@ -672,6 +734,12 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
             }
         );
     }
+    if args.metrics {
+        for (iso, out) in &outcomes {
+            println!("\n# METRICS scrape ({})", iso.label());
+            print!("{}", out.prometheus);
+        }
+    }
     Ok(())
 }
 
@@ -682,7 +750,8 @@ const USAGE: &str = "usage: uww <info|plan|run|analyze|script|dot|olap|serve|exp
 [--sql NAME=SELECT-statement] \
 [--strategy \"Comp(V,{A,B}); Inst(A); ...\"] [--stages \"stage | stage | ...\"] [--json] \
 [--wal DIR] [--fsync always|never] [--fault crash:K|torn:K|dup:K|dirsync] \
-[--term-threads N] [--no-term-sharing]\n\
+[--term-threads N] [--no-term-sharing] \
+[--trace-out FILE] [--timeline] [--metrics]\n\
        uww recover DIR";
 
 fn main() -> ExitCode {

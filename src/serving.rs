@@ -57,6 +57,10 @@ pub struct LiveRunOutcome {
     pub epochs: u64,
     /// Queries answered per reader thread.
     pub queries_per_reader: Vec<u64>,
+    /// The server's final `METRICS` scrape (Prometheus text format,
+    /// terminated by `# EOF`), taken after the window closed but before
+    /// shutdown.
+    pub prometheus: String,
 }
 
 /// Executes `strategy` against a clone of `warehouse` while `cfg.readers`
@@ -142,6 +146,15 @@ pub fn run_live(
             Err(_) => reader_errors.push("reader thread panicked".to_string()),
         }
     }
+    // Final Prometheus scrape over the server's own protocol (so the scrape
+    // path itself is exercised), then drain.
+    let prometheus = Client::connect(addr)
+        .and_then(|mut c| {
+            let body = c.metrics()?;
+            c.quit()?;
+            Ok(body)
+        })
+        .map_err(|e| CoreError::Warehouse(format!("final METRICS scrape failed: {e}")))?;
     let metrics = server.shutdown();
     let report = exec_result?;
     if !reader_errors.is_empty() {
@@ -174,6 +187,7 @@ pub fn run_live(
         window,
         epochs: versioned.epoch(),
         queries_per_reader,
+        prometheus,
     })
 }
 
@@ -199,5 +213,11 @@ mod tests {
         // Every executed Inst published one epoch.
         assert_eq!(out.epochs, out.report.total_work().inst_expressions);
         assert!(out.window > Duration::ZERO);
+        let scrape = uww_obs::prom::parse_text(&out.prometheus).unwrap();
+        assert!(scrape.saw_eof);
+        assert_eq!(
+            scrape.value("uww_serve_queries_total", &[]),
+            Some(out.metrics.queries as f64)
+        );
     }
 }
