@@ -25,7 +25,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use uww_vdag::{Strategy, UpdateExpr, Vdag, ViewId};
 
 /// Renders a view name, tolerating ids outside the VDAG.
-fn safe_name(g: &Vdag, v: ViewId) -> String {
+pub(crate) fn safe_name(g: &Vdag, v: ViewId) -> String {
     if v.0 < g.len() {
         g.name(v).to_string()
     } else {
@@ -34,7 +34,7 @@ fn safe_name(g: &Vdag, v: ViewId) -> String {
 }
 
 /// Renders an expression, tolerating ids outside the VDAG.
-fn safe_expr(g: &Vdag, e: &UpdateExpr) -> String {
+pub(crate) fn safe_expr(g: &Vdag, e: &UpdateExpr) -> String {
     match e {
         UpdateExpr::Comp { view, over } => {
             let over: Vec<String> = over.iter().map(|v| safe_name(g, *v)).collect();

@@ -38,11 +38,31 @@ pub enum Rule {
     /// `Comp` on a base view, an empty over-set, or an over-set escaping
     /// the view's sources (conditions C1/C2/C7).
     MalformedExpr,
+    /// `UWW011` (advisory): a `Comp` rebuilds the same `(operand,
+    /// pushed-down filter, key columns)` hash table across two or more of
+    /// its maintenance terms — the intra-`Comp` share the operand cache
+    /// exploits when term sharing is on, and a per-term executor misses.
+    IntraCompShare,
+    /// `UWW012` (advisory): two `Comp`s of the strategy build an identical
+    /// operand hash table with no intervening modification of the operand —
+    /// a cross-`Comp` sharing opportunity the per-`Comp` cache cannot
+    /// exploit (the planner hook for a strategy-wide operand cache).
+    CrossCompShare,
+    /// `UWW013` (advisory): two operand uses inside one `Comp` are equal
+    /// modulo a keying detail the runtime cache distinguishes — e.g. two
+    /// aliases of one view with identical role, filters, and key columns,
+    /// which the source-position cache key keeps apart.
+    CacheKeyMismatch,
+    /// `UWW014`: two expressions sharing a parallel stage touch a common
+    /// operand with at least one writer — read/write interference over
+    /// views, deltas, or operand-cache snapshots that makes the stage's
+    /// outcome schedule-dependent.
+    SharedOperandRace,
 }
 
 impl Rule {
     /// Every rule, in id order.
-    pub const ALL: [Rule; 10] = [
+    pub const ALL: [Rule; 14] = [
         Rule::StageRace,
         Rule::DeadDelta,
         Rule::UncoveredSource,
@@ -53,9 +73,13 @@ impl Rule {
         Rule::LateComp,
         Rule::UncomputedDelta,
         Rule::MalformedExpr,
+        Rule::IntraCompShare,
+        Rule::CrossCompShare,
+        Rule::CacheKeyMismatch,
+        Rule::SharedOperandRace,
     ];
 
-    /// The stable identifier, `UWW001` through `UWW010`.
+    /// The stable identifier, `UWW001` through `UWW014`.
     pub fn id(self) -> &'static str {
         match self {
             Rule::StageRace => "UWW001",
@@ -68,6 +92,10 @@ impl Rule {
             Rule::LateComp => "UWW008",
             Rule::UncomputedDelta => "UWW009",
             Rule::MalformedExpr => "UWW010",
+            Rule::IntraCompShare => "UWW011",
+            Rule::CrossCompShare => "UWW012",
+            Rule::CacheKeyMismatch => "UWW013",
+            Rule::SharedOperandRace => "UWW014",
         }
     }
 
@@ -84,6 +112,10 @@ impl Rule {
             Rule::LateComp => "late-comp",
             Rule::UncomputedDelta => "uncomputed-delta",
             Rule::MalformedExpr => "malformed-expr",
+            Rule::IntraCompShare => "missed-intra-comp-share",
+            Rule::CrossCompShare => "cross-comp-share",
+            Rule::CacheKeyMismatch => "cache-key-mismatch",
+            Rule::SharedOperandRace => "shared-operand-race",
         }
     }
 
@@ -101,6 +133,10 @@ impl Rule {
             Rule::LateComp => "C5",
             Rule::UncomputedDelta => "C8",
             Rule::MalformedExpr => "C1/C2/C7",
+            Rule::IntraCompShare => "term sharing (Section 3.3 terms; MQO)",
+            Rule::CrossCompShare => "cross-expression sharing (MQO)",
+            Rule::CacheKeyMismatch => "operand-cache key discipline",
+            Rule::SharedOperandRace => "stage isolation over shared operands (Section 9)",
         }
     }
 }
@@ -217,9 +253,24 @@ impl Report {
         self.diagnostics.len() - self.error_count()
     }
 
+    /// Diagnostics per rule, in rule-id order — the JSON summary's
+    /// `"rules"` object, so CI can gate on specific rules (e.g. fail on
+    /// `UWW014` while tolerating advisory `UWW011`/`UWW012` findings).
+    pub fn rule_counts(&self) -> Vec<(Rule, usize)> {
+        let mut counts: Vec<(Rule, usize)> = Vec::new();
+        for r in Rule::ALL {
+            let n = self.diagnostics.iter().filter(|d| d.rule == r).count();
+            if n > 0 {
+                counts.push((r, n));
+            }
+        }
+        counts
+    }
+
     /// Merges another report whose indices are already in this report's
-    /// index space.
-    pub(crate) fn merge(self, other: Report) -> Report {
+    /// index space (e.g. the sharing report computed over the same
+    /// strategy). Kept public so CLI consumers can combine passes.
+    pub fn merge(self, other: Report) -> Report {
         let mut all = self.diagnostics;
         all.extend(other.diagnostics);
         Report::new(self.exprs, all)
@@ -312,8 +363,15 @@ impl Report {
             }
             out.push_str("]}");
         }
+        out.push_str("],\"rules\":{");
+        for (n, (rule, count)) in self.rule_counts().into_iter().enumerate() {
+            if n > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{}:{count}", json_str(rule.id())));
+        }
         out.push_str(&format!(
-            "],\"errors\":{},\"warnings\":{}}}",
+            "}},\"errors\":{},\"warnings\":{}}}",
             self.error_count(),
             self.warning_count()
         ));
@@ -364,6 +422,7 @@ mod tests {
         let ids: Vec<&str> = Rule::ALL.iter().map(|r| r.id()).collect();
         assert_eq!(ids[0], "UWW001");
         assert_eq!(ids[9], "UWW010");
+        assert_eq!(ids[13], "UWW014");
         let mut dedup = ids.clone();
         dedup.dedup();
         assert_eq!(ids, dedup);
@@ -401,6 +460,7 @@ mod tests {
         assert!(json.contains("\"rule\":\"UWW006\""));
         assert!(json.contains("\"severity\":\"error\""));
         assert!(json.contains("\"span\":{\"start\":0,\"end\":1}"));
+        assert!(json.contains("\"rules\":{\"UWW006\":1}"));
         assert!(json.contains("\"errors\":1"));
         assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
     }

@@ -21,6 +21,10 @@
 //! | `UWW008` | `late-comp` | C5 |
 //! | `UWW009` | `uncomputed-delta` | C8 |
 //! | `UWW010` | `malformed-expr` | C1/C2/C7 shape conditions |
+//! | `UWW011` | `missed-intra-comp-share` | term sharing (Section 3.3 terms; MQO) |
+//! | `UWW012` | `cross-comp-share` | cross-expression sharing (MQO) |
+//! | `UWW013` | `cache-key-mismatch` | operand-cache key discipline |
+//! | `UWW014` | `shared-operand-race` | stage isolation over shared operands (Section 9) |
 //!
 //! On sequential strategies the analyzer is **exactly equivalent** to the
 //! dynamic checkers: [`Report::has_errors`] is `true` iff
@@ -39,10 +43,14 @@
 
 mod analyzer;
 mod diag;
+mod interference;
 mod parse;
+mod sharing;
 
 pub use analyzer::{
     analyze, analyze_costs, analyze_parallel, analyze_resume, analyze_view, depends,
 };
 pub use diag::{Diagnostic, Report, Rule, Severity};
+pub use interference::{analyze_interference, reads, writes, Loc};
 pub use parse::{parse_expr, parse_stages, parse_strategy};
+pub use sharing::{analyze_sharing, ExprSharingProfile, OperandProfile, SharingProfile};

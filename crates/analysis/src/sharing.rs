@@ -1,0 +1,425 @@
+//! The sharing-opportunity pass: `UWW011`–`UWW013` over a strategy's
+//! sharing profile.
+//!
+//! The profile is produced by the engine's static predictor
+//! (`uww_core::predict_strategy_sharing`, priced by the cost model in
+//! `uww_core::sharing_report`) and describes, per expression, every
+//! distinct `(operand, pushed-down filter, key columns)` hash-table build
+//! the shared executor will perform, with exact predicted build/reuse
+//! counters. This module is deliberately core-agnostic — it sees only the
+//! profile — so the rule logic stays beside the other `UWW` rules while the
+//! numeric plan stays beside the engine that must conform to it.
+//!
+//! The three rules are advisory ([`Severity::Warning`]): they describe
+//! work that *could* be shared, not a correctness defect.
+//!
+//! * `UWW011` — an operand repeats across one `Comp`'s terms: the
+//!   intra-`Comp` share the operand cache exploits (and the per-term
+//!   baseline misses), with the priced saving;
+//! * `UWW012` — two `Comp`s build an identical operand table with no
+//!   intervening modification of that operand: the cross-`Comp` share a
+//!   strategy-wide cache would exploit (the ROADMAP planner hook);
+//! * `UWW013` — two operand uses inside one `Comp` are equal modulo the
+//!   cache's source-position key (aliases of one view): shareable in
+//!   principle, kept apart by the runtime's keying detail.
+
+use crate::analyzer::{safe_expr, safe_name};
+use crate::diag::{Diagnostic, Report, Rule, Severity};
+use std::collections::BTreeMap;
+use uww_vdag::{Strategy, UpdateExpr, Vdag};
+
+/// One distinct keyed operand use inside a `Comp`, as the engine's static
+/// plan reports it — a node of the sharing-opportunity graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OperandProfile {
+    /// Source view name.
+    pub source: String,
+    /// Source alias (distinct for self-join aliases).
+    pub alias: String,
+    /// Source position in the view definition — the runtime cache-key
+    /// component `UWW013` is about.
+    pub source_idx: usize,
+    /// True when the delta form of the source is scanned.
+    pub as_delta: bool,
+    /// Build-key column names, in key order.
+    pub key_cols: Vec<String>,
+    /// Rendered pushed-down filters applied to this operand.
+    pub filters: Vec<String>,
+    /// Filtered operand cardinality (rows one build scans).
+    pub rows: u64,
+    /// Keyed join steps using this exact key across the `Comp`'s terms.
+    pub occurrences: u64,
+    /// Cost-model-priced rows saved by interning this key
+    /// (`occurrences − 1` avoided rebuilds).
+    pub saved_rows: u64,
+}
+
+/// Owned form of [`OperandProfile::identity`], used as a grouping key.
+type OperandIdentity = (String, bool, Vec<String>, Vec<String>);
+
+impl OperandProfile {
+    /// The sharing identity of this use: everything except the source
+    /// position. Two uses with equal identity build interchangeable hash
+    /// tables (within one expression; across expressions the operand must
+    /// also be unmodified in between).
+    fn identity(&self) -> (&str, bool, &[String], &[String]) {
+        (
+            self.source.as_str(),
+            self.as_delta,
+            &self.key_cols,
+            &self.filters,
+        )
+    }
+
+    /// Human label: `ΔS` or `stored S`, plus the key columns.
+    fn label(&self) -> String {
+        let role = if self.as_delta { "Δ" } else { "stored " };
+        format!(
+            "{role}{} keyed on [{}]",
+            self.source,
+            self.key_cols.join(", ")
+        )
+    }
+}
+
+/// The engine's static sharing prediction for one strategy expression.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExprSharingProfile {
+    /// Target view name.
+    pub view: String,
+    /// `"comp"` or `"inst"`.
+    pub kind: String,
+    /// Surviving maintenance terms (footnote-5 filter applied).
+    pub terms: usize,
+    /// Hash tables the shared engine will build for this expression.
+    pub predicted_builds: u64,
+    /// Hash-table reuses the shared engine will record.
+    pub predicted_reuses: u64,
+    /// Every distinct keyed operand use.
+    pub operands: Vec<OperandProfile>,
+}
+
+/// A whole strategy's sharing profile, aligned index-for-index with the
+/// strategy's expressions.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SharingProfile {
+    /// Per-expression profiles, in strategy order.
+    pub exprs: Vec<ExprSharingProfile>,
+}
+
+impl SharingProfile {
+    /// Total predicted hash-table builds across the strategy.
+    pub fn predicted_builds(&self) -> u64 {
+        self.exprs.iter().map(|e| e.predicted_builds).sum()
+    }
+
+    /// Total predicted hash-table reuses across the strategy.
+    pub fn predicted_reuses(&self) -> u64 {
+        self.exprs.iter().map(|e| e.predicted_reuses).sum()
+    }
+}
+
+/// Runs the sharing-opportunity pass: `UWW011` (intra-`Comp` repeats),
+/// `UWW012` (cross-`Comp` repeats with no intervening modification), and
+/// `UWW013` (alias-split cache keys), all advisory. Diagnostic indices are
+/// strategy positions; `profile.exprs` must align with `s.exprs` (extra or
+/// missing entries are ignored rather than flagged — the profile producer
+/// is trusted).
+pub fn analyze_sharing(g: &Vdag, s: &Strategy, profile: &SharingProfile) -> Report {
+    let mut out: Vec<Diagnostic> = Vec::new();
+
+    // UWW011: one Comp, one key, ≥ 2 uses.
+    for (i, (expr, prof)) in s.exprs.iter().zip(&profile.exprs).enumerate() {
+        for op in &prof.operands {
+            if op.occurrences < 2 {
+                continue;
+            }
+            out.push(Diagnostic {
+                rule: Rule::IntraCompShare,
+                severity: Severity::Warning,
+                message: format!(
+                    "{} builds the hash table over {} ({} rows) {} times across its {} terms; \
+                     interning saves {} builds (~{} rows)",
+                    safe_expr(g, expr),
+                    op.label(),
+                    op.rows,
+                    op.occurrences,
+                    prof.terms,
+                    op.occurrences - 1,
+                    op.saved_rows,
+                ),
+                primary: Some(i),
+                primary_label: "repeated operand build across terms".to_string(),
+                related: vec![],
+                views: vec![prof.view.clone(), op.source.clone()],
+            });
+        }
+    }
+
+    // UWW013: one Comp, identical identity, distinct source positions.
+    for (i, (expr, prof)) in s.exprs.iter().zip(&profile.exprs).enumerate() {
+        let mut groups: BTreeMap<OperandIdentity, Vec<&OperandProfile>> = BTreeMap::new();
+        for op in &prof.operands {
+            let (source, as_delta, keys, filters) = op.identity();
+            groups
+                .entry((
+                    source.to_string(),
+                    as_delta,
+                    keys.to_vec(),
+                    filters.to_vec(),
+                ))
+                .or_default()
+                .push(op);
+        }
+        for ops in groups.values() {
+            let mut positions: Vec<usize> = ops.iter().map(|o| o.source_idx).collect();
+            positions.sort_unstable();
+            positions.dedup();
+            if positions.len() < 2 {
+                continue;
+            }
+            let first = ops[0];
+            let aliases: Vec<&str> = ops.iter().map(|o| o.alias.as_str()).collect();
+            out.push(Diagnostic {
+                rule: Rule::CacheKeyMismatch,
+                severity: Severity::Warning,
+                message: format!(
+                    "{} scans {} under {} aliases ({}) with identical role, filters, and key \
+                     columns; the operand cache keys by source position and builds {} tables \
+                     where one would serve",
+                    safe_expr(g, expr),
+                    first.label(),
+                    positions.len(),
+                    aliases.join(", "),
+                    positions.len(),
+                ),
+                primary: Some(i),
+                primary_label: "aliases split an otherwise-shared cache key".to_string(),
+                related: vec![],
+                views: vec![prof.view.clone(), first.source.clone()],
+            });
+        }
+    }
+
+    // UWW012: two Comps, identical identity, operand unmodified in between.
+    for (i, (ei, pi)) in s.exprs.iter().zip(&profile.exprs).enumerate() {
+        if !matches!(ei, UpdateExpr::Comp { .. }) {
+            continue;
+        }
+        for (j, (ej, pj)) in s.exprs.iter().zip(&profile.exprs).enumerate().skip(i + 1) {
+            if !matches!(ej, UpdateExpr::Comp { .. }) {
+                continue;
+            }
+            for oi in &pi.operands {
+                let Some(oj) = pj.operands.iter().find(|o| o.identity() == oi.identity()) else {
+                    continue;
+                };
+                if (i + 1..j).any(|p| modifies_operand(g, &s.exprs[p], &oi.source, oi.as_delta)) {
+                    continue;
+                }
+                out.push(Diagnostic {
+                    rule: Rule::CrossCompShare,
+                    severity: Severity::Warning,
+                    message: format!(
+                        "{} rebuilds the hash table over {} ({} rows) that {} already built, \
+                         with {} unmodified in between; a strategy-wide operand cache would \
+                         reuse it (~{} rows saved)",
+                        safe_expr(g, ej),
+                        oi.label(),
+                        oj.rows,
+                        safe_expr(g, ei),
+                        oi.source,
+                        oj.rows,
+                    ),
+                    primary: Some(j),
+                    primary_label: "cross-Comp rebuild of an unchanged operand".to_string(),
+                    related: vec![(i, "same hash table first built here".to_string())],
+                    views: vec![pi.view.clone(), pj.view.clone(), oi.source.clone()],
+                });
+            }
+        }
+    }
+
+    let exprs = s.exprs.iter().map(|e| safe_expr(g, e)).collect();
+    Report::new(exprs, out)
+}
+
+/// Whether executing `e` changes the contents of the given operand form of
+/// `source`: the stored extent changes only at `Inst(source)`; the pending
+/// delta changes when a `Comp` extends it or an `Inst` consumes it.
+fn modifies_operand(g: &Vdag, e: &UpdateExpr, source: &str, as_delta: bool) -> bool {
+    match e {
+        UpdateExpr::Inst(v) => safe_name(g, *v) == source,
+        UpdateExpr::Comp { view, .. } => as_delta && safe_name(g, *view) == source,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uww_vdag::{figure3_vdag, UpdateExpr, ViewId};
+
+    fn op(source: &str, idx: usize, as_delta: bool, occ: u64) -> OperandProfile {
+        OperandProfile {
+            source: source.to_string(),
+            alias: source.to_string(),
+            source_idx: idx,
+            as_delta,
+            key_cols: vec!["k".to_string()],
+            filters: vec![],
+            rows: 100,
+            occurrences: occ,
+            saved_rows: 100 * occ.saturating_sub(1),
+        }
+    }
+
+    fn comp_profile(view: &str, operands: Vec<OperandProfile>) -> ExprSharingProfile {
+        let builds = operands.len() as u64;
+        let reuses = operands
+            .iter()
+            .map(|o| o.occurrences.saturating_sub(1))
+            .sum();
+        ExprSharingProfile {
+            view: view.to_string(),
+            kind: "comp".to_string(),
+            terms: 3,
+            predicted_builds: builds,
+            predicted_reuses: reuses,
+            operands,
+        }
+    }
+
+    fn inst_profile(view: &str) -> ExprSharingProfile {
+        ExprSharingProfile {
+            view: view.to_string(),
+            kind: "inst".to_string(),
+            terms: 0,
+            predicted_builds: 0,
+            predicted_reuses: 0,
+            operands: vec![],
+        }
+    }
+
+    #[test]
+    fn intra_comp_repeat_flags_uww011() {
+        let g = figure3_vdag();
+        let v4 = g.id_of("V4").unwrap();
+        let v2 = g.id_of("V2").unwrap();
+        let s = Strategy::from_exprs(vec![UpdateExpr::comp1(v4, v2)]);
+        let profile = SharingProfile {
+            exprs: vec![comp_profile("V4", vec![op("V3", 1, false, 3)])],
+        };
+        let r = analyze_sharing(&g, &s, &profile);
+        assert!(!r.has_errors());
+        assert_eq!(r.warning_count(), 1);
+        assert_eq!(r.diagnostics[0].rule, Rule::IntraCompShare);
+        assert!(r.diagnostics[0].message.contains("saves 2 builds"));
+    }
+
+    #[test]
+    fn alias_split_key_flags_uww013() {
+        let g = figure3_vdag();
+        let v4 = g.id_of("V4").unwrap();
+        let v2 = g.id_of("V2").unwrap();
+        let s = Strategy::from_exprs(vec![UpdateExpr::comp1(v4, v2)]);
+        let mut a = op("V2", 0, false, 1);
+        a.alias = "l".to_string();
+        let mut b = op("V2", 2, false, 1);
+        b.alias = "r".to_string();
+        let profile = SharingProfile {
+            exprs: vec![comp_profile("V4", vec![a, b])],
+        };
+        let r = analyze_sharing(&g, &s, &profile);
+        assert_eq!(r.warning_count(), 1);
+        assert_eq!(r.diagnostics[0].rule, Rule::CacheKeyMismatch);
+        assert!(r.diagnostics[0].message.contains("l, r"));
+    }
+
+    #[test]
+    fn cross_comp_repeat_flags_uww012_unless_modified_between() {
+        let g = figure3_vdag();
+        let v4 = g.id_of("V4").unwrap();
+        let v5 = g.id_of("V5").unwrap();
+        let v2 = g.id_of("V2").unwrap();
+        let shared = || op("V1", 0, false, 1);
+        let profile = SharingProfile {
+            exprs: vec![
+                comp_profile("V4", vec![shared()]),
+                comp_profile("V5", vec![shared()]),
+            ],
+        };
+        // Back-to-back Comps reusing stored V1: flagged.
+        let s = Strategy::from_exprs(vec![UpdateExpr::comp1(v4, v2), UpdateExpr::comp1(v5, v2)]);
+        let r = analyze_sharing(&g, &s, &profile);
+        assert_eq!(
+            r.diagnostics
+                .iter()
+                .filter(|d| d.rule == Rule::CrossCompShare)
+                .count(),
+            1
+        );
+
+        // An Inst(V1) in between invalidates the stored extent: clean.
+        let v1 = g.id_of("V1").unwrap();
+        let s2 = Strategy::from_exprs(vec![
+            UpdateExpr::comp1(v4, v2),
+            UpdateExpr::inst(v1),
+            UpdateExpr::comp1(v5, v2),
+        ]);
+        let profile2 = SharingProfile {
+            exprs: vec![
+                comp_profile("V4", vec![shared()]),
+                inst_profile("V1"),
+                comp_profile("V5", vec![shared()]),
+            ],
+        };
+        let r2 = analyze_sharing(&g, &s2, &profile2);
+        assert_eq!(
+            r2.diagnostics
+                .iter()
+                .filter(|d| d.rule == Rule::CrossCompShare)
+                .count(),
+            0
+        );
+    }
+
+    #[test]
+    fn delta_operand_invalidated_by_comp_between() {
+        let g = figure3_vdag();
+        let v4 = g.id_of("V4").unwrap();
+        let v5 = g.id_of("V5").unwrap();
+        let v2 = g.id_of("V2").unwrap();
+        // Both Comps scan ΔV4; a Comp(V4, ·) in between extends that delta.
+        let dv4 = || op("V4", 0, true, 1);
+        let s = Strategy::from_exprs(vec![
+            UpdateExpr::comp1(v5, v2),
+            UpdateExpr::comp1(v4, v2),
+            UpdateExpr::comp1(v5, v2),
+        ]);
+        let profile = SharingProfile {
+            exprs: vec![
+                comp_profile("V5", vec![dv4()]),
+                comp_profile("V4", vec![]),
+                comp_profile("V5", vec![dv4()]),
+            ],
+        };
+        let r = analyze_sharing(&g, &s, &profile);
+        assert_eq!(
+            r.diagnostics
+                .iter()
+                .filter(|d| d.rule == Rule::CrossCompShare)
+                .count(),
+            0
+        );
+    }
+
+    #[test]
+    fn empty_profile_is_clean() {
+        let g = figure3_vdag();
+        let s = Strategy::from_exprs(vec![UpdateExpr::inst(ViewId(0))]);
+        let profile = SharingProfile {
+            exprs: vec![inst_profile("V1")],
+        };
+        assert!(analyze_sharing(&g, &s, &profile).is_clean());
+    }
+}

@@ -5,8 +5,11 @@
 //! The logical work and the produced deltas must be *identical* between the
 //! engines — sharing is purely a physical optimisation — while the physical
 //! rows touched must shrink, by ≥ 1.5× for |Y| ≥ 3 (the terms re-scan each
-//! operand 2^(|Y|−1) times without sharing). Violations abort the run, so
-//! this binary doubles as a CI smoke check at tiny scale.
+//! operand 2^(|Y|−1) times without sharing). The shared engine must also
+//! *reuse* hash tables for |Y| ≥ 3 (a multi-term `Comp` repeats operand
+//! builds by construction), and the static sharing predictor's build/reuse
+//! counts must equal the measured counters exactly. Violations abort the
+//! run, so this binary doubles as a CI smoke check at tiny scale.
 //!
 //! Output: a table on stdout plus `BENCH_term_sharing.json` in the current
 //! directory. Row count per base view defaults to 2000 and can be lowered
@@ -16,7 +19,7 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use uww::core::{ExecOptions, Warehouse};
+use uww::core::{predict_strategy_sharing, ExecOptions, Warehouse};
 use uww::relational::catalog_to_string;
 use uww::relational::{
     DeltaRelation, EquiJoin, OutputColumn, Predicate, Schema, Table, Tuple, Value, ValueType,
@@ -161,6 +164,15 @@ fn main() {
         let shared = run(&w, &changes, &strategy, true, 0);
         let threaded = run(&w, &changes, &strategy, true, 4);
 
+        // Static sharing prediction over the same loaded warehouse.
+        let predictions = {
+            let mut clone = w.clone();
+            clone.load_changes(changes.clone()).expect("load changes");
+            predict_strategy_sharing(&clone, &strategy).expect("predict sharing")
+        };
+        let predicted_builds: u64 = predictions.iter().map(|p| p.plan.predicted_builds).sum();
+        let predicted_reuses: u64 = predictions.iter().map(|p| p.plan.predicted_reuses).sum();
+
         // Correctness gates: identical deltas/state, identical logical work.
         assert_eq!(unshared.state, shared.state, "|Y|={y}: state diverged");
         assert_eq!(
@@ -186,6 +198,21 @@ fn main() {
         assert!(
             y < 3 || ratio >= 1.5,
             "|Y|={y}: physical reduction {ratio:.2}x < 1.5x"
+        );
+        // A multi-term Comp repeats operand builds by construction, so the
+        // shared engine must actually reuse tables from |Y| = 3 up — and the
+        // static predictor must agree with the meters exactly.
+        assert!(
+            y < 3 || shared.work.hash_tables_reused > 0,
+            "|Y|={y}: shared engine reused no hash tables"
+        );
+        assert_eq!(
+            predicted_builds, shared.work.hash_tables_built,
+            "|Y|={y}: predicted builds diverged from measured"
+        );
+        assert_eq!(
+            predicted_reuses, shared.work.hash_tables_reused,
+            "|Y|={y}: predicted reuses diverged from measured"
         );
 
         let terms = shared.work.terms_evaluated;
@@ -240,6 +267,9 @@ fn main() {
             "      \"hash_reuses\": {},",
             shared.work.hash_tables_reused
         );
+        let _ = writeln!(json, "      \"predicted_hash_builds\": {predicted_builds},");
+        let _ = writeln!(json, "      \"predicted_hash_reuses\": {predicted_reuses},");
+        let _ = writeln!(json, "      \"static_conformant\": true,");
         let _ = writeln!(json, "      \"wall_us_unshared\": {},", unshared.wall_us);
         let _ = writeln!(json, "      \"wall_us_shared\": {},", shared.wall_us);
         let _ = writeln!(json, "      \"wall_us_threaded\": {},", threaded.wall_us);

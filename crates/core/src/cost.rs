@@ -65,6 +65,15 @@ impl<'a> CostModel<'a> {
         self.sizes
     }
 
+    /// Prices an intra-`Comp` sharing opportunity under the linear metric
+    /// (Definition 3.5): an operand of `rows` filtered rows that `occurrences`
+    /// keyed join steps build a hash table over costs `c · rows` per build, so
+    /// interning the table saves `c · rows · (occurrences − 1)` work units —
+    /// the builds avoided by reuse.
+    pub fn share_saving(&self, rows: u64, occurrences: u64) -> f64 {
+        self.comp_coeff * rows as f64 * occurrences.saturating_sub(1) as f64
+    }
+
     /// Total predicted work of a strategy.
     pub fn strategy_work(&self, s: &Strategy) -> f64 {
         self.per_expression_work(s).into_iter().sum()

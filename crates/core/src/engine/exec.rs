@@ -511,15 +511,10 @@ pub(crate) fn comp_fragment(
 
     // Terms whose delta subset includes an empty pending delta are skipped
     // up front (footnote 5) — in particular a change-free `Comp` builds no
-    // operand cache and costs nothing, for every strategy alike.
-    let terms: Vec<BTreeSet<String>> = eval::nonempty_subsets(&over_names)
-        .into_iter()
-        .filter(|subset| {
-            subset
-                .iter()
-                .all(|v| w.pending(v).is_some_and(|d| !d.is_empty()))
-        })
-        .collect();
+    // operand cache and costs nothing, for every strategy alike. The same
+    // filter backs the static sharing prediction, so plans and execution
+    // always agree on the term set.
+    let terms = share::surviving_terms(w, &over_names);
 
     let mut fragment = w.empty_pending_for(&name)?;
     if topts.share {

@@ -28,5 +28,9 @@ pub(crate) use summary::raw_to_value as summary_raw_to_value;
 pub use exec::{ExecOptions, ExecutionReport, ExprReport};
 pub use explain::{render_explain, ExprPlan, TermPlan};
 pub use publish::InstallPublisher;
+pub use share::{
+    predict_comp_sharing, predict_strategy_sharing, surviving_terms, CompSharingPlan,
+    ExprSharingPrediction, OperandUse,
+};
 pub use summary::{stored_aggregate_schema, SummaryDelta, COUNT_COLUMN};
 pub use warehouse::{PendingDelta, Warehouse, WarehouseBuilder};

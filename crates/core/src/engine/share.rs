@@ -1,4 +1,4 @@
-//! Shared-operand term evaluation.
+//! Shared-operand term evaluation and its static sharing plan.
 //!
 //! Within one `Comp(W, Y)` no `Inst` intervenes, so the stored extents and
 //! pending deltas every maintenance term scans are *identical* across the
@@ -11,29 +11,45 @@
 //! every term evaluates against the cache — sequentially or across a
 //! `std::thread` scope, since terms are read-only and independent.
 //!
-//! Two invariants make the cache safe to enable by default:
+//! **The intern decision is static.** Because the greedy join order sizes
+//! operands by their *cached* (filtered) lengths — never by the accumulated
+//! intermediate — every term's join sequence is fully determined before any
+//! term runs. [`OperandCache::build`] simulates those sequences and marks a
+//! build key **shared** when it occurs in two or more join steps across the
+//! `Comp`'s terms; [`join_term`] then interns exactly the shared keys and
+//! builds every unshared step fresh. The resulting
+//! `hash_tables_built`/`hash_tables_reused` counters equal the plan's
+//! [`CompSharingPlan::predicted_builds`]/[`CompSharingPlan::predicted_reuses`]
+//! *exactly*, independent of data and of `threads` — the conformance oracle
+//! `uww analyze --sharing --verify-against` replays traces against.
 //!
-//! * **byte identity** — the cached evaluator replays `eval_term`'s exact
-//!   control flow (greedy smallest-first join order, build-on-smaller-side,
-//!   left-columns-first concatenation, empty-intermediate short circuit,
-//!   residual filters last), so every term's rows, the merged `ΔW`
-//!   fragment, and therefore the WAL `CD` payload are byte-identical to the
-//!   per-term path;
+//! Three invariants make the cache safe to enable by default:
+//!
+//! * **output identity** — the cached evaluator replays `eval_term`'s exact
+//!   greedy join order and residual filters, and join output is an
+//!   orientation-independent multiset, so every term's consolidated
+//!   fragment, the merged `ΔW`, the final state, and the WAL `CD` payload
+//!   (canonically sorted) are byte-identical to the per-term path;
 //! * **logical-meter identity** — each term still charges
 //!   [`WorkMeter::scan_logical`] for the full raw operand it *would* have
-//!   scanned, so `operand_rows_scanned` (the planner's linear metric) is
-//!   unchanged; only `physical_rows_touched` and the hash-table counters
-//!   reveal the savings.
+//!   scanned, so `operand_rows_scanned` (the planner's linear metric) and
+//!   `rows_emitted` are unchanged; only `physical_rows_touched` and the
+//!   hash-table counters reveal the savings;
+//! * **static conformance** — unlike the per-term path, the shared path
+//!   performs every planned join step even when an intermediate empties
+//!   (joining an empty side costs nothing and emits nothing), so the
+//!   hash-table counters never drift below the static prediction.
 
 use crate::engine::eval;
 use crate::engine::exec::{meter_attrs, term_label};
 use crate::engine::warehouse::{scan_operand, Warehouse};
 use crate::error::{CoreError, CoreResult};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::sync::{Arc, Mutex};
 use uww_obs as obs;
 use uww_relational::ops::{self, BuiltTable, GroupAcc, SignedRows};
 use uww_relational::{RelResult, Schema, Tuple, ViewDef, ViewOutput, WorkMeter};
+use uww_vdag::{Strategy, UpdateExpr};
 
 /// How a `Comp`'s term set is evaluated.
 #[derive(Clone, Copy, Debug)]
@@ -65,6 +81,45 @@ struct CachedOperand {
 /// Intern key for a build table: `(source index, as_delta, key columns)`.
 type TableKey = (usize, bool, Vec<usize>);
 
+/// One distinct keyed build inside a `Comp`'s term set — a node of the
+/// sharing-opportunity graph. Two uses share a hash table exactly when
+/// their whole `(source position, role, key columns)` key matches; the
+/// analyzer's `UWW013` flags uses equal modulo the source position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OperandUse {
+    /// Source view name.
+    pub source: String,
+    /// Source alias (distinct for self-join aliases).
+    pub alias: String,
+    /// Source position in the view definition — the cache-key component
+    /// that distinguishes aliases of one view.
+    pub source_idx: usize,
+    /// True when the operand is the delta form of the source.
+    pub as_delta: bool,
+    /// Build-key column names, in key order.
+    pub key_cols: Vec<String>,
+    /// Rendered pushed-down filters applied to this operand.
+    pub filters: Vec<String>,
+    /// Filtered operand cardinality (rows one build scans).
+    pub rows: u64,
+    /// Keyed join steps using this exact key across the `Comp`'s terms.
+    pub occurrences: u64,
+}
+
+/// The static sharing plan of one `Comp`: the exact hash-table counters the
+/// shared engine will produce, plus every distinct keyed operand use.
+#[derive(Clone, Debug, Default)]
+pub struct CompSharingPlan {
+    /// Surviving terms the plan covers (footnote-5 filter applied).
+    pub terms: usize,
+    /// Hash tables the shared engine will build — one per distinct key.
+    pub predicted_builds: u64,
+    /// Reuses the shared engine will record — extra uses of shared keys.
+    pub predicted_reuses: u64,
+    /// One entry per distinct keyed build, sorted by key.
+    pub operands: Vec<OperandUse>,
+}
+
 /// Per-`Comp` cache of materialized operands and interned build tables.
 ///
 /// Built once per `Comp` from the terms that will actually run, so a
@@ -79,6 +134,11 @@ pub(crate) struct OperandCache {
     /// `[stored, delta]` slot per source index; `None` when no surviving
     /// term uses that role.
     slots: Vec<[Option<CachedOperand>; 2]>,
+    /// Build keys the static plan marked shared (≥ 2 uses across terms);
+    /// only these route through the intern table.
+    shared: HashSet<TableKey>,
+    /// The static plan itself, for prediction consumers.
+    plan: CompSharingPlan,
     /// Interned build tables: `(source, as_delta, key columns)` → table.
     /// The lock is held across the build so `hash_tables_built` counts
     /// each distinct key exactly once even under threads.
@@ -86,7 +146,8 @@ pub(crate) struct OperandCache {
 }
 
 impl OperandCache {
-    /// Materializes every operand role the surviving `terms` need. The
+    /// Materializes every operand role the surviving `terms` need and
+    /// simulates every term's join sequence to fix the shared-key set. The
     /// returned meter carries the *physical* cost of materialization; the
     /// logical scans are charged per term during evaluation. Operands are
     /// read once per distinct `(view, role)` — aliased self-join sources
@@ -169,11 +230,68 @@ impl OperandCache {
             slots.push(pair);
         }
 
+        // Static join-plan simulation: the greedy order sizes operands by
+        // their cached lengths only, so every term's keyed steps are known
+        // here, before any term runs.
+        let size_of = |i: usize, as_delta: bool| -> usize {
+            slots[i][usize::from(as_delta)]
+                .as_ref()
+                .map_or(usize::MAX, |op| op.rows.len())
+        };
+        let mut uses: BTreeMap<TableKey, u64> = BTreeMap::new();
+        let mut keyed_steps = 0u64;
+        for t in terms {
+            for key in plan_term_steps(def, &qschemas, &size_of, t)
+                .map_err(CoreError::Rel)?
+                .into_iter()
+                .flatten()
+            {
+                *uses.entry(key).or_insert(0) += 1;
+                keyed_steps += 1;
+            }
+        }
+        let shared: HashSet<TableKey> = uses
+            .iter()
+            .filter(|&(_, &count)| count >= 2)
+            .map(|(k, _)| k.clone())
+            .collect();
+        let operands = uses
+            .iter()
+            .map(|(key, &occurrences)| {
+                let (i, as_delta, cols) = key;
+                let s = &def.sources[*i];
+                OperandUse {
+                    source: s.view.clone(),
+                    alias: s.alias.clone(),
+                    source_idx: *i,
+                    as_delta: *as_delta,
+                    key_cols: cols
+                        .iter()
+                        .map(|&c| qschemas[*i].column(c).name.clone())
+                        .collect(),
+                    filters: local[*i]
+                        .iter()
+                        .map(|&fi| format!("{:?}", def.filters[fi]))
+                        .collect(),
+                    rows: size_of(*i, *as_delta) as u64,
+                    occurrences,
+                }
+            })
+            .collect();
+        let plan = CompSharingPlan {
+            terms: terms.len(),
+            predicted_builds: uses.len() as u64,
+            predicted_reuses: keyed_steps - uses.len() as u64,
+            operands,
+        };
+
         Ok((
             OperandCache {
                 qschemas,
                 residual,
                 slots,
+                shared,
+                plan,
                 tables: Mutex::new(HashMap::new()),
             },
             meter,
@@ -214,6 +332,51 @@ impl OperandCache {
     }
 }
 
+/// Simulates one term's greedy join sequence against the cached operand
+/// sizes, returning the build key of every step — `None` for cross joins.
+/// Mirrors [`join_term`] exactly: start from the smallest operand, then
+/// repeatedly join the smallest connected one, sizing joined operands as
+/// `usize::MAX`; the intermediate's size never participates.
+fn plan_term_steps(
+    def: &ViewDef,
+    qschemas: &[Schema],
+    size_of: &dyn Fn(usize, bool) -> usize,
+    subset: &BTreeSet<String>,
+) -> RelResult<Vec<Option<TableKey>>> {
+    let n = def.sources.len();
+    let role: Vec<bool> = def
+        .sources
+        .iter()
+        .map(|s| subset.contains(&s.view))
+        .collect();
+    let mut in_set = vec![false; n];
+    let size = |in_set: &[bool], i: usize| {
+        if in_set[i] {
+            usize::MAX
+        } else {
+            size_of(i, role[i])
+        }
+    };
+    let start = (0..n)
+        .min_by_key(|&i| size(&in_set, i))
+        .expect("at least one source");
+    let mut joined_schema = qschemas[start].clone();
+    in_set[start] = true;
+    let mut steps = Vec::with_capacity(n.saturating_sub(1));
+    for _ in 1..n {
+        let next = eval::pick_next(def, &in_set, |i| size(&in_set, i));
+        let (lk, rk) = eval::join_keys(def, &in_set, next, &joined_schema, &qschemas[next])?;
+        steps.push(if lk.is_empty() {
+            None
+        } else {
+            Some((next, role[next], rk))
+        });
+        joined_schema = joined_schema.concat(&qschemas[next])?;
+        in_set[next] = true;
+    }
+    Ok(steps)
+}
+
 /// A term's projected (or grouped) output, ready to fold into the `Comp`'s
 /// pending fragment in term order.
 pub(crate) enum TermOut {
@@ -223,7 +386,7 @@ pub(crate) enum TermOut {
     Groups(HashMap<Tuple, GroupAcc>),
 }
 
-/// Evaluates one maintenance term against the cache — the byte-identical
+/// Evaluates one maintenance term against the cache — the output-identical
 /// mirror of [`eval::eval_term`] plus the downstream projection/grouping.
 pub(crate) fn eval_term_cached(
     def: &ViewDef,
@@ -285,9 +448,23 @@ fn join_term(
             let out = ops::cross_join(&joined_rows, &right.rows, meter);
             sp.attr_u64(obs::keys::ROWS, out.len() as u64);
             out
+        } else if cache.shared.contains(&(next, role[next], rk.clone())) {
+            // The static plan marked this (source, role, keys) as repeating
+            // across the Comp's terms: intern the pure-operand table — the
+            // first use builds, every other use reuses, regardless of how
+            // large the accumulated intermediate happens to be.
+            let table = {
+                let mut sp = obs::span(obs::SpanKind::Operator, "hash_table_intern");
+                sp.attr_u64(obs::keys::ROWS, right.rows.len() as u64);
+                cache.table(next, role[next], &rk, meter)
+            };
+            let mut sp = obs::span(obs::SpanKind::Operator, "hash_probe");
+            let out = ops::probe_table(&right.rows, &table, &joined_rows, &lk, false, meter);
+            sp.attr_u64(obs::keys::ROWS, out.len() as u64);
+            out
         } else if joined_rows.len() <= right.rows.len() {
-            // Build side is the accumulated intermediate — unique to this
-            // term, so built fresh exactly as hash_join would.
+            // Unshared step, intermediate smaller: build fresh exactly as
+            // hash_join would — one build, no reuse, either orientation.
             let table = {
                 let mut sp = obs::span(obs::SpanKind::Operator, "hash_build");
                 sp.attr_u64(obs::keys::ROWS, joined_rows.len() as u64);
@@ -298,11 +475,13 @@ fn join_term(
             sp.attr_u64(obs::keys::ROWS, out.len() as u64);
             out
         } else {
-            // Build side is a pure cached operand: intern the table.
+            // Unshared step, operand smaller: build fresh over the operand
+            // without interning — the key occurs once, so a cache entry
+            // would never be reused.
             let table = {
-                let mut sp = obs::span(obs::SpanKind::Operator, "hash_table_intern");
+                let mut sp = obs::span(obs::SpanKind::Operator, "hash_build");
                 sp.attr_u64(obs::keys::ROWS, right.rows.len() as u64);
-                cache.table(next, role[next], &rk, meter)
+                ops::build_table(&right.rows, &rk, meter)
             };
             let mut sp = obs::span(obs::SpanKind::Operator, "hash_probe");
             let out = ops::probe_table(&right.rows, &table, &joined_rows, &lk, false, meter);
@@ -311,17 +490,11 @@ fn join_term(
         };
         joined_schema = joined_schema.concat(&cache.qschemas[next])?;
         in_set[next] = true;
-        if joined_rows.is_empty() {
-            // Mirror eval_term: remaining joins cannot resurrect an empty
-            // intermediate, but the schema still accumulates in index order.
-            for (j, slot) in avail.iter_mut().enumerate() {
-                if !in_set[j] && slot.take().is_some() {
-                    joined_schema = joined_schema.concat(&cache.qschemas[j])?;
-                    in_set[j] = true;
-                }
-            }
-            break;
-        }
+        // Deliberately no empty-intermediate short circuit here (the
+        // per-term baseline keeps it): the static plan prices every step,
+        // and joining an empty intermediate emits nothing and touches only
+        // the planned build — so the hash-table counters match the
+        // prediction exactly while the output bytes are unaffected.
     }
 
     if !cache.residual.is_empty() {
@@ -348,6 +521,14 @@ pub(crate) fn eval_terms_shared(
         let mut sp = obs::span(obs::SpanKind::Operator, "materialize_operands");
         let (cache, meter) = OperandCache::build(w, def, terms)?;
         sp.attr_u64(obs::keys::PHYSICAL_ROWS, meter.physical_rows_touched);
+        sp.attr_u64(
+            obs::keys::PREDICTED_HASH_BUILDS,
+            cache.plan.predicted_builds,
+        );
+        sp.attr_u64(
+            obs::keys::PREDICTED_HASH_REUSES,
+            cache.plan.predicted_reuses,
+        );
         (cache, meter)
     };
     let workers = threads.min(terms.len());
@@ -413,4 +594,93 @@ pub(crate) fn fold_term_meter(total: &mut WorkMeter, m: &WorkMeter) {
     total.physical_rows_touched += m.physical_rows_touched;
     total.hash_tables_built += m.hash_tables_built;
     total.hash_tables_reused += m.hash_tables_reused;
+}
+
+/// The surviving terms of a `Comp` over `over_names` under the footnote-5
+/// empty-delta filter — exactly the term set the executor evaluates, and
+/// therefore the term set every static prediction must cover.
+pub fn surviving_terms(w: &Warehouse, over_names: &BTreeSet<String>) -> Vec<BTreeSet<String>> {
+    eval::nonempty_subsets(over_names)
+        .into_iter()
+        .filter(|subset| {
+            subset
+                .iter()
+                .all(|v| w.pending(v).is_some_and(|d| !d.is_empty()))
+        })
+        .collect()
+}
+
+/// Statically predicts the shared engine's hash-table counters and operand
+/// uses for one `Comp(view, over)` against the warehouse's **current**
+/// state and pending deltas. The prediction is exact: executing that
+/// `Comp` next (with term sharing on, any thread count) produces precisely
+/// `predicted_builds`/`predicted_reuses`.
+pub fn predict_comp_sharing(
+    w: &Warehouse,
+    view: &str,
+    over_names: &BTreeSet<String>,
+) -> CoreResult<CompSharingPlan> {
+    let def = w
+        .def(view)
+        .ok_or_else(|| CoreError::Warehouse(format!("no definition for {view}")))?
+        .clone();
+    let terms = surviving_terms(w, over_names);
+    let (cache, _) = OperandCache::build(w, &def, &terms)?;
+    Ok(cache.plan)
+}
+
+/// The static sharing prediction for one strategy expression.
+#[derive(Clone, Debug)]
+pub struct ExprSharingPrediction {
+    /// Target view name.
+    pub view: String,
+    /// `"comp"` or `"inst"` — matches the `expr_kind` span attribute.
+    pub kind: &'static str,
+    /// The `Comp`'s plan; zeroed for `Inst` (installs build no tables).
+    pub plan: CompSharingPlan,
+}
+
+/// Predicts the shared engine's per-expression hash-table counters for a
+/// whole strategy by replaying it on a scratch clone: each `Comp` is
+/// planned against the state the preceding expressions produce (derived
+/// deltas — and hence operand sizes and join orders — depend on it), then
+/// the expression executes to advance the clone. Validation is skipped on
+/// the single-expression steps; the strategy itself is not judged here.
+pub fn predict_strategy_sharing(
+    w: &Warehouse,
+    strategy: &Strategy,
+) -> CoreResult<Vec<ExprSharingPrediction>> {
+    let mut scratch = w.clone();
+    let mut out = Vec::with_capacity(strategy.exprs.len());
+    for expr in &strategy.exprs {
+        let pred = match expr {
+            UpdateExpr::Comp { view, over } => {
+                let name = scratch.vdag().name(*view).to_string();
+                let over_names: BTreeSet<String> = over
+                    .iter()
+                    .map(|v| scratch.vdag().name(*v).to_string())
+                    .collect();
+                let plan = predict_comp_sharing(&scratch, &name, &over_names)?;
+                ExprSharingPrediction {
+                    view: name,
+                    kind: "comp",
+                    plan,
+                }
+            }
+            UpdateExpr::Inst(v) => ExprSharingPrediction {
+                view: scratch.vdag().name(*v).to_string(),
+                kind: "inst",
+                plan: CompSharingPlan::default(),
+            },
+        };
+        out.push(pred);
+        scratch.execute_with(
+            &Strategy::from_exprs(vec![expr.clone()]),
+            crate::engine::exec::ExecOptions {
+                validate: false,
+                ..Default::default()
+            },
+        )?;
+    }
+    Ok(out)
 }

@@ -47,8 +47,9 @@ pub use calibrate::{calibrate, Calibration};
 pub use cost::{CostMetric, CostModel};
 pub use design::{greedy_select, Candidate, DesignOutcome};
 pub use engine::{
-    ExecOptions, ExecutionReport, ExprReport, InstallPublisher, PendingDelta, SummaryDelta,
-    Warehouse, WarehouseBuilder,
+    predict_comp_sharing, predict_strategy_sharing, surviving_terms, CompSharingPlan, ExecOptions,
+    ExecutionReport, ExprReport, ExprSharingPrediction, InstallPublisher, OperandUse, PendingDelta,
+    SummaryDelta, Warehouse, WarehouseBuilder,
 };
 pub use error::{CoreError, CoreResult};
 pub use estimate::StatsEstimator;
@@ -62,8 +63,8 @@ pub use parallel::{
     ParallelStrategy, StageReport,
 };
 pub use planner::{
-    min_work, min_work_single, one_way_for_ordering, prune, prune_full, MinWorkPlan, PruneOutcome,
-    PRUNE_MAX_VIEWS,
+    min_work, min_work_single, one_way_for_ordering, prune, prune_full, sharing_report,
+    MinWorkPlan, PruneOutcome, PRUNE_MAX_VIEWS,
 };
 pub use recovery::{recover, recover_with, RecoveryOutcome};
 pub use script::{expr_to_sql, predicate_to_sql, value_to_sql, ScriptGenerator, SqlProcedure};

@@ -215,6 +215,54 @@ fn prune_over(g: &Vdag, model: &CostModel<'_>, relevant: Vec<ViewId>) -> CoreRes
     Ok(out)
 }
 
+/// Runs the static sharing predictor over a strategy and lints the result:
+/// the planner-facing surface of the sharing-opportunity graph.
+///
+/// [`predict_strategy_sharing`](crate::engine::predict_strategy_sharing)
+/// replays the strategy against a scratch copy of `w`, computing for each
+/// `Comp` the exact hash-table builds/reuses the shared executor will
+/// perform; each opportunity is priced by `model` ([`CostModel::share_saving`])
+/// and the whole profile is handed to the `UWW011`–`UWW013` rules. Returns
+/// the profile (for conformance checking against a traced run) alongside
+/// the advisory report.
+pub fn sharing_report(
+    w: &crate::engine::Warehouse,
+    strategy: &Strategy,
+    model: &CostModel<'_>,
+) -> CoreResult<(uww_analysis::SharingProfile, uww_analysis::Report)> {
+    let predictions = crate::engine::predict_strategy_sharing(w, strategy)?;
+    let profile = uww_analysis::SharingProfile {
+        exprs: predictions
+            .into_iter()
+            .map(|p| uww_analysis::ExprSharingProfile {
+                view: p.view,
+                kind: p.kind.to_string(),
+                terms: p.plan.terms,
+                predicted_builds: p.plan.predicted_builds,
+                predicted_reuses: p.plan.predicted_reuses,
+                operands: p
+                    .plan
+                    .operands
+                    .into_iter()
+                    .map(|o| uww_analysis::OperandProfile {
+                        saved_rows: model.share_saving(o.rows, o.occurrences).round() as u64,
+                        source: o.source,
+                        alias: o.alias,
+                        source_idx: o.source_idx,
+                        as_delta: o.as_delta,
+                        key_cols: o.key_cols,
+                        filters: o.filters,
+                        rows: o.rows,
+                        occurrences: o.occurrences,
+                    })
+                    .collect(),
+            })
+            .collect(),
+    };
+    let report = uww_analysis::analyze_sharing(w.vdag(), strategy, &profile);
+    Ok((profile, report))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

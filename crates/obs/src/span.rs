@@ -102,6 +102,10 @@ pub mod keys {
     pub const HASH_BUILDS: &str = "hash_builds";
     /// Meter delta: hash tables served from the intern cache.
     pub const HASH_REUSES: &str = "hash_reuses";
+    /// Statically predicted hash-table builds for a `Comp`'s term set.
+    pub const PREDICTED_HASH_BUILDS: &str = "predicted_hash_builds";
+    /// Statically predicted hash-table reuses for a `Comp`'s term set.
+    pub const PREDICTED_HASH_REUSES: &str = "predicted_hash_reuses";
     /// `1` on expression spans reconstructed from the WAL during recovery.
     pub const REPLAYED: &str = "replayed";
     /// WAL record sequence number.

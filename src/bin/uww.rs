@@ -9,8 +9,9 @@
 //!              [--term-threads N] [--no-term-sharing]
 //!              [--trace-out FILE] [--timeline]
 //! uww recover  DIR
-//! uww analyze  [--scenario ...] [--scale F] [--planner ...]
+//! uww analyze  [--scenario ...] [--scale F] [--frac F] [--planner ...]
 //!              [--strategy "Comp(V,{A});..."] [--stages "...|..."] [--json]
+//!              [--sharing] [--verify-against TRACE.json]
 //! uww script   [--scenario ...] [--scale F] [--frac F]
 //! uww dot      [--scenario ...] [--scale F] [--graph vdag|eg]
 //! uww olap     [--scenario ...] [--scale F] [--frac F] [--isolation strict|low]
@@ -45,6 +46,14 @@
 //! update-window timeline with planner-predicted vs measured work.
 //! `serve --metrics` prints each regime's final Prometheus scrape (the
 //! server's `METRICS` response). See `docs/OBSERVABILITY.md`.
+//!
+//! `analyze --sharing` adds the sharing-opportunity pass (`UWW011`–`UWW013`):
+//! the engine's static prediction of every hash-table build and reuse the
+//! shared executor will perform, priced by the cost model. `analyze --stages`
+//! always includes the interference pass (`UWW014`). `--verify-against
+//! TRACE.json` replays a `run --trace-out` trace against the prediction and
+//! fails on any divergence — use the same scenario/scale/frac/planner flags
+//! for both commands. See `docs/ANALYSIS.md`.
 
 use std::process::ExitCode;
 use uww::core::{
@@ -76,6 +85,8 @@ struct Args {
     trace_out: Option<String>,
     timeline: bool,
     metrics: bool,
+    sharing: bool,
+    verify_against: Option<String>,
 }
 
 impl Default for Args {
@@ -104,6 +115,8 @@ impl Default for Args {
             trace_out: None,
             timeline: false,
             metrics: false,
+            sharing: false,
+            verify_against: None,
         }
     }
 }
@@ -134,6 +147,13 @@ fn parse_args(argv: &[String]) -> Result<(String, Args), String> {
                 args.trace_out = Some(v.clone());
             }
             "--no-term-sharing" => args.term_sharing = false,
+            "--sharing" => args.sharing = true,
+            "--verify-against" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "missing value for --verify-against".to_string())?;
+                args.verify_against = Some(v.clone());
+            }
             "--term-threads" => {
                 let v = it
                     .next()
@@ -481,33 +501,168 @@ fn cmd_recover(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Outcome of replaying a traced run against the static sharing prediction.
+struct Conformance {
+    expressions: usize,
+    divergences: Vec<String>,
+}
+
+/// Compares a traced run's per-expression hash counters against the static
+/// profile, position by position. Exact equality is required: the engine's
+/// intern policy is fully static, so any slack would hide a real divergence.
+fn check_conformance(
+    profile: &uww::analysis::SharingProfile,
+    measured: &[uww::obs::chrome::ExprCounters],
+) -> Conformance {
+    let mut div = Vec::new();
+    if profile.exprs.len() != measured.len() {
+        div.push(format!(
+            "expression count: {} predicted vs {} traced",
+            profile.exprs.len(),
+            measured.len()
+        ));
+    }
+    for (i, (p, m)) in profile.exprs.iter().zip(measured).enumerate() {
+        if p.view != m.view || p.kind != m.kind {
+            div.push(format!(
+                "expr {i}: predicted {} of {} vs traced {} of {}",
+                p.kind, p.view, m.kind, m.view
+            ));
+            continue;
+        }
+        if p.predicted_builds != m.hash_builds {
+            div.push(format!(
+                "expr {i} ({} {}): {} predicted hash builds vs {} measured",
+                p.kind, p.view, p.predicted_builds, m.hash_builds
+            ));
+        }
+        if p.predicted_reuses != m.hash_reuses {
+            div.push(format!(
+                "expr {i} ({} {}): {} predicted hash reuses vs {} measured",
+                p.kind, p.view, p.predicted_reuses, m.hash_reuses
+            ));
+        }
+    }
+    Conformance {
+        expressions: measured.len(),
+        divergences: div,
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn conformance_json(c: &Conformance) -> String {
+    let divs: Vec<String> = c
+        .divergences
+        .iter()
+        .map(|d| format!("\"{}\"", json_escape(d)))
+        .collect();
+    format!(
+        "{{\"expressions\":{},\"ok\":{},\"divergences\":[{}]}}",
+        c.expressions,
+        c.divergences.is_empty(),
+        divs.join(",")
+    )
+}
+
 fn cmd_analyze(args: &Args) -> Result<(), String> {
-    let sc = build_scenario(args)?;
-    let g = sc.warehouse.vdag();
-    let (report, label) = if let Some(text) = &args.stages_text {
-        let stages = uww::analysis::parse_stages(g, text)?;
-        (
-            uww::analysis::analyze_parallel(g, &stages),
-            format!("parallel strategy ({} stages)", stages.len()),
-        )
-    } else if let Some(text) = &args.strategy_text {
-        let s = uww::analysis::parse_strategy(g, text)?;
-        (uww::analysis::analyze(g, &s), "given strategy".to_string())
-    } else {
-        let (strategy, label) = pick_strategy(&sc, args)?;
-        (uww::analysis::analyze(g, &strategy), label)
+    // --verify-against implies the sharing pass (it checks its prediction);
+    // both need the change batch loaded so prediction sees the same deltas
+    // the traced run saw.
+    let sharing = args.sharing || args.verify_against.is_some();
+    let mut sc = build_scenario(args)?;
+    if sharing {
+        load_changes(&mut sc, args)?;
+    }
+    let (mut report, label, strategy) = {
+        let g = sc.warehouse.vdag();
+        if let Some(text) = &args.stages_text {
+            let stages = uww::analysis::parse_stages(g, text)?;
+            let report = uww::analysis::analyze_parallel(g, &stages)
+                .merge(uww::analysis::analyze_interference(g, &stages));
+            let lin: Vec<_> = stages.iter().flatten().cloned().collect();
+            (
+                report,
+                format!("parallel strategy ({} stages)", stages.len()),
+                Strategy::from_exprs(lin),
+            )
+        } else if let Some(text) = &args.strategy_text {
+            let s = uww::analysis::parse_strategy(g, text)?;
+            (
+                uww::analysis::analyze(g, &s),
+                "given strategy".to_string(),
+                s,
+            )
+        } else {
+            let (s, label) = pick_strategy(&sc, args)?;
+            (uww::analysis::analyze(g, &s), label, s)
+        }
+    };
+    let mut profile = None;
+    if sharing {
+        let sizes = SizeCatalog::estimate(&sc.warehouse).map_err(|e| e.to_string())?;
+        let model = CostModel::new(sc.warehouse.vdag(), &sizes);
+        let (p, shr) = uww::core::sharing_report(&sc.warehouse, &strategy, &model)
+            .map_err(|e| e.to_string())?;
+        report = report.merge(shr);
+        profile = Some(p);
+    }
+    let conformance = match (&args.verify_against, &profile) {
+        (Some(path), Some(p)) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+            let measured = uww::obs::chrome::expression_counters(&text)?;
+            Some(check_conformance(p, &measured))
+        }
+        _ => None,
     };
     if args.json {
-        println!("{}", report.to_json());
+        match &conformance {
+            Some(c) => println!(
+                "{{\"report\":{},\"conformance\":{}}}",
+                report.to_json(),
+                conformance_json(c)
+            ),
+            None => println!("{}", report.to_json()),
+        }
     } else {
         println!("analyzing {label}:");
         print!("{}", report.render_text());
+        if let Some(p) = &profile {
+            println!(
+                "sharing: {} predicted hash build(s), {} predicted reuse(s) across {} expression(s)",
+                p.predicted_builds(),
+                p.predicted_reuses(),
+                p.exprs.len(),
+            );
+        }
+        if let Some(c) = &conformance {
+            if c.divergences.is_empty() {
+                println!(
+                    "conformance: traced run matches static prediction over {} expression(s)",
+                    c.expressions
+                );
+            } else {
+                for d in &c.divergences {
+                    println!("conformance divergence: {d}");
+                }
+            }
+        }
     }
     if report.has_errors() {
         return Err(format!(
             "{} error(s): the strategy would produce incorrect view extents",
             report.error_count()
         ));
+    }
+    if let Some(c) = &conformance {
+        if !c.divergences.is_empty() {
+            return Err(format!(
+                "conformance: {} divergence(s) between static prediction and the traced run",
+                c.divergences.len()
+            ));
+        }
     }
     Ok(())
 }
@@ -751,7 +906,8 @@ const USAGE: &str = "usage: uww <info|plan|run|analyze|script|dot|olap|serve|exp
 [--strategy \"Comp(V,{A,B}); Inst(A); ...\"] [--stages \"stage | stage | ...\"] [--json] \
 [--wal DIR] [--fsync always|never] [--fault crash:K|torn:K|dup:K|dirsync] \
 [--term-threads N] [--no-term-sharing] \
-[--trace-out FILE] [--timeline] [--metrics]\n\
+[--trace-out FILE] [--timeline] [--metrics] \
+[--sharing] [--verify-against TRACE.json]\n\
        uww recover DIR";
 
 fn main() -> ExitCode {
