@@ -53,4 +53,6 @@ pub use analyzer::{
 pub use diag::{Diagnostic, Report, Rule, Severity};
 pub use interference::{analyze_interference, reads, writes, Loc};
 pub use parse::{parse_expr, parse_stages, parse_strategy};
-pub use sharing::{analyze_sharing, ExprSharingProfile, OperandProfile, SharingProfile};
+pub use sharing::{
+    analyze_sharing, modifies_operand, ExprSharingProfile, OperandProfile, SharingProfile,
+};

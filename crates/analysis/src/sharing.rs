@@ -95,6 +95,12 @@ pub struct ExprSharingProfile {
     pub predicted_builds: u64,
     /// Hash-table reuses the shared engine will record.
     pub predicted_reuses: u64,
+    /// Of `predicted_reuses`, join steps served from a hash table built by
+    /// an *earlier expression* (zero outside strategy-scope caching).
+    pub predicted_cross_reuses: u64,
+    /// Raw operand reads the strategy-scope cache serves without touching
+    /// the stored/delta extent (zero outside strategy-scope caching).
+    pub predicted_cached_reads: u64,
     /// Every distinct keyed operand use.
     pub operands: Vec<OperandProfile>,
 }
@@ -116,6 +122,16 @@ impl SharingProfile {
     /// Total predicted hash-table reuses across the strategy.
     pub fn predicted_reuses(&self) -> u64 {
         self.exprs.iter().map(|e| e.predicted_reuses).sum()
+    }
+
+    /// Total predicted cross-expression hash-table reuses.
+    pub fn predicted_cross_reuses(&self) -> u64 {
+        self.exprs.iter().map(|e| e.predicted_cross_reuses).sum()
+    }
+
+    /// Total predicted strategy-cache-served raw operand reads.
+    pub fn predicted_cached_reads(&self) -> u64 {
+        self.exprs.iter().map(|e| e.predicted_cached_reads).sum()
     }
 }
 
@@ -201,42 +217,55 @@ pub fn analyze_sharing(g: &Vdag, s: &Strategy, profile: &SharingProfile) -> Repo
         }
     }
 
-    // UWW012: two Comps, identical identity, operand unmodified in between.
-    for (i, (ei, pi)) in s.exprs.iter().zip(&profile.exprs).enumerate() {
-        if !matches!(ei, UpdateExpr::Comp { .. }) {
+    // UWW012: a Comp rebuilds a table an earlier Comp built, with the
+    // operand unmodified in between. Each rebuild is attributed to the
+    // *first* builder of its live run — the table a strategy-wide cache
+    // actually holds — so a chain of n sharing Comps prices n−1 avoided
+    // rebuilds, not the n(n−1)/2 a pairwise walk would double-count.
+    for (j, (ej, pj)) in s.exprs.iter().zip(&profile.exprs).enumerate() {
+        if !matches!(ej, UpdateExpr::Comp { .. }) {
             continue;
         }
-        for (j, (ej, pj)) in s.exprs.iter().zip(&profile.exprs).enumerate().skip(i + 1) {
-            if !matches!(ej, UpdateExpr::Comp { .. }) {
-                continue;
-            }
-            for oi in &pi.operands {
-                let Some(oj) = pj.operands.iter().find(|o| o.identity() == oi.identity()) else {
-                    continue;
-                };
-                if (i + 1..j).any(|p| modifies_operand(g, &s.exprs[p], &oi.source, oi.as_delta)) {
-                    continue;
-                }
-                out.push(Diagnostic {
-                    rule: Rule::CrossCompShare,
-                    severity: Severity::Warning,
-                    message: format!(
-                        "{} rebuilds the hash table over {} ({} rows) that {} already built, \
-                         with {} unmodified in between; a strategy-wide operand cache would \
-                         reuse it (~{} rows saved)",
-                        safe_expr(g, ej),
-                        oi.label(),
-                        oj.rows,
-                        safe_expr(g, ei),
-                        oi.source,
-                        oj.rows,
-                    ),
-                    primary: Some(j),
-                    primary_label: "cross-Comp rebuild of an unchanged operand".to_string(),
-                    related: vec![(i, "same hash table first built here".to_string())],
-                    views: vec![pi.view.clone(), pj.view.clone(), oi.source.clone()],
+        for oj in &pj.operands {
+            let builder = s
+                .exprs
+                .iter()
+                .zip(&profile.exprs)
+                .enumerate()
+                .take(j)
+                .find_map(|(i, (ei, pi))| {
+                    if !matches!(ei, UpdateExpr::Comp { .. }) {
+                        return None;
+                    }
+                    pi.operands.iter().find(|o| o.identity() == oj.identity())?;
+                    if (i + 1..j).any(|p| modifies_operand(g, &s.exprs[p], &oj.source, oj.as_delta))
+                    {
+                        return None;
+                    }
+                    Some((i, ei, pi))
                 });
-            }
+            let Some((i, ei, pi)) = builder else {
+                continue;
+            };
+            out.push(Diagnostic {
+                rule: Rule::CrossCompShare,
+                severity: Severity::Warning,
+                message: format!(
+                    "{} rebuilds the hash table over {} ({} rows) that {} already built, \
+                     with {} unmodified in between; a strategy-wide operand cache would \
+                     reuse it (~{} rows saved)",
+                    safe_expr(g, ej),
+                    oj.label(),
+                    oj.rows,
+                    safe_expr(g, ei),
+                    oj.source,
+                    oj.rows,
+                ),
+                primary: Some(j),
+                primary_label: "cross-Comp rebuild of an unchanged operand".to_string(),
+                related: vec![(i, "same hash table first built here".to_string())],
+                views: vec![pi.view.clone(), pj.view.clone(), oj.source.clone()],
+            });
         }
     }
 
@@ -247,7 +276,14 @@ pub fn analyze_sharing(g: &Vdag, s: &Strategy, profile: &SharingProfile) -> Repo
 /// Whether executing `e` changes the contents of the given operand form of
 /// `source`: the stored extent changes only at `Inst(source)`; the pending
 /// delta changes when a `Comp` extends it or an `Inst` consumes it.
-fn modifies_operand(g: &Vdag, e: &UpdateExpr, source: &str, as_delta: bool) -> bool {
+///
+/// This predicate is the single liveness source of truth for cross-`Comp`
+/// sharing: `UWW012` uses it to decide which rebuild opportunities are
+/// live, and the engine's `StrategyCache` uses the *same* predicate to
+/// invalidate cached materializations and hash tables after each executed
+/// expression — so anything the analyzer prices is exactly what the cache
+/// may legally serve.
+pub fn modifies_operand(g: &Vdag, e: &UpdateExpr, source: &str, as_delta: bool) -> bool {
     match e {
         UpdateExpr::Inst(v) => safe_name(g, *v) == source,
         UpdateExpr::Comp { view, .. } => as_delta && safe_name(g, *view) == source,
@@ -285,6 +321,8 @@ mod tests {
             terms: 3,
             predicted_builds: builds,
             predicted_reuses: reuses,
+            predicted_cross_reuses: 0,
+            predicted_cached_reads: 0,
             operands,
         }
     }
@@ -296,6 +334,8 @@ mod tests {
             terms: 0,
             predicted_builds: 0,
             predicted_reuses: 0,
+            predicted_cross_reuses: 0,
+            predicted_cached_reads: 0,
             operands: vec![],
         }
     }
@@ -381,6 +421,73 @@ mod tests {
                 .count(),
             0
         );
+    }
+
+    #[test]
+    fn transitive_chain_prices_each_rebuild_once() {
+        let g = figure3_vdag();
+        let v4 = g.id_of("V4").unwrap();
+        let v5 = g.id_of("V5").unwrap();
+        let v2 = g.id_of("V2").unwrap();
+        let shared = || op("V1", 0, false, 1);
+        // Three Comps sharing one live table: a pairwise walk would price
+        // 3 savings; the cache realizes exactly 2 (one per rebuild).
+        let s = Strategy::from_exprs(vec![
+            UpdateExpr::comp1(v4, v2),
+            UpdateExpr::comp1(v5, v2),
+            UpdateExpr::comp1(v4, v2),
+        ]);
+        let profile = SharingProfile {
+            exprs: vec![
+                comp_profile("V4", vec![shared()]),
+                comp_profile("V5", vec![shared()]),
+                comp_profile("V4", vec![shared()]),
+            ],
+        };
+        let r = analyze_sharing(&g, &s, &profile);
+        let cross: Vec<_> = r
+            .diagnostics
+            .iter()
+            .filter(|d| d.rule == Rule::CrossCompShare)
+            .collect();
+        assert_eq!(cross.len(), 2);
+        // Both rebuilds are attributed to the first live builder (expr 0),
+        // and each prices one avoided 100-row build.
+        for d in &cross {
+            assert_eq!(
+                d.related,
+                vec![(0, "same hash table first built here".to_string())]
+            );
+            assert!(d.message.contains("~100 rows saved"));
+        }
+
+        // An Inst(V1) mid-chain splits the live run: the last Comp is
+        // attributed to the post-install builder, not the first.
+        let v1 = g.id_of("V1").unwrap();
+        let s2 = Strategy::from_exprs(vec![
+            UpdateExpr::comp1(v4, v2),
+            UpdateExpr::comp1(v5, v2),
+            UpdateExpr::inst(v1),
+            UpdateExpr::comp1(v4, v2),
+            UpdateExpr::comp1(v5, v2),
+        ]);
+        let profile2 = SharingProfile {
+            exprs: vec![
+                comp_profile("V4", vec![shared()]),
+                comp_profile("V5", vec![shared()]),
+                inst_profile("V1"),
+                comp_profile("V4", vec![shared()]),
+                comp_profile("V5", vec![shared()]),
+            ],
+        };
+        let r2 = analyze_sharing(&g, &s2, &profile2);
+        let related: Vec<usize> = r2
+            .diagnostics
+            .iter()
+            .filter(|d| d.rule == Rule::CrossCompShare)
+            .map(|d| d.related[0].0)
+            .collect();
+        assert_eq!(related, vec![0, 3]);
     }
 
     #[test]

@@ -74,6 +74,18 @@ impl<'a> CostModel<'a> {
         self.comp_coeff * rows as f64 * occurrences.saturating_sub(1) as f64
     }
 
+    /// Prices a *cross*-expression sharing opportunity (strategy-scope
+    /// cache): a `Comp` that probes a table published by an earlier
+    /// expression avoids one `c · rows` hash build per consumed key. The
+    /// publisher pays nothing extra under the linear metric — a keyed join
+    /// charges build + probe over both sides whichever side is built — so
+    /// the saving is the whole of it. `rows` is the total filtered rows of
+    /// the consumed keys
+    /// ([`StrategySharingPlan::cross_saved_rows`](crate::engine::StrategySharingPlan::cross_saved_rows)).
+    pub fn cross_share_saving(&self, rows: u64) -> f64 {
+        self.comp_coeff * rows as f64
+    }
+
     /// Total predicted work of a strategy.
     pub fn strategy_work(&self, s: &Strategy) -> f64 {
         self.per_expression_work(s).into_iter().sum()

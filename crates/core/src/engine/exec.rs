@@ -33,6 +33,13 @@ pub struct ExecOptions {
     /// inline). Effective only with `term_sharing`; terms are read-only and
     /// independent, so results are deterministic regardless.
     pub term_threads: usize,
+    /// Share operand materializations and hash-join build tables *across*
+    /// expressions through a strategy-scope cache (default: off). Requires
+    /// `term_sharing`; invalidation follows the `UWW012` liveness predicate,
+    /// so deltas, WAL bytes, and the logical meter are byte-identical to
+    /// per-`Comp` caching — only `physical_rows_touched`,
+    /// `hash_tables_cross_reused`, and `operand_reads_cached` move.
+    pub strategy_sharing: bool,
     /// Planner-predicted linear work per expression, in execution (manifest)
     /// order — attached to expression spans when tracing is enabled so
     /// traces and the timeline report show predicted vs measured work
@@ -48,6 +55,7 @@ impl Default for ExecOptions {
             wal: None,
             term_sharing: true,
             term_threads: 0,
+            strategy_sharing: false,
             predicted_work: None,
         }
     }
@@ -116,7 +124,8 @@ impl ExecutionReport {
                 "{{\"operand_rows_scanned\":{},\"rows_installed\":{},\"rows_emitted\":{},\
                  \"terms_evaluated\":{},\"comp_expressions\":{},\"inst_expressions\":{},\
                  \"physical_rows_touched\":{},\"hash_tables_built\":{},\
-                 \"hash_tables_reused\":{}}}",
+                 \"hash_tables_reused\":{},\"hash_tables_cross_reused\":{},\
+                 \"operand_reads_cached\":{}}}",
                 m.operand_rows_scanned,
                 m.rows_installed,
                 m.rows_emitted,
@@ -125,7 +134,9 @@ impl ExecutionReport {
                 m.inst_expressions,
                 m.physical_rows_touched,
                 m.hash_tables_built,
-                m.hash_tables_reused
+                m.hash_tables_reused,
+                m.hash_tables_cross_reused,
+                m.operand_reads_cached
             )
         }
         fn json_str(s: &str) -> String {
@@ -213,6 +224,17 @@ impl Warehouse {
             }
             None => None,
         };
+        // Strategy-scope sharing is planned statically before anything runs:
+        // the directives fix exactly which keyed builds cross expression
+        // boundaries, so measured cross counters equal the plan.
+        let scache = if opts.strategy_sharing && opts.term_sharing {
+            Some(
+                share::plan_strategy_sharing(self, strategy, share::SharingScope::Strategy)?
+                    .cache(),
+            )
+        } else {
+            None
+        };
         let mut run_span = obs::span(obs::SpanKind::Run, "execute");
         run_span.attr_u64("expressions", strategy.exprs.len() as u64);
         let items: Vec<(usize, usize, UpdateExpr)> = strategy
@@ -226,6 +248,7 @@ impl Warehouse {
             None,
             &mut wal,
             opts.term_options(),
+            scache.as_ref(),
             opts.predicted_work.as_deref(),
         )?;
         if let Some(w) = &mut wal {
@@ -244,6 +267,7 @@ impl Warehouse {
         mut last_stage: Option<usize>,
         wal: &mut Option<WalWriter>,
         topts: TermOptions,
+        scache: Option<&share::StrategyCache>,
         predicted: Option<&[f64]>,
     ) -> CoreResult<ExecutionReport> {
         let mut report = ExecutionReport::default();
@@ -267,12 +291,22 @@ impl Warehouse {
             let start_meter = *self.meter();
             let t0 = Instant::now();
             match expr {
-                UpdateExpr::Comp { view, over } => {
-                    self.exec_comp_journaled(*view, over, *idx, wal, topts)?
-                }
+                UpdateExpr::Comp { view, over } => self.exec_comp_journaled(
+                    *view,
+                    over,
+                    *idx,
+                    wal,
+                    topts,
+                    scache.map(|c| (c, *idx)),
+                )?,
                 UpdateExpr::Inst(view) => {
                     self.exec_inst_journaled(*view, *idx, wal)?;
                 }
+            }
+            // Drop strategy-cache entries this expression invalidated —
+            // the same liveness walk the static plan performed.
+            if let Some(c) = scache {
+                c.invalidate_after(self.vdag(), expr);
             }
             let work = self.meter().since(&start_meter);
             meter_attrs(&mut span, &work);
@@ -339,11 +373,12 @@ impl Warehouse {
         idx: usize,
         wal: &mut Option<WalWriter>,
         topts: TermOptions,
+        scache: Option<(&share::StrategyCache, usize)>,
     ) -> CoreResult<()> {
         if let Some(w) = wal {
             w.append(&RecordBody::CompStart(idx))?;
         }
-        let (name, fragment, meter) = comp_fragment(self, view, over, topts)?;
+        let (name, fragment, meter) = comp_fragment(self, view, over, topts, scache)?;
         if let Some(w) = wal {
             let payload = encode_pending(&fragment);
             w.append(&RecordBody::CompDone {
@@ -466,6 +501,8 @@ pub(crate) fn meter_attrs(span: &mut obs::Span, work: &WorkMeter) {
     span.attr_u64(obs::keys::PHYSICAL_ROWS, work.physical_rows_touched);
     span.attr_u64(obs::keys::HASH_BUILDS, work.hash_tables_built);
     span.attr_u64(obs::keys::HASH_REUSES, work.hash_tables_reused);
+    span.attr_u64(obs::keys::HASH_CROSS_REUSES, work.hash_tables_cross_reused);
+    span.attr_u64(obs::keys::CACHED_READS, work.operand_reads_cached);
 }
 
 /// Display label for a maintenance term: the delta subset it scans.
@@ -496,11 +533,16 @@ pub(crate) fn term_label(subset: &BTreeSet<String>) -> String {
 /// otherwise each term re-scans its operands, the historical baseline. Both
 /// paths produce byte-identical fragments and identical logical meters —
 /// only the physical counters differ.
+/// `scache` attaches the strategy-scope cache together with this
+/// expression's strategy position (for its planned directives); only the
+/// shared path consults it — the per-term baseline, the parallel stage
+/// executor, and recovery replay all pass `None`.
 pub(crate) fn comp_fragment(
     w: &Warehouse,
     view: ViewId,
     over: &BTreeSet<ViewId>,
     topts: TermOptions,
+    scache: Option<(&share::StrategyCache, usize)>,
 ) -> CoreResult<(String, PendingDelta, WorkMeter)> {
     let name = w.vdag().name(view).to_string();
     let def = w
@@ -518,7 +560,7 @@ pub(crate) fn comp_fragment(
 
     let mut fragment = w.empty_pending_for(&name)?;
     if topts.share {
-        let (outs, total) = share::eval_terms_shared(w, &def, &terms, topts.threads)?;
+        let (outs, total) = share::eval_terms_shared(w, &def, &terms, topts.threads, scache)?;
         for out in outs {
             match (out, &mut fragment) {
                 (share::TermOut::Rows(rows), PendingDelta::Rows(acc)) => {

@@ -29,8 +29,9 @@ pub use exec::{ExecOptions, ExecutionReport, ExprReport};
 pub use explain::{render_explain, ExprPlan, TermPlan};
 pub use publish::InstallPublisher;
 pub use share::{
-    predict_comp_sharing, predict_strategy_sharing, surviving_terms, CompSharingPlan,
-    ExprSharingPrediction, OperandUse,
+    plan_strategy_sharing, predict_comp_sharing, predict_strategy_sharing, surviving_terms,
+    CompSharingPlan, ExprSharingPrediction, OperandUse, SharedIdentity, SharingScope,
+    StrategySharingPlan,
 };
 pub use summary::{stored_aggregate_schema, SummaryDelta, COUNT_COLUMN};
 pub use warehouse::{PendingDelta, Warehouse, WarehouseBuilder};

@@ -39,6 +39,19 @@
 //!   performs every planned join step even when an intermediate empties
 //!   (joining an empty side costs nothing and emits nothing), so the
 //!   hash-table counters never drift below the static prediction.
+//!
+//! **Strategy scope.** A [`StrategyCache`] lifts both reuse axes across
+//! `Comp` boundaries: raw `(view, role)` materializations and hash-join
+//! build tables keyed by [`SharedIdentity`] survive from one expression to
+//! the next until an expression *modifies* the underlying operand —
+//! decided by `uww_analysis::modifies_operand`, the same liveness predicate
+//! the `UWW012` analyzer rule prices. Which keys consume an earlier table
+//! and which publish one for later expressions is fixed statically by
+//! [`plan_strategy_sharing`] (a lookahead over the replayed per-`Comp`
+//! plans), so the cross-expression counters are exact by construction and
+//! the executed bytes never depend on cache state: equal identity over an
+//! unmodified operand means element-identical filtered rows, hence an
+//! interchangeable build table.
 
 use crate::engine::eval;
 use crate::engine::exec::{meter_attrs, term_label};
@@ -49,7 +62,7 @@ use std::sync::{Arc, Mutex};
 use uww_obs as obs;
 use uww_relational::ops::{self, BuiltTable, GroupAcc, SignedRows};
 use uww_relational::{RelResult, Schema, Tuple, ViewDef, ViewOutput, WorkMeter};
-use uww_vdag::{Strategy, UpdateExpr};
+use uww_vdag::{Strategy, UpdateExpr, Vdag};
 
 /// How a `Comp`'s term set is evaluated.
 #[derive(Clone, Copy, Debug)]
@@ -106,6 +119,27 @@ pub struct OperandUse {
     pub occurrences: u64,
 }
 
+/// The strategy-scope sharing identity of a keyed build: everything the
+/// table's contents depend on — source view, role, key column names (alias
+/// qualified), and the rendered pushed-down filters — but *not* the source
+/// position, so identical uses from different view definitions match. Two
+/// uses with equal identity over an operand no expression modified in
+/// between materialize element-identical filtered rows and therefore build
+/// interchangeable hash tables.
+pub type SharedIdentity = (String, bool, Vec<String>, Vec<String>);
+
+impl OperandUse {
+    /// This use's strategy-scope sharing identity.
+    pub fn identity(&self) -> SharedIdentity {
+        (
+            self.source.clone(),
+            self.as_delta,
+            self.key_cols.clone(),
+            self.filters.clone(),
+        )
+    }
+}
+
 /// The static sharing plan of one `Comp`: the exact hash-table counters the
 /// shared engine will produce, plus every distinct keyed operand use.
 #[derive(Clone, Debug, Default)]
@@ -116,8 +150,117 @@ pub struct CompSharingPlan {
     pub predicted_builds: u64,
     /// Reuses the shared engine will record — extra uses of shared keys.
     pub predicted_reuses: u64,
+    /// Of `predicted_reuses`, join steps served from a hash table built by
+    /// an *earlier expression* (strategy scope only; zero otherwise).
+    pub cross_reuses: u64,
+    /// Raw operand reads served from the strategy-scope cache instead of
+    /// re-scanning the stored/delta extent (strategy scope only).
+    pub cached_reads: u64,
+    /// Filtered rows of the consumed keys — the hash builds this `Comp`
+    /// avoids by probing earlier expressions' tables, which is what
+    /// [`CostModel::cross_share_saving`](crate::cost::CostModel::cross_share_saving)
+    /// prices (strategy scope only).
+    pub cross_saved_rows: u64,
+    /// Distinct raw `(view, as-delta)` reads the materialization performs,
+    /// sorted — the strategy cache's unit of materialization reuse.
+    pub reads: Vec<(String, bool)>,
     /// One entry per distinct keyed build, sorted by key.
     pub operands: Vec<OperandUse>,
+}
+
+/// The statically planned cache directives for one strategy expression:
+/// which build identities this `Comp` serves from an earlier expression's
+/// table, and which it must intern and publish because a later live
+/// expression will consume them. Empty for `Inst` and for every
+/// expression when strategy-scope sharing is off.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct CompCacheDirectives {
+    /// Identities served from a table built by an earlier expression.
+    consume: HashSet<SharedIdentity>,
+    /// Identities to intern locally and publish for later expressions.
+    publish: HashSet<SharedIdentity>,
+}
+
+/// Strategy-scope operand cache: raw materializations and build tables
+/// that survive across `Comp` boundaries until the operand is modified.
+///
+/// The cache is *directive-driven*: [`plan_strategy_sharing`] fixes, per
+/// expression, exactly which identities consume and which publish, so the
+/// measured cross-expression counters equal the static plan by
+/// construction. After every executed expression the owner must call
+/// [`StrategyCache::invalidate_after`], which drops entries through the
+/// same `uww_analysis::modifies_operand` predicate the `UWW012` analyzer
+/// rule prices — an operand an `Inst` (or delta-extending `Comp`) touched
+/// can never serve a stale copy.
+/// Live raw `(view, as-delta)` materializations, with the raw extent
+/// length the logical metric charges per term.
+type RawCache = HashMap<(String, bool), (Arc<SignedRows>, u64)>;
+
+pub(crate) struct StrategyCache {
+    /// Per-expression directives, indexed by strategy position.
+    directives: Vec<CompCacheDirectives>,
+    /// Live build tables by identity.
+    tables: Mutex<HashMap<SharedIdentity, Arc<BuiltTable>>>,
+    raws: Mutex<RawCache>,
+}
+
+impl StrategyCache {
+    /// A cache primed with the plan's per-expression directives.
+    pub(crate) fn new(directives: Vec<CompCacheDirectives>) -> StrategyCache {
+        StrategyCache {
+            directives,
+            tables: Mutex::new(HashMap::new()),
+            raws: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn directives(&self, idx: usize) -> Option<&CompCacheDirectives> {
+        self.directives.get(idx)
+    }
+
+    fn raw_get(&self, view: &str, as_delta: bool) -> Option<(Arc<SignedRows>, u64)> {
+        self.raws
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&(view.to_string(), as_delta))
+            .cloned()
+    }
+
+    fn raw_put(&self, key: (String, bool), entry: (Arc<SignedRows>, u64)) {
+        self.raws
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(key, entry);
+    }
+
+    fn table_get(&self, id: &SharedIdentity) -> Option<Arc<BuiltTable>> {
+        self.tables
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(id)
+            .cloned()
+    }
+
+    fn table_put(&self, id: SharedIdentity, t: Arc<BuiltTable>) {
+        self.tables
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(id, t);
+    }
+
+    /// Drops every cached entry whose operand `e` modified — the executor
+    /// calls this after each expression completes, mirroring the liveness
+    /// walk the static plan performed.
+    pub(crate) fn invalidate_after(&self, g: &Vdag, e: &UpdateExpr) {
+        self.tables
+            .lock()
+            .unwrap_or_else(|er| er.into_inner())
+            .retain(|id, _| !uww_analysis::modifies_operand(g, e, &id.0, id.1));
+        self.raws
+            .lock()
+            .unwrap_or_else(|er| er.into_inner())
+            .retain(|key, _| !uww_analysis::modifies_operand(g, e, &key.0, key.1));
+    }
 }
 
 /// Per-`Comp` cache of materialized operands and interned build tables.
@@ -125,7 +268,10 @@ pub struct CompSharingPlan {
 /// Built once per `Comp` from the terms that will actually run, so a
 /// `Comp` whose every term is skipped (empty deltas, footnote 5) still
 /// costs nothing. Shared by reference across term-evaluation threads.
-pub(crate) struct OperandCache {
+/// When a [`StrategyCache`] is attached, raw reads are served from (and
+/// published to) it, and the plan's consume/publish directives route keyed
+/// builds through the strategy-scope table store.
+pub(crate) struct OperandCache<'a> {
     /// Qualified schema per source, as `eval_term` computes it.
     qschemas: Vec<Schema>,
     /// Indices into `def.filters` that span multiple sources — applied
@@ -134,9 +280,18 @@ pub(crate) struct OperandCache {
     /// `[stored, delta]` slot per source index; `None` when no surviving
     /// term uses that role.
     slots: Vec<[Option<CachedOperand>; 2]>,
-    /// Build keys the static plan marked shared (≥ 2 uses across terms);
-    /// only these route through the intern table.
+    /// Build keys the static plan marked shared (≥ 2 uses across terms, or
+    /// published for later expressions); only these route through the
+    /// intern table.
     shared: HashSet<TableKey>,
+    /// Keys served from the strategy cache: every use is a cross-reuse and
+    /// no local build happens.
+    consume: HashMap<TableKey, SharedIdentity>,
+    /// Keys whose first (local, interned) build is also published to the
+    /// strategy cache for later expressions.
+    publish: HashMap<TableKey, SharedIdentity>,
+    /// The attached strategy-scope cache, when strategy sharing is on.
+    strategy: Option<&'a StrategyCache>,
     /// The static plan itself, for prediction consumers.
     plan: CompSharingPlan,
     /// Interned build tables: `(source, as_delta, key columns)` → table.
@@ -145,18 +300,23 @@ pub(crate) struct OperandCache {
     tables: Mutex<HashMap<TableKey, Arc<BuiltTable>>>,
 }
 
-impl OperandCache {
+impl<'a> OperandCache<'a> {
     /// Materializes every operand role the surviving `terms` need and
     /// simulates every term's join sequence to fix the shared-key set. The
     /// returned meter carries the *physical* cost of materialization; the
     /// logical scans are charged per term during evaluation. Operands are
     /// read once per distinct `(view, role)` — aliased self-join sources
     /// share the raw read and diverge only in their pushed-down filters.
+    ///
+    /// With `strategy = Some((cache, idx))`, raw reads consult and feed the
+    /// strategy cache, and the expression's planned directives decide which
+    /// keyed builds consume an earlier table or publish their own.
     pub(crate) fn build(
         w: &Warehouse,
         def: &ViewDef,
         terms: &[BTreeSet<String>],
-    ) -> CoreResult<(OperandCache, WorkMeter)> {
+        strategy: Option<(&'a StrategyCache, usize)>,
+    ) -> CoreResult<(OperandCache<'a>, WorkMeter)> {
         let n = def.sources.len();
         let state = w.state();
         let pending = w.pending_map();
@@ -203,15 +363,33 @@ impl OperandCache {
                 let (rows, raw_len) = match raw.get(&key) {
                     Some(hit) => hit.clone(),
                     None => {
-                        // The probe meter captures the raw extent size; only
-                        // its physical side is real — the logical charge is
-                        // made per term to keep the paper's metric intact.
-                        let mut probe = WorkMeter::new();
-                        let rows = scan_operand(state, pending, &s.view, as_delta, &mut probe)
-                            .map_err(CoreError::Rel)?;
-                        meter.physical_rows_touched += probe.physical_rows_touched;
-                        let entry = (Arc::new(rows), probe.operand_rows_scanned);
-                        raw.insert(key, entry.clone());
+                        // A live strategy-cache entry is the same raw read an
+                        // earlier expression performed (nothing modified the
+                        // operand since, or it would have been invalidated).
+                        let entry = match strategy.and_then(|(sc, _)| sc.raw_get(&s.view, as_delta))
+                        {
+                            Some(hit) => {
+                                meter.cached_read();
+                                hit
+                            }
+                            None => {
+                                // The probe meter captures the raw extent
+                                // size; only its physical side is real — the
+                                // logical charge is made per term to keep the
+                                // paper's metric intact.
+                                let mut probe = WorkMeter::new();
+                                let rows =
+                                    scan_operand(state, pending, &s.view, as_delta, &mut probe)
+                                        .map_err(CoreError::Rel)?;
+                                meter.physical_rows_touched += probe.physical_rows_touched;
+                                let entry = (Arc::new(rows), probe.operand_rows_scanned);
+                                if let Some((sc, _)) = strategy {
+                                    sc.raw_put(key.clone(), entry.clone());
+                                }
+                                entry
+                            }
+                        };
+                        raw.insert(key.clone(), entry.clone());
                         entry
                     }
                 };
@@ -250,12 +428,7 @@ impl OperandCache {
                 keyed_steps += 1;
             }
         }
-        let shared: HashSet<TableKey> = uses
-            .iter()
-            .filter(|&(_, &count)| count >= 2)
-            .map(|(k, _)| k.clone())
-            .collect();
-        let operands = uses
+        let operands: Vec<OperandUse> = uses
             .iter()
             .map(|(key, &occurrences)| {
                 let (i, as_delta, cols) = key;
@@ -278,10 +451,44 @@ impl OperandCache {
                 }
             })
             .collect();
+
+        // Apply the strategy plan's directives: a consumed key never builds
+        // locally (every use is a cross-reuse), a published key is interned
+        // even at one local occurrence so its first build can be shared.
+        let dir = strategy.and_then(|(sc, idx)| sc.directives(idx));
+        let mut consume: HashMap<TableKey, SharedIdentity> = HashMap::new();
+        let mut publish: HashMap<TableKey, SharedIdentity> = HashMap::new();
+        let mut cross_reuses = 0u64;
+        let mut cross_saved_rows = 0u64;
+        if let Some(d) = dir {
+            for (use_, (key, &occ)) in operands.iter().zip(uses.iter()) {
+                let id = use_.identity();
+                if d.consume.contains(&id) {
+                    cross_reuses += occ;
+                    cross_saved_rows += use_.rows;
+                    consume.insert(key.clone(), id);
+                } else if d.publish.contains(&id) {
+                    publish.insert(key.clone(), id);
+                }
+            }
+        }
+        let shared: HashSet<TableKey> = uses
+            .iter()
+            .filter(|(key, &count)| count >= 2 || publish.contains_key(*key))
+            .filter(|(key, _)| !consume.contains_key(*key))
+            .map(|(k, _)| k.clone())
+            .collect();
+        let mut reads: Vec<(String, bool)> = raw.keys().cloned().collect();
+        reads.sort();
+        let predicted_builds = (uses.len() - consume.len()) as u64;
         let plan = CompSharingPlan {
             terms: terms.len(),
-            predicted_builds: uses.len() as u64,
-            predicted_reuses: keyed_steps - uses.len() as u64,
+            predicted_builds,
+            predicted_reuses: keyed_steps - predicted_builds,
+            cross_reuses,
+            cached_reads: meter.operand_reads_cached,
+            cross_saved_rows,
+            reads,
             operands,
         };
 
@@ -291,6 +498,9 @@ impl OperandCache {
                 residual,
                 slots,
                 shared,
+                consume,
+                publish,
+                strategy: strategy.map(|(sc, _)| sc),
                 plan,
                 tables: Mutex::new(HashMap::new()),
             },
@@ -306,6 +516,8 @@ impl OperandCache {
 
     /// The interned build table for operand `i` in role `as_delta` over
     /// `keys`: built (and charged) once, reused (and counted) thereafter.
+    /// A key the plan marked for publication pushes its first build into
+    /// the strategy cache for later expressions.
     fn table(
         &self,
         i: usize,
@@ -326,7 +538,32 @@ impl OperandCache {
                     meter,
                 ));
                 map.insert((i, as_delta, keys.to_vec()), Arc::clone(&t));
+                if let (Some(sc), Some(id)) = (
+                    self.strategy,
+                    self.publish.get(&(i, as_delta, keys.to_vec())),
+                ) {
+                    sc.table_put(id.clone(), Arc::clone(&t));
+                }
                 t
+            }
+        }
+    }
+
+    /// The strategy-cache table for a consumed key, counting the hit as a
+    /// cross-expression reuse. `None` when the key is not consumed. A
+    /// planned-but-missing table falls back to the local intern path (and
+    /// the conformance check will surface the divergence).
+    fn cross_table(&self, key: &TableKey, meter: &mut WorkMeter) -> Option<Arc<BuiltTable>> {
+        let id = self.consume.get(key)?;
+        let sc = self.strategy?;
+        match sc.table_get(id) {
+            Some(t) => {
+                meter.hash_cross_reuse();
+                Some(t)
+            }
+            None => {
+                debug_assert!(false, "planned cross-reuse missing from strategy cache");
+                None
             }
         }
     }
@@ -448,6 +685,19 @@ fn join_term(
             let out = ops::cross_join(&joined_rows, &right.rows, meter);
             sp.attr_u64(obs::keys::ROWS, out.len() as u64);
             out
+        } else if let Some(table) = cache.cross_table(&(next, role[next], rk.clone()), meter) {
+            // The strategy plan marked this key consumed: the table was
+            // built by an earlier expression over identity-equal rows and
+            // nothing modified the operand since — probe it directly, no
+            // local build at all.
+            {
+                let mut sp = obs::span(obs::SpanKind::Operator, "hash_table_cross");
+                sp.attr_u64(obs::keys::ROWS, right.rows.len() as u64);
+            }
+            let mut sp = obs::span(obs::SpanKind::Operator, "hash_probe");
+            let out = ops::probe_table(&right.rows, &table, &joined_rows, &lk, false, meter);
+            sp.attr_u64(obs::keys::ROWS, out.len() as u64);
+            out
         } else if cache.shared.contains(&(next, role[next], rk.clone())) {
             // The static plan marked this (source, role, keys) as repeating
             // across the Comp's terms: intern the pure-operand table — the
@@ -510,16 +760,18 @@ fn join_term(
 
 /// Evaluates `terms` through a fresh cache, inline or across `threads`
 /// workers, returning per-term outputs **in term order** together with the
-/// folded meter (cache materialization + every term).
+/// folded meter (cache materialization + every term). `strategy` attaches
+/// the strategy-scope cache (and this expression's position in it).
 pub(crate) fn eval_terms_shared(
     w: &Warehouse,
     def: &ViewDef,
     terms: &[BTreeSet<String>],
     threads: usize,
+    strategy: Option<(&StrategyCache, usize)>,
 ) -> CoreResult<(Vec<TermOut>, WorkMeter)> {
     let (cache, mut total) = {
         let mut sp = obs::span(obs::SpanKind::Operator, "materialize_operands");
-        let (cache, meter) = OperandCache::build(w, def, terms)?;
+        let (cache, meter) = OperandCache::build(w, def, terms, strategy)?;
         sp.attr_u64(obs::keys::PHYSICAL_ROWS, meter.physical_rows_touched);
         sp.attr_u64(
             obs::keys::PREDICTED_HASH_BUILDS,
@@ -529,6 +781,11 @@ pub(crate) fn eval_terms_shared(
             obs::keys::PREDICTED_HASH_REUSES,
             cache.plan.predicted_reuses,
         );
+        sp.attr_u64(
+            obs::keys::PREDICTED_HASH_CROSS_REUSES,
+            cache.plan.cross_reuses,
+        );
+        sp.attr_u64(obs::keys::PREDICTED_CACHED_READS, cache.plan.cached_reads);
         (cache, meter)
     };
     let workers = threads.min(terms.len());
@@ -594,6 +851,8 @@ pub(crate) fn fold_term_meter(total: &mut WorkMeter, m: &WorkMeter) {
     total.physical_rows_touched += m.physical_rows_touched;
     total.hash_tables_built += m.hash_tables_built;
     total.hash_tables_reused += m.hash_tables_reused;
+    total.hash_tables_cross_reused += m.hash_tables_cross_reused;
+    total.operand_reads_cached += m.operand_reads_cached;
 }
 
 /// The surviving terms of a `Comp` over `over_names` under the footnote-5
@@ -625,7 +884,7 @@ pub fn predict_comp_sharing(
         .ok_or_else(|| CoreError::Warehouse(format!("no definition for {view}")))?
         .clone();
     let terms = surviving_terms(w, over_names);
-    let (cache, _) = OperandCache::build(w, &def, &terms)?;
+    let (cache, _) = OperandCache::build(w, &def, &terms, None)?;
     Ok(cache.plan)
 }
 
@@ -650,8 +909,76 @@ pub fn predict_strategy_sharing(
     w: &Warehouse,
     strategy: &Strategy,
 ) -> CoreResult<Vec<ExprSharingPrediction>> {
+    Ok(plan_strategy_sharing(w, strategy, SharingScope::Comp)?.exprs)
+}
+
+/// Which cache scope a sharing plan targets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SharingScope {
+    /// Per-`Comp` caching only — PR 4/6 behavior, the default.
+    Comp,
+    /// Strategy-wide caching: materializations and build tables survive
+    /// across expressions until the operand is modified.
+    Strategy,
+}
+
+/// The strategy-scope sharing plan: exact per-expression predictions plus
+/// the runtime consume/publish directives the executor realizes.
+pub struct StrategySharingPlan {
+    /// Per-expression predictions, in strategy order. Under
+    /// [`SharingScope::Strategy`] the build/reuse counters are adjusted
+    /// for cross-expression service and `cross_reuses`/`cached_reads`
+    /// are populated.
+    pub exprs: Vec<ExprSharingPrediction>,
+    /// Per-expression cache directives (empty under [`SharingScope::Comp`]).
+    pub(crate) directives: Vec<CompCacheDirectives>,
+}
+
+impl StrategySharingPlan {
+    /// Total predicted cross-expression hash-table reuses.
+    pub fn cross_reuses(&self) -> u64 {
+        self.exprs.iter().map(|e| e.plan.cross_reuses).sum()
+    }
+
+    /// Total predicted strategy-cache-served raw operand reads.
+    pub fn cached_reads(&self) -> u64 {
+        self.exprs.iter().map(|e| e.plan.cached_reads).sum()
+    }
+
+    /// Total filtered rows of consumed keys across the strategy — the
+    /// build-avoidance quantity the shared planner objective prices.
+    pub fn cross_saved_rows(&self) -> u64 {
+        self.exprs.iter().map(|e| e.plan.cross_saved_rows).sum()
+    }
+
+    /// A runtime cache primed with this plan's directives.
+    pub(crate) fn cache(&self) -> StrategyCache {
+        StrategyCache::new(self.directives.clone())
+    }
+}
+
+/// Plans a whole strategy's sharing at the requested scope.
+///
+/// The replay first produces every `Comp`'s per-expression plan (exactly
+/// [`predict_strategy_sharing`]); under [`SharingScope::Strategy`] a second,
+/// purely static pass walks those plans in order with the `UWW012` liveness
+/// predicate: a keyed build whose [`SharedIdentity`] is live (built by an
+/// earlier expression, operand unmodified since) is marked **consume**, and
+/// a first build whose identity a later live expression will use again is
+/// marked **publish**. The per-expression counters are adjusted to what the
+/// directive-driven executor will measure — consumed keys build nothing and
+/// turn every use into a cross-reuse; raw reads present in the live set
+/// become `cached_reads`.
+pub fn plan_strategy_sharing(
+    w: &Warehouse,
+    strategy: &Strategy,
+    scope: SharingScope,
+) -> CoreResult<StrategySharingPlan> {
     let mut scratch = w.clone();
-    let mut out = Vec::with_capacity(strategy.exprs.len());
+    // The replay is a prediction, not part of the run: keep its spans out of
+    // any installed trace (a traced `--strategy-sharing` run plans first).
+    let _quiet = obs::suppress();
+    let mut exprs = Vec::with_capacity(strategy.exprs.len());
     for expr in &strategy.exprs {
         let pred = match expr {
             UpdateExpr::Comp { view, over } => {
@@ -673,7 +1000,7 @@ pub fn predict_strategy_sharing(
                 plan: CompSharingPlan::default(),
             },
         };
-        out.push(pred);
+        exprs.push(pred);
         scratch.execute_with(
             &Strategy::from_exprs(vec![expr.clone()]),
             crate::engine::exec::ExecOptions {
@@ -682,5 +1009,60 @@ pub fn predict_strategy_sharing(
             },
         )?;
     }
-    Ok(out)
+
+    let mut directives: Vec<CompCacheDirectives> = (0..exprs.len())
+        .map(|_| CompCacheDirectives::default())
+        .collect();
+    if scope == SharingScope::Strategy {
+        let g = w.vdag();
+        // Does any Comp after `j` use `id` before an expression modifies
+        // its operand? Reads happen before an expression's own writes, so
+        // usage at `p` is checked before `p`'s modification.
+        let wanted_later = |exprs: &[ExprSharingPrediction], j: usize, id: &SharedIdentity| {
+            for (p, pred) in exprs.iter().enumerate().skip(j + 1) {
+                if pred.plan.operands.iter().any(|o| o.identity() == *id) {
+                    return true;
+                }
+                if uww_analysis::modifies_operand(g, &strategy.exprs[p], &id.0, id.1) {
+                    return false;
+                }
+            }
+            false
+        };
+        let mut live_tables: HashSet<SharedIdentity> = HashSet::new();
+        let mut live_raws: HashSet<(String, bool)> = HashSet::new();
+        for j in 0..exprs.len() {
+            let d = &mut directives[j];
+            let mut cross_reuses = 0u64;
+            let mut consumed_keys = 0u64;
+            let mut cross_saved_rows = 0u64;
+            for o in &exprs[j].plan.operands {
+                let id = o.identity();
+                if live_tables.contains(&id) {
+                    cross_reuses += o.occurrences;
+                    consumed_keys += 1;
+                    cross_saved_rows += o.rows;
+                    d.consume.insert(id);
+                } else if wanted_later(&exprs, j, &id) {
+                    d.publish.insert(id);
+                }
+            }
+            let plan = &mut exprs[j].plan;
+            let keyed_steps = plan.predicted_builds + plan.predicted_reuses;
+            plan.predicted_builds -= consumed_keys;
+            plan.predicted_reuses = keyed_steps - plan.predicted_builds;
+            plan.cross_reuses = cross_reuses;
+            plan.cross_saved_rows = cross_saved_rows;
+            plan.cached_reads = plan.reads.iter().filter(|r| live_raws.contains(*r)).count() as u64;
+            // Publishes land during execution; the expression's own
+            // modifications apply after — in that order, matching the
+            // executor (a Comp never modifies its own sources' operands).
+            live_raws.extend(plan.reads.iter().cloned());
+            live_tables.extend(d.publish.iter().cloned());
+            live_tables
+                .retain(|id| !uww_analysis::modifies_operand(g, &strategy.exprs[j], &id.0, id.1));
+            live_raws.retain(|r| !uww_analysis::modifies_operand(g, &strategy.exprs[j], &r.0, r.1));
+        }
+    }
+    Ok(StrategySharingPlan { exprs, directives })
 }

@@ -47,8 +47,9 @@ pub use calibrate::{calibrate, Calibration};
 pub use cost::{CostMetric, CostModel};
 pub use design::{greedy_select, Candidate, DesignOutcome};
 pub use engine::{
-    predict_comp_sharing, predict_strategy_sharing, surviving_terms, CompSharingPlan, ExecOptions,
-    ExecutionReport, ExprReport, ExprSharingPrediction, InstallPublisher, OperandUse, PendingDelta,
+    plan_strategy_sharing, predict_comp_sharing, predict_strategy_sharing, surviving_terms,
+    CompSharingPlan, ExecOptions, ExecutionReport, ExprReport, ExprSharingPrediction,
+    InstallPublisher, OperandUse, PendingDelta, SharedIdentity, SharingScope, StrategySharingPlan,
     SummaryDelta, Warehouse, WarehouseBuilder,
 };
 pub use error::{CoreError, CoreResult};
@@ -63,8 +64,9 @@ pub use parallel::{
     ParallelStrategy, StageReport,
 };
 pub use planner::{
-    min_work, min_work_single, one_way_for_ordering, prune, prune_full, sharing_report,
-    MinWorkPlan, PruneOutcome, PRUNE_MAX_VIEWS,
+    min_work, min_work_shared, min_work_single, one_way_for_ordering, prune, prune_full,
+    sharing_report, sharing_report_scoped, MinWorkPlan, PruneOutcome, SharedPlanOutcome,
+    PRUNE_MAX_VIEWS, SHARED_REPLAY_CAP,
 };
 pub use recovery::{recover, recover_with, RecoveryOutcome};
 pub use script::{expr_to_sql, predicate_to_sql, value_to_sql, ScriptGenerator, SqlProcedure};

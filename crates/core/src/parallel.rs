@@ -522,7 +522,7 @@ impl Warehouse {
                             }
                             let t = std::time::Instant::now();
                             let (name, fragment, meter) =
-                                crate::engine::exec::comp_fragment(this, *view, over, topts)?;
+                                crate::engine::exec::comp_fragment(this, *view, over, topts, None)?;
                             crate::engine::exec::meter_attrs(&mut span, &meter);
                             Ok((expr, name, fragment, meter, t.elapsed()))
                         })

@@ -215,6 +215,109 @@ fn prune_over(g: &Vdag, model: &CostModel<'_>, relevant: Vec<ViewId>) -> CoreRes
     Ok(out)
 }
 
+/// The result of [`min_work_shared`]: the winner under the sharing-aware
+/// objective alongside the plain-linear winner over the *same* candidate
+/// set, so callers can tell when cross-expression sharing changed the
+/// ranking.
+#[derive(Clone, Debug)]
+pub struct SharedPlanOutcome {
+    /// The strategy minimizing `linear work − cross-share saving`.
+    pub strategy: Strategy,
+    /// The winner's shared-objective cost.
+    pub cost: f64,
+    /// The winner's plain linear work.
+    pub linear_cost: f64,
+    /// The winner's priced cross-expression saving
+    /// ([`CostModel::cross_share_saving`] of its consumed-key rows).
+    pub cross_saving: f64,
+    /// The plain-objective winner over the same candidates (what
+    /// [`min_work`]/[`prune`] would pick).
+    pub baseline: Strategy,
+    /// The baseline's linear work.
+    pub baseline_cost: f64,
+    /// True when the shared objective picked a different strategy than the
+    /// plain linear one.
+    pub differs: bool,
+    /// Candidate strategies replayed and costed under the shared objective.
+    pub candidates: usize,
+}
+
+/// Most feasible orderings [`min_work_shared`] will replay the sharing plan
+/// for. Ranking a candidate's cross-share saving requires a scratch replay
+/// of the whole strategy (operand sizes depend on run state), so unlike
+/// [`prune`]'s closed-form costing the candidate set must stay small; the
+/// cheapest-by-linear-work candidates are kept, since a saving can never
+/// exceed the operand rows the linear cost already counts.
+pub const SHARED_REPLAY_CAP: usize = 24;
+
+/// **MinWorkShared**: the sharing-aware planner objective. Scores each
+/// candidate 1-way strategy by `strategy_work − cross_share_saving`, where
+/// the saving prices the hash builds the strategy-scope operand cache
+/// avoids across expression boundaries ([`plan_strategy_sharing`]'s exact
+/// consumed-key rows). Candidates are every [`prune`]-feasible ordering's
+/// strongly consistent representative (when the VDAG has at most
+/// [`PRUNE_MAX_VIEWS`] consumed views) plus the [`min_work`] strategy —
+/// capped at the [`SHARED_REPLAY_CAP`] linear-cheapest, which always
+/// include the plain winner, so `differs` is meaningful.
+///
+/// Because sharing only subtracts, a strategy can win here that plain
+/// MinWork ranks strictly worse — the cache turns rescans of a large shared
+/// operand into probes, repricing orderings that keep it live across
+/// consecutive `Comp`s.
+pub fn min_work_shared(
+    w: &crate::engine::Warehouse,
+    model: &CostModel<'_>,
+) -> CoreResult<SharedPlanOutcome> {
+    use crate::engine::{plan_strategy_sharing, SharingScope};
+    let g = w.vdag();
+    let mut candidates: Vec<Strategy> = vec![min_work(g, model.sizes())?.strategy];
+    let relevant = g.views_with_consumers();
+    if relevant.len() <= PRUNE_MAX_VIEWS {
+        for perm in permutations(&relevant) {
+            let ord = ViewOrdering::new(perm, g.len());
+            let seg = construct_seg(g, &ord);
+            if !seg.is_acyclic() {
+                continue;
+            }
+            let s = seg.topological_strategy(&ord)?;
+            if !candidates.contains(&s) {
+                candidates.push(s);
+            }
+        }
+    }
+    let mut scored: Vec<(f64, Strategy)> = candidates
+        .into_iter()
+        .map(|s| (model.strategy_work(&s), s))
+        .collect();
+    scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    scored.truncate(SHARED_REPLAY_CAP);
+    let (baseline_cost, baseline) = scored[0].clone();
+    let mut best: Option<SharedPlanOutcome> = None;
+    let candidates = scored.len();
+    for (linear, s) in scored {
+        debug_lint(g, &s);
+        let saving = model.cross_share_saving(
+            plan_strategy_sharing(w, &s, SharingScope::Strategy)?.cross_saved_rows(),
+        );
+        let cost = linear - saving;
+        if best.as_ref().is_none_or(|b| cost < b.cost) {
+            best = Some(SharedPlanOutcome {
+                strategy: s,
+                cost,
+                linear_cost: linear,
+                cross_saving: saving,
+                baseline: baseline.clone(),
+                baseline_cost,
+                differs: false,
+                candidates,
+            });
+        }
+    }
+    let mut out = best.expect("candidate set is never empty");
+    out.differs = out.strategy != out.baseline;
+    Ok(out)
+}
+
 /// Runs the static sharing predictor over a strategy and lints the result:
 /// the planner-facing surface of the sharing-opportunity graph.
 ///
@@ -230,7 +333,20 @@ pub fn sharing_report(
     strategy: &Strategy,
     model: &CostModel<'_>,
 ) -> CoreResult<(uww_analysis::SharingProfile, uww_analysis::Report)> {
-    let predictions = crate::engine::predict_strategy_sharing(w, strategy)?;
+    sharing_report_scoped(w, strategy, model, crate::engine::SharingScope::Comp)
+}
+
+/// [`sharing_report`] with an explicit cache scope: `SharingScope::Strategy`
+/// additionally predicts the cross-expression hash-table reuses and cached
+/// raw reads the strategy-scope cache will record, so conformance checking
+/// works against a `--strategy-sharing` trace.
+pub fn sharing_report_scoped(
+    w: &crate::engine::Warehouse,
+    strategy: &Strategy,
+    model: &CostModel<'_>,
+    scope: crate::engine::SharingScope,
+) -> CoreResult<(uww_analysis::SharingProfile, uww_analysis::Report)> {
+    let predictions = crate::engine::plan_strategy_sharing(w, strategy, scope)?.exprs;
     let profile = uww_analysis::SharingProfile {
         exprs: predictions
             .into_iter()
@@ -240,6 +356,8 @@ pub fn sharing_report(
                 terms: p.plan.terms,
                 predicted_builds: p.plan.predicted_builds,
                 predicted_reuses: p.plan.predicted_reuses,
+                predicted_cross_reuses: p.plan.cross_reuses,
+                predicted_cached_reads: p.plan.cached_reads,
                 operands: p
                     .plan
                     .operands

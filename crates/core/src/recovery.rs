@@ -301,6 +301,7 @@ pub fn recover_with(
         &mut wal,
         crate::engine::exec::ExecOptions::default().term_options(),
         None,
+        None,
     )?;
     report.per_expr.extend(fresh.per_expr);
     if let Some(writer) = &mut wal {

@@ -171,6 +171,12 @@ pub struct ExprCounters {
     pub hash_builds: u64,
     /// Measured `hash_tables_reused` for the expression.
     pub hash_reuses: u64,
+    /// Measured `hash_tables_cross_reused` (strategy-scope cache hits).
+    /// Zero when the trace predates the counter.
+    pub cross_reuses: u64,
+    /// Measured `operand_reads_cached` (strategy-scope raw-read hits).
+    /// Zero when the trace predates the counter.
+    pub cached_reads: u64,
 }
 
 /// Extracts the expression-level hash-table counters from a Chrome trace
@@ -216,6 +222,16 @@ pub fn expression_counters(text: &str) -> Result<Vec<ExprCounters>, String> {
                 kind: text_of(crate::span::keys::EXPR_KIND)?,
                 hash_builds: count_of(crate::span::keys::HASH_BUILDS)?,
                 hash_reuses: count_of(crate::span::keys::HASH_REUSES)?,
+                // Optional so traces recorded before the strategy-scope
+                // cache existed still parse.
+                cross_reuses: args
+                    .get(crate::span::keys::HASH_CROSS_REUSES)
+                    .and_then(JsonValue::as_f64)
+                    .map_or(0, |n| n as u64),
+                cached_reads: args
+                    .get(crate::span::keys::CACHED_READS)
+                    .and_then(JsonValue::as_f64)
+                    .map_or(0, |n| n as u64),
             },
         ));
     }

@@ -102,10 +102,19 @@ pub mod keys {
     pub const HASH_BUILDS: &str = "hash_builds";
     /// Meter delta: hash tables served from the intern cache.
     pub const HASH_REUSES: &str = "hash_reuses";
+    /// Meter delta: hash tables served from a table built by an *earlier
+    /// expression* (strategy-scope cache). Subset of `hash_reuses`.
+    pub const HASH_CROSS_REUSES: &str = "hash_cross_reuses";
+    /// Meter delta: raw operand reads served from the strategy-scope cache.
+    pub const CACHED_READS: &str = "cached_reads";
     /// Statically predicted hash-table builds for a `Comp`'s term set.
     pub const PREDICTED_HASH_BUILDS: &str = "predicted_hash_builds";
     /// Statically predicted hash-table reuses for a `Comp`'s term set.
     pub const PREDICTED_HASH_REUSES: &str = "predicted_hash_reuses";
+    /// Statically predicted cross-expression hash-table reuses for a `Comp`.
+    pub const PREDICTED_HASH_CROSS_REUSES: &str = "predicted_hash_cross_reuses";
+    /// Statically predicted strategy-cache-served raw operand reads.
+    pub const PREDICTED_CACHED_READS: &str = "predicted_cached_reads";
     /// `1` on expression spans reconstructed from the WAL during recovery.
     pub const REPLAYED: &str = "replayed";
     /// WAL record sequence number.
@@ -280,6 +289,27 @@ thread_local! {
     static CURRENT: Cell<u64> = const { Cell::new(0) };
     /// Lane assigned to this thread (0 = not yet assigned).
     static THREAD_LANE: Cell<u64> = const { Cell::new(0) };
+    /// Nesting depth of [`suppress`] guards on this thread.
+    static SUPPRESSED: Cell<u64> = const { Cell::new(0) };
+}
+
+/// RAII guard from [`suppress`]: spans opened on this thread while the
+/// guard lives are inert.
+pub struct SuppressGuard(());
+
+impl Drop for SuppressGuard {
+    fn drop(&mut self) {
+        SUPPRESSED.with(|s| s.set(s.get() - 1));
+    }
+}
+
+/// Suppresses span recording on the current thread until the returned guard
+/// drops (nestable). Use around internal replays — e.g. a planner
+/// re-executing a strategy on a scratch warehouse to predict its behavior —
+/// so their spans don't pollute the real run's trace.
+pub fn suppress() -> SuppressGuard {
+    SUPPRESSED.with(|s| s.set(s.get() + 1));
+    SuppressGuard(())
 }
 
 /// Installs `buf` as the process-global subscriber and enables tracing.
@@ -352,7 +382,7 @@ struct Active {
 pub struct Span(Option<Active>);
 
 fn start(kind: SpanKind, explicit_parent: Option<u64>, name: impl FnOnce() -> String) -> Span {
-    if !enabled() {
+    if !enabled() || SUPPRESSED.with(|s| s.get()) > 0 {
         return Span(None);
     }
     let Some(buf) = subscriber() else {

@@ -46,6 +46,15 @@ pub struct WorkMeter {
     pub hash_tables_built: u64,
     /// Hash-join build tables served from the per-`Comp` intern cache.
     pub hash_tables_reused: u64,
+    /// Subset of `hash_tables_reused` served from a table built by an
+    /// *earlier expression* (the strategy-scope cache); per-`Comp` reuse does
+    /// not move this counter, so `builds + reuses` still equals keyed join
+    /// steps while cross-`Comp` wins stay separately visible.
+    pub hash_tables_cross_reused: u64,
+    /// Raw operand materializations served from the strategy-scope cache
+    /// instead of re-reading the stored/delta extent. Physical-only: the
+    /// logical scan is still charged per term via `scan_logical`.
+    pub operand_reads_cached: u64,
 }
 
 impl WorkMeter {
@@ -78,6 +87,20 @@ impl WorkMeter {
     /// Records reusing an interned hash table instead of rebuilding it.
     pub fn hash_reuse(&mut self) {
         self.hash_tables_reused += 1;
+    }
+
+    /// Records reusing a hash table built by an *earlier expression* in the
+    /// strategy. Counts as a reuse (so build/reuse totals are scope-stable)
+    /// and additionally as a cross-expression reuse.
+    pub fn hash_cross_reuse(&mut self) {
+        self.hash_tables_reused += 1;
+        self.hash_tables_cross_reused += 1;
+    }
+
+    /// Records serving a raw operand read from the strategy-scope cache.
+    /// Physical-only; the caller still charges `scan_logical` per term.
+    pub fn cached_read(&mut self) {
+        self.operand_reads_cached += 1;
     }
 
     /// Records installing `n` rows.
@@ -113,6 +136,9 @@ impl WorkMeter {
             physical_rows_touched: self.physical_rows_touched - earlier.physical_rows_touched,
             hash_tables_built: self.hash_tables_built - earlier.hash_tables_built,
             hash_tables_reused: self.hash_tables_reused - earlier.hash_tables_reused,
+            hash_tables_cross_reused: self.hash_tables_cross_reused
+                - earlier.hash_tables_cross_reused,
+            operand_reads_cached: self.operand_reads_cached - earlier.operand_reads_cached,
         }
     }
 
@@ -128,6 +154,8 @@ impl WorkMeter {
         self.physical_rows_touched += other.physical_rows_touched;
         self.hash_tables_built += other.hash_tables_built;
         self.hash_tables_reused += other.hash_tables_reused;
+        self.hash_tables_cross_reused += other.hash_tables_cross_reused;
+        self.operand_reads_cached += other.operand_reads_cached;
     }
 
     /// The counters the paper's model sees, with the physical ones zeroed —
@@ -137,6 +165,8 @@ impl WorkMeter {
             physical_rows_touched: 0,
             hash_tables_built: 0,
             hash_tables_reused: 0,
+            hash_tables_cross_reused: 0,
+            operand_reads_cached: 0,
             ..*self
         }
     }
@@ -147,7 +177,7 @@ impl fmt::Display for WorkMeter {
         write!(
             f,
             "scanned={} installed={} emitted={} terms={} comps={} insts={} \
-             physical={} builds={} reuses={}",
+             physical={} builds={} reuses={} cross_reuses={} cached_reads={}",
             self.operand_rows_scanned,
             self.rows_installed,
             self.rows_emitted,
@@ -156,7 +186,9 @@ impl fmt::Display for WorkMeter {
             self.inst_expressions,
             self.physical_rows_touched,
             self.hash_tables_built,
-            self.hash_tables_reused
+            self.hash_tables_reused,
+            self.hash_tables_cross_reused,
+            self.operand_reads_cached
         )
     }
 }
@@ -210,6 +242,22 @@ mod tests {
             shared.logical().operand_rows_scanned,
             m.logical().operand_rows_scanned
         );
+    }
+
+    #[test]
+    fn cross_reuse_is_a_reuse_and_logical_ignores_cache_counters() {
+        let mut m = WorkMeter::new();
+        m.hash_reuse();
+        m.hash_cross_reuse();
+        m.cached_read();
+        assert_eq!(m.hash_tables_reused, 2);
+        assert_eq!(m.hash_tables_cross_reused, 1);
+        assert_eq!(m.operand_reads_cached, 1);
+        let l = m.logical();
+        assert_eq!(l.hash_tables_cross_reused, 0);
+        assert_eq!(l.operand_reads_cached, 0);
+        let d = m.since(&WorkMeter::new());
+        assert_eq!(d, m);
     }
 
     #[test]

@@ -3,15 +3,17 @@
 //! ```text
 //! uww info     [--scenario fig4|q3|q5] [--scale F]
 //! uww plan     [--scenario ...] [--scale F] [--frac F] [--planner minwork|prune|dual-stage|rnscol]
+//!              [--objective linear|shared]
 //! uww run      [--scenario ...] [--scale F] [--frac F] [--planner ...]
+//!              [--objective linear|shared]
 //!              [--wal DIR] [--fsync always|never]
 //!              [--fault crash:K|torn:K|dup:K|dirsync]
-//!              [--term-threads N] [--no-term-sharing]
+//!              [--term-threads N] [--no-term-sharing] [--strategy-sharing]
 //!              [--trace-out FILE] [--timeline]
 //! uww recover  DIR
 //! uww analyze  [--scenario ...] [--scale F] [--frac F] [--planner ...]
 //!              [--strategy "Comp(V,{A});..."] [--stages "...|..."] [--json]
-//!              [--sharing] [--verify-against TRACE.json]
+//!              [--sharing] [--strategy-sharing] [--verify-against TRACE.json]
 //! uww script   [--scenario ...] [--scale F] [--frac F]
 //! uww dot      [--scenario ...] [--scale F] [--graph vdag|eg]
 //! uww olap     [--scenario ...] [--scale F] [--frac F] [--isolation strict|low]
@@ -37,8 +39,14 @@
 //! Each `Comp` evaluates its maintenance terms through a shared operand
 //! cache by default; `--no-term-sharing` restores the historical per-term
 //! scans, and `--term-threads N` fans the terms of one `Comp` over `N`
-//! worker threads. Either way the computed deltas and the logical work
-//! metric are byte-identical — only `physical_rows_touched` moves.
+//! worker threads. `--strategy-sharing` lifts the cache to strategy scope:
+//! operand materializations and hash-join build tables survive across
+//! `Comp` boundaries until an expression modifies the operand. In every
+//! mode the computed deltas, WAL bytes, and the logical work metric are
+//! byte-identical — only the physical counters move. `--objective shared`
+//! makes the planner rank candidate strategies by linear work minus the
+//! priced cross-expression build avoidance, which can pick a different
+//! strategy than plain MinWork.
 //!
 //! `run --trace-out FILE` records the run's span tree (run → expression →
 //! term → operator) and writes it as Chrome trace-event JSON, loadable in
@@ -57,8 +65,9 @@
 
 use std::process::ExitCode;
 use uww::core::{
-    min_work, prune, recover, simulate_olap, CostModel, ExecOptions, FaultPlan, FsyncPolicy,
-    IsolationMode, OlapWorkload, ScriptGenerator, SizeCatalog, WalConfig, WalLog,
+    min_work, min_work_shared, prune, recover, simulate_olap, CostModel, ExecOptions, FaultPlan,
+    FsyncPolicy, IsolationMode, OlapWorkload, ScriptGenerator, SharingScope, SizeCatalog,
+    WalConfig, WalLog,
 };
 use uww::scenario::TpcdScenario;
 use uww::vdag::{construct_eg, Strategy};
@@ -82,6 +91,8 @@ struct Args {
     hold_ms: u64,
     term_threads: usize,
     term_sharing: bool,
+    strategy_sharing: bool,
+    objective: String,
     trace_out: Option<String>,
     timeline: bool,
     metrics: bool,
@@ -112,6 +123,8 @@ impl Default for Args {
             hold_ms: 2,
             term_threads: 0,
             term_sharing: true,
+            strategy_sharing: false,
+            objective: "linear".into(),
             trace_out: None,
             timeline: false,
             metrics: false,
@@ -147,6 +160,13 @@ fn parse_args(argv: &[String]) -> Result<(String, Args), String> {
                 args.trace_out = Some(v.clone());
             }
             "--no-term-sharing" => args.term_sharing = false,
+            "--strategy-sharing" => args.strategy_sharing = true,
+            "--objective" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "missing value for --objective".to_string())?;
+                args.objective = v.clone();
+            }
             "--sharing" => args.sharing = true,
             "--verify-against" => {
                 let v = it
@@ -250,6 +270,27 @@ fn load_changes(sc: &mut TpcdScenario, args: &Args) -> Result<(), String> {
 fn pick_strategy(sc: &TpcdScenario, args: &Args) -> Result<(Strategy, String), String> {
     let g = sc.warehouse.vdag();
     let sizes = SizeCatalog::estimate(&sc.warehouse).map_err(|e| e.to_string())?;
+    match args.objective.as_str() {
+        "linear" => {}
+        // The sharing-aware objective replaces the planner choice: it ranks
+        // the prune-feasible candidate set by linear work minus the priced
+        // cross-expression build avoidance.
+        "shared" => {
+            let model = CostModel::new(g, &sizes);
+            let out = min_work_shared(&sc.warehouse, &model).map_err(|e| e.to_string())?;
+            let tag = format!(
+                "MinWorkShared ({} candidates, {})",
+                out.candidates,
+                if out.differs {
+                    "differs from MinWork"
+                } else {
+                    "same as MinWork"
+                }
+            );
+            return Ok((out.strategy, tag));
+        }
+        other => return Err(format!("unknown objective {other} (linear|shared)")),
+    }
     match args.planner.as_str() {
         "minwork" => {
             let plan = min_work(g, &sizes).map_err(|e| e.to_string())?;
@@ -319,6 +360,20 @@ fn cmd_plan(args: &Args) -> Result<(), String> {
     println!("ordering: {}", sizes.desired_ordering(g).display(g));
     println!("strategy: {}", strategy.display(g));
     println!("predicted work: {:.0}", model.strategy_work(&strategy));
+    if args.objective == "shared" {
+        let out = min_work_shared(&sc.warehouse, &model).map_err(|e| e.to_string())?;
+        println!(
+            "shared objective: {:.0} (linear {:.0} − cross-share saving {:.0})",
+            out.cost, out.linear_cost, out.cross_saving
+        );
+        if out.differs {
+            println!(
+                "plain MinWork would pick: {} (linear {:.0})",
+                out.baseline.display(g),
+                out.baseline_cost
+            );
+        }
+    }
     Ok(())
 }
 
@@ -354,6 +409,7 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     let mut opts = ExecOptions {
         term_sharing: args.term_sharing,
         term_threads: args.term_threads,
+        strategy_sharing: args.strategy_sharing,
         predicted_work: Some(predicted),
         ..ExecOptions::default()
     };
@@ -429,6 +485,12 @@ fn cmd_run(args: &Args) -> Result<(), String> {
             "operand sharing off"
         },
     );
+    if args.strategy_sharing {
+        println!(
+            "strategy cache: {} cross-expression hash reuse(s), {} cached raw read(s)",
+            total.hash_tables_cross_reused, total.operand_reads_cached,
+        );
+    }
     Ok(())
 }
 
@@ -542,6 +604,18 @@ fn check_conformance(
                 p.kind, p.view, p.predicted_reuses, m.hash_reuses
             ));
         }
+        if p.predicted_cross_reuses != m.cross_reuses {
+            div.push(format!(
+                "expr {i} ({} {}): {} predicted cross-expression reuses vs {} measured",
+                p.kind, p.view, p.predicted_cross_reuses, m.cross_reuses
+            ));
+        }
+        if p.predicted_cached_reads != m.cached_reads {
+            div.push(format!(
+                "expr {i} ({} {}): {} predicted cached raw reads vs {} measured",
+                p.kind, p.view, p.predicted_cached_reads, m.cached_reads
+            ));
+        }
     }
     Conformance {
         expressions: measured.len(),
@@ -604,7 +678,15 @@ fn cmd_analyze(args: &Args) -> Result<(), String> {
     if sharing {
         let sizes = SizeCatalog::estimate(&sc.warehouse).map_err(|e| e.to_string())?;
         let model = CostModel::new(sc.warehouse.vdag(), &sizes);
-        let (p, shr) = uww::core::sharing_report(&sc.warehouse, &strategy, &model)
+        // Predict at the scope the traced run used: a `--strategy-sharing`
+        // run needs the strategy-scope plan for its cross counters to
+        // conform.
+        let scope = if args.strategy_sharing {
+            SharingScope::Strategy
+        } else {
+            SharingScope::Comp
+        };
+        let (p, shr) = uww::core::sharing_report_scoped(&sc.warehouse, &strategy, &model, scope)
             .map_err(|e| e.to_string())?;
         report = report.merge(shr);
         profile = Some(p);
@@ -636,6 +718,13 @@ fn cmd_analyze(args: &Args) -> Result<(), String> {
                 p.predicted_reuses(),
                 p.exprs.len(),
             );
+            if args.strategy_sharing {
+                println!(
+                    "strategy scope: {} predicted cross-expression reuse(s), {} cached raw read(s)",
+                    p.predicted_cross_reuses(),
+                    p.predicted_cached_reads(),
+                );
+            }
         }
         if let Some(c) = &conformance {
             if c.divergences.is_empty() {
@@ -905,7 +994,8 @@ const USAGE: &str = "usage: uww <info|plan|run|analyze|script|dot|olap|serve|exp
 [--sql NAME=SELECT-statement] \
 [--strategy \"Comp(V,{A,B}); Inst(A); ...\"] [--stages \"stage | stage | ...\"] [--json] \
 [--wal DIR] [--fsync always|never] [--fault crash:K|torn:K|dup:K|dirsync] \
-[--term-threads N] [--no-term-sharing] \
+[--term-threads N] [--no-term-sharing] [--strategy-sharing] \
+[--objective linear|shared] \
 [--trace-out FILE] [--timeline] [--metrics] \
 [--sharing] [--verify-against TRACE.json]\n\
        uww recover DIR";

@@ -1,0 +1,350 @@
+//! Liveness-adversarial tests for the strategy-scope operand cache: a
+//! strategy that `Inst`s a base view *between* two `Comp`s reading it is
+//! the worst case for cross-expression caching — the first reader builds a
+//! hash table over the pre-install extent, and serving that table to the
+//! post-install reader would silently corrupt the view. The cache must
+//! never serve it, under any interleaving: sequential, term-threaded, and
+//! resumed from a crash at **every** WAL record boundary.
+//!
+//! The fixture makes staleness maximally visible: the invalidated operand
+//! (`B`) is the hash-*build* side of both readers (it is the smallest
+//! operand), its delta both deletes existing join keys and inserts new
+//! ones, and the final states are compared byte-for-byte against the
+//! uncached engine.
+//!
+//! Seeded: set `UWW_SHARE_SEED` to shift the delta batches.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use uww::core::{
+    plan_strategy_sharing, CoreError, ExecOptions, FaultPlan, FsyncPolicy, SharingScope, WalConfig,
+    WalLog, Warehouse,
+};
+use uww::relational::{
+    catalog_to_string, DeltaRelation, EquiJoin, OutputColumn, Schema, Table, Tuple, Value,
+    ValueType, ViewDef, ViewOutput, ViewSource,
+};
+use uww::vdag::{check_vdag_strategy, SplitMix64, Strategy, UpdateExpr};
+
+fn seed_base() -> u64 {
+    std::env::var("UWW_SHARE_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+fn wal_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "uww-live-{tag}-{}-{}",
+        std::process::id(),
+        seed_base()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+const COLS: &[(&str, ValueType)] = &[
+    ("k", ValueType::Int),
+    ("v", ValueType::Int),
+    ("g", ValueType::Int),
+];
+
+fn base(name: &str, rows: i64) -> Table {
+    let schema = Schema::of(COLS);
+    let mut t = Table::new(name, schema);
+    for k in 0..rows {
+        t.insert(Tuple::new(vec![
+            Value::Int(k % 20),
+            Value::Int(k),
+            Value::Int(k % 3),
+        ]))
+        .unwrap();
+    }
+    t
+}
+
+fn join2(name: &str, (src_a, alias_a): (&str, &str), (src_b, alias_b): (&str, &str)) -> ViewDef {
+    ViewDef {
+        name: name.into(),
+        sources: vec![
+            ViewSource {
+                view: src_a.into(),
+                alias: alias_a.into(),
+            },
+            ViewSource {
+                view: src_b.into(),
+                alias: alias_b.into(),
+            },
+        ],
+        joins: vec![EquiJoin::new(
+            format!("{alias_a}.k"),
+            format!("{alias_b}.k"),
+        )],
+        filters: vec![],
+        output: ViewOutput::Project(vec![
+            OutputColumn::col("k", format!("{alias_a}.k")),
+            OutputColumn::col("v", format!("{alias_a}.v")),
+            OutputColumn::col("g", format!("{alias_b}.v")),
+        ]),
+    }
+}
+
+/// `V1 = A ⋈ B`, `V2 = B ⋈ C`, with `B` (20 rows) the smallest — and hence
+/// hash-build — operand of both views. Seeded deltas: every base gets
+/// inserts on random join keys; `B` additionally gets deletions of random
+/// existing rows, so its pre- and post-install extents disagree on *both*
+/// sides (a stale cached table yields phantom and missing join matches).
+fn fixture(seed: u64) -> (Warehouse, BTreeMap<String, DeltaRelation>) {
+    let mut rng = SplitMix64::new(seed.wrapping_mul(0x9E37_79B9).wrapping_add(0x11FE));
+    let schema = Schema::of(COLS);
+    let w = Warehouse::builder()
+        .base_table(base("A", 50))
+        .base_table(base("B", 20))
+        .base_table(base("C", 50))
+        .view(join2("V1", ("A", "A"), ("B", "B")))
+        .view(join2("V2", ("B", "B"), ("C", "C")))
+        .build()
+        .unwrap();
+
+    let mut changes: BTreeMap<String, DeltaRelation> = BTreeMap::new();
+    for (name, inserts) in [("A", 8), ("B", 6), ("C", 7)] {
+        let mut delta = DeltaRelation::new(schema.clone());
+        if name == "B" {
+            for (tup, cnt) in w.table("B").unwrap().iter() {
+                if rng.below(3) == 0 {
+                    delta.add(tup.clone(), -(cnt as i64));
+                }
+            }
+        }
+        for i in 0..inserts {
+            delta.add(
+                Tuple::new(vec![
+                    Value::Int(rng.below(20) as i64),
+                    Value::Int(2000 + 100 * i + rng.below(50) as i64),
+                    Value::Int(rng.below(3) as i64),
+                ]),
+                1,
+            );
+        }
+        changes.insert(name.to_string(), delta);
+    }
+    (w, changes)
+}
+
+/// The adversarial strategy: `Inst(B)` lands between the two stored-`B`
+/// readers. Both readers hash-build over the *same* `SharedIdentity`
+/// (`B`, stored, key `B.k` — `B` is the larger side of both joins, so it
+/// is the keyed build in each), and only the liveness predicate stands
+/// between the second reader and the first reader's pre-install table.
+/// Returns the strategy and the index of the post-invalidation reader,
+/// `Comp(V2,{C})`.
+fn adversarial_strategy(w: &Warehouse) -> (Strategy, usize) {
+    let g = w.vdag();
+    let a = g.id_of("A").unwrap();
+    let b = g.id_of("B").unwrap();
+    let c = g.id_of("C").unwrap();
+    let v1 = g.id_of("V1").unwrap();
+    let v2 = g.id_of("V2").unwrap();
+    let strategy = Strategy::from_exprs(vec![
+        UpdateExpr::comp1(v1, a), // reads stored B (pre-install): builds its table
+        UpdateExpr::inst(a),
+        UpdateExpr::comp1(v1, b),
+        UpdateExpr::comp1(v2, b),
+        UpdateExpr::inst(b),      // kills every cached B extent
+        UpdateExpr::comp1(v2, c), // reads stored B (post-install): must rebuild
+        UpdateExpr::inst(c),
+        UpdateExpr::inst(v1),
+        UpdateExpr::inst(v2),
+    ]);
+    check_vdag_strategy(g, &strategy).unwrap();
+    (strategy, 5)
+}
+
+/// The control: same expressions, but `Inst(B)` comes *before* both
+/// stored-`B` readers, so the identical `SharedIdentity` is live between
+/// them and the share is legitimately taken. Returns the strategy and the
+/// index of the consuming reader, `Comp(V2,{C})`.
+fn control_strategy(w: &Warehouse) -> (Strategy, usize) {
+    let g = w.vdag();
+    let a = g.id_of("A").unwrap();
+    let b = g.id_of("B").unwrap();
+    let c = g.id_of("C").unwrap();
+    let v1 = g.id_of("V1").unwrap();
+    let v2 = g.id_of("V2").unwrap();
+    let strategy = Strategy::from_exprs(vec![
+        UpdateExpr::comp1(v1, b),
+        UpdateExpr::comp1(v2, b),
+        UpdateExpr::inst(b),
+        UpdateExpr::comp1(v1, a), // reads stored B': builds and publishes
+        UpdateExpr::inst(a),
+        UpdateExpr::comp1(v2, c), // reads stored B': consumes the live table
+        UpdateExpr::inst(c),
+        UpdateExpr::inst(v1),
+        UpdateExpr::inst(v2),
+    ]);
+    check_vdag_strategy(g, &strategy).unwrap();
+    (strategy, 5)
+}
+
+fn opts(dir: &PathBuf, strategy_cache: bool, threads: usize, faults: FaultPlan) -> ExecOptions {
+    ExecOptions {
+        wal: Some(
+            WalConfig::new(dir)
+                .with_fsync(FsyncPolicy::Never)
+                .with_faults(faults),
+        ),
+        term_sharing: strategy_cache,
+        strategy_sharing: strategy_cache,
+        term_threads: threads,
+        ..ExecOptions::default()
+    }
+}
+
+fn run(
+    w: &Warehouse,
+    changes: &BTreeMap<String, DeltaRelation>,
+    strategy: &Strategy,
+    dir: &PathBuf,
+    strategy_cache: bool,
+    threads: usize,
+    faults: FaultPlan,
+) -> Result<String, CoreError> {
+    let mut clone = w.clone();
+    clone.load_changes(changes.clone()).unwrap();
+    clone.execute_with(strategy, opts(dir, strategy_cache, threads, faults))?;
+    Ok(catalog_to_string(clone.state()))
+}
+
+/// An `Inst` invalidating a cached operand mid-strategy never serves stale
+/// reuse: the cached engines (sequential and threaded) are byte-identical
+/// to the uncached engine, and the static plan refuses to consume across
+/// the invalidation while still consuming where liveness holds.
+#[test]
+fn invalidated_operand_is_never_served_stale() {
+    for round in 0..4u64 {
+        let seed = seed_base().wrapping_mul(67).wrapping_add(round);
+        let (w, changes) = fixture(seed);
+        let (strategy, post_inval) = adversarial_strategy(&w);
+
+        let dir = wal_dir(&format!("ref-{round}"));
+        let expected = run(&w, &changes, &strategy, &dir, false, 0, FaultPlan::none()).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+
+        for threads in [0usize, 3] {
+            let dir = wal_dir(&format!("cached-{round}-{threads}"));
+            let got = run(
+                &w,
+                &changes,
+                &strategy,
+                &dir,
+                true,
+                threads,
+                FaultPlan::none(),
+            )
+            .unwrap();
+            let _ = std::fs::remove_dir_all(&dir);
+            assert_eq!(
+                got, expected,
+                "seed {seed} threads {threads}: strategy cache served stale data"
+            );
+        }
+
+        // The plan itself: the post-Inst(B) reader rebuilds from scratch —
+        // no cross-reuse, no cached read.
+        let mut loaded = w.clone();
+        loaded.load_changes(changes.clone()).unwrap();
+        let plan = plan_strategy_sharing(&loaded, &strategy, SharingScope::Strategy).unwrap();
+        let post = &plan.exprs[post_inval].plan;
+        assert_eq!(
+            post.cross_reuses, 0,
+            "seed {seed}: Comp(V2,{{C}}) must not probe a table Inst(B) invalidated"
+        );
+        assert_eq!(
+            post.cached_reads, 0,
+            "seed {seed}: Comp(V2,{{C}}) must not read a materialization Inst(B) invalidated"
+        );
+
+        // Non-vacuity control: reorder so Inst(B) precedes both readers
+        // and the *same* identity IS consumed — the adversarial zero above
+        // is the liveness predicate at work, not a missing opportunity.
+        let (control, consumer) = control_strategy(&w);
+        let cplan = plan_strategy_sharing(&loaded, &control, SharingScope::Strategy).unwrap();
+        assert!(
+            cplan.exprs[consumer].plan.cross_reuses > 0,
+            "seed {seed}: the control ordering must consume the live stored-B table"
+        );
+        let dir = wal_dir(&format!("control-ref-{round}"));
+        let cexpected = run(&w, &changes, &control, &dir, false, 0, FaultPlan::none()).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+        for threads in [0usize, 3] {
+            let dir = wal_dir(&format!("control-{round}-{threads}"));
+            let got = run(
+                &w,
+                &changes,
+                &control,
+                &dir,
+                true,
+                threads,
+                FaultPlan::none(),
+            )
+            .unwrap();
+            let _ = std::fs::remove_dir_all(&dir);
+            assert_eq!(
+                got, cexpected,
+                "seed {seed} threads {threads}: legitimate consume diverged from uncached"
+            );
+        }
+    }
+}
+
+/// The crash matrix over the adversarial strategy: crashing the cached run
+/// (sequential and threaded) before **every** WAL record and recovering
+/// lands on a catalog byte-identical to the uncached reference — a resumed
+/// suffix never observes a stale cache either (recovery rebuilds with no
+/// strategy cache by construction).
+#[test]
+fn every_crash_point_of_the_cached_run_recovers_to_the_uncached_catalog() {
+    let seed = seed_base().wrapping_mul(67).wrapping_add(11);
+    let (w, changes) = fixture(seed);
+    let (strategy, _) = adversarial_strategy(&w);
+
+    let dir = wal_dir("crash-ref");
+    let expected = run(&w, &changes, &strategy, &dir, false, 0, FaultPlan::none()).unwrap();
+    let total = WalLog::open(&dir).unwrap().records.len() as u64;
+    let _ = std::fs::remove_dir_all(&dir);
+    assert!(total >= 3, "BEGIN + at least one record + COMMIT");
+
+    let mut loaded = w.clone();
+    loaded.load_changes(changes.clone()).unwrap();
+
+    for threads in [0usize, 3] {
+        for k in 0..total {
+            let dir = wal_dir(&format!("crash-{threads}-k{k}"));
+            let err = run(
+                &w,
+                &changes,
+                &strategy,
+                &dir,
+                true,
+                threads,
+                FaultPlan::crash_before(k),
+            )
+            .expect_err("injected crash must abort the cached run");
+            assert!(
+                matches!(err, CoreError::InjectedCrash { record } if record == k),
+                "crash point {k}: unexpected {err}"
+            );
+
+            let mut recovered = loaded.clone();
+            uww::core::recover(&mut recovered, &dir)
+                .unwrap_or_else(|e| panic!("recover threads={threads} crash point {k}: {e}"));
+            assert_eq!(
+                catalog_to_string(recovered.state()),
+                expected,
+                "threads {threads} crash point {k}: recovered catalog diverges from uncached"
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}
