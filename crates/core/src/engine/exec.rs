@@ -195,10 +195,143 @@ impl ExecutionReport {
     }
 }
 
+/// Predicted-vs-measured sharing counters for one carried window.
+///
+/// Every quantity is fixed statically by the seeded liveness walk before the
+/// window runs; [`exact`](CarryConformance::exact) holding is therefore a
+/// *proof obligation* on the executor, not a tuning metric — continuous-mode
+/// tests assert it for every window of every seeded stream.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CarryConformance {
+    /// Cross-expression hash-table reuses the seeded plan predicted.
+    pub predicted_cross_reuses: u64,
+    /// Cross-expression hash-table reuses the meter measured.
+    pub measured_cross_reuses: u64,
+    /// Strategy-cache-served raw operand reads the seeded plan predicted.
+    pub predicted_cached_reads: u64,
+    /// Strategy-cache-served raw operand reads the meter measured.
+    pub measured_cached_reads: u64,
+    /// Hash-table uses predicted to be served by the *previous window's*
+    /// carried tables (subset of `predicted_cross_reuses`).
+    pub predicted_carried_table_hits: u64,
+    /// Hash-table uses actually served by carried tables.
+    pub measured_carried_table_hits: u64,
+    /// Raw operand reads predicted to be served by carried materializations
+    /// (subset of `predicted_cached_reads`).
+    pub predicted_carried_raw_hits: u64,
+    /// Raw operand reads actually served by carried materializations.
+    pub measured_carried_raw_hits: u64,
+}
+
+impl CarryConformance {
+    /// True when every measured counter equals its static prediction.
+    pub fn exact(&self) -> bool {
+        self.predicted_cross_reuses == self.measured_cross_reuses
+            && self.predicted_cached_reads == self.measured_cached_reads
+            && self.predicted_carried_table_hits == self.measured_carried_table_hits
+            && self.predicted_carried_raw_hits == self.measured_carried_raw_hits
+    }
+}
+
+/// Result of one carried window: the execution report, the cache entries
+/// that survived into the next window, and the conformance ledger.
+#[derive(Debug)]
+pub struct WindowOutcome {
+    /// Per-expression measurements, exactly as [`Warehouse::execute_with`]
+    /// would report them.
+    pub report: ExecutionReport,
+    /// Build tables and raw materializations that outlived this window —
+    /// pass to the next window's [`Warehouse::execute_carried`] call (or
+    /// drop to run it cold, e.g. after crash recovery).
+    pub carry: share::WindowCarry,
+    /// Predicted-vs-measured sharing counters for this window.
+    pub conformance: CarryConformance,
+}
+
 impl Warehouse {
     /// Executes a VDAG strategy with default options.
     pub fn execute(&mut self, strategy: &Strategy) -> CoreResult<ExecutionReport> {
         self.execute_with(strategy, ExecOptions::default())
+    }
+
+    /// Executes one continuous-mode window: like [`Warehouse::execute_with`]
+    /// with `strategy_sharing` forced on, but the strategy-scope cache is
+    /// seeded with `carry` — the entries that survived the previous window —
+    /// and harvested afterwards for the next one. Deltas, WAL bytes, and the
+    /// logical meter are byte-identical to an unseeded run; only the physical
+    /// sharing counters move, and those conform exactly to the seeded plan.
+    pub fn execute_carried(
+        &mut self,
+        strategy: &Strategy,
+        opts: ExecOptions,
+        carry: share::WindowCarry,
+    ) -> CoreResult<WindowOutcome> {
+        if !opts.term_sharing {
+            return Err(CoreError::Warehouse(
+                "execute_carried requires term_sharing (the strategy cache rides on it)".into(),
+            ));
+        }
+        if opts.analyze_first {
+            let report = uww_analysis::analyze(self.vdag(), strategy);
+            if report.has_errors() {
+                return Err(CoreError::Analysis(Box::new(report)));
+            }
+        }
+        if opts.validate {
+            check_vdag_strategy(self.vdag(), strategy)?;
+        }
+        let mut wal = match &opts.wal {
+            Some(cfg) => {
+                let staged: Vec<(usize, &UpdateExpr)> =
+                    strategy.exprs.iter().map(|e| (0, e)).collect();
+                Some(self.wal_begin(cfg, &staged)?)
+            }
+            None => None,
+        };
+        // The seeded plan starts its liveness walk from the carried entries,
+        // so the front of the strategy can consume the previous window's
+        // builds; seeding the runtime cache with the *same* carry makes
+        // measured and predicted counters equal by construction.
+        let plan = share::plan_strategy_sharing_carried(self, strategy, &carry)?;
+        let mut conformance = CarryConformance {
+            predicted_cross_reuses: plan.cross_reuses(),
+            predicted_cached_reads: plan.cached_reads(),
+            predicted_carried_table_hits: plan.carried_table_hits,
+            predicted_carried_raw_hits: plan.carried_raw_hits,
+            ..CarryConformance::default()
+        };
+        let scache = plan.cache_with(carry);
+        let mut run_span = obs::span(obs::SpanKind::Run, "execute");
+        run_span.attr_u64("expressions", strategy.exprs.len() as u64);
+        let items: Vec<(usize, usize, UpdateExpr)> = strategy
+            .exprs
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (i, 0, e.clone()))
+            .collect();
+        let start_meter = *self.meter();
+        let report = self.run_exprs_journaled(
+            &items,
+            None,
+            &mut wal,
+            opts.term_options(),
+            Some(&scache),
+            opts.predicted_work.as_deref(),
+        )?;
+        if let Some(w) = &mut wal {
+            w.append(&RecordBody::Commit)?;
+        }
+        let measured = self.meter().since(&start_meter);
+        conformance.measured_cross_reuses = measured.hash_tables_cross_reused;
+        conformance.measured_cached_reads = measured.operand_reads_cached;
+        let (table_hits, raw_hits) = scache.carried_hits();
+        conformance.measured_carried_table_hits = table_hits;
+        conformance.measured_carried_raw_hits = raw_hits;
+        Ok(WindowOutcome {
+            report,
+            carry: scache.harvest(),
+            conformance,
+        })
     }
 
     /// Executes a VDAG strategy.
@@ -290,23 +423,30 @@ impl Warehouse {
             }
             let start_meter = *self.meter();
             let t0 = Instant::now();
-            match expr {
-                UpdateExpr::Comp { view, over } => self.exec_comp_journaled(
-                    *view,
-                    over,
-                    *idx,
-                    wal,
-                    topts,
-                    scache.map(|c| (c, *idx)),
-                )?,
-                UpdateExpr::Inst(view) => {
-                    self.exec_inst_journaled(*view, *idx, wal)?;
+            let installed = match expr {
+                UpdateExpr::Comp { view, over } => {
+                    self.exec_comp_journaled(
+                        *view,
+                        over,
+                        *idx,
+                        wal,
+                        topts,
+                        scache.map(|c| (c, *idx)),
+                    )?;
+                    None
                 }
-            }
+                UpdateExpr::Inst(view) => Some(self.exec_inst_journaled(*view, *idx, wal)?),
+            };
             // Drop strategy-cache entries this expression invalidated —
-            // the same liveness walk the static plan performed.
+            // the same liveness walk the static plan performed. An `Inst`
+            // that installed zero rows left every operand bit-identical, so
+            // its entries stay: consumption is directive-driven, so the lax
+            // retention can never serve an unplanned hit — it only lets more
+            // entries survive into a cross-window harvest.
             if let Some(c) = scache {
-                c.invalidate_after(self.vdag(), expr);
+                if installed != Some(0) {
+                    c.invalidate_after(self.vdag(), expr);
+                }
             }
             let work = self.meter().since(&start_meter);
             meter_attrs(&mut span, &work);

@@ -58,6 +58,7 @@ use crate::engine::exec::{meter_attrs, term_label};
 use crate::engine::warehouse::{scan_operand, Warehouse};
 use crate::error::{CoreError, CoreResult};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use uww_obs as obs;
 use uww_relational::ops::{self, BuiltTable, GroupAcc, SignedRows};
@@ -179,6 +180,10 @@ pub(crate) struct CompCacheDirectives {
     consume: HashSet<SharedIdentity>,
     /// Identities to intern locally and publish for later expressions.
     publish: HashSet<SharedIdentity>,
+    /// Raw `(view, as-delta)` reads served from the strategy cache instead
+    /// of re-scanning. Like `consume`, fixed statically so the measured
+    /// `operand_reads_cached` equals the plan by construction.
+    raw_consume: HashSet<(String, bool)>,
 }
 
 /// Strategy-scope operand cache: raw materializations and build tables
@@ -193,24 +198,106 @@ pub(crate) struct CompCacheDirectives {
 /// rule prices — an operand an `Inst` (or delta-extending `Comp`) touched
 /// can never serve a stale copy.
 /// Live raw `(view, as-delta)` materializations, with the raw extent
-/// length the logical metric charges per term.
-type RawCache = HashMap<(String, bool), (Arc<SignedRows>, u64)>;
+/// length the logical metric charges per term and a flag marking entries
+/// carried in from a previous update window.
+type RawCache = HashMap<(String, bool), (Arc<SignedRows>, u64, bool)>;
+
+/// Build tables and raw operand materializations that outlived one update
+/// window: every entry's operand provably went unmodified by the window
+/// that built it (the `UWW012` liveness predicate dropped everything else,
+/// and delta-role entries never cross a window boundary — the next batch
+/// replaces every pending delta). Feed it to
+/// [`Warehouse::execute_carried`](crate::engine::Warehouse::execute_carried)
+/// to seed the next window's strategy cache, or drop it (always do so after
+/// crash recovery — a recovered window rebuilds from the WAL snapshot and
+/// carries nothing).
+#[derive(Default)]
+pub struct WindowCarry {
+    tables: HashMap<SharedIdentity, Arc<BuiltTable>>,
+    raws: HashMap<(String, bool), (Arc<SignedRows>, u64)>,
+}
+
+impl std::fmt::Debug for WindowCarry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WindowCarry")
+            .field("tables", &self.tables.len())
+            .field("raws", &self.raws.len())
+            .finish()
+    }
+}
+
+impl WindowCarry {
+    /// A carry with no surviving entries (what the first window starts from).
+    pub fn empty() -> WindowCarry {
+        WindowCarry::default()
+    }
+
+    /// True when nothing survived the previous window.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty() && self.raws.is_empty()
+    }
+
+    /// Number of carried hash-join build tables.
+    pub fn tables(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Number of carried raw operand materializations.
+    pub fn raws(&self) -> usize {
+        self.raws.len()
+    }
+
+    /// The carried identity sets, for seeding the next window's liveness walk.
+    pub(crate) fn seed(&self) -> (HashSet<SharedIdentity>, HashSet<(String, bool)>) {
+        (
+            self.tables.keys().cloned().collect(),
+            self.raws.keys().cloned().collect(),
+        )
+    }
+}
 
 pub(crate) struct StrategyCache {
     /// Per-expression directives, indexed by strategy position.
     directives: Vec<CompCacheDirectives>,
-    /// Live build tables by identity.
-    tables: Mutex<HashMap<SharedIdentity, Arc<BuiltTable>>>,
+    /// Live build tables by identity; the flag marks carried-in entries.
+    tables: Mutex<HashMap<SharedIdentity, (Arc<BuiltTable>, bool)>>,
     raws: Mutex<RawCache>,
+    /// Conformance counters: cross-reuses / cached reads served from an
+    /// entry carried in from the previous window (per use, like the meter).
+    carried_table_hits: AtomicU64,
+    carried_raw_hits: AtomicU64,
 }
 
 impl StrategyCache {
     /// A cache primed with the plan's per-expression directives.
     pub(crate) fn new(directives: Vec<CompCacheDirectives>) -> StrategyCache {
+        StrategyCache::with_carry(directives, WindowCarry::empty())
+    }
+
+    /// A cache primed with the plan's directives plus the previous window's
+    /// surviving entries (flagged so carried hits are counted separately).
+    pub(crate) fn with_carry(
+        directives: Vec<CompCacheDirectives>,
+        carry: WindowCarry,
+    ) -> StrategyCache {
         StrategyCache {
             directives,
-            tables: Mutex::new(HashMap::new()),
-            raws: Mutex::new(HashMap::new()),
+            tables: Mutex::new(
+                carry
+                    .tables
+                    .into_iter()
+                    .map(|(id, t)| (id, (t, true)))
+                    .collect(),
+            ),
+            raws: Mutex::new(
+                carry
+                    .raws
+                    .into_iter()
+                    .map(|(k, (rows, len))| (k, (rows, len, true)))
+                    .collect(),
+            ),
+            carried_table_hits: AtomicU64::new(0),
+            carried_raw_hits: AtomicU64::new(0),
         }
     }
 
@@ -218,39 +305,64 @@ impl StrategyCache {
         self.directives.get(idx)
     }
 
-    fn raw_get(&self, view: &str, as_delta: bool) -> Option<(Arc<SignedRows>, u64)> {
-        self.raws
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .get(&(view.to_string(), as_delta))
-            .cloned()
+    /// The cached raw read for `(view, as_delta)` — served only when this
+    /// expression's plan directs it (so measured `operand_reads_cached`
+    /// equals the static prediction even when the runtime cache happens to
+    /// retain more than the conservative static walk assumed).
+    fn raw_get(&self, idx: usize, view: &str, as_delta: bool) -> Option<(Arc<SignedRows>, u64)> {
+        let key = (view.to_string(), as_delta);
+        if !self
+            .directives(idx)
+            .is_some_and(|d| d.raw_consume.contains(&key))
+        {
+            return None;
+        }
+        let map = self.raws.lock().unwrap_or_else(|e| e.into_inner());
+        let (rows, len, carried) = map.get(&key)?;
+        if *carried {
+            self.carried_raw_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        Some((Arc::clone(rows), *len))
     }
 
     fn raw_put(&self, key: (String, bool), entry: (Arc<SignedRows>, u64)) {
         self.raws
             .lock()
             .unwrap_or_else(|e| e.into_inner())
-            .insert(key, entry);
+            .insert(key, (entry.0, entry.1, false));
     }
 
     fn table_get(&self, id: &SharedIdentity) -> Option<Arc<BuiltTable>> {
-        self.tables
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .get(id)
-            .cloned()
+        let map = self.tables.lock().unwrap_or_else(|e| e.into_inner());
+        let (t, carried) = map.get(id)?;
+        if *carried {
+            self.carried_table_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        Some(Arc::clone(t))
     }
 
     fn table_put(&self, id: SharedIdentity, t: Arc<BuiltTable>) {
         self.tables
             .lock()
             .unwrap_or_else(|e| e.into_inner())
-            .insert(id, t);
+            .insert(id, (t, false));
+    }
+
+    /// Measured `(table hits, raw hits)` served from carried-in entries.
+    pub(crate) fn carried_hits(&self) -> (u64, u64) {
+        (
+            self.carried_table_hits.load(Ordering::Relaxed),
+            self.carried_raw_hits.load(Ordering::Relaxed),
+        )
     }
 
     /// Drops every cached entry whose operand `e` modified — the executor
     /// calls this after each expression completes, mirroring the liveness
-    /// walk the static plan performed.
+    /// walk the static plan performed. (The executor skips the call for an
+    /// `Inst` that installed nothing: a no-op install leaves every operand
+    /// bit-identical, and consumption is directive-driven, so the laxer
+    /// runtime retention can never serve an unplanned entry — it only lets
+    /// more entries survive into the next window's carry.)
     pub(crate) fn invalidate_after(&self, g: &Vdag, e: &UpdateExpr) {
         self.tables
             .lock()
@@ -260,6 +372,31 @@ impl StrategyCache {
             .lock()
             .unwrap_or_else(|er| er.into_inner())
             .retain(|key, _| !uww_analysis::modifies_operand(g, e, &key.0, key.1));
+    }
+
+    /// Consumes the cache into the entries that may cross into the next
+    /// window: everything still live, minus every delta-role entry (the
+    /// next batch replaces all pending deltas, so a carried delta read
+    /// would be stale by construction).
+    pub(crate) fn harvest(self) -> WindowCarry {
+        WindowCarry {
+            tables: self
+                .tables
+                .into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .into_iter()
+                .filter(|(id, _)| !id.1)
+                .map(|(id, (t, _))| (id, t))
+                .collect(),
+            raws: self
+                .raws
+                .into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .into_iter()
+                .filter(|(key, _)| !key.1)
+                .map(|(key, (rows, len, _))| (key, (rows, len)))
+                .collect(),
+        }
     }
 }
 
@@ -366,7 +503,8 @@ impl<'a> OperandCache<'a> {
                         // A live strategy-cache entry is the same raw read an
                         // earlier expression performed (nothing modified the
                         // operand since, or it would have been invalidated).
-                        let entry = match strategy.and_then(|(sc, _)| sc.raw_get(&s.view, as_delta))
+                        let entry = match strategy
+                            .and_then(|(sc, idx)| sc.raw_get(idx, &s.view, as_delta))
                         {
                             Some(hit) => {
                                 meter.cached_read();
@@ -930,6 +1068,13 @@ pub struct StrategySharingPlan {
     /// for cross-expression service and `cross_reuses`/`cached_reads`
     /// are populated.
     pub exprs: Vec<ExprSharingPrediction>,
+    /// Predicted hash-table uses served from a *previous window's* carried
+    /// table (zero unless the plan was seeded with a [`WindowCarry`]).
+    /// Subset of the total predicted cross-reuses.
+    pub carried_table_hits: u64,
+    /// Predicted raw operand reads served from a previous window's carried
+    /// materialization. Subset of the total predicted cached reads.
+    pub carried_raw_hits: u64,
     /// Per-expression cache directives (empty under [`SharingScope::Comp`]).
     pub(crate) directives: Vec<CompCacheDirectives>,
 }
@@ -955,6 +1100,14 @@ impl StrategySharingPlan {
     pub(crate) fn cache(&self) -> StrategyCache {
         StrategyCache::new(self.directives.clone())
     }
+
+    /// A runtime cache primed with this plan's directives plus the previous
+    /// window's surviving entries. Only meaningful when the plan was built
+    /// by [`plan_strategy_sharing_carried`] over the *same* carry, so the
+    /// directives and the seeded entries agree.
+    pub(crate) fn cache_with(&self, carry: WindowCarry) -> StrategyCache {
+        StrategyCache::with_carry(self.directives.clone(), carry)
+    }
 }
 
 /// Plans a whole strategy's sharing at the requested scope.
@@ -973,6 +1126,31 @@ pub fn plan_strategy_sharing(
     w: &Warehouse,
     strategy: &Strategy,
     scope: SharingScope,
+) -> CoreResult<StrategySharingPlan> {
+    plan_strategy_sharing_seeded(w, strategy, scope, None)
+}
+
+/// [`plan_strategy_sharing`] at strategy scope, seeded with the previous
+/// window's [`WindowCarry`]: the liveness walk starts with the carried
+/// identities live, so expressions at the *front* of the strategy can
+/// consume tables (and raw materializations) built by the previous window.
+/// The plan's `carried_table_hits`/`carried_raw_hits` predict exactly how
+/// many uses the carried entries will serve — the conformance quantity
+/// [`Warehouse::execute_carried`](crate::engine::Warehouse::execute_carried)
+/// checks against the measured counters.
+pub fn plan_strategy_sharing_carried(
+    w: &Warehouse,
+    strategy: &Strategy,
+    carry: &WindowCarry,
+) -> CoreResult<StrategySharingPlan> {
+    plan_strategy_sharing_seeded(w, strategy, SharingScope::Strategy, Some(carry))
+}
+
+fn plan_strategy_sharing_seeded(
+    w: &Warehouse,
+    strategy: &Strategy,
+    scope: SharingScope,
+    carry: Option<&WindowCarry>,
 ) -> CoreResult<StrategySharingPlan> {
     let mut scratch = w.clone();
     // The replay is a prediction, not part of the run: keep its spans out of
@@ -1013,6 +1191,8 @@ pub fn plan_strategy_sharing(
     let mut directives: Vec<CompCacheDirectives> = (0..exprs.len())
         .map(|_| CompCacheDirectives::default())
         .collect();
+    let mut carried_table_hits = 0u64;
+    let mut carried_raw_hits = 0u64;
     if scope == SharingScope::Strategy {
         let g = w.vdag();
         // Does any Comp after `j` use `id` before an expression modifies
@@ -1029,8 +1209,19 @@ pub fn plan_strategy_sharing(
             }
             false
         };
-        let mut live_tables: HashSet<SharedIdentity> = HashSet::new();
-        let mut live_raws: HashSet<(String, bool)> = HashSet::new();
+        // The liveness walk starts from the previous window's survivors
+        // (empty without a carry); the carried subsets are tracked through
+        // the same retention so a carried entry that dies mid-strategy
+        // stops being counted exactly when the runtime cache drops it.
+        let (mut live_tables, mut live_raws) = carry.map_or_else(
+            || (HashSet::new(), HashSet::new()),
+            |c| {
+                let (t, r) = c.seed();
+                (t, r)
+            },
+        );
+        let mut carried_tables: HashSet<SharedIdentity> = live_tables.clone();
+        let mut carried_raws: HashSet<(String, bool)> = live_raws.clone();
         for j in 0..exprs.len() {
             let d = &mut directives[j];
             let mut cross_reuses = 0u64;
@@ -1042,6 +1233,9 @@ pub fn plan_strategy_sharing(
                     cross_reuses += o.occurrences;
                     consumed_keys += 1;
                     cross_saved_rows += o.rows;
+                    if carried_tables.contains(&id) {
+                        carried_table_hits += o.occurrences;
+                    }
                     d.consume.insert(id);
                 } else if wanted_later(&exprs, j, &id) {
                     d.publish.insert(id);
@@ -1053,7 +1247,18 @@ pub fn plan_strategy_sharing(
             plan.predicted_reuses = keyed_steps - plan.predicted_builds;
             plan.cross_reuses = cross_reuses;
             plan.cross_saved_rows = cross_saved_rows;
-            plan.cached_reads = plan.reads.iter().filter(|r| live_raws.contains(*r)).count() as u64;
+            d.raw_consume = plan
+                .reads
+                .iter()
+                .filter(|r| live_raws.contains(*r))
+                .cloned()
+                .collect();
+            plan.cached_reads = d.raw_consume.len() as u64;
+            carried_raw_hits += plan
+                .reads
+                .iter()
+                .filter(|r| carried_raws.contains(*r))
+                .count() as u64;
             // Publishes land during execution; the expression's own
             // modifications apply after — in that order, matching the
             // executor (a Comp never modifies its own sources' operands).
@@ -1062,7 +1267,16 @@ pub fn plan_strategy_sharing(
             live_tables
                 .retain(|id| !uww_analysis::modifies_operand(g, &strategy.exprs[j], &id.0, id.1));
             live_raws.retain(|r| !uww_analysis::modifies_operand(g, &strategy.exprs[j], &r.0, r.1));
+            carried_tables
+                .retain(|id| !uww_analysis::modifies_operand(g, &strategy.exprs[j], &id.0, id.1));
+            carried_raws
+                .retain(|r| !uww_analysis::modifies_operand(g, &strategy.exprs[j], &r.0, r.1));
         }
     }
-    Ok(StrategySharingPlan { exprs, directives })
+    Ok(StrategySharingPlan {
+        exprs,
+        carried_table_hits,
+        carried_raw_hits,
+        directives,
+    })
 }

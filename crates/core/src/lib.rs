@@ -47,10 +47,11 @@ pub use calibrate::{calibrate, Calibration};
 pub use cost::{CostMetric, CostModel};
 pub use design::{greedy_select, Candidate, DesignOutcome};
 pub use engine::{
-    plan_strategy_sharing, predict_comp_sharing, predict_strategy_sharing, surviving_terms,
-    CompSharingPlan, ExecOptions, ExecutionReport, ExprReport, ExprSharingPrediction,
-    InstallPublisher, OperandUse, PendingDelta, SharedIdentity, SharingScope, StrategySharingPlan,
-    SummaryDelta, Warehouse, WarehouseBuilder,
+    plan_strategy_sharing, plan_strategy_sharing_carried, predict_comp_sharing,
+    predict_strategy_sharing, surviving_terms, CarryConformance, CompSharingPlan, ExecOptions,
+    ExecutionReport, ExprReport, ExprSharingPrediction, InstallPublisher, OperandUse, PendingDelta,
+    SharedIdentity, SharingScope, StrategySharingPlan, SummaryDelta, Warehouse, WarehouseBuilder,
+    WindowCarry, WindowOutcome,
 };
 pub use error::{CoreError, CoreResult};
 pub use estimate::StatsEstimator;
@@ -64,9 +65,9 @@ pub use parallel::{
     ParallelStrategy, StageReport,
 };
 pub use planner::{
-    min_work, min_work_shared, min_work_single, one_way_for_ordering, prune, prune_full,
-    sharing_report, sharing_report_scoped, MinWorkPlan, PruneOutcome, SharedPlanOutcome,
-    PRUNE_MAX_VIEWS, SHARED_REPLAY_CAP,
+    min_work, min_work_shared, min_work_shared_capped, min_work_single, one_way_for_ordering,
+    prune, prune_full, sharing_report, sharing_report_scoped, MinWorkPlan, PruneOutcome,
+    SharedPlanOutcome, PRUNE_MAX_VIEWS, SHARED_REPLAY_CAP,
 };
 pub use recovery::{recover, recover_with, RecoveryOutcome};
 pub use script::{expr_to_sql, predicate_to_sql, value_to_sql, ScriptGenerator, SqlProcedure};

@@ -242,12 +242,16 @@ pub struct SharedPlanOutcome {
     pub candidates: usize,
 }
 
-/// Most feasible orderings [`min_work_shared`] will replay the sharing plan
-/// for. Ranking a candidate's cross-share saving requires a scratch replay
-/// of the whole strategy (operand sizes depend on run state), so unlike
-/// [`prune`]'s closed-form costing the candidate set must stay small; the
-/// cheapest-by-linear-work candidates are kept, since a saving can never
-/// exceed the operand rows the linear cost already counts.
+/// Feasible orderings [`min_work_shared`] will replay the sharing plan for
+/// before the adaptive extension kicks in. Ranking a candidate's cross-share
+/// saving requires a scratch replay of the whole strategy (operand sizes
+/// depend on run state), so unlike [`prune`]'s closed-form costing the
+/// candidate set must stay small; the cheapest-by-linear-work candidates are
+/// kept, since a saving can never exceed the operand rows the linear cost
+/// already counts. When an observed saving exceeds the linear spread of the
+/// capped set, the search continues past the cap — a cheaper shared cost may
+/// hide behind a worse linear rank — until a candidate's linear handicap
+/// over the baseline exceeds the largest saving seen.
 pub const SHARED_REPLAY_CAP: usize = 24;
 
 /// **MinWorkShared**: the sharing-aware planner objective. Scores each
@@ -267,6 +271,22 @@ pub const SHARED_REPLAY_CAP: usize = 24;
 pub fn min_work_shared(
     w: &crate::engine::Warehouse,
     model: &CostModel<'_>,
+) -> CoreResult<SharedPlanOutcome> {
+    min_work_shared_capped(w, model, SHARED_REPLAY_CAP)
+}
+
+/// [`min_work_shared`] with an explicit replay cap (the public entry uses
+/// [`SHARED_REPLAY_CAP`]). The cap is adaptive, not hard: after replaying
+/// the `cap` linear-cheapest candidates, the search keeps going whenever the
+/// largest cross-share saving seen so far exceeds the linear spread of the
+/// capped set — evidence that a candidate ranked past the cap by linear work
+/// alone could still win under the shared objective — and stops once a
+/// candidate's linear handicap over the baseline exceeds that saving (the
+/// list is sorted, so nothing later can repay it either).
+pub fn min_work_shared_capped(
+    w: &crate::engine::Warehouse,
+    model: &CostModel<'_>,
+    cap: usize,
 ) -> CoreResult<SharedPlanOutcome> {
     use crate::engine::{plan_strategy_sharing, SharingScope};
     let g = w.vdag();
@@ -290,15 +310,28 @@ pub fn min_work_shared(
         .map(|s| (model.strategy_work(&s), s))
         .collect();
     scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
-    scored.truncate(SHARED_REPLAY_CAP);
+    let cap = cap.max(1);
+    let capped_spread = scored[scored.len().min(cap) - 1].0 - scored[0].0;
     let (baseline_cost, baseline) = scored[0].clone();
     let mut best: Option<SharedPlanOutcome> = None;
-    let candidates = scored.len();
-    for (linear, s) in scored {
+    let mut max_saving = 0.0f64;
+    let mut replayed = 0usize;
+    for (i, (linear, s)) in scored.into_iter().enumerate() {
+        if i >= cap {
+            // Adaptive extension past the cap: only while an observed saving
+            // exceeds the capped set's linear spread (so the capped ranking
+            // may be wrong) and this candidate's linear handicap could still
+            // be repaid by a saving of the size already witnessed.
+            if max_saving <= capped_spread || linear - baseline_cost > max_saving {
+                break;
+            }
+        }
+        replayed += 1;
         debug_lint(g, &s);
         let saving = model.cross_share_saving(
             plan_strategy_sharing(w, &s, SharingScope::Strategy)?.cross_saved_rows(),
         );
+        max_saving = max_saving.max(saving);
         let cost = linear - saving;
         if best.as_ref().is_none_or(|b| cost < b.cost) {
             best = Some(SharedPlanOutcome {
@@ -309,11 +342,12 @@ pub fn min_work_shared(
                 baseline: baseline.clone(),
                 baseline_cost,
                 differs: false,
-                candidates,
+                candidates: 0,
             });
         }
     }
     let mut out = best.expect("candidate set is never empty");
+    out.candidates = replayed;
     out.differs = out.strategy != out.baseline;
     Ok(out)
 }

@@ -127,6 +127,16 @@ pub mod keys {
     pub const VERB: &str = "verb";
     /// Stage index on stage spans.
     pub const STAGE: &str = "stage";
+    /// Continuous-ingest window index on window run spans.
+    pub const WINDOW: &str = "window";
+    /// Accumulation ticks of a continuous-ingest window.
+    pub const WINDOW_TICKS: &str = "window_ticks";
+    /// Delta events batched into a continuous-ingest window.
+    pub const EVENTS: &str = "events";
+    /// Mean event staleness (ticks, arrival → install) of a window.
+    pub const STALENESS: &str = "staleness";
+    /// Events still queued when a window was cut.
+    pub const QUEUE_DEPTH: &str = "queue_depth";
 }
 
 /// A finished span as stored in the ring buffer.

@@ -1,0 +1,40 @@
+//! # uww-sched
+//!
+//! Continuous micro-batch ingest with adaptive update-window sizing.
+//!
+//! The paper assumes one nightly batch per update window; this crate lifts
+//! that assumption. A [`DeltaSource`] yields a timeline of base-view change
+//! events; the [`IngestScheduler`] accumulates them into micro-batches,
+//! picks each window's cut point and strategy adaptively (calibrated cost
+//! model + EWMA arrival rate against a staleness SLA), and executes every
+//! window through the existing WAL/recovery/publishing path — so a crash
+//! mid-window resumes cleanly and online readers never block.
+//!
+//! Windows run under the strategy-scope operand cache, and build tables
+//! whose liveness predicate proves them untouched by a window's installs
+//! *carry over* into the next window's cache
+//! ([`uww_core::Warehouse::execute_carried`]), with conformance counters
+//! proving every carried hit was statically predicted.
+//!
+//! Determinism is the design center: a [`SeededSource`] timeline is a pure
+//! function of its seed, the virtual clock advances by *predicted* work,
+//! and policies observe only plan-time quantities — so continuous mode is
+//! byte-identical to replaying the same micro-batches as independent
+//! one-shot runs, the property `tests/continuous_ingest.rs` asserts.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod policy;
+pub mod scheduler;
+pub mod source;
+
+pub use policy::{Policy, RateTracker, SlaConfig, WindowController};
+pub use scheduler::{
+    batch_of, resume_after_crash, window_wal_config, CrashState, IngestOutcome, IngestScheduler,
+    SchedConfig, WindowPlanner, WindowReport,
+};
+pub use source::{
+    events_from_str, events_to_string, ChainSource, DeltaEvent, DeltaSource, IngestQueue,
+    QueueSource, ReplaySource, SeededSource, SeededSourceConfig,
+};

@@ -1,0 +1,475 @@
+//! The continuous micro-batch ingest scheduler.
+//!
+//! [`IngestScheduler`] turns a [`DeltaSource`](crate::DeltaSource) timeline
+//! into a sequence of update windows against one warehouse. Per window it:
+//!
+//! 1. asks the [`WindowController`] for the accumulation span and drains
+//!    every event that arrived since the last drain (including during the
+//!    previous window's processing);
+//! 2. folds the queued events into one change batch per base view and
+//!    loads it;
+//! 3. plans the window — sizes are re-estimated, the strategy re-picked
+//!    (`minwork` or the sharing-aware `shared` objective) — and converts
+//!    the predicted linear work into processing ticks via the SLA's
+//!    service rate;
+//! 4. executes through the existing WAL + strategy-cache machinery
+//!    ([`Warehouse::execute_carried`]), optionally carrying surviving
+//!    build tables into the next window;
+//! 5. advances the virtual clock past the processing span, so arrivals
+//!    during processing land in the *next* batch — the feedback loop the
+//!    adaptive policy steers.
+//!
+//! Virtual time is deterministic: the clock advances by *predicted*
+//! processing ticks, never wall time, so the same seed yields the same
+//! window sequence on every machine — and a crashed run resumes through
+//! the identical schedule ([`resume_after_crash`]).
+
+use crate::policy::{SlaConfig, WindowController};
+use crate::source::{DeltaEvent, DeltaSource};
+use crate::Policy;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use uww_core::{
+    min_work, min_work_shared, recover, CarryConformance, CoreError, CoreResult, CostModel,
+    ExecOptions, ExecutionReport, FaultPlan, FsyncPolicy, RecoveryOutcome, SizeCatalog, WalConfig,
+    Warehouse, WindowCarry,
+};
+use uww_obs as obs;
+use uww_relational::DeltaRelation;
+use uww_vdag::Strategy;
+
+/// Which planner picks each window's strategy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WindowPlanner {
+    /// MinWork under the plain linear objective.
+    MinWork,
+    /// The sharing-aware objective ([`min_work_shared`]).
+    Shared,
+}
+
+impl WindowPlanner {
+    /// Parses a CLI planner name.
+    pub fn parse(s: &str) -> Result<WindowPlanner, String> {
+        match s {
+            "minwork" => Ok(WindowPlanner::MinWork),
+            "shared" => Ok(WindowPlanner::Shared),
+            other => Err(format!(
+                "unknown window planner: {other} (expected minwork|shared)"
+            )),
+        }
+    }
+}
+
+/// Scheduler configuration: policy, SLA, durability, and fault injection.
+#[derive(Clone, Debug)]
+pub struct SchedConfig {
+    /// Window-cut policy.
+    pub policy: Policy,
+    /// Staleness target and window bounds.
+    pub sla: SlaConfig,
+    /// Initial (and, for `fixed`, permanent) window span in ticks.
+    pub window: u64,
+    /// Stop once every event at or before this tick is processed.
+    pub horizon: u64,
+    /// Carry surviving strategy-cache entries across windows.
+    pub carry: bool,
+    /// Per-window strategy planner.
+    pub planner: WindowPlanner,
+    /// Root directory for per-window WAL subdirectories (`window_K`);
+    /// `None` runs without journaling.
+    pub wal_root: Option<PathBuf>,
+    /// Fsync policy for each window's WAL.
+    pub fsync: FsyncPolicy,
+    /// Inject this fault plan into window K's WAL — the crash-matrix hook.
+    pub fault: Option<(usize, FaultPlan)>,
+}
+
+impl Default for SchedConfig {
+    fn default() -> Self {
+        SchedConfig {
+            policy: Policy::Fixed,
+            sla: SlaConfig::default(),
+            window: 16,
+            horizon: 200,
+            carry: true,
+            planner: WindowPlanner::Shared,
+            wal_root: None,
+            fsync: FsyncPolicy::Never,
+            fault: None,
+        }
+    }
+}
+
+/// The WAL configuration window `idx` of a continuous run uses. Public so
+/// the differential tests (and `uww recover`) can rebuild the *identical*
+/// config for a one-shot replay — WAL bytes only compare equal when the
+/// manifest context matches.
+pub fn window_wal_config(root: &std::path::Path, idx: usize, fsync: FsyncPolicy) -> WalConfig {
+    WalConfig::new(root.join(format!("window_{idx:04}")))
+        .with_fsync(fsync)
+        .with_ctx("mode", "ingest")
+        .with_ctx("window", idx.to_string())
+}
+
+/// Everything one executed window produced — enough to replay it as an
+/// independent one-shot run (the differential property the tests assert).
+#[derive(Debug)]
+pub struct WindowReport {
+    /// Window index (0-based, global across resume).
+    pub index: usize,
+    /// Tick the batch was cut at.
+    pub cut: u64,
+    /// Ticks the window accumulated for.
+    pub window_ticks: u64,
+    /// Tick the install completed at (`cut` + processing ticks).
+    pub done: u64,
+    /// Events in the batch.
+    pub events: u64,
+    /// The exact change batch loaded, by base view.
+    pub batch: BTreeMap<String, DeltaRelation>,
+    /// The strategy the per-window planner picked.
+    pub strategy: Strategy,
+    /// Planner-predicted linear work.
+    pub predicted_work: f64,
+    /// Measured linear work.
+    pub measured_work: u64,
+    /// Mean event staleness in ticks (arrival → install).
+    pub staleness: f64,
+    /// Strategy-cache entries carried *in* from the previous window.
+    pub carry_in: (usize, usize),
+    /// Predicted-vs-measured sharing counters (exact by construction).
+    pub conformance: CarryConformance,
+    /// This window's WAL directory, when journaling.
+    pub wal_dir: Option<PathBuf>,
+    /// Full per-expression execution report.
+    pub report: ExecutionReport,
+}
+
+/// State needed to resume after a mid-window crash: the post-window clock
+/// and controller are snapshotted *before* execution (they depend only on
+/// the plan), so the resumed schedule continues exactly where the
+/// uninterrupted one would be.
+#[derive(Clone, Debug)]
+pub struct CrashState {
+    /// The window that crashed.
+    pub window: usize,
+    /// Its WAL directory, for [`recover`].
+    pub wal_dir: PathBuf,
+    /// Virtual clock after the crashed window completes (recovery finishes
+    /// it from the journal).
+    pub clock_after: u64,
+    /// Events were drained through this tick before the crash.
+    pub drained_through: u64,
+    /// Controller state after observing the crashed window's plan.
+    pub controller: WindowController,
+    /// The injected error, for reporting.
+    pub error: String,
+}
+
+/// The result of a continuous run.
+#[derive(Debug, Default)]
+pub struct IngestOutcome {
+    /// Completed windows, in order.
+    pub windows: Vec<WindowReport>,
+    /// Set when a fault-injected window crashed; pass to
+    /// [`resume_after_crash`].
+    pub crashed: Option<CrashState>,
+    /// Final virtual clock.
+    pub clock: u64,
+}
+
+impl IngestOutcome {
+    /// Total events processed.
+    pub fn events(&self) -> u64 {
+        self.windows.iter().map(|w| w.events).sum()
+    }
+
+    /// Event-weighted mean staleness across all windows, in ticks.
+    pub fn mean_staleness(&self) -> f64 {
+        let events = self.events();
+        if events == 0 {
+            return 0.0;
+        }
+        let weighted: f64 = self
+            .windows
+            .iter()
+            .map(|w| w.staleness * w.events as f64)
+            .sum();
+        weighted / events as f64
+    }
+
+    /// Rows installed per tick of virtual time.
+    pub fn throughput(&self) -> f64 {
+        if self.clock == 0 {
+            return 0.0;
+        }
+        let installed: u64 = self
+            .windows
+            .iter()
+            .map(|w| w.report.total_work().rows_installed)
+            .sum();
+        installed as f64 / self.clock as f64
+    }
+
+    /// True when every window's sharing counters matched the static plan.
+    pub fn conformant(&self) -> bool {
+        self.windows.iter().all(|w| w.conformance.exact())
+    }
+}
+
+/// The continuous scheduler: owns the source, the controller, and the
+/// virtual clock; borrows the warehouse per run.
+pub struct IngestScheduler<S> {
+    cfg: SchedConfig,
+    source: S,
+    controller: WindowController,
+    clock: u64,
+    drained_through: u64,
+    next_index: usize,
+}
+
+impl<S: DeltaSource> IngestScheduler<S> {
+    /// A scheduler starting at tick 0, window 0.
+    pub fn new(cfg: SchedConfig, source: S) -> IngestScheduler<S> {
+        let controller = WindowController::new(cfg.policy, cfg.sla, cfg.window);
+        IngestScheduler {
+            cfg,
+            source,
+            controller,
+            clock: 0,
+            drained_through: 0,
+            next_index: 0,
+        }
+    }
+
+    /// A scheduler resumed mid-stream (used by [`resume_after_crash`]).
+    pub fn with_state(
+        cfg: SchedConfig,
+        source: S,
+        controller: WindowController,
+        clock: u64,
+        drained_through: u64,
+        next_index: usize,
+    ) -> IngestScheduler<S> {
+        IngestScheduler {
+            cfg,
+            source,
+            controller,
+            clock,
+            drained_through,
+            next_index,
+        }
+    }
+
+    /// Runs the schedule to completion (or to the first injected crash).
+    pub fn run(&mut self, w: &mut Warehouse) -> CoreResult<IngestOutcome> {
+        self.run_with_observer(w, &mut |_| {})
+    }
+
+    /// [`run`](IngestScheduler::run), invoking `observer` after each
+    /// completed window — the hook the serve metrics wiring uses.
+    pub fn run_with_observer(
+        &mut self,
+        w: &mut Warehouse,
+        observer: &mut dyn FnMut(&WindowReport),
+    ) -> CoreResult<IngestOutcome> {
+        let mut out = IngestOutcome::default();
+        let mut queue: Vec<DeltaEvent> = Vec::new();
+        let mut carry = WindowCarry::empty();
+        loop {
+            if queue.is_empty()
+                && self.drained_through >= self.cfg.horizon
+                && self.source.exhausted_after(self.drained_through)
+            {
+                break;
+            }
+            let window_ticks = self.controller.next_window().max(1);
+            let cut = self.clock + window_ticks;
+            queue.extend(self.source.drain(self.drained_through, cut));
+            self.drained_through = cut;
+            self.clock = cut;
+            if queue.is_empty() {
+                continue;
+            }
+
+            let idx = self.next_index;
+            let events = std::mem::take(&mut queue);
+            let batch = batch_of(w, &events)?;
+            w.load_changes(batch.clone())?;
+
+            // Plan: sizes re-estimated against the freshly loaded batch.
+            let sizes = SizeCatalog::estimate(w)?;
+            let model = CostModel::new(w.vdag(), &sizes);
+            let strategy = match self.cfg.planner {
+                WindowPlanner::MinWork => min_work(w.vdag(), &sizes)?.strategy,
+                WindowPlanner::Shared => min_work_shared(w, &model)?.strategy,
+            };
+            let predicted = model.strategy_work(&strategy);
+            let per_expr = model.per_expression_work(&strategy);
+            let processing = (predicted / self.cfg.sla.service_rate).ceil() as u64;
+            let done = cut + processing;
+            let staleness =
+                events.iter().map(|e| (done - e.at) as f64).sum::<f64>() / events.len() as f64;
+
+            // The controller observes the *plan*, not the execution — all
+            // deterministic quantities — before anything can crash, so a
+            // resumed run continues with identical sizing decisions.
+            self.controller
+                .observe_window(events.len() as u64, window_ticks, predicted);
+
+            let wal_dir = self
+                .cfg
+                .wal_root
+                .as_ref()
+                .map(|r| r.join(format!("window_{idx:04}")));
+            let faulted = matches!(&self.cfg.fault, Some((k, _)) if *k == idx);
+            let wal_cfg = self.cfg.wal_root.as_ref().map(|r| {
+                let mut c = window_wal_config(r, idx, self.cfg.fsync);
+                if let Some((k, plan)) = &self.cfg.fault {
+                    if *k == idx {
+                        c = c.with_faults(*plan);
+                    }
+                }
+                c
+            });
+            let opts = ExecOptions {
+                wal: wal_cfg,
+                strategy_sharing: true,
+                predicted_work: Some(per_expr),
+                ..ExecOptions::default()
+            };
+
+            let mut span = obs::span_dyn(obs::SpanKind::Run, || format!("window {idx}"));
+            if span.is_recording() {
+                span.attr_u64(obs::keys::WINDOW, idx as u64);
+                span.attr_u64(obs::keys::WINDOW_TICKS, window_ticks);
+                span.attr_u64(obs::keys::EVENTS, events.len() as u64);
+                span.attr_u64(obs::keys::QUEUE_DEPTH, events.len() as u64);
+                span.attr_f64(obs::keys::STALENESS, staleness);
+                span.attr_f64(obs::keys::PREDICTED_WORK, predicted);
+            }
+
+            let carry_in = (carry.tables(), carry.raws());
+            let seed_carry = if self.cfg.carry {
+                std::mem::replace(&mut carry, WindowCarry::empty())
+            } else {
+                WindowCarry::empty()
+            };
+            match w.execute_carried(&strategy, opts, seed_carry) {
+                Ok(outcome) => {
+                    if span.is_recording() {
+                        span.attr_u64(obs::keys::MEASURED_WORK, outcome.report.linear_work());
+                    }
+                    drop(span);
+                    if self.cfg.carry {
+                        carry = outcome.carry;
+                    }
+                    self.clock = done;
+                    let report = WindowReport {
+                        index: idx,
+                        cut,
+                        window_ticks,
+                        done,
+                        events: events.len() as u64,
+                        batch,
+                        strategy,
+                        predicted_work: predicted,
+                        measured_work: outcome.report.linear_work(),
+                        staleness,
+                        carry_in,
+                        conformance: outcome.conformance,
+                        wal_dir,
+                        report: outcome.report,
+                    };
+                    observer(&report);
+                    out.windows.push(report);
+                    self.next_index += 1;
+                }
+                Err(err) if faulted => {
+                    drop(span);
+                    out.crashed = Some(CrashState {
+                        window: idx,
+                        wal_dir: wal_dir.ok_or_else(|| {
+                            CoreError::Wal("fault injection requires a wal_root".into())
+                        })?,
+                        clock_after: done,
+                        drained_through: self.drained_through,
+                        controller: self.controller.clone(),
+                        error: err.to_string(),
+                    });
+                    out.clock = self.clock;
+                    return Ok(out);
+                }
+                Err(err) => return Err(err),
+            }
+        }
+        out.clock = self.clock;
+        Ok(out)
+    }
+}
+
+/// Recovers the crashed window from its WAL (completing it exactly as the
+/// uninterrupted run would have) and runs the rest of the schedule. The
+/// resumed run starts with an **empty** carry — a recovered window rebuilds
+/// from the journal snapshot, so nothing survives the crash boundary; the
+/// conformance counters still hold because the next window's plan is seeded
+/// with that same empty carry.
+pub fn resume_after_crash<S: DeltaSource>(
+    cfg: SchedConfig,
+    source: S,
+    w: &mut Warehouse,
+    crash: &CrashState,
+) -> CoreResult<(RecoveryOutcome, IngestOutcome)> {
+    let rec = recover(w, &crash.wal_dir)?;
+    let mut cfg = cfg;
+    cfg.fault = None;
+    let mut sched = IngestScheduler::with_state(
+        cfg,
+        source,
+        crash.controller.clone(),
+        crash.clock_after,
+        crash.drained_through,
+        crash.window + 1,
+    );
+    let out = sched.run(w)?;
+    Ok((rec, out))
+}
+
+/// Folds events into one [`DeltaRelation`] per base view, schemas taken
+/// from the warehouse. Insert-then-delete of the same row within one batch
+/// cancels — exactly the multiset semantics `load_changes` expects.
+pub fn batch_of(
+    w: &Warehouse,
+    events: &[DeltaEvent],
+) -> CoreResult<BTreeMap<String, DeltaRelation>> {
+    let mut out: BTreeMap<String, DeltaRelation> = BTreeMap::new();
+    for e in events {
+        let d = match out.entry(e.view.clone()) {
+            std::collections::btree_map::Entry::Occupied(o) => o.into_mut(),
+            std::collections::btree_map::Entry::Vacant(v) => {
+                let table = w.table(&e.view).map_err(|_| {
+                    CoreError::Warehouse(format!("ingest event for unknown base view {}", e.view))
+                })?;
+                if !w.vdag().is_base(w.view_id(&e.view)?) {
+                    return Err(CoreError::Warehouse(format!(
+                        "ingest event targets derived view {}",
+                        e.view
+                    )));
+                }
+                v.insert(DeltaRelation::new(table.schema().clone()))
+            }
+        };
+        if d.schema().columns().len() != e.row.values().len() {
+            return Err(CoreError::Warehouse(format!(
+                "ingest row arity {} does not match {} ({} columns)",
+                e.row.values().len(),
+                e.view,
+                d.schema().columns().len()
+            )));
+        }
+        d.add(e.row.clone(), e.count);
+    }
+    // A batch that fully cancels on some view still loads fine (empty
+    // delta); drop nothing so the WAL records the caller's exact intent.
+    Ok(out)
+}

@@ -4,6 +4,7 @@
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
+use uww_relational::{value_to_wire, Value};
 
 /// One `OK` response to a `QUERY`.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -130,6 +131,32 @@ impl Client {
             if done {
                 return Ok(body);
             }
+        }
+    }
+
+    /// Sends `INGEST <view> <count> <value>...` — one delta row with signed
+    /// multiplicity `count` — and waits for the `OK`. Values go over the
+    /// wire in snapshot encoding; a string value whose encoded form still
+    /// contains whitespace cannot ride the single-line protocol and is
+    /// rejected here rather than mis-tokenized by the server.
+    pub fn ingest(&mut self, view: &str, count: i64, row: &[Value]) -> io::Result<()> {
+        let mut request = format!("INGEST {view} {count}");
+        for v in row {
+            let wire = value_to_wire(v);
+            if wire.chars().any(|c| c.is_whitespace()) {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("value {wire:?} contains whitespace"),
+                ));
+            }
+            request.push(' ');
+            request.push_str(&wire);
+        }
+        let line = self.round_trip(&request)?;
+        if line.starts_with("OK ") {
+            Ok(())
+        } else {
+            Err(protocol_error(&line))
         }
     }
 

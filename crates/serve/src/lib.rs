@@ -33,6 +33,11 @@
 //!                      since_epoch_us=<n>
 //! METRICS           -> the same metrics in Prometheus text format
 //!                      (multi-line), terminated by a "# EOF" line
+//! INGEST <view> <count> <value>...
+//!                   -> OK <view> <count>; hands one base-view delta row
+//!                      (wire-encoded values, signed multiplicity) to the
+//!                      server's [`IngestSink`] — ERR when no sink is
+//!                      configured
 //! QUIT              -> BYE (connection closes)
 //! anything else     -> ERR <message>
 //! ```
@@ -59,9 +64,9 @@ pub mod protocol;
 pub mod server;
 
 pub use client::{Client, QueryReply, SnapshotReply};
-pub use metrics::{percentile_us, Metrics, MetricsSnapshot, Verb};
+pub use metrics::{percentile_us, Metrics, MetricsSnapshot, Verb, WindowObservation};
 pub use protocol::Request;
-pub use server::{Server, ServerConfig};
+pub use server::{IngestSink, Server, ServerConfig};
 
 /// How reader queries interact with in-flight installs.
 ///

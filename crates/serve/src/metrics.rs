@@ -41,6 +41,8 @@ pub enum Verb {
     Stats,
     /// `METRICS`.
     Metrics,
+    /// `INGEST <view> <count> <value>...`.
+    Ingest,
     /// `QUIT`.
     Quit,
 }
@@ -53,9 +55,60 @@ impl Verb {
             Verb::Snapshot => "snapshot",
             Verb::Stats => "stats",
             Verb::Metrics => "metrics",
+            Verb::Ingest => "ingest",
             Verb::Quit => "quit",
         }
     }
+}
+
+/// One completed maintenance window, as reported by the continuous ingest
+/// scheduler's observer. The serve crate deliberately knows nothing about
+/// the scheduler itself — this plain struct is the whole coupling, so the
+/// `METRICS` scrape can carry maintenance-side gauges next to the serving
+/// counters without a dependency cycle.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct WindowObservation {
+    /// Accumulation span of the window, in virtual ticks.
+    pub window_ticks: u64,
+    /// Delta events batched into the window.
+    pub events: u64,
+    /// Mean staleness of those events (ticks from arrival to publish).
+    pub staleness: f64,
+    /// Queue depth left behind after the cut (events still waiting).
+    pub queue_depth: u64,
+    /// Cost-model predicted linear work for the window.
+    pub predicted_work: f64,
+    /// Measured linear work (rows scanned + installed).
+    pub measured_work: u64,
+    /// Build hash tables reused across expressions (`WorkMeter`'s
+    /// `hash_tables_cross_reused`).
+    pub hash_tables_cross_reused: u64,
+    /// Operand scans served from the raw-materialization cache
+    /// (`WorkMeter`'s `operand_reads_cached`).
+    pub operand_reads_cached: u64,
+    /// Cache hits on build tables carried over from the previous window.
+    pub carried_table_hits: u64,
+    /// Cache hits on raw materializations carried over from the previous
+    /// window.
+    pub carried_raw_hits: u64,
+}
+
+/// Maintenance-side accumulators, folded in once per window (so a plain
+/// mutex-guarded struct is cheaper and simpler than a bank of atomics).
+#[derive(Clone, Copy, Debug, Default)]
+struct MaintState {
+    windows: u64,
+    events: u64,
+    staleness_weighted: f64,
+    last_window_ticks: u64,
+    last_staleness: f64,
+    last_queue_depth: u64,
+    predicted_work: f64,
+    measured_work: u64,
+    hash_tables_cross_reused: u64,
+    operand_reads_cached: u64,
+    carried_table_hits: u64,
+    carried_raw_hits: u64,
 }
 
 /// Shared live counters, updated by every worker thread.
@@ -71,7 +124,10 @@ pub struct Metrics {
     n_snapshot: AtomicU64,
     n_stats: AtomicU64,
     n_metrics: AtomicU64,
+    n_ingest: AtomicU64,
     n_quit: AtomicU64,
+    ingested_rows: AtomicU64,
+    maint: Mutex<MaintState>,
 }
 
 impl Default for Metrics {
@@ -87,7 +143,10 @@ impl Default for Metrics {
             n_snapshot: AtomicU64::new(0),
             n_stats: AtomicU64::new(0),
             n_metrics: AtomicU64::new(0),
+            n_ingest: AtomicU64::new(0),
             n_quit: AtomicU64::new(0),
+            ingested_rows: AtomicU64::new(0),
+            maint: Mutex::new(MaintState::default()),
         }
     }
 }
@@ -106,9 +165,34 @@ impl Metrics {
             Verb::Snapshot => &self.n_snapshot,
             Verb::Stats => &self.n_stats,
             Verb::Metrics => &self.n_metrics,
+            Verb::Ingest => &self.n_ingest,
             Verb::Quit => &self.n_quit,
         };
         counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one accepted `INGEST` row (`rows` is the absolute
+    /// multiplicity of the delta).
+    pub fn record_ingest(&self, rows: u64) {
+        self.ingested_rows.fetch_add(rows, Ordering::Relaxed);
+    }
+
+    /// Folds one completed maintenance window into the scrape, called by
+    /// the ingest scheduler's observer after each window publishes.
+    pub fn observe_window(&self, o: &WindowObservation) {
+        let mut m = self.maint.lock().unwrap_or_else(|e| e.into_inner());
+        m.windows += 1;
+        m.events += o.events;
+        m.staleness_weighted += o.staleness * o.events as f64;
+        m.last_window_ticks = o.window_ticks;
+        m.last_staleness = o.staleness;
+        m.last_queue_depth = o.queue_depth;
+        m.predicted_work += o.predicted_work;
+        m.measured_work += o.measured_work;
+        m.hash_tables_cross_reused += o.hash_tables_cross_reused;
+        m.operand_reads_cached += o.operand_reads_cached;
+        m.carried_table_hits += o.carried_table_hits;
+        m.carried_raw_hits += o.carried_raw_hits;
     }
 
     /// Records one answered `QUERY`.
@@ -155,7 +239,9 @@ impl Metrics {
             n_snapshot: self.n_snapshot.load(Ordering::Relaxed),
             n_stats: self.n_stats.load(Ordering::Relaxed),
             n_metrics: self.n_metrics.load(Ordering::Relaxed),
+            n_ingest: self.n_ingest.load(Ordering::Relaxed),
             n_quit: self.n_quit.load(Ordering::Relaxed),
+            ingested_rows: self.ingested_rows.load(Ordering::Relaxed),
             uptime_us: self.started.elapsed().as_micros() as u64,
         }
     }
@@ -205,11 +291,17 @@ impl Metrics {
                 (Verb::Snapshot, snap.n_snapshot),
                 (Verb::Stats, snap.n_stats),
                 (Verb::Metrics, snap.n_metrics),
+                (Verb::Ingest, snap.n_ingest),
                 (Verb::Quit, snap.n_quit),
             ] {
                 fam.labeled(&[("verb", verb.as_str())], n as f64);
             }
         }
+        reg.counter(
+            "uww_serve_ingest_rows_total",
+            "Delta rows accepted over INGEST (absolute multiplicities)",
+            snap.ingested_rows as f64,
+        );
         reg.histogram_us(
             "uww_serve_query_latency",
             "Query service latency",
@@ -226,6 +318,73 @@ impl Metrics {
             "Time since the server's metrics were created",
             snap.uptime_us as f64 / 1e6,
         );
+        let maint = *self.maint.lock().unwrap_or_else(|e| e.into_inner());
+        if maint.windows > 0 {
+            reg.counter(
+                "uww_maint_windows_total",
+                "Maintenance windows executed and published",
+                maint.windows as f64,
+            );
+            reg.counter(
+                "uww_maint_events_total",
+                "Delta events batched into published windows",
+                maint.events as f64,
+            );
+            reg.gauge(
+                "uww_maint_window_ticks",
+                "Accumulation span of the most recent window (virtual ticks)",
+                maint.last_window_ticks as f64,
+            );
+            reg.gauge(
+                "uww_maint_staleness_ticks",
+                "Mean event staleness of the most recent window",
+                maint.last_staleness,
+            );
+            reg.gauge(
+                "uww_maint_staleness_mean_ticks",
+                "Event-weighted mean staleness across all windows",
+                if maint.events > 0 {
+                    maint.staleness_weighted / maint.events as f64
+                } else {
+                    0.0
+                },
+            );
+            reg.gauge(
+                "uww_maint_queue_depth",
+                "Events still queued after the most recent cut",
+                maint.last_queue_depth as f64,
+            );
+            reg.counter(
+                "uww_maint_predicted_work_total",
+                "Cost-model predicted linear work across windows",
+                maint.predicted_work,
+            );
+            reg.counter(
+                "uww_maint_measured_work_total",
+                "Measured linear work (rows scanned + installed) across windows",
+                maint.measured_work as f64,
+            );
+            reg.counter(
+                "uww_maint_hash_tables_cross_reused_total",
+                "Build hash tables reused across expressions of a strategy",
+                maint.hash_tables_cross_reused as f64,
+            );
+            reg.counter(
+                "uww_maint_operand_reads_cached_total",
+                "Operand scans served from the raw-materialization cache",
+                maint.operand_reads_cached as f64,
+            );
+            reg.counter(
+                "uww_maint_carried_table_hits_total",
+                "Cache hits on build tables carried over from a previous window",
+                maint.carried_table_hits as f64,
+            );
+            reg.counter(
+                "uww_maint_carried_raw_hits_total",
+                "Cache hits on raw materializations carried over from a previous window",
+                maint.carried_raw_hits as f64,
+            );
+        }
         reg.render()
     }
 }
@@ -262,8 +421,12 @@ pub struct MetricsSnapshot {
     pub n_stats: u64,
     /// `METRICS` requests received.
     pub n_metrics: u64,
+    /// `INGEST` requests received.
+    pub n_ingest: u64,
     /// `QUIT` requests received.
     pub n_quit: u64,
+    /// Delta rows accepted over `INGEST` (absolute multiplicities).
+    pub ingested_rows: u64,
     /// Microseconds since the server's metrics epoch (its start), so a
     /// scraper of `STATS` can turn the counters into rates.
     pub uptime_us: u64,
@@ -276,7 +439,7 @@ impl MetricsSnapshot {
         format!(
             "queries={} rows={} errors={} mean_us={} p50_us={} p95_us={} p99_us={} max_us={} \
              lock_wait_us={} epoch={} n_query={} n_snapshot={} n_stats={} n_metrics={} \
-             n_quit={} since_epoch_us={}",
+             n_ingest={} n_quit={} ingested_rows={} since_epoch_us={}",
             self.queries,
             self.rows_returned,
             self.errors,
@@ -291,7 +454,9 @@ impl MetricsSnapshot {
             self.n_snapshot,
             self.n_stats,
             self.n_metrics,
+            self.n_ingest,
             self.n_quit,
+            self.ingested_rows,
             self.uptime_us
         )
     }
@@ -380,5 +545,81 @@ mod tests {
             Some(1.0)
         );
         assert_eq!(scrape.value("uww_serve_catalog_epoch", &[]), Some(5.0));
+        // No maintenance windows observed yet: the maint block is absent.
+        assert_eq!(scrape.value("uww_maint_windows_total", &[]), None);
+    }
+
+    #[test]
+    fn maintenance_windows_reach_the_scrape() {
+        let m = Metrics::new();
+        m.record_request(Verb::Ingest);
+        m.record_ingest(3);
+        m.observe_window(&WindowObservation {
+            window_ticks: 8,
+            events: 4,
+            staleness: 6.0,
+            queue_depth: 1,
+            predicted_work: 120.0,
+            measured_work: 110,
+            hash_tables_cross_reused: 2,
+            operand_reads_cached: 5,
+            carried_table_hits: 1,
+            carried_raw_hits: 2,
+        });
+        m.observe_window(&WindowObservation {
+            window_ticks: 4,
+            events: 2,
+            staleness: 3.0,
+            queue_depth: 0,
+            predicted_work: 30.0,
+            measured_work: 35,
+            hash_tables_cross_reused: 1,
+            operand_reads_cached: 0,
+            carried_table_hits: 0,
+            carried_raw_hits: 0,
+        });
+        let text = m.render_prometheus(2);
+        let scrape = uww_obs::prom::parse_text(&text).unwrap();
+        assert_eq!(scrape.value("uww_maint_windows_total", &[]), Some(2.0));
+        assert_eq!(scrape.value("uww_maint_events_total", &[]), Some(6.0));
+        assert_eq!(scrape.value("uww_maint_window_ticks", &[]), Some(4.0));
+        assert_eq!(scrape.value("uww_maint_staleness_ticks", &[]), Some(3.0));
+        assert_eq!(
+            scrape.value("uww_maint_staleness_mean_ticks", &[]),
+            Some(5.0)
+        );
+        assert_eq!(scrape.value("uww_maint_queue_depth", &[]), Some(0.0));
+        assert_eq!(
+            scrape.value("uww_maint_predicted_work_total", &[]),
+            Some(150.0)
+        );
+        assert_eq!(
+            scrape.value("uww_maint_measured_work_total", &[]),
+            Some(145.0)
+        );
+        assert_eq!(
+            scrape.value("uww_maint_hash_tables_cross_reused_total", &[]),
+            Some(3.0)
+        );
+        assert_eq!(
+            scrape.value("uww_maint_operand_reads_cached_total", &[]),
+            Some(5.0)
+        );
+        assert_eq!(
+            scrape.value("uww_maint_carried_table_hits_total", &[]),
+            Some(1.0)
+        );
+        assert_eq!(
+            scrape.value("uww_maint_carried_raw_hits_total", &[]),
+            Some(2.0)
+        );
+        assert_eq!(scrape.value("uww_serve_ingest_rows_total", &[]), Some(3.0));
+        assert_eq!(
+            scrape.value("uww_serve_requests_total", &[("verb", "ingest")]),
+            Some(1.0)
+        );
+        let line = m.snapshot().render(2);
+        assert!(line.contains("n_ingest=1"), "{line}");
+        assert!(line.contains("ingested_rows=3"), "{line}");
     }
 }

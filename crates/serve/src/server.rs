@@ -1,6 +1,6 @@
 //! The threaded TCP server.
 
-use crate::metrics::{Metrics, MetricsSnapshot, Verb};
+use crate::metrics::{Metrics, MetricsSnapshot, Verb, WindowObservation};
 use crate::protocol::Request;
 use crate::Isolation;
 use std::io::{self, BufRead, BufReader, Write};
@@ -11,13 +11,22 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use uww_obs as obs;
-use uww_relational::{table_digest, VersionedCatalog};
+use uww_relational::{table_digest, Value, VersionedCatalog};
 
 /// How often blocked threads re-check the shutdown flag.
 const POLL: Duration = Duration::from_millis(20);
 
+/// Where `INGEST` rows go. The server never applies deltas itself — the
+/// sink (typically a handle on the ingest scheduler's queue) owns them, and
+/// the next window cut picks them up. `Err` strings become `ERR` replies.
+pub trait IngestSink: Send + Sync {
+    /// Accepts one delta row against `view` with signed multiplicity
+    /// `count`; `values` is the row in schema order.
+    fn ingest(&self, view: &str, count: i64, values: Vec<Value>) -> Result<(), String>;
+}
+
 /// Server configuration.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct ServerConfig {
     /// Bind address. Port `0` picks a free port (the default,
     /// `127.0.0.1:0`, is what the tests and CLI use).
@@ -29,6 +38,21 @@ pub struct ServerConfig {
     pub queue_depth: usize,
     /// Isolation regime for `QUERY` handling.
     pub isolation: Isolation,
+    /// Sink for `INGEST` rows; `None` (the default) answers the verb with
+    /// an `ERR` saying ingest is not enabled.
+    pub ingest: Option<Arc<dyn IngestSink>>,
+}
+
+impl std::fmt::Debug for ServerConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerConfig")
+            .field("addr", &self.addr)
+            .field("workers", &self.workers)
+            .field("queue_depth", &self.queue_depth)
+            .field("isolation", &self.isolation)
+            .field("ingest", &self.ingest.is_some())
+            .finish()
+    }
 }
 
 impl Default for ServerConfig {
@@ -38,6 +62,7 @@ impl Default for ServerConfig {
             workers: 4,
             queue_depth: 32,
             isolation: Isolation::Mvcc,
+            ingest: None,
         }
     }
 }
@@ -46,6 +71,7 @@ struct Shared {
     catalog: Arc<VersionedCatalog>,
     metrics: Metrics,
     isolation: Isolation,
+    ingest: Option<Arc<dyn IngestSink>>,
     shutdown: AtomicBool,
 }
 
@@ -68,6 +94,7 @@ impl Server {
             catalog,
             metrics: Metrics::new(),
             isolation: config.isolation,
+            ingest: config.ingest.clone(),
             shutdown: AtomicBool::new(false),
         });
 
@@ -134,6 +161,15 @@ impl Server {
     /// Current metrics.
     pub fn metrics(&self) -> MetricsSnapshot {
         self.shared.metrics.snapshot()
+    }
+
+    /// Folds one completed maintenance window into the `METRICS` scrape.
+    /// Called from the ingest scheduler's per-window observer, so a scraper
+    /// sees maintenance-side gauges (window size, staleness, queue depth,
+    /// predicted vs measured work, carry-over hits) next to the serving
+    /// counters.
+    pub fn observe_window(&self, o: &WindowObservation) {
+        self.shared.metrics.observe_window(o);
     }
 
     /// Graceful drain: stop accepting, let every worker finish its current
@@ -206,6 +242,7 @@ fn handle_request(line: &str, writer: &mut TcpStream, shared: &Shared) -> Result
         Ok(Request::Snapshot) => Some(Verb::Snapshot),
         Ok(Request::Stats) => Some(Verb::Stats),
         Ok(Request::Metrics) => Some(Verb::Metrics),
+        Ok(Request::Ingest { .. }) => Some(Verb::Ingest),
         Ok(Request::Quit) => Some(Verb::Quit),
         Err(_) => None,
     };
@@ -285,6 +322,26 @@ fn handle_request(line: &str, writer: &mut TcpStream, shared: &Shared) -> Result
             drop(span);
             return writer.write_all(body.as_bytes()).map_err(|_| ());
         }
+        Ok(Request::Ingest {
+            view,
+            count,
+            values,
+        }) => match &shared.ingest {
+            Some(sink) => match sink.ingest(&view, count, values) {
+                Ok(()) => {
+                    shared.metrics.record_ingest(count.unsigned_abs());
+                    format!("OK {view} {count}")
+                }
+                Err(e) => {
+                    shared.metrics.record_error();
+                    format!("ERR {e}")
+                }
+            },
+            None => {
+                shared.metrics.record_error();
+                "ERR ingest is not enabled on this server".to_string()
+            }
+        },
         Ok(Request::Quit) => {
             let _ = writeln!(writer, "BYE");
             return Err(());
@@ -389,6 +446,69 @@ mod tests {
         server.shutdown();
     }
 
+    /// Records everything it accepts; refuses view `"missing"`.
+    struct TestSink(Mutex<Vec<(String, i64, Vec<Value>)>>);
+
+    impl IngestSink for TestSink {
+        fn ingest(&self, view: &str, count: i64, values: Vec<Value>) -> Result<(), String> {
+            if view == "missing" {
+                return Err(format!("unknown base view {view}"));
+            }
+            self.0.lock().unwrap_or_else(|e| e.into_inner()).push((
+                view.to_string(),
+                count,
+                values,
+            ));
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn ingest_reaches_the_sink() {
+        let sink = Arc::new(TestSink(Mutex::new(Vec::new())));
+        let server = Server::start(
+            catalog(5),
+            ServerConfig {
+                workers: 2,
+                ingest: Some(Arc::clone(&sink) as Arc<dyn IngestSink>),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let mut c = Client::connect(server.local_addr()).unwrap();
+        c.ingest("V", 1, &[Value::Int(41), Value::str("x")])
+            .unwrap();
+        c.ingest("V", -3, &[Value::Int(9)]).unwrap();
+        assert!(c.raw("INGEST missing 1 i:1").unwrap().starts_with("ERR "));
+        assert!(c.raw("INGEST V 0 i:1").unwrap().starts_with("ERR "));
+        assert!(c
+            .ingest("V", 1, &[Value::str("a b")])
+            .is_err_and(|e| e.kind() == io::ErrorKind::InvalidInput));
+        c.quit().unwrap();
+        let m = server.shutdown();
+        assert_eq!((m.n_ingest, m.ingested_rows, m.errors), (3, 4, 2));
+        let got = sink.0.lock().unwrap();
+        assert_eq!(
+            *got,
+            vec![
+                ("V".to_string(), 1, vec![Value::Int(41), Value::str("x")]),
+                ("V".to_string(), -3, vec![Value::Int(9)]),
+            ]
+        );
+    }
+
+    #[test]
+    fn ingest_without_a_sink_errors() {
+        let (server, _catalog) = start(Isolation::Mvcc);
+        let mut c = Client::connect(server.local_addr()).unwrap();
+        let line = c.raw("INGEST V 1 i:1").unwrap();
+        assert!(line.starts_with("ERR "), "{line}");
+        assert!(line.contains("not enabled"), "{line}");
+        c.quit().unwrap();
+        let m = server.shutdown();
+        assert_eq!((m.n_ingest, m.errors), (1, 1));
+    }
+
     #[test]
     fn queries_observe_published_installs() {
         let (server, catalog) = start(Isolation::Mvcc);
@@ -422,8 +542,11 @@ mod tests {
             c.quit().unwrap();
             q
         });
-        // The query must be stalled on the lock, not answered.
-        std::thread::sleep(Duration::from_millis(60));
+        // The query must be stalled on the lock, not answered. The stall
+        // needs to dominate connection setup (accept + worker hand-off can
+        // eat two 20ms polls) for the lock-wait assertion below to have
+        // real margin.
+        std::thread::sleep(Duration::from_millis(150));
         assert_eq!(server.metrics().queries, 0, "strict read must block");
         drop(guard);
         assert_eq!(handle.join().unwrap().rows, 5);

@@ -20,6 +20,12 @@
 //! uww serve    [--scenario ...] [--scale F] [--frac F] [--planner ...]
 //!              [--isolation strict|mvcc|both] [--readers N] [--hold-ms N]
 //!              [--json] [--metrics]
+//! uww ingest   [--scenario ...] [--scale F] [--policy fixed|adaptive|greedy]
+//!              [--window N] [--sla F] [--rate MILLI] [--service-rate F]
+//!              [--horizon N] [--seed N] [--no-carry] [--objective linear|shared]
+//!              [--wal DIR] [--fsync always|never] [--fault ...] [--fault-window W]
+//!              [--replay FILE] [--record FILE] [--serve] [--readers N]
+//!              [--json] [--metrics]
 //! uww explain  [--scenario ...] [--scale F] [--frac F] [--planner ...]
 //! uww dump     [--scenario ...] [--scale F]
 //! ```
@@ -70,6 +76,10 @@ use uww::core::{
     WalConfig, WalLog,
 };
 use uww::scenario::TpcdScenario;
+use uww::sched::{
+    events_to_string, resume_after_crash, DeltaSource, IngestOutcome, IngestScheduler, Policy,
+    ReplaySource, SchedConfig, SeededSource, SeededSourceConfig, SlaConfig, WindowPlanner,
+};
 use uww::vdag::{construct_eg, Strategy};
 
 struct Args {
@@ -98,6 +108,18 @@ struct Args {
     metrics: bool,
     sharing: bool,
     verify_against: Option<String>,
+    policy: String,
+    window: u64,
+    sla: f64,
+    rate: u64,
+    service_rate: f64,
+    horizon: u64,
+    carry: bool,
+    seed: u64,
+    replay: Option<String>,
+    record: Option<String>,
+    serve_live: bool,
+    fault_window: usize,
 }
 
 impl Default for Args {
@@ -130,6 +152,18 @@ impl Default for Args {
             metrics: false,
             sharing: false,
             verify_against: None,
+            policy: "fixed".into(),
+            window: 16,
+            sla: 24.0,
+            rate: 2000,
+            service_rate: 200.0,
+            horizon: 200,
+            carry: true,
+            seed: 0x5757_1999,
+            replay: None,
+            record: None,
+            serve_live: false,
+            fault_window: 0,
         }
     }
 }
@@ -161,6 +195,38 @@ fn parse_args(argv: &[String]) -> Result<(String, Args), String> {
             }
             "--no-term-sharing" => args.term_sharing = false,
             "--strategy-sharing" => args.strategy_sharing = true,
+            "--no-carry" => args.carry = false,
+            "--serve" => args.serve_live = true,
+            "--policy" | "--window" | "--sla" | "--rate" | "--service-rate" | "--horizon"
+            | "--seed" | "--replay" | "--record" | "--fault-window" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| format!("missing value for {a}"))?
+                    .clone();
+                match a.as_str() {
+                    "--policy" => args.policy = v,
+                    "--window" => {
+                        args.window = v.parse().map_err(|_| format!("bad --window {v}"))?
+                    }
+                    "--sla" => args.sla = v.parse().map_err(|_| format!("bad --sla {v}"))?,
+                    "--rate" => args.rate = v.parse().map_err(|_| format!("bad --rate {v}"))?,
+                    "--service-rate" => {
+                        args.service_rate =
+                            v.parse().map_err(|_| format!("bad --service-rate {v}"))?
+                    }
+                    "--horizon" => {
+                        args.horizon = v.parse().map_err(|_| format!("bad --horizon {v}"))?
+                    }
+                    "--seed" => args.seed = v.parse().map_err(|_| format!("bad --seed {v}"))?,
+                    "--replay" => args.replay = Some(v),
+                    "--record" => args.record = Some(v),
+                    "--fault-window" => {
+                        args.fault_window =
+                            v.parse().map_err(|_| format!("bad --fault-window {v}"))?
+                    }
+                    _ => unreachable!(),
+                }
+            }
             "--objective" => {
                 let v = it
                     .next()
@@ -987,7 +1053,276 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-const USAGE: &str = "usage: uww <info|plan|run|analyze|script|dot|olap|serve|explain|dump> \
+fn ingest_sched_config(args: &Args) -> Result<SchedConfig, String> {
+    let policy = Policy::parse(&args.policy)?;
+    let planner = match args.objective.as_str() {
+        "linear" => WindowPlanner::MinWork,
+        "shared" => WindowPlanner::Shared,
+        other => return Err(format!("unknown objective {other} (linear|shared)")),
+    };
+    let fault = match &args.fault {
+        Some(spec) => Some((args.fault_window, parse_fault(spec)?)),
+        None => None,
+    };
+    if fault.is_some() && args.wal.is_none() {
+        return Err("--fault requires --wal DIR in continuous mode".to_string());
+    }
+    Ok(SchedConfig {
+        policy,
+        sla: SlaConfig {
+            target_staleness: args.sla,
+            service_rate: args.service_rate,
+            ..SlaConfig::default()
+        },
+        window: args.window,
+        horizon: args.horizon,
+        carry: args.carry,
+        planner,
+        wal_root: args.wal.clone().map(std::path::PathBuf::from),
+        fsync: FsyncPolicy::parse(&args.fsync).map_err(|e| e.to_string())?,
+        fault,
+    })
+}
+
+fn print_ingest_windows(out: &IngestOutcome) {
+    println!(
+        "{:>4} {:>6} {:>6} {:>7} {:>12} {:>12} {:>10} {:>9} {:>5}",
+        "win", "cut", "ticks", "events", "predicted", "measured", "staleness", "carry", "conf"
+    );
+    for w in &out.windows {
+        println!(
+            "{:>4} {:>6} {:>6} {:>7} {:>12.1} {:>12} {:>10.2} {:>4}/{:<4} {:>5}",
+            w.index,
+            w.cut,
+            w.window_ticks,
+            w.events,
+            w.predicted_work,
+            w.measured_work,
+            w.staleness,
+            w.carry_in.0,
+            w.carry_in.1,
+            if w.conformance.exact() { "ok" } else { "MISS" }
+        );
+    }
+}
+
+fn ingest_summary_json(
+    args: &Args,
+    out: &IngestOutcome,
+    resumed: Option<&IngestOutcome>,
+) -> String {
+    let window_json = |w: &uww::sched::WindowReport| {
+        format!(
+            "{{\"index\":{},\"cut\":{},\"ticks\":{},\"events\":{},\"predicted\":{},\
+             \"measured\":{},\"staleness\":{},\"carried_tables\":{},\"carried_raws\":{},\
+             \"conformant\":{}}}",
+            w.index,
+            w.cut,
+            w.window_ticks,
+            w.events,
+            w.predicted_work,
+            w.measured_work,
+            w.staleness,
+            w.carry_in.0,
+            w.carry_in.1,
+            w.conformance.exact()
+        )
+    };
+    let mut windows: Vec<String> = out.windows.iter().map(window_json).collect();
+    let mut events = out.events();
+    let mut clock = out.clock;
+    let mut conformant = out.conformant();
+    let mut staleness_weighted: f64 = out
+        .windows
+        .iter()
+        .map(|w| w.staleness * w.events as f64)
+        .sum();
+    let mut installed: u64 = out
+        .windows
+        .iter()
+        .map(|w| w.report.total_work().rows_installed)
+        .sum();
+    if let Some(r) = resumed {
+        windows.extend(r.windows.iter().map(window_json));
+        events += r.events();
+        clock = r.clock;
+        conformant = conformant && r.conformant();
+        staleness_weighted += r
+            .windows
+            .iter()
+            .map(|w| w.staleness * w.events as f64)
+            .sum::<f64>();
+        installed += r
+            .windows
+            .iter()
+            .map(|w| w.report.total_work().rows_installed)
+            .sum::<u64>();
+    }
+    let mean_staleness = if events > 0 {
+        staleness_weighted / events as f64
+    } else {
+        0.0
+    };
+    let throughput = if clock > 0 {
+        installed as f64 / clock as f64
+    } else {
+        0.0
+    };
+    format!(
+        "{{\"policy\":\"{}\",\"planner\":\"{}\",\"carry\":{},\"windows\":[{}],\"events\":{},\
+         \"mean_staleness\":{},\"throughput\":{},\"clock\":{},\"crashed\":{},\"conformant\":{}}}",
+        args.policy,
+        args.objective,
+        args.carry,
+        windows.join(","),
+        events,
+        mean_staleness,
+        throughput,
+        clock,
+        out.crashed.is_some(),
+        conformant
+    )
+}
+
+fn run_ingest_schedule<S: DeltaSource>(
+    w: &mut uww::core::Warehouse,
+    cfg: &SchedConfig,
+    source: S,
+    resume_source: impl FnOnce() -> S,
+    quiet: bool,
+) -> Result<(IngestOutcome, Option<IngestOutcome>), String> {
+    let mut sched = IngestScheduler::new(cfg.clone(), source);
+    let out = sched.run(w).map_err(|e| e.to_string())?;
+    let Some(crash) = &out.crashed else {
+        return Ok((out, None));
+    };
+    if !quiet {
+        println!(
+            "window {} crashed ({}); recovering from {}",
+            crash.window,
+            crash.error,
+            crash.wal_dir.display()
+        );
+    }
+    let (rec, resumed) =
+        resume_after_crash(cfg.clone(), resume_source(), w, crash).map_err(|e| e.to_string())?;
+    if !quiet {
+        println!(
+            "recovered window {}: {} comps + {} insts replayed, {} fresh; schedule resumed",
+            crash.window, rec.replayed_comps, rec.replayed_insts, rec.resumed
+        );
+    }
+    Ok((out, Some(resumed)))
+}
+
+fn cmd_ingest(args: &Args) -> Result<(), String> {
+    let sc = build_scenario(args)?;
+    let cfg = ingest_sched_config(args)?;
+    let source_cfg = SeededSourceConfig {
+        seed: args.seed,
+        rate_milli: args.rate,
+        horizon: args.horizon,
+        ..SeededSourceConfig::default()
+    };
+
+    if let Some(path) = &args.record {
+        let source = SeededSource::new(&sc.warehouse, source_cfg);
+        std::fs::write(path, events_to_string(source.events()))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("recorded {} events to {path}", source.len());
+        return Ok(());
+    }
+
+    if args.serve_live {
+        if args.replay.is_some() {
+            return Err("--replay and --serve cannot be combined".to_string());
+        }
+        let cfg = uww::serving::ContinuousRunConfig {
+            readers: args.readers,
+            sched: cfg,
+            source: source_cfg,
+            ..uww::serving::ContinuousRunConfig::default()
+        };
+        let out =
+            uww::serving::run_continuous(&sc.warehouse, &cfg, &[]).map_err(|e| e.to_string())?;
+        if args.json {
+            println!("{}", ingest_summary_json(args, &out.ingest, None));
+        } else {
+            print_ingest_windows(&out.ingest);
+            println!(
+                "served {} queries across {} readers while ingesting; {} epochs published",
+                out.metrics.queries,
+                out.queries_per_reader.len(),
+                out.epochs
+            );
+        }
+        if args.metrics {
+            println!("\n# METRICS scrape");
+            print!("{}", out.prometheus);
+        }
+        return Ok(());
+    }
+
+    let mut w = sc.warehouse.clone();
+    let (out, resumed) = match &args.replay {
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let source = ReplaySource::parse(&text)?;
+            let again = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+            run_ingest_schedule(
+                &mut w,
+                &cfg,
+                source,
+                move || ReplaySource::parse(&again).expect("replay file parsed once already"),
+                args.json,
+            )?
+        }
+        None => {
+            let source = SeededSource::new(&sc.warehouse, source_cfg);
+            let base = sc.warehouse.clone();
+            run_ingest_schedule(
+                &mut w,
+                &cfg,
+                source,
+                move || SeededSource::new(&base, source_cfg),
+                args.json,
+            )?
+        }
+    };
+
+    if args.json {
+        println!("{}", ingest_summary_json(args, &out, resumed.as_ref()));
+        return Ok(());
+    }
+    println!(
+        "continuous ingest: scenario {} @ scale {}, policy {}, planner {}, carry {}",
+        args.scenario, args.scale, args.policy, args.objective, args.carry
+    );
+    print_ingest_windows(&out);
+    if let Some(r) = &resumed {
+        println!("-- resumed after crash --");
+        print_ingest_windows(r);
+    }
+    let last = resumed.as_ref().unwrap_or(&out);
+    println!(
+        "{} windows, {} events, mean staleness {:.2} ticks, throughput {:.1} rows/tick, \
+         clock {}, conformance {}",
+        out.windows.len() + resumed.as_ref().map_or(0, |r| r.windows.len()),
+        out.events() + resumed.as_ref().map_or(0, |r| r.events()),
+        out.mean_staleness(),
+        out.throughput(),
+        last.clock,
+        if out.conformant() && resumed.as_ref().is_none_or(|r| r.conformant()) {
+            "exact"
+        } else {
+            "VIOLATED"
+        }
+    );
+    Ok(())
+}
+
+const USAGE: &str = "usage: uww <info|plan|run|analyze|script|dot|olap|serve|ingest|explain|dump> \
 [--scenario fig4|q3|q5] [--scale F] [--frac F] \
 [--planner minwork|prune|dual-stage|rnscol] [--graph vdag|eg] \
 [--isolation strict|low (olap) / strict|mvcc|both (serve)] [--readers N] [--hold-ms N] \
@@ -998,6 +1333,11 @@ const USAGE: &str = "usage: uww <info|plan|run|analyze|script|dot|olap|serve|exp
 [--objective linear|shared] \
 [--trace-out FILE] [--timeline] [--metrics] \
 [--sharing] [--verify-against TRACE.json]\n\
+       uww ingest [--scenario ...] [--scale F] [--policy fixed|adaptive|greedy] [--window N] \
+[--sla F] [--rate MILLI] [--service-rate F] [--horizon N] [--seed N] [--no-carry] \
+[--objective linear|shared] [--wal DIR] [--fsync always|never] \
+[--fault crash:K|torn:K|dup:K|dirsync] [--fault-window W] \
+[--replay FILE] [--record FILE] [--serve] [--readers N] [--json] [--metrics]\n\
        uww recover DIR";
 
 fn main() -> ExitCode {
@@ -1019,6 +1359,7 @@ fn main() -> ExitCode {
         "dot" => cmd_dot(&args),
         "olap" => cmd_olap(&args),
         "serve" => cmd_serve(&args),
+        "ingest" => cmd_ingest(&args),
         "explain" => cmd_explain(&args),
         "dump" => cmd_dump(&args),
         "help" | "--help" => {

@@ -41,6 +41,7 @@ pub use uww_analysis as analysis;
 pub use uww_core as core;
 pub use uww_obs as obs;
 pub use uww_relational as relational;
+pub use uww_sched as sched;
 pub use uww_serve as serve;
 pub use uww_tpcd as tpcd;
 pub use uww_vdag as vdag;

@@ -8,12 +8,19 @@
 //! bench binary (`report_serve`), and the concurrency tests all drive this
 //! one harness.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use uww_core::{CoreError, CoreResult, ExecOptions, ExecutionReport, InstallPublisher, Warehouse};
-use uww_relational::VersionedCatalog;
-use uww_serve::{Client, Isolation, MetricsSnapshot, Server, ServerConfig};
+use uww_relational::{Tuple, Value, VersionedCatalog};
+use uww_sched::{
+    ChainSource, DeltaEvent, IngestOutcome, IngestQueue, IngestScheduler, SchedConfig,
+    SeededSource, SeededSourceConfig, WindowReport,
+};
+use uww_serve::{
+    Client, IngestSink, Isolation, MetricsSnapshot, Server, ServerConfig, WindowObservation,
+};
 use uww_vdag::Strategy;
 
 /// Configuration for one live serving run.
@@ -191,6 +198,245 @@ pub fn run_live(
     })
 }
 
+/// The serve-side [`IngestSink`] over a scheduler's [`IngestQueue`]:
+/// validates rows against the warehouse's base-view schemas before they
+/// enter the queue, so a malformed `INGEST` fails at the wire with a clear
+/// `ERR` instead of poisoning a later window cut.
+pub struct QueueSink {
+    queue: IngestQueue,
+    arities: BTreeMap<String, usize>,
+}
+
+impl QueueSink {
+    /// Captures the base-view arities of `w` and wraps `queue`.
+    pub fn new(w: &Warehouse, queue: IngestQueue) -> QueueSink {
+        let g = w.vdag();
+        let mut arities = BTreeMap::new();
+        for id in g.base_views() {
+            let name = g.name(id).to_string();
+            if let Ok(t) = w.table(&name) {
+                arities.insert(name, t.schema().columns().len());
+            }
+        }
+        QueueSink { queue, arities }
+    }
+}
+
+impl IngestSink for QueueSink {
+    fn ingest(&self, view: &str, count: i64, values: Vec<Value>) -> Result<(), String> {
+        match self.arities.get(view) {
+            None => Err(format!("unknown base view {view}")),
+            Some(n) if *n != values.len() => Err(format!(
+                "row arity {} does not match {view} ({n} columns)",
+                values.len()
+            )),
+            Some(_) => {
+                // `at = 0`: the wire has no virtual clock; the queue source
+                // stamps the event with the tick of the drain that picks
+                // it up.
+                self.queue.push(DeltaEvent {
+                    at: 0,
+                    view: view.to_string(),
+                    row: Tuple::new(values),
+                    count,
+                });
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Maps one completed window to the serve scrape's observation struct.
+/// `queue_depth` is the live wire-queue depth at publish time — events that
+/// arrived during processing and will join the next cut.
+fn observation_of(wr: &WindowReport, queue: &IngestQueue) -> WindowObservation {
+    WindowObservation {
+        window_ticks: wr.window_ticks,
+        events: wr.events,
+        staleness: wr.staleness,
+        queue_depth: queue.depth() as u64,
+        predicted_work: wr.predicted_work,
+        measured_work: wr.measured_work,
+        hash_tables_cross_reused: wr.conformance.measured_cross_reuses,
+        operand_reads_cached: wr.conformance.measured_cached_reads,
+        carried_table_hits: wr.conformance.measured_carried_table_hits,
+        carried_raw_hits: wr.conformance.measured_carried_raw_hits,
+    }
+}
+
+/// Configuration for one continuous ingest-while-serving run.
+#[derive(Clone, Debug)]
+pub struct ContinuousRunConfig {
+    /// Isolation regime for installs and readers.
+    pub isolation: Isolation,
+    /// Concurrent reader connections; `0` runs without readers.
+    pub readers: usize,
+    /// Server worker threads.
+    pub workers: usize,
+    /// Scheduler configuration (policy, SLA, WAL, carry-over).
+    pub sched: SchedConfig,
+    /// Seeded background workload joining the wire-fed queue.
+    pub source: SeededSourceConfig,
+}
+
+impl Default for ContinuousRunConfig {
+    fn default() -> Self {
+        ContinuousRunConfig {
+            isolation: Isolation::Mvcc,
+            readers: 2,
+            workers: 4,
+            sched: SchedConfig::default(),
+            source: SeededSourceConfig::default(),
+        }
+    }
+}
+
+/// What one continuous run produced.
+#[derive(Debug)]
+pub struct ContinuousRunOutcome {
+    /// Per-window reports from the scheduler.
+    pub ingest: IngestOutcome,
+    /// Server-side metrics over the whole run.
+    pub metrics: MetricsSnapshot,
+    /// The final `METRICS` scrape, including the `uww_maint_*` block.
+    pub prometheus: String,
+    /// Catalog epoch after the run — installs published across all windows.
+    pub epochs: u64,
+    /// Queries answered per reader thread.
+    pub queries_per_reader: Vec<u64>,
+}
+
+/// Runs the continuous ingest scheduler against a clone of `warehouse`
+/// while a live query server answers readers and accepts `INGEST` rows.
+///
+/// The workload blends the seeded background timeline with `wire_rows`,
+/// which are pushed through a real client connection (exercising the
+/// `INGEST` verb end-to-end) *before* the schedule starts, so they
+/// deterministically join the first window. Every window publishes through
+/// [`InstallPublisher`], so readers never block under MVCC; after each
+/// window the server's maintenance gauges are updated, so the final
+/// `METRICS` scrape carries window size, staleness, queue depth, and the
+/// predicted-vs-measured sharing counters.
+pub fn run_continuous(
+    warehouse: &Warehouse,
+    cfg: &ContinuousRunConfig,
+    wire_rows: &[(String, i64, Vec<Value>)],
+) -> CoreResult<ContinuousRunOutcome> {
+    let mut w = warehouse.clone();
+    let versioned = Arc::new(VersionedCatalog::from_catalog(w.state()));
+    let strict = cfg.isolation == Isolation::Strict;
+    w.attach_publisher(InstallPublisher::new(Arc::clone(&versioned), strict));
+
+    let queue = IngestQueue::new();
+    let sink = Arc::new(QueueSink::new(&w, queue.clone()));
+    let server = Server::start(
+        Arc::clone(&versioned),
+        ServerConfig {
+            isolation: cfg.isolation,
+            workers: cfg.workers.max(cfg.readers).max(1),
+            ingest: Some(sink as Arc<dyn IngestSink>),
+            ..ServerConfig::default()
+        },
+    )
+    .map_err(|e| CoreError::Warehouse(format!("cannot start query server: {e}")))?;
+    let addr = server.local_addr();
+
+    // Feed the wire rows through a real connection before the schedule
+    // opens: they sit in the queue and join the first cut.
+    if !wire_rows.is_empty() {
+        let mut c = Client::connect(addr)
+            .map_err(|e| CoreError::Warehouse(format!("ingest client connect failed: {e}")))?;
+        for (view, count, row) in wire_rows {
+            c.ingest(view, *count, row)
+                .map_err(|e| CoreError::Warehouse(format!("INGEST {view} failed: {e}")))?;
+        }
+        c.quit()
+            .map_err(|e| CoreError::Warehouse(format!("ingest client quit failed: {e}")))?;
+    }
+
+    let g = w.vdag();
+    let mut targets: Vec<String> = g
+        .derived_views()
+        .into_iter()
+        .map(|v| g.name(v).to_string())
+        .collect();
+    if targets.is_empty() {
+        targets = g.view_ids().map(|v| g.name(v).to_string()).collect();
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    let readers: Vec<_> = (0..cfg.readers)
+        .map(|i| {
+            let stop = Arc::clone(&stop);
+            let targets = targets.clone();
+            std::thread::spawn(move || -> Result<u64, String> {
+                let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+                let mut n: u64 = 0;
+                while !stop.load(Ordering::Relaxed) {
+                    let view = &targets[(i + n as usize) % targets.len()];
+                    let reply = client.query(view).map_err(|e| e.to_string())?;
+                    if reply.view != *view {
+                        return Err(format!("asked for {view}, got {}", reply.view));
+                    }
+                    n += 1;
+                }
+                client.quit().map_err(|e| e.to_string())?;
+                Ok(n)
+            })
+        })
+        .collect();
+
+    let source = ChainSource(SeededSource::new(&w, cfg.source), queue.source());
+    let mut sched = IngestScheduler::new(cfg.sched.clone(), source);
+    let run_result = sched.run_with_observer(&mut w, &mut |wr| {
+        server.observe_window(&observation_of(wr, &queue));
+    });
+
+    stop.store(true, Ordering::Relaxed);
+    let mut queries_per_reader = Vec::with_capacity(readers.len());
+    let mut reader_errors = Vec::new();
+    for r in readers {
+        match r.join() {
+            Ok(Ok(n)) => queries_per_reader.push(n),
+            Ok(Err(e)) => reader_errors.push(e),
+            Err(_) => reader_errors.push("reader thread panicked".to_string()),
+        }
+    }
+    let prometheus = Client::connect(addr)
+        .and_then(|mut c| {
+            let body = c.metrics()?;
+            c.quit()?;
+            Ok(body)
+        })
+        .map_err(|e| CoreError::Warehouse(format!("final METRICS scrape failed: {e}")))?;
+    let metrics = server.shutdown();
+    let ingest = run_result?;
+    if !reader_errors.is_empty() {
+        return Err(CoreError::Warehouse(format!(
+            "reader failures during continuous serving: {reader_errors:?}"
+        )));
+    }
+
+    // Published state must equal the engine's final state, view for view.
+    let snap = versioned.snapshot();
+    for table in w.state().iter() {
+        let published = snap.get(table.name())?;
+        if !published.same_contents(table) {
+            return Err(CoreError::Warehouse(format!(
+                "published extent of {} diverges from the engine's",
+                table.name()
+            )));
+        }
+    }
+
+    Ok(ContinuousRunOutcome {
+        ingest,
+        metrics,
+        prometheus,
+        epochs: versioned.epoch(),
+        queries_per_reader,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -219,5 +465,72 @@ mod tests {
             scrape.value("uww_serve_queries_total", &[]),
             Some(out.metrics.queries as f64)
         );
+    }
+
+    #[test]
+    fn continuous_run_ingests_over_the_wire_and_exports_maint_metrics() {
+        use uww_relational::ValueType;
+        use uww_sched::SeededSourceConfig;
+
+        let sc = q3_scenario(0.0003).unwrap();
+        let w = &sc.warehouse;
+        // A wire row for the alphabetically first base view, synthesized
+        // from its schema; the key stays clear of seed and generator data.
+        let g = w.vdag();
+        let base = g
+            .base_views()
+            .into_iter()
+            .map(|v| g.name(v).to_string())
+            .min()
+            .unwrap();
+        let row: Vec<Value> = w
+            .table(&base)
+            .unwrap()
+            .schema()
+            .columns()
+            .iter()
+            .map(|c| match c.ty {
+                ValueType::Int => Value::Int(999_999_999),
+                ValueType::Decimal => Value::Decimal(123),
+                ValueType::Str => Value::str("wire"),
+                ValueType::Date => Value::Date(9_999),
+            })
+            .collect();
+
+        let cfg = ContinuousRunConfig {
+            readers: 1,
+            sched: SchedConfig {
+                horizon: 40,
+                window: 10,
+                ..SchedConfig::default()
+            },
+            source: SeededSourceConfig {
+                horizon: 40,
+                rate_milli: 1500,
+                ..SeededSourceConfig::default()
+            },
+            ..ContinuousRunConfig::default()
+        };
+        let out = run_continuous(w, &cfg, &[(base.clone(), 1, row)]).unwrap();
+        assert!(!out.ingest.windows.is_empty());
+        assert!(out.ingest.conformant());
+        assert!(out.ingest.crashed.is_none());
+        assert_eq!(out.metrics.n_ingest, 1);
+        assert_eq!(out.metrics.ingested_rows, 1);
+        assert_eq!(out.metrics.errors, 0);
+        assert!(out.epochs > 0);
+        let scrape = uww_obs::prom::parse_text(&out.prometheus).unwrap();
+        assert_eq!(
+            scrape.value("uww_maint_windows_total", &[]),
+            Some(out.ingest.windows.len() as f64)
+        );
+        assert_eq!(
+            scrape.value("uww_maint_events_total", &[]),
+            Some(out.ingest.events() as f64)
+        );
+        assert_eq!(scrape.value("uww_serve_ingest_rows_total", &[]), Some(1.0));
+        assert!(scrape
+            .value("uww_maint_measured_work_total", &[])
+            .is_some_and(|v| v > 0.0));
     }
 }

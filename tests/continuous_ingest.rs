@@ -1,0 +1,350 @@
+//! Differential and crash-matrix tests for the continuous micro-batch
+//! ingest scheduler (`uww-sched`).
+//!
+//! The headline property: for any seeded event stream, the continuous
+//! scheduler — any policy, carry on or off — must land in a final state
+//! **byte-identical** to replaying the very same micro-batches as
+//! independent one-shot windows, and journal **byte-identical** per-window
+//! WAL files while doing it. Staleness and window sizing are allowed to
+//! differ between policies; the data is not.
+//!
+//! The crash matrix re-runs the schedule with a crash injected before
+//! every WAL record of a chosen window and asserts recovery + resume
+//! reproduce the uninterrupted final state exactly.
+//!
+//! The matrix is seeded; set `UWW_INGEST_SEED` to shift the whole suite to
+//! a different deterministic slice (CI runs several).
+
+use std::path::PathBuf;
+
+use uww::core::{
+    CostModel, ExecOptions, FaultPlan, FsyncPolicy, SizeCatalog, WalLog, Warehouse, WindowCarry,
+};
+use uww::relational::catalog_to_string;
+use uww::sched::{
+    resume_after_crash, window_wal_config, IngestOutcome, IngestScheduler, Policy, SchedConfig,
+    SeededSource, SeededSourceConfig, SlaConfig, WindowPlanner,
+};
+
+/// Base seed for the whole suite; CI shifts it via `UWW_INGEST_SEED`.
+fn seed_base() -> u64 {
+    std::env::var("UWW_INGEST_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+/// The stream seed: the paper-year default, displaced by the CI matrix.
+fn stream_seed() -> u64 {
+    0x5757_1999u64.wrapping_add(seed_base().wrapping_mul(0x9E37_79B9))
+}
+
+/// A fresh per-test WAL root under the system tmpdir.
+fn wal_root(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "uww-ingest-{tag}-{}-{}",
+        std::process::id(),
+        seed_base()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The shared fixture: the Q3 scenario at tiny scale (multi-view, so the
+/// sharing planner and the carry cache have something to chew on).
+fn fixture() -> Warehouse {
+    uww::scenario::q3_scenario(0.0005)
+        .expect("q3 scenario")
+        .warehouse
+}
+
+fn source_cfg(horizon: u64) -> SeededSourceConfig {
+    SeededSourceConfig {
+        seed: stream_seed(),
+        rate_milli: 1500,
+        horizon,
+        ..SeededSourceConfig::default()
+    }
+}
+
+fn sched_cfg(policy: Policy, carry: bool, horizon: u64, wal_root: Option<PathBuf>) -> SchedConfig {
+    SchedConfig {
+        policy,
+        sla: SlaConfig {
+            target_staleness: 24.0,
+            service_rate: 400.0,
+            ..SlaConfig::default()
+        },
+        window: 12,
+        horizon,
+        carry,
+        planner: WindowPlanner::Shared,
+        wal_root,
+        fsync: FsyncPolicy::Never,
+        fault: None,
+    }
+}
+
+/// Runs a continuous schedule on a fresh fixture, returning the outcome
+/// and the final catalog rendering.
+fn run_continuous(cfg: SchedConfig, horizon: u64) -> (IngestOutcome, String) {
+    let mut w = fixture();
+    let source = SeededSource::new(&w, source_cfg(horizon));
+    let out = IngestScheduler::new(cfg, source)
+        .run(&mut w)
+        .expect("continuous run");
+    assert!(out.crashed.is_none(), "no fault was injected");
+    (out, catalog_to_string(w.state()))
+}
+
+/// Replays a continuous outcome's recorded micro-batches as independent
+/// one-shot windows (empty carry every time) against a fresh fixture,
+/// journaling each window under `root`, and returns the final catalog.
+fn replay_one_shot(out: &IngestOutcome, root: &std::path::Path) -> String {
+    let mut w = fixture();
+    for wr in &out.windows {
+        w.load_changes(wr.batch.clone()).expect("load batch");
+        let sizes = SizeCatalog::estimate(&w).expect("sizes");
+        let model = CostModel::new(w.vdag(), &sizes);
+        let opts = ExecOptions {
+            wal: Some(window_wal_config(root, wr.index, FsyncPolicy::Never)),
+            strategy_sharing: true,
+            predicted_work: Some(model.per_expression_work(&wr.strategy)),
+            ..ExecOptions::default()
+        };
+        w.execute_carried(&wr.strategy, opts, WindowCarry::empty())
+            .expect("one-shot window");
+    }
+    catalog_to_string(w.state())
+}
+
+/// Byte-compares every per-window `wal.log` under the two roots.
+fn assert_wal_bytes_identical(a: &std::path::Path, b: &std::path::Path, windows: usize) {
+    for idx in 0..windows {
+        let name = format!("window_{idx:04}");
+        let fa = std::fs::read(a.join(&name).join("wal.log"))
+            .unwrap_or_else(|e| panic!("read {}/{name}/wal.log: {e}", a.display()));
+        let fb = std::fs::read(b.join(&name).join("wal.log"))
+            .unwrap_or_else(|e| panic!("read {}/{name}/wal.log: {e}", b.display()));
+        assert_eq!(
+            fa, fb,
+            "window {idx}: continuous and one-shot WAL bytes diverged"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Differential one-shot equivalence
+// ---------------------------------------------------------------------------
+
+/// Every policy × carry setting: continuous mode must be indistinguishable
+/// — final state and WAL bytes — from one-shot replays of its own batches.
+#[test]
+fn continuous_mode_equals_one_shot_replay() {
+    const HORIZON: u64 = 36;
+    for policy in [Policy::Fixed, Policy::Greedy, Policy::Adaptive] {
+        for carry in [true, false] {
+            let tag = format!("diff-{}-{}", policy.as_str(), carry);
+            let root_c = wal_root(&tag);
+            let root_r = wal_root(&format!("{tag}-replay"));
+            let cfg = sched_cfg(policy, carry, HORIZON, Some(root_c.clone()));
+            let (out, state) = run_continuous(cfg, HORIZON);
+            assert!(
+                !out.windows.is_empty(),
+                "{tag}: the stream produced no windows"
+            );
+            assert!(out.conformant(), "{tag}: sharing counters diverged");
+            let replayed = replay_one_shot(&out, &root_r);
+            assert_eq!(
+                state, replayed,
+                "{tag}: continuous and one-shot final states diverged"
+            );
+            assert_wal_bytes_identical(&root_c, &root_r, out.windows.len());
+            let _ = std::fs::remove_dir_all(&root_c);
+            let _ = std::fs::remove_dir_all(&root_r);
+        }
+    }
+}
+
+/// The batches a schedule cuts are a partition of the seeded timeline:
+/// policies may slice differently but must process the same event set and
+/// land in the same state.
+#[test]
+fn policies_agree_on_the_final_state() {
+    const HORIZON: u64 = 36;
+    let (fixed, fixed_state) =
+        run_continuous(sched_cfg(Policy::Fixed, true, HORIZON, None), HORIZON);
+    let (greedy, greedy_state) =
+        run_continuous(sched_cfg(Policy::Greedy, true, HORIZON, None), HORIZON);
+    let (adaptive, adaptive_state) =
+        run_continuous(sched_cfg(Policy::Adaptive, true, HORIZON, None), HORIZON);
+    assert_eq!(fixed.events(), greedy.events());
+    assert_eq!(fixed.events(), adaptive.events());
+    assert_eq!(fixed_state, greedy_state, "greedy state diverged");
+    assert_eq!(fixed_state, adaptive_state, "adaptive state diverged");
+    // Greedy cuts at least as many windows as fixed ever can.
+    assert!(greedy.windows.len() >= fixed.windows.len());
+}
+
+// ---------------------------------------------------------------------------
+// Carry-over conformance
+// ---------------------------------------------------------------------------
+
+/// With carry on, at least one later window must be seeded from its
+/// predecessor's cache, and every carried hit must have been statically
+/// predicted (exact conformance, no tolerance).
+#[test]
+fn carry_over_is_predicted_exactly() {
+    const HORIZON: u64 = 60;
+    let (out, _) = run_continuous(sched_cfg(Policy::Adaptive, true, HORIZON, None), HORIZON);
+    assert!(out.conformant(), "conformance violated");
+    assert!(
+        out.windows.iter().any(|w| w.carry_in != (0, 0)),
+        "no window was seeded from the previous window's cache"
+    );
+    let carried_hits: u64 = out
+        .windows
+        .iter()
+        .map(|w| {
+            w.conformance.measured_carried_table_hits + w.conformance.measured_carried_raw_hits
+        })
+        .sum();
+    assert!(
+        carried_hits > 0,
+        "carried cache entries never served a hit across {} windows",
+        out.windows.len()
+    );
+    // With carry off, no window may report carried entries or carried hits.
+    let (bare, _) = run_continuous(sched_cfg(Policy::Adaptive, false, HORIZON, None), HORIZON);
+    assert!(bare.conformant());
+    for w in &bare.windows {
+        assert_eq!(
+            w.carry_in,
+            (0, 0),
+            "carry off but window {} carried",
+            w.index
+        );
+        assert_eq!(w.conformance.measured_carried_table_hits, 0);
+        assert_eq!(w.conformance.measured_carried_raw_hits, 0);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Crash matrix at window boundaries
+// ---------------------------------------------------------------------------
+
+/// Crashes window 1 before **every** WAL record it writes; recovery must
+/// complete the window from the journal and the resumed schedule must end
+/// byte-identical to the uninterrupted run.
+#[test]
+fn crash_matrix_resumes_byte_identical() {
+    const HORIZON: u64 = 60;
+    const FAULT_WINDOW: usize = 1;
+
+    // Uninterrupted reference run, journaled so we can count window 1's
+    // WAL records (= the crash points).
+    let ref_root = wal_root("crash-ref");
+    let cfg = sched_cfg(Policy::Fixed, true, HORIZON, Some(ref_root.clone()));
+    let (ref_out, ref_state) = run_continuous(cfg, HORIZON);
+    assert!(
+        ref_out.windows.len() > FAULT_WINDOW + 1,
+        "fixture too small: need windows after the fault window, got {}",
+        ref_out.windows.len()
+    );
+    let total = WalLog::open(&ref_root.join(format!("window_{FAULT_WINDOW:04}")))
+        .expect("open reference WAL")
+        .records
+        .len() as u64;
+    assert!(
+        total > 2,
+        "window {FAULT_WINDOW} wrote only {total} records"
+    );
+
+    for k in 0..total {
+        let root = wal_root(&format!("crash-{k}"));
+        let mut cfg = sched_cfg(Policy::Fixed, true, HORIZON, Some(root.clone()));
+        cfg.fault = Some((FAULT_WINDOW, FaultPlan::crash_before(k)));
+
+        let mut w = fixture();
+        let source = SeededSource::new(&w, source_cfg(HORIZON));
+        let out = IngestScheduler::new(cfg.clone(), source)
+            .run(&mut w)
+            .expect("faulted run");
+        let crash = out
+            .crashed
+            .as_ref()
+            .unwrap_or_else(|| panic!("crash point {k}: schedule did not crash"));
+        assert_eq!(crash.window, FAULT_WINDOW);
+        assert!(
+            out.windows.len() <= FAULT_WINDOW,
+            "crash point {k}: windows past the fault completed"
+        );
+
+        cfg.fault = None;
+        let resume_source = SeededSource::new(&fixture(), source_cfg(HORIZON));
+        let (rec, resumed) = resume_after_crash(cfg, resume_source, &mut w, crash)
+            .unwrap_or_else(|e| panic!("crash point {k}: resume failed: {e}"));
+        assert!(
+            rec.replayed_comps + rec.replayed_insts + rec.resumed > 0 || rec.already_committed,
+            "crash point {k}: recovery did no work"
+        );
+        assert!(resumed.crashed.is_none());
+        assert!(
+            resumed.conformant(),
+            "crash point {k}: resume not conformant"
+        );
+        for wr in &resumed.windows {
+            assert!(
+                wr.index > FAULT_WINDOW,
+                "crash point {k}: resumed window {} re-ran a completed window",
+                wr.index
+            );
+        }
+        assert_eq!(
+            catalog_to_string(w.state()),
+            ref_state,
+            "crash point {k}: recovered state diverged from the uninterrupted run"
+        );
+        // Completed events: everything the pre-crash windows, the recovered
+        // window, and the resumed windows processed must cover the
+        // reference event count.
+        let covered: u64 = out.windows.iter().map(|wr| wr.events).sum::<u64>()
+            + ref_out.windows[FAULT_WINDOW].events
+            + resumed.events();
+        assert_eq!(
+            covered,
+            ref_out.events(),
+            "crash point {k}: event coverage diverged"
+        );
+        let _ = std::fs::remove_dir_all(&root);
+    }
+    let _ = std::fs::remove_dir_all(&ref_root);
+}
+
+// ---------------------------------------------------------------------------
+// Staleness ordering
+// ---------------------------------------------------------------------------
+
+/// Starting from an oversized nightly-style window, adaptive sizing must
+/// beat fixed on mean staleness — the bench asserts the same dominance at
+/// full scale. (Both start at the same window; fixed is stuck with it,
+/// adaptive re-solves against the SLA after every cut.)
+#[test]
+fn adaptive_staleness_never_worse_than_fixed() {
+    const HORIZON: u64 = 96;
+    let nightly = |policy| {
+        let mut cfg = sched_cfg(policy, true, HORIZON, None);
+        cfg.window = 32;
+        cfg.sla.target_staleness = 16.0;
+        cfg
+    };
+    let (fixed, _) = run_continuous(nightly(Policy::Fixed), HORIZON);
+    let (adaptive, _) = run_continuous(nightly(Policy::Adaptive), HORIZON);
+    assert_eq!(fixed.events(), adaptive.events());
+    assert!(
+        adaptive.mean_staleness() <= fixed.mean_staleness() + 1e-9,
+        "adaptive mean staleness {:.3} worse than fixed {:.3}",
+        adaptive.mean_staleness(),
+        fixed.mean_staleness()
+    );
+}

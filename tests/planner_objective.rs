@@ -191,6 +191,87 @@ fn shared_objective_flips_the_strategy_and_measures_strictly_less_physical_work(
     }
 }
 
+/// Regression for the adaptive replay cap: a star-on-`B` fixture
+/// (`V1 = A ⋈ B`, `V2 = B ⋈ C`, `V3 = B ⋈ D`) where the linear-cheapest
+/// ordering `⟨A,B,C,D⟩` already shares one `B′` build (`Comp(V2,{C})` and
+/// `Comp(V3,{D})` both key post-install `B`, saving 50), but the `B`-first
+/// orderings share it **twice** (`Comp(V1,{A})` joins in, saving 100) at a
+/// linear handicap of only `|ΔB|−|ΔA| = 5`. A search truncated hard at the
+/// cap keeps only the 920-cost baseline; the adaptive extension — primed by
+/// the in-cap saving of 50, which exceeds the capped set's zero spread —
+/// must keep replaying past the cap and recover the 875-cost winner.
+#[test]
+fn adaptive_cap_extension_recovers_the_hidden_winner() {
+    let mut w = Warehouse::builder()
+        .base_table(base("A", 50))
+        .base_table(base("B", 20))
+        .base_table(base("C", 50))
+        .base_table(base("D", 50))
+        .view(join2("V1", ("A", "A"), ("B", "B")))
+        .view(join2("V2", ("B", "B"), ("C", "C")))
+        .view(join2("V3", ("B", "B"), ("D", "D")))
+        .build()
+        .unwrap();
+    let changes = BTreeMap::from([
+        ("A".to_string(), inserts(25, 500)),
+        ("B".to_string(), inserts(30, 600)),
+        ("C".to_string(), inserts(40, 700)),
+        ("D".to_string(), inserts(45, 800)),
+    ]);
+    w.load_changes(changes).unwrap();
+    let sizes = SizeCatalog::estimate(&w).unwrap();
+    let model = CostModel::new(w.vdag(), &sizes);
+
+    let full = uww::core::min_work_shared(&w, &model).unwrap();
+    assert!(full.differs, "fixture must flip under the full search");
+
+    let capped = uww::core::min_work_shared_capped(&w, &model, 1).unwrap();
+    assert!(
+        capped.differs,
+        "cap 1 must still find the winner via the adaptive extension"
+    );
+    assert_eq!(
+        capped.strategy, full.strategy,
+        "capped search chose a different winner"
+    );
+    assert_eq!(capped.baseline, full.baseline);
+    assert!((capped.cost - full.cost).abs() < 1e-9);
+    assert!((capped.cross_saving - full.cross_saving).abs() < 1e-9);
+    // The extension really did replay past the hard cap.
+    assert!(
+        capped.candidates > 1,
+        "extension never ran: only {} candidate(s) replayed",
+        capped.candidates
+    );
+    // And it had to: the winner strictly beats the best the capped set can
+    // offer, even granting the baseline its own saving — truncating at the
+    // cap would have kept a strictly worse strategy.
+    let base_saving = model.cross_share_saving(
+        plan_strategy_sharing(&w, &capped.baseline, SharingScope::Strategy)
+            .unwrap()
+            .cross_saved_rows(),
+    );
+    assert!(
+        base_saving > 0.0,
+        "the in-cap evidence that primes the extension"
+    );
+    assert!(
+        capped.cost < capped.baseline_cost - base_saving - 1e-9,
+        "winner {:.0} must strictly beat the capped set's best {:.0}",
+        capped.cost,
+        capped.baseline_cost - base_saving
+    );
+    // The flip is real, not just priced: both strategies converge and the
+    // winner touches strictly fewer physical rows under the cache.
+    let (state_chosen, report_chosen) = run_shared(&w, &capped.strategy);
+    let (state_base, report_base) = run_shared(&w, &capped.baseline);
+    assert_eq!(state_chosen, state_base);
+    assert!(
+        report_chosen.total_work().physical_rows_touched
+            < report_base.total_work().physical_rows_touched
+    );
+}
+
 /// The objective never makes things worse: on the fixture the shared cost
 /// is bounded above by the linear cost of the same strategy, and the
 /// baseline's shared cost by its linear cost.
