@@ -1,0 +1,175 @@
+//! Partition-parallel scaling report: the update window at 1/2/4/8 hash
+//! partitions on the figure-4 warehouse.
+//!
+//! Every run executes the identical MinWork strategy; partitioning changes
+//! *where* rows are probed, never *what* is computed, so the final state and
+//! the full work meter must be byte-identical at every partition count —
+//! violations abort the run, making this binary the CI smoke check for the
+//! partition engine. Two window lengths are reported per partition count:
+//!
+//! * `wall_us` — measured wall clock. On a single-core container every
+//!   partition chunk runs serially, so this barely moves with the count.
+//! * `critical_path_us` — the window length an ideal `P`-worker machine
+//!   would see, derived from the recorded trace: for each operator that
+//!   fanned out partition chunks, the serial chunk time (`Σ dur`) collapses
+//!   to the longest chunk (`max dur`), and the saved time comes off the
+//!   wall. This is what the partition count actually buys, and it is what
+//!   CI gates (`critical_path(1) / critical_path(4) ≥ 1.5`).
+//!
+//! Output: a summary on stdout plus `BENCH_scaling.json` in the current
+//! directory. Scale comes from `UWW_SCALE` (default 0.002, ~12k LINEITEM;
+//! scale ≈ 1.67 targets the paper-motivated ~10M-row LINEITEM).
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use uww::core::{min_work, ExecOptions, PartitionOptions, SizeCatalog};
+use uww::obs;
+use uww::relational::catalog_to_string;
+use uww_bench::{bench_scale, figure4_with_changes};
+
+const PARTITIONS: &[usize] = &[1, 2, 4, 8];
+
+/// The gate CI enforces on `critical_path(1) / critical_path(4)`.
+const GATE_SHRINK_AT_4: f64 = 1.5;
+
+struct Run {
+    partitions: usize,
+    wall_us: u64,
+    critical_path_us: u64,
+    partitioned_ops: usize,
+    work: uww::relational::WorkMeter,
+    state: String,
+}
+
+/// Wall time minus what an ideal `P`-worker machine saves: per parent
+/// operator, the partition chunks run concurrently, so their serial sum
+/// collapses to the slowest chunk.
+fn critical_path_us(wall_us: u64, spans: &[obs::SpanRecord]) -> (u64, usize) {
+    let mut groups: HashMap<u64, (u64, u64)> = HashMap::new();
+    for s in spans {
+        if s.attr_u64(obs::keys::PARTITION).is_some() {
+            let (sum, max) = groups.entry(s.parent).or_insert((0, 0));
+            *sum += s.dur_us();
+            *max = (*max).max(s.dur_us());
+        }
+    }
+    let saved: u64 = groups.values().map(|(sum, max)| sum - max).sum();
+    (wall_us.saturating_sub(saved), groups.len())
+}
+
+fn run_at(partitions: usize) -> Run {
+    let sc = figure4_with_changes(0.10);
+    let sizes = SizeCatalog::estimate(&sc.warehouse).expect("sizes");
+    let plan = min_work(sc.warehouse.vdag(), &sizes).expect("minwork plan");
+
+    let buf = Arc::new(obs::TraceBuffer::new(obs::DEFAULT_CAPACITY));
+    obs::install(buf.clone());
+    let mut w = sc.warehouse.clone();
+    let report = w
+        .execute_with(
+            &plan.strategy,
+            ExecOptions {
+                partition: PartitionOptions::with_partitions(partitions),
+                strategy_sharing: true,
+                ..ExecOptions::default()
+            },
+        )
+        .expect("execution");
+    obs::uninstall();
+    let spans = buf.take_records();
+    assert_eq!(buf.dropped(), 0, "trace ring overflowed; raise capacity");
+
+    let wall_us = report.wall().as_micros() as u64;
+    let (critical, partitioned_ops) = critical_path_us(wall_us, &spans);
+    Run {
+        partitions,
+        wall_us,
+        critical_path_us: critical,
+        partitioned_ops,
+        work: report.total_work(),
+        state: catalog_to_string(w.state()),
+    }
+}
+
+fn main() {
+    let scale = bench_scale();
+    println!("Partition scaling report (figure-4 warehouse, scale = {scale})");
+    println!(
+        "  {:>10} {:>12} {:>17} {:>9} {:>15}",
+        "partitions", "wall_us", "critical_path_us", "shrink", "partitioned_ops"
+    );
+
+    let runs: Vec<Run> = PARTITIONS.iter().map(|&p| run_at(p)).collect();
+    let base = &runs[0];
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"scale\": {scale},");
+    let _ = writeln!(json, "  \"gate_shrink_at_4\": {GATE_SHRINK_AT_4},");
+    json.push_str("  \"partitions\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        let shrink = base.critical_path_us as f64 / r.critical_path_us.max(1) as f64;
+        println!(
+            "  {:>10} {:>12} {:>17} {:>8.2}x {:>15}",
+            r.partitions, r.wall_us, r.critical_path_us, shrink, r.partitioned_ops
+        );
+        let _ = writeln!(
+            json,
+            "    {{ \"partitions\": {}, \"wall_us\": {}, \"critical_path_us\": {}, \
+             \"shrink\": {:.4}, \"partitioned_ops\": {}, \"linear_work\": {} }}{}",
+            r.partitions,
+            r.wall_us,
+            r.critical_path_us,
+            shrink,
+            r.partitioned_ops,
+            r.work.linear_work(),
+            if i + 1 == runs.len() { "" } else { "," }
+        );
+
+        // Identity gates: partitioning must never change what is computed.
+        assert_eq!(
+            r.state, base.state,
+            "partitions={}: final state diverged from sequential",
+            r.partitions
+        );
+        assert_eq!(
+            r.work, base.work,
+            "partitions={}: work meter diverged from sequential",
+            r.partitions
+        );
+    }
+
+    // The headline gate: on an ideal machine, 4 partitions shrink the
+    // update window's critical path by at least 1.5x over sequential.
+    let four = runs
+        .iter()
+        .find(|r| r.partitions == 4)
+        .expect("4-partition run");
+    let shrink4 = base.critical_path_us as f64 / four.critical_path_us.max(1) as f64;
+    assert!(
+        shrink4 >= GATE_SHRINK_AT_4,
+        "critical-path shrink at 4 partitions is {shrink4:.2}x, gate is {GATE_SHRINK_AT_4}x"
+    );
+
+    // Every partitioned run must beat sequential on the critical path. (The
+    // 2-vs-4 ordering is left ungated: tens-of-ms wall samples on a shared
+    // box jitter enough to flip it without any real regression.)
+    let two = runs.iter().find(|r| r.partitions == 2).expect("2-part run");
+    assert!(
+        two.critical_path_us <= base.critical_path_us
+            && four.critical_path_us <= base.critical_path_us,
+        "critical path regressed below sequential: {} -> {} (P=2) / {} (P=4)",
+        base.critical_path_us,
+        two.critical_path_us,
+        four.critical_path_us
+    );
+
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"states_identical\": true,");
+    let _ = writeln!(json, "  \"meters_identical\": true,");
+    let _ = writeln!(json, "  \"shrink_at_4\": {shrink4:.4}");
+    json.push_str("}\n");
+    std::fs::write("BENCH_scaling.json", &json).expect("write BENCH_scaling.json");
+    println!("\nWrote BENCH_scaling.json (shrink at 4 partitions: {shrink4:.2}x)");
+}

@@ -231,7 +231,7 @@ pub fn agg_types(def: &ViewDef, joined_schema: &Schema) -> RelResult<Vec<(AggFun
     }
 }
 
-fn agg_spec(def: &ViewDef, term_schema: &Schema) -> RelResult<ops::AggSpec> {
+pub(crate) fn agg_spec(def: &ViewDef, term_schema: &Schema) -> RelResult<ops::AggSpec> {
     match &def.output {
         ViewOutput::Aggregate {
             group_by,

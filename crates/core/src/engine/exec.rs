@@ -45,6 +45,12 @@ pub struct ExecOptions {
     /// traces and the timeline report show predicted vs measured work
     /// side by side (default: none). Never affects execution.
     pub predicted_work: Option<Vec<f64>>,
+    /// Partition-parallel execution within each term: hash-partitioned
+    /// build/probe and chunked aggregation on a work-stealing pool
+    /// (default: one partition — the sequential engine). Final states, WAL
+    /// bytes, and the full meter are byte-identical at any partition count;
+    /// only wall-clock (and per-partition trace spans) change.
+    pub partition: crate::engine::pool::PartitionOptions,
 }
 
 impl Default for ExecOptions {
@@ -57,6 +63,7 @@ impl Default for ExecOptions {
             term_threads: 0,
             strategy_sharing: false,
             predicted_work: None,
+            partition: crate::engine::pool::PartitionOptions::default(),
         }
     }
 }
@@ -67,6 +74,7 @@ impl ExecOptions {
         TermOptions {
             share: self.term_sharing,
             threads: self.term_threads,
+            partition: self.partition,
         }
     }
 }
@@ -288,6 +296,15 @@ impl Warehouse {
             }
             None => None,
         };
+        // A carry built at a different partition count cannot seed this
+        // window: its tables are split differently than this run's probes,
+        // so serving one would be a cross-partition stale hit. Drop it
+        // *before* planning, so the plan and the runtime cache agree.
+        let carry = if carry.is_empty() || carry.partitions() == opts.partition.partitions {
+            carry
+        } else {
+            share::WindowCarry::empty()
+        };
         // The seeded plan starts its liveness walk from the carried entries,
         // so the front of the strategy can consume the previous window's
         // builds; seeding the runtime cache with the *same* carry makes
@@ -329,7 +346,7 @@ impl Warehouse {
         conformance.measured_carried_raw_hits = raw_hits;
         Ok(WindowOutcome {
             report,
-            carry: scache.harvest(),
+            carry: scache.harvest(opts.partition.partitions),
             conformance,
         })
     }
@@ -700,7 +717,7 @@ pub(crate) fn comp_fragment(
 
     let mut fragment = w.empty_pending_for(&name)?;
     if topts.share {
-        let (outs, total) = share::eval_terms_shared(w, &def, &terms, topts.threads, scache)?;
+        let (outs, total) = share::eval_terms_shared(w, &def, &terms, topts, scache)?;
         for out in outs {
             match (out, &mut fragment) {
                 (share::TermOut::Rows(rows), PendingDelta::Rows(acc)) => {

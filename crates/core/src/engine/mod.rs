@@ -18,6 +18,7 @@
 pub mod eval;
 pub mod exec;
 pub mod explain;
+pub mod pool;
 pub mod publish;
 pub(crate) mod share;
 pub mod summary;
@@ -27,6 +28,7 @@ pub(crate) use summary::raw_to_value as summary_raw_to_value;
 
 pub use exec::{CarryConformance, ExecOptions, ExecutionReport, ExprReport, WindowOutcome};
 pub use explain::{render_explain, ExprPlan, TermPlan};
+pub use pool::PartitionOptions;
 pub use publish::InstallPublisher;
 pub use share::{
     plan_strategy_sharing, plan_strategy_sharing_carried, predict_comp_sharing,

@@ -55,14 +55,17 @@
 
 use crate::engine::eval;
 use crate::engine::exec::{meter_attrs, term_label};
-use crate::engine::warehouse::{scan_operand, Warehouse};
+use crate::engine::pool::{self, PartitionOptions};
+use crate::engine::warehouse::{scan_operand, PendingDelta, Warehouse};
 use crate::error::{CoreError, CoreResult};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use uww_obs as obs;
-use uww_relational::ops::{self, BuiltTable, GroupAcc, SignedRows};
-use uww_relational::{RelResult, Schema, Tuple, ViewDef, ViewOutput, WorkMeter};
+use uww_relational::ops::{self, GroupAcc, PartitionedTable, Partitioner, SignedRows};
+use uww_relational::{
+    BoundPredicate, Catalog, RelResult, Schema, Tuple, ViewDef, ViewOutput, WorkMeter,
+};
 use uww_vdag::{Strategy, UpdateExpr, Vdag};
 
 /// How a `Comp`'s term set is evaluated.
@@ -74,6 +77,10 @@ pub struct TermOptions {
     /// Worker threads for term evaluation; `0` or `1` evaluates inline.
     /// Only meaningful with `share` (the per-term path is the baseline).
     pub threads: usize,
+    /// Intra-term partition parallelism: hash-partitioned joins and chunked
+    /// aggregation on a work-stealing pool. `PartitionOptions::default()`
+    /// (one partition) is the sequential engine.
+    pub partition: PartitionOptions,
 }
 
 impl Default for TermOptions {
@@ -81,6 +88,7 @@ impl Default for TermOptions {
         TermOptions {
             share: true,
             threads: 0,
+            partition: PartitionOptions::default(),
         }
     }
 }
@@ -213,8 +221,13 @@ type RawCache = HashMap<(String, bool), (Arc<SignedRows>, u64, bool)>;
 /// carries nothing).
 #[derive(Default)]
 pub struct WindowCarry {
-    tables: HashMap<SharedIdentity, Arc<BuiltTable>>,
+    tables: HashMap<SharedIdentity, Arc<PartitionedTable>>,
     raws: HashMap<(String, bool), (Arc<SignedRows>, u64)>,
+    /// The partition count the carried tables were built at. A carry only
+    /// seeds a window run at the *same* partitioning — the executor drops a
+    /// mismatched carry before planning, so a table split `P` ways can never
+    /// serve a probe split `Q` ways (a cross-partition stale hit).
+    partitions: usize,
 }
 
 impl std::fmt::Debug for WindowCarry {
@@ -222,6 +235,7 @@ impl std::fmt::Debug for WindowCarry {
         f.debug_struct("WindowCarry")
             .field("tables", &self.tables.len())
             .field("raws", &self.raws.len())
+            .field("partitions", &self.partitions)
             .finish()
     }
 }
@@ -235,6 +249,11 @@ impl WindowCarry {
     /// True when nothing survived the previous window.
     pub fn is_empty(&self) -> bool {
         self.tables.is_empty() && self.raws.is_empty()
+    }
+
+    /// The partition count the carried build tables were split at.
+    pub fn partitions(&self) -> usize {
+        self.partitions
     }
 
     /// Number of carried hash-join build tables.
@@ -260,7 +279,7 @@ pub(crate) struct StrategyCache {
     /// Per-expression directives, indexed by strategy position.
     directives: Vec<CompCacheDirectives>,
     /// Live build tables by identity; the flag marks carried-in entries.
-    tables: Mutex<HashMap<SharedIdentity, (Arc<BuiltTable>, bool)>>,
+    tables: Mutex<HashMap<SharedIdentity, (Arc<PartitionedTable>, bool)>>,
     raws: Mutex<RawCache>,
     /// Conformance counters: cross-reuses / cached reads served from an
     /// entry carried in from the previous window (per use, like the meter).
@@ -332,7 +351,7 @@ impl StrategyCache {
             .insert(key, (entry.0, entry.1, false));
     }
 
-    fn table_get(&self, id: &SharedIdentity) -> Option<Arc<BuiltTable>> {
+    fn table_get(&self, id: &SharedIdentity) -> Option<Arc<PartitionedTable>> {
         let map = self.tables.lock().unwrap_or_else(|e| e.into_inner());
         let (t, carried) = map.get(id)?;
         if *carried {
@@ -341,7 +360,7 @@ impl StrategyCache {
         Some(Arc::clone(t))
     }
 
-    fn table_put(&self, id: SharedIdentity, t: Arc<BuiltTable>) {
+    fn table_put(&self, id: SharedIdentity, t: Arc<PartitionedTable>) {
         self.tables
             .lock()
             .unwrap_or_else(|e| e.into_inner())
@@ -377,9 +396,12 @@ impl StrategyCache {
     /// Consumes the cache into the entries that may cross into the next
     /// window: everything still live, minus every delta-role entry (the
     /// next batch replaces all pending deltas, so a carried delta read
-    /// would be stale by construction).
-    pub(crate) fn harvest(self) -> WindowCarry {
+    /// would be stale by construction). The carry is stamped with the
+    /// partition count this window ran at — a future window at a different
+    /// partitioning must drop it rather than probe mis-split tables.
+    pub(crate) fn harvest(self, partitions: usize) -> WindowCarry {
         WindowCarry {
+            partitions,
             tables: self
                 .tables
                 .into_inner()
@@ -429,12 +451,14 @@ pub(crate) struct OperandCache<'a> {
     publish: HashMap<TableKey, SharedIdentity>,
     /// The attached strategy-scope cache, when strategy sharing is on.
     strategy: Option<&'a StrategyCache>,
+    /// Partition-parallel configuration every interned build is split at.
+    partition: PartitionOptions,
     /// The static plan itself, for prediction consumers.
     plan: CompSharingPlan,
     /// Interned build tables: `(source, as_delta, key columns)` → table.
     /// The lock is held across the build so `hash_tables_built` counts
     /// each distinct key exactly once even under threads.
-    tables: Mutex<HashMap<TableKey, Arc<BuiltTable>>>,
+    tables: Mutex<HashMap<TableKey, Arc<PartitionedTable>>>,
 }
 
 impl<'a> OperandCache<'a> {
@@ -453,6 +477,7 @@ impl<'a> OperandCache<'a> {
         def: &ViewDef,
         terms: &[BTreeSet<String>],
         strategy: Option<(&'a StrategyCache, usize)>,
+        partition: PartitionOptions,
     ) -> CoreResult<(OperandCache<'a>, WorkMeter)> {
         let n = def.sources.len();
         let state = w.state();
@@ -516,9 +541,10 @@ impl<'a> OperandCache<'a> {
                                 // logical charge is made per term to keep the
                                 // paper's metric intact.
                                 let mut probe = WorkMeter::new();
-                                let rows =
-                                    scan_operand(state, pending, &s.view, as_delta, &mut probe)
-                                        .map_err(CoreError::Rel)?;
+                                let rows = scan_operand_pooled(
+                                    partition, state, pending, &s.view, as_delta, &mut probe,
+                                )
+                                .map_err(CoreError::Rel)?;
                                 meter.physical_rows_touched += probe.physical_rows_touched;
                                 let entry = (Arc::new(rows), probe.operand_rows_scanned);
                                 if let Some((sc, _)) = strategy {
@@ -534,12 +560,11 @@ impl<'a> OperandCache<'a> {
                 let rows = if local[i].is_empty() {
                     rows
                 } else {
-                    let mut filtered = (*rows).clone();
+                    let mut bounds = Vec::with_capacity(local[i].len());
                     for &fi in &local[i] {
-                        let bound = def.filters[fi].bind(&qschemas[i]).map_err(CoreError::Rel)?;
-                        filtered = ops::filter(filtered, &bound).map_err(CoreError::Rel)?;
+                        bounds.push(def.filters[fi].bind(&qschemas[i]).map_err(CoreError::Rel)?);
                     }
-                    Arc::new(filtered)
+                    Arc::new(filter_pooled(partition, &rows, &bounds).map_err(CoreError::Rel)?)
                 };
                 *slot = Some(CachedOperand { rows, raw_len });
             }
@@ -614,6 +639,11 @@ impl<'a> OperandCache<'a> {
             .iter()
             .filter(|(key, &count)| count >= 2 || publish.contains_key(*key))
             .filter(|(key, _)| !consume.contains_key(*key))
+            // Defense in depth for the empty-key degenerate: a keyless build
+            // is a disguised cross join whose "table" is one giant bucket —
+            // never worth interning or publishing. `plan_term_steps` already
+            // yields `None` for those steps, so nothing here should match.
+            .filter(|(key, _)| !key.2.is_empty())
             .map(|(k, _)| k.clone())
             .collect();
         let mut reads: Vec<(String, bool)> = raw.keys().cloned().collect();
@@ -639,6 +669,7 @@ impl<'a> OperandCache<'a> {
                 consume,
                 publish,
                 strategy: strategy.map(|(sc, _)| sc),
+                partition,
                 plan,
                 tables: Mutex::new(HashMap::new()),
             },
@@ -662,7 +693,7 @@ impl<'a> OperandCache<'a> {
         as_delta: bool,
         keys: &[usize],
         meter: &mut WorkMeter,
-    ) -> Arc<BuiltTable> {
+    ) -> Arc<PartitionedTable> {
         let mut map = self.tables.lock().unwrap_or_else(|e| e.into_inner());
         match map.get(&(i, as_delta, keys.to_vec())) {
             Some(t) => {
@@ -670,7 +701,8 @@ impl<'a> OperandCache<'a> {
                 Arc::clone(t)
             }
             None => {
-                let t = Arc::new(ops::build_table(
+                let t = Arc::new(build_pooled(
+                    self.partition,
                     &self.operand(i, as_delta).rows,
                     keys,
                     meter,
@@ -691,11 +723,15 @@ impl<'a> OperandCache<'a> {
     /// cross-expression reuse. `None` when the key is not consumed. A
     /// planned-but-missing table falls back to the local intern path (and
     /// the conformance check will surface the divergence).
-    fn cross_table(&self, key: &TableKey, meter: &mut WorkMeter) -> Option<Arc<BuiltTable>> {
+    fn cross_table(&self, key: &TableKey, meter: &mut WorkMeter) -> Option<Arc<PartitionedTable>> {
         let id = self.consume.get(key)?;
         let sc = self.strategy?;
         match sc.table_get(id) {
             Some(t) => {
+                // Partition counts are run-constant and mismatched carries
+                // are dropped before planning, so a cached table always
+                // matches this run's split.
+                debug_assert_eq!(t.parts(), self.partition.partitions.max(1));
                 meter.hash_cross_reuse();
                 Some(t)
             }
@@ -705,6 +741,234 @@ impl<'a> OperandCache<'a> {
             }
         }
     }
+}
+
+/// Fans `n` partition tasks out over the work-stealing pool, concatenating
+/// the per-partition row outputs **in partition order** and folding each
+/// worker's local meter into `meter`. Every task gets its own `Operator`
+/// span (parented explicitly — workers don't inherit the spawner's span
+/// stack) tagged with its partition index, so traces expose per-partition
+/// skew and the bench can reconstruct the critical path on any machine.
+fn pooled_rows<F>(
+    popt: PartitionOptions,
+    parent: u64,
+    label: &'static str,
+    n: usize,
+    f: F,
+    meter: &mut WorkMeter,
+) -> SignedRows
+where
+    F: Fn(usize, &mut WorkMeter) -> SignedRows + Sync,
+{
+    let results = pool::run_tasks(n, popt.workers(n), popt.steal, |i| {
+        let mut span =
+            obs::span_under_dyn(obs::SpanKind::Operator, parent, || format!("{label}[p{i}]"));
+        let mut m = WorkMeter::new();
+        let out = f(i, &mut m);
+        span.attr_u64(obs::keys::PARTITION, i as u64);
+        span.attr_u64(obs::keys::ROWS, out.len() as u64);
+        (out, m)
+    });
+    let mut rows = Vec::with_capacity(results.iter().map(|(r, _)| r.len()).sum());
+    for (out, m) in results {
+        rows.extend(out);
+        meter.absorb(&m);
+    }
+    rows
+}
+
+/// Probes a partitioned table with `probe` rows, co-partitioning them onto
+/// the table's chunks and probing every chunk through the pool. At one
+/// partition this is byte-identical (order included) to the sequential
+/// [`ops::probe_table`]; at `P` partitions the concatenated output is the
+/// same multiset and the meter is byte-identical (each chunk charges its
+/// own emit; the emits sum to the sequential total).
+fn probe_pooled(
+    popt: PartitionOptions,
+    table: &PartitionedTable,
+    probe: &SignedRows,
+    probe_keys: &[usize],
+    build_is_left: bool,
+    meter: &mut WorkMeter,
+) -> SignedRows {
+    let mut sp = obs::span(obs::SpanKind::Operator, "hash_probe");
+    let out = if table.parts() > 1 {
+        sp.attr_u64(obs::keys::PARTITIONS, table.parts() as u64);
+        let chunks = split_pooled(popt, table.parts(), probe, probe_keys);
+        let parent = obs::current_span_id();
+        pooled_rows(
+            popt,
+            parent,
+            "hash_probe",
+            table.parts(),
+            |i, m| table.probe_chunk(i, &chunks[i], probe_keys, build_is_left, m),
+            meter,
+        )
+    } else {
+        table.probe_chunk(0, probe, probe_keys, build_is_left, meter)
+    };
+    sp.attr_u64(obs::keys::ROWS, out.len() as u64);
+    out
+}
+
+/// [`scan_operand`], chunk-parallel over the pool for base-extent reads.
+/// Cloning each stored tuple is row-independent, so contiguous ranges of
+/// the extent clone concurrently and concatenate back in iteration order —
+/// the output bytes and the meter charge (one `scan` of the full extent)
+/// are identical to the sequential scan. Delta reads stay sequential: they
+/// are a window's worth of rows, far below the extent sizes that make the
+/// fan-out pay.
+fn scan_operand_pooled(
+    popt: PartitionOptions,
+    state: &Catalog,
+    pending: &BTreeMap<String, PendingDelta>,
+    view: &str,
+    as_delta: bool,
+    meter: &mut WorkMeter,
+) -> RelResult<SignedRows> {
+    if as_delta || !popt.parallel() {
+        return scan_operand(state, pending, view, as_delta, meter);
+    }
+    let table = state.get(view)?;
+    let entries: Vec<(&Tuple, u64)> = table.iter().collect();
+    if entries.len() < 2 {
+        return scan_operand(state, pending, view, as_delta, meter);
+    }
+    meter.scan(table.len());
+    let parent = obs::current_span_id();
+    let parts = popt.partitions;
+    let chunk = entries.len().div_ceil(parts);
+    let cloned = pool::run_tasks(parts, popt.workers(parts), popt.steal, |i| {
+        let lo = (i * chunk).min(entries.len());
+        let hi = (lo + chunk).min(entries.len());
+        let mut span =
+            obs::span_under_dyn(obs::SpanKind::Operator, parent, || format!("scan[p{i}]"));
+        span.attr_u64(obs::keys::PARTITION, i as u64);
+        span.attr_u64(obs::keys::ROWS, (hi - lo) as u64);
+        entries[lo..hi]
+            .iter()
+            .map(|&(t, m)| (t.clone(), m as i64))
+            .collect::<SignedRows>()
+    });
+    Ok(cloned.concat())
+}
+
+/// Materializes a filtered operand from `rows`, chunk-parallel: each worker
+/// clones only the rows of its contiguous range that pass every pushed-down
+/// filter, and ranges concatenate back in input order — byte-identical to
+/// cloning the raw extent and filtering it, without ever materializing the
+/// unfiltered clone.
+fn filter_pooled(
+    popt: PartitionOptions,
+    rows: &SignedRows,
+    bounds: &[BoundPredicate],
+) -> RelResult<SignedRows> {
+    let keep = |(t, m): &(Tuple, i64)| -> RelResult<Option<(Tuple, i64)>> {
+        for b in bounds {
+            if !b.eval(t)? {
+                return Ok(None);
+            }
+        }
+        Ok(Some((t.clone(), *m)))
+    };
+    if !popt.parallel() || rows.len() < 2 {
+        let mut out = Vec::new();
+        for r in rows {
+            if let Some(x) = keep(r)? {
+                out.push(x);
+            }
+        }
+        return Ok(out);
+    }
+    let parent = obs::current_span_id();
+    let parts = popt.partitions;
+    let chunk = rows.len().div_ceil(parts);
+    let chunks = pool::run_tasks(parts, popt.workers(parts), popt.steal, |i| {
+        let lo = (i * chunk).min(rows.len());
+        let hi = (lo + chunk).min(rows.len());
+        let mut span =
+            obs::span_under_dyn(obs::SpanKind::Operator, parent, || format!("filter[p{i}]"));
+        span.attr_u64(obs::keys::PARTITION, i as u64);
+        span.attr_u64(obs::keys::ROWS, (hi - lo) as u64);
+        let mut out = Vec::new();
+        for r in &rows[lo..hi] {
+            if let Some(x) = keep(r)? {
+                out.push(x);
+            }
+        }
+        Ok(out)
+    });
+    let mut out = Vec::new();
+    for c in chunks {
+        out.extend(c?);
+    }
+    Ok(out)
+}
+
+/// [`Partitioner::split`], chunk-parallel: each worker buckets one
+/// contiguous range of `rows` by key hash, and per-partition buckets
+/// concatenate in range order — the same stable row order the sequential
+/// split produces. The per-row cost (key serialization, FNV, tuple clone)
+/// is what makes large splits expensive, and all of it runs inside the
+/// fan-out.
+fn split_pooled(
+    popt: PartitionOptions,
+    parts: usize,
+    rows: &SignedRows,
+    keys: &[usize],
+) -> Vec<SignedRows> {
+    if !popt.parallel() || keys.is_empty() || rows.len() < 2 {
+        return Partitioner::new(parts).split(rows, keys);
+    }
+    let parent = obs::current_span_id();
+    let chunk = rows.len().div_ceil(parts);
+    let bucketed = pool::run_tasks(parts, popt.workers(parts), popt.steal, |i| {
+        let lo = (i * chunk).min(rows.len());
+        let hi = (lo + chunk).min(rows.len());
+        let mut span =
+            obs::span_under_dyn(obs::SpanKind::Operator, parent, || format!("split[p{i}]"));
+        span.attr_u64(obs::keys::PARTITION, i as u64);
+        span.attr_u64(obs::keys::ROWS, (hi - lo) as u64);
+        let mut buckets: Vec<SignedRows> = vec![Vec::new(); parts];
+        for (t, m) in &rows[lo..hi] {
+            buckets[ops::part_of(t, keys, parts)].push((t.clone(), *m));
+        }
+        buckets
+    });
+    let mut out: Vec<SignedRows> = vec![Vec::new(); parts];
+    for buckets in bucketed {
+        for (j, b) in buckets.into_iter().enumerate() {
+            out[j].extend(b);
+        }
+    }
+    out
+}
+
+/// Builds a partitioned table over `rows`, splitting by key hash and
+/// indexing the chunks through the pool. Charges exactly one
+/// [`WorkMeter::hash_build`] over the total input, so the meter equals the
+/// sequential build's at any partition count.
+fn build_pooled(
+    popt: PartitionOptions,
+    rows: &SignedRows,
+    keys: &[usize],
+    meter: &mut WorkMeter,
+) -> PartitionedTable {
+    if !popt.parallel() || keys.is_empty() {
+        return ops::build_partitioned(rows, keys, 1, meter);
+    }
+    let parent = obs::current_span_id();
+    let chunks = split_pooled(popt, popt.partitions, rows, keys);
+    let indexed = pool::run_tasks(chunks.len(), popt.workers(chunks.len()), popt.steal, |i| {
+        let mut span = obs::span_under_dyn(obs::SpanKind::Operator, parent, || {
+            format!("hash_build[p{i}]")
+        });
+        span.attr_u64(obs::keys::PARTITION, i as u64);
+        span.attr_u64(obs::keys::ROWS, chunks[i].len() as u64);
+        ops::BuiltTable::index(&chunks[i], keys)
+    });
+    meter.hash_build(rows.len() as u64);
+    PartitionedTable::from_indexed(keys.to_vec(), chunks.into_iter().zip(indexed).collect())
 }
 
 /// Simulates one term's greedy join sequence against the cached operand
@@ -776,8 +1040,36 @@ pub(crate) fn eval_term_cached(
             Ok(TermOut::Rows(ops::consolidate(out)))
         }
         ViewOutput::Aggregate { .. } => {
-            let groups = eval::group_output(def, &schema, &rows).map_err(CoreError::Rel)?;
-            Ok(TermOut::Groups(groups))
+            let popt = cache.partition;
+            if popt.parallel() && rows.len() > 1 {
+                // Grouping is commutative and associative: group contiguous
+                // chunks through the pool and merge — identical accumulator
+                // map to the sequential pass (merge order cannot matter).
+                let spec = eval::agg_spec(def, &schema).map_err(CoreError::Rel)?;
+                let mut sp = obs::span(obs::SpanKind::Operator, "group_merge");
+                sp.attr_u64(obs::keys::PARTITIONS, popt.partitions as u64);
+                let chunks = Partitioner::new(popt.partitions).split_contiguous(&rows);
+                let parent = obs::current_span_id();
+                let parts =
+                    pool::run_tasks(chunks.len(), popt.workers(chunks.len()), popt.steal, |i| {
+                        let mut span = obs::span_under_dyn(obs::SpanKind::Operator, parent, || {
+                            format!("group[p{i}]")
+                        });
+                        span.attr_u64(obs::keys::PARTITION, i as u64);
+                        span.attr_u64(obs::keys::ROWS, chunks[i].len() as u64);
+                        ops::group_rows(&chunks[i], &spec)
+                    });
+                let mut maps = Vec::with_capacity(parts.len());
+                for p in parts {
+                    maps.push(p.map_err(CoreError::Rel)?);
+                }
+                let groups = ops::merge_groups(maps);
+                sp.attr_u64(obs::keys::ROWS, groups.len() as u64);
+                Ok(TermOut::Groups(groups))
+            } else {
+                let groups = eval::group_output(def, &schema, &rows).map_err(CoreError::Rel)?;
+                Ok(TermOut::Groups(groups))
+            }
         }
     }
 }
@@ -817,10 +1109,28 @@ fn join_term(
     for _ in 1..n {
         let next = eval::pick_next(def, &in_set, |i| size(&avail, i));
         let (lk, rk) = eval::join_keys(def, &in_set, next, &joined_schema, &cache.qschemas[next])?;
+        let popt = cache.partition;
         let right = avail[next].take().expect("operand joined twice");
         joined_rows = if lk.is_empty() {
+            // Cross join: no key to co-partition on, so fan out over
+            // contiguous chunks of the intermediate — chunk order
+            // concatenates back to the sequential output byte-for-byte.
             let mut sp = obs::span(obs::SpanKind::Operator, "cross_join");
-            let out = ops::cross_join(&joined_rows, &right.rows, meter);
+            let out = if popt.parallel() && joined_rows.len() > 1 {
+                sp.attr_u64(obs::keys::PARTITIONS, popt.partitions as u64);
+                let chunks = Partitioner::new(popt.partitions).split_contiguous(&joined_rows);
+                let parent = obs::current_span_id();
+                pooled_rows(
+                    popt,
+                    parent,
+                    "cross_join",
+                    chunks.len(),
+                    |i, m| ops::cross_join(&chunks[i], &right.rows, m),
+                    meter,
+                )
+            } else {
+                ops::cross_join(&joined_rows, &right.rows, meter)
+            };
             sp.attr_u64(obs::keys::ROWS, out.len() as u64);
             out
         } else if let Some(table) = cache.cross_table(&(next, role[next], rk.clone()), meter) {
@@ -832,10 +1142,7 @@ fn join_term(
                 let mut sp = obs::span(obs::SpanKind::Operator, "hash_table_cross");
                 sp.attr_u64(obs::keys::ROWS, right.rows.len() as u64);
             }
-            let mut sp = obs::span(obs::SpanKind::Operator, "hash_probe");
-            let out = ops::probe_table(&right.rows, &table, &joined_rows, &lk, false, meter);
-            sp.attr_u64(obs::keys::ROWS, out.len() as u64);
-            out
+            probe_pooled(popt, &table, &joined_rows, &lk, false, meter)
         } else if cache.shared.contains(&(next, role[next], rk.clone())) {
             // The static plan marked this (source, role, keys) as repeating
             // across the Comp's terms: intern the pure-operand table — the
@@ -846,22 +1153,16 @@ fn join_term(
                 sp.attr_u64(obs::keys::ROWS, right.rows.len() as u64);
                 cache.table(next, role[next], &rk, meter)
             };
-            let mut sp = obs::span(obs::SpanKind::Operator, "hash_probe");
-            let out = ops::probe_table(&right.rows, &table, &joined_rows, &lk, false, meter);
-            sp.attr_u64(obs::keys::ROWS, out.len() as u64);
-            out
+            probe_pooled(popt, &table, &joined_rows, &lk, false, meter)
         } else if joined_rows.len() <= right.rows.len() {
             // Unshared step, intermediate smaller: build fresh exactly as
             // hash_join would — one build, no reuse, either orientation.
             let table = {
                 let mut sp = obs::span(obs::SpanKind::Operator, "hash_build");
                 sp.attr_u64(obs::keys::ROWS, joined_rows.len() as u64);
-                ops::build_table(&joined_rows, &lk, meter)
+                build_pooled(popt, &joined_rows, &lk, meter)
             };
-            let mut sp = obs::span(obs::SpanKind::Operator, "hash_probe");
-            let out = ops::probe_table(&joined_rows, &table, &right.rows, &rk, true, meter);
-            sp.attr_u64(obs::keys::ROWS, out.len() as u64);
-            out
+            probe_pooled(popt, &table, &right.rows, &rk, true, meter)
         } else {
             // Unshared step, operand smaller: build fresh over the operand
             // without interning — the key occurs once, so a cache entry
@@ -869,12 +1170,9 @@ fn join_term(
             let table = {
                 let mut sp = obs::span(obs::SpanKind::Operator, "hash_build");
                 sp.attr_u64(obs::keys::ROWS, right.rows.len() as u64);
-                ops::build_table(&right.rows, &rk, meter)
+                build_pooled(popt, &right.rows, &rk, meter)
             };
-            let mut sp = obs::span(obs::SpanKind::Operator, "hash_probe");
-            let out = ops::probe_table(&right.rows, &table, &joined_rows, &lk, false, meter);
-            sp.attr_u64(obs::keys::ROWS, out.len() as u64);
-            out
+            probe_pooled(popt, &table, &joined_rows, &lk, false, meter)
         };
         joined_schema = joined_schema.concat(&cache.qschemas[next])?;
         in_set[next] = true;
@@ -904,12 +1202,12 @@ pub(crate) fn eval_terms_shared(
     w: &Warehouse,
     def: &ViewDef,
     terms: &[BTreeSet<String>],
-    threads: usize,
+    topts: TermOptions,
     strategy: Option<(&StrategyCache, usize)>,
 ) -> CoreResult<(Vec<TermOut>, WorkMeter)> {
     let (cache, mut total) = {
         let mut sp = obs::span(obs::SpanKind::Operator, "materialize_operands");
-        let (cache, meter) = OperandCache::build(w, def, terms, strategy)?;
+        let (cache, meter) = OperandCache::build(w, def, terms, strategy, topts.partition)?;
         sp.attr_u64(obs::keys::PHYSICAL_ROWS, meter.physical_rows_touched);
         sp.attr_u64(
             obs::keys::PREDICTED_HASH_BUILDS,
@@ -926,7 +1224,7 @@ pub(crate) fn eval_terms_shared(
         sp.attr_u64(obs::keys::PREDICTED_CACHED_READS, cache.plan.cached_reads);
         (cache, meter)
     };
-    let workers = threads.min(terms.len());
+    let workers = topts.threads.min(terms.len());
     // Worker threads do not inherit the spawner's span stack; parent every
     // term span to the enclosing expression span explicitly.
     let parent = obs::current_span_id();
@@ -1022,7 +1320,9 @@ pub fn predict_comp_sharing(
         .ok_or_else(|| CoreError::Warehouse(format!("no definition for {view}")))?
         .clone();
     let terms = surviving_terms(w, over_names);
-    let (cache, _) = OperandCache::build(w, &def, &terms, None)?;
+    // Predictions are partition-independent: the partitioned engine's
+    // logical and hash-table meters are byte-identical to sequential.
+    let (cache, _) = OperandCache::build(w, &def, &terms, None, PartitionOptions::default())?;
     Ok(cache.plan)
 }
 

@@ -49,9 +49,9 @@ pub use design::{greedy_select, Candidate, DesignOutcome};
 pub use engine::{
     plan_strategy_sharing, plan_strategy_sharing_carried, predict_comp_sharing,
     predict_strategy_sharing, surviving_terms, CarryConformance, CompSharingPlan, ExecOptions,
-    ExecutionReport, ExprReport, ExprSharingPrediction, InstallPublisher, OperandUse, PendingDelta,
-    SharedIdentity, SharingScope, StrategySharingPlan, SummaryDelta, Warehouse, WarehouseBuilder,
-    WindowCarry, WindowOutcome,
+    ExecutionReport, ExprReport, ExprSharingPrediction, InstallPublisher, OperandUse,
+    PartitionOptions, PendingDelta, SharedIdentity, SharingScope, StrategySharingPlan,
+    SummaryDelta, Warehouse, WarehouseBuilder, WindowCarry, WindowOutcome,
 };
 pub use error::{CoreError, CoreResult};
 pub use estimate::StatsEstimator;

@@ -84,6 +84,14 @@ impl WorkMeter {
         self.physical_rows_touched += n;
     }
 
+    /// Records a physical pass over `n` rows that is neither an operand
+    /// scan nor a hash build — e.g. the single-bucket degenerate of an
+    /// empty-key build, which is a disguised cross join and must not
+    /// inflate `hash_tables_built` past the static sharing prediction.
+    pub fn touch(&mut self, n: u64) {
+        self.physical_rows_touched += n;
+    }
+
     /// Records reusing an interned hash table instead of rebuilding it.
     pub fn hash_reuse(&mut self) {
         self.hash_tables_reused += 1;

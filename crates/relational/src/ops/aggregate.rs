@@ -142,7 +142,11 @@ impl GroupAcc {
 /// Groups whose every accumulator *and* count net to the identity are
 /// dropped. A minus tuple contributing to a MIN/MAX accumulator is an
 /// [`RelError::UnsupportedIncremental`] error.
-pub fn group_rows(rows: &SignedRows, spec: &AggSpec) -> RelResult<HashMap<Tuple, GroupAcc>> {
+///
+/// Accepts any row slice (not just a whole [`SignedRows`] batch) so the
+/// partition-parallel engine can aggregate contiguous chunks independently
+/// and [`merge_groups`] the per-chunk maps.
+pub fn group_rows(rows: &[(Tuple, i64)], spec: &AggSpec) -> RelResult<HashMap<Tuple, GroupAcc>> {
     let mut out: HashMap<Tuple, GroupAcc> = HashMap::new();
     for (row, mult) in rows {
         let mut key_vals = Vec::with_capacity(spec.group_by.len());
@@ -194,6 +198,47 @@ pub fn group_rows(rows: &SignedRows, spec: &AggSpec) -> RelResult<HashMap<Tuple,
     }
     out.retain(|_, acc| !acc.is_identity());
     Ok(out)
+}
+
+/// Merges per-chunk group maps into one, re-applying the identity filter —
+/// the reduce side of partition-parallel aggregation. Every accumulator is
+/// commutative and associative under [`GroupAcc::merge`] (SUM/COUNT add;
+/// MIN/MAX, insert-only, take extrema), so the merged map equals
+/// [`group_rows`] over the concatenated input regardless of how the batch
+/// was chunked or in which order chunks arrive.
+pub fn merge_groups(
+    maps: impl IntoIterator<Item = HashMap<Tuple, GroupAcc>>,
+) -> HashMap<Tuple, GroupAcc> {
+    let mut out: HashMap<Tuple, GroupAcc> = HashMap::new();
+    for m in maps {
+        for (key, acc) in m {
+            match out.entry(key) {
+                std::collections::hash_map::Entry::Occupied(mut o) => o.get_mut().merge(&acc),
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert(acc);
+                }
+            }
+        }
+    }
+    // A group can net to the identity only across chunks (each chunk map
+    // already dropped its own identities).
+    out.retain(|_, acc| !acc.is_identity());
+    out
+}
+
+/// [`group_rows`] over `chunks` contiguous slices, merged — the sequential
+/// reference for the partition-parallel aggregation path.
+pub fn group_rows_chunked(
+    rows: &SignedRows,
+    spec: &AggSpec,
+    chunks: usize,
+) -> RelResult<HashMap<Tuple, GroupAcc>> {
+    let size = rows.len().div_ceil(chunks.max(1)).max(1);
+    let maps = rows
+        .chunks(size)
+        .map(|c| group_rows(c, spec))
+        .collect::<RelResult<Vec<_>>>()?;
+    Ok(merge_groups(maps))
 }
 
 /// Raw ordering payload for MIN/MAX: numerics and dates.
@@ -328,6 +373,34 @@ mod tests {
         assert!(Acc::Min(None).is_identity());
         assert_eq!(Acc::Sum(7).sum(), Some(7));
         assert_eq!(Acc::Min(Some(7)).sum(), None);
+    }
+
+    #[test]
+    fn chunked_grouping_equals_sequential() {
+        // Signed batch with cross-chunk cancellation: key 1's count nets to
+        // zero only once the chunks merge.
+        let rows: SignedRows = vec![
+            (tup![Value::Int(1), Value::Decimal(100)], 1),
+            (tup![Value::Int(2), Value::Decimal(10)], 2),
+            (tup![Value::Int(1), Value::Decimal(100)], -1),
+            (tup![Value::Int(3), Value::Decimal(7)], 1),
+            (tup![Value::Int(2), Value::Decimal(5)], -1),
+        ];
+        let seq = group_rows(&rows, &spec()).unwrap();
+        for chunks in [1, 2, 3, 5, 9] {
+            let par = group_rows_chunked(&rows, &spec(), chunks).unwrap();
+            assert_eq!(seq, par, "diverged at {chunks} chunks");
+        }
+        // Insert-only MIN/MAX merges to extrema across chunks too.
+        let pos: SignedRows = (0..20)
+            .map(|i| (tup![Value::Int(i % 3), Value::Decimal(100 - i)], 1))
+            .collect();
+        let seq = group_rows(&pos, &minmax_spec()).unwrap();
+        assert_eq!(seq, group_rows_chunked(&pos, &minmax_spec(), 4).unwrap());
+        // merge_groups drops fully-cancelled groups and tolerates any order.
+        let a = group_rows(&rows[..2], &spec()).unwrap();
+        let b = group_rows(&rows[2..], &spec()).unwrap();
+        assert_eq!(merge_groups([b, a]), group_rows(&rows, &spec()).unwrap());
     }
 
     #[test]

@@ -44,16 +44,37 @@ pub struct BuiltTable {
     index: HashMap<Tuple, Vec<usize>>,
 }
 
+impl BuiltTable {
+    /// Indexes `rows` by their projection onto `keys` without metering —
+    /// for the partition-parallel build, whose chunks are indexed
+    /// separately while the single aggregate [`WorkMeter::hash_build`] is
+    /// charged once over the whole batch by the caller.
+    pub fn index(rows: &SignedRows, keys: &[usize]) -> BuiltTable {
+        let mut index: HashMap<Tuple, Vec<usize>> = HashMap::with_capacity(rows.len());
+        for (i, (t, _)) in rows.iter().enumerate() {
+            index.entry(t.project(keys)).or_default().push(i);
+        }
+        BuiltTable { index }
+    }
+}
+
 /// Indexes `rows` by their projection onto `keys`. Charges one
 /// [`WorkMeter::hash_build`] over the input size — a physical pass the
 /// paper's logical metric does not model separately.
+///
+/// An **empty** key list degenerates to a single bucket holding every row:
+/// a disguised cross join, not a hash build. It is metered as a plain
+/// physical pass ([`WorkMeter::touch`]) so `hash_tables_built` counts only
+/// genuine keyed builds — the quantity the static sharing plan predicts and
+/// the conformance oracle compares against ([`hash_join`] never reaches
+/// this path; it routes empty keys to [`cross_join`] outright).
 pub fn build_table(rows: &SignedRows, keys: &[usize], meter: &mut WorkMeter) -> BuiltTable {
-    let mut index: HashMap<Tuple, Vec<usize>> = HashMap::with_capacity(rows.len());
-    for (i, (t, _)) in rows.iter().enumerate() {
-        index.entry(t.project(keys)).or_default().push(i);
+    if keys.is_empty() {
+        meter.touch(rows.len() as u64);
+    } else {
+        meter.hash_build(rows.len() as u64);
     }
-    meter.hash_build(rows.len() as u64);
-    BuiltTable { index }
+    BuiltTable::index(rows, keys)
 }
 
 /// Probes `table` (built over `build` — the same batch, same order) with
@@ -204,6 +225,26 @@ mod tests {
         assert_eq!(keyed.physical_rows_touched, 3); // build side = smaller l()
         assert_eq!(cross.hash_tables_built, 0);
         assert_eq!(cross.physical_rows_touched, 0);
+    }
+
+    #[test]
+    fn empty_key_build_meters_as_scan_not_hash_build() {
+        // A degenerate single-bucket "build" is a disguised cross join: it
+        // must charge the pass as physical rows touched, never as a hash
+        // build the conformance oracle would expect the static plan to have
+        // predicted.
+        let mut m = WorkMeter::new();
+        let t = build_table(&l(), &[], &mut m);
+        assert_eq!(m.hash_tables_built, 0);
+        assert_eq!(m.physical_rows_touched, l().len() as u64);
+        // The single bucket still probes correctly (every probe row matches).
+        let out = probe_table(&l(), &t, &r(), &[], true, &mut m);
+        assert_eq!(out.len(), l().len() * r().len());
+        // A keyed build over the same rows does charge a build.
+        let mut k = WorkMeter::new();
+        build_table(&l(), &[0], &mut k);
+        assert_eq!(k.hash_tables_built, 1);
+        assert_eq!(k.physical_rows_touched, l().len() as u64);
     }
 
     #[test]

@@ -9,9 +9,13 @@
 
 mod aggregate;
 mod join;
+mod partition;
 
-pub use aggregate::{group_rows, Acc, AggFunc, AggSpec, GroupAcc};
+pub use aggregate::{
+    group_rows, group_rows_chunked, merge_groups, Acc, AggFunc, AggSpec, GroupAcc,
+};
 pub use join::{build_table, cross_join, hash_join, probe_table, BuiltTable};
+pub use partition::{build_partitioned, part_of, probe_partitioned, PartitionedTable, Partitioner};
 
 use crate::delta::DeltaRelation;
 use crate::error::RelResult;

@@ -36,5 +36,5 @@ pub use scheduler::{
 };
 pub use source::{
     events_from_str, events_to_string, ChainSource, DeltaEvent, DeltaSource, IngestQueue,
-    QueueSource, ReplaySource, SeededSource, SeededSourceConfig,
+    QueueSource, ReplaySource, SeededSource, SeededSourceConfig, DEFAULT_QUEUE_CAPACITY,
 };

@@ -164,22 +164,31 @@ impl WindowController {
     /// `w/2 + λ·w·c/μ` ticks. Setting that equal to the target and solving
     /// for `w` gives the largest window meeting the SLA:
     /// `w = target / (1/2 + λ·c/μ)`.
+    ///
+    /// Zero-event windows are skipped entirely: an idle window says nothing
+    /// about how fast events arrive *when they arrive*, and folding zero
+    /// samples decays `λ → 0`, opening the window toward `2·target` — so
+    /// the first burst after an idle gap would land in an oversized window
+    /// and blow the staleness SLA. For the same reason `w` is capped at the
+    /// target itself: a window longer than the target busts the SLA on
+    /// queue wait alone the moment traffic resumes.
     pub fn observe_window(&mut self, events: u64, window_ticks: u64, predicted_work: f64) {
-        self.rate.observe(events, window_ticks);
-        if events > 0 {
-            let sample = predicted_work / events as f64;
-            if self.cpe_primed {
-                self.cost_per_event = self.sla.ewma_alpha * sample
-                    + (1.0 - self.sla.ewma_alpha) * self.cost_per_event;
-            } else {
-                self.cost_per_event = sample;
-                self.cpe_primed = true;
-            }
+        if events == 0 {
+            return;
         }
-        if self.policy == Policy::Adaptive && self.cpe_primed {
+        self.rate.observe(events, window_ticks);
+        let sample = predicted_work / events as f64;
+        if self.cpe_primed {
+            self.cost_per_event =
+                self.sla.ewma_alpha * sample + (1.0 - self.sla.ewma_alpha) * self.cost_per_event;
+        } else {
+            self.cost_per_event = sample;
+            self.cpe_primed = true;
+        }
+        if self.policy == Policy::Adaptive {
             let lambda = self.rate.rate();
             let denom = 0.5 + lambda * self.cost_per_event / self.sla.service_rate;
-            let ideal = self.sla.target_staleness / denom;
+            let ideal = (self.sla.target_staleness / denom).min(self.sla.target_staleness);
             self.window = (ideal.floor() as u64).clamp(self.sla.min_window, self.sla.max_window);
         }
     }
@@ -241,6 +250,43 @@ mod tests {
         }
         assert_eq!(f.next_window(), 12);
         assert_eq!(g.next_window(), sla.min_window);
+    }
+
+    #[test]
+    fn burst_after_idle_stays_within_sla() {
+        let sla = SlaConfig {
+            target_staleness: 10.0,
+            min_window: 1,
+            max_window: 64,
+            service_rate: 100.0,
+            ewma_alpha: 0.5,
+        };
+        let mut c = WindowController::new(Policy::Adaptive, sla, 16);
+        // Sustained load sizes the window down.
+        for _ in 0..4 {
+            let w = c.next_window();
+            c.observe_window(8 * w, w, 8.0 * w as f64 * 500.0);
+        }
+        let busy = c.next_window();
+        assert!(busy < 16, "window should shrink under load, got {busy}");
+        // A long idle gap: zero-event windows carry no rate information and
+        // must leave the learned state untouched — the regression was λ
+        // decaying to 0 here, opening the window toward 2·target so the
+        // first burst after the gap landed in an oversized window.
+        let rate_before = c.arrival_rate();
+        for _ in 0..50 {
+            c.observe_window(0, c.next_window(), 0.0);
+        }
+        assert_eq!(c.arrival_rate(), rate_before);
+        assert_eq!(c.next_window(), busy, "idle windows must not resize");
+        // However light traffic gets, the window never exceeds the staleness
+        // target itself: queue wait alone would bust the SLA on the next
+        // burst otherwise.
+        for _ in 0..20 {
+            let w = c.next_window();
+            c.observe_window(1, w, 5.0);
+        }
+        assert!(c.next_window() as f64 <= sla.target_staleness);
     }
 
     #[test]

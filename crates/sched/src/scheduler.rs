@@ -31,8 +31,8 @@ use std::collections::BTreeMap;
 use std::path::PathBuf;
 use uww_core::{
     min_work, min_work_shared, recover, CarryConformance, CoreError, CoreResult, CostModel,
-    ExecOptions, ExecutionReport, FaultPlan, FsyncPolicy, RecoveryOutcome, SizeCatalog, WalConfig,
-    Warehouse, WindowCarry,
+    ExecOptions, ExecutionReport, FaultPlan, FsyncPolicy, PartitionOptions, RecoveryOutcome,
+    SizeCatalog, WalConfig, Warehouse, WindowCarry,
 };
 use uww_obs as obs;
 use uww_relational::DeltaRelation;
@@ -82,6 +82,11 @@ pub struct SchedConfig {
     pub fsync: FsyncPolicy,
     /// Inject this fault plan into window K's WAL — the crash-matrix hook.
     pub fault: Option<(usize, FaultPlan)>,
+    /// Partition-parallel execution for every window. The window-cost model
+    /// divides predicted processing ticks by the *configured* partition
+    /// count (never the machine's core count), so the virtual-time schedule
+    /// stays deterministic across machines.
+    pub partition: PartitionOptions,
 }
 
 impl Default for SchedConfig {
@@ -96,7 +101,26 @@ impl Default for SchedConfig {
             wal_root: None,
             fsync: FsyncPolicy::Never,
             fault: None,
+            partition: PartitionOptions::default(),
         }
+    }
+}
+
+impl SchedConfig {
+    /// The effective service rate: the SLA's per-worker rate scaled by the
+    /// configured partition count. Both the processing-tick conversion and
+    /// the adaptive controller use this, so window sizing and the schedule
+    /// agree on how fast partitioned windows drain.
+    pub fn effective_rate(&self) -> f64 {
+        self.sla.service_rate * self.partition.partitions.max(1) as f64
+    }
+
+    /// The SLA as the controller should see it: service rate scaled for
+    /// partition parallelism.
+    fn effective_sla(&self) -> SlaConfig {
+        let mut sla = self.sla;
+        sla.service_rate = self.effective_rate();
+        sla
     }
 }
 
@@ -231,7 +255,7 @@ pub struct IngestScheduler<S> {
 impl<S: DeltaSource> IngestScheduler<S> {
     /// A scheduler starting at tick 0, window 0.
     pub fn new(cfg: SchedConfig, source: S) -> IngestScheduler<S> {
-        let controller = WindowController::new(cfg.policy, cfg.sla, cfg.window);
+        let controller = WindowController::new(cfg.policy, cfg.effective_sla(), cfg.window);
         IngestScheduler {
             cfg,
             source,
@@ -306,7 +330,7 @@ impl<S: DeltaSource> IngestScheduler<S> {
             };
             let predicted = model.strategy_work(&strategy);
             let per_expr = model.per_expression_work(&strategy);
-            let processing = (predicted / self.cfg.sla.service_rate).ceil() as u64;
+            let processing = (predicted / self.cfg.effective_rate()).ceil() as u64;
             let done = cut + processing;
             let staleness =
                 events.iter().map(|e| (done - e.at) as f64).sum::<f64>() / events.len() as f64;
@@ -336,6 +360,7 @@ impl<S: DeltaSource> IngestScheduler<S> {
                 wal: wal_cfg,
                 strategy_sharing: true,
                 predicted_work: Some(per_expr),
+                partition: self.cfg.partition,
                 ..ExecOptions::default()
             };
 

@@ -292,22 +292,60 @@ impl DeltaSource for ReplaySource {
 
 /// Producer handle for a [`QueueSource`]: clone it into whatever thread
 /// accepts changes (the serve `INGEST` handler) and push events.
-#[derive(Clone, Default)]
+///
+/// The queue is **bounded**: an unbounded buffer between a fast producer
+/// and the windowed consumer just converts overload into unbounded memory
+/// and unbounded staleness. Once `capacity` events are waiting, [`push`]
+/// rejects with an error the serve layer surfaces as a wire `ERR` — the
+/// client sees backpressure immediately instead of silent queue growth.
+///
+/// [`push`]: IngestQueue::push
+#[derive(Clone)]
 pub struct IngestQueue {
     q: Arc<Mutex<Vec<DeltaEvent>>>,
+    capacity: usize,
+}
+
+/// Default [`IngestQueue`] capacity: far above any window batch the
+/// scheduler drains, small enough to bound a runaway producer.
+pub const DEFAULT_QUEUE_CAPACITY: usize = 65_536;
+
+impl Default for IngestQueue {
+    fn default() -> Self {
+        IngestQueue::with_capacity(DEFAULT_QUEUE_CAPACITY)
+    }
 }
 
 impl IngestQueue {
-    /// A fresh empty queue.
+    /// A fresh empty queue at the default capacity.
     pub fn new() -> IngestQueue {
         IngestQueue::default()
     }
 
+    /// A fresh empty queue holding at most `capacity` events (floored at 1).
+    pub fn with_capacity(capacity: usize) -> IngestQueue {
+        IngestQueue {
+            q: Arc::new(Mutex::new(Vec::new())),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The maximum number of waiting events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Enqueues one event. `at = 0` means "stamp with the drain tick" —
     /// producers outside the scheduler's virtual clock (the wire protocol)
-    /// can't know the current tick.
-    pub fn push(&self, event: DeltaEvent) {
-        self.q.lock().expect("ingest queue poisoned").push(event);
+    /// can't know the current tick. A full queue rejects the event; the
+    /// producer should retry after the scheduler drains a window.
+    pub fn push(&self, event: DeltaEvent) -> Result<(), String> {
+        let mut held = self.q.lock().expect("ingest queue poisoned");
+        if held.len() >= self.capacity {
+            return Err(format!("ingest queue full (capacity {})", self.capacity));
+        }
+        held.push(event);
+        Ok(())
     }
 
     /// Events currently waiting.
@@ -490,13 +528,15 @@ mod tests {
             view: "A".into(),
             row: Tuple::new(vec![Value::Int(1), Value::Int(2)]),
             count: 1,
-        });
+        })
+        .unwrap();
         q.push(DeltaEvent {
             at: 99,
             view: "A".into(),
             row: Tuple::new(vec![Value::Int(2), Value::Int(3)]),
             count: -1,
-        });
+        })
+        .unwrap();
         assert_eq!(q.depth(), 2);
         let mut s = q.source();
         let drained = s.drain(4, 10);
@@ -511,5 +551,31 @@ mod tests {
         assert_eq!(later[0].at, 99);
         assert!(s.exhausted_after(100));
         assert!(s.drain(0, 1000).is_empty());
+    }
+
+    #[test]
+    fn full_queue_rejects_until_drained() {
+        let event = |i: i64| DeltaEvent {
+            at: 0,
+            view: "A".into(),
+            row: Tuple::new(vec![Value::Int(i), Value::Int(i)]),
+            count: 1,
+        };
+        let q = IngestQueue::with_capacity(4);
+        assert_eq!(q.capacity(), 4);
+        for i in 0..4 {
+            q.push(event(i)).unwrap();
+        }
+        // The flood hits the bound: rejected, not buffered.
+        let err = q.push(event(4)).unwrap_err();
+        assert!(err.contains("ingest queue full"), "unexpected error: {err}");
+        assert_eq!(q.depth(), 4, "a rejected push must not grow the queue");
+        // Draining a window frees capacity and pushes flow again.
+        let mut s = q.source();
+        assert_eq!(s.drain(0, 10).len(), 4);
+        q.push(event(5)).unwrap();
+        assert_eq!(q.depth(), 1);
+        // Degenerate capacities floor at one slot.
+        assert_eq!(IngestQueue::with_capacity(0).capacity(), 1);
     }
 }

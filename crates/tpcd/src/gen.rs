@@ -62,7 +62,9 @@ pub const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPEC
 #[derive(Clone, Copy, Debug)]
 pub struct TpcdConfig {
     /// Fraction of the TPC-D SF=1 database. `0.001` gives ~150 customers,
-    /// ~1.5k orders, ~6k lineitems.
+    /// ~1.5k orders, ~6k lineitems. Values above `1.0` extrapolate past
+    /// SF=1 linearly: `~1.67` targets a ~10M-row LINEITEM (the paper's
+    /// warehouse-sized extents), bounded only by memory and patience.
     pub scale: f64,
     /// RNG seed; equal seeds give identical databases.
     pub seed: u64,
@@ -345,6 +347,20 @@ mod tests {
         assert_eq!(c.orders, 1500);
         let c = TpcdConfig::at_scale(0.01).row_counts();
         assert_eq!(c.customer, 1500);
+    }
+
+    #[test]
+    fn scale_extrapolates_past_sf1_toward_ten_million_lineitems() {
+        // The targets stay linear above SF=1: at scale 1.67 the generator
+        // aims at ~2.5M orders, which at ~4 lineitems each is the ~10M-row
+        // LINEITEM extent. Row targets only — generating it is a memory
+        // budget, not a unit test.
+        let c = TpcdConfig::at_scale(1.67).row_counts();
+        assert_eq!(c.orders, 2_505_000);
+        assert_eq!(c.customer, 250_500);
+        assert_eq!(c.supplier, 16_700);
+        let lineitems_expected = c.orders as f64 * 4.0;
+        assert!((9.0e6..11.0e6).contains(&lineitems_expected));
     }
 
     #[test]

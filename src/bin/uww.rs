@@ -8,7 +8,8 @@
 //!              [--objective linear|shared]
 //!              [--wal DIR] [--fsync always|never]
 //!              [--fault crash:K|torn:K|dup:K|dirsync]
-//!              [--term-threads N] [--no-term-sharing] [--strategy-sharing]
+//!              [--term-threads N] [--partitions N] [--no-steal]
+//!              [--no-term-sharing] [--strategy-sharing]
 //!              [--trace-out FILE] [--timeline]
 //! uww recover  DIR
 //! uww analyze  [--scenario ...] [--scale F] [--frac F] [--planner ...]
@@ -23,6 +24,7 @@
 //! uww ingest   [--scenario ...] [--scale F] [--policy fixed|adaptive|greedy]
 //!              [--window N] [--sla F] [--rate MILLI] [--service-rate F]
 //!              [--horizon N] [--seed N] [--no-carry] [--objective linear|shared]
+//!              [--partitions N] [--no-steal]
 //!              [--wal DIR] [--fsync always|never] [--fault ...] [--fault-window W]
 //!              [--replay FILE] [--record FILE] [--serve] [--readers N]
 //!              [--json] [--metrics]
@@ -45,7 +47,11 @@
 //! Each `Comp` evaluates its maintenance terms through a shared operand
 //! cache by default; `--no-term-sharing` restores the historical per-term
 //! scans, and `--term-threads N` fans the terms of one `Comp` over `N`
-//! worker threads. `--strategy-sharing` lifts the cache to strategy scope:
+//! worker threads. `--partitions N` hash-partitions each term's build and
+//! probe sides by join key and runs the chunks on a work-stealing pool
+//! (`--no-steal` pins each chunk to its seeded worker); results and work
+//! meters stay byte-identical at every partition count. `--strategy-sharing`
+//! lifts the cache to strategy scope:
 //! operand materializations and hash-join build tables survive across
 //! `Comp` boundaries until an expression modifies the operand. In every
 //! mode the computed deltas, WAL bytes, and the logical work metric are
@@ -72,8 +78,8 @@
 use std::process::ExitCode;
 use uww::core::{
     min_work, min_work_shared, prune, recover, simulate_olap, CostModel, ExecOptions, FaultPlan,
-    FsyncPolicy, IsolationMode, OlapWorkload, ScriptGenerator, SharingScope, SizeCatalog,
-    WalConfig, WalLog,
+    FsyncPolicy, IsolationMode, OlapWorkload, PartitionOptions, ScriptGenerator, SharingScope,
+    SizeCatalog, WalConfig, WalLog,
 };
 use uww::scenario::TpcdScenario;
 use uww::sched::{
@@ -100,6 +106,8 @@ struct Args {
     readers: usize,
     hold_ms: u64,
     term_threads: usize,
+    partitions: usize,
+    steal: bool,
     term_sharing: bool,
     strategy_sharing: bool,
     objective: String,
@@ -144,6 +152,8 @@ impl Default for Args {
             readers: 4,
             hold_ms: 2,
             term_threads: 0,
+            partitions: 1,
+            steal: true,
             term_sharing: true,
             strategy_sharing: false,
             objective: "linear".into(),
@@ -246,6 +256,16 @@ fn parse_args(argv: &[String]) -> Result<(String, Args), String> {
                     .ok_or_else(|| "missing value for --term-threads".to_string())?;
                 args.term_threads = v.parse().map_err(|_| format!("bad --term-threads {v}"))?;
             }
+            "--partitions" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "missing value for --partitions".to_string())?;
+                args.partitions = v.parse().map_err(|_| format!("bad --partitions {v}"))?;
+                if args.partitions == 0 {
+                    return Err("--partitions must be at least 1".to_string());
+                }
+            }
+            "--no-steal" => args.steal = false,
             "--strategy" => {
                 let v = it
                     .next()
@@ -477,6 +497,7 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         term_threads: args.term_threads,
         strategy_sharing: args.strategy_sharing,
         predicted_work: Some(predicted),
+        partition: partition_options(args),
         ..ExecOptions::default()
     };
     if let Some(dir) = &args.wal {
@@ -1081,7 +1102,15 @@ fn ingest_sched_config(args: &Args) -> Result<SchedConfig, String> {
         wal_root: args.wal.clone().map(std::path::PathBuf::from),
         fsync: FsyncPolicy::parse(&args.fsync).map_err(|e| e.to_string())?,
         fault,
+        partition: partition_options(args),
     })
+}
+
+/// The partition-parallel knobs shared by `run` and the continuous modes.
+fn partition_options(args: &Args) -> PartitionOptions {
+    let mut p = PartitionOptions::with_partitions(args.partitions);
+    p.steal = args.steal;
+    p
 }
 
 fn print_ingest_windows(out: &IngestOutcome) {
@@ -1329,13 +1358,14 @@ const USAGE: &str = "usage: uww <info|plan|run|analyze|script|dot|olap|serve|ing
 [--sql NAME=SELECT-statement] \
 [--strategy \"Comp(V,{A,B}); Inst(A); ...\"] [--stages \"stage | stage | ...\"] [--json] \
 [--wal DIR] [--fsync always|never] [--fault crash:K|torn:K|dup:K|dirsync] \
-[--term-threads N] [--no-term-sharing] [--strategy-sharing] \
+[--term-threads N] [--partitions N] [--no-steal] [--no-term-sharing] [--strategy-sharing] \
 [--objective linear|shared] \
 [--trace-out FILE] [--timeline] [--metrics] \
 [--sharing] [--verify-against TRACE.json]\n\
        uww ingest [--scenario ...] [--scale F] [--policy fixed|adaptive|greedy] [--window N] \
 [--sla F] [--rate MILLI] [--service-rate F] [--horizon N] [--seed N] [--no-carry] \
-[--objective linear|shared] [--wal DIR] [--fsync always|never] \
+[--objective linear|shared] [--partitions N] [--no-steal] \
+[--wal DIR] [--fsync always|never] \
 [--fault crash:K|torn:K|dup:K|dirsync] [--fault-window W] \
 [--replay FILE] [--record FILE] [--serve] [--readers N] [--json] [--metrics]\n\
        uww recover DIR";

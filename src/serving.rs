@@ -233,14 +233,14 @@ impl IngestSink for QueueSink {
             Some(_) => {
                 // `at = 0`: the wire has no virtual clock; the queue source
                 // stamps the event with the tick of the drain that picks
-                // it up.
+                // it up. A full queue propagates as a wire ERR — the
+                // client sees backpressure instead of silent queue growth.
                 self.queue.push(DeltaEvent {
                     at: 0,
                     view: view.to_string(),
                     row: Tuple::new(values),
                     count,
-                });
-                Ok(())
+                })
             }
         }
     }
@@ -465,6 +465,66 @@ mod tests {
             scrape.value("uww_serve_queries_total", &[]),
             Some(out.metrics.queries as f64)
         );
+    }
+
+    #[test]
+    fn full_ingest_queue_surfaces_backpressure_on_the_wire() {
+        use uww_relational::ValueType;
+        use uww_sched::DeltaSource;
+
+        let sc = q3_scenario(0.0003).unwrap();
+        let w = &sc.warehouse;
+        let g = w.vdag();
+        let base = g
+            .base_views()
+            .into_iter()
+            .map(|v| g.name(v).to_string())
+            .min()
+            .unwrap();
+        let row: Vec<Value> = w
+            .table(&base)
+            .unwrap()
+            .schema()
+            .columns()
+            .iter()
+            .map(|c| match c.ty {
+                ValueType::Int => Value::Int(888_888_888),
+                ValueType::Decimal => Value::Decimal(77),
+                ValueType::Str => Value::str("flood"),
+                ValueType::Date => Value::Date(9_998),
+            })
+            .collect();
+
+        let queue = IngestQueue::with_capacity(3);
+        let sink = Arc::new(QueueSink::new(w, queue.clone()));
+        let versioned = Arc::new(VersionedCatalog::from_catalog(w.state()));
+        let server = Server::start(
+            versioned,
+            ServerConfig {
+                ingest: Some(sink as Arc<dyn IngestSink>),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let mut c = Client::connect(server.local_addr()).unwrap();
+        for _ in 0..3 {
+            c.ingest(&base, 1, &row).unwrap();
+        }
+        // The fourth row hits the bound: the serve layer relays the queue's
+        // rejection as a wire ERR instead of buffering without limit.
+        let err = c.ingest(&base, 1, &row).unwrap_err();
+        assert!(
+            err.to_string().contains("ingest queue full"),
+            "unexpected wire error: {err}"
+        );
+        assert_eq!(queue.depth(), 3);
+        // A drain (what a window cut does) frees capacity; ingest resumes.
+        assert_eq!(queue.source().drain(0, 10).len(), 3);
+        c.ingest(&base, 1, &row).unwrap();
+        c.quit().unwrap();
+        let metrics = server.shutdown();
+        assert_eq!(metrics.ingested_rows, 4);
+        assert_eq!(metrics.errors, 1);
     }
 
     #[test]

@@ -82,6 +82,7 @@ fn sched_cfg(policy: Policy, carry: bool, horizon: u64, wal_root: Option<PathBuf
         wal_root,
         fsync: FsyncPolicy::Never,
         fault: None,
+        ..SchedConfig::default()
     }
 }
 

@@ -11,7 +11,8 @@ use std::path::PathBuf;
 
 use uww::core::{
     all_one_way_vdag_strategies, canonical_stage_order, parallelize, recover, recover_with,
-    CoreError, ExecOptions, FaultPlan, FsyncPolicy, SizeCatalog, WalConfig, WalLog, Warehouse,
+    CoreError, ExecOptions, FaultPlan, FsyncPolicy, PartitionOptions, SizeCatalog, WalConfig,
+    WalLog, Warehouse,
 };
 use uww::relational::{
     catalog_to_string, AggFunc, AggregateColumn, DeltaRelation, EquiJoin, OutputColumn, Predicate,
@@ -220,9 +221,12 @@ fn run_journaled(
     strategy: &Strategy,
     dir: &PathBuf,
     faults: FaultPlan,
+    partitions: usize,
 ) -> Result<String, CoreError> {
     let mut clone = w.clone();
-    clone.execute_with(strategy, wal_opts(cfg(dir).with_faults(faults)))?;
+    let mut opts = wal_opts(cfg(dir).with_faults(faults));
+    opts.partition = PartitionOptions::with_partitions(partitions);
+    clone.execute_with(strategy, opts)?;
     Ok(catalog_to_string(clone.state()))
 }
 
@@ -245,14 +249,14 @@ fn every_crash_point_recovers_to_identical_catalog() {
             // Uncrashed journaled run: the reference catalog and the record
             // count that defines the crash-point range.
             let dir = wal_dir(&format!("matrix-{seed}"));
-            let expected = run_journaled(&w, &strategy, &dir, FaultPlan::none()).unwrap();
+            let expected = run_journaled(&w, &strategy, &dir, FaultPlan::none(), 1).unwrap();
             let total = WalLog::open(&dir).unwrap().records.len() as u64;
             std::fs::remove_dir_all(&dir).unwrap();
             assert!(total >= 3, "BEGIN + at least one record + COMMIT");
 
             for k in 0..total {
                 let dir = wal_dir(&format!("matrix-{seed}-k{k}"));
-                let err = run_journaled(&w, &strategy, &dir, FaultPlan::crash_before(k))
+                let err = run_journaled(&w, &strategy, &dir, FaultPlan::crash_before(k), 1)
                     .expect_err("injected crash must abort the run");
                 assert!(
                     matches!(err, CoreError::InjectedCrash { record } if record == k),
@@ -299,6 +303,55 @@ fn every_crash_point_recovers_to_identical_catalog() {
     }
 }
 
+/// The crash matrix with the partition engine on: a 4-partition run
+/// journals a WAL byte-identical to the sequential run's, so every crash
+/// point of the partitioned run recovers — through the default recovery
+/// path — to the identical catalog.
+#[test]
+fn partitioned_crashes_recover_to_identical_catalog() {
+    let seed = seed_base().wrapping_mul(31).wrapping_add(11);
+    let (mut w, changes) = random_warehouse(seed);
+    w.load_changes(changes).unwrap();
+    let mut rng = SplitMix64::new(seed ^ 0x9A27);
+
+    for strategy in random_strategies(&w, &mut rng, 2) {
+        let dir = wal_dir(&format!("part1-{seed}"));
+        let expected = run_journaled(&w, &strategy, &dir, FaultPlan::none(), 1).unwrap();
+        let seq_wal = std::fs::read(dir.join("wal.log")).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+
+        let dir = wal_dir(&format!("part4-{seed}"));
+        let partitioned = run_journaled(&w, &strategy, &dir, FaultPlan::none(), 4).unwrap();
+        assert_eq!(partitioned, expected, "partitioned final state diverged");
+        assert_eq!(
+            std::fs::read(dir.join("wal.log")).unwrap(),
+            seq_wal,
+            "partitioned WAL bytes diverged from sequential"
+        );
+        let total = WalLog::open(&dir).unwrap().records.len() as u64;
+        std::fs::remove_dir_all(&dir).unwrap();
+
+        for k in 0..total {
+            let dir = wal_dir(&format!("part4-{seed}-k{k}"));
+            let err = run_journaled(&w, &strategy, &dir, FaultPlan::crash_before(k), 4)
+                .expect_err("injected crash must abort the run");
+            assert!(
+                matches!(err, CoreError::InjectedCrash { record } if record == k),
+                "crash point {k}: unexpected {err}"
+            );
+            let mut recovered = w.clone();
+            recover(&mut recovered, &dir)
+                .unwrap_or_else(|e| panic!("recover at partitioned crash point {k}: {e}"));
+            assert_eq!(
+                catalog_to_string(recovered.state()),
+                expected,
+                "seed {seed} partitions=4 crash point {k}: recovered catalog diverges"
+            );
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+}
+
 /// A torn final record (half-written line) is dropped and its expression
 /// re-executed; the recovered catalog is still byte-identical.
 #[test]
@@ -310,13 +363,13 @@ fn torn_final_record_is_dropped_and_redone() {
     let strategy = random_strategies(&w, &mut rng, 1).remove(0);
 
     let dir = wal_dir("torn-ref");
-    let expected = run_journaled(&w, &strategy, &dir, FaultPlan::none()).unwrap();
+    let expected = run_journaled(&w, &strategy, &dir, FaultPlan::none(), 1).unwrap();
     let total = WalLog::open(&dir).unwrap().records.len() as u64;
     std::fs::remove_dir_all(&dir).unwrap();
 
     for k in 0..total {
         let dir = wal_dir(&format!("torn-k{k}"));
-        let err = run_journaled(&w, &strategy, &dir, FaultPlan::torn_at(k))
+        let err = run_journaled(&w, &strategy, &dir, FaultPlan::torn_at(k), 1)
             .expect_err("torn write must abort the run");
         assert!(matches!(err, CoreError::InjectedCrash { .. }), "{err}");
 
@@ -345,13 +398,13 @@ fn duplicate_record_is_collapsed_idempotently() {
     let strategy = random_strategies(&w, &mut rng, 1).remove(0);
 
     let ref_dir = wal_dir("dup-ref");
-    let expected = run_journaled(&w, &strategy, &ref_dir, FaultPlan::none()).unwrap();
+    let expected = run_journaled(&w, &strategy, &ref_dir, FaultPlan::none(), 1).unwrap();
     let total = WalLog::open(&ref_dir).unwrap().records.len() as u64;
     std::fs::remove_dir_all(&ref_dir).unwrap();
 
     for k in (0..total).step_by(3) {
         let dir = wal_dir(&format!("dup-k{k}"));
-        let got = run_journaled(&w, &strategy, &dir, FaultPlan::duplicate_at(k))
+        let got = run_journaled(&w, &strategy, &dir, FaultPlan::duplicate_at(k), 1)
             .expect("a duplicated record must not fail the writer");
         assert_eq!(got, expected);
 
@@ -378,7 +431,7 @@ fn interior_corruption_is_refused_with_a_typed_error() {
     let strategy = random_strategies(&w, &mut rng, 1).remove(0);
 
     let dir = wal_dir("corrupt");
-    run_journaled(&w, &strategy, &dir, FaultPlan::none()).unwrap();
+    run_journaled(&w, &strategy, &dir, FaultPlan::none(), 1).unwrap();
 
     // Flip one byte in the middle of the second record's body.
     let log_path = dir.join("wal.log");

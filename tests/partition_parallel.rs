@@ -1,0 +1,436 @@
+//! Differential property tests for partition-parallel term execution.
+//!
+//! Over random warehouses × random valid strategies, the partitioned
+//! executor (hash-partitioned builds/probes and chunked aggregation on the
+//! work-stealing pool) must be **fully byte-identical** to the sequential
+//! shared engine: final state, WAL journal, and the complete `WorkMeter` —
+//! physical counters included — at every partition count, with stealing on
+//! or off, threaded or inline, and under strategy-scope sharing. Unlike the
+//! sharing sweeps (which only pin the *logical* meter), partitioning is
+//! pure plumbing: it changes where rows are probed, never what is charged.
+//!
+//! Seeded like the other sweeps: `UWW_PART_SEED` shifts the whole sweep to
+//! a different deterministic slice, and `UWW_PARTS` (comma-separated, e.g.
+//! `3,8`) overrides the partition counts — the CI matrix drives both.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use uww::core::{
+    all_one_way_vdag_strategies, predict_strategy_sharing, ExecOptions, ExecutionReport,
+    FsyncPolicy, PartitionOptions, WalConfig, Warehouse,
+};
+use uww::relational::{
+    catalog_to_string, AggFunc, AggregateColumn, DeltaRelation, EquiJoin, OutputColumn, Predicate,
+    ScalarExpr, Schema, Table, Tuple, Value, ValueType, ViewDef, ViewOutput, ViewSource,
+};
+use uww::vdag::{check_vdag_strategy, SplitMix64, Strategy, UpdateExpr};
+
+fn seed_base() -> u64 {
+    std::env::var("UWW_PART_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Partition counts under test: `UWW_PARTS` (comma-separated), default 2,4.
+fn partition_counts() -> Vec<usize> {
+    std::env::var("UWW_PARTS")
+        .ok()
+        .map(|s| {
+            s.split(',')
+                .filter_map(|p| p.trim().parse().ok())
+                .filter(|&p| p > 0)
+                .collect()
+        })
+        .filter(|v: &Vec<usize>| !v.is_empty())
+        .unwrap_or_else(|| vec![2, 4])
+}
+
+fn wal_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "uww-part-{tag}-{}-{}",
+        std::process::id(),
+        seed_base()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+const COLS: &[(&str, ValueType)] = &[
+    ("k", ValueType::Int),
+    ("v", ValueType::Int),
+    ("g", ValueType::Int),
+];
+
+/// Same shape as the `term_sharing` sweep — three bases, a guaranteed
+/// three-way join whose dual-stage `Comp` expands to seven terms — plus a
+/// *cross-join* view (two sources, no equijoin), so every sweep exercises
+/// the empty-key fallback path alongside the co-partitioned joins. Every
+/// base gets a random deletion+insertion batch.
+fn random_warehouse(seed: u64) -> (Warehouse, BTreeMap<String, DeltaRelation>) {
+    let mut rng = SplitMix64::new(seed.wrapping_mul(0x9E37_79B9).wrapping_add(0x9A27));
+    let schema = Schema::of(COLS);
+
+    let mut builder = Warehouse::builder();
+    for b in 0..3 {
+        let name = format!("B{b}");
+        let mut t = Table::new(&name, schema.clone());
+        for k in 0..15 + rng.below(10) {
+            t.insert(Tuple::new(vec![
+                Value::Int(k as i64),
+                Value::Int(rng.below(100) as i64),
+                Value::Int((k % 3) as i64),
+            ]))
+            .unwrap();
+        }
+        builder = builder.base_table(t);
+    }
+
+    builder = builder.view(ViewDef {
+        name: "J3".into(),
+        sources: vec![
+            ViewSource {
+                view: "B0".into(),
+                alias: "A".into(),
+            },
+            ViewSource {
+                view: "B1".into(),
+                alias: "B".into(),
+            },
+            ViewSource {
+                view: "B2".into(),
+                alias: "C".into(),
+            },
+        ],
+        joins: vec![EquiJoin::new("A.k", "B.k"), EquiJoin::new("A.k", "C.k")],
+        filters: vec![Predicate::col_gt("B.v", Value::Int(rng.below(40) as i64))],
+        output: ViewOutput::Project(vec![
+            OutputColumn::col("k", "A.k"),
+            OutputColumn::col("v", "C.v"),
+            OutputColumn::col("g", "B.g"),
+        ]),
+    });
+
+    // The empty-key degenerate: no equijoin connects the sources, so every
+    // term takes the cross-join path (contiguous chunks, no co-partition).
+    // The filters keep the output small.
+    builder = builder.view(ViewDef {
+        name: "X2".into(),
+        sources: vec![
+            ViewSource {
+                view: "B0".into(),
+                alias: "A".into(),
+            },
+            ViewSource {
+                view: "B1".into(),
+                alias: "B".into(),
+            },
+        ],
+        joins: vec![],
+        filters: vec![
+            Predicate::col_gt("A.v", Value::Int(50 + rng.below(30) as i64)),
+            Predicate::col_gt("B.v", Value::Int(50 + rng.below(30) as i64)),
+        ],
+        output: ViewOutput::Project(vec![
+            OutputColumn::col("k", "A.k"),
+            OutputColumn::col("v", "B.v"),
+            OutputColumn::col("g", "A.g"),
+        ]),
+    });
+
+    // An aggregate over the join, so chunked group/merge runs every sweep.
+    builder = builder.view(ViewDef {
+        name: "AGG".into(),
+        sources: vec![ViewSource {
+            view: "J3".into(),
+            alias: "S".into(),
+        }],
+        joins: vec![],
+        filters: vec![],
+        output: ViewOutput::Aggregate {
+            group_by: vec![OutputColumn::col("k", "S.g")],
+            aggregates: vec![
+                AggregateColumn {
+                    name: "v".into(),
+                    func: AggFunc::Sum,
+                    input: ScalarExpr::col("S.v"),
+                },
+                AggregateColumn {
+                    name: "g".into(),
+                    func: AggFunc::Count,
+                    input: ScalarExpr::col("S.k"),
+                },
+            ],
+        },
+    });
+
+    let w = builder.build().unwrap();
+
+    let mut changes: BTreeMap<String, DeltaRelation> = BTreeMap::new();
+    for b in 0..3 {
+        let name = format!("B{b}");
+        let mut delta = DeltaRelation::new(schema.clone());
+        for (tup, cnt) in w.table(&name).unwrap().iter() {
+            if rng.below(4) == 0 {
+                delta.add(tup.clone(), -(cnt as i64));
+            }
+        }
+        for i in 0..3 + rng.below(4) {
+            delta.add(
+                Tuple::new(vec![
+                    Value::Int(1000 + i as i64),
+                    Value::Int(rng.below(100) as i64),
+                    Value::Int(rng.below(3) as i64),
+                ]),
+                1,
+            );
+        }
+        changes.insert(name, delta);
+    }
+    (w, changes)
+}
+
+/// Seeded picks from the exhaustive 1-way enumeration plus the dual-stage
+/// strategy (the one with multi-delta terms) when valid.
+fn random_strategies(w: &Warehouse, rng: &mut SplitMix64, count: usize) -> Vec<Strategy> {
+    let g = w.vdag();
+    let one_way = all_one_way_vdag_strategies(g).unwrap();
+    assert!(!one_way.is_empty());
+    let mut out: Vec<Strategy> = (0..count)
+        .map(|_| one_way[rng.below(one_way.len() as u64) as usize].clone())
+        .collect();
+    let mut dual: Vec<UpdateExpr> = Vec::new();
+    for v in g.view_ids() {
+        if !g.is_base(v) {
+            dual.push(UpdateExpr::comp(v, g.sources(v).iter().copied()));
+        }
+    }
+    for v in g.view_ids() {
+        dual.push(UpdateExpr::inst(v));
+    }
+    let dual = Strategy::from_exprs(dual);
+    if check_vdag_strategy(g, &dual).is_ok() {
+        out.push(dual);
+    }
+    out
+}
+
+#[derive(Clone, Copy)]
+struct Mode {
+    partitions: usize,
+    steal: bool,
+    threads: usize,
+    strategy_sharing: bool,
+}
+
+struct RunOutcome {
+    state: String,
+    report: ExecutionReport,
+    wal_bytes: Vec<u8>,
+}
+
+fn run_mode(
+    w: &Warehouse,
+    changes: &BTreeMap<String, DeltaRelation>,
+    strategy: &Strategy,
+    tag: &str,
+    mode: Mode,
+) -> RunOutcome {
+    let mut clone = w.clone();
+    clone.load_changes(changes.clone()).unwrap();
+    let dir = wal_dir(tag);
+    let mut partition = PartitionOptions::with_partitions(mode.partitions);
+    partition.steal = mode.steal;
+    let opts = ExecOptions {
+        wal: Some(WalConfig::new(&dir).with_fsync(FsyncPolicy::Never)),
+        term_threads: mode.threads,
+        strategy_sharing: mode.strategy_sharing,
+        partition,
+        ..ExecOptions::default()
+    };
+    let report = clone.execute_with(strategy, opts).unwrap();
+    let wal_bytes = std::fs::read(dir.join("wal.log")).unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+    RunOutcome {
+        state: catalog_to_string(clone.state()),
+        report,
+        wal_bytes,
+    }
+}
+
+/// Full-meter equality, expression by expression — the partition engine's
+/// headline invariant. `scan`-level sharing tests only pin the logical
+/// meter; here even `physical_rows_touched` and the hash-table counters
+/// must match, because partitioning charges one build per table and sums
+/// per-chunk probes back to the sequential totals.
+fn assert_meters_identical(a: &ExecutionReport, b: &ExecutionReport, what: &str) {
+    assert_eq!(a.per_expr.len(), b.per_expr.len(), "{what}: expr count");
+    for (x, y) in a.per_expr.iter().zip(b.per_expr.iter()) {
+        assert_eq!(x.work, y.work, "{what}: meter diverged for {:?}", x.expr);
+    }
+}
+
+#[test]
+fn partitioned_execution_is_byte_identical_to_sequential() {
+    let base = seed_base();
+    let parts = partition_counts();
+    for round in 0..3u64 {
+        let seed = base.wrapping_mul(193).wrapping_add(round);
+        let (w, changes) = random_warehouse(seed);
+        let mut rng = SplitMix64::new(seed ^ 0x9A27_0FF1);
+        for (si, strategy) in random_strategies(&w, &mut rng, 2).iter().enumerate() {
+            let tag = |mode: &str| format!("{round}-{si}-{mode}");
+            let sequential = Mode {
+                partitions: 1,
+                steal: true,
+                threads: 0,
+                strategy_sharing: false,
+            };
+            let reference = run_mode(&w, &changes, strategy, &tag("seq"), sequential);
+
+            for &p in &parts {
+                for steal in [true, false] {
+                    let run = run_mode(
+                        &w,
+                        &changes,
+                        strategy,
+                        &tag(&format!("p{p}-steal{steal}")),
+                        Mode {
+                            partitions: p,
+                            steal,
+                            ..sequential
+                        },
+                    );
+                    let what = format!("partitions={p} steal={steal} (seed {seed})");
+                    assert_eq!(reference.state, run.state, "{what}: state diverged");
+                    assert_eq!(
+                        reference.wal_bytes, run.wal_bytes,
+                        "{what}: wal bytes diverged"
+                    );
+                    assert_meters_identical(&reference.report, &run.report, &what);
+                }
+            }
+
+            // Partitioning composes with threaded term evaluation …
+            let threaded = run_mode(
+                &w,
+                &changes,
+                strategy,
+                &tag("threaded"),
+                Mode {
+                    partitions: parts[0],
+                    threads: 3,
+                    ..sequential
+                },
+            );
+            assert_eq!(reference.state, threaded.state, "threaded: state diverged");
+            assert_eq!(
+                reference.wal_bytes, threaded.wal_bytes,
+                "threaded: wal bytes diverged"
+            );
+            assert_meters_identical(&reference.report, &threaded.report, "threaded");
+
+            // … and with strategy-scope sharing: the strategy cache must
+            // never serve a table across partition-count boundaries, so the
+            // partitioned sharing run equals the sequential sharing run on
+            // the full meter (which differs from the unshared reference
+            // only in physical counters).
+            let shared_seq = run_mode(
+                &w,
+                &changes,
+                strategy,
+                &tag("share-seq"),
+                Mode {
+                    strategy_sharing: true,
+                    ..sequential
+                },
+            );
+            let shared_part = run_mode(
+                &w,
+                &changes,
+                strategy,
+                &tag("share-part"),
+                Mode {
+                    partitions: *parts.last().unwrap(),
+                    strategy_sharing: true,
+                    ..sequential
+                },
+            );
+            assert_eq!(
+                shared_seq.state, shared_part.state,
+                "strategy sharing: state diverged"
+            );
+            assert_eq!(
+                reference.state, shared_seq.state,
+                "strategy sharing: state diverged from unshared"
+            );
+            assert_eq!(
+                shared_seq.wal_bytes, shared_part.wal_bytes,
+                "strategy sharing: wal bytes diverged"
+            );
+            assert_meters_identical(&shared_seq.report, &shared_part.report, "strategy sharing");
+        }
+    }
+}
+
+/// The empty-key degenerate, end to end (the bugfix satellite): a
+/// keyless build is a disguised cross join, so the engine meters it as a
+/// scan + emit — never a hash build — and the static sharing predictor
+/// agrees exactly, under strategy scope and at any partition count.
+#[test]
+fn empty_key_cross_join_conforms_and_never_interns() {
+    let (w, changes) = random_warehouse(seed_base().wrapping_mul(71).wrapping_add(5));
+    let g = w.vdag();
+    let mut dual: Vec<UpdateExpr> = Vec::new();
+    for v in g.view_ids() {
+        if !g.is_base(v) {
+            dual.push(UpdateExpr::comp(v, g.sources(v).iter().copied()));
+        }
+    }
+    for v in g.view_ids() {
+        dual.push(UpdateExpr::inst(v));
+    }
+    let strategy = Strategy::from_exprs(dual);
+    check_vdag_strategy(g, &strategy).unwrap();
+
+    let mut loaded = w.clone();
+    loaded.load_changes(changes.clone()).unwrap();
+    let predictions = predict_strategy_sharing(&loaded, &strategy).unwrap();
+
+    // The pure cross-join Comp plans zero hash builds: every join step is
+    // keyless, so nothing is internable.
+    let x2 = predictions
+        .iter()
+        .find(|p| p.view == "X2" && p.kind == "comp")
+        .expect("X2 comp prediction");
+    assert_eq!(x2.plan.predicted_builds, 0, "cross join planned a build");
+    assert_eq!(x2.plan.predicted_reuses, 0, "cross join planned a reuse");
+
+    for partitions in [1usize, 3] {
+        let mut run = w.clone();
+        run.load_changes(changes.clone()).unwrap();
+        let report = run
+            .execute_with(
+                &strategy,
+                ExecOptions {
+                    partition: PartitionOptions::with_partitions(partitions),
+                    ..ExecOptions::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(predictions.len(), report.per_expr.len());
+        for (p, e) in predictions.iter().zip(&report.per_expr) {
+            assert_eq!(
+                p.plan.predicted_builds, e.work.hash_tables_built,
+                "partitions={partitions}: builds diverged for {}",
+                p.view
+            );
+            assert_eq!(
+                p.plan.predicted_reuses, e.work.hash_tables_reused,
+                "partitions={partitions}: reuses diverged for {}",
+                p.view
+            );
+        }
+    }
+}
