@@ -10,17 +10,19 @@
 //! * `wall_us` — measured wall clock. On a single-core container every
 //!   partition chunk runs serially, so this barely moves with the count.
 //! * `critical_path_us` — the window length an ideal `P`-worker machine
-//!   would see, derived from the recorded trace: for each operator that
-//!   fanned out partition chunks, the serial chunk time (`Σ dur`) collapses
-//!   to the longest chunk (`max dur`), and the saved time comes off the
-//!   wall. This is what the partition count actually buys, and it is what
-//!   CI gates (`critical_path(1) / critical_path(4) ≥ 1.5`).
+//!   would see, derived from the recorded trace via
+//!   [`obs::critical::critical_path_us`]: for each partition fan-out
+//!   (keyed by task identity — parent span plus base label — so work
+//!   stealing cannot split a fan-out across lanes and sequential stages
+//!   under one parent cannot merge) the serial chunk time (`Σ dur`)
+//!   collapses to the longest chunk (`max dur`), and the saved time comes
+//!   off the wall. This is what the partition count actually buys, and it
+//!   is what CI gates (`critical_path(1) / critical_path(4) ≥ 1.5`).
 //!
 //! Output: a summary on stdout plus `BENCH_scaling.json` in the current
 //! directory. Scale comes from `UWW_SCALE` (default 0.002, ~12k LINEITEM;
 //! scale ≈ 1.67 targets the paper-motivated ~10M-row LINEITEM).
 
-use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::sync::Arc;
 
@@ -41,22 +43,6 @@ struct Run {
     partitioned_ops: usize,
     work: uww::relational::WorkMeter,
     state: String,
-}
-
-/// Wall time minus what an ideal `P`-worker machine saves: per parent
-/// operator, the partition chunks run concurrently, so their serial sum
-/// collapses to the slowest chunk.
-fn critical_path_us(wall_us: u64, spans: &[obs::SpanRecord]) -> (u64, usize) {
-    let mut groups: HashMap<u64, (u64, u64)> = HashMap::new();
-    for s in spans {
-        if s.attr_u64(obs::keys::PARTITION).is_some() {
-            let (sum, max) = groups.entry(s.parent).or_insert((0, 0));
-            *sum += s.dur_us();
-            *max = (*max).max(s.dur_us());
-        }
-    }
-    let saved: u64 = groups.values().map(|(sum, max)| sum - max).sum();
-    (wall_us.saturating_sub(saved), groups.len())
 }
 
 fn run_at(partitions: usize) -> Run {
@@ -82,12 +68,11 @@ fn run_at(partitions: usize) -> Run {
     assert_eq!(buf.dropped(), 0, "trace ring overflowed; raise capacity");
 
     let wall_us = report.wall().as_micros() as u64;
-    let (critical, partitioned_ops) = critical_path_us(wall_us, &spans);
     Run {
         partitions,
         wall_us,
-        critical_path_us: critical,
-        partitioned_ops,
+        critical_path_us: obs::critical::critical_path_us(wall_us, &spans),
+        partitioned_ops: obs::critical::fan_out_count(&spans),
         work: report.total_work(),
         state: catalog_to_string(w.state()),
     }

@@ -5,6 +5,11 @@
 //! instrumentation point, which this binary demonstrates by construction
 //! (the disabled runs ARE the baseline).
 //!
+//! The same protocol gates the window-health flight recorder: an
+//! interleaved continuous-ingest schedule with the ledger off vs on must
+//! also stay under the 5% budget — journaling one JSON line per window
+//! may not meaningfully widen the window it records.
+//!
 //! Interleaving the two modes and taking the minimum per mode cancels page
 //! cache, allocator and frequency-scaling drift — the standard min-of-K
 //! protocol for sub-millisecond comparisons.
@@ -123,6 +128,46 @@ fn one_run(w: &Warehouse, changes: &BTreeMap<String, DeltaRelation>, strategy: &
     start.elapsed().as_micros()
 }
 
+/// One continuous-ingest schedule on the tiny Q3 scenario, optionally
+/// journaling the window-health ledger; returns wall micros.
+fn one_ingest(ledger: Option<&std::path::Path>) -> u128 {
+    use uww::sched::{
+        IngestScheduler, Policy, SchedConfig, SeededSource, SeededSourceConfig, SlaConfig,
+        WindowPlanner,
+    };
+    let mut w = uww::scenario::q3_scenario(0.0005)
+        .expect("q3 scenario")
+        .warehouse;
+    let source = SeededSource::new(
+        &w,
+        SeededSourceConfig {
+            seed: 0x5757_1999,
+            rate_milli: 1500,
+            horizon: 24,
+            ..SeededSourceConfig::default()
+        },
+    );
+    let cfg = SchedConfig {
+        policy: Policy::Adaptive,
+        sla: SlaConfig {
+            target_staleness: 24.0,
+            service_rate: 400.0,
+            ..SlaConfig::default()
+        },
+        window: 12,
+        horizon: 24,
+        carry: true,
+        planner: WindowPlanner::Shared,
+        ledger: ledger.map(|p| p.to_path_buf()),
+        ..SchedConfig::default()
+    };
+    let start = Instant::now();
+    IngestScheduler::new(cfg, source)
+        .run(&mut w)
+        .expect("ingest schedule");
+    start.elapsed().as_micros()
+}
+
 fn main() {
     let rows = env_usize("UWW_TRACE_ROWS", 2000);
     let iters = env_usize("UWW_TRACE_ITERS", 7).max(1);
@@ -156,6 +201,29 @@ fn main() {
          spans={spans_recorded} dropped={dropped}"
     );
 
+    // The flight recorder rides the same budget: interleaved min-of-K over
+    // a continuous-ingest schedule, ledger off vs on.
+    let ledger_path =
+        std::env::temp_dir().join(format!("uww-overhead-ledger-{}.jsonl", std::process::id()));
+    one_ingest(None); // warm-up, untimed
+    let mut ingest_min = u128::MAX;
+    let mut ledger_min = u128::MAX;
+    for _ in 0..iters {
+        ingest_min = ingest_min.min(one_ingest(None));
+        let _ = std::fs::remove_file(&ledger_path);
+        ledger_min = ledger_min.min(one_ingest(Some(&ledger_path)));
+    }
+    let ledger_text = std::fs::read_to_string(&ledger_path).expect("read ledger");
+    let ledger_windows = uww::obs::ledger::validate_ledger(&ledger_text)
+        .expect("overhead-run ledger must validate")
+        .records;
+    let _ = std::fs::remove_file(&ledger_path);
+    let ledger_pct = (ledger_min as f64 - ingest_min as f64) / ingest_min as f64 * 100.0;
+    println!(
+        "ledger overhead: ingest_min={ingest_min}µs ledger_min={ledger_min}µs \
+         overhead={ledger_pct:.2}% windows={ledger_windows}"
+    );
+
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"rows_per_base\": {rows},");
     let _ = writeln!(json, "  \"iterations\": {iters},");
@@ -163,7 +231,11 @@ fn main() {
     let _ = writeln!(json, "  \"enabled_us_min\": {enabled_min},");
     let _ = writeln!(json, "  \"overhead_pct\": {overhead_pct:.4},");
     let _ = writeln!(json, "  \"spans_recorded\": {spans_recorded},");
-    let _ = writeln!(json, "  \"dropped\": {dropped}");
+    let _ = writeln!(json, "  \"dropped\": {dropped},");
+    let _ = writeln!(json, "  \"ingest_us_min\": {ingest_min},");
+    let _ = writeln!(json, "  \"ledger_us_min\": {ledger_min},");
+    let _ = writeln!(json, "  \"ledger_overhead_pct\": {ledger_pct:.4},");
+    let _ = writeln!(json, "  \"ledger_windows\": {ledger_windows}");
     json.push_str("}\n");
     std::fs::write("BENCH_trace_overhead.json", &json).expect("write BENCH_trace_overhead.json");
     println!("Wrote BENCH_trace_overhead.json");
@@ -176,5 +248,14 @@ fn main() {
         overhead_pct < 5.0 || (disabled_min < 2_000 && delta_us < 100),
         "tracing overhead {overhead_pct:.2}% exceeds the 5% budget \
          (disabled {disabled_min}µs, enabled {enabled_min}µs)"
+    );
+
+    // Same budget for the ledger, same small-window allowance.
+    let ledger_delta_us = ledger_min.saturating_sub(ingest_min);
+    assert!(ledger_windows > 0, "ledger runs must record windows");
+    assert!(
+        ledger_pct < 5.0 || (ingest_min < 2_000 && ledger_delta_us < 100),
+        "ledger overhead {ledger_pct:.2}% exceeds the 5% budget \
+         (off {ingest_min}µs, on {ledger_min}µs)"
     );
 }

@@ -1,0 +1,160 @@
+//! Partition critical-path derivation from span records.
+//!
+//! A partition-parallel fan-out opens one `Operator` span per partition
+//! (named `"{label}[p{i}]"`, carrying a `partition` attribute). On a
+//! single timeline the fan-out costs `Σ dur`; with perfect parallelism it
+//! costs `max dur` — so each fan-out saves `Σ − max`, and the run's
+//! critical path is its wall time minus the total saving.
+//!
+//! The subtlety is what "each fan-out" means. Keying the per-fan-out max
+//! by *thread lane* is wrong twice over: work stealing migrates a chunk
+//! to another worker's lane mid-fan-out (splitting one fan-out into
+//! several groups, double-counting its max), and two *sequential*
+//! fan-outs under the same parent (a split stage feeding a probe stage)
+//! collapse into one group when keyed by parent alone, crediting the run
+//! with savings it never had. The correct key is **task identity**: the
+//! parent span plus the fan-out's base label with the `[pN]` suffix
+//! stripped — stable across lanes and distinct across stages.
+
+use crate::span::{keys, SpanKind, SpanRecord};
+
+/// Strips the `[pN]` partition suffix from a fan-out span name:
+/// `"probe hash[p3]"` → `"probe hash"`. Names without the suffix are
+/// returned unchanged.
+pub fn fan_out_label(name: &str) -> &str {
+    if let Some(idx) = name.rfind("[p") {
+        let inner = &name[idx + 2..];
+        if let Some(stripped) = inner.strip_suffix(']') {
+            if !stripped.is_empty() && stripped.bytes().all(|b| b.is_ascii_digit()) {
+                return &name[..idx];
+            }
+        }
+    }
+    name
+}
+
+/// Derives the critical path of a run from its span records: `wall_us`
+/// minus the parallelism saving of every per-partition fan-out, with
+/// fan-outs keyed by task identity (parent span + base label), **not**
+/// thread lane — see the module docs for why lane keying double-counts
+/// under work stealing.
+pub fn critical_path_us(wall_us: u64, spans: &[SpanRecord]) -> u64 {
+    let mut groups: std::collections::BTreeMap<(u64, &str), (u64, u64)> =
+        std::collections::BTreeMap::new();
+    for s in spans {
+        if s.kind != SpanKind::Operator || s.attr_u64(keys::PARTITION).is_none() {
+            continue;
+        }
+        let entry = groups
+            .entry((s.parent, fan_out_label(&s.name)))
+            .or_insert((0, 0));
+        entry.0 += s.dur_us();
+        entry.1 = entry.1.max(s.dur_us());
+    }
+    let saved: u64 = groups.values().map(|(sum, max)| sum - max).sum();
+    wall_us.saturating_sub(saved)
+}
+
+/// The number of distinct partition fan-outs in `spans`, keyed the same way
+/// [`critical_path_us`] groups them (parent span + base label). The bench
+/// reports this next to the derived critical path.
+pub fn fan_out_count(spans: &[SpanRecord]) -> usize {
+    let mut groups = std::collections::BTreeSet::new();
+    for s in spans {
+        if s.kind != SpanKind::Operator || s.attr_u64(keys::PARTITION).is_none() {
+            continue;
+        }
+        groups.insert((s.parent, fan_out_label(&s.name)));
+    }
+    groups.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::AttrValue;
+
+    fn part_span(id: u64, parent: u64, name: &str, lane: u64, dur: u64) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent,
+            kind: SpanKind::Operator,
+            name: name.to_string(),
+            lane,
+            start_us: 0,
+            end_us: dur,
+            attrs: vec![(keys::PARTITION.to_string(), AttrValue::U64(0))],
+        }
+    }
+
+    #[test]
+    fn strips_partition_suffixes_only() {
+        assert_eq!(fan_out_label("probe hash[p3]"), "probe hash");
+        assert_eq!(fan_out_label("split[p12]"), "split");
+        assert_eq!(fan_out_label("plain"), "plain");
+        assert_eq!(fan_out_label("weird[px]"), "weird[px]");
+        assert_eq!(fan_out_label("empty[p]"), "empty[p]");
+    }
+
+    #[test]
+    fn sequential_fan_outs_under_one_parent_stay_separate() {
+        // Two back-to-back fan-out stages under the same parent span:
+        // split (30+30) then probe (20+20), wall 100. Keyed by parent
+        // alone they merge into one group (sum 100, max 30 → saved 70,
+        // critical 30) — the regression. Task-identity keying gives
+        // saved (60−30)+(40−20)=50, critical 50.
+        let spans = vec![
+            part_span(2, 1, "split[p0]", 1, 30),
+            part_span(3, 1, "split[p1]", 2, 30),
+            part_span(4, 1, "probe[p0]", 1, 20),
+            part_span(5, 1, "probe[p1]", 2, 20),
+        ];
+        assert_eq!(critical_path_us(100, &spans), 50);
+    }
+
+    #[test]
+    fn stolen_chunks_on_foreign_lanes_stay_in_their_fan_out() {
+        // One probe fan-out whose second chunk was stolen onto another
+        // worker's lane. Keyed by lane the fan-out splits into two groups
+        // with zero saving; task identity keeps it whole: saved 10.
+        let spans = vec![
+            part_span(2, 1, "probe[p0]", 1, 10),
+            part_span(3, 1, "probe[p1]", 2, 40),
+        ];
+        assert_eq!(critical_path_us(60, &spans), 50);
+    }
+
+    #[test]
+    fn non_partition_spans_and_empty_input_are_ignored() {
+        let mut plain = part_span(2, 1, "scan", 1, 40);
+        plain.attrs.clear();
+        assert_eq!(critical_path_us(80, &[plain]), 80);
+        assert_eq!(critical_path_us(80, &[]), 80);
+    }
+
+    #[test]
+    fn fan_out_count_keys_by_task_identity() {
+        // Two stages (split/probe) under one parent, probe's second chunk
+        // stolen onto a foreign lane: 2 fan-outs, not 1 (parent keying)
+        // and not 3 (lane keying).
+        let spans = vec![
+            part_span(2, 1, "split[p0]", 1, 30),
+            part_span(3, 1, "split[p1]", 2, 30),
+            part_span(4, 1, "probe[p0]", 1, 20),
+            part_span(5, 1, "probe[p1]", 3, 20),
+        ];
+        assert_eq!(fan_out_count(&spans), 2);
+        assert_eq!(fan_out_count(&[]), 0);
+    }
+
+    #[test]
+    fn saving_never_underflows_wall() {
+        // Fan-out savings measured on finer clocks than the wall figure
+        // must clamp at zero, not wrap.
+        let spans = vec![
+            part_span(2, 1, "probe[p0]", 1, 50),
+            part_span(3, 1, "probe[p1]", 2, 50),
+        ];
+        assert_eq!(critical_path_us(10, &spans), 0);
+    }
+}

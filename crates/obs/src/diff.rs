@@ -1,0 +1,391 @@
+//! Trace-to-trace regression localization.
+//!
+//! Two Chrome traces of the same workload should tell the same story; when
+//! a run regresses, the interesting question is *which operator* got
+//! slower or started touching more rows. [`diff_traces`] aligns two traces
+//! span-by-span using the span tree's stable identity — the path of span
+//! names from the root (`window 3 / Comp(Q3; …) / d_LINEITEM / probe
+//! hash[p1]`) — aggregates wall time, span counts, and row counters per
+//! path, and reports every path whose deltas are significant.
+//!
+//! Two kinds of delta are distinguished deliberately. **Deterministic**
+//! deltas — span counts and row counters — come straight from the
+//! executor's meters and must be zero between runs of the same
+//! seed/strategy; any difference is reported unconditionally. **Wall**
+//! deltas are real time and therefore noisy; a path is only reported for
+//! wall when the change clears both a relative threshold and an absolute
+//! floor ([`DiffConfig`]), so a self-comparison or a re-run of an
+//! identical workload produces an *empty* delta list — the property the
+//! CI gate asserts.
+
+use crate::json::{self, JsonValue};
+
+/// Noise thresholds for wall-clock deltas.
+#[derive(Clone, Copy, Debug)]
+pub struct DiffConfig {
+    /// Minimum relative wall change (vs the larger side) to report.
+    pub wall_rel_threshold: f64,
+    /// Minimum absolute wall change in microseconds to report. Both
+    /// gates must clear.
+    pub wall_abs_floor_us: u64,
+}
+
+impl Default for DiffConfig {
+    fn default() -> Self {
+        DiffConfig {
+            wall_rel_threshold: 0.25,
+            wall_abs_floor_us: 5_000,
+        }
+    }
+}
+
+/// One aligned span path with per-side aggregates.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanDelta {
+    /// Slash-joined span-name path from the root.
+    pub path: String,
+    /// Span kind (Chrome `cat`) of the path's spans.
+    pub cat: String,
+    /// Spans under this path, A then B.
+    pub count: (u64, u64),
+    /// Total wall microseconds, A then B.
+    pub wall_us: (u64, u64),
+    /// Total row counters (`rows`, falling back to `physical_rows`),
+    /// A then B.
+    pub rows: (u64, u64),
+}
+
+impl SpanDelta {
+    /// Wall delta in microseconds (B − A).
+    pub fn wall_delta_us(&self) -> i64 {
+        self.wall_us.1 as i64 - self.wall_us.0 as i64
+    }
+
+    /// Row delta (B − A).
+    pub fn rows_delta(&self) -> i64 {
+        self.rows.1 as i64 - self.rows.0 as i64
+    }
+
+    /// True when the span *structure* differs (count mismatch, including
+    /// paths present on only one side).
+    pub fn structural(&self) -> bool {
+        self.count.0 != self.count.1
+    }
+
+    /// True when the deterministic row counters differ.
+    pub fn rows_differ(&self) -> bool {
+        self.rows.0 != self.rows.1
+    }
+}
+
+/// The aligned comparison of two traces.
+#[derive(Clone, Debug, Default)]
+pub struct TraceDiff {
+    /// Complete spans in trace A.
+    pub spans_a: usize,
+    /// Complete spans in trace B.
+    pub spans_b: usize,
+    /// Distinct span paths across both traces.
+    pub paths: usize,
+    /// Significant deltas, deterministic differences first, then by
+    /// wall-delta magnitude.
+    pub deltas: Vec<SpanDelta>,
+}
+
+impl TraceDiff {
+    /// True when nothing significant changed between the traces.
+    pub fn is_empty(&self) -> bool {
+        self.deltas.is_empty()
+    }
+
+    /// True when the traces agree on every deterministic quantity (span
+    /// structure and row counters) — wall noise aside.
+    pub fn deterministic_match(&self) -> bool {
+        self.deltas
+            .iter()
+            .all(|d| !d.structural() && !d.rows_differ())
+    }
+
+    /// Machine-readable JSON for CI gating.
+    pub fn to_json(&self) -> String {
+        let mut s = format!(
+            "{{\"spans_a\":{},\"spans_b\":{},\"paths\":{},\"deterministic_match\":{},\
+             \"deltas\":[",
+            self.spans_a,
+            self.spans_b,
+            self.paths,
+            self.deterministic_match(),
+        );
+        for (i, d) in self.deltas.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"path\":\"{}\",\"cat\":\"{}\",\"count_a\":{},\"count_b\":{},\
+                 \"wall_us_a\":{},\"wall_us_b\":{},\"wall_delta_us\":{},\"rows_a\":{},\
+                 \"rows_b\":{},\"rows_delta\":{},\"structural\":{}}}",
+                json::escape(&d.path),
+                json::escape(&d.cat),
+                d.count.0,
+                d.count.1,
+                d.wall_us.0,
+                d.wall_us.1,
+                d.wall_delta_us(),
+                d.rows.0,
+                d.rows.1,
+                d.rows_delta(),
+                d.structural(),
+            ));
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+struct Node {
+    id: u64,
+    parent: u64,
+    name: String,
+    cat: String,
+    dur_us: u64,
+    rows: u64,
+}
+
+fn nodes_of(text: &str) -> Result<Vec<Node>, String> {
+    let doc = json::parse(text).map_err(|e| e.to_string())?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(JsonValue::as_array)
+        .ok_or("missing traceEvents array")?;
+    let mut out = Vec::new();
+    for (i, ev) in events.iter().enumerate() {
+        if ev.get("ph").and_then(JsonValue::as_str) != Some("X") {
+            continue;
+        }
+        let args = ev
+            .get("args")
+            .ok_or_else(|| format!("event {i}: no args"))?;
+        let num = |v: &JsonValue, key: &str| -> Result<u64, String> {
+            v.get(key)
+                .and_then(JsonValue::as_f64)
+                .map(|n| n as u64)
+                .ok_or_else(|| format!("event {i}: bad {key}"))
+        };
+        out.push(Node {
+            id: num(args, "span_id")?,
+            parent: num(args, "parent_id")?,
+            name: ev
+                .get("name")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| format!("event {i}: bad name"))?
+                .to_string(),
+            cat: ev
+                .get("cat")
+                .and_then(JsonValue::as_str)
+                .unwrap_or("")
+                .to_string(),
+            dur_us: num(ev, "dur")?,
+            rows: args
+                .get(crate::span::keys::ROWS)
+                .or_else(|| args.get(crate::span::keys::PHYSICAL_ROWS))
+                .and_then(JsonValue::as_f64)
+                .map_or(0, |n| n as u64),
+        })
+    }
+    Ok(out)
+}
+
+/// Aggregates one trace's spans by identity path.
+fn aggregate(nodes: &[Node]) -> std::collections::BTreeMap<String, (String, u64, u64, u64)> {
+    let by_id: std::collections::HashMap<u64, usize> =
+        nodes.iter().enumerate().map(|(i, n)| (n.id, i)).collect();
+    let mut out: std::collections::BTreeMap<String, (String, u64, u64, u64)> =
+        std::collections::BTreeMap::new();
+    for n in nodes {
+        let mut parts = vec![n.name.as_str()];
+        let mut cur = n.parent;
+        // Walk to the root; depth-bounded so a malformed cyclic trace
+        // cannot hang the differ.
+        for _ in 0..64 {
+            match by_id.get(&cur) {
+                Some(&i) => {
+                    parts.push(nodes[i].name.as_str());
+                    cur = nodes[i].parent;
+                }
+                None => break,
+            }
+        }
+        parts.reverse();
+        let path = parts.join(" / ");
+        let e = out.entry(path).or_insert_with(|| (n.cat.clone(), 0, 0, 0));
+        e.1 += 1;
+        e.2 += n.dur_us;
+        e.3 += n.rows;
+    }
+    out
+}
+
+/// Aligns two Chrome traces and reports significant per-path deltas —
+/// see the module docs for the significance rules.
+pub fn diff_traces(a_text: &str, b_text: &str, cfg: &DiffConfig) -> Result<TraceDiff, String> {
+    let a_nodes = nodes_of(a_text).map_err(|e| format!("trace A: {e}"))?;
+    let b_nodes = nodes_of(b_text).map_err(|e| format!("trace B: {e}"))?;
+    let a = aggregate(&a_nodes);
+    let b = aggregate(&b_nodes);
+    let mut paths: Vec<&String> = a.keys().chain(b.keys()).collect();
+    paths.sort();
+    paths.dedup();
+    let mut diff = TraceDiff {
+        spans_a: a_nodes.len(),
+        spans_b: b_nodes.len(),
+        paths: paths.len(),
+        deltas: Vec::new(),
+    };
+    for path in paths {
+        let ea = a.get(path);
+        let eb = b.get(path);
+        let d = SpanDelta {
+            path: path.clone(),
+            cat: ea.or(eb).map(|e| e.0.clone()).unwrap_or_default(),
+            count: (ea.map_or(0, |e| e.1), eb.map_or(0, |e| e.1)),
+            wall_us: (ea.map_or(0, |e| e.2), eb.map_or(0, |e| e.2)),
+            rows: (ea.map_or(0, |e| e.3), eb.map_or(0, |e| e.3)),
+        };
+        let wall_delta = d.wall_delta_us().unsigned_abs();
+        let wall_base = d.wall_us.0.max(d.wall_us.1).max(1);
+        let wall_significant = wall_delta >= cfg.wall_abs_floor_us
+            && wall_delta as f64 / wall_base as f64 >= cfg.wall_rel_threshold;
+        if d.structural() || d.rows_differ() || wall_significant {
+            diff.deltas.push(d);
+        }
+    }
+    // Deterministic differences lead; within each class, biggest wall
+    // movement first.
+    diff.deltas.sort_by(|x, y| {
+        let det = |d: &SpanDelta| !(d.structural() || d.rows_differ());
+        det(x)
+            .cmp(&det(y))
+            .then(y.wall_delta_us().abs().cmp(&x.wall_delta_us().abs()))
+    });
+    Ok(diff)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chrome::chrome_trace;
+    use crate::span::{keys, AttrValue, SpanKind, SpanRecord};
+
+    fn rec(id: u64, parent: u64, kind: SpanKind, name: &str, dur: u64, rows: u64) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent,
+            kind,
+            name: name.to_string(),
+            lane: 1,
+            start_us: 0,
+            end_us: dur,
+            attrs: vec![(keys::ROWS.to_string(), AttrValue::U64(rows))],
+        }
+    }
+
+    fn trace(straggler_us: u64, probe_rows: u64) -> String {
+        chrome_trace(&[
+            rec(2, 1, SpanKind::Expression, "Comp(Q3)", 90, 0),
+            rec(3, 2, SpanKind::Operator, "probe[p0]", 20, probe_rows),
+            rec(
+                4,
+                2,
+                SpanKind::Operator,
+                "probe[p1]",
+                straggler_us,
+                probe_rows,
+            ),
+            rec(1, 0, SpanKind::Run, "window 0", 100 + straggler_us, 0),
+        ])
+    }
+
+    #[test]
+    fn self_comparison_is_empty() {
+        let t = trace(20, 50);
+        let d = diff_traces(&t, &t, &DiffConfig::default()).unwrap();
+        assert!(d.is_empty(), "self diff must be empty: {:?}", d.deltas);
+        assert!(d.deterministic_match());
+        assert_eq!(d.spans_a, d.spans_b);
+    }
+
+    #[test]
+    fn wall_regression_localizes_to_the_operator_span() {
+        // Same structure and rows, but partition 1 straggles 40ms in B.
+        let a = trace(20, 50);
+        let b = trace(40_020, 50);
+        let d = diff_traces(&a, &b, &DiffConfig::default()).unwrap();
+        assert!(!d.is_empty());
+        assert!(
+            d.deterministic_match(),
+            "wall-only change is not structural"
+        );
+        // Every reported path lies on the straggler's ancestry chain —
+        // the regression is localized, not smeared across siblings.
+        for delta in &d.deltas {
+            assert!("window 0 / Comp(Q3) / probe[p1]".starts_with(&delta.path));
+        }
+        let op = d
+            .deltas
+            .iter()
+            .find(|x| x.path.ends_with("probe[p1]"))
+            .expect("operator span must be localized");
+        assert_eq!(op.cat, "operator");
+        assert!(op.wall_delta_us() >= 40_000);
+    }
+
+    #[test]
+    fn row_deltas_are_reported_regardless_of_wall_noise() {
+        let a = trace(20, 50);
+        let b = trace(20, 51);
+        let d = diff_traces(&a, &b, &DiffConfig::default()).unwrap();
+        assert!(!d.deterministic_match());
+        assert!(d
+            .deltas
+            .iter()
+            .any(|x| x.rows_differ() && x.rows_delta() == 1));
+    }
+
+    #[test]
+    fn missing_spans_are_structural() {
+        let a = trace(20, 50);
+        let b = chrome_trace(&[
+            rec(2, 1, SpanKind::Expression, "Comp(Q3)", 90, 0),
+            rec(3, 2, SpanKind::Operator, "probe[p0]", 20, 50),
+            rec(1, 0, SpanKind::Run, "window 0", 120, 0),
+        ]);
+        let d = diff_traces(&a, &b, &DiffConfig::default()).unwrap();
+        let gone = d
+            .deltas
+            .iter()
+            .find(|x| x.path.ends_with("probe[p1]"))
+            .expect("missing span must surface");
+        assert!(gone.structural());
+        assert_eq!(gone.count, (1, 0));
+        // Structural deltas sort ahead of wall-only ones.
+        assert!(d.deltas[0].structural() || d.deltas[0].rows_differ());
+    }
+
+    #[test]
+    fn json_output_parses_and_carries_the_verdict() {
+        let a = trace(20, 50);
+        let b = trace(20, 51);
+        let d = diff_traces(&a, &b, &DiffConfig::default()).unwrap();
+        let doc = json::parse(&d.to_json()).unwrap();
+        assert_eq!(
+            doc.get("deterministic_match"),
+            Some(&JsonValue::Bool(false))
+        );
+        assert!(!doc
+            .get("deltas")
+            .and_then(JsonValue::as_array)
+            .unwrap()
+            .is_empty());
+        assert!(diff_traces("not json", &a, &DiffConfig::default()).is_err());
+    }
+}

@@ -21,6 +21,20 @@
 //!   work (the paper's §4 metric, made falsifiable).
 //! * [`json`] — a minimal JSON parser (the workspace is offline; no serde)
 //!   backing the Chrome-trace validator.
+//! * [`ledger`] — the window-health flight recorder: one versioned JSONL
+//!   record per update window (full meter, per-expression
+//!   predicted-vs-measured work, policy inputs, carry counters), appended
+//!   crash-consistently after the window's WAL commit, with a
+//!   [`validate_ledger`](ledger::validate_ledger) consistency checker.
+//! * [`drift`] — online cost-model drift detection: per-window relative
+//!   error EWMAs over predicted-vs-measured work and the controller's
+//!   λ/c estimates, with sustained-mis-calibration flags and the opt-in
+//!   [`Recalibrator`](drift::Recalibrator) feedback hook.
+//! * [`critical`] — partition critical-path derivation keyed by task
+//!   identity (stable under work stealing).
+//! * [`diff`] — the trace-to-trace regression localizer behind
+//!   `uww diff`: aligns two Chrome traces by span-tree path and reports
+//!   structural, row-counter, and wall-clock deltas.
 //!
 //! Spans carry wall-clock intervals *and* the executor's logical/physical
 //! `WorkMeter` deltas as generic attributes — this crate knows nothing about
@@ -28,7 +42,11 @@
 //! sits below every other crate in the workspace.
 
 pub mod chrome;
+pub mod critical;
+pub mod diff;
+pub mod drift;
 pub mod json;
+pub mod ledger;
 pub mod prom;
 pub mod span;
 pub mod timeline;

@@ -155,6 +155,19 @@ impl WindowController {
         self.rate.rate()
     }
 
+    /// The smoothed predicted-work-per-event estimate — the `c` in the
+    /// adaptive sizing formula. Exposed for the flight-recorder ledger and
+    /// the drift detector, which compare it against measured work.
+    pub fn cost_per_event(&self) -> f64 {
+        self.cost_per_event
+    }
+
+    /// The SLA this controller steers against (service rate already scaled
+    /// for partition parallelism by the scheduler).
+    pub fn sla(&self) -> &SlaConfig {
+        &self.sla
+    }
+
     /// Folds one completed (or crashed-but-planned) window's observations
     /// in and, under `adaptive`, re-solves the window size.
     ///

@@ -36,7 +36,7 @@ use uww_core::{
 };
 use uww_obs as obs;
 use uww_relational::DeltaRelation;
-use uww_vdag::Strategy;
+use uww_vdag::{Strategy, UpdateExpr};
 
 /// Which planner picks each window's strategy.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -87,6 +87,18 @@ pub struct SchedConfig {
     /// count (never the machine's core count), so the virtual-time schedule
     /// stays deterministic across machines.
     pub partition: PartitionOptions,
+    /// Append one flight-recorder record per completed window to this JSONL
+    /// file (`None` disables the ledger). Records are written only *after*
+    /// the window's WAL commit, so a crashed window has a WAL directory but
+    /// no ledger line — recovery replays reconcile exactly. Pure
+    /// observability: enabling it never changes states, WAL bytes, or the
+    /// window schedule.
+    pub ledger: Option<PathBuf>,
+    /// Feed the measured/predicted work ratio back into the controller's
+    /// predicted-work observations (an EWMA correction factor γ). Built
+    /// from row counts only, so a recalibrated run is still deterministic —
+    /// but it *does* change the window schedule, hence off by default.
+    pub recalibrate: bool,
 }
 
 impl Default for SchedConfig {
@@ -102,6 +114,8 @@ impl Default for SchedConfig {
             fsync: FsyncPolicy::Never,
             fault: None,
             partition: PartitionOptions::default(),
+            ledger: None,
+            recalibrate: false,
         }
     }
 }
@@ -153,12 +167,23 @@ pub struct WindowReport {
     pub batch: BTreeMap<String, DeltaRelation>,
     /// The strategy the per-window planner picked.
     pub strategy: Strategy,
-    /// Planner-predicted linear work.
+    /// Planner-predicted linear work (raw, before any recalibration).
     pub predicted_work: f64,
     /// Measured linear work.
     pub measured_work: u64,
     /// Mean event staleness in ticks (arrival → install).
     pub staleness: f64,
+    /// Controller's EWMA arrival rate λ after observing this window.
+    pub arrival_rate: f64,
+    /// Controller's EWMA cost-per-event c after observing this window.
+    pub cost_per_event: f64,
+    /// Effective service rate μ (per-worker rate × partitions).
+    pub service_rate: f64,
+    /// Window span the controller chose for the next cut.
+    pub next_window: u64,
+    /// Recalibration factor γ applied to this window's prediction (1.0
+    /// when `--recalibrate` is off or unprimed).
+    pub calibration: f64,
     /// Strategy-cache entries carried *in* from the previous window.
     pub carry_in: (usize, usize),
     /// Predicted-vs-measured sharing counters (exact by construction).
@@ -186,6 +211,12 @@ pub struct CrashState {
     pub drained_through: u64,
     /// Controller state after observing the crashed window's plan.
     pub controller: WindowController,
+    /// Recalibration state as of the crashed window's *plan*. The crashed
+    /// window's measured-work sample is never folded in — it did not exist
+    /// at the crash — so under `--recalibrate` the resumed γ lags the
+    /// uninterrupted run by one sample (byte-identity across crash resume
+    /// is only asserted with recalibration off).
+    pub calibration: obs::drift::Recalibrator,
     /// The injected error, for reporting.
     pub error: String,
 }
@@ -247,6 +278,7 @@ pub struct IngestScheduler<S> {
     cfg: SchedConfig,
     source: S,
     controller: WindowController,
+    calibration: obs::drift::Recalibrator,
     clock: u64,
     drained_through: u64,
     next_index: usize,
@@ -260,6 +292,7 @@ impl<S: DeltaSource> IngestScheduler<S> {
             cfg,
             source,
             controller,
+            calibration: obs::drift::Recalibrator::default(),
             clock: 0,
             drained_through: 0,
             next_index: 0,
@@ -271,6 +304,7 @@ impl<S: DeltaSource> IngestScheduler<S> {
         cfg: SchedConfig,
         source: S,
         controller: WindowController,
+        calibration: obs::drift::Recalibrator,
         clock: u64,
         drained_through: u64,
         next_index: usize,
@@ -279,6 +313,7 @@ impl<S: DeltaSource> IngestScheduler<S> {
             cfg,
             source,
             controller,
+            calibration,
             clock,
             drained_through,
             next_index,
@@ -330,7 +365,24 @@ impl<S: DeltaSource> IngestScheduler<S> {
             };
             let predicted = model.strategy_work(&strategy);
             let per_expr = model.per_expression_work(&strategy);
-            let processing = (predicted / self.cfg.effective_rate()).ceil() as u64;
+            // Under `--recalibrate` the EWMA correction γ (measured vs
+            // predicted work of past windows) multiplies into everything
+            // the prediction drives: processing ticks and the controller's
+            // cost-per-event sample. γ is built from row counts only, so
+            // the schedule stays deterministic; with recalibration off the
+            // factor is pinned at 1.0 and this path is byte-identical to
+            // the pre-ledger scheduler.
+            let gamma = if self.cfg.recalibrate {
+                self.calibration.factor()
+            } else {
+                1.0
+            };
+            let predicted_eff = if self.cfg.recalibrate {
+                predicted * gamma
+            } else {
+                predicted
+            };
+            let processing = (predicted_eff / self.cfg.effective_rate()).ceil() as u64;
             let done = cut + processing;
             let staleness =
                 events.iter().map(|e| (done - e.at) as f64).sum::<f64>() / events.len() as f64;
@@ -339,7 +391,7 @@ impl<S: DeltaSource> IngestScheduler<S> {
             // deterministic quantities — before anything can crash, so a
             // resumed run continues with identical sizing decisions.
             self.controller
-                .observe_window(events.len() as u64, window_ticks, predicted);
+                .observe_window(events.len() as u64, window_ticks, predicted_eff);
 
             let wal_dir = self
                 .cfg
@@ -359,7 +411,7 @@ impl<S: DeltaSource> IngestScheduler<S> {
             let opts = ExecOptions {
                 wal: wal_cfg,
                 strategy_sharing: true,
-                predicted_work: Some(per_expr),
+                predicted_work: Some(per_expr.clone()),
                 partition: self.cfg.partition,
                 ..ExecOptions::default()
             };
@@ -380,6 +432,13 @@ impl<S: DeltaSource> IngestScheduler<S> {
             } else {
                 WindowCarry::empty()
             };
+            // Ledger enrichment only: the span tail recorded during this
+            // window's execution yields the partition critical path.
+            let spans_before = if self.cfg.ledger.is_some() {
+                obs::subscriber().map(|b| b.span_count())
+            } else {
+                None
+            };
             match w.execute_carried(&strategy, opts, seed_carry) {
                 Ok(outcome) => {
                     if span.is_recording() {
@@ -390,6 +449,11 @@ impl<S: DeltaSource> IngestScheduler<S> {
                         carry = outcome.carry;
                     }
                     self.clock = done;
+                    // γ folds the *raw* prediction's residual in, after
+                    // execution — the correction always chases the
+                    // uncalibrated model, never its own output.
+                    self.calibration
+                        .observe(predicted, outcome.report.linear_work() as f64);
                     let report = WindowReport {
                         index: idx,
                         cut,
@@ -401,11 +465,29 @@ impl<S: DeltaSource> IngestScheduler<S> {
                         predicted_work: predicted,
                         measured_work: outcome.report.linear_work(),
                         staleness,
+                        arrival_rate: self.controller.arrival_rate(),
+                        cost_per_event: self.controller.cost_per_event(),
+                        service_rate: self.cfg.effective_rate(),
+                        next_window: self.controller.next_window(),
+                        calibration: gamma,
                         carry_in,
                         conformance: outcome.conformance,
                         wal_dir,
                         report: outcome.report,
                     };
+                    // The ledger record is appended strictly after the
+                    // window's WAL commit (execute_carried returned Ok), so
+                    // a crash always leaves WAL ⊇ ledger — never a ledger
+                    // line for work the journal cannot replay.
+                    if let Some(path) = self.cfg.ledger.clone() {
+                        let rec = ledger_record(w, &self.cfg, &report, &per_expr, spans_before);
+                        obs::ledger::append_record(
+                            &path,
+                            &rec,
+                            matches!(self.cfg.fsync, FsyncPolicy::Always),
+                        )
+                        .map_err(|e| CoreError::Wal(format!("ledger append: {e}")))?;
+                    }
                     observer(&report);
                     out.windows.push(report);
                     self.next_index += 1;
@@ -420,6 +502,7 @@ impl<S: DeltaSource> IngestScheduler<S> {
                         clock_after: done,
                         drained_through: self.drained_through,
                         controller: self.controller.clone(),
+                        calibration: self.calibration,
                         error: err.to_string(),
                     });
                     out.clock = self.clock;
@@ -430,6 +513,104 @@ impl<S: DeltaSource> IngestScheduler<S> {
         }
         out.clock = self.clock;
         Ok(out)
+    }
+}
+
+/// Builds one flight-recorder record from a completed window. All inputs
+/// are deterministic except `wall_us`/`critical_path_us`, which are
+/// explicitly wall-clock enrichment — nothing downstream of the ledger
+/// feeds back into scheduling.
+fn ledger_record(
+    w: &Warehouse,
+    cfg: &SchedConfig,
+    report: &WindowReport,
+    per_expr_pred: &[f64],
+    spans_before: Option<u64>,
+) -> obs::ledger::LedgerRecord {
+    let g = w.vdag();
+    let m = report.report.total_work();
+    let wall_us = report.report.wall().as_micros() as u64;
+    // With tracing live, the spans recorded during this window (the ring
+    // tail since the pre-execution snapshot) yield the partition critical
+    // path; untraced windows fall back to wall time (exact for P=1).
+    let critical_path_us = match (obs::subscriber(), spans_before) {
+        (Some(buf), Some(before)) => {
+            let recs = buf.records();
+            let fresh = buf.span_count().saturating_sub(before) as usize;
+            let tail = &recs[recs.len().saturating_sub(fresh)..];
+            obs::critical::critical_path_us(wall_us, tail)
+        }
+        _ => wall_us,
+    };
+    let per_expr = report
+        .report
+        .per_expr
+        .iter()
+        .enumerate()
+        .map(|(i, e)| {
+            let (kind, view) = match &e.expr {
+                UpdateExpr::Comp { view, .. } => ("comp", *view),
+                UpdateExpr::Inst(view) => ("inst", *view),
+            };
+            obs::ledger::LedgerExpr {
+                expr: e.expr.display(g).to_string(),
+                kind: kind.to_string(),
+                view: g.name(view).to_string(),
+                predicted: per_expr_pred.get(i).copied().unwrap_or(0.0),
+                scanned: e.work.operand_rows_scanned,
+                installed: e.work.rows_installed,
+                physical: e.work.physical_rows_touched,
+                wall_us: e.wall.as_micros() as u64,
+            }
+        })
+        .collect();
+    let pool = m.hash_tables_built + m.hash_tables_reused;
+    obs::ledger::LedgerRecord {
+        version: obs::ledger::LEDGER_VERSION,
+        window: report.index as u64,
+        cut: report.cut,
+        window_ticks: report.window_ticks,
+        done: report.done,
+        events: report.events,
+        staleness: report.staleness,
+        policy: cfg.policy.as_str().to_string(),
+        arrival_rate: report.arrival_rate,
+        cost_per_event: report.cost_per_event,
+        service_rate: report.service_rate,
+        next_window: report.next_window,
+        calibration: report.calibration,
+        predicted_work: report.predicted_work,
+        measured_work: report.measured_work,
+        meter: obs::ledger::LedgerMeter {
+            operand_rows_scanned: m.operand_rows_scanned,
+            rows_installed: m.rows_installed,
+            rows_emitted: m.rows_emitted,
+            terms_evaluated: m.terms_evaluated,
+            comp_expressions: m.comp_expressions,
+            inst_expressions: m.inst_expressions,
+            physical_rows_touched: m.physical_rows_touched,
+            hash_tables_built: m.hash_tables_built,
+            hash_tables_reused: m.hash_tables_reused,
+            hash_tables_cross_reused: m.hash_tables_cross_reused,
+            operand_reads_cached: m.operand_reads_cached,
+        },
+        per_expr,
+        carry_in_tables: report.carry_in.0 as u64,
+        carry_in_raws: report.carry_in.1 as u64,
+        cross_reuses: report.conformance.measured_cross_reuses,
+        cached_reads: report.conformance.measured_cached_reads,
+        carried_table_hits: report.conformance.measured_carried_table_hits,
+        carried_raw_hits: report.conformance.measured_carried_raw_hits,
+        conformant: report.conformance.exact(),
+        cache_hit_rate: if pool == 0 {
+            0.0
+        } else {
+            m.hash_tables_reused as f64 / pool as f64
+        },
+        partitions: cfg.partition.partitions as u64,
+        wall_us,
+        critical_path_us,
+        wal_dir: report.wal_dir.as_ref().map(|p| p.display().to_string()),
     }
 }
 
@@ -452,6 +633,7 @@ pub fn resume_after_crash<S: DeltaSource>(
         cfg,
         source,
         crash.controller.clone(),
+        crash.calibration,
         crash.clock_after,
         crash.drained_through,
         crash.window + 1,

@@ -38,6 +38,12 @@
 //!                      (wire-encoded values, signed multiplicity) to the
 //!                      server's [`IngestSink`] — ERR when no sink is
 //!                      configured
+//! HEALTH            -> HEALTH windows=<n> events=<n> staleness_mean=<f>
+//!                      sla_target=<f> sla_attainment=<f> staleness_burn=<f>
+//!                      drift_work=<0|1> drift_cost=<0|1> drift_rate=<0|1>
+//!                      work_residual=<f> cost_residual=<f> rate_residual=<f>
+//!                      calibration=<f> queue_depth=<n> ingest_rejects=<n>
+//!                      errors=<n> epoch=<n>
 //! QUIT              -> BYE (connection closes)
 //! anything else     -> ERR <message>
 //! ```
@@ -45,9 +51,13 @@
 //! `STATS` is the cheap single-line view; `since_epoch_us` (µs since server
 //! start) lets a scraper turn its counters into rates. `METRICS` serves the
 //! full Prometheus scrape — per-verb request counters
-//! (`uww_serve_requests_total{verb=…}`), a query-latency histogram, and
-//! catalog epoch / uptime gauges — rendered by
-//! [`Metrics::render_prometheus`].
+//! (`uww_serve_requests_total{verb=…}`), a query-latency histogram
+//! (bucket bounds configurable via [`ServerConfig::latency_buckets`]),
+//! catalog epoch / uptime gauges, maintenance-window gauges, and the
+//! `uww_model_*` cost-model drift family — rendered by
+//! [`Metrics::render_prometheus`]. `HEALTH` is the one-line operator
+//! summary of the same window-health state, rendered by
+//! [`Metrics::render_health`].
 //!
 //! `QUERY` digests the view's whole extent (FNV-1a, the same
 //! [`table_digest`](uww_relational::table_digest) the WAL uses), so a

@@ -10,10 +10,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-/// Latency histogram bucket bounds (µs) for the Prometheus export:
-/// sub-millisecond buckets for in-memory scans, then a coarse tail for
-/// lock stalls under strict isolation.
-const LATENCY_BUCKETS_US: &[u64] = &[
+/// Default latency histogram bucket bounds (µs) for the Prometheus
+/// export: sub-millisecond buckets for in-memory scans, then a coarse
+/// tail for lock stalls under strict isolation. Override per server with
+/// [`Metrics::with_latency_buckets`] (wired through `ServerConfig`) when
+/// the defaults are too coarse — e.g. sub-100µs MVCC reads at P≥4.
+pub const DEFAULT_LATENCY_BUCKETS_US: &[u64] = &[
     100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 1_000_000,
 ];
 
@@ -43,6 +45,8 @@ pub enum Verb {
     Metrics,
     /// `INGEST <view> <count> <value>...`.
     Ingest,
+    /// `HEALTH`.
+    Health,
     /// `QUIT`.
     Quit,
 }
@@ -56,6 +60,7 @@ impl Verb {
             Verb::Stats => "stats",
             Verb::Metrics => "metrics",
             Verb::Ingest => "ingest",
+            Verb::Health => "health",
             Verb::Quit => "quit",
         }
     }
@@ -91,6 +96,28 @@ pub struct WindowObservation {
     /// Cache hits on raw materializations carried over from the previous
     /// window.
     pub carried_raw_hits: u64,
+    /// The SLA's target mean staleness, in ticks (0 when unknown).
+    pub sla_target: f64,
+    /// Controller EWMA arrival rate λ after this window.
+    pub arrival_rate: f64,
+    /// Controller EWMA cost-per-event c after this window.
+    pub cost_per_event: f64,
+    /// Effective service rate μ.
+    pub service_rate: f64,
+    /// Recalibration factor γ applied to this window (1.0 when off).
+    pub calibration: f64,
+    /// Drift detector: smoothed predicted-vs-measured work residual.
+    pub work_residual: f64,
+    /// Drift detector: smoothed cost-per-event residual.
+    pub cost_residual: f64,
+    /// Drift detector: smoothed arrival-rate residual.
+    pub rate_residual: f64,
+    /// Drift flag on the work channel (sustained mis-calibration).
+    pub drift_work: bool,
+    /// Drift flag on the cost-per-event channel.
+    pub drift_cost: bool,
+    /// Drift flag on the arrival-rate channel.
+    pub drift_rate: bool,
 }
 
 /// Maintenance-side accumulators, folded in once per window (so a plain
@@ -109,6 +136,18 @@ struct MaintState {
     operand_reads_cached: u64,
     carried_table_hits: u64,
     carried_raw_hits: u64,
+    sla_target: f64,
+    sla_met_windows: u64,
+    last_arrival_rate: f64,
+    last_cost_per_event: f64,
+    last_service_rate: f64,
+    last_calibration: f64,
+    work_residual: f64,
+    cost_residual: f64,
+    rate_residual: f64,
+    drift_work: bool,
+    drift_cost: bool,
+    drift_rate: bool,
 }
 
 /// Shared live counters, updated by every worker thread.
@@ -125,8 +164,11 @@ pub struct Metrics {
     n_stats: AtomicU64,
     n_metrics: AtomicU64,
     n_ingest: AtomicU64,
+    n_health: AtomicU64,
     n_quit: AtomicU64,
     ingested_rows: AtomicU64,
+    ingest_rejects: AtomicU64,
+    latency_buckets: Vec<u64>,
     maint: Mutex<MaintState>,
 }
 
@@ -144,8 +186,11 @@ impl Default for Metrics {
             n_stats: AtomicU64::new(0),
             n_metrics: AtomicU64::new(0),
             n_ingest: AtomicU64::new(0),
+            n_health: AtomicU64::new(0),
             n_quit: AtomicU64::new(0),
             ingested_rows: AtomicU64::new(0),
+            ingest_rejects: AtomicU64::new(0),
+            latency_buckets: DEFAULT_LATENCY_BUCKETS_US.to_vec(),
             maint: Mutex::new(MaintState::default()),
         }
     }
@@ -157,6 +202,20 @@ impl Metrics {
         Self::default()
     }
 
+    /// Fresh metrics with custom latency histogram bucket bounds (µs).
+    /// Bounds are sorted and deduplicated; empty input falls back to
+    /// [`DEFAULT_LATENCY_BUCKETS_US`].
+    pub fn with_latency_buckets(bounds: Vec<u64>) -> Self {
+        let mut m = Self::default();
+        if !bounds.is_empty() {
+            let mut b = bounds;
+            b.sort_unstable();
+            b.dedup();
+            m.latency_buckets = b;
+        }
+        m
+    }
+
     /// Records one well-formed request, by verb. Called on parse, before
     /// the request is served, so a request that errors later still counts.
     pub fn record_request(&self, verb: Verb) {
@@ -166,6 +225,7 @@ impl Metrics {
             Verb::Stats => &self.n_stats,
             Verb::Metrics => &self.n_metrics,
             Verb::Ingest => &self.n_ingest,
+            Verb::Health => &self.n_health,
             Verb::Quit => &self.n_quit,
         };
         counter.fetch_add(1, Ordering::Relaxed);
@@ -175,6 +235,13 @@ impl Metrics {
     /// multiplicity of the delta).
     pub fn record_ingest(&self, rows: u64) {
         self.ingested_rows.fetch_add(rows, Ordering::Relaxed);
+    }
+
+    /// Records one `INGEST` rejected by queue backpressure (the bounded
+    /// ingest queue was full). Monotone; surfaced on `HEALTH` and as
+    /// `uww_serve_ingest_rejects_total`.
+    pub fn record_ingest_reject(&self) {
+        self.ingest_rejects.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Folds one completed maintenance window into the scrape, called by
@@ -193,6 +260,20 @@ impl Metrics {
         m.operand_reads_cached += o.operand_reads_cached;
         m.carried_table_hits += o.carried_table_hits;
         m.carried_raw_hits += o.carried_raw_hits;
+        m.sla_target = o.sla_target;
+        if o.sla_target > 0.0 && o.staleness <= o.sla_target {
+            m.sla_met_windows += 1;
+        }
+        m.last_arrival_rate = o.arrival_rate;
+        m.last_cost_per_event = o.cost_per_event;
+        m.last_service_rate = o.service_rate;
+        m.last_calibration = o.calibration;
+        m.work_residual = o.work_residual;
+        m.cost_residual = o.cost_residual;
+        m.rate_residual = o.rate_residual;
+        m.drift_work = o.drift_work;
+        m.drift_cost = o.drift_cost;
+        m.drift_rate = o.drift_rate;
     }
 
     /// Records one answered `QUERY`.
@@ -240,10 +321,61 @@ impl Metrics {
             n_stats: self.n_stats.load(Ordering::Relaxed),
             n_metrics: self.n_metrics.load(Ordering::Relaxed),
             n_ingest: self.n_ingest.load(Ordering::Relaxed),
+            n_health: self.n_health.load(Ordering::Relaxed),
             n_quit: self.n_quit.load(Ordering::Relaxed),
             ingested_rows: self.ingested_rows.load(Ordering::Relaxed),
+            ingest_rejects: self.ingest_rejects.load(Ordering::Relaxed),
             uptime_us: self.started.elapsed().as_micros() as u64,
         }
+    }
+
+    /// The single-line `HEALTH` reply body: SLA attainment, staleness burn
+    /// rate (event-weighted mean staleness over the SLA target — <1 means
+    /// headroom, >1 means the SLA is being missed on average), cost-model
+    /// drift flags and residuals, and backpressure state. `key=value`
+    /// pairs, space-separated, so it round-trips through
+    /// `Client::round_trip` like `STATS` does.
+    pub fn render_health(&self, epoch: u64) -> String {
+        let snap = self.snapshot();
+        let m = *self.maint.lock().unwrap_or_else(|e| e.into_inner());
+        let mean_staleness = if m.events > 0 {
+            m.staleness_weighted / m.events as f64
+        } else {
+            0.0
+        };
+        let burn = if m.sla_target > 0.0 {
+            mean_staleness / m.sla_target
+        } else {
+            0.0
+        };
+        let attainment = if m.windows > 0 {
+            m.sla_met_windows as f64 / m.windows as f64
+        } else {
+            1.0
+        };
+        format!(
+            "windows={} events={} staleness_mean={:.3} sla_target={:.3} sla_attainment={:.3} \
+             staleness_burn={:.3} drift_work={} drift_cost={} drift_rate={} \
+             work_residual={:.4} cost_residual={:.4} rate_residual={:.4} calibration={:.4} \
+             queue_depth={} ingest_rejects={} errors={} epoch={}",
+            m.windows,
+            m.events,
+            mean_staleness,
+            m.sla_target,
+            attainment,
+            burn,
+            u64::from(m.drift_work),
+            u64::from(m.drift_cost),
+            u64::from(m.drift_rate),
+            m.work_residual,
+            m.cost_residual,
+            m.rate_residual,
+            m.last_calibration,
+            m.last_queue_depth,
+            snap.ingest_rejects,
+            snap.errors,
+            epoch
+        )
     }
 
     /// The Prometheus text-format scrape served to `METRICS`, ending with
@@ -292,6 +424,7 @@ impl Metrics {
                 (Verb::Stats, snap.n_stats),
                 (Verb::Metrics, snap.n_metrics),
                 (Verb::Ingest, snap.n_ingest),
+                (Verb::Health, snap.n_health),
                 (Verb::Quit, snap.n_quit),
             ] {
                 fam.labeled(&[("verb", verb.as_str())], n as f64);
@@ -302,11 +435,21 @@ impl Metrics {
             "Delta rows accepted over INGEST (absolute multiplicities)",
             snap.ingested_rows as f64,
         );
+        reg.counter(
+            "uww_serve_ingest_rejects_total",
+            "INGEST requests rejected by queue backpressure",
+            snap.ingest_rejects as f64,
+        );
+        reg.counter(
+            "uww_obs_spans_dropped_total",
+            "Trace spans dropped by the bounded in-memory ring buffer",
+            uww_obs::subscriber().map_or(0, |b| b.dropped()) as f64,
+        );
         reg.histogram_us(
             "uww_serve_query_latency",
             "Query service latency",
             &lats,
-            LATENCY_BUCKETS_US,
+            &self.latency_buckets,
         );
         reg.gauge(
             "uww_serve_catalog_epoch",
@@ -384,6 +527,65 @@ impl Metrics {
                 "Cache hits on raw materializations carried over from a previous window",
                 maint.carried_raw_hits as f64,
             );
+            reg.gauge(
+                "uww_model_arrival_rate",
+                "Controller EWMA arrival rate (events per tick) after the last window",
+                maint.last_arrival_rate,
+            );
+            reg.gauge(
+                "uww_model_cost_per_event",
+                "Controller EWMA predicted-work-per-event after the last window",
+                maint.last_cost_per_event,
+            );
+            reg.gauge(
+                "uww_model_service_rate",
+                "Effective service rate (linear-work rows per tick)",
+                maint.last_service_rate,
+            );
+            reg.gauge(
+                "uww_model_calibration_factor",
+                "Recalibration factor applied to predicted work (1 when off)",
+                maint.last_calibration,
+            );
+            reg.gauge(
+                "uww_model_work_residual",
+                "Smoothed relative error of predicted vs measured window work",
+                maint.work_residual,
+            );
+            reg.gauge(
+                "uww_model_cost_residual",
+                "Smoothed relative error of the controller's cost-per-event estimate",
+                maint.cost_residual,
+            );
+            reg.gauge(
+                "uww_model_rate_residual",
+                "Smoothed relative error of the controller's arrival-rate estimate",
+                maint.rate_residual,
+            );
+            reg.gauge(
+                "uww_model_drift_work",
+                "1 when the work-prediction residual is in sustained drift",
+                f64::from(u8::from(maint.drift_work)),
+            );
+            reg.gauge(
+                "uww_model_drift_cost",
+                "1 when the cost-per-event residual is in sustained drift",
+                f64::from(u8::from(maint.drift_cost)),
+            );
+            reg.gauge(
+                "uww_model_drift_rate",
+                "1 when the arrival-rate residual is in sustained drift",
+                f64::from(u8::from(maint.drift_rate)),
+            );
+            reg.gauge(
+                "uww_model_sla_attainment",
+                "Fraction of windows whose mean staleness met the SLA target",
+                if maint.windows > 0 {
+                    maint.sla_met_windows as f64 / maint.windows as f64
+                } else {
+                    1.0
+                },
+            );
         }
         reg.render()
     }
@@ -423,10 +625,14 @@ pub struct MetricsSnapshot {
     pub n_metrics: u64,
     /// `INGEST` requests received.
     pub n_ingest: u64,
+    /// `HEALTH` requests received.
+    pub n_health: u64,
     /// `QUIT` requests received.
     pub n_quit: u64,
     /// Delta rows accepted over `INGEST` (absolute multiplicities).
     pub ingested_rows: u64,
+    /// `INGEST` requests rejected by queue backpressure.
+    pub ingest_rejects: u64,
     /// Microseconds since the server's metrics epoch (its start), so a
     /// scraper of `STATS` can turn the counters into rates.
     pub uptime_us: u64,
@@ -439,7 +645,8 @@ impl MetricsSnapshot {
         format!(
             "queries={} rows={} errors={} mean_us={} p50_us={} p95_us={} p99_us={} max_us={} \
              lock_wait_us={} epoch={} n_query={} n_snapshot={} n_stats={} n_metrics={} \
-             n_ingest={} n_quit={} ingested_rows={} since_epoch_us={}",
+             n_ingest={} n_health={} n_quit={} ingested_rows={} ingest_rejects={} \
+             since_epoch_us={}",
             self.queries,
             self.rows_returned,
             self.errors,
@@ -455,8 +662,10 @@ impl MetricsSnapshot {
             self.n_stats,
             self.n_metrics,
             self.n_ingest,
+            self.n_health,
             self.n_quit,
             self.ingested_rows,
+            self.ingest_rejects,
             self.uptime_us
         )
     }
@@ -565,6 +774,7 @@ mod tests {
             operand_reads_cached: 5,
             carried_table_hits: 1,
             carried_raw_hits: 2,
+            ..Default::default()
         });
         m.observe_window(&WindowObservation {
             window_ticks: 4,
@@ -577,6 +787,7 @@ mod tests {
             operand_reads_cached: 0,
             carried_table_hits: 0,
             carried_raw_hits: 0,
+            ..Default::default()
         });
         let text = m.render_prometheus(2);
         let scrape = uww_obs::prom::parse_text(&text).unwrap();
@@ -621,5 +832,103 @@ mod tests {
         let line = m.snapshot().render(2);
         assert!(line.contains("n_ingest=1"), "{line}");
         assert!(line.contains("ingested_rows=3"), "{line}");
+    }
+
+    #[test]
+    fn model_gauges_round_trip_through_the_scrape() {
+        let m = Metrics::new();
+        m.observe_window(&WindowObservation {
+            window_ticks: 8,
+            events: 10,
+            staleness: 5.0,
+            predicted_work: 400.0,
+            measured_work: 500,
+            sla_target: 24.0,
+            arrival_rate: 1.25,
+            cost_per_event: 40.0,
+            service_rate: 200.0,
+            calibration: 1.1,
+            work_residual: 0.25,
+            cost_residual: -0.1,
+            rate_residual: 0.02,
+            drift_work: true,
+            drift_cost: false,
+            drift_rate: false,
+            ..Default::default()
+        });
+        let text = m.render_prometheus(1);
+        let scrape = uww_obs::prom::parse_text(&text).unwrap();
+        assert_eq!(scrape.value("uww_model_arrival_rate", &[]), Some(1.25));
+        assert_eq!(scrape.value("uww_model_cost_per_event", &[]), Some(40.0));
+        assert_eq!(scrape.value("uww_model_service_rate", &[]), Some(200.0));
+        assert_eq!(scrape.value("uww_model_calibration_factor", &[]), Some(1.1));
+        assert_eq!(scrape.value("uww_model_work_residual", &[]), Some(0.25));
+        assert_eq!(scrape.value("uww_model_cost_residual", &[]), Some(-0.1));
+        assert_eq!(scrape.value("uww_model_drift_work", &[]), Some(1.0));
+        assert_eq!(scrape.value("uww_model_drift_cost", &[]), Some(0.0));
+        assert_eq!(scrape.value("uww_model_sla_attainment", &[]), Some(1.0));
+        // The spans-dropped counter renders even with no subscriber.
+        assert_eq!(scrape.value("uww_obs_spans_dropped_total", &[]), Some(0.0));
+        assert_eq!(
+            scrape.value("uww_serve_ingest_rejects_total", &[]),
+            Some(0.0)
+        );
+    }
+
+    #[test]
+    fn health_line_reports_attainment_drift_and_rejects() {
+        let m = Metrics::new();
+        m.record_request(Verb::Health);
+        m.record_ingest_reject();
+        m.record_ingest_reject();
+        m.observe_window(&WindowObservation {
+            window_ticks: 8,
+            events: 4,
+            staleness: 6.0,
+            sla_target: 24.0,
+            ..Default::default()
+        });
+        m.observe_window(&WindowObservation {
+            window_ticks: 8,
+            events: 4,
+            staleness: 30.0,
+            sla_target: 24.0,
+            drift_work: true,
+            ..Default::default()
+        });
+        let line = m.render_health(7);
+        assert!(line.contains("windows=2"), "{line}");
+        assert!(line.contains("sla_attainment=0.500"), "{line}");
+        assert!(line.contains("drift_work=1"), "{line}");
+        assert!(line.contains("drift_cost=0"), "{line}");
+        assert!(line.contains("ingest_rejects=2"), "{line}");
+        assert!(line.contains("epoch=7"), "{line}");
+        // Burn rate: event-weighted mean staleness 18 over target 24.
+        assert!(line.contains("staleness_burn=0.750"), "{line}");
+        assert_eq!(m.snapshot().n_health, 1);
+        let stats = m.snapshot().render(7);
+        assert!(stats.contains("n_health=1"), "{stats}");
+        assert!(stats.contains("ingest_rejects=2"), "{stats}");
+    }
+
+    #[test]
+    fn custom_latency_buckets_reach_the_histogram() {
+        let m = Metrics::with_latency_buckets(vec![50, 10, 50]);
+        m.record_query(Duration::from_micros(30), 1, Duration::ZERO);
+        let text = m.render_prometheus(0);
+        let scrape = uww_obs::prom::parse_text(&text).unwrap();
+        assert_eq!(
+            scrape.value("uww_serve_query_latency_bucket", &[("le", "10")]),
+            Some(0.0)
+        );
+        assert_eq!(
+            scrape.value("uww_serve_query_latency_bucket", &[("le", "50")]),
+            Some(1.0)
+        );
+        // Default bounds are absent under the override.
+        assert_eq!(
+            scrape.value("uww_serve_query_latency_bucket", &[("le", "250")]),
+            None
+        );
     }
 }

@@ -27,6 +27,10 @@ pub enum Request {
         /// The row, one value per column in schema order.
         values: Vec<Value>,
     },
+    /// `HEALTH`: one-line window-health summary — SLA attainment,
+    /// staleness burn rate, cost-model drift flags, queue depth and
+    /// backpressure rejects.
+    Health,
     /// `QUIT`: close the connection.
     Quit,
 }
@@ -52,6 +56,7 @@ impl Request {
             ("SNAPSHOT", None) => Ok(Request::Snapshot),
             ("STATS", None) => Ok(Request::Stats),
             ("METRICS", None) => Ok(Request::Metrics),
+            ("HEALTH", None) => Ok(Request::Health),
             ("QUIT", None) => Ok(Request::Quit),
             ("", None) => Err("empty request".to_string()),
             (v, _) => Err(format!("unknown or malformed request: {v}")),
@@ -103,6 +108,8 @@ mod tests {
         assert_eq!(Request::parse("stats"), Ok(Request::Stats));
         assert_eq!(Request::parse("METRICS"), Ok(Request::Metrics));
         assert_eq!(Request::parse("metrics"), Ok(Request::Metrics));
+        assert_eq!(Request::parse("HEALTH"), Ok(Request::Health));
+        assert_eq!(Request::parse("health"), Ok(Request::Health));
         assert_eq!(Request::parse("QUIT"), Ok(Request::Quit));
     }
 
@@ -133,6 +140,7 @@ mod tests {
         assert!(Request::parse("QUERY A B").is_err());
         assert!(Request::parse("SNAPSHOT now").is_err());
         assert!(Request::parse("METRICS verbose").is_err());
+        assert!(Request::parse("HEALTH now").is_err());
         assert!(Request::parse("DROP TABLE").is_err());
         // INGEST: missing pieces, zero count, malformed values.
         assert!(Request::parse("INGEST").is_err());

@@ -41,6 +41,9 @@ pub struct ServerConfig {
     /// Sink for `INGEST` rows; `None` (the default) answers the verb with
     /// an `ERR` saying ingest is not enabled.
     pub ingest: Option<Arc<dyn IngestSink>>,
+    /// Latency histogram bucket bounds (µs) for the `METRICS` scrape.
+    /// `None` uses [`crate::metrics::DEFAULT_LATENCY_BUCKETS_US`].
+    pub latency_buckets: Option<Vec<u64>>,
 }
 
 impl std::fmt::Debug for ServerConfig {
@@ -51,6 +54,7 @@ impl std::fmt::Debug for ServerConfig {
             .field("queue_depth", &self.queue_depth)
             .field("isolation", &self.isolation)
             .field("ingest", &self.ingest.is_some())
+            .field("latency_buckets", &self.latency_buckets)
             .finish()
     }
 }
@@ -63,6 +67,7 @@ impl Default for ServerConfig {
             queue_depth: 32,
             isolation: Isolation::Mvcc,
             ingest: None,
+            latency_buckets: None,
         }
     }
 }
@@ -92,7 +97,10 @@ impl Server {
         let local_addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
             catalog,
-            metrics: Metrics::new(),
+            metrics: match config.latency_buckets.clone() {
+                Some(bounds) => Metrics::with_latency_buckets(bounds),
+                None => Metrics::new(),
+            },
             isolation: config.isolation,
             ingest: config.ingest.clone(),
             shutdown: AtomicBool::new(false),
@@ -243,6 +251,7 @@ fn handle_request(line: &str, writer: &mut TcpStream, shared: &Shared) -> Result
         Ok(Request::Stats) => Some(Verb::Stats),
         Ok(Request::Metrics) => Some(Verb::Metrics),
         Ok(Request::Ingest { .. }) => Some(Verb::Ingest),
+        Ok(Request::Health) => Some(Verb::Health),
         Ok(Request::Quit) => Some(Verb::Quit),
         Err(_) => None,
     };
@@ -314,6 +323,10 @@ fn handle_request(line: &str, writer: &mut TcpStream, shared: &Shared) -> Result
             "STATS {}",
             shared.metrics.snapshot().render(shared.catalog.epoch())
         ),
+        Ok(Request::Health) => format!(
+            "HEALTH {}",
+            shared.metrics.render_health(shared.catalog.epoch())
+        ),
         // Multi-line Prometheus text scrape; its rendered body already ends
         // with the `# EOF\n` terminator clients read until.
         Ok(Request::Metrics) => {
@@ -334,6 +347,13 @@ fn handle_request(line: &str, writer: &mut TcpStream, shared: &Shared) -> Result
                 }
                 Err(e) => {
                     shared.metrics.record_error();
+                    // A full ingest queue is backpressure, not a malformed
+                    // request — count it separately so HEALTH can expose
+                    // the reject rate (the sink's contract is the
+                    // `IngestQueue::push` error text).
+                    if e.contains("queue full") {
+                        shared.metrics.record_ingest_reject();
+                    }
                     format!("ERR {e}")
                 }
             },
@@ -495,6 +515,63 @@ mod tests {
                 ("V".to_string(), -3, vec![Value::Int(9)]),
             ]
         );
+    }
+
+    #[test]
+    fn health_round_trips_and_counts_rejects() {
+        let (server, _catalog) = start(Isolation::Mvcc);
+        server.observe_window(&WindowObservation {
+            window_ticks: 8,
+            events: 4,
+            staleness: 6.0,
+            sla_target: 24.0,
+            ..Default::default()
+        });
+        let mut c = Client::connect(server.local_addr()).unwrap();
+        let h = c.health().unwrap();
+        assert!(h.contains("windows=1"), "{h}");
+        assert!(h.contains("sla_attainment=1.000"), "{h}");
+        assert!(h.contains("ingest_rejects=0"), "{h}");
+        c.quit().unwrap();
+        let m = server.shutdown();
+        assert_eq!(m.n_health, 1);
+    }
+
+    /// Always reports a full queue, mimicking `IngestQueue::push`.
+    struct FullSink;
+
+    impl IngestSink for FullSink {
+        fn ingest(&self, _view: &str, _count: i64, _values: Vec<Value>) -> Result<(), String> {
+            Err("ingest queue full (capacity 4)".to_string())
+        }
+    }
+
+    #[test]
+    fn backpressure_rejects_surface_on_health() {
+        let server = Server::start(
+            catalog(5),
+            ServerConfig {
+                workers: 2,
+                ingest: Some(Arc::new(FullSink) as Arc<dyn IngestSink>),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let mut c = Client::connect(server.local_addr()).unwrap();
+        for _ in 0..3 {
+            assert!(c.raw("INGEST V 1 i:1").unwrap().starts_with("ERR "));
+        }
+        let h = c.health().unwrap();
+        assert!(h.contains("ingest_rejects=3"), "{h}");
+        c.quit().unwrap();
+        // A fresh connection sees the same monotone counter.
+        let mut c2 = Client::connect(server.local_addr()).unwrap();
+        let h2 = c2.health().unwrap();
+        assert!(h2.contains("ingest_rejects=3"), "{h2}");
+        c2.quit().unwrap();
+        let m = server.shutdown();
+        assert_eq!(m.ingest_rejects, 3);
+        assert_eq!(m.errors, 3);
     }
 
     #[test]

@@ -27,7 +27,10 @@
 //!              [--partitions N] [--no-steal]
 //!              [--wal DIR] [--fsync always|never] [--fault ...] [--fault-window W]
 //!              [--replay FILE] [--record FILE] [--serve] [--readers N]
-//!              [--json] [--metrics]
+//!              [--json] [--metrics] [--ledger FILE] [--recalibrate]
+//!              [--latency-buckets US,US,...]
+//! uww diff     TRACE_A TRACE_B | LEDGER_A LEDGER_B  [--json]
+//! uww report   LEDGER [--json]
 //! uww explain  [--scenario ...] [--scale F] [--frac F] [--planner ...]
 //! uww dump     [--scenario ...] [--scale F]
 //! ```
@@ -128,6 +131,10 @@ struct Args {
     record: Option<String>,
     serve_live: bool,
     fault_window: usize,
+    ledger: Option<String>,
+    recalibrate: bool,
+    latency_buckets: Option<Vec<u64>>,
+    dir2: Option<String>,
 }
 
 impl Default for Args {
@@ -174,6 +181,10 @@ impl Default for Args {
             record: None,
             serve_live: false,
             fault_window: 0,
+            ledger: None,
+            recalibrate: false,
+            latency_buckets: None,
+            dir2: None,
         }
     }
 }
@@ -207,6 +218,27 @@ fn parse_args(argv: &[String]) -> Result<(String, Args), String> {
             "--strategy-sharing" => args.strategy_sharing = true,
             "--no-carry" => args.carry = false,
             "--serve" => args.serve_live = true,
+            "--recalibrate" => args.recalibrate = true,
+            "--ledger" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "missing value for --ledger".to_string())?;
+                args.ledger = Some(v.clone());
+            }
+            "--latency-buckets" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "missing value for --latency-buckets".to_string())?;
+                let bounds: Vec<u64> = v
+                    .split(',')
+                    .map(|t| t.trim().parse::<u64>())
+                    .collect::<Result<_, _>>()
+                    .map_err(|_| format!("bad --latency-buckets {v} (comma-separated µs)"))?;
+                if bounds.is_empty() {
+                    return Err("--latency-buckets needs at least one bound".to_string());
+                }
+                args.latency_buckets = Some(bounds);
+            }
             "--policy" | "--window" | "--sla" | "--rate" | "--service-rate" | "--horizon"
             | "--seed" | "--replay" | "--record" | "--fault-window" => {
                 let v = it
@@ -306,6 +338,7 @@ fn parse_args(argv: &[String]) -> Result<(String, Args), String> {
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
             word if cmd.is_none() => cmd = Some(word.to_string()),
             word if args.dir.is_none() => args.dir = Some(word.to_string()),
+            word if args.dir2.is_none() => args.dir2 = Some(word.to_string()),
             word => return Err(format!("unexpected argument {word}")),
         }
     }
@@ -541,6 +574,15 @@ fn cmd_run(args: &Args) -> Result<(), String> {
             );
         }
         if args.timeline {
+            if buf.dropped() > 0 {
+                eprintln!(
+                    "WARN: {} span(s) dropped by the bounded trace ring (capacity {}); \
+                     the timeline is incomplete — also exported as \
+                     uww_obs_spans_dropped_total",
+                    buf.dropped(),
+                    uww::obs::DEFAULT_CAPACITY,
+                );
+            }
             let rows = uww::obs::timeline::expression_rows(&records);
             print!("{}", uww::obs::timeline::render_timeline(&rows, 64));
         }
@@ -968,6 +1010,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
             isolation: *iso,
             readers: args.readers.max(1),
             hold: std::time::Duration::from_millis(args.hold_ms),
+            latency_buckets: args.latency_buckets.clone(),
             ..uww::serving::LiveRunConfig::default()
         };
         let out =
@@ -1103,6 +1146,8 @@ fn ingest_sched_config(args: &Args) -> Result<SchedConfig, String> {
         fsync: FsyncPolicy::parse(&args.fsync).map_err(|e| e.to_string())?,
         fault,
         partition: partition_options(args),
+        ledger: args.ledger.clone().map(std::path::PathBuf::from),
+        recalibrate: args.recalibrate,
     })
 }
 
@@ -1270,6 +1315,7 @@ fn cmd_ingest(args: &Args) -> Result<(), String> {
             readers: args.readers,
             sched: cfg,
             source: source_cfg,
+            latency_buckets: args.latency_buckets.clone(),
             ..uww::serving::ContinuousRunConfig::default()
         };
         let out =
@@ -1351,7 +1397,225 @@ fn cmd_ingest(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-const USAGE: &str = "usage: uww <info|plan|run|analyze|script|dot|olap|serve|ingest|explain|dump> \
+/// `uww diff TRACE_A TRACE_B` (Chrome traces) or `uww diff LEDGER_A
+/// LEDGER_B` (window ledgers): aligns the two runs and localizes
+/// regressions. Trace inputs are auto-detected by their `traceEvents`
+/// envelope; anything else parses as a JSONL ledger.
+fn cmd_diff(args: &Args) -> Result<(), String> {
+    let (a_path, b_path) = match (&args.dir, &args.dir2) {
+        (Some(a), Some(b)) => (a.as_str(), b.as_str()),
+        _ => return Err("diff needs two files: uww diff A B".to_string()),
+    };
+    let a = std::fs::read_to_string(a_path).map_err(|e| format!("read {a_path}: {e}"))?;
+    let b = std::fs::read_to_string(b_path).map_err(|e| format!("read {b_path}: {e}"))?;
+    let is_trace = |t: &str| t.contains("\"traceEvents\"");
+    match (is_trace(&a), is_trace(&b)) {
+        (true, true) => {
+            let d = uww::obs::diff::diff_traces(&a, &b, &uww::obs::diff::DiffConfig::default())?;
+            if args.json {
+                println!("{}", d.to_json());
+                return Ok(());
+            }
+            println!(
+                "trace diff: {} vs {} span(s) over {} path(s) — {}",
+                d.spans_a,
+                d.spans_b,
+                d.paths,
+                if d.is_empty() {
+                    "no significant deltas"
+                } else if d.deterministic_match() {
+                    "deterministically equal (wall-clock noise only)"
+                } else {
+                    "runs DIVERGE"
+                }
+            );
+            for delta in &d.deltas {
+                let kind = if delta.structural() {
+                    "structural"
+                } else if delta.rows_differ() {
+                    "rows"
+                } else {
+                    "wall"
+                };
+                println!(
+                    "  [{kind}] {} ({}): spans {}→{}, wall {}us→{}us ({:+}us), rows {}→{} ({:+})",
+                    delta.path,
+                    delta.cat,
+                    delta.count.0,
+                    delta.count.1,
+                    delta.wall_us.0,
+                    delta.wall_us.1,
+                    delta.wall_delta_us(),
+                    delta.rows.0,
+                    delta.rows.1,
+                    delta.rows_delta(),
+                );
+            }
+            Ok(())
+        }
+        (false, false) => {
+            let ra = uww::obs::ledger::read_ledger(&a).map_err(|e| format!("{a_path}: {e}"))?;
+            let rb = uww::obs::ledger::read_ledger(&b).map_err(|e| format!("{b_path}: {e}"))?;
+            let deltas = uww::obs::ledger::diff_ledgers(&ra, &rb);
+            if args.json {
+                let items: Vec<String> = deltas
+                    .iter()
+                    .map(|d| {
+                        format!(
+                            "{{\"window\":{},\"measured_a\":{},\"measured_b\":{},\
+                             \"predicted_a\":{},\"predicted_b\":{},\"measured_delta\":{}}}",
+                            d.window,
+                            d.measured.0,
+                            d.measured.1,
+                            d.predicted.0,
+                            d.predicted.1,
+                            d.measured_delta()
+                        )
+                    })
+                    .collect();
+                println!(
+                    "{{\"windows_a\":{},\"windows_b\":{},\"identical\":{},\"deltas\":[{}]}}",
+                    ra.len(),
+                    rb.len(),
+                    deltas.is_empty(),
+                    items.join(",")
+                );
+                return Ok(());
+            }
+            println!(
+                "ledger diff: {} vs {} window(s) — {}",
+                ra.len(),
+                rb.len(),
+                if deltas.is_empty() {
+                    "identical work profile"
+                } else {
+                    "work profiles DIVERGE"
+                }
+            );
+            for d in &deltas {
+                println!(
+                    "  window {}: measured {}→{} ({:+}), predicted {:.1}→{:.1}, \
+                     staleness {:.2}→{:.2}, wall {}us→{}us",
+                    d.window,
+                    d.measured.0,
+                    d.measured.1,
+                    d.measured_delta(),
+                    d.predicted.0,
+                    d.predicted.1,
+                    d.staleness.0,
+                    d.staleness.1,
+                    d.wall_us.0,
+                    d.wall_us.1,
+                );
+            }
+            Ok(())
+        }
+        _ => Err("cannot diff a chrome trace against a window ledger".to_string()),
+    }
+}
+
+/// `uww report LEDGER`: validate a window-health ledger, summarize it, and
+/// replay the drift detector over its predicted-vs-measured series.
+fn cmd_report(args: &Args) -> Result<(), String> {
+    let path = args
+        .dir
+        .as_deref()
+        .ok_or_else(|| "report needs a ledger file: uww report LEDGER".to_string())?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let summary = uww::obs::ledger::validate_ledger(&text).map_err(|e| format!("{path}: {e}"))?;
+    let records = uww::obs::ledger::read_ledger(&text)?;
+    let mut drift = uww::obs::drift::DriftTracker::default();
+    for r in &records {
+        drift.observe(&uww::obs::drift::DriftObservation {
+            predicted_work: r.predicted_work,
+            measured_work: r.measured_work as f64,
+            events: r.events,
+            window_ticks: r.window_ticks,
+            est_cost_per_event: r.cost_per_event,
+            est_arrival_rate: r.arrival_rate,
+        });
+    }
+    let flags = drift.flags();
+    if args.json {
+        println!(
+            "{{\"records\":{},\"windows\":[{},{}],\"events\":{},\"predicted_work\":{},\
+             \"measured_work\":{},\"mean_staleness\":{},\"wall_us\":{},\"conformant\":{},\
+             \"work_residual\":{},\"cost_residual\":{},\"rate_residual\":{},\
+             \"drift_work\":{},\"drift_cost\":{},\"drift_rate\":{}}}",
+            summary.records,
+            summary.windows.0,
+            summary.windows.1,
+            summary.events,
+            summary.predicted_work,
+            summary.measured_work,
+            summary.mean_staleness,
+            summary.wall_us,
+            summary.conformant,
+            drift.work_residual(),
+            drift.cost_residual(),
+            drift.rate_residual(),
+            flags.work,
+            flags.cost,
+            flags.rate,
+        );
+        return Ok(());
+    }
+    println!(
+        "ledger {path}: {} record(s), windows {}..{}, {} event(s), conformance {}",
+        summary.records,
+        summary.windows.0,
+        summary.windows.1,
+        summary.events,
+        if summary.conformant {
+            "exact"
+        } else {
+            "VIOLATED"
+        }
+    );
+    println!(
+        "work: predicted {:.1}, measured {}, mean staleness {:.2} ticks, wall {}us",
+        summary.predicted_work, summary.measured_work, summary.mean_staleness, summary.wall_us
+    );
+    println!(
+        "drift: work residual {:+.4}{}, cost residual {:+.4}{}, rate residual {:+.4}{}",
+        drift.work_residual(),
+        if flags.work { " [DRIFTING]" } else { "" },
+        drift.cost_residual(),
+        if flags.cost { " [DRIFTING]" } else { "" },
+        drift.rate_residual(),
+        if flags.rate { " [DRIFTING]" } else { "" },
+    );
+    println!(
+        "{:>4} {:>6} {:>7} {:>12} {:>12} {:>10} {:>8} {:>7} {:>9}",
+        "win",
+        "ticks",
+        "events",
+        "predicted",
+        "measured",
+        "staleness",
+        "policy",
+        "gamma",
+        "crit_us"
+    );
+    for r in &records {
+        println!(
+            "{:>4} {:>6} {:>7} {:>12.1} {:>12} {:>10.2} {:>8} {:>7.3} {:>9}",
+            r.window,
+            r.window_ticks,
+            r.events,
+            r.predicted_work,
+            r.measured_work,
+            r.staleness,
+            r.policy,
+            r.calibration,
+            r.critical_path_us,
+        );
+    }
+    Ok(())
+}
+
+const USAGE: &str =
+    "usage: uww <info|plan|run|analyze|script|dot|olap|serve|ingest|diff|report|explain|dump> \
 [--scenario fig4|q3|q5] [--scale F] [--frac F] \
 [--planner minwork|prune|dual-stage|rnscol] [--graph vdag|eg] \
 [--isolation strict|low (olap) / strict|mvcc|both (serve)] [--readers N] [--hold-ms N] \
@@ -1367,7 +1631,10 @@ const USAGE: &str = "usage: uww <info|plan|run|analyze|script|dot|olap|serve|ing
 [--objective linear|shared] [--partitions N] [--no-steal] \
 [--wal DIR] [--fsync always|never] \
 [--fault crash:K|torn:K|dup:K|dirsync] [--fault-window W] \
-[--replay FILE] [--record FILE] [--serve] [--readers N] [--json] [--metrics]\n\
+[--replay FILE] [--record FILE] [--serve] [--readers N] [--json] [--metrics] \
+[--ledger FILE] [--recalibrate] [--latency-buckets US,US,...]\n\
+       uww diff TRACE_A TRACE_B | uww diff LEDGER_A LEDGER_B [--json]\n\
+       uww report LEDGER [--json]\n\
        uww recover DIR";
 
 fn main() -> ExitCode {
@@ -1390,6 +1657,8 @@ fn main() -> ExitCode {
         "olap" => cmd_olap(&args),
         "serve" => cmd_serve(&args),
         "ingest" => cmd_ingest(&args),
+        "diff" => cmd_diff(&args),
+        "report" => cmd_report(&args),
         "explain" => cmd_explain(&args),
         "dump" => cmd_dump(&args),
         "help" | "--help" => {

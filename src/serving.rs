@@ -37,6 +37,9 @@ pub struct LiveRunConfig {
     pub hold: Duration,
     /// Server worker threads.
     pub workers: usize,
+    /// Latency histogram bucket bounds (µs) for the `METRICS` scrape;
+    /// `None` uses the serve crate's defaults.
+    pub latency_buckets: Option<Vec<u64>>,
 }
 
 impl Default for LiveRunConfig {
@@ -46,6 +49,7 @@ impl Default for LiveRunConfig {
             readers: 4,
             hold: Duration::from_millis(2),
             workers: 4,
+            latency_buckets: None,
         }
     }
 }
@@ -95,6 +99,7 @@ pub fn run_live(
         ServerConfig {
             isolation: cfg.isolation,
             workers: cfg.workers.max(cfg.readers).max(1),
+            latency_buckets: cfg.latency_buckets.clone(),
             ..ServerConfig::default()
         },
     )
@@ -248,8 +253,16 @@ impl IngestSink for QueueSink {
 
 /// Maps one completed window to the serve scrape's observation struct.
 /// `queue_depth` is the live wire-queue depth at publish time — events that
-/// arrived during processing and will join the next cut.
-fn observation_of(wr: &WindowReport, queue: &IngestQueue) -> WindowObservation {
+/// arrived during processing and will join the next cut. The drift tracker
+/// must already have folded this window in; its residuals and flags ride
+/// along so `METRICS`/`HEALTH` expose the cost-model health.
+fn observation_of(
+    wr: &WindowReport,
+    queue: &IngestQueue,
+    sla_target: f64,
+    drift: &uww_obs::drift::DriftTracker,
+) -> WindowObservation {
+    let flags = drift.flags();
     WindowObservation {
         window_ticks: wr.window_ticks,
         events: wr.events,
@@ -261,6 +274,17 @@ fn observation_of(wr: &WindowReport, queue: &IngestQueue) -> WindowObservation {
         operand_reads_cached: wr.conformance.measured_cached_reads,
         carried_table_hits: wr.conformance.measured_carried_table_hits,
         carried_raw_hits: wr.conformance.measured_carried_raw_hits,
+        sla_target,
+        arrival_rate: wr.arrival_rate,
+        cost_per_event: wr.cost_per_event,
+        service_rate: wr.service_rate,
+        calibration: wr.calibration,
+        work_residual: drift.work_residual(),
+        cost_residual: drift.cost_residual(),
+        rate_residual: drift.rate_residual(),
+        drift_work: flags.work,
+        drift_cost: flags.cost,
+        drift_rate: flags.rate,
     }
 }
 
@@ -277,6 +301,9 @@ pub struct ContinuousRunConfig {
     pub sched: SchedConfig,
     /// Seeded background workload joining the wire-fed queue.
     pub source: SeededSourceConfig,
+    /// Latency histogram bucket bounds (µs) for the `METRICS` scrape;
+    /// `None` uses the serve crate's defaults.
+    pub latency_buckets: Option<Vec<u64>>,
 }
 
 impl Default for ContinuousRunConfig {
@@ -287,6 +314,7 @@ impl Default for ContinuousRunConfig {
             workers: 4,
             sched: SchedConfig::default(),
             source: SeededSourceConfig::default(),
+            latency_buckets: None,
         }
     }
 }
@@ -335,6 +363,7 @@ pub fn run_continuous(
             isolation: cfg.isolation,
             workers: cfg.workers.max(cfg.readers).max(1),
             ingest: Some(sink as Arc<dyn IngestSink>),
+            latency_buckets: cfg.latency_buckets.clone(),
             ..ServerConfig::default()
         },
     )
@@ -387,8 +416,18 @@ pub fn run_continuous(
 
     let source = ChainSource(SeededSource::new(&w, cfg.source), queue.source());
     let mut sched = IngestScheduler::new(cfg.sched.clone(), source);
+    let sla_target = cfg.sched.sla.target_staleness;
+    let mut drift = uww_obs::drift::DriftTracker::default();
     let run_result = sched.run_with_observer(&mut w, &mut |wr| {
-        server.observe_window(&observation_of(wr, &queue));
+        drift.observe(&uww_obs::drift::DriftObservation {
+            predicted_work: wr.predicted_work,
+            measured_work: wr.measured_work as f64,
+            events: wr.events,
+            window_ticks: wr.window_ticks,
+            est_cost_per_event: wr.cost_per_event,
+            est_arrival_rate: wr.arrival_rate,
+        });
+        server.observe_window(&observation_of(wr, &queue, sla_target, &drift));
     });
 
     stop.store(true, Ordering::Relaxed);
@@ -592,5 +631,84 @@ mod tests {
         assert!(scrape
             .value("uww_maint_measured_work_total", &[])
             .is_some_and(|v| v > 0.0));
+        // The cost-model drift family rides the same scrape: the controller
+        // estimates and residual gauges are present, and a short stationary
+        // run never raises a drift flag.
+        assert!(scrape
+            .value("uww_model_arrival_rate", &[])
+            .is_some_and(|v| v > 0.0));
+        assert!(scrape
+            .value("uww_model_cost_per_event", &[])
+            .is_some_and(|v| v > 0.0));
+        assert!(scrape
+            .value("uww_model_service_rate", &[])
+            .is_some_and(|v| v > 0.0));
+        assert_eq!(scrape.value("uww_model_calibration_factor", &[]), Some(1.0));
+        assert!(scrape.value("uww_model_work_residual", &[]).is_some());
+        assert_eq!(scrape.value("uww_model_drift_rate", &[]), Some(0.0));
+        assert_eq!(scrape.value("uww_obs_spans_dropped_total", &[]), Some(0.0));
+    }
+
+    #[test]
+    fn continuous_run_health_verb_reports_window_health() {
+        let sc = q3_scenario(0.0003).unwrap();
+        let w = &sc.warehouse;
+        let versioned = Arc::new(VersionedCatalog::from_catalog(w.state()));
+        let queue = IngestQueue::new();
+        let sink = Arc::new(QueueSink::new(w, queue.clone()));
+        let server = Server::start(
+            Arc::clone(&versioned),
+            ServerConfig {
+                ingest: Some(sink as Arc<dyn IngestSink>),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        // Before any window: HEALTH answers with zero windows and full
+        // attainment (nothing has missed an SLA yet).
+        let mut c = Client::connect(server.local_addr()).unwrap();
+        let h = c.health().unwrap();
+        assert!(h.contains("windows=0"), "{h}");
+        assert!(h.contains("sla_attainment=1.000"), "{h}");
+        // Observe two windows through the same path run_continuous uses.
+        let mut drift = uww_obs::drift::DriftTracker::default();
+        for (i, (pred, meas)) in [(100.0, 104u64), (120.0, 118u64)].iter().enumerate() {
+            let obs = uww_obs::drift::DriftObservation {
+                predicted_work: *pred,
+                measured_work: *meas as f64,
+                events: 4,
+                window_ticks: 8,
+                est_cost_per_event: pred / 4.0,
+                est_arrival_rate: 0.5,
+            };
+            drift.observe(&obs);
+            server.observe_window(&WindowObservation {
+                window_ticks: 8,
+                events: 4,
+                staleness: if i == 0 { 6.0 } else { 40.0 },
+                predicted_work: *pred,
+                measured_work: *meas,
+                sla_target: 24.0,
+                arrival_rate: 0.5,
+                cost_per_event: pred / 4.0,
+                service_rate: 200.0,
+                calibration: 1.0,
+                work_residual: drift.work_residual(),
+                ..Default::default()
+            });
+        }
+        // Reconnect: the flags and counters are server state, not
+        // connection state.
+        let h = c.health().unwrap();
+        c.quit().unwrap();
+        let mut c2 = Client::connect(server.local_addr()).unwrap();
+        let h2 = c2.health().unwrap();
+        c2.quit().unwrap();
+        for line in [&h, &h2] {
+            assert!(line.contains("windows=2"), "{line}");
+            assert!(line.contains("sla_attainment=0.500"), "{line}");
+            assert!(line.contains("drift_work=0"), "{line}");
+        }
+        server.shutdown();
     }
 }
